@@ -1,0 +1,13 @@
+"""Benchmark: Equation 1 stride selection on both testbeds (Section 4.2 / 5.4)."""
+
+from repro.experiments.eq1_performance_model import run
+
+
+def test_eq1_performance_model(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    assert all(row["selected_stride"] == 2 for row in result.rows)
+    h100 = {row["candidate_stride"]: row["update_throughput_bpps"] for row in result.rows
+            if row["machine"] == "jlse-4xh100"}
+    assert h100[2] > h100[3] > h100[4] > h100[5]

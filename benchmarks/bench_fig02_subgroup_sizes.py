@@ -1,0 +1,11 @@
+"""Benchmark: Figure 2 — iteration time vs ZeRO-3 subgroup size."""
+
+from repro.experiments.fig02_subgroup_sizes import run
+
+
+def test_fig02_subgroup_sizes(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    for row in result.rows:
+        assert row["max_relative_spread"] < 0.05

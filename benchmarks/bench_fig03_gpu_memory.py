@@ -1,0 +1,13 @@
+"""Benchmark: Figure 3 — GPU memory utilisation with and without activation checkpointing."""
+
+from repro.experiments.fig03_gpu_memory import run
+
+
+def test_fig03_gpu_memory(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    by_config = {row["configuration"]: row for row in result.rows}
+    assert by_config["full_activations"]["forward_peak_gib"] > by_config["activation_checkpointing"]["forward_peak_gib"]
+    for row in result.rows:
+        assert row["update_phase_gib"] < row["forward_peak_gib"]

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 4 — PCIe link utilisation across training phases."""
+
+from repro.experiments.fig04_pcie_utilization import run
+
+
+def test_fig04_pcie_utilization(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    for row in result.rows:
+        assert row["h2d_fraction_of_peak"] < 0.5
+        assert row["d2h_fraction_of_peak"] < 0.5

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 5 — update-phase timeline, TwinFlow vs Deep Optimizer States."""
+
+from repro.experiments.fig05_update_timeline import run
+
+
+def test_fig05_update_timeline(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    by_strategy = {row["strategy"]: row for row in result.rows}
+    assert (
+        by_strategy["deep-optimizer-states"]["update_complete_s"]
+        < by_strategy["twinflow"]["update_complete_s"]
+    )

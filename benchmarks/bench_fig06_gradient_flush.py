@@ -1,0 +1,12 @@
+"""Benchmark: Figure 6 — gradient-flush paths during the backward pass."""
+
+from repro.experiments.fig06_gradient_flush import run
+
+
+def test_fig06_gradient_flush(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    baseline, dos = result.rows
+    assert baseline["per_subgroup_ms"] / dos["per_subgroup_ms"] > 5
+    assert baseline["backward_phase_s"] > dos["backward_phase_s"]

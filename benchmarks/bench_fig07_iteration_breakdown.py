@@ -1,0 +1,15 @@
+"""Benchmark: Figure 7 — per-iteration breakdown, ZeRO-3 vs Deep Optimizer States."""
+
+from repro.experiments.fig07_iteration_breakdown import run
+
+
+def test_fig07_iteration_breakdown(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    for row in result.rows:
+        assert 1.7 <= row["speedup"] <= 3.0
+        assert row["dos_iteration_s"] < row["zero3_iteration_s"]
+    # Iteration time grows with the model size for both strategies.
+    zero3_times = [row["zero3_iteration_s"] for row in result.rows]
+    assert zero3_times[0] < zero3_times[-1]

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 8 — optimizer update throughput per model."""
+
+from repro.experiments.fig08_update_throughput import run
+
+
+def test_fig08_update_throughput(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    for row in result.rows:
+        assert row["dos_bpps"] > row["zero3_bpps"]
+        assert 1.3 <= row["improvement"] <= 2.6

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 9 — end-to-end training time for 100 iterations."""
+
+from repro.experiments.fig09_end_to_end import run
+
+
+def test_fig09_end_to_end(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    for row in result.rows:
+        assert row["dos_total_s"] < row["zero3_total_s"]
+        # The end-to-end speedup matches the per-iteration speedup (no accumulated stalls).
+        assert abs(row["speedup"] - row["per_iteration_speedup"]) / row["speedup"] < 0.1
+    by_model = {row["model"]: row for row in result.rows}
+    # Training 20B with DOS costs about as much as 7B on the baseline (paper's remark).
+    assert by_model["20B"]["dos_total_s"] <= by_model["7B"]["zero3_total_s"] * 1.8

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 10 — update time vs static GPU-resident fraction (20B model)."""
+
+from repro.experiments.fig10_twinflow_update import run
+
+
+def test_fig10_twinflow_ratio_update(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    twinflow = [row["twinflow_update_s"] for row in result.rows]
+    dos = [row["dos_update_s"] for row in result.rows]
+    # Update time decreases monotonically as more optimizer state is pinned to the GPU.
+    assert all(b <= a + 1e-6 for a, b in zip(twinflow, twinflow[1:]))
+    assert all(b <= a + 1e-6 for a, b in zip(dos, dos[1:]))
+    assert all(row["speedup"] >= 1.3 for row in result.rows)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 11 — iteration breakdown vs static GPU-resident fraction (20B model)."""
+
+from repro.experiments.fig11_twinflow_iteration import run
+
+
+def test_fig11_twinflow_ratio_iteration(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    assert all(row["speedup"] >= 1.5 for row in result.rows)
+    # The paper's headline memory claim: DOS at 0% GPU residency beats TwinFlow at 50%.
+    dos_at_zero = result.rows[0]["dos_iteration_s"]
+    twinflow_at_half = result.rows[-1]["twinflow_iteration_s"]
+    assert dos_at_zero < twinflow_at_half

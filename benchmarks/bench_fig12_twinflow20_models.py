@@ -1,0 +1,11 @@
+"""Benchmark: Figure 12 — TwinFlow ratio 20% across model sizes."""
+
+from repro.experiments.fig12_twinflow20_models import run
+
+
+def test_fig12_twinflow20_models(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    for row in result.rows:
+        assert 1.4 <= row["speedup"] <= 2.6

@@ -1,0 +1,17 @@
+"""Benchmark: Figure 13 — microbatch-size scaling for the 20B model."""
+
+from repro.experiments.fig13_microbatch import run
+
+
+def test_fig13_microbatch(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    by_mb = {row["microbatch"]: row for row in result.rows}
+    assert by_mb[16]["zero3_iteration_s"] == "OOM"
+    assert by_mb[8]["zero3_iteration_s"] != "OOM"
+    valid = [row for row in result.rows if row["speedup"] is not None]
+    assert all(1.5 <= row["speedup"] <= 2.6 for row in valid)
+    # Achieved TFLOPs increase with the microbatch size for both strategies.
+    tflops = [row["dos_tflops"] for row in valid]
+    assert tflops == sorted(tflops)

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 14 — varying the number of CPU cores per GPU (20B model)."""
+
+from repro.experiments.fig14_cpu_scaling import run
+
+
+def test_fig14_cpu_scaling(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    rows = {row["cpu_cores_per_gpu"]: row for row in result.rows}
+    # Iteration time improves with more CPU cores, then plateaus past DRAM saturation.
+    assert rows[10]["zero3_iteration_s"] > rows[30]["zero3_iteration_s"]
+    assert abs(rows[48]["zero3_iteration_s"] - rows[44]["zero3_iteration_s"]) < 0.1
+    assert all(row["speedup"] > 1.8 for row in result.rows)

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 15 — GPU/CPU/PCIe utilisation during the update phase."""
+
+from repro.experiments.fig15_resource_utilization import run
+
+
+def test_fig15_resource_utilization(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    rows = {row["gpu_update_fraction"]: row for row in result.rows}
+    assert rows["50%"]["gpu_utilization"] > rows["0%"]["gpu_utilization"]
+    assert rows["50%"]["pcie_h2d_gbps"] > rows["33%"]["pcie_h2d_gbps"] > rows["0%"]["pcie_h2d_gbps"]
+    assert rows["50%"]["tflops"] > rows["33%"]["tflops"] > rows["25%"]["tflops"] > rows["0%"]["tflops"]

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 16 — update throughput vs fraction of GPU-scheduled updates."""
+
+from repro.experiments.fig16_perf_model_validation import run
+
+
+def test_fig16_perf_model_validation(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    for row in result.rows:
+        assert row["best_fraction"] == "50%"
+        assert row["dos_50%_bpps"] >= row["dos_33%_bpps"] >= row["dos_25%_bpps"]
+        assert row["dos_25%_bpps"] > row["zero3_bpps"]

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 17 — weak scaling of the data-parallel degree."""
+
+from repro.experiments.fig17_weak_scaling import run
+
+
+def test_fig17_weak_scaling(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    for row in result.rows:
+        # The speedup is largest at DP=1 and decreases with the data-parallel degree,
+        # staying in the 2-2.5x band at DP=4 (Figure 17).
+        assert row["speedup_dp1"] > row["speedup_dp2"] > row["speedup_dp4"]
+        assert row["speedup_dp1"] >= 3.0
+        assert 1.8 <= row["speedup_dp4"] <= 2.8

@@ -1,0 +1,13 @@
+"""Benchmark: reproduce Table 1 (transfer and conversion throughputs)."""
+
+from repro.experiments.table1_throughputs import run
+
+
+def test_table1_throughputs(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    by_kind = {row["transfer"]: row for row in result.rows}
+    assert by_kind["G32<->G16"]["measured_gbps"] > 100 * by_kind["G16->H32"]["measured_gbps"] / 10
+    for row in result.rows:
+        assert 0.5 <= row["ratio_vs_paper"] <= 1.5

@@ -1,0 +1,12 @@
+"""Benchmark: reproduce Table 2 (model configurations and state sizes)."""
+
+from repro.experiments.table2_models import run
+
+
+def test_table2_model_sizes(run_once):
+    result = run_once(run)
+    print()
+    print(result.format())
+    for row in result.rows:
+        assert abs(row["fp16_model_gib"] - row["paper_fp16_gb"]) / row["paper_fp16_gb"] < 0.15
+        assert abs(row["fp32_optimizer_gib"] - row["paper_fp32_opt_gb"]) / row["paper_fp32_opt_gb"] < 0.15

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the benchmarks from a source checkout without installing the package.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations, so a single round is enough; this
+    keeps the full benchmark suite fast while still recording wall-clock timings.
+    """
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

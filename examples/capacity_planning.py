@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Capacity planning for resource-constrained fine-tuning (the paper's motivating use case).
+
+Given a set of single-node machines and the model sizes of Table 2, this example
+answers the questions a practitioner fine-tuning on a small node actually asks:
+
+* does the configuration fit at all (GPU HBM and host DRAM), with and without
+  activation checkpointing?
+* what interleaving stride does the performance model (Equation 1) pick on this
+  machine?
+* how long is an iteration with each offloading strategy, and how much GPU memory
+  does Deep Optimizer States save over TwinFlow at equal speed?
+
+Run with:  python examples/capacity_planning.py
+"""
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import GIB
+from repro.core.performance_model import cpu_to_gpu_update_ratio, optimal_update_stride
+from repro.hardware.presets import get_machine_preset, list_machine_presets
+from repro.hardware.throughput import ThroughputProfile
+from repro.model.footprint import build_rank_footprint, check_fits
+from repro.model.presets import MODEL_PRESETS
+from repro.training.config import TrainingJobConfig
+from repro.training.metrics import format_table
+from repro.training.trainer import Trainer
+
+MODELS = ("7B", "13B", "20B")
+MACHINES = ("jlse-4xh100", "polaris-4xa100", "4xv100")
+
+
+def fits(model, machine) -> str:
+    footprint = build_rank_footprint(
+        MODEL_PRESETS[model],
+        data_parallel_degree=machine.num_gpus,
+        microbatch_size=1,
+        activation_checkpointing=True,
+        stage_subgroup_on_gpu=True,
+    )
+    try:
+        check_fits(footprint, machine)
+    except OutOfMemoryError as exc:
+        return f"no ({exc})"
+    return (
+        f"yes (peak {footprint.gpu_peak_bytes() / GIB:.0f} GiB GPU, "
+        f"{footprint.host_bytes() * machine.num_gpus / GIB:.0f} GiB host)"
+    )
+
+
+def main() -> None:
+    print("Available machine presets:", ", ".join(list_machine_presets()))
+    print()
+
+    stride_rows = []
+    for machine_name in MACHINES:
+        machine = get_machine_preset(machine_name)
+        profile = ThroughputProfile.from_machine(machine)
+        stride_rows.append(
+            {
+                "machine": machine_name,
+                "eq1_ratio": round(cpu_to_gpu_update_ratio(profile), 2),
+                "selected_stride": optimal_update_stride(profile),
+                "gpu_fraction": f"{100 // optimal_update_stride(profile)}%",
+            }
+        )
+    print("Performance-model stride per machine (Equation 1):")
+    print(format_table(stride_rows))
+    print()
+
+    rows = []
+    for machine_name in MACHINES:
+        machine = get_machine_preset(machine_name)
+        for model in MODELS:
+            row = {"machine": machine_name, "model": model, "fits": fits(model, machine)}
+            if row["fits"].startswith("yes"):
+                for strategy in ("zero3-offload", "deep-optimizer-states"):
+                    report = Trainer(
+                        TrainingJobConfig(
+                            model=model,
+                            machine=machine_name,
+                            strategy=strategy,
+                            iterations=4,
+                            warmup_iterations=1,
+                        )
+                    ).run()
+                    key = "zero3_s" if strategy == "zero3-offload" else "dos_s"
+                    row[key] = "OOM" if report.oom else round(report.iteration_seconds, 2)
+            rows.append(row)
+    print("Feasibility and iteration time per (machine, model):")
+    print(format_table(rows, columns=["machine", "model", "fits", "zero3_s", "dos_s"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fine-tune a miniature LLM end to end through the interleaved offloaded optimizer.
+
+This is the numeric (correctness) path of the reproduction: a small NumPy transformer
+is trained on a synthetic corpus with data parallelism, ZeRO-3 subgroup sharding, FP16
+gradients and an offloaded mixed-precision Adam — once with the all-CPU baseline
+executor and once with the Deep Optimizer States interleaved executor.  The two runs
+produce *identical* losses, demonstrating the paper's claim that interleaving the
+update phase across CPU and GPU does not change the training result.
+
+Run with:  python examples/finetune_tiny_llm.py
+"""
+
+import numpy as np
+
+from repro.model.presets import TINY_MODELS
+from repro.training.data import SyntheticCorpus, TokenDataset, WordTokenizer, make_dataloader
+from repro.training.numeric import MiniTrainer
+
+MODEL = "tiny-1M"
+STEPS = 8
+DATA_PARALLEL = 2
+SUBGROUP_SIZE = 16_384
+
+
+def build_loader(config, seed=0):
+    corpus = SyntheticCorpus(num_documents=64, words_per_document=120, vocabulary_size=400, seed=seed)
+    tokenizer = WordTokenizer(corpus, vocab_size=config.vocab_size)
+    dataset = TokenDataset.from_corpus(corpus, tokenizer, sequence_length=config.sequence_length)
+    return make_dataloader(dataset, batch_size=2, seed=seed)
+
+
+def train(strategy: str):
+    config = TINY_MODELS[MODEL]
+    trainer = MiniTrainer(
+        config,
+        strategy=strategy,
+        data_parallel_degree=DATA_PARALLEL,
+        subgroup_size=SUBGROUP_SIZE,
+        seed=1234,
+    )
+    print(f"  {strategy}: {trainer.describe()}")
+    result = trainer.train(build_loader(config, seed=7), max_steps=STEPS)
+    return result, trainer.master_parameters()
+
+
+def main() -> None:
+    print(f"Fine-tuning the {MODEL} model ({STEPS} steps, DP={DATA_PARALLEL}, "
+          f"{SUBGROUP_SIZE}-parameter subgroups)\n")
+    baseline_result, baseline_params = train("zero3-offload")
+    dos_result, dos_params = train("deep-optimizer-states")
+
+    print("\n step | ZeRO-3 offload loss | Deep Optimizer States loss")
+    print(" -----|---------------------|---------------------------")
+    for step, (a, b) in enumerate(zip(baseline_result.losses, dos_result.losses), start=1):
+        print(f"  {step:3d} | {a:19.6f} | {b:26.6f}")
+
+    identical = np.array_equal(baseline_params, dos_params)
+    print(f"\nLoss decreased from {dos_result.initial_loss:.4f} to {dos_result.final_loss:.4f}")
+    print(f"Master parameters identical across strategies: {identical}")
+    if not identical:
+        raise SystemExit("ERROR: interleaved offloading changed the training result!")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Deep Optimizer States reproduction.
+
+A Python library reproducing "Deep Optimizer States: Towards Scalable Training of
+Transformer Models Using Interleaved Offloading" (MIDDLEWARE 2024): interleaved
+CPU-GPU scheduling of ZeRO-3 optimizer subgroup updates, the Equation 1 performance
+model that picks the interleaving stride, the accelerated gradient-flush path, the
+DeepSpeed ZeRO-3 / TwinFlow baselines, and the discrete-event testbed simulation plus
+numeric miniature-model path used to regenerate every figure and table of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import TrainingJobConfig, Trainer
+
+    report = Trainer(TrainingJobConfig(model="20B", strategy="deep-optimizer-states")).run()
+    print(report.as_row())
+"""
+
+from repro.core.engine import DeepOptimizerStates, DeepOptimizerStatesConfig, OffloadStrategy
+from repro.core.performance_model import (
+    PerformanceModel,
+    cpu_to_gpu_update_ratio,
+    optimal_update_stride,
+)
+from repro.core.scheduler import UpdatePlan, UpdateTarget, build_update_plan
+from repro.baselines import TwinFlowBaseline, Zero3OffloadBaseline, build_strategy
+from repro.hardware import (
+    JLSE_H100_NODE,
+    LAMBDA_V100_NODE,
+    MachineSpec,
+    ThroughputProfile,
+    get_machine_preset,
+)
+from repro.model import TransformerConfig, get_model_preset, list_model_presets
+from repro.optim import AdamConfig, AdamRule, build_optimizer
+from repro.training import (
+    MiniTrainer,
+    Trainer,
+    TrainingJobConfig,
+    TrainingReport,
+    simulate_job,
+)
+from repro.zero import OffloadConfig, ShardedMixedPrecisionOptimizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DeepOptimizerStates",
+    "DeepOptimizerStatesConfig",
+    "OffloadStrategy",
+    "PerformanceModel",
+    "cpu_to_gpu_update_ratio",
+    "optimal_update_stride",
+    "UpdatePlan",
+    "UpdateTarget",
+    "build_update_plan",
+    "Zero3OffloadBaseline",
+    "TwinFlowBaseline",
+    "build_strategy",
+    "MachineSpec",
+    "ThroughputProfile",
+    "JLSE_H100_NODE",
+    "LAMBDA_V100_NODE",
+    "get_machine_preset",
+    "TransformerConfig",
+    "get_model_preset",
+    "list_model_presets",
+    "AdamRule",
+    "AdamConfig",
+    "build_optimizer",
+    "OffloadConfig",
+    "ShardedMixedPrecisionOptimizer",
+    "TrainingJobConfig",
+    "Trainer",
+    "TrainingReport",
+    "MiniTrainer",
+    "simulate_job",
+]

@@ -1,0 +1,22 @@
+"""Baseline offloading strategies the paper compares against.
+
+* :class:`Zero3OffloadBaseline` — DeepSpeed ZeRO-3 with the optimizer state fully
+  offloaded to host memory: every subgroup is updated on the CPU, the gradient flush
+  uses the slow unpinned FP16 path and blocks the backward pass, and the H2D copy of
+  every updated parameter slice blocks the CPU.
+* :class:`TwinFlowBaseline` — DeepSpeed ZeRO-Offload++ / TwinFlow: a user-supplied
+  fraction of the optimizer subgroups resides statically on the GPU (updated there at
+  the start of the update phase), the remainder behaves exactly like the ZeRO-3
+  baseline.
+"""
+
+from repro.baselines.zero3_offload import Zero3OffloadBaseline
+from repro.baselines.twinflow import TwinFlowBaseline
+from repro.baselines.registry import available_strategies, build_strategy
+
+__all__ = [
+    "Zero3OffloadBaseline",
+    "TwinFlowBaseline",
+    "available_strategies",
+    "build_strategy",
+]

@@ -1,0 +1,44 @@
+"""Strategy registry used by the trainer, experiments and examples."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.core.engine import DeepOptimizerStates, DeepOptimizerStatesConfig, OffloadStrategy
+from repro.baselines.twinflow import TwinFlowBaseline
+from repro.baselines.zero3_offload import Zero3OffloadBaseline
+
+
+def available_strategies() -> list[str]:
+    """Names accepted by :func:`build_strategy`."""
+    return ["zero3-offload", "twinflow", "deep-optimizer-states"]
+
+
+def build_strategy(
+    name: str,
+    *,
+    static_gpu_fraction: float = 0.0,
+    subgroup_size: int = 100_000_000,
+    update_stride: int = 0,
+) -> OffloadStrategy:
+    """Construct one of the three strategies the paper evaluates.
+
+    ``static_gpu_fraction`` is the TwinFlow "user-supplied ratio"; for Deep Optimizer
+    States it pins the same fraction of subgroups (at the end of the index range) in
+    addition to the dynamic interleaving.  ``update_stride`` forces a stride instead
+    of deriving it from Equation 1 (0 keeps the automatic choice).
+    """
+    key = name.strip().lower()
+    if key in ("zero3", "zero3-offload", "deepspeed-zero3", "zero-3"):
+        return Zero3OffloadBaseline()
+    if key in ("twinflow", "zero-offload++", "zero_offloadpp"):
+        return TwinFlowBaseline(static_gpu_fraction=static_gpu_fraction)
+    if key in ("deep-optimizer-states", "dos", "deep_optimizer_states"):
+        config = DeepOptimizerStatesConfig(
+            subgroup_size=subgroup_size,
+            update_stride=update_stride,
+            static_gpu_fraction=static_gpu_fraction,
+        )
+        return DeepOptimizerStates(config)
+    raise ConfigurationError(
+        f"unknown strategy {name!r}; available: {available_strategies()}"
+    )

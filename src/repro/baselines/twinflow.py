@@ -1,0 +1,102 @@
+"""DeepSpeed TwinFlow (ZeRO-Offload++) baseline: static hybrid optimizer placement."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.core.engine import OffloadStrategy
+from repro.core.gradient_flush import GradientFlushOps, build_baseline_gradient_flush
+from repro.core.numeric_executor import SequentialCpuExecutor
+from repro.core.scheduler import UpdatePlan, build_cpu_only_plan
+from repro.core.sim_executor import UpdatePhaseOps, build_blocking_offload_update
+from repro.hardware.contention import HostContentionModel
+from repro.hardware.throughput import ThroughputProfile
+from repro.zero.offload import OffloadConfig, OffloadDevice
+
+
+class TwinFlowBaseline(OffloadStrategy):
+    """Static partial GPU residency driven by a user-supplied ratio.
+
+    The statically GPU-resident subgroups (the *first* ones, matching TwinFlow's
+    behaviour) are updated on the GPU while the CPU sits idle; the remaining
+    subgroups follow the blocking CPU path of the ZeRO-3 baseline.
+    """
+
+    name = "twinflow"
+    display_name = "DeepSpeed TwinFlow"
+
+    def __init__(self, static_gpu_fraction: float = 0.2, *, pin_memory: bool = True) -> None:
+        if not 0.0 <= static_gpu_fraction <= 1.0:
+            raise ConfigurationError("static_gpu_fraction must be in [0, 1]")
+        self._static_gpu_fraction = static_gpu_fraction
+        self.pin_memory = pin_memory
+
+    @property
+    def static_gpu_fraction(self) -> float:
+        return self._static_gpu_fraction
+
+    def offload_config(self, subgroup_size: int) -> OffloadConfig:
+        return OffloadConfig(
+            device=OffloadDevice.CPU,
+            subgroup_size=subgroup_size,
+            pin_memory=self.pin_memory,
+            static_gpu_fraction=self._static_gpu_fraction,
+            static_residents_at_end=False,
+        )
+
+    def build_plan(self, num_subgroups: int, profile: ThroughputProfile) -> UpdatePlan:
+        offload = self.offload_config(subgroup_size=1)  # subgroup size irrelevant here
+        residents = offload.static_resident_indices(num_subgroups)
+        return build_cpu_only_plan(num_subgroups, residents)
+
+    def flush_blocks_backward(self) -> bool:
+        return True
+
+    def stages_subgroup_on_gpu(self) -> bool:
+        return False
+
+    def build_gradient_flush(
+        self,
+        engine,
+        profile: ThroughputProfile,
+        subgroup_params: dict[int, int],
+        compute_deps: dict[int, int],
+        plan: UpdatePlan,
+    ) -> GradientFlushOps:
+        # TwinFlow keeps the gradients of its static GPU residents on the GPU; only the
+        # CPU-updated subgroups go through the slow flush path.
+        cpu_subgroups = {
+            index: params
+            for index, params in subgroup_params.items()
+            if index not in plan.static_residents
+        }
+        cpu_deps = {index: op for index, op in compute_deps.items() if index in cpu_subgroups}
+        result = build_baseline_gradient_flush(engine, profile, cpu_subgroups, cpu_deps)
+        # Gradients of static residents are ready as soon as their backward chunk ran.
+        for index in plan.static_residents:
+            if index in compute_deps:
+                result.grad_ready_ops[index] = compute_deps[index]
+        return result
+
+    def build_update_phase(
+        self,
+        engine,
+        profile: ThroughputProfile,
+        plan: UpdatePlan,
+        subgroup_params: dict[int, int],
+        *,
+        grad_ready_ops: dict[int, int],
+        start_deps: tuple[int, ...],
+        contention: HostContentionModel | None,
+        staged_subgroup_bytes: int = 0,
+    ) -> UpdatePhaseOps:
+        return build_blocking_offload_update(
+            engine,
+            profile,
+            plan,
+            subgroup_params,
+            grad_ready_ops=grad_ready_ops,
+            start_deps=start_deps,
+        )
+
+    def numeric_executor(self, num_subgroups: int, profile: ThroughputProfile | None = None):
+        return SequentialCpuExecutor()

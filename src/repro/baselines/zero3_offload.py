@@ -1,0 +1,77 @@
+"""DeepSpeed ZeRO-3 CPU-offload baseline (all updates on the CPU, blocking)."""
+
+from __future__ import annotations
+
+from repro.core.engine import OffloadStrategy
+from repro.core.gradient_flush import GradientFlushOps, build_baseline_gradient_flush
+from repro.core.numeric_executor import SequentialCpuExecutor
+from repro.core.scheduler import UpdatePlan, build_cpu_only_plan
+from repro.core.sim_executor import UpdatePhaseOps, build_blocking_offload_update
+from repro.hardware.contention import HostContentionModel
+from repro.hardware.throughput import ThroughputProfile
+from repro.zero.offload import OffloadConfig, OffloadDevice
+
+
+class Zero3OffloadBaseline(OffloadStrategy):
+    """The paper's primary baseline: optimizer state fully offloaded to host memory."""
+
+    name = "zero3-offload"
+    display_name = "DeepSpeed ZeRO-3"
+
+    def __init__(self, *, pin_memory: bool = True) -> None:
+        self.pin_memory = pin_memory
+
+    @property
+    def static_gpu_fraction(self) -> float:
+        return 0.0
+
+    def offload_config(self, subgroup_size: int) -> OffloadConfig:
+        return OffloadConfig(
+            device=OffloadDevice.CPU,
+            subgroup_size=subgroup_size,
+            pin_memory=self.pin_memory,
+            static_gpu_fraction=0.0,
+        )
+
+    def build_plan(self, num_subgroups: int, profile: ThroughputProfile) -> UpdatePlan:
+        return build_cpu_only_plan(num_subgroups)
+
+    def flush_blocks_backward(self) -> bool:
+        return True
+
+    def stages_subgroup_on_gpu(self) -> bool:
+        return False
+
+    def build_gradient_flush(
+        self,
+        engine,
+        profile: ThroughputProfile,
+        subgroup_params: dict[int, int],
+        compute_deps: dict[int, int],
+        plan: UpdatePlan,
+    ) -> GradientFlushOps:
+        return build_baseline_gradient_flush(engine, profile, subgroup_params, compute_deps)
+
+    def build_update_phase(
+        self,
+        engine,
+        profile: ThroughputProfile,
+        plan: UpdatePlan,
+        subgroup_params: dict[int, int],
+        *,
+        grad_ready_ops: dict[int, int],
+        start_deps: tuple[int, ...],
+        contention: HostContentionModel | None,
+        staged_subgroup_bytes: int = 0,
+    ) -> UpdatePhaseOps:
+        return build_blocking_offload_update(
+            engine,
+            profile,
+            plan,
+            subgroup_params,
+            grad_ready_ops=grad_ready_ops,
+            start_deps=start_deps,
+        )
+
+    def numeric_executor(self, num_subgroups: int, profile: ThroughputProfile | None = None):
+        return SequentialCpuExecutor()

@@ -1,0 +1,21 @@
+"""Checkpointing of the sharded, host-offloaded optimizer state.
+
+The paper notes (Section 2) that offloading the optimizer state to host memory also
+accelerates checkpointing, because the large FP32 state can be flushed to persistent
+storage asynchronously without blocking the GPUs (DataStates-LLM and related work by
+the same authors).  This subpackage provides that capability for the reproduction's
+:class:`~repro.zero.stage3.ShardedMixedPrecisionOptimizer`: per-rank snapshot files,
+integrity checking, and resume.
+"""
+
+from repro.checkpoint.snapshot import (
+    CheckpointManifest,
+    load_optimizer_checkpoint,
+    save_optimizer_checkpoint,
+)
+
+__all__ = [
+    "CheckpointManifest",
+    "save_optimizer_checkpoint",
+    "load_optimizer_checkpoint",
+]

@@ -1,0 +1,128 @@
+"""Command-line interface for the reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list-presets
+    python -m repro compare --model 20B --strategies zero3-offload deep-optimizer-states
+    python -m repro experiment fig7
+    python -m repro stride --machine jlse-4xh100
+
+The CLI is a thin wrapper over the public API so that the headline results can be
+regenerated without writing any Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines.registry import available_strategies
+from repro.core.performance_model import cpu_to_gpu_update_ratio, optimal_update_stride
+from repro.experiments import EXPERIMENT_MODULES
+from repro.experiments.base import run_experiment
+from repro.hardware.presets import get_machine_preset, list_machine_presets
+from repro.hardware.throughput import ThroughputProfile
+from repro.model.presets import list_model_presets
+from repro.training.config import TrainingJobConfig
+from repro.training.metrics import format_table
+from repro.training.trainer import compare_strategies
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deep Optimizer States reproduction (MIDDLEWARE 2024)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-presets", help="list model, machine and strategy presets")
+
+    compare = subparsers.add_parser("compare", help="compare offloading strategies on one job")
+    compare.add_argument("--model", default="20B", help="model preset (Table 2 name)")
+    compare.add_argument("--machine", default="jlse-4xh100", help="machine preset")
+    compare.add_argument("--microbatch", type=int, default=1, help="microbatch size per GPU")
+    compare.add_argument("--data-parallel", type=int, default=None, help="data-parallel degree")
+    compare.add_argument("--static-gpu-fraction", type=float, default=0.0,
+                         help="TwinFlow-style fraction of optimizer state pinned to the GPU")
+    compare.add_argument("--iterations", type=int, default=10, help="training iterations")
+    compare.add_argument("--strategies", nargs="+", default=available_strategies(),
+                         help="strategies to compare")
+
+    experiment = subparsers.add_parser("experiment", help="run one paper experiment (table/figure)")
+    experiment.add_argument("experiment_id", choices=sorted(EXPERIMENT_MODULES),
+                            help="experiment identifier, e.g. fig7")
+
+    stride = subparsers.add_parser("stride", help="evaluate Equation 1 for a machine preset")
+    stride.add_argument("--machine", default="jlse-4xh100", help="machine preset")
+    stride.add_argument("--cores-per-gpu", type=int, default=None, help="CPU cores per GPU")
+    return parser
+
+
+def _cmd_list_presets() -> int:
+    print("Models    :", ", ".join(list_model_presets(include_tiny=True)))
+    print("Machines  :", ", ".join(list_machine_presets()))
+    print("Strategies:", ", ".join(available_strategies()))
+    print("Experiments:", ", ".join(sorted(EXPERIMENT_MODULES)))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    base = TrainingJobConfig(
+        model=args.model,
+        machine=args.machine,
+        microbatch_size=args.microbatch,
+        data_parallel_degree=args.data_parallel,
+        static_gpu_fraction=args.static_gpu_fraction,
+        iterations=args.iterations,
+        warmup_iterations=min(2, args.iterations - 1),
+    )
+    reports = compare_strategies(base, list(args.strategies))
+    rows = [report.as_row() for report in reports.values()]
+    columns = ["strategy", "forward_s", "backward_s", "update_s", "iteration_s",
+               "update_throughput_bpps", "tflops", "end_to_end_s", "oom"]
+    print(format_table(rows, columns=[c for c in columns if any(c in row for row in rows)]))
+    valid = {name: report for name, report in reports.items() if not report.oom}
+    if "zero3-offload" in valid and "deep-optimizer-states" in valid:
+        speedup = valid["deep-optimizer-states"].speedup_over(valid["zero3-offload"])
+        print(f"\nDeep Optimizer States speedup over ZeRO-3 offload: {speedup:.2f}x")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment_id)
+    print(result.format())
+    return 0
+
+
+def _cmd_stride(args: argparse.Namespace) -> int:
+    machine = get_machine_preset(args.machine)
+    profile = ThroughputProfile.from_machine(machine, cores_per_gpu=args.cores_per_gpu)
+    ratio = cpu_to_gpu_update_ratio(profile)
+    stride = optimal_update_stride(profile)
+    print(f"machine            : {machine.name}")
+    print(f"PCIe (B)           : {profile.pcie_pps / 1e9:.2f} B params/s")
+    print(f"GPU update (U_g)   : {profile.gpu_update_pps / 1e9:.2f} B params/s")
+    print(f"CPU update (U_c)   : {profile.cpu_update_pps / 1e9:.2f} B params/s")
+    print(f"CPU downscale (D_c): {profile.cpu_downscale_pps / 1e9:.2f} B params/s")
+    print(f"Equation 1 ratio   : {ratio:.2f}")
+    print(f"Selected stride    : {stride}  (every {stride}-th subgroup updates on the GPU)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list-presets":
+        return _cmd_list_presets()
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "stride":
+        return _cmd_stride(args)
+    return 1  # pragma: no cover - argparse enforces the choices above
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

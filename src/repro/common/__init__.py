@@ -1,0 +1,51 @@
+"""Shared utilities: units, errors, configuration helpers and deterministic RNG.
+
+These helpers are intentionally small and dependency-free; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    OutOfMemoryError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.common.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    TB,
+    bytes_to_gb,
+    bytes_to_gib,
+    format_bytes,
+    format_duration,
+    format_throughput,
+    gb,
+    gib,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "OutOfMemoryError",
+    "SimulationError",
+    "SchedulingError",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "gb",
+    "gib",
+    "bytes_to_gb",
+    "bytes_to_gib",
+    "format_bytes",
+    "format_duration",
+    "format_throughput",
+]

@@ -1,0 +1,30 @@
+"""Exception hierarchy used across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is inconsistent or out of range."""
+
+
+class OutOfMemoryError(ReproError):
+    """Raised when a simulated device cannot satisfy a memory allocation.
+
+    This mirrors the CUDA out-of-memory errors the paper reports when the microbatch
+    size grows past the GPU capacity (Figure 13).
+    """
+
+    def __init__(self, message: str, requested_bytes: int = 0, available_bytes: int = 0):
+        super().__init__(message)
+        self.requested_bytes = requested_bytes
+        self.available_bytes = available_bytes
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator detects an inconsistent schedule."""
+
+
+class SchedulingError(ReproError):
+    """Raised when an update plan violates the scheduling invariants of Algorithm 1."""

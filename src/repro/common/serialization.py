@@ -1,0 +1,89 @@
+"""Lightweight JSON (de)serialization helpers for configuration dataclasses.
+
+The paper packages Deep Optimizer States as "a Python module that can be enabled and
+configured through a single JSON entry in the configuration file given to the training
+runtime".  The helpers here provide the same ergonomics for our configuration
+dataclasses without pulling in a schema library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any, Mapping, Type, TypeVar
+
+from repro.common.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def to_dict(config: Any) -> dict:
+    """Recursively convert a dataclass (possibly nested) to plain JSON-able types."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return {
+            field.name: to_dict(getattr(config, field.name))
+            for field in dataclasses.fields(config)
+        }
+    if isinstance(config, enum.Enum):
+        return config.value
+    if isinstance(config, dict):
+        return {key: to_dict(value) for key, value in config.items()}
+    if isinstance(config, (list, tuple)):
+        return [to_dict(value) for value in config]
+    return config
+
+
+def from_dict(cls: Type[T], data: Mapping[str, Any]) -> T:
+    """Build a dataclass of type ``cls`` from a mapping, recursing into nested dataclasses.
+
+    Unknown keys raise :class:`ConfigurationError` so that typos in JSON configuration
+    files fail loudly instead of being silently ignored.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise ConfigurationError(f"{cls!r} is not a dataclass")
+    field_map = {field.name: field for field in dataclasses.fields(cls)}
+    unknown = set(data) - set(field_map)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown configuration keys for {cls.__name__}: {sorted(unknown)}"
+        )
+    kwargs: dict[str, Any] = {}
+    for name, value in data.items():
+        field = field_map[name]
+        field_type = field.type
+        resolved = _resolve_type(cls, field_type)
+        if dataclasses.is_dataclass(resolved) and isinstance(value, Mapping):
+            kwargs[name] = from_dict(resolved, value)
+        elif isinstance(resolved, type) and issubclass(resolved, enum.Enum):
+            kwargs[name] = resolved(value)
+        else:
+            kwargs[name] = value
+    return cls(**kwargs)
+
+
+def _resolve_type(owner: type, annotation: Any) -> Any:
+    """Resolve string annotations (from ``from __future__ import annotations``)."""
+    if not isinstance(annotation, str):
+        return annotation
+    import sys
+    import typing
+
+    module = sys.modules.get(owner.__module__)
+    namespace = vars(module) if module else {}
+    try:
+        return eval(annotation, dict(vars(typing)), dict(namespace))  # noqa: S307
+    except Exception:  # pragma: no cover - defensive; annotation stays opaque
+        return annotation
+
+
+def dump_json(config: Any, path: str | Path) -> None:
+    """Write a dataclass configuration to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(to_dict(config), indent=2, sort_keys=True))
+
+
+def load_json(cls: Type[T], path: str | Path) -> T:
+    """Load a dataclass configuration of type ``cls`` from a JSON file."""
+    data = json.loads(Path(path).read_text())
+    return from_dict(cls, data)

@@ -1,0 +1,78 @@
+"""Units and human-readable formatting helpers.
+
+Bandwidths in the paper are expressed in decimal gigabytes per second (GB/s) while
+memory capacities are expressed in binary gibibytes (labelled "GB" in the paper, as is
+customary for GPU HBM sizes).  To avoid ambiguity this module exposes both families of
+constants and converters; the hardware specs state explicitly which one they use.
+"""
+
+from __future__ import annotations
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+
+
+def gb(value: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return value * GB
+
+
+def gib(value: float) -> float:
+    """Convert binary gibibytes to bytes."""
+    return value * GIB
+
+
+def bytes_to_gb(value: float) -> float:
+    """Convert bytes to decimal gigabytes."""
+    return value / GB
+
+
+def bytes_to_gib(value: float) -> float:
+    """Convert bytes to binary gibibytes."""
+    return value / GIB
+
+
+def format_bytes(value: float) -> str:
+    """Format a byte count with a binary suffix (KiB/MiB/GiB/TiB)."""
+    magnitude = abs(value)
+    if magnitude >= TIB:
+        return f"{value / TIB:.2f} TiB"
+    if magnitude >= GIB:
+        return f"{value / GIB:.2f} GiB"
+    if magnitude >= MIB:
+        return f"{value / MIB:.2f} MiB"
+    if magnitude >= KIB:
+        return f"{value / KIB:.2f} KiB"
+    return f"{value:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration in a human-friendly unit (ns/us/ms/s/min)."""
+    magnitude = abs(seconds)
+    if magnitude >= 60.0:
+        minutes = int(seconds // 60)
+        return f"{minutes}m {seconds - 60 * minutes:.1f}s"
+    if magnitude >= 1.0:
+        return f"{seconds:.3f} s"
+    if magnitude >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    if magnitude >= 1e-6:
+        return f"{seconds * 1e6:.2f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def format_throughput(bytes_per_second: float) -> str:
+    """Format a bandwidth in GB/s (decimal), the unit used throughout the paper."""
+    return f"{bytes_per_second / GB:.2f} GB/s"
+
+
+def format_param_throughput(params_per_second: float) -> str:
+    """Format an update throughput in billions of parameters per second."""
+    return f"{params_per_second / 1e9:.2f} B params/s"

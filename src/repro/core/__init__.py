@@ -1,0 +1,51 @@
+"""Deep Optimizer States: the paper's core contribution.
+
+The subpackage is organised around the four design principles of Section 4:
+
+* :mod:`repro.core.performance_model` — Equation 1, which picks the "update stride"
+  (how often a subgroup update is scheduled on the GPU) from the machine's measured
+  throughputs.
+* :mod:`repro.core.scheduler` — Algorithm 1, which turns the stride and the set of
+  statically GPU-resident subgroups into an :class:`UpdatePlan`.
+* :mod:`repro.core.numeric_executor` — executes an update plan against real NumPy
+  subgroup buffers (correctness path; bit-identical to the all-CPU baseline).
+* :mod:`repro.core.sim_executor` and :mod:`repro.core.gradient_flush` — build the
+  overlapped operation graphs of Figures 5 and 6 on the discrete-event simulator
+  (performance path).
+* :mod:`repro.core.engine` — the :class:`DeepOptimizerStates` middleware facade,
+  configured through a single JSON-able config object, mirroring the paper's
+  packaging as a DeepSpeed extension.
+"""
+
+from repro.core.performance_model import (
+    PerformanceModel,
+    cpu_to_gpu_update_ratio,
+    optimal_update_stride,
+)
+from repro.core.scheduler import (
+    SubgroupAssignment,
+    UpdatePlan,
+    UpdateTarget,
+    build_update_plan,
+)
+from repro.core.numeric_executor import (
+    InterleavedNumericExecutor,
+    SequentialCpuExecutor,
+    UpdateLogEntry,
+)
+from repro.core.engine import DeepOptimizerStates, DeepOptimizerStatesConfig
+
+__all__ = [
+    "cpu_to_gpu_update_ratio",
+    "optimal_update_stride",
+    "PerformanceModel",
+    "UpdateTarget",
+    "SubgroupAssignment",
+    "UpdatePlan",
+    "build_update_plan",
+    "InterleavedNumericExecutor",
+    "SequentialCpuExecutor",
+    "UpdateLogEntry",
+    "DeepOptimizerStates",
+    "DeepOptimizerStatesConfig",
+]

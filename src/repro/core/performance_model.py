@@ -1,0 +1,217 @@
+"""Performance model for the optimal CPU-to-GPU update interleaving (Section 4.2).
+
+Equation 1 of the paper balances, for one "interleave group" of ``k`` CPU-updated
+subgroups plus one GPU-updated subgroup of ``S`` parameters each:
+
+* the CPU-side work: ``k * (S / U_c + S / D_c)`` (update + FP32->FP16 downscale);
+* against the GPU-side cycle: the larger of the D2H and H2D transfer budgets
+  (``3S/B`` to evict the previous staged subgroup, ``3S/B + k*S/(2B)`` to prefetch the
+  next one and ship the ``k`` CPU-updated FP16 parameter slices) plus the GPU update
+  itself ``S / U_g``.
+
+Solving for ``k`` gives the closed form implemented by :func:`cpu_to_gpu_update_ratio`.
+A noteworthy property (tested) is that ``k`` does not depend on the subgroup size
+``S``.  The paper then uses ``k`` as the *stride* of Algorithm 1 — every ``k``-th
+subgroup is scheduled on the GPU ("k = 2, i.e. every alternate subgroup should be
+updated on the GPU") — so :func:`optimal_update_stride` rounds and clamps the ratio to
+an integer stride >= 2 (the GPU can stage only one subgroup at a time, so a stride of
+1 would leave no CPU work to overlap the swap transfers with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.hardware.throughput import ThroughputProfile
+
+MIN_UPDATE_STRIDE = 2
+
+
+def cpu_to_gpu_update_ratio(profile: ThroughputProfile) -> float:
+    """Equation 1: the raw (real-valued) CPU-to-GPU update ratio ``k``.
+
+    Larger values mean the CPU is comparatively fast (schedule the GPU rarely);
+    values below 1 mean the PCIe link and GPU could absorb more than half of the
+    updates if memory allowed it.
+    """
+    transfer = 3.0 / profile.pcie_pps
+    numerator = transfer + 1.0 / profile.gpu_update_pps
+    denominator = (
+        1.0 / profile.cpu_update_pps
+        + 1.0 / profile.cpu_downscale_pps
+        - 1.0 / (2.0 * profile.pcie_pps)
+    )
+    if denominator <= 0:
+        raise ConfigurationError(
+            "Equation 1 is undefined: CPU update + downscale is faster than the H2D "
+            "budget it must hide; offloading to the CPU is never the bottleneck here"
+        )
+    return numerator / denominator
+
+
+def optimal_update_stride(
+    profile: ThroughputProfile,
+    *,
+    min_stride: int = MIN_UPDATE_STRIDE,
+    max_stride: int | None = None,
+) -> int:
+    """The integer "update stride" used by Algorithm 1 (every k-th subgroup on the GPU)."""
+    if min_stride < 1:
+        raise ConfigurationError("min_stride must be >= 1")
+    ratio = cpu_to_gpu_update_ratio(profile)
+    stride = max(min_stride, int(round(ratio)))
+    if max_stride is not None:
+        if max_stride < min_stride:
+            raise ConfigurationError("max_stride must be >= min_stride")
+        stride = min(stride, max_stride)
+    return stride
+
+
+@dataclass(frozen=True)
+class UpdatePhaseEstimate:
+    """Analytic estimate of one rank's update-phase composition."""
+
+    total_seconds: float
+    cpu_busy_seconds: float
+    gpu_busy_seconds: float
+    h2d_busy_seconds: float
+    d2h_busy_seconds: float
+    gpu_scheduled_subgroups: int
+    cpu_scheduled_subgroups: int
+
+    @property
+    def update_throughput_pps(self) -> float:
+        """Parameters updated per second implied by this estimate (needs num_params)."""
+        return 0.0 if self.total_seconds == 0 else float("nan")
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Bundles a throughput profile with stride selection and analytic time estimates."""
+
+    profile: ThroughputProfile
+    min_stride: int = MIN_UPDATE_STRIDE
+    max_stride: int | None = None
+
+    @property
+    def ratio(self) -> float:
+        """Raw Equation 1 ratio."""
+        return cpu_to_gpu_update_ratio(self.profile)
+
+    @property
+    def stride(self) -> int:
+        """Clamped integer update stride."""
+        return optimal_update_stride(
+            self.profile, min_stride=self.min_stride, max_stride=self.max_stride
+        )
+
+    def gpu_fraction(self) -> float:
+        """Fraction of dynamically scheduled subgroups that run on the GPU (1/stride)."""
+        return 1.0 / self.stride
+
+    # ------------------------------------------------------------------ estimates
+
+    def estimate_blocking_offload(
+        self, num_subgroups: int, subgroup_params: int, *, static_gpu_resident: int = 0
+    ) -> UpdatePhaseEstimate:
+        """Update time of the blocking baseline (ZeRO-3 offload / TwinFlow).
+
+        The baseline updates the static GPU residents first (CPU idle), then runs
+        update -> downscale -> blocking H2D for every CPU subgroup in sequence.
+        """
+        self._check_workload(num_subgroups, subgroup_params, static_gpu_resident)
+        profile = self.profile
+        size = subgroup_params
+        cpu_subgroups = num_subgroups - static_gpu_resident
+        gpu_seconds = static_gpu_resident * size / profile.gpu_update_pps
+        per_cpu_subgroup = (
+            size / profile.cpu_update_pps
+            + size / profile.cpu_downscale_pps
+            + size / (2.0 * profile.pcie_pps)
+        )
+        cpu_seconds = cpu_subgroups * (size / profile.cpu_update_pps + size / profile.cpu_downscale_pps)
+        h2d_seconds = cpu_subgroups * size / (2.0 * profile.pcie_pps)
+        total = gpu_seconds + cpu_subgroups * per_cpu_subgroup
+        return UpdatePhaseEstimate(
+            total_seconds=total,
+            cpu_busy_seconds=cpu_seconds,
+            gpu_busy_seconds=gpu_seconds,
+            h2d_busy_seconds=h2d_seconds,
+            d2h_busy_seconds=0.0,
+            gpu_scheduled_subgroups=static_gpu_resident,
+            cpu_scheduled_subgroups=cpu_subgroups,
+        )
+
+    def estimate_interleaved(
+        self,
+        num_subgroups: int,
+        subgroup_params: int,
+        *,
+        stride: int | None = None,
+        static_gpu_resident: int = 0,
+    ) -> UpdatePhaseEstimate:
+        """Update time of the interleaved (Deep Optimizer States) schedule.
+
+        The phase is modelled as a pipeline whose steady-state rate is limited by the
+        busiest resource: the CPU (updates + downscales of the CPU share), the GPU
+        (updates of the GPU share), or the PCIe directions (subgroup swaps plus
+        FP16 parameter copies).
+        """
+        self._check_workload(num_subgroups, subgroup_params, static_gpu_resident)
+        stride = stride if stride is not None else self.stride
+        if stride < 1:
+            raise ConfigurationError("stride must be >= 1")
+        profile = self.profile
+        size = subgroup_params
+
+        dynamic = num_subgroups - static_gpu_resident
+        gpu_dynamic = dynamic // stride
+        cpu_subgroups = dynamic - gpu_dynamic
+        gpu_subgroups = gpu_dynamic + static_gpu_resident
+
+        cpu_busy = cpu_subgroups * (size / profile.cpu_update_pps + size / profile.cpu_downscale_pps)
+        gpu_busy = gpu_subgroups * size / profile.gpu_update_pps
+        h2d_busy = (
+            gpu_dynamic * 3.0 * size / profile.pcie_pps
+            + cpu_subgroups * size / (2.0 * profile.pcie_pps)
+        )
+        d2h_busy = gpu_dynamic * 3.0 * size / profile.pcie_pps
+
+        # Pipeline fill/drain: the first GPU subgroup's prefetch and the last flush
+        # cannot be hidden behind CPU work.
+        startup = 3.0 * size / profile.pcie_pps if gpu_dynamic else 0.0
+        total = max(cpu_busy, gpu_busy, h2d_busy, d2h_busy) + startup + size / profile.gpu_update_pps
+        total = max(total, gpu_busy + (startup if gpu_dynamic else 0.0))
+        return UpdatePhaseEstimate(
+            total_seconds=total,
+            cpu_busy_seconds=cpu_busy,
+            gpu_busy_seconds=gpu_busy,
+            h2d_busy_seconds=h2d_busy,
+            d2h_busy_seconds=d2h_busy,
+            gpu_scheduled_subgroups=gpu_subgroups,
+            cpu_scheduled_subgroups=cpu_subgroups,
+        )
+
+    def best_stride_by_estimate(
+        self, num_subgroups: int, subgroup_params: int, candidates: list[int] | None = None
+    ) -> int:
+        """Pick the candidate stride with the lowest estimated interleaved update time."""
+        candidates = candidates or [2, 3, 4, 5]
+        best_stride = candidates[0]
+        best_time = float("inf")
+        for candidate in candidates:
+            estimate = self.estimate_interleaved(num_subgroups, subgroup_params, stride=candidate)
+            if estimate.total_seconds < best_time:
+                best_time = estimate.total_seconds
+                best_stride = candidate
+        return best_stride
+
+    @staticmethod
+    def _check_workload(num_subgroups: int, subgroup_params: int, static_gpu_resident: int) -> None:
+        if num_subgroups <= 0:
+            raise ConfigurationError("num_subgroups must be positive")
+        if subgroup_params <= 0:
+            raise ConfigurationError("subgroup_params must be positive")
+        if not 0 <= static_gpu_resident <= num_subgroups:
+            raise ConfigurationError("static_gpu_resident out of range")

@@ -1,0 +1,191 @@
+"""Algorithm 1: the interleaved optimizer-update scheduling plan.
+
+The scheduler decides, for every subgroup index ``i`` of one rank, whether its update
+runs on the GPU or on the CPU:
+
+* statically GPU-resident subgroups (the TwinFlow-style "user ratio", placed at the
+  *end* of the index range by Deep Optimizer States) always update on the GPU;
+* every ``k``-th dynamically scheduled subgroup (``(i + 1) % k == 0`` with the paper's
+  0-indexed subgroups and 1-indexed stride) is staged onto the GPU, updated there and
+  flushed back;
+* everything else updates on the CPU and its downscaled FP16 parameters are copied to
+  the GPU asynchronously.
+
+The resulting :class:`UpdatePlan` is consumed by both the numeric executor (which
+proves the schedule does not change the training result) and the simulation executor
+(which measures how much faster it is).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError, SchedulingError
+
+
+class UpdateTarget(enum.Enum):
+    """Where a subgroup's update is executed."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+class AssignmentReason(enum.Enum):
+    """Why a subgroup received its target."""
+
+    STATIC_RESIDENT = "static_resident"
+    STRIDE = "stride"
+    CPU_DEFAULT = "cpu_default"
+
+
+@dataclass(frozen=True)
+class SubgroupAssignment:
+    """The scheduling decision for one subgroup."""
+
+    index: int
+    target: UpdateTarget
+    reason: AssignmentReason
+
+    @property
+    def on_gpu(self) -> bool:
+        """True when the update runs on the GPU."""
+        return self.target == UpdateTarget.GPU
+
+
+@dataclass(frozen=True)
+class UpdatePlan:
+    """A complete update-phase schedule for one rank."""
+
+    assignments: tuple[SubgroupAssignment, ...]
+    stride: int
+    static_residents: frozenset[int] = field(default_factory=frozenset)
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def num_subgroups(self) -> int:
+        """Number of subgroups covered by the plan."""
+        return len(self.assignments)
+
+    def target_of(self, index: int) -> UpdateTarget:
+        """Scheduling target of subgroup ``index``."""
+        return self.assignments[index].target
+
+    def gpu_indices(self) -> list[int]:
+        """Indices updated on the GPU (static residents and stride hits), in order."""
+        return [item.index for item in self.assignments if item.on_gpu]
+
+    def cpu_indices(self) -> list[int]:
+        """Indices updated on the CPU, in order."""
+        return [item.index for item in self.assignments if not item.on_gpu]
+
+    def dynamic_gpu_indices(self) -> list[int]:
+        """GPU-scheduled indices that require staging (i.e. are not static residents)."""
+        return [
+            item.index
+            for item in self.assignments
+            if item.on_gpu and item.reason == AssignmentReason.STRIDE
+        ]
+
+    def gpu_fraction(self) -> float:
+        """Fraction of all subgroups updated on the GPU."""
+        if not self.assignments:
+            return 0.0
+        return len(self.gpu_indices()) / self.num_subgroups
+
+    def prev_on_gpu(self, index: int) -> int | None:
+        """The closest dynamically GPU-scheduled index strictly before ``index``."""
+        candidates = [i for i in self.dynamic_gpu_indices() if i < index]
+        return candidates[-1] if candidates else None
+
+    def next_on_gpu(self, index: int) -> int | None:
+        """The closest dynamically GPU-scheduled index at or after ``index``."""
+        candidates = [i for i in self.dynamic_gpu_indices() if i >= index]
+        return candidates[0] if candidates else None
+
+    # ------------------------------------------------------------------ validation
+
+    def validate(self) -> None:
+        """Check the Algorithm 1 invariants; raises :class:`SchedulingError` on violation."""
+        indices = [item.index for item in self.assignments]
+        if indices != list(range(len(indices))):
+            raise SchedulingError("plan indices must be 0..n-1 in order, each exactly once")
+        for resident in self.static_residents:
+            if resident >= len(indices) or resident < 0:
+                raise SchedulingError(f"static resident {resident} outside the plan")
+            if not self.assignments[resident].on_gpu:
+                raise SchedulingError(f"static resident {resident} is not scheduled on the GPU")
+        if self.stride < 1:
+            raise SchedulingError("stride must be >= 1")
+        for item in self.assignments:
+            expected_stride_hit = (item.index + 1) % self.stride == 0
+            if item.index in self.static_residents:
+                continue
+            if expected_stride_hit and not item.on_gpu:
+                raise SchedulingError(f"subgroup {item.index} should be a stride hit on the GPU")
+            if not expected_stride_hit and item.on_gpu:
+                raise SchedulingError(f"subgroup {item.index} is on the GPU but is not a stride hit")
+
+    def describe(self) -> dict:
+        """Summary used by logging and the Figure 5 experiment."""
+        return {
+            "num_subgroups": self.num_subgroups,
+            "stride": self.stride,
+            "static_residents": sorted(self.static_residents),
+            "gpu_indices": self.gpu_indices(),
+            "cpu_indices": self.cpu_indices(),
+            "gpu_fraction": round(self.gpu_fraction(), 4),
+        }
+
+
+def build_update_plan(
+    num_subgroups: int,
+    stride: int,
+    static_residents: frozenset[int] | set[int] | tuple[int, ...] = (),
+) -> UpdatePlan:
+    """Construct the Algorithm 1 plan for ``num_subgroups`` subgroups.
+
+    ``stride`` is the CPU-to-GPU interleaving stride from the performance model
+    (Equation 1): every subgroup whose 1-based position is a multiple of ``stride`` is
+    updated on the GPU.  ``static_residents`` are the indices whose optimizer state
+    permanently lives on the GPU (the TwinFlow ratio); they always update on the GPU.
+    """
+    if num_subgroups < 0:
+        raise ConfigurationError("num_subgroups must be non-negative")
+    if stride < 1:
+        raise ConfigurationError("stride must be >= 1")
+    residents = frozenset(int(i) for i in static_residents)
+    for resident in residents:
+        if not 0 <= resident < num_subgroups:
+            raise ConfigurationError(f"static resident index {resident} out of range")
+
+    assignments: list[SubgroupAssignment] = []
+    for index in range(num_subgroups):
+        if index in residents:
+            assignments.append(
+                SubgroupAssignment(index, UpdateTarget.GPU, AssignmentReason.STATIC_RESIDENT)
+            )
+        elif (index + 1) % stride == 0:
+            assignments.append(SubgroupAssignment(index, UpdateTarget.GPU, AssignmentReason.STRIDE))
+        else:
+            assignments.append(
+                SubgroupAssignment(index, UpdateTarget.CPU, AssignmentReason.CPU_DEFAULT)
+            )
+    plan = UpdatePlan(assignments=tuple(assignments), stride=stride, static_residents=residents)
+    plan.validate()
+    return plan
+
+
+def build_cpu_only_plan(num_subgroups: int, static_residents: frozenset[int] | set[int] = frozenset()) -> UpdatePlan:
+    """Plan of the blocking baselines: only static residents run on the GPU.
+
+    With an empty resident set this is DeepSpeed ZeRO-3 CPU offload; with a non-empty
+    set it is TwinFlow.  Implemented as a stride larger than the subgroup count so no
+    dynamic GPU scheduling happens.
+    """
+    if num_subgroups < 0:
+        raise ConfigurationError("num_subgroups must be non-negative")
+    residents = frozenset(int(i) for i in static_residents)
+    stride = num_subgroups + 1 if num_subgroups else 1
+    return build_update_plan(num_subgroups, stride, residents)

@@ -1,0 +1,325 @@
+"""Update-phase operation graphs (Figure 5) built on the discrete-event simulator.
+
+Two builders are provided:
+
+* :func:`build_blocking_offload_update` — the state-of-the-art behaviour (DeepSpeed
+  ZeRO-3 offload and TwinFlow, Figure 5 top): static GPU residents first (CPU idle),
+  then for every CPU subgroup a *blocking* sequence of CPU update, FP32->FP16
+  downscale and H2D copy of the updated parameters.
+* :func:`build_interleaved_update` — Deep Optimizer States (Figure 5 bottom,
+  Algorithm 1): every ``stride``-th subgroup is prefetched to the GPU (H2D of FP32
+  parameters/momentum/variance), updated there and flushed back (D2H), fully
+  overlapped with CPU updates, asynchronous downscales and FP16 parameter copies, and
+  exploiting both PCIe directions concurrently.
+
+Both return the operations after which every subgroup's updated FP16 parameters are
+available on the GPU — the dependencies of the next iteration's forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.core.scheduler import AssignmentReason, UpdatePlan
+from repro.hardware.contention import HostContentionModel
+from repro.hardware.throughput import ThroughputProfile
+from repro.precision.dtypes import DType
+from repro.sim.engine import SimEngine
+from repro.sim.ops import OpKind, SimOp
+
+FP32 = DType.FP32.itemsize
+FP16 = DType.FP16.itemsize
+
+
+@dataclass
+class UpdatePhaseOps:
+    """Handles returned by the update-phase builders."""
+
+    op_ids: list[int] = field(default_factory=list)
+    params_ready_ops: list[int] = field(default_factory=list)
+    per_subgroup_done: dict[int, int] = field(default_factory=dict)
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+
+    def record(self, op: SimOp) -> SimOp:
+        """Track an op id and its transfer payload."""
+        self.op_ids.append(op.op_id)
+        if op.kind == OpKind.H2D:
+            self.h2d_bytes += op.payload_bytes
+        if op.kind == OpKind.D2H:
+            self.d2h_bytes += op.payload_bytes
+        return op
+
+
+def _check_inputs(plan: UpdatePlan, subgroup_params: dict[int, int]) -> None:
+    if plan.num_subgroups != len(subgroup_params):
+        raise ConfigurationError(
+            f"plan covers {plan.num_subgroups} subgroups, sizes given for {len(subgroup_params)}"
+        )
+    for index in range(plan.num_subgroups):
+        if index not in subgroup_params:
+            raise ConfigurationError(f"missing size for subgroup {index}")
+        if subgroup_params[index] <= 0:
+            raise ConfigurationError(f"subgroup {index} has non-positive size")
+
+
+def build_blocking_offload_update(
+    engine: SimEngine,
+    profile: ThroughputProfile,
+    plan: UpdatePlan,
+    subgroup_params: dict[int, int],
+    *,
+    grad_ready_ops: dict[int, int] | None = None,
+    start_deps: tuple[int, ...] = (),
+    phase: str = "update",
+) -> UpdatePhaseOps:
+    """Figure 5 (top): static residents on the GPU, everything else blocking on the CPU."""
+    _check_inputs(plan, subgroup_params)
+    grad_ready_ops = grad_ready_ops or {}
+    result = UpdatePhaseOps()
+    blocking_tail: int | None = None
+
+    # Static GPU residents are updated first; the CPU sits idle while they run.
+    for index in sorted(plan.static_residents):
+        params = subgroup_params[index]
+        deps = list(start_deps)
+        if index in grad_ready_ops:
+            deps.append(grad_ready_ops[index])
+        update = result.record(SimOp(
+            name=f"gpu_update[{index}]",
+            kind=OpKind.GPU_UPDATE,
+            resource="gpu.compute",
+            duration=params / profile.gpu_update_pps,
+            deps=tuple(deps),
+            phase=phase,
+            subgroup=index,
+        ))
+        engine.submit(update)
+        convert = result.record(SimOp(
+            name=f"gpu_downscale[{index}]",
+            kind=OpKind.GPU_CONVERT,
+            resource="gpu.compute",
+            duration=params / profile.gpu_convert_pps,
+            deps=(update.op_id,),
+            phase=phase,
+            subgroup=index,
+        ))
+        engine.submit(convert)
+        blocking_tail = convert.op_id
+        result.params_ready_ops.append(convert.op_id)
+        result.per_subgroup_done[index] = convert.op_id
+
+    # CPU-scheduled subgroups: update -> downscale -> blocking H2D, strictly in order.
+    for index in plan.cpu_indices():
+        params = subgroup_params[index]
+        deps = list(start_deps)
+        if blocking_tail is not None:
+            deps.append(blocking_tail)
+        if index in grad_ready_ops:
+            deps.append(grad_ready_ops[index])
+        update = result.record(SimOp(
+            name=f"cpu_update[{index}]",
+            kind=OpKind.CPU_UPDATE,
+            resource="cpu",
+            duration=params / profile.cpu_update_pps,
+            deps=tuple(deps),
+            phase=phase,
+            subgroup=index,
+        ))
+        engine.submit(update)
+        downscale = result.record(SimOp(
+            name=f"cpu_downscale[{index}]",
+            kind=OpKind.CPU_DOWNSCALE,
+            resource="cpu",
+            duration=params / profile.cpu_downscale_pps,
+            deps=(update.op_id,),
+            phase=phase,
+            subgroup=index,
+        ))
+        engine.submit(downscale)
+        copy = result.record(SimOp(
+            name=f"h2d_params_fp16[{index}]",
+            kind=OpKind.H2D,
+            resource="pcie.h2d",
+            duration=params / (2.0 * profile.pcie_pps),
+            deps=(downscale.op_id,),
+            phase=phase,
+            subgroup=index,
+            payload_bytes=params * FP16,
+        ))
+        engine.submit(copy)
+        blocking_tail = copy.op_id
+        result.params_ready_ops.append(copy.op_id)
+        result.per_subgroup_done[index] = copy.op_id
+
+    return result
+
+
+def build_interleaved_update(
+    engine: SimEngine,
+    profile: ThroughputProfile,
+    plan: UpdatePlan,
+    subgroup_params: dict[int, int],
+    *,
+    grad_ready_ops: dict[int, int] | None = None,
+    start_deps: tuple[int, ...] = (),
+    phase: str = "update",
+    contention: HostContentionModel | None = None,
+    gradients_on_gpu: bool = True,
+    staged_subgroup_bytes: int = 0,
+) -> UpdatePhaseOps:
+    """Figure 5 (bottom) / Algorithm 1: interleaved and overlapped CPU-GPU updates."""
+    _check_inputs(plan, subgroup_params)
+    grad_ready_ops = grad_ready_ops or {}
+    result = UpdatePhaseOps()
+
+    cpu_update_pps = profile.cpu_update_pps
+    pcie_pps = profile.pcie_pps
+    if contention is not None:
+        has_dynamic = bool(plan.dynamic_gpu_indices())
+        cpu_update_pps = contention.effective_cpu_update_pps(
+            cpu_update_pps, transfers_overlap=has_dynamic
+        )
+        pcie_pps = contention.effective_pcie_pps(pcie_pps, bidirectional=has_dynamic)
+
+    dynamic_gpu = plan.dynamic_gpu_indices()
+    gpu_update_ops: dict[int, int] = {}
+    prefetch_ops: dict[int, int] = {}
+
+    def submit_prefetch(position: int, index: int) -> None:
+        """H2D staging of subgroup ``index`` (FP32 p/m/v, plus gradients if flushed)."""
+        params = subgroup_params[index]
+        payload_params = 3 * params + (0 if gradients_on_gpu else params)
+        deps = list(start_deps)
+        if position >= 1:
+            previous = dynamic_gpu[position - 1]
+            deps.append(gpu_update_ops[previous])
+        prefetch = result.record(SimOp(
+            name=f"prefetch_in[{index}]",
+            kind=OpKind.H2D,
+            resource="pcie.h2d",
+            duration=payload_params / pcie_pps,
+            deps=tuple(deps),
+            phase=phase,
+            subgroup=index,
+            payload_bytes=payload_params * FP32,
+            gpu_mem_delta=staged_subgroup_bytes,
+        ))
+        engine.submit(prefetch)
+        prefetch_ops[index] = prefetch.op_id
+
+    def submit_gpu_update(index: int, extra_deps: tuple[int, ...] = ()) -> tuple[int, int]:
+        """GPU update + on-device FP32->FP16 downscale of subgroup ``index``."""
+        params = subgroup_params[index]
+        deps = list(start_deps) + list(extra_deps)
+        if index in grad_ready_ops:
+            deps.append(grad_ready_ops[index])
+        update = result.record(SimOp(
+            name=f"gpu_update[{index}]",
+            kind=OpKind.GPU_UPDATE,
+            resource="gpu.compute",
+            duration=params / profile.gpu_update_pps,
+            deps=tuple(deps),
+            phase=phase,
+            subgroup=index,
+        ))
+        engine.submit(update)
+        convert = result.record(SimOp(
+            name=f"gpu_downscale[{index}]",
+            kind=OpKind.GPU_CONVERT,
+            resource="gpu.compute",
+            duration=params / profile.gpu_convert_pps,
+            deps=(update.op_id,),
+            phase=phase,
+            subgroup=index,
+        ))
+        engine.submit(convert)
+        return update.op_id, convert.op_id
+
+    # The first staged subgroup is prefetched right at the start of the update phase,
+    # overlapping the CPU updates of the leading subgroups (Figure 5 bottom).
+    if dynamic_gpu:
+        submit_prefetch(0, dynamic_gpu[0])
+
+    previous_cpu_op: int | None = None
+    for index in range(plan.num_subgroups):
+        assignment = plan.assignments[index]
+        params = subgroup_params[index]
+
+        if assignment.reason == AssignmentReason.STRIDE:
+            position = dynamic_gpu.index(index)
+            update_id, convert_id = submit_gpu_update(index, (prefetch_ops[index],))
+            gpu_update_ops[index] = update_id
+            result.params_ready_ops.append(convert_id)
+            result.per_subgroup_done[index] = convert_id
+            flush = result.record(SimOp(
+                name=f"flush_out[{index}]",
+                kind=OpKind.D2H,
+                resource="pcie.d2h",
+                duration=3 * params / pcie_pps,
+                deps=(update_id,),
+                phase=phase,
+                subgroup=index,
+                payload_bytes=3 * params * FP32,
+                gpu_mem_delta=-staged_subgroup_bytes,
+            ))
+            engine.submit(flush)
+            # Prefetch the next staged subgroup as soon as this one's update finished
+            # (the staging buffers are double-buffered, so the H2D can overlap the
+            # D2H flush on the other copy engine — full-duplex PCIe).
+            if position + 1 < len(dynamic_gpu):
+                submit_prefetch(position + 1, dynamic_gpu[position + 1])
+            continue
+
+        if assignment.reason == AssignmentReason.STATIC_RESIDENT:
+            # Static residents (placed last by Deep Optimizer States) run after the
+            # dynamically staged subgroups have been issued.
+            extra = tuple(gpu_update_ops[i] for i in dynamic_gpu if i < index)
+            _, convert_id = submit_gpu_update(index, extra[-1:] if extra else ())
+            result.params_ready_ops.append(convert_id)
+            result.per_subgroup_done[index] = convert_id
+            continue
+
+        # CPU-scheduled subgroup: update, asynchronous downscale, asynchronous H2D.
+        deps = list(start_deps)
+        if previous_cpu_op is not None:
+            deps.append(previous_cpu_op)
+        if index in grad_ready_ops:
+            deps.append(grad_ready_ops[index])
+        update = result.record(SimOp(
+            name=f"cpu_update[{index}]",
+            kind=OpKind.CPU_UPDATE,
+            resource="cpu",
+            duration=params / cpu_update_pps,
+            deps=tuple(deps),
+            phase=phase,
+            subgroup=index,
+        ))
+        engine.submit(update)
+        downscale = result.record(SimOp(
+            name=f"cpu_downscale[{index}]",
+            kind=OpKind.CPU_DOWNSCALE,
+            resource="cpu",
+            duration=params / profile.cpu_downscale_pps,
+            deps=(update.op_id,),
+            phase=phase,
+            subgroup=index,
+        ))
+        engine.submit(downscale)
+        copy = result.record(SimOp(
+            name=f"h2d_params_fp16[{index}]",
+            kind=OpKind.H2D,
+            resource="pcie.h2d",
+            duration=params / (2.0 * pcie_pps),
+            deps=(downscale.op_id,),
+            phase=phase,
+            subgroup=index,
+            payload_bytes=params * FP16,
+        ))
+        engine.submit(copy)
+        previous_cpu_op = update.op_id
+        result.params_ready_ops.append(copy.op_id)
+        result.per_subgroup_done[index] = copy.op_id
+
+    return result

@@ -1,0 +1,33 @@
+"""Experiment harness: one runner per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...) -> ExperimentResult``; the result carries the rows or
+series the corresponding paper artifact reports, the paper's own headline values for
+comparison, and a text rendering.  The ``benchmarks/`` directory wraps each runner in
+a pytest-benchmark target, and EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.experiments.base import ExperimentResult, model_sweep, run_experiment
+
+EXPERIMENT_MODULES = {
+    "table1": "repro.experiments.table1_throughputs",
+    "table2": "repro.experiments.table2_models",
+    "eq1": "repro.experiments.eq1_performance_model",
+    "fig2": "repro.experiments.fig02_subgroup_sizes",
+    "fig3": "repro.experiments.fig03_gpu_memory",
+    "fig4": "repro.experiments.fig04_pcie_utilization",
+    "fig5": "repro.experiments.fig05_update_timeline",
+    "fig6": "repro.experiments.fig06_gradient_flush",
+    "fig7": "repro.experiments.fig07_iteration_breakdown",
+    "fig8": "repro.experiments.fig08_update_throughput",
+    "fig9": "repro.experiments.fig09_end_to_end",
+    "fig10": "repro.experiments.fig10_twinflow_update",
+    "fig11": "repro.experiments.fig11_twinflow_iteration",
+    "fig12": "repro.experiments.fig12_twinflow20_models",
+    "fig13": "repro.experiments.fig13_microbatch",
+    "fig14": "repro.experiments.fig14_cpu_scaling",
+    "fig15": "repro.experiments.fig15_resource_utilization",
+    "fig16": "repro.experiments.fig16_perf_model_validation",
+    "fig17": "repro.experiments.fig17_weak_scaling",
+}
+
+__all__ = ["ExperimentResult", "run_experiment", "model_sweep", "EXPERIMENT_MODULES"]

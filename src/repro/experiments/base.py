@@ -1,0 +1,110 @@
+"""Shared infrastructure for the experiment runners."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.model.presets import PAPER_MODEL_ORDER
+from repro.training.config import TrainingJobConfig
+from repro.training.metrics import TrainingReport, format_table
+from repro.training.trainer import Trainer
+
+# The paper's fast-iteration defaults: DP = 4 GPUs, microbatch 1, 100M-parameter
+# subgroups, activation checkpointing on.
+DEFAULT_ITERATIONS = 4
+DEFAULT_WARMUP = 1
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    series: dict[str, list] = field(default_factory=dict)
+    paper_reference: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def format(self, columns: list[str] | None = None) -> str:
+        """Render the rows as an aligned text table (plus notes)."""
+        header = f"[{self.experiment_id}] {self.title}"
+        body = format_table(self.rows, columns) if self.rows else "(series-only experiment)"
+        parts = [header, body]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list:
+        """Extract one column across all rows."""
+        return [row.get(name) for row in self.rows]
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run an experiment by its id (e.g. ``"fig7"``)."""
+    from repro.experiments import EXPERIMENT_MODULES
+
+    if experiment_id not in EXPERIMENT_MODULES:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENT_MODULES)}"
+        )
+    module = importlib.import_module(EXPERIMENT_MODULES[experiment_id])
+    return module.run(**kwargs)
+
+
+def run_training(
+    *,
+    model: str = "20B",
+    strategy: str = "deep-optimizer-states",
+    machine: str = "jlse-4xh100",
+    static_gpu_fraction: float = 0.0,
+    microbatch_size: int = 1,
+    subgroup_size: int = 100_000_000,
+    data_parallel_degree: int | None = None,
+    cpu_cores_per_gpu: int | None = None,
+    update_stride: int = 0,
+    iterations: int = DEFAULT_ITERATIONS,
+    check_memory: bool = True,
+) -> TrainingReport:
+    """Run one simulated training job with the paper's default runtime settings."""
+    config = TrainingJobConfig(
+        model=model,
+        machine=machine,
+        strategy=strategy,
+        data_parallel_degree=data_parallel_degree,
+        microbatch_size=microbatch_size,
+        subgroup_size=subgroup_size,
+        activation_checkpointing=True,
+        static_gpu_fraction=static_gpu_fraction,
+        update_stride=update_stride,
+        cpu_cores_per_gpu=cpu_cores_per_gpu,
+        iterations=iterations,
+        warmup_iterations=min(DEFAULT_WARMUP, iterations - 1),
+        check_memory=check_memory,
+    )
+    return Trainer(config, simulated_iterations=min(3, iterations)).run()
+
+
+def model_sweep(
+    strategies: list[str],
+    *,
+    models: tuple[str, ...] = PAPER_MODEL_ORDER,
+    static_gpu_fraction: float = 0.0,
+    iterations: int = DEFAULT_ITERATIONS,
+    data_parallel_degree: int | None = None,
+) -> dict[tuple[str, str], TrainingReport]:
+    """Run every (model, strategy) combination; keys are ``(model, strategy)``."""
+    reports: dict[tuple[str, str], TrainingReport] = {}
+    for model in models:
+        for strategy in strategies:
+            fraction = static_gpu_fraction if strategy != "zero3-offload" else 0.0
+            reports[(model, strategy)] = run_training(
+                model=model,
+                strategy=strategy,
+                static_gpu_fraction=fraction,
+                iterations=iterations,
+                data_parallel_degree=data_parallel_degree,
+            )
+    return reports

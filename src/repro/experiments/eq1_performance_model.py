@@ -1,0 +1,57 @@
+"""Equation 1: stride selection on the paper's two testbeds (Section 4.2 / 5.4)."""
+
+from __future__ import annotations
+
+from repro.core.performance_model import PerformanceModel, cpu_to_gpu_update_ratio
+from repro.experiments.base import ExperimentResult
+from repro.hardware.presets import get_machine_preset
+from repro.hardware.throughput import ThroughputProfile
+
+PAPER_V100_INPUTS = {"B": 3.0e9, "Ug": 35.0e9, "Uc": 2.0e9, "Dc": 8.7e9}
+PAPER_OPTIMAL_STRIDE = 2
+PAPER_V100_THROUGHPUTS = {2: None, 3: 1.67e9, 4: 1.62e9, 5: 1.28e9}
+
+
+def run(num_subgroups: int = 40, subgroup_params: int = 100_000_000) -> ExperimentResult:
+    """Evaluate Equation 1 on both testbeds and sweep candidate strides."""
+    rows = []
+
+    profiles = {
+        "jlse-4xh100": ThroughputProfile.from_machine(get_machine_preset("jlse-4xh100")),
+        "4xv100 (paper-reported rates)": ThroughputProfile.from_paper_v100(),
+    }
+    for machine, profile in profiles.items():
+        model = PerformanceModel(profile)
+        ratio = cpu_to_gpu_update_ratio(profile)
+        for stride in (2, 3, 4, 5):
+            estimate = model.estimate_interleaved(num_subgroups, subgroup_params, stride=stride)
+            throughput = num_subgroups * subgroup_params / estimate.total_seconds
+            rows.append(
+                {
+                    "machine": machine,
+                    "eq1_ratio": round(ratio, 2),
+                    "selected_stride": model.stride,
+                    "candidate_stride": stride,
+                    "estimated_update_s": round(estimate.total_seconds, 3),
+                    "update_throughput_bpps": round(throughput / 1e9, 2),
+                    "is_selected": stride == model.stride,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="eq1",
+        title="Performance model (Equation 1): stride selection",
+        rows=rows,
+        paper_reference={
+            "paper_v100_inputs": PAPER_V100_INPUTS,
+            "paper_optimal_stride": PAPER_OPTIMAL_STRIDE,
+            "paper_v100_throughput_by_stride": PAPER_V100_THROUGHPUTS,
+        },
+        notes=(
+            "The paper reports k ~= 2.29 for the V100 machine and selects k = 2 on both "
+            "machines ('every alternate subgroup should be updated on the GPU').  On the "
+            "H100 testbed the estimated update throughput decreases monotonically for larger "
+            "strides (matching Figure 16's 50% > 33% > 25% ordering); on the slower-PCIe V100 "
+            "machine strides 2 and 3 are nearly equivalent, consistent with the raw Equation 1 "
+            "ratio of 2.29 falling between them."
+        ),
+    )

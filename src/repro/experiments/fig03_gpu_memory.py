@@ -1,0 +1,69 @@
+"""Figure 3: GPU memory utilisation across training phases (with/without act. ckpt)."""
+
+from __future__ import annotations
+
+from repro.common.units import GIB
+from repro.experiments.base import ExperimentResult
+from repro.training.config import TrainingJobConfig
+from repro.training.monitor import ResourceMonitor
+from repro.training.simulation import simulate_job
+
+PAPER_FIG3_PEAK_GIB = {"full_activations": 60.0, "activation_checkpointing": 20.0}
+
+
+def run(model: str = "20B", machine: str = "jlse-4xh100") -> ExperimentResult:
+    """Reconstruct the per-phase GPU memory profile of the ZeRO-3 offload baseline."""
+    rows = []
+    series: dict[str, list] = {}
+    for label, checkpointing in (("full_activations", False), ("activation_checkpointing", True)):
+        config = TrainingJobConfig(
+            model=model,
+            machine=machine,
+            strategy="zero3-offload",
+            activation_checkpointing=checkpointing,
+            iterations=1,
+            warmup_iterations=0,
+            check_memory=False,  # storing all activations of the 20B model may exceed HBM
+        )
+        job = config.resolve()
+        result = simulate_job(job, iterations=1)
+        monitor = ResourceMonitor(result)
+        timeline = monitor.gpu_memory_timeline()
+
+        start = result.iteration_start(0)
+        forward_end = result.forward_end(0)
+        backward_end = result.backward_end(0)
+        ready = result.params_ready_time(0)
+        forward_peak = max(
+            (used for t, used in zip(timeline.times, timeline.used_bytes) if t <= forward_end),
+            default=0,
+        )
+        update_level = timeline.at((backward_end + ready) / 2.0)
+        rows.append(
+            {
+                "configuration": label,
+                "forward_peak_gib": round(forward_peak / GIB, 1),
+                "update_phase_gib": round(update_level / GIB, 1),
+                "paper_peak_gib": PAPER_FIG3_PEAK_GIB[label],
+                "memory_freed_by_backward_gib": round((forward_peak - update_level) / GIB, 1),
+                "forward_end_s": round(forward_end - start, 2),
+                "backward_end_s": round(backward_end - start, 2),
+                "update_end_s": round(ready - start, 2),
+            }
+        )
+        grid, values = timeline.sample(resolution=0.25, end_time=ready)
+        series[label] = [round(v / GIB, 2) for v in values]
+        series[f"{label}_times"] = [round(float(t), 2) for t in grid]
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="GPU memory utilisation without/with activation checkpointing (Figure 3)",
+        rows=rows,
+        series=series,
+        paper_reference=PAPER_FIG3_PEAK_GIB,
+        notes=(
+            "The forward pass fills GPU memory with activations (or the much smaller "
+            "checkpoints), the backward pass releases them, and the update phase keeps "
+            "only the FP16 parameters — the fluctuation Deep Optimizer States exploits "
+            "to stage optimizer subgroups on the GPU."
+        ),
+    )

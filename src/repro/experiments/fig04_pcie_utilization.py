@@ -1,0 +1,64 @@
+"""Figure 4: PCIe link utilisation across the training phases of the baseline."""
+
+from __future__ import annotations
+
+from repro.common.units import GB
+from repro.experiments.base import ExperimentResult
+from repro.training.config import TrainingJobConfig
+from repro.training.monitor import ResourceMonitor
+from repro.training.simulation import simulate_job
+
+PAPER_PEAK_PCIE_GBPS = 50.0
+PAPER_OBSERVED_FRACTION = 0.10  # "<10% of the peak transfer throughput"
+
+
+def run(model: str = "20B", machine: str = "jlse-4xh100") -> ExperimentResult:
+    """Measure simulated H2D/D2H bandwidth per training phase for ZeRO-3 offload."""
+    config = TrainingJobConfig(
+        model=model,
+        machine=machine,
+        strategy="zero3-offload",
+        iterations=1,
+        warmup_iterations=0,
+    )
+    job = config.resolve()
+    result = simulate_job(job, iterations=1)
+    monitor = ResourceMonitor(result)
+    samples = monitor.phase_samples(0)
+
+    peak_gbps = min(job.machine.pcie.h2d_gbps_pinned, job.machine.pcie.d2h_gbps_pinned)
+    rows = []
+    for phase, sample in samples.items():
+        rows.append(
+            {
+                "phase": phase,
+                "h2d_gbps": round(sample.pcie_h2d_gbps, 2),
+                "d2h_gbps": round(sample.pcie_d2h_gbps, 2),
+                "h2d_fraction_of_peak": round(sample.pcie_h2d_gbps / peak_gbps, 3),
+                "d2h_fraction_of_peak": round(sample.pcie_d2h_gbps / peak_gbps, 3),
+            }
+        )
+
+    h2d = result.pcie_timeline("h2d", resolution=0.2)
+    d2h = result.pcie_timeline("d2h", resolution=0.2)
+    series = {
+        "times": [round(float(t), 2) for t in h2d.times],
+        "h2d_gbps": [round(v / GB, 2) for v in h2d.bytes_per_second],
+        "d2h_gbps": [round(v / GB, 2) for v in d2h.bytes_per_second],
+    }
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="PCIe link utilisation at different training phases (Figure 4)",
+        rows=rows,
+        series=series,
+        paper_reference={
+            "peak_gbps": PAPER_PEAK_PCIE_GBPS,
+            "observed_fraction": PAPER_OBSERVED_FRACTION,
+        },
+        notes=(
+            "Both PCIe directions stay far below the ~50 GB/s pinned peak throughout the "
+            "baseline's iteration: D2H traffic during backward comes from gradient flushes, "
+            "H2D traffic during the update phase from fetching CPU-updated parameters — "
+            "the idle bandwidth Deep Optimizer States uses for interleaved staging."
+        ),
+    )

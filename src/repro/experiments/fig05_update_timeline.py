@@ -1,0 +1,80 @@
+"""Figure 5: update-phase timeline of TwinFlow vs Deep Optimizer States (8 subgroups)."""
+
+from __future__ import annotations
+
+from repro.core.scheduler import build_cpu_only_plan, build_update_plan
+from repro.core.sim_executor import build_blocking_offload_update, build_interleaved_update
+from repro.experiments.base import ExperimentResult
+from repro.hardware.contention import HostContentionModel
+from repro.hardware.presets import get_machine_preset
+from repro.hardware.throughput import ThroughputProfile
+from repro.sim.engine import SimEngine, standard_resources
+
+
+def _simulate(strategy: str, profile, num_subgroups: int, subgroup_params: int, stride: int):
+    engine = SimEngine(name=f"fig5-{strategy}")
+    standard_resources(engine)
+    sizes = {i: subgroup_params for i in range(num_subgroups)}
+    if strategy == "twinflow":
+        plan = build_cpu_only_plan(num_subgroups, static_residents={0, 1})
+        ops = build_blocking_offload_update(engine, profile, plan, sizes)
+    else:
+        plan = build_update_plan(num_subgroups, stride, static_residents={num_subgroups - 2, num_subgroups - 1})
+        ops = build_interleaved_update(
+            engine, profile, plan, sizes, contention=HostContentionModel()
+        )
+    schedule = engine.run()
+    ready = max(schedule.by_id(op).end for op in ops.params_ready_ops)
+    return plan, schedule, ops, ready
+
+
+def run(
+    machine: str = "jlse-4xh100",
+    num_subgroups: int = 8,
+    subgroup_params: int = 100_000_000,
+    stride: int = 3,
+) -> ExperimentResult:
+    """Reproduce the illustrative 8-subgroup update timeline (2 static GPU residents)."""
+    profile = ThroughputProfile.from_machine(get_machine_preset(machine))
+    rows = []
+    series: dict[str, list] = {}
+    results = {}
+    for strategy in ("twinflow", "deep-optimizer-states"):
+        plan, schedule, ops, ready = _simulate(strategy, profile, num_subgroups, subgroup_params, stride)
+        results[strategy] = ready
+        rows.append(
+            {
+                "strategy": strategy,
+                "update_complete_s": round(ready, 3),
+                "gpu_scheduled_subgroups": len(plan.gpu_indices()),
+                "cpu_scheduled_subgroups": len(plan.cpu_indices()),
+                "cpu_busy_s": round(schedule.busy_time("cpu"), 3),
+                "gpu_busy_s": round(schedule.busy_time("gpu.compute"), 3),
+                "h2d_busy_s": round(schedule.busy_time("pcie.h2d"), 3),
+                "d2h_busy_s": round(schedule.busy_time("pcie.d2h"), 3),
+            }
+        )
+        series[strategy] = [
+            {
+                "op": item.op.name,
+                "resource": item.op.resource,
+                "start": round(item.start, 4),
+                "end": round(item.end, 4),
+            }
+            for item in schedule.ops
+        ]
+    speedup = results["twinflow"] / results["deep-optimizer-states"]
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Update-phase timeline: TwinFlow vs Deep Optimizer States (Figure 5)",
+        rows=rows,
+        series=series,
+        paper_reference={
+            "illustration": "8 subgroups per GPU, 2 statically GPU-resident, 33% of updates on the GPU",
+        },
+        notes=(
+            f"Interleaving finishes the illustrated update phase {speedup:.2f}x faster than the "
+            "blocking TwinFlow schedule by overlapping CPU updates, GPU updates and "
+            "full-duplex PCIe transfers."
+        ),
+    )

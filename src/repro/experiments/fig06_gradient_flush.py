@@ -1,0 +1,56 @@
+"""Figure 6: forward/backward timeline and the gradient-flush optimisation."""
+
+from __future__ import annotations
+
+from repro.core.gradient_flush import baseline_flush_seconds, overlapped_flush_seconds
+from repro.experiments.base import ExperimentResult, run_training
+from repro.hardware.presets import get_machine_preset
+from repro.hardware.throughput import ThroughputProfile
+
+PAPER_BASELINE_FLUSH_MS = 90.0
+PAPER_DOS_FLUSH_MS = 9.0  # ~7 ms D2H + ~2 ms on-GPU conversion per 0.1B subgroup
+
+
+def run(
+    machine: str = "jlse-4xh100",
+    subgroup_params: int = 100_000_000,
+    model: str = "20B",
+) -> ExperimentResult:
+    """Compare the two gradient-flush paths per subgroup and their end-to-end effect."""
+    profile = ThroughputProfile.from_machine(get_machine_preset(machine))
+    baseline_ms = baseline_flush_seconds(profile, subgroup_params) * 1e3
+    overlapped_ms = overlapped_flush_seconds(profile, subgroup_params) * 1e3
+
+    zero3 = run_training(model=model, strategy="zero3-offload", iterations=3)
+    dos = run_training(model=model, strategy="deep-optimizer-states", iterations=3)
+
+    rows = [
+        {
+            "path": "baseline (unpinned FP16 D2H + host upscale)",
+            "per_subgroup_ms": round(baseline_ms, 1),
+            "paper_per_subgroup_ms": PAPER_BASELINE_FLUSH_MS,
+            "blocks_backward": True,
+            "backward_phase_s": round(zero3.steady_state.backward_seconds, 2),
+        },
+        {
+            "path": "deep-optimizer-states (on-GPU upscale + pinned FP32 D2H)",
+            "per_subgroup_ms": round(overlapped_ms, 1),
+            "paper_per_subgroup_ms": PAPER_DOS_FLUSH_MS,
+            "blocks_backward": False,
+            "backward_phase_s": round(dos.steady_state.backward_seconds, 2),
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Gradient flush paths during the backward pass (Figure 6)",
+        rows=rows,
+        paper_reference={
+            "baseline_ms_per_0.1B": PAPER_BASELINE_FLUSH_MS,
+            "dos_ms_per_0.1B": PAPER_DOS_FLUSH_MS,
+        },
+        notes=(
+            f"Per 0.1B-parameter subgroup the baseline flush costs {baseline_ms:.0f} ms and "
+            f"serialises the backward pass, while the pinned FP32 path costs {overlapped_ms:.1f} ms "
+            "and runs asynchronously — roughly the order-of-magnitude gap of Figure 6."
+        ),
+    )

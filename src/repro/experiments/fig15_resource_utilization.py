@@ -1,0 +1,67 @@
+"""Figure 15: GPU, CPU and PCIe utilisation during the update phase (20B model)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.model.flops import achieved_tflops
+from repro.training.config import TrainingJobConfig
+from repro.training.monitor import ResourceMonitor
+from repro.training.simulation import simulate_job
+
+PAPER_FIG15 = {
+    "0%": {"gpu_util": 0.08, "cpu_util": 0.70, "tflops": 30.4},
+    "50%": {"gpu_util": 1.00, "cpu_util": 0.60, "tflops": 75.7},
+    "33%": {"gpu_util": None, "cpu_util": None, "tflops": 71.8},
+    "25%": {"gpu_util": None, "cpu_util": None, "tflops": 71.2},
+}
+
+# Fraction of updates on the GPU -> (strategy, forced update stride).
+CONFIGURATIONS = {
+    "0%": ("zero3-offload", 0),
+    "50%": ("deep-optimizer-states", 2),
+    "33%": ("deep-optimizer-states", 3),
+    "25%": ("deep-optimizer-states", 4),
+}
+
+
+def run(model: str = "20B", machine: str = "jlse-4xh100") -> ExperimentResult:
+    """Measure update-phase utilisation for varying fractions of GPU-scheduled updates."""
+    rows = []
+    for label, (strategy, stride) in CONFIGURATIONS.items():
+        config = TrainingJobConfig(
+            model=model,
+            machine=machine,
+            strategy=strategy,
+            update_stride=stride,
+            iterations=2,
+            warmup_iterations=0,
+        )
+        job = config.resolve()
+        result = simulate_job(job, iterations=2)
+        monitor = ResourceMonitor(result)
+        sample = monitor.update_phase_sample(iteration=1)
+        iteration_seconds = result.breakdown(1).total_seconds
+        rows.append(
+            {
+                "gpu_update_fraction": label,
+                "gpu_utilization": round(sample.gpu_utilization, 2),
+                "cpu_utilization": round(sample.cpu_utilization, 2),
+                "pcie_h2d_gbps": round(sample.pcie_h2d_gbps, 1),
+                "pcie_d2h_gbps": round(sample.pcie_d2h_gbps, 1),
+                "tflops": round(achieved_tflops(job.model, 1, iteration_seconds), 1),
+                "paper_tflops": PAPER_FIG15[label]["tflops"],
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="Resource utilisation during the update phase (Figure 15)",
+        rows=rows,
+        paper_reference=PAPER_FIG15,
+        notes=(
+            "With no GPU-scheduled updates the GPU and PCIe sit nearly idle and only the CPU "
+            "works; scheduling 50% of the updates on the GPU drives GPU utilisation to its "
+            "peak, uses a large fraction of both PCIe directions, slightly lowers CPU "
+            "utilisation (DRAM contention), and yields the best achieved TFLOPs — with 33% "
+            "and 25% close behind, as in the paper."
+        ),
+    )

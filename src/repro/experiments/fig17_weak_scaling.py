@@ -1,0 +1,49 @@
+"""Figure 17: weak scaling of the data-parallel degree (iteration speedup vs ZeRO-3)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, run_training
+from repro.model.presets import PAPER_MODEL_ORDER
+
+PAPER_FIG17_SPEEDUP = {
+    "7B": {1: 3.7, 2: 2.4, 4: 2.0},
+    "8.3B": {1: 3.3, 2: 2.5, 4: 2.0},
+    "10B": {1: 3.9, 2: 2.7, 4: 2.2},
+    "13B": {1: 4.1, 2: 2.8, 4: 2.4},
+    "20B": {1: 4.4, 2: 2.9, 4: 2.5},
+}
+
+
+def run(
+    models: tuple[str, ...] = PAPER_MODEL_ORDER, degrees: tuple[int, ...] = (1, 2, 4)
+) -> ExperimentResult:
+    """Measure the Deep Optimizer States speedup over ZeRO-3 at DP = 1, 2 and 4."""
+    rows = []
+    for model in models:
+        row: dict = {"model": model}
+        for degree in degrees:
+            zero3 = run_training(
+                model=model, strategy="zero3-offload", data_parallel_degree=degree, iterations=3
+            )
+            dos = run_training(
+                model=model,
+                strategy="deep-optimizer-states",
+                data_parallel_degree=degree,
+                iterations=3,
+            )
+            speedup = dos.speedup_over(zero3)
+            row[f"speedup_dp{degree}"] = round(speedup, 2)
+            row[f"paper_dp{degree}"] = PAPER_FIG17_SPEEDUP[model][degree]
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig17",
+        title="Weak scaling of data parallelism (Figure 17)",
+        rows=rows,
+        paper_reference=PAPER_FIG17_SPEEDUP,
+        notes=(
+            "At DP = 1 each rank owns the whole optimizer state and the CPU bottleneck is "
+            "most severe, so Deep Optimizer States gains the most (up to ~4.4x in the "
+            "paper); with growing data parallelism the all-gather-heavy forward/backward "
+            "passes dilute the gain, but it stays at ~2-2.5x at DP = 4."
+        ),
+    )

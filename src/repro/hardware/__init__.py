@@ -1,0 +1,51 @@
+"""Hardware substrate: testbed descriptions, throughput profiles and memory pools.
+
+The paper evaluates on a 4xH100 node of ALCF's JLSE testbed and validates its
+performance model on a second 4xV100 machine.  Since this reproduction runs without
+GPUs, the hardware is described by explicit specification dataclasses whose numbers
+come straight from Section 5.1 and Table 1 of the paper; every simulated duration in
+:mod:`repro.sim` and every input of the performance model (Equation 1) is derived from
+these specs.
+"""
+
+from repro.hardware.specs import (
+    CpuSpec,
+    GpuSpec,
+    HostMemorySpec,
+    MachineSpec,
+    NvlinkSpec,
+    PcieLinkSpec,
+)
+from repro.hardware.throughput import ThroughputProfile, TransferKind, transfer_table
+from repro.hardware.presets import (
+    AWS_P3DN,
+    JLSE_H100_NODE,
+    LAMBDA_V100_NODE,
+    POLARIS_A100_NODE,
+    get_machine_preset,
+    list_machine_presets,
+)
+from repro.hardware.memory import DeviceMemoryPool, HostMemoryPool, MemoryRegion
+from repro.hardware.contention import HostContentionModel
+
+__all__ = [
+    "GpuSpec",
+    "CpuSpec",
+    "PcieLinkSpec",
+    "NvlinkSpec",
+    "HostMemorySpec",
+    "MachineSpec",
+    "ThroughputProfile",
+    "TransferKind",
+    "transfer_table",
+    "JLSE_H100_NODE",
+    "LAMBDA_V100_NODE",
+    "POLARIS_A100_NODE",
+    "AWS_P3DN",
+    "get_machine_preset",
+    "list_machine_presets",
+    "DeviceMemoryPool",
+    "HostMemoryPool",
+    "MemoryRegion",
+    "HostContentionModel",
+]

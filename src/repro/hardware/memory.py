@@ -1,0 +1,210 @@
+"""Memory pools for simulated devices and the host.
+
+The paper's key observation (Section 3, Figure 3) is that GPU memory utilisation
+fluctuates between phases — activations fill the GPU during the forward pass, are
+freed during the backward pass, and the update phase only needs the FP16 parameters
+plus room for one staged optimizer subgroup.  :class:`DeviceMemoryPool` tracks named
+allocations against a capacity, raising :class:`OutOfMemoryError` exactly where the
+real runtime would (e.g. Figure 13's microbatch-16 OOM), and records a peak/timeline
+that the monitor samples to reproduce Figure 3.
+
+:class:`HostMemoryPool` additionally distinguishes pinned from pageable regions since
+pinned buffers are what enables the fast DMA path of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.common.units import format_bytes
+
+
+@dataclass
+class MemoryRegion:
+    """One named allocation inside a pool."""
+
+    name: str
+    num_bytes: int
+    pinned: bool = False
+    tag: str = ""
+
+
+class DeviceMemoryPool:
+    """Tracks named allocations against a fixed capacity (one GPU's HBM)."""
+
+    def __init__(self, capacity_bytes: int, name: str = "gpu") -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        self.name = name
+        self.capacity_bytes = int(capacity_bytes)
+        self._regions: dict[str, MemoryRegion] = {}
+        self._used = 0
+        self._peak = 0
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available."""
+        return self.capacity_bytes - self._used
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of the pool since creation (or the last reset)."""
+        return self._peak
+
+    def regions(self) -> list[MemoryRegion]:
+        """Snapshot of the live allocations."""
+        return list(self._regions.values())
+
+    def usage_by_tag(self) -> dict[str, int]:
+        """Aggregate live bytes per allocation tag (parameters, activations, ...)."""
+        usage: dict[str, int] = {}
+        for region in self._regions.values():
+            usage[region.tag or region.name] = usage.get(region.tag or region.name, 0) + region.num_bytes
+        return usage
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    # ------------------------------------------------------------------ mutation
+
+    def allocate(self, name: str, num_bytes: int, *, pinned: bool = False, tag: str = "") -> MemoryRegion:
+        """Allocate ``num_bytes`` under ``name``; raises :class:`OutOfMemoryError` on overflow."""
+        if num_bytes < 0:
+            raise ConfigurationError("allocation size must be non-negative")
+        if name in self._regions:
+            raise ConfigurationError(f"allocation {name!r} already exists in pool {self.name!r}")
+        if num_bytes > self.free_bytes:
+            raise OutOfMemoryError(
+                f"{self.name}: cannot allocate {format_bytes(num_bytes)} "
+                f"({format_bytes(self.free_bytes)} free of {format_bytes(self.capacity_bytes)})",
+                requested_bytes=num_bytes,
+                available_bytes=self.free_bytes,
+            )
+        region = MemoryRegion(name=name, num_bytes=int(num_bytes), pinned=pinned, tag=tag)
+        self._regions[name] = region
+        self._used += region.num_bytes
+        self._peak = max(self._peak, self._used)
+        return region
+
+    def free(self, name: str) -> int:
+        """Free the allocation ``name`` and return its size."""
+        try:
+            region = self._regions.pop(name)
+        except KeyError as exc:
+            raise ConfigurationError(f"no allocation named {name!r} in pool {self.name!r}") from exc
+        self._used -= region.num_bytes
+        return region.num_bytes
+
+    def free_all(self, tag: str | None = None) -> int:
+        """Free every allocation (optionally only those with ``tag``); return bytes freed."""
+        names = [
+            name
+            for name, region in self._regions.items()
+            if tag is None or region.tag == tag
+        ]
+        return sum(self.free(name) for name in names)
+
+    def reset_peak(self) -> None:
+        """Reset the high-water mark to the current usage."""
+        self._peak = self._used
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DeviceMemoryPool({self.name!r}, used={format_bytes(self._used)}, "
+            f"capacity={format_bytes(self.capacity_bytes)})"
+        )
+
+
+class HostMemoryPool(DeviceMemoryPool):
+    """Host DRAM pool with a cap on the pinned fraction.
+
+    The OS cannot pin an unbounded amount of memory; the paper pre-pins the host-side
+    optimizer buffers at initialisation.  ``pinned_limit_bytes`` models that cap.
+    """
+
+    def __init__(self, capacity_bytes: int, pinned_limit_bytes: int | None = None, name: str = "host") -> None:
+        super().__init__(capacity_bytes, name=name)
+        self.pinned_limit_bytes = (
+            int(pinned_limit_bytes) if pinned_limit_bytes is not None else int(capacity_bytes * 0.9)
+        )
+        self._pinned_used = 0
+
+    @property
+    def pinned_bytes(self) -> int:
+        """Bytes currently held in pinned allocations."""
+        return self._pinned_used
+
+    def allocate(self, name: str, num_bytes: int, *, pinned: bool = False, tag: str = "") -> MemoryRegion:
+        if pinned and self._pinned_used + num_bytes > self.pinned_limit_bytes:
+            raise OutOfMemoryError(
+                f"{self.name}: pinned allocation of {format_bytes(num_bytes)} exceeds the "
+                f"pinned limit ({format_bytes(self.pinned_limit_bytes)})",
+                requested_bytes=num_bytes,
+                available_bytes=self.pinned_limit_bytes - self._pinned_used,
+            )
+        region = super().allocate(name, num_bytes, pinned=pinned, tag=tag)
+        if pinned:
+            self._pinned_used += region.num_bytes
+        return region
+
+    def free(self, name: str) -> int:
+        region = self._regions.get(name)
+        pinned = region.pinned if region else False
+        size = super().free(name)
+        if pinned:
+            self._pinned_used -= size
+        return size
+
+
+@dataclass
+class MemoryPlan:
+    """A static memory budget for one training process (one GPU + its host share).
+
+    Built by the trainer from the model configuration; used both to pre-flight OOM
+    checks (Figure 13) and to drive the Figure 3 memory-trace reconstruction.
+    """
+
+    fp16_parameters: int = 0
+    fp16_gradients: int = 0
+    activations: int = 0
+    activation_checkpoints: int = 0
+    gpu_resident_optimizer: int = 0
+    staged_subgroup: int = 0
+    workspace: int = 0
+    host_optimizer_state: int = 0
+    host_gradient_buffer: int = 0
+
+    def gpu_total(self, *, include_activations: bool, include_staged_subgroup: bool) -> int:
+        """Peak GPU bytes for a phase of the iteration."""
+        total = self.fp16_parameters + self.fp16_gradients + self.gpu_resident_optimizer + self.workspace
+        if include_activations:
+            total += self.activations + self.activation_checkpoints
+        else:
+            total += self.activation_checkpoints
+        if include_staged_subgroup:
+            total += self.staged_subgroup
+        return total
+
+    def host_total(self) -> int:
+        """Host bytes required by the offloaded optimizer state and gradient buffers."""
+        return self.host_optimizer_state + self.host_gradient_buffer
+
+    field_names = (
+        "fp16_parameters",
+        "fp16_gradients",
+        "activations",
+        "activation_checkpoints",
+        "gpu_resident_optimizer",
+        "staged_subgroup",
+        "workspace",
+        "host_optimizer_state",
+        "host_gradient_buffer",
+    )

@@ -1,0 +1,175 @@
+"""Testbed presets.
+
+``JLSE_H100_NODE`` is the primary machine of the paper (Section 5.1); the GPU/CPU
+update throughputs and PCIe bandwidths come directly from the text ("the 4xH100 GPUs
+update ~100 Billion parameters of the model per second, while the 192 CPUs update the
+model at ~8 Billion P/s", "~55 GB/s unidirectional D2H and H2D throughput for pinned
+host memory", "133 GB/s unidirectional D2D").  ``LAMBDA_V100_NODE`` is the secondary
+machine used to validate the performance model in Section 5.4.  ``POLARIS_A100_NODE``
+and ``AWS_P3DN`` are the additional configurations the paper cites when motivating the
+CPU-per-GPU sweep (Figure 14).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.hardware.specs import (
+    CpuSpec,
+    GpuSpec,
+    HostMemorySpec,
+    MachineSpec,
+    NvlinkSpec,
+    PcieLinkSpec,
+)
+
+JLSE_H100_NODE = MachineSpec(
+    name="jlse-4xh100",
+    num_gpus=4,
+    gpu=GpuSpec(
+        name="NVIDIA H100 80GB HBM3",
+        memory_gib=80.0,
+        fp16_tflops=989.0,
+        hbm_gbps=3350.0,
+        adam_update_pps=25.0e9,
+        onchip_convert_gbps=1200.0,
+    ),
+    cpu=CpuSpec(
+        name="2x Intel Xeon Platinum 8468",
+        sockets=2,
+        cores_per_socket=48,
+        threads_per_core=2,
+        adam_update_pps_per_core=83.0e6,
+        convert_gbps=62.0,
+        unpinned_alloc_gbps=4.0,
+        dram_gbps=300.0,
+    ),
+    pcie=PcieLinkSpec(
+        generation=5,
+        h2d_gbps_pinned=55.0,
+        d2h_gbps_pinned=55.0,
+        h2d_gbps_pageable=9.0,
+        d2h_gbps_pageable=16.0,
+    ),
+    nvlink=NvlinkSpec(d2d_gbps=133.0),
+    host_memory=HostMemorySpec(capacity_gib=512.0, numa_domains=2),
+    description="ALCF JLSE testbed: 4x H100 80GB, 2x Xeon 8468, PCIe Gen5, 512 GB DDR5.",
+)
+
+LAMBDA_V100_NODE = MachineSpec(
+    name="4xv100",
+    num_gpus=4,
+    gpu=GpuSpec(
+        name="NVIDIA V100 32GB",
+        memory_gib=32.0,
+        fp16_tflops=112.0,
+        hbm_gbps=900.0,
+        adam_update_pps=35.0e9,
+        onchip_convert_gbps=700.0,
+    ),
+    cpu=CpuSpec(
+        name="2x Intel Xeon Gold 6152",
+        sockets=2,
+        cores_per_socket=22,
+        threads_per_core=2,
+        adam_update_pps_per_core=182.0e6,
+        convert_gbps=35.0,
+        unpinned_alloc_gbps=3.0,
+        dram_gbps=180.0,
+    ),
+    pcie=PcieLinkSpec(
+        generation=3,
+        h2d_gbps_pinned=12.0,
+        d2h_gbps_pinned=12.0,
+        h2d_gbps_pageable=6.0,
+        d2h_gbps_pageable=8.0,
+    ),
+    nvlink=NvlinkSpec(d2d_gbps=75.0),
+    host_memory=HostMemorySpec(capacity_gib=192.0, numa_domains=2),
+    description="Secondary validation machine of §5.4: 4x V100 32GB, 88 cores, 192 GB DRAM.",
+)
+
+POLARIS_A100_NODE = MachineSpec(
+    name="polaris-4xa100",
+    num_gpus=4,
+    gpu=GpuSpec(
+        name="NVIDIA A100 40GB",
+        memory_gib=40.0,
+        fp16_tflops=312.0,
+        hbm_gbps=1555.0,
+        adam_update_pps=20.0e9,
+        onchip_convert_gbps=1000.0,
+    ),
+    cpu=CpuSpec(
+        name="AMD EPYC Milan 7543P",
+        sockets=1,
+        cores_per_socket=32,
+        threads_per_core=2,
+        adam_update_pps_per_core=95.0e6,
+        convert_gbps=45.0,
+        unpinned_alloc_gbps=4.0,
+        dram_gbps=200.0,
+    ),
+    pcie=PcieLinkSpec(
+        generation=4,
+        h2d_gbps_pinned=25.0,
+        d2h_gbps_pinned=25.0,
+        h2d_gbps_pageable=8.0,
+        d2h_gbps_pageable=12.0,
+    ),
+    nvlink=NvlinkSpec(d2d_gbps=100.0),
+    host_memory=HostMemorySpec(capacity_gib=512.0, numa_domains=4),
+    description="ALCF Polaris node: 4x A100 40GB and 32 CPU cores (Figure 14 motivation).",
+)
+
+AWS_P3DN = MachineSpec(
+    name="aws-p3dn-24xlarge",
+    num_gpus=8,
+    gpu=GpuSpec(
+        name="NVIDIA V100 32GB",
+        memory_gib=32.0,
+        fp16_tflops=112.0,
+        hbm_gbps=900.0,
+        adam_update_pps=18.0e9,
+        onchip_convert_gbps=700.0,
+    ),
+    cpu=CpuSpec(
+        name="Intel Xeon Platinum 8175M (96 vCPU)",
+        sockets=2,
+        cores_per_socket=24,
+        threads_per_core=2,
+        adam_update_pps_per_core=70.0e6,
+        convert_gbps=40.0,
+        unpinned_alloc_gbps=3.0,
+        dram_gbps=180.0,
+    ),
+    pcie=PcieLinkSpec(
+        generation=3,
+        h2d_gbps_pinned=12.0,
+        d2h_gbps_pinned=12.0,
+        h2d_gbps_pageable=6.0,
+        d2h_gbps_pageable=8.0,
+    ),
+    nvlink=NvlinkSpec(d2d_gbps=50.0),
+    host_memory=HostMemorySpec(capacity_gib=768.0, numa_domains=2),
+    description="AWS p3dn.24xlarge: 8x V100, 96 vCPUs (Figure 14 motivation).",
+)
+
+_PRESETS = {
+    preset.name: preset
+    for preset in (JLSE_H100_NODE, LAMBDA_V100_NODE, POLARIS_A100_NODE, AWS_P3DN)
+}
+
+
+def list_machine_presets() -> list[str]:
+    """Names of the available machine presets."""
+    return sorted(_PRESETS)
+
+
+def get_machine_preset(name: str) -> MachineSpec:
+    """Look up a machine preset by name."""
+    try:
+        return _PRESETS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown machine preset {name!r}; available: {list_machine_presets()}"
+        ) from exc

@@ -1,0 +1,261 @@
+"""Machine specification dataclasses.
+
+All bandwidths are expressed in decimal GB/s (the unit used throughout the paper) and
+all capacities in binary GiB (the unit GPU vendors label "GB").  The conversion into
+per-parameter rates used by the performance model happens in
+:mod:`repro.hardware.throughput`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, GIB
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A single GPU device.
+
+    ``adam_update_pps`` is the measured throughput (parameters per second) of a fused
+    mixed-precision Adam step on this GPU — the paper reports ~25 B params/s per H100
+    ("the 4xH100 GPUs update ~100 Billion parameters of the model per second").
+    ``onchip_convert_gbps`` is the G32<->G16 conversion bandwidth from Table 1.
+    """
+
+    name: str
+    memory_gib: float
+    fp16_tflops: float
+    hbm_gbps: float
+    adam_update_pps: float
+    onchip_convert_gbps: float = 1200.0
+    copy_engines: int = 2
+
+    def __post_init__(self) -> None:
+        if self.memory_gib <= 0 or self.fp16_tflops <= 0:
+            raise ConfigurationError("GPU memory and compute must be positive")
+        if self.adam_update_pps <= 0:
+            raise ConfigurationError("adam_update_pps must be positive")
+
+    @property
+    def memory_bytes(self) -> int:
+        """Usable HBM capacity in bytes."""
+        return int(self.memory_gib * GIB)
+
+    @property
+    def fp16_flops(self) -> float:
+        """Peak FP16 throughput in FLOP/s."""
+        return self.fp16_tflops * 1e12
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """The host CPUs of a node (all sockets combined).
+
+    ``adam_update_pps_per_core`` is the per-core throughput of the (vectorised,
+    DeepSpeed-style) CPU Adam kernel; the aggregate node throughput reported in the
+    paper (~8 B params/s for 2x Xeon 8468) divided by the core count gives the default
+    values used by the presets.  ``convert_gbps`` is the H32<->H16 conversion bandwidth
+    of Table 1 (memory-bandwidth bound, shared by the processes of a node).
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int = 2
+    adam_update_pps_per_core: float = 83.0e6
+    convert_gbps: float = 62.0
+    unpinned_alloc_gbps: float = 4.0
+    dram_gbps: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0 or self.cores_per_socket <= 0:
+            raise ConfigurationError("CPU core counts must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across all sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware threads across all sockets."""
+        return self.total_cores * self.threads_per_core
+
+    @property
+    def aggregate_adam_update_pps(self) -> float:
+        """Node-wide CPU Adam throughput in parameters per second."""
+        return self.total_cores * self.adam_update_pps_per_core
+
+    def adam_update_pps(self, cores: int) -> float:
+        """CPU Adam throughput for a subset of ``cores`` cores."""
+        if cores <= 0:
+            raise ConfigurationError("cores must be positive")
+        return min(cores, self.total_cores) * self.adam_update_pps_per_core
+
+
+@dataclass(frozen=True)
+class PcieLinkSpec:
+    """A PCIe link between one GPU and the host.
+
+    The paper's JLSE testbed uses PCIe Gen5 (~55 GB/s unidirectional for pinned host
+    memory); pageable memory is dramatically slower and asymmetric, which is exactly
+    what makes the baseline gradient-flush path of Figure 6 slow.
+    """
+
+    generation: int
+    h2d_gbps_pinned: float
+    d2h_gbps_pinned: float
+    h2d_gbps_pageable: float
+    d2h_gbps_pageable: float
+    full_duplex: bool = True
+
+    def __post_init__(self) -> None:
+        for value in (
+            self.h2d_gbps_pinned,
+            self.d2h_gbps_pinned,
+            self.h2d_gbps_pageable,
+            self.d2h_gbps_pageable,
+        ):
+            if value <= 0:
+                raise ConfigurationError("PCIe bandwidths must be positive")
+
+    def bandwidth_gbps(self, direction: str, pinned: bool = True) -> float:
+        """Return the bandwidth for ``direction`` ("h2d" or "d2h")."""
+        if direction == "h2d":
+            return self.h2d_gbps_pinned if pinned else self.h2d_gbps_pageable
+        if direction == "d2h":
+            return self.d2h_gbps_pinned if pinned else self.d2h_gbps_pageable
+        raise ConfigurationError(f"unknown PCIe direction: {direction!r}")
+
+
+@dataclass(frozen=True)
+class NvlinkSpec:
+    """GPU-to-GPU interconnect inside the node (NVLink/NVSwitch)."""
+
+    d2d_gbps: float
+    links_per_gpu: int = 18
+
+    def __post_init__(self) -> None:
+        if self.d2d_gbps <= 0:
+            raise ConfigurationError("NVLink bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class HostMemorySpec:
+    """Host DRAM capacity and layout."""
+
+    capacity_gib: float
+    numa_domains: int = 2
+    pinned_fraction_limit: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.capacity_gib <= 0:
+            raise ConfigurationError("host memory capacity must be positive")
+        if not 0 < self.pinned_fraction_limit <= 1:
+            raise ConfigurationError("pinned_fraction_limit must be in (0, 1]")
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Host DRAM capacity in bytes."""
+        return int(self.capacity_gib * GIB)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete single-node testbed description."""
+
+    name: str
+    num_gpus: int
+    gpu: GpuSpec
+    cpu: CpuSpec
+    pcie: PcieLinkSpec
+    nvlink: NvlinkSpec
+    host_memory: HostMemorySpec
+    description: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ConfigurationError("num_gpus must be positive")
+
+    @property
+    def total_gpu_memory_bytes(self) -> int:
+        """Aggregated HBM across the node's GPUs."""
+        return self.num_gpus * self.gpu.memory_bytes
+
+    @property
+    def cpu_cores_per_gpu(self) -> int:
+        """Physical cores available to each training process (one process per GPU)."""
+        return max(1, self.cpu.total_cores // self.num_gpus)
+
+    def with_cpu_cores_per_gpu(self, cores_per_gpu: int) -> "MachineSpec":
+        """Return a copy of this machine restricted to ``cores_per_gpu`` cores per GPU.
+
+        Used by the Figure 14 experiment ("Scaling the CPU Cores per GPU").
+        """
+        if cores_per_gpu <= 0:
+            raise ConfigurationError("cores_per_gpu must be positive")
+        total = cores_per_gpu * self.num_gpus
+        sockets = self.cpu.sockets
+        cores_per_socket = max(1, total // sockets)
+        cpu = CpuSpec(
+            name=self.cpu.name,
+            sockets=sockets,
+            cores_per_socket=cores_per_socket,
+            threads_per_core=self.cpu.threads_per_core,
+            adam_update_pps_per_core=self.cpu.adam_update_pps_per_core,
+            convert_gbps=self.cpu.convert_gbps,
+            unpinned_alloc_gbps=self.cpu.unpinned_alloc_gbps,
+            dram_gbps=self.cpu.dram_gbps,
+        )
+        return MachineSpec(
+            name=f"{self.name}-{cores_per_gpu}cores",
+            num_gpus=self.num_gpus,
+            gpu=self.gpu,
+            cpu=cpu,
+            pcie=self.pcie,
+            nvlink=self.nvlink,
+            host_memory=self.host_memory,
+            description=self.description,
+            extra=dict(self.extra),
+        )
+
+    def with_num_gpus(self, num_gpus: int) -> "MachineSpec":
+        """Return a copy of this machine exposing only ``num_gpus`` GPUs.
+
+        Used by the Figure 17 experiment (scaling the data-parallel degree).  The CPU,
+        PCIe and host-memory resources of the node are unchanged; each remaining GPU
+        therefore sees a larger share of CPU cores, exactly as on the real testbed.
+        """
+        if num_gpus <= 0:
+            raise ConfigurationError("num_gpus must be positive")
+        return MachineSpec(
+            name=f"{self.name}-{num_gpus}gpu",
+            num_gpus=num_gpus,
+            gpu=self.gpu,
+            cpu=self.cpu,
+            pcie=self.pcie,
+            nvlink=self.nvlink,
+            host_memory=self.host_memory,
+            description=self.description,
+            extra=dict(self.extra),
+        )
+
+    # Convenience aggregate rates -------------------------------------------------
+
+    @property
+    def aggregate_gpu_update_pps(self) -> float:
+        """Node-wide GPU Adam throughput in parameters per second."""
+        return self.num_gpus * self.gpu.adam_update_pps
+
+    @property
+    def pcie_h2d_bps(self) -> float:
+        """Pinned H2D bandwidth of one link in bytes per second."""
+        return self.pcie.h2d_gbps_pinned * GB
+
+    @property
+    def pcie_d2h_bps(self) -> float:
+        """Pinned D2H bandwidth of one link in bytes per second."""
+        return self.pcie.d2h_gbps_pinned * GB

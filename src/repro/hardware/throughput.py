@@ -1,0 +1,183 @@
+"""Throughput profiles: the bridge between machine specs and the performance model.
+
+Equation 1 of the paper is expressed in *parameters per second*:
+
+* ``B``  — PCIe transfer throughput for FP32 parameters (both directions assumed equal),
+* ``U_g`` — GPU Adam update throughput,
+* ``U_c`` — CPU Adam update throughput of the cores owned by one training process,
+* ``D_c`` — CPU FP32->FP16 downscale throughput.
+
+:class:`ThroughputProfile` packages these four rates plus a few auxiliary rates needed
+by the simulator (gradient-flush paths of Figure 6, NVLink collectives) and knows how
+to derive itself from a :class:`repro.hardware.specs.MachineSpec`.  This module also
+reproduces Table 1 (transfer and conversion throughputs across devices and data types).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB
+from repro.hardware.specs import MachineSpec
+from repro.precision.dtypes import DType
+
+
+class TransferKind(enum.Enum):
+    """The transfer/conversion categories of Table 1."""
+
+    G32_G16 = "G32<->G16"
+    H32_H16 = "H32<->H16"
+    H16_G16 = "H16<->G16"
+    H32_G16 = "H32->G16"
+    G16_H32 = "G16->H32"
+
+
+def transfer_table(machine: MachineSpec) -> dict[TransferKind, float]:
+    """Return the Table 1 throughputs (GB/s) implied by a machine spec.
+
+    * ``G32<->G16``: on-GPU conversion, HBM-bandwidth bound.
+    * ``H32<->H16``: on-host conversion, DRAM-bandwidth bound.
+    * ``H16<->G16``: pinned PCIe transfer of same-precision data.
+    * ``H32->G16`` and ``G16->H32``: mixed-precision transfers that require an
+      intermediate conversion plus an unpinned staging buffer — the slow paths the
+      paper measures at 8 GB/s and 4 GB/s and that Deep Optimizer States avoids.
+    """
+    pcie_pinned = min(machine.pcie.h2d_gbps_pinned, machine.pcie.d2h_gbps_pinned)
+    return {
+        TransferKind.G32_G16: machine.gpu.onchip_convert_gbps,
+        TransferKind.H32_H16: machine.cpu.convert_gbps,
+        TransferKind.H16_G16: pcie_pinned * 0.95,
+        TransferKind.H32_G16: _mixed_precision_path_gbps(
+            machine.pcie.h2d_gbps_pageable, machine.cpu.convert_gbps
+        ),
+        TransferKind.G16_H32: _mixed_precision_path_gbps(
+            machine.pcie.d2h_gbps_pageable,
+            machine.cpu.convert_gbps,
+            alloc_gbps=machine.cpu.unpinned_alloc_gbps,
+        ),
+    }
+
+
+def _mixed_precision_path_gbps(
+    pcie_pageable_gbps: float, convert_gbps: float, alloc_gbps: float | None = None
+) -> float:
+    """Effective throughput of a transfer that changes precision across the PCIe link.
+
+    The path is sequential (Figure 6, top): optionally allocate an unpinned staging
+    buffer, copy across PCIe at the pageable rate, then convert on the host.  The
+    effective rate is the harmonic composition of the three stages.
+    """
+    stages = [pcie_pageable_gbps, convert_gbps]
+    if alloc_gbps is not None:
+        stages.append(alloc_gbps)
+    inverse = sum(1.0 / rate for rate in stages)
+    return 1.0 / inverse
+
+
+@dataclass(frozen=True)
+class ThroughputProfile:
+    """Per-process throughputs in parameters per second, the inputs of Equation 1."""
+
+    pcie_pps: float
+    gpu_update_pps: float
+    cpu_update_pps: float
+    cpu_downscale_pps: float
+    # Auxiliary rates used by the simulator, not by Equation 1 itself.
+    gpu_convert_pps: float = 200.0e9
+    pcie_fp16_pps: float = 0.0
+    pinned_d2h_pps: float = 0.0
+    unpinned_d2h_fp16_pps: float = 0.0
+    host_unpinned_alloc_pps: float = 0.0
+    host_upscale_pps: float = 0.0
+    nvlink_pps: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("pcie_pps", "gpu_update_pps", "cpu_update_pps", "cpu_downscale_pps"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    # ------------------------------------------------------------------ factories
+
+    @classmethod
+    def from_machine(cls, machine: MachineSpec, cores_per_gpu: int | None = None) -> "ThroughputProfile":
+        """Derive the per-process profile of ``machine``.
+
+        One training process drives one GPU and owns ``cores_per_gpu`` CPU cores
+        (default: an even share of the node's cores).  The host-side conversion
+        bandwidth is shared by all processes of the node, hence the division by
+        ``num_gpus``.
+        """
+        cores = cores_per_gpu if cores_per_gpu is not None else machine.cpu_cores_per_gpu
+        if cores <= 0:
+            raise ConfigurationError("cores_per_gpu must be positive")
+        fp32_bytes = DType.FP32.itemsize
+        fp16_bytes = DType.FP16.itemsize
+        pcie_pinned_gbps = min(machine.pcie.h2d_gbps_pinned, machine.pcie.d2h_gbps_pinned)
+        convert_share_gbps = machine.cpu.convert_gbps / machine.num_gpus
+        # A conversion reads the source precision and writes the target precision, so
+        # each converted parameter moves itemsize(src) + itemsize(dst) bytes of DRAM.
+        downscale_pps = convert_share_gbps * GB / (fp32_bytes + fp16_bytes)
+        upscale_pps = convert_share_gbps * GB / (fp32_bytes + fp16_bytes)
+        return cls(
+            pcie_pps=pcie_pinned_gbps * GB / fp32_bytes,
+            gpu_update_pps=machine.gpu.adam_update_pps,
+            cpu_update_pps=machine.cpu.adam_update_pps(cores),
+            cpu_downscale_pps=downscale_pps,
+            gpu_convert_pps=machine.gpu.onchip_convert_gbps * GB / (fp32_bytes + fp16_bytes),
+            pcie_fp16_pps=pcie_pinned_gbps * GB / fp16_bytes,
+            pinned_d2h_pps=machine.pcie.d2h_gbps_pinned * GB / fp32_bytes,
+            unpinned_d2h_fp16_pps=machine.pcie.d2h_gbps_pageable * GB / fp16_bytes,
+            host_unpinned_alloc_pps=machine.cpu.unpinned_alloc_gbps * GB / fp16_bytes,
+            host_upscale_pps=upscale_pps,
+            nvlink_pps=machine.nvlink.d2d_gbps * GB / fp16_bytes,
+        )
+
+    @classmethod
+    def from_paper_v100(cls) -> "ThroughputProfile":
+        """The throughputs the paper reports for its secondary 4xV100 machine (§5.4).
+
+        B = 3 B params/s, U_g = 35 B params/s, U_c = 2 B params/s, D_c = 8.7 B params/s;
+        plugging them into Equation 1 gives k ~= 2.29, i.e. an update stride of 2.
+        """
+        return cls(
+            pcie_pps=3.0e9,
+            gpu_update_pps=35.0e9,
+            cpu_update_pps=2.0e9,
+            cpu_downscale_pps=8.7e9,
+            gpu_convert_pps=150.0e9,
+            pcie_fp16_pps=6.0e9,
+            pinned_d2h_pps=3.0e9,
+            unpinned_d2h_fp16_pps=4.0e9,
+            host_unpinned_alloc_pps=2.0e9,
+            host_upscale_pps=8.7e9,
+            nvlink_pps=25.0e9,
+        )
+
+    # ------------------------------------------------------------------ helpers
+
+    def scaled_cpu(self, factor: float) -> "ThroughputProfile":
+        """Return a profile with CPU update throughput scaled by ``factor``.
+
+        Used by the contention model (DRAM traffic from concurrent PCIe DMA slows the
+        CPU Adam kernel down) and by the Figure 14 CPU-core sweep.
+        """
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return replace(self, cpu_update_pps=self.cpu_update_pps * factor)
+
+    def seconds_for_update(self, params: int, device: str) -> float:
+        """Time to run an Adam update of ``params`` parameters on ``device``."""
+        rate = self.gpu_update_pps if device == "gpu" else self.cpu_update_pps
+        return params / rate
+
+    def seconds_for_downscale(self, params: int) -> float:
+        """Time to downscale ``params`` FP32 parameters to FP16 on the CPU."""
+        return params / self.cpu_downscale_pps
+
+    def seconds_for_transfer(self, params: int, dtype: DType = DType.FP32) -> float:
+        """Time to move ``params`` parameters of ``dtype`` across the PCIe link."""
+        if dtype == DType.FP32:
+            return params / self.pcie_pps
+        return params * dtype.itemsize / (self.pcie_pps * DType.FP32.itemsize)

@@ -1,0 +1,41 @@
+"""Transformer model substrate.
+
+Two complementary views of "the model" are needed to reproduce the paper:
+
+* an *analytical* view — parameter counts, FP16/FP32 memory footprints, activation
+  sizes and FLOPs for the 7B-20B configurations of Table 2, which drive the timing
+  simulation and the OOM accounting; and
+* a *numeric* view — a miniature GPT-style transformer implemented in NumPy with
+  manual backpropagation (:mod:`repro.model.nn`), which produces real gradients so
+  that the interleaved optimizer can be validated end-to-end at small scale.
+"""
+
+from repro.model.config import TransformerConfig
+from repro.model.presets import (
+    MODEL_PRESETS,
+    TINY_MODELS,
+    get_model_preset,
+    list_model_presets,
+)
+from repro.model.flops import (
+    achieved_tflops,
+    compute_efficiency,
+    iteration_model_flops,
+    transformer_flops_per_token,
+)
+from repro.model.footprint import MemoryFootprint, RankFootprint, build_memory_plan
+
+__all__ = [
+    "TransformerConfig",
+    "MODEL_PRESETS",
+    "TINY_MODELS",
+    "get_model_preset",
+    "list_model_presets",
+    "transformer_flops_per_token",
+    "iteration_model_flops",
+    "achieved_tflops",
+    "compute_efficiency",
+    "MemoryFootprint",
+    "RankFootprint",
+    "build_memory_plan",
+]

@@ -1,0 +1,150 @@
+"""Transformer architecture description and analytical size model.
+
+The parameter-count and byte-size formulas follow the ZeRO-Infinity accounting the
+paper cites for Table 2: a GPT-style decoder block contributes ~12*h^2 parameters
+(attention QKV + projection + 4x MLP), the embedding contributes vocab*h, and the
+mixed-precision training state per parameter is 2 bytes of FP16 parameters + 2 bytes
+of FP16 gradients on the GPU plus 16 bytes of FP32 parameters/momentum/variance/
+gradients on the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GIB
+from repro.precision.dtypes import DType
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """A GPT-style decoder-only transformer configuration."""
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_attention_heads: int
+    vocab_size: int = 32_000
+    sequence_length: int = 2048
+    ffn_multiplier: int = 4
+    nominal_parameters: int | None = None
+    tie_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.hidden_size <= 0 or self.num_attention_heads <= 0:
+            raise ConfigurationError("layer/hidden/head counts must be positive")
+        if self.hidden_size % self.num_attention_heads != 0:
+            raise ConfigurationError(
+                f"hidden_size {self.hidden_size} is not divisible by "
+                f"num_attention_heads {self.num_attention_heads}"
+            )
+        if self.vocab_size <= 0 or self.sequence_length <= 0:
+            raise ConfigurationError("vocab_size and sequence_length must be positive")
+
+    # ------------------------------------------------------------------ sizes
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head hidden dimension."""
+        return self.hidden_size // self.num_attention_heads
+
+    @property
+    def ffn_hidden_size(self) -> int:
+        """Feed-forward inner dimension."""
+        return self.ffn_multiplier * self.hidden_size
+
+    def parameters_per_layer(self) -> int:
+        """Parameters of one decoder block (attention + MLP + layer norms + biases)."""
+        hidden = self.hidden_size
+        attention = 4 * hidden * hidden + 4 * hidden  # QKV (3h*h) + output proj (h*h) + biases
+        mlp = 2 * hidden * self.ffn_hidden_size + self.ffn_hidden_size + hidden
+        norms = 2 * 2 * hidden
+        return attention + mlp + norms
+
+    def embedding_parameters(self) -> int:
+        """Token embedding (and untied output head, when applicable)."""
+        embed = self.vocab_size * self.hidden_size
+        if not self.tie_embeddings:
+            embed *= 2
+        return embed
+
+    def num_parameters(self) -> int:
+        """Total trainable parameters (analytic count)."""
+        final_norm = 2 * self.hidden_size
+        return self.num_layers * self.parameters_per_layer() + self.embedding_parameters() + final_norm
+
+    @property
+    def billions_of_parameters(self) -> float:
+        """Parameter count in billions (used for axis labels)."""
+        return self.num_parameters() / 1e9
+
+    # ---------------------------------------------------------------- memory model
+
+    def fp16_model_state_bytes(self) -> int:
+        """FP16 parameters + FP16 gradients (the "FP16 model size" row of Table 2)."""
+        return self.num_parameters() * (DType.FP16.itemsize + DType.FP16.itemsize)
+
+    def fp32_optimizer_state_bytes(self) -> int:
+        """FP32 parameters + momentum + variance + gradients (Table 2 optimizer row)."""
+        return self.num_parameters() * 4 * DType.FP32.itemsize
+
+    def fp16_model_state_gib(self) -> float:
+        """Table 2 "FP16 model size (GB)" value."""
+        return self.fp16_model_state_bytes() / GIB
+
+    def fp32_optimizer_state_gib(self) -> float:
+        """Table 2 "FP32 optimizer (GB)" value."""
+        return self.fp32_optimizer_state_bytes() / GIB
+
+    # Activation constants calibrated against Figure 3 (20B model, microbatch 1):
+    # full activations peak around 40 GB on top of the persistent model state, while
+    # activation checkpoints only retain a few GB that are freed during backward.
+    ACTIVATION_FULL_BYTES_PER_TOKEN_PER_LAYER_FACTOR = 64
+    ACTIVATION_CKPT_BYTES_PER_TOKEN_PER_LAYER_FACTOR = 6
+
+    def activation_bytes(self, microbatch_size: int, *, checkpointing: bool) -> int:
+        """Peak activation memory of one microbatch on one GPU.
+
+        With activation checkpointing only the per-layer boundary checkpoints are
+        retained (plus one layer's worth of recomputed activations, accounted by
+        :func:`repro.model.footprint.build_memory_plan`).
+        """
+        if microbatch_size <= 0:
+            raise ConfigurationError("microbatch_size must be positive")
+        tokens = microbatch_size * self.sequence_length
+        factor = (
+            self.ACTIVATION_CKPT_BYTES_PER_TOKEN_PER_LAYER_FACTOR
+            if checkpointing
+            else self.ACTIVATION_FULL_BYTES_PER_TOKEN_PER_LAYER_FACTOR
+        )
+        return tokens * self.hidden_size * factor * self.num_layers
+
+    def single_layer_activation_bytes(self, microbatch_size: int) -> int:
+        """Full activations of a single layer (materialised during recompute)."""
+        tokens = microbatch_size * self.sequence_length
+        return tokens * self.hidden_size * self.ACTIVATION_FULL_BYTES_PER_TOKEN_PER_LAYER_FACTOR
+
+    def logits_bytes(self, microbatch_size: int) -> int:
+        """Output logits buffer (FP32), relevant for large microbatches."""
+        tokens = microbatch_size * self.sequence_length
+        return tokens * self.vocab_size * DType.FP32.itemsize // self.gradient_accumulation_chunks()
+
+    def gradient_accumulation_chunks(self) -> int:
+        """Number of chunks the logits/loss computation is split into (vocab chunking)."""
+        return 4
+
+    # ---------------------------------------------------------------- description
+
+    def describe(self) -> dict:
+        """Summary dictionary used by the Table 2 experiment."""
+        return {
+            "name": self.name,
+            "num_layers": self.num_layers,
+            "hidden_size": self.hidden_size,
+            "attention_heads": self.num_attention_heads,
+            "parameters": self.num_parameters(),
+            "parameters_billions": round(self.billions_of_parameters, 2),
+            "fp16_model_gib": round(self.fp16_model_state_gib(), 1),
+            "fp32_optimizer_gib": round(self.fp32_optimizer_state_gib(), 1),
+        }

@@ -1,0 +1,89 @@
+"""FLOPs model and achieved-TFLOPs metric.
+
+The paper reports "TFLOPs achieved" (Figures 13, 14, 15) computed from the standard
+model-FLOPs formula (6 * parameters * tokens per iteration, not counting activation
+recomputation) divided by the iteration time — the same convention as Megatron-LM.
+The *compute efficiency* (fraction of peak FLOP/s the GPU sustains during the forward
+and backward kernels) grows with the microbatch size, which is what makes larger
+microbatches report higher TFLOPs in Figure 13; we model that saturation explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.model.config import TransformerConfig
+
+# Compute-efficiency saturation model: eff(mb) = MAX_EFFICIENCY * mb / (mb + HALF_SATURATION).
+# Calibrated so that microbatch 1 sustains ~11% of peak (matching the ~0.7-0.8 s forward
+# pass of the 20B model in Figure 3) and large microbatches approach ~50% of peak.
+MAX_COMPUTE_EFFICIENCY = 0.50
+HALF_SATURATION_MICROBATCH = 3.5
+
+
+def transformer_flops_per_token(config: TransformerConfig, *, backward: bool = False) -> float:
+    """FLOPs per token of a forward (or backward) pass.
+
+    Forward ~ 2 * P (+ attention term proportional to sequence length); backward is
+    twice the forward cost.
+    """
+    params = config.num_parameters()
+    attention_term = 2.0 * config.num_layers * config.sequence_length * config.hidden_size
+    forward = 2.0 * params + attention_term
+    return 2.0 * forward if backward else forward
+
+
+def iteration_model_flops(config: TransformerConfig, microbatch_size: int) -> float:
+    """Model FLOPs of one iteration on one GPU (6 * P * tokens convention)."""
+    if microbatch_size <= 0:
+        raise ConfigurationError("microbatch_size must be positive")
+    tokens = microbatch_size * config.sequence_length
+    return 6.0 * config.num_parameters() * tokens
+
+
+def compute_efficiency(microbatch_size: int) -> float:
+    """Sustained fraction of peak GPU FLOP/s during forward/backward kernels."""
+    if microbatch_size <= 0:
+        raise ConfigurationError("microbatch_size must be positive")
+    return MAX_COMPUTE_EFFICIENCY * microbatch_size / (microbatch_size + HALF_SATURATION_MICROBATCH)
+
+
+def forward_compute_seconds(
+    config: TransformerConfig,
+    microbatch_size: int,
+    peak_flops: float,
+    efficiency: float | None = None,
+) -> float:
+    """Duration of the forward-pass compute on one GPU."""
+    if peak_flops <= 0:
+        raise ConfigurationError("peak_flops must be positive")
+    eff = compute_efficiency(microbatch_size) if efficiency is None else efficiency
+    tokens = microbatch_size * config.sequence_length
+    return transformer_flops_per_token(config) * tokens / (peak_flops * eff)
+
+
+def backward_compute_seconds(
+    config: TransformerConfig,
+    microbatch_size: int,
+    peak_flops: float,
+    *,
+    activation_checkpointing: bool,
+    efficiency: float | None = None,
+) -> float:
+    """Duration of the backward-pass compute on one GPU.
+
+    Activation checkpointing adds one extra forward recomputation (the "33% additional
+    recomputations" the paper quotes from ZeRO-Offload).
+    """
+    eff = compute_efficiency(microbatch_size) if efficiency is None else efficiency
+    tokens = microbatch_size * config.sequence_length
+    backward = transformer_flops_per_token(config, backward=True) * tokens
+    if activation_checkpointing:
+        backward += transformer_flops_per_token(config) * tokens
+    return backward / (peak_flops * eff)
+
+
+def achieved_tflops(config: TransformerConfig, microbatch_size: int, iteration_seconds: float) -> float:
+    """Achieved model TFLOP/s per GPU, the metric plotted in Figures 13-15."""
+    if iteration_seconds <= 0:
+        raise ConfigurationError("iteration_seconds must be positive")
+    return iteration_model_flops(config, microbatch_size) / iteration_seconds / 1e12

@@ -1,0 +1,204 @@
+"""Per-rank memory footprint accounting (ZeRO-Infinity style).
+
+With ZeRO-3 and data parallelism of degree ``N``, every rank permanently holds 1/N of
+the FP16 parameters and FP16 gradients, the full activations (or activation
+checkpoints) of its own microbatch, a small workspace of gathered layers, and —
+depending on the offloading strategy — a statically GPU-resident slice of the FP32
+optimizer state (TwinFlow) and/or one dynamically staged subgroup (Deep Optimizer
+States).  The remainder of the FP32 optimizer state plus the FP32 gradient buffer
+lives in host memory.
+
+These budgets drive two things: the out-of-memory checks of the Figure 13 experiment
+and the GPU-memory timeline of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.common.units import GIB
+from repro.hardware.memory import MemoryPlan
+from repro.hardware.specs import MachineSpec
+from repro.model.config import TransformerConfig
+from repro.precision.dtypes import (
+    DType,
+    OPTIMIZER_STATE_BYTES_PER_PARAM,
+    OPTIMIZER_STATE_WITH_GRADS_BYTES_PER_PARAM,
+)
+
+# HBM reserved for the CUDA context, NCCL buffers and allocator fragmentation.
+DEFAULT_GPU_RESERVED_BYTES = int(4 * GIB)
+
+
+@dataclass(frozen=True)
+class RankFootprint:
+    """Static byte counts for one training process (one GPU)."""
+
+    rank_parameters: int
+    fp16_parameter_bytes: int
+    fp16_gradient_bytes: int
+    gathered_layer_workspace_bytes: int
+    activation_bytes: int
+    recompute_workspace_bytes: int
+    logits_bytes: int
+    gpu_resident_optimizer_bytes: int
+    staged_subgroup_bytes: int
+    host_optimizer_bytes: int
+    host_gradient_bytes: int
+
+    def gpu_peak_bytes(self) -> int:
+        """Peak GPU memory (during the forward pass, when activations are live)."""
+        return (
+            self.fp16_parameter_bytes
+            + self.fp16_gradient_bytes
+            + self.gathered_layer_workspace_bytes
+            + self.activation_bytes
+            + self.recompute_workspace_bytes
+            + self.logits_bytes
+            + self.gpu_resident_optimizer_bytes
+            + self.staged_subgroup_bytes
+        )
+
+    def gpu_update_phase_bytes(self) -> int:
+        """GPU memory during the update phase (activations and gradients released)."""
+        return (
+            self.fp16_parameter_bytes
+            + self.gpu_resident_optimizer_bytes
+            + self.staged_subgroup_bytes
+        )
+
+    def host_bytes(self) -> int:
+        """Host DRAM required by the offloaded optimizer state of this rank."""
+        return self.host_optimizer_bytes + self.host_gradient_bytes
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Footprint of the full job: one :class:`RankFootprint` per data-parallel rank."""
+
+    per_rank: RankFootprint
+    data_parallel_degree: int
+
+    def total_host_bytes(self) -> int:
+        """Host DRAM used by all ranks of the node combined."""
+        return self.per_rank.host_bytes() * self.data_parallel_degree
+
+
+def build_rank_footprint(
+    config: TransformerConfig,
+    *,
+    data_parallel_degree: int,
+    microbatch_size: int,
+    activation_checkpointing: bool,
+    gpu_resident_optimizer_fraction: float = 0.0,
+    subgroup_size: int = 100_000_000,
+    stage_subgroup_on_gpu: bool = False,
+    gpu_scheduled_gradient_fraction: float = 0.0,
+) -> RankFootprint:
+    """Compute the per-rank footprint for a given configuration.
+
+    ``gpu_scheduled_gradient_fraction`` is the fraction of the rank's gradients kept
+    resident on the GPU for GPU-scheduled subgroup updates (Deep Optimizer States'
+    design principle 3); the remaining gradients only occupy a small working buffer of
+    a few reduce buckets because they are flushed to the host and freed as the
+    backward pass progresses.
+    """
+    if data_parallel_degree <= 0:
+        raise ConfigurationError("data_parallel_degree must be positive")
+    if not 0.0 <= gpu_resident_optimizer_fraction <= 1.0:
+        raise ConfigurationError("gpu_resident_optimizer_fraction must be in [0, 1]")
+    if subgroup_size <= 0:
+        raise ConfigurationError("subgroup_size must be positive")
+    if not 0.0 <= gpu_scheduled_gradient_fraction <= 1.0:
+        raise ConfigurationError("gpu_scheduled_gradient_fraction must be in [0, 1]")
+
+    total_params = config.num_parameters()
+    rank_params = -(-total_params // data_parallel_degree)  # ceil division
+    fp16 = DType.FP16.itemsize
+
+    gathered_layers = 2  # DeepSpeed prefetches the next layer while computing the current one
+    layer_workspace = gathered_layers * config.parameters_per_layer() * fp16
+
+    activations = config.activation_bytes(microbatch_size, checkpointing=activation_checkpointing)
+    recompute = (
+        config.single_layer_activation_bytes(microbatch_size) if activation_checkpointing else 0
+    )
+
+    gpu_resident_params = int(rank_params * gpu_resident_optimizer_fraction)
+    host_params = rank_params - gpu_resident_params
+    staged_params = min(subgroup_size, rank_params) if stage_subgroup_on_gpu else 0
+
+    # Gradients generated during the backward pass are flushed to the host and freed
+    # subgroup by subgroup, so only a working buffer of a few reduce buckets plus the
+    # deliberately GPU-retained fraction occupies HBM at any one time.
+    grad_working_params = min(rank_params, 4 * subgroup_size)
+    retained_grad_params = int(rank_params * gpu_scheduled_gradient_fraction)
+    gradient_bytes = min(rank_params, grad_working_params + retained_grad_params) * fp16
+
+    return RankFootprint(
+        rank_parameters=rank_params,
+        fp16_parameter_bytes=rank_params * fp16,
+        fp16_gradient_bytes=gradient_bytes,
+        gathered_layer_workspace_bytes=layer_workspace,
+        activation_bytes=activations,
+        recompute_workspace_bytes=recompute,
+        logits_bytes=config.logits_bytes(microbatch_size),
+        gpu_resident_optimizer_bytes=gpu_resident_params * OPTIMIZER_STATE_BYTES_PER_PARAM,
+        staged_subgroup_bytes=staged_params * OPTIMIZER_STATE_BYTES_PER_PARAM,
+        host_optimizer_bytes=host_params * OPTIMIZER_STATE_BYTES_PER_PARAM,
+        host_gradient_bytes=rank_params * DType.FP32.itemsize,
+    )
+
+
+def build_memory_plan(footprint: RankFootprint) -> MemoryPlan:
+    """Translate a :class:`RankFootprint` into the :class:`MemoryPlan` used by the trainer."""
+    return MemoryPlan(
+        fp16_parameters=footprint.fp16_parameter_bytes,
+        fp16_gradients=footprint.fp16_gradient_bytes,
+        activations=footprint.activation_bytes,
+        activation_checkpoints=0,
+        gpu_resident_optimizer=footprint.gpu_resident_optimizer_bytes,
+        staged_subgroup=footprint.staged_subgroup_bytes,
+        workspace=footprint.gathered_layer_workspace_bytes
+        + footprint.recompute_workspace_bytes
+        + footprint.logits_bytes,
+        host_optimizer_state=footprint.host_optimizer_bytes,
+        host_gradient_buffer=footprint.host_gradient_bytes,
+    )
+
+
+def check_fits(
+    footprint: RankFootprint,
+    machine: MachineSpec,
+    *,
+    reserved_gpu_bytes: int = DEFAULT_GPU_RESERVED_BYTES,
+    data_parallel_degree: int | None = None,
+) -> None:
+    """Raise :class:`OutOfMemoryError` if the footprint exceeds GPU or host capacity.
+
+    This reproduces the OOM behaviour of Figure 13 (microbatch 16 on the 20B model)
+    and the paper's remark that LLaMA-33B no longer fits the 512 GB of host DRAM.
+    """
+    gpu_budget = machine.gpu.memory_bytes - reserved_gpu_bytes
+    gpu_needed = footprint.gpu_peak_bytes()
+    if gpu_needed > gpu_budget:
+        raise OutOfMemoryError(
+            f"GPU memory exceeded: need {gpu_needed / GIB:.1f} GiB, "
+            f"budget {gpu_budget / GIB:.1f} GiB",
+            requested_bytes=gpu_needed,
+            available_bytes=gpu_budget,
+        )
+    ranks = data_parallel_degree if data_parallel_degree is not None else machine.num_gpus
+    host_needed = footprint.host_bytes() * ranks
+    if host_needed > machine.host_memory.capacity_bytes:
+        raise OutOfMemoryError(
+            f"host memory exceeded: need {host_needed / GIB:.1f} GiB, "
+            f"capacity {machine.host_memory.capacity_bytes / GIB:.1f} GiB",
+            requested_bytes=host_needed,
+            available_bytes=machine.host_memory.capacity_bytes,
+        )
+
+
+# Per-parameter host bytes re-exported for documentation/tests.
+HOST_OPTIMIZER_BYTES_PER_PARAM = OPTIMIZER_STATE_WITH_GRADS_BYTES_PER_PARAM

@@ -1,0 +1,45 @@
+"""Miniature NumPy transformer with manual backpropagation.
+
+The paper's runtime trains Megatron-style GPT models; the optimizer offloading logic
+only sees flat FP16 parameter/gradient buffers and FP32 optimizer states, so any model
+that produces real gradients exercises the full Deep Optimizer States code path.  This
+subpackage provides such a model at laptop scale: a decoder-only transformer written
+with NumPy forward *and* backward passes (verified against finite differences in the
+test suite), used by the runnable examples and the end-to-end correctness tests.
+"""
+
+from repro.model.nn.functional import (
+    cross_entropy,
+    cross_entropy_backward,
+    gelu,
+    gelu_backward,
+    layer_norm,
+    layer_norm_backward,
+    softmax,
+)
+from repro.model.nn.layers import (
+    CausalSelfAttention,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    TransformerBlock,
+)
+from repro.model.nn.model import TinyTransformerLM
+
+__all__ = [
+    "gelu",
+    "gelu_backward",
+    "softmax",
+    "layer_norm",
+    "layer_norm_backward",
+    "cross_entropy",
+    "cross_entropy_backward",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "CausalSelfAttention",
+    "MLP",
+    "TransformerBlock",
+    "TinyTransformerLM",
+]

@@ -1,0 +1,88 @@
+"""Stateless neural-network primitives (forward and backward) in NumPy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximated GELU activation (the variant used by GPT-style models)."""
+    x = np.asarray(x, dtype=np.float32)
+    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x**3)))
+
+
+def gelu_backward(x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`gelu` with respect to its input."""
+    x = np.asarray(x, dtype=np.float32)
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    tanh_inner = np.tanh(inner)
+    d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x**2)
+    derivative = 0.5 * (1.0 + tanh_inner) + 0.5 * x * (1.0 - tanh_inner**2) * d_inner
+    return grad_output * derivative
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def layer_norm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> tuple[np.ndarray, tuple]:
+    """Layer normalisation over the last axis; returns (output, cache for backward)."""
+    x = np.asarray(x, dtype=np.float32)
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean) * inv_std
+    out = gamma * x_hat + beta
+    return out, (x_hat, inv_std, gamma)
+
+
+def layer_norm_backward(
+    grad_output: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`layer_norm`; returns (dx, dgamma, dbeta)."""
+    x_hat, inv_std, gamma = cache
+    features = x_hat.shape[-1]
+    dgamma = (grad_output * x_hat).reshape(-1, features).sum(axis=0)
+    dbeta = grad_output.reshape(-1, features).sum(axis=0)
+    dx_hat = grad_output * gamma
+    dx = (
+        dx_hat
+        - dx_hat.mean(axis=-1, keepdims=True)
+        - x_hat * (dx_hat * x_hat).mean(axis=-1, keepdims=True)
+    ) * inv_std
+    return dx, dgamma, dbeta
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean token-level cross entropy; returns (loss, probabilities)."""
+    log_probs = log_softmax(logits, axis=-1)
+    flat_log_probs = log_probs.reshape(-1, log_probs.shape[-1])
+    flat_targets = np.asarray(targets).reshape(-1)
+    picked = flat_log_probs[np.arange(flat_targets.shape[0]), flat_targets]
+    loss = float(-picked.mean())
+    return loss, np.exp(log_probs)
+
+
+def cross_entropy_backward(probs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Gradient of the mean cross entropy with respect to the logits."""
+    grad = probs.copy()
+    flat = grad.reshape(-1, grad.shape[-1])
+    flat_targets = np.asarray(targets).reshape(-1)
+    flat[np.arange(flat_targets.shape[0]), flat_targets] -= 1.0
+    flat /= flat_targets.shape[0]
+    return grad

@@ -1,0 +1,274 @@
+"""Transformer building blocks with explicit forward/backward implementations.
+
+Every layer keeps its parameters in ``self.params`` (name -> float32 array) and
+accumulates gradients into ``self.grads`` with the same keys during ``backward``.
+The layers cache whatever activations they need for the backward pass, which keeps
+the implementation simple and mirrors how a framework without activation
+checkpointing behaves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.model.nn import functional as F
+
+
+class Layer:
+    """Base class holding parameters and gradients."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for name, value in self.params.items():
+            self.grads[name] = np.zeros_like(value)
+
+    def named_parameters(self, prefix: str = "") -> dict[str, np.ndarray]:
+        """Flat mapping of parameter names to arrays (prefix applied)."""
+        return {f"{prefix}{name}": value for name, value in self.params.items()}
+
+    def named_gradients(self, prefix: str = "") -> dict[str, np.ndarray]:
+        """Flat mapping of gradient names to arrays (prefix applied)."""
+        return {f"{prefix}{name}": value for name, value in self.grads.items()}
+
+
+class Linear(Layer):
+    """Affine layer ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        scale = 1.0 / np.sqrt(in_features)
+        self.params["weight"] = rng.normal(0.0, scale, size=(in_features, out_features)).astype(np.float32)
+        self.params["bias"] = np.zeros(out_features, dtype=np.float32)
+        self.zero_grad()
+        self._cache_input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the affine transform and cache the input."""
+        self._cache_input = x
+        return x @ self.params["weight"] + self.params["bias"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate weight/bias gradients and return the input gradient."""
+        if self._cache_input is None:
+            raise ConfigurationError("backward called before forward")
+        x = self._cache_input
+        in_features = x.shape[-1]
+        out_features = grad_output.shape[-1]
+        flat_x = x.reshape(-1, in_features)
+        flat_grad = grad_output.reshape(-1, out_features)
+        self.grads["weight"] += flat_x.T @ flat_grad
+        self.grads["bias"] += flat_grad.sum(axis=0)
+        return (flat_grad @ self.params["weight"].T).reshape(x.shape)
+
+
+class Embedding(Layer):
+    """Token (or positional) embedding lookup."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.params["weight"] = rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)).astype(np.float32)
+        self.zero_grad()
+        self._cache_indices: np.ndarray | None = None
+
+    def forward(self, indices: np.ndarray) -> np.ndarray:
+        """Gather rows of the embedding table."""
+        self._cache_indices = np.asarray(indices)
+        return self.params["weight"][self._cache_indices]
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        """Scatter-add the output gradient back into the table."""
+        if self._cache_indices is None:
+            raise ConfigurationError("backward called before forward")
+        np.add.at(self.grads["weight"], self._cache_indices.reshape(-1),
+                  grad_output.reshape(-1, grad_output.shape[-1]))
+
+
+class LayerNorm(Layer):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, features: int) -> None:
+        super().__init__()
+        self.params["gamma"] = np.ones(features, dtype=np.float32)
+        self.params["beta"] = np.zeros(features, dtype=np.float32)
+        self.zero_grad()
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Normalise and affine-transform ``x``."""
+        out, self._cache = F.layer_norm(x, self.params["gamma"], self.params["beta"])
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate through the normalisation."""
+        if self._cache is None:
+            raise ConfigurationError("backward called before forward")
+        dx, dgamma, dbeta = F.layer_norm_backward(grad_output, self._cache)
+        self.grads["gamma"] += dgamma
+        self.grads["beta"] += dbeta
+        return dx
+
+
+class CausalSelfAttention(Layer):
+    """Multi-head causal self-attention."""
+
+    def __init__(self, hidden_size: int, num_heads: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if hidden_size % num_heads != 0:
+            raise ConfigurationError("hidden_size must be divisible by num_heads")
+        self.hidden_size = hidden_size
+        self.num_heads = num_heads
+        self.head_dim = hidden_size // num_heads
+        self.qkv = Linear(hidden_size, 3 * hidden_size, rng)
+        self.proj = Linear(hidden_size, hidden_size, rng)
+        self._cache: tuple | None = None
+
+    # -- parameter plumbing -------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> dict[str, np.ndarray]:
+        result = self.qkv.named_parameters(f"{prefix}qkv.")
+        result.update(self.proj.named_parameters(f"{prefix}proj."))
+        return result
+
+    def named_gradients(self, prefix: str = "") -> dict[str, np.ndarray]:
+        result = self.qkv.named_gradients(f"{prefix}qkv.")
+        result.update(self.proj.named_gradients(f"{prefix}proj."))
+        return result
+
+    def zero_grad(self) -> None:
+        self.qkv.zero_grad()
+        self.proj.zero_grad()
+
+    # -- forward/backward ---------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Attend causally over the sequence dimension."""
+        batch, seq, _ = x.shape
+        qkv = self.qkv.forward(x)
+        qkv = qkv.reshape(batch, seq, 3, self.num_heads, self.head_dim)
+        q = qkv[:, :, 0].transpose(0, 2, 1, 3)  # (B, H, T, D)
+        k = qkv[:, :, 1].transpose(0, 2, 1, 3)
+        v = qkv[:, :, 2].transpose(0, 2, 1, 3)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = np.matmul(q, k.transpose(0, 1, 3, 2)) * scale
+        mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+        scores = np.where(mask, np.float32(-1e9), scores)
+        attn = F.softmax(scores, axis=-1)
+        context = np.matmul(attn, v)  # (B, H, T, D)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden_size)
+        out = self.proj.forward(merged)
+        self._cache = (q, k, v, attn, scale, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate through projection, attention weights and QKV."""
+        if self._cache is None:
+            raise ConfigurationError("backward called before forward")
+        q, k, v, attn, scale, x_shape = self._cache
+        batch, seq, _ = x_shape
+
+        d_merged = self.proj.backward(grad_output)
+        d_context = d_merged.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        d_attn = np.matmul(d_context, v.transpose(0, 1, 3, 2))
+        d_v = np.matmul(attn.transpose(0, 1, 3, 2), d_context)
+
+        # Softmax backward: dS = A * (dA - sum(dA * A)).
+        d_scores = attn * (d_attn - (d_attn * attn).sum(axis=-1, keepdims=True))
+        d_q = np.matmul(d_scores, k) * scale
+        d_k = np.matmul(d_scores.transpose(0, 1, 3, 2), q) * scale
+
+        d_qkv = np.empty((batch, seq, 3, self.num_heads, self.head_dim), dtype=np.float32)
+        d_qkv[:, :, 0] = d_q.transpose(0, 2, 1, 3)
+        d_qkv[:, :, 1] = d_k.transpose(0, 2, 1, 3)
+        d_qkv[:, :, 2] = d_v.transpose(0, 2, 1, 3)
+        d_qkv = d_qkv.reshape(batch, seq, 3 * self.hidden_size)
+        return self.qkv.backward(d_qkv)
+
+
+class MLP(Layer):
+    """Feed-forward block: Linear -> GELU -> Linear."""
+
+    def __init__(self, hidden_size: int, ffn_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.fc_in = Linear(hidden_size, ffn_size, rng)
+        self.fc_out = Linear(ffn_size, hidden_size, rng)
+        self._cache_pre_activation: np.ndarray | None = None
+
+    def named_parameters(self, prefix: str = "") -> dict[str, np.ndarray]:
+        result = self.fc_in.named_parameters(f"{prefix}fc_in.")
+        result.update(self.fc_out.named_parameters(f"{prefix}fc_out."))
+        return result
+
+    def named_gradients(self, prefix: str = "") -> dict[str, np.ndarray]:
+        result = self.fc_in.named_gradients(f"{prefix}fc_in.")
+        result.update(self.fc_out.named_gradients(f"{prefix}fc_out."))
+        return result
+
+    def zero_grad(self) -> None:
+        self.fc_in.zero_grad()
+        self.fc_out.zero_grad()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the two-layer MLP."""
+        pre = self.fc_in.forward(x)
+        self._cache_pre_activation = pre
+        return self.fc_out.forward(F.gelu(pre))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate through both linear layers and the GELU."""
+        if self._cache_pre_activation is None:
+            raise ConfigurationError("backward called before forward")
+        d_hidden = self.fc_out.backward(grad_output)
+        d_pre = F.gelu_backward(self._cache_pre_activation, d_hidden)
+        return self.fc_in.backward(d_pre)
+
+
+class TransformerBlock(Layer):
+    """Pre-norm transformer decoder block."""
+
+    def __init__(self, hidden_size: int, num_heads: int, ffn_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.ln_attn = LayerNorm(hidden_size)
+        self.attention = CausalSelfAttention(hidden_size, num_heads, rng)
+        self.ln_mlp = LayerNorm(hidden_size)
+        self.mlp = MLP(hidden_size, ffn_size, rng)
+
+    def named_parameters(self, prefix: str = "") -> dict[str, np.ndarray]:
+        result = self.ln_attn.named_parameters(f"{prefix}ln_attn.")
+        result.update(self.attention.named_parameters(f"{prefix}attn."))
+        result.update(self.ln_mlp.named_parameters(f"{prefix}ln_mlp."))
+        result.update(self.mlp.named_parameters(f"{prefix}mlp."))
+        return result
+
+    def named_gradients(self, prefix: str = "") -> dict[str, np.ndarray]:
+        result = self.ln_attn.named_gradients(f"{prefix}ln_attn.")
+        result.update(self.attention.named_gradients(f"{prefix}attn."))
+        result.update(self.ln_mlp.named_gradients(f"{prefix}ln_mlp."))
+        result.update(self.mlp.named_gradients(f"{prefix}mlp."))
+        return result
+
+    def zero_grad(self) -> None:
+        self.ln_attn.zero_grad()
+        self.attention.zero_grad()
+        self.ln_mlp.zero_grad()
+        self.mlp.zero_grad()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Residual attention followed by residual MLP."""
+        x = x + self.attention.forward(self.ln_attn.forward(x))
+        x = x + self.mlp.forward(self.ln_mlp.forward(x))
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate through both residual branches."""
+        d_mlp = self.mlp.backward(grad_output)
+        grad_output = grad_output + self.ln_mlp.backward(d_mlp)
+        d_attn = self.attention.backward(grad_output)
+        grad_output = grad_output + self.ln_attn.backward(d_attn)
+        return grad_output

@@ -1,0 +1,147 @@
+"""Miniature decoder-only language model (NumPy, manual backprop).
+
+The model mirrors the GPT/Megatron architecture at a miniature scale: token and
+positional embeddings, a stack of pre-norm transformer blocks, a final layer norm and
+a language-model head tied to the token embedding.  Its parameters and gradients can
+be flattened into a single 1-D buffer (``flatten_parameters`` / ``flatten_gradients``)
+which is exactly the representation the ZeRO-3 subgroup sharding and the interleaved
+optimizer operate on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.model.config import TransformerConfig
+from repro.model.nn import functional as F
+from repro.model.nn.layers import Embedding, LayerNorm, TransformerBlock
+
+
+class TinyTransformerLM:
+    """A trainable NumPy transformer language model."""
+
+    def __init__(self, config: TransformerConfig, seed: int | None = None) -> None:
+        self.config = config
+        rng = make_rng(seed, stream=f"model-{config.name}")
+        self.token_embedding = Embedding(config.vocab_size, config.hidden_size, rng)
+        self.position_embedding = Embedding(config.sequence_length, config.hidden_size, rng)
+        self.blocks = [
+            TransformerBlock(config.hidden_size, config.num_attention_heads, config.ffn_hidden_size, rng)
+            for _ in range(config.num_layers)
+        ]
+        self.final_norm = LayerNorm(config.hidden_size)
+        self._cache: tuple | None = None
+
+    # ------------------------------------------------------------------ parameters
+
+    def named_parameters(self) -> dict[str, np.ndarray]:
+        """Ordered mapping of every trainable parameter."""
+        params = self.token_embedding.named_parameters("token_embedding.")
+        params.update(self.position_embedding.named_parameters("position_embedding."))
+        for index, block in enumerate(self.blocks):
+            params.update(block.named_parameters(f"blocks.{index}."))
+        params.update(self.final_norm.named_parameters("final_norm."))
+        return params
+
+    def named_gradients(self) -> dict[str, np.ndarray]:
+        """Ordered mapping of gradients matching :meth:`named_parameters`."""
+        grads = self.token_embedding.named_gradients("token_embedding.")
+        grads.update(self.position_embedding.named_gradients("position_embedding."))
+        for index, block in enumerate(self.blocks):
+            grads.update(block.named_gradients(f"blocks.{index}."))
+        grads.update(self.final_norm.named_gradients("final_norm."))
+        return grads
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(value.size for value in self.named_parameters().values())
+
+    def zero_grad(self) -> None:
+        """Reset all accumulated gradients."""
+        self.token_embedding.zero_grad()
+        self.position_embedding.zero_grad()
+        for block in self.blocks:
+            block.zero_grad()
+        self.final_norm.zero_grad()
+
+    # ------------------------------------------------------------------ flattening
+
+    def flatten_parameters(self, dtype=np.float32) -> np.ndarray:
+        """Concatenate every parameter into one flat buffer (deterministic order)."""
+        return np.concatenate([value.ravel() for value in self.named_parameters().values()]).astype(dtype)
+
+    def flatten_gradients(self, dtype=np.float32) -> np.ndarray:
+        """Concatenate every gradient into one flat buffer matching the parameter order."""
+        return np.concatenate([value.ravel() for value in self.named_gradients().values()]).astype(dtype)
+
+    def load_flat_parameters(self, flat: np.ndarray) -> None:
+        """Scatter a flat parameter buffer back into the model (inverse of flatten)."""
+        flat = np.asarray(flat, dtype=np.float32)
+        expected = self.num_parameters()
+        if flat.size != expected:
+            raise ConfigurationError(
+                f"flat buffer has {flat.size} elements, model needs {expected}"
+            )
+        offset = 0
+        for value in self.named_parameters().values():
+            count = value.size
+            value[...] = flat[offset : offset + count].reshape(value.shape)
+            offset += count
+
+    # ------------------------------------------------------------------ training ops
+
+    def forward(self, tokens: np.ndarray, targets: np.ndarray | None = None):
+        """Run the model; returns (logits, loss) where loss is None without targets."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ConfigurationError("tokens must have shape (batch, sequence)")
+        batch, seq = tokens.shape
+        if seq > self.config.sequence_length:
+            raise ConfigurationError(
+                f"sequence length {seq} exceeds configured maximum {self.config.sequence_length}"
+            )
+        positions = np.tile(np.arange(seq), (batch, 1))
+        hidden = self.token_embedding.forward(tokens) + self.position_embedding.forward(positions)
+        for block in self.blocks:
+            hidden = block.forward(hidden)
+        hidden = self.final_norm.forward(hidden)
+        logits = hidden @ self.token_embedding.params["weight"].T
+
+        loss = None
+        probs = None
+        if targets is not None:
+            loss, probs = F.cross_entropy(logits, targets)
+        self._cache = (hidden, probs, targets)
+        return logits, loss
+
+    def backward(self, grad_logits: np.ndarray | None = None) -> None:
+        """Backpropagate from the logits (or from the cached cross-entropy loss)."""
+        if self._cache is None:
+            raise ConfigurationError("backward called before forward")
+        hidden, probs, targets = self._cache
+        if grad_logits is None:
+            if probs is None or targets is None:
+                raise ConfigurationError("no targets were provided to forward; pass grad_logits")
+            grad_logits = F.cross_entropy_backward(probs, targets)
+
+        weight = self.token_embedding.params["weight"]
+        flat_hidden = hidden.reshape(-1, hidden.shape[-1])
+        flat_grad_logits = grad_logits.reshape(-1, grad_logits.shape[-1])
+        # Tied LM head: logits = hidden @ W_emb^T.
+        self.token_embedding.grads["weight"] += flat_grad_logits.T @ flat_hidden
+        d_hidden = (flat_grad_logits @ weight).reshape(hidden.shape)
+
+        d_hidden = self.final_norm.backward(d_hidden)
+        for block in reversed(self.blocks):
+            d_hidden = block.backward(d_hidden)
+        self.position_embedding.backward(d_hidden)
+        self.token_embedding.backward(d_hidden)
+
+    def train_step_gradients(self, tokens: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        """Convenience: zero grads, forward, backward; returns (loss, flat FP32 gradients)."""
+        self.zero_grad()
+        _, loss = self.forward(tokens, targets)
+        self.backward()
+        return float(loss), self.flatten_gradients()

@@ -1,0 +1,100 @@
+"""Model presets.
+
+``MODEL_PRESETS`` reproduces Table 2 of the paper: the 7B and 13B configurations are
+derived from LLaMA-2, the 8.3B one from Megatron-LM, the 10B one from GPT-10B (the
+ZeRO paper) and the 20B one from GPT-NeoX.  ``TINY_MODELS`` adds miniature
+configurations used by the numeric execution path (tests and runnable examples) —
+small enough to train with the NumPy transformer on a laptop while exercising exactly
+the same sharding, scheduling and precision code paths.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.model.config import TransformerConfig
+
+MODEL_PRESETS: dict[str, TransformerConfig] = {
+    "7B": TransformerConfig(
+        name="7B",
+        num_layers=32,
+        hidden_size=4096,
+        num_attention_heads=32,
+        nominal_parameters=7_000_000_000,
+    ),
+    "8.3B": TransformerConfig(
+        name="8.3B",
+        num_layers=72,
+        hidden_size=3072,
+        num_attention_heads=24,
+        nominal_parameters=8_300_000_000,
+    ),
+    "10B": TransformerConfig(
+        name="10B",
+        num_layers=50,
+        hidden_size=4096,
+        num_attention_heads=32,
+        nominal_parameters=10_000_000_000,
+    ),
+    "13B": TransformerConfig(
+        name="13B",
+        num_layers=40,
+        hidden_size=5120,
+        num_attention_heads=40,
+        nominal_parameters=13_000_000_000,
+    ),
+    "20B": TransformerConfig(
+        name="20B",
+        num_layers=48,
+        hidden_size=6144,
+        num_attention_heads=64,
+        nominal_parameters=20_000_000_000,
+    ),
+}
+
+TINY_MODELS: dict[str, TransformerConfig] = {
+    "tiny-4M": TransformerConfig(
+        name="tiny-4M",
+        num_layers=4,
+        hidden_size=256,
+        num_attention_heads=4,
+        vocab_size=512,
+        sequence_length=64,
+    ),
+    "tiny-1M": TransformerConfig(
+        name="tiny-1M",
+        num_layers=2,
+        hidden_size=128,
+        num_attention_heads=4,
+        vocab_size=256,
+        sequence_length=32,
+    ),
+    "nano": TransformerConfig(
+        name="nano",
+        num_layers=2,
+        hidden_size=32,
+        num_attention_heads=2,
+        vocab_size=64,
+        sequence_length=16,
+    ),
+}
+
+PAPER_MODEL_ORDER = ("7B", "8.3B", "10B", "13B", "20B")
+
+
+def list_model_presets(include_tiny: bool = False) -> list[str]:
+    """Names of the available model presets, in the order the paper plots them."""
+    names = list(PAPER_MODEL_ORDER)
+    if include_tiny:
+        names.extend(sorted(TINY_MODELS))
+    return names
+
+
+def get_model_preset(name: str) -> TransformerConfig:
+    """Look up a model preset (paper-scale or tiny) by name."""
+    if name in MODEL_PRESETS:
+        return MODEL_PRESETS[name]
+    if name in TINY_MODELS:
+        return TINY_MODELS[name]
+    raise ConfigurationError(
+        f"unknown model preset {name!r}; available: {list_model_presets(include_tiny=True)}"
+    )

@@ -1,0 +1,41 @@
+"""Adaptive-learning-rate optimizers operating on flat FP32 buffers.
+
+The paper's offloading machinery is optimizer-agnostic as long as the update rule is
+embarrassingly parallel per parameter; it names Adam, Adagrad and RMSProp explicitly.
+All three are implemented here as *rules* that update a flat FP32 parameter slice plus
+its state buffers in place, because that is exactly the shape of a ZeRO-3 subgroup:
+the same rule instance is invoked for CPU-scheduled and GPU-scheduled subgroups, so
+interleaving cannot change the numerics (a property the test suite checks).
+"""
+
+from repro.optim.base import OptimizerConfig, OptimizerRule, OptimizerState
+from repro.optim.adam import AdamConfig, AdamRule, adam_reference_update
+from repro.optim.adagrad import AdagradConfig, AdagradRule
+from repro.optim.rmsprop import RMSPropConfig, RMSPropRule
+
+__all__ = [
+    "OptimizerConfig",
+    "OptimizerRule",
+    "OptimizerState",
+    "AdamConfig",
+    "AdamRule",
+    "adam_reference_update",
+    "AdagradConfig",
+    "AdagradRule",
+    "RMSPropConfig",
+    "RMSPropRule",
+]
+
+
+def build_optimizer(name: str, **overrides) -> OptimizerRule:
+    """Construct an optimizer rule by name ("adam", "adagrad", "rmsprop")."""
+    from repro.common.errors import ConfigurationError
+
+    name = name.lower()
+    if name in ("adam", "adamw"):
+        return AdamRule(AdamConfig(**overrides))
+    if name == "adagrad":
+        return AdagradRule(AdagradConfig(**overrides))
+    if name == "rmsprop":
+        return RMSPropRule(RMSPropConfig(**overrides))
+    raise ConfigurationError(f"unknown optimizer {name!r}")

@@ -1,0 +1,53 @@
+"""Adagrad rule (Duchi et al.), one of the adaptive optimizers the paper cites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.optim.base import OptimizerConfig, OptimizerRule, OptimizerState
+
+
+@dataclass(frozen=True)
+class AdagradConfig(OptimizerConfig):
+    """Adagrad hyper-parameters."""
+
+    learning_rate: float = 1e-2
+    eps: float = 1e-10
+    weight_decay: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.eps <= 0:
+            raise ConfigurationError("eps must be positive")
+
+
+class AdagradRule(OptimizerRule):
+    """Accumulates squared gradients and scales the learning rate per parameter."""
+
+    state_names = ("accumulator",)
+
+    def __init__(self, config: AdagradConfig | None = None) -> None:
+        super().__init__(config or AdagradConfig())
+        self.config: AdagradConfig
+
+    def apply(
+        self,
+        params: np.ndarray,
+        grads: np.ndarray,
+        state: OptimizerState,
+        step: int,
+    ) -> None:
+        """One Adagrad step over a flat FP32 slice, in place."""
+        if step < 1:
+            raise ConfigurationError("optimizer step numbers are 1-based")
+        self.validate_buffers(params, grads, state)
+        cfg = self.config
+        grads = np.asarray(grads, dtype=np.float32)
+        if cfg.weight_decay:
+            grads = grads + cfg.weight_decay * params
+        accumulator = state["accumulator"]
+        accumulator += np.square(grads)
+        params -= cfg.learning_rate * grads / (np.sqrt(accumulator) + cfg.eps)

@@ -1,0 +1,113 @@
+"""Mixed-precision Adam / AdamW rule.
+
+This is the update rule at the heart of the paper: the FP32 master parameters,
+momentum and variance live (mostly) in host memory, the FP16 gradients produced on
+the GPU are upscaled to FP32, and the rule is applied one subgroup at a time either
+on the CPU or on the GPU.  The implementation is vectorised NumPy operating in place
+on flat float32 buffers, plus a float64 reference used by the numerical tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.optim.base import OptimizerConfig, OptimizerRule, OptimizerState
+
+
+@dataclass(frozen=True)
+class AdamConfig(OptimizerConfig):
+    """Adam hyper-parameters (defaults follow DeepSpeed's CPU Adam)."""
+
+    learning_rate: float = 1e-4
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    weight_decay: float = 0.0
+    bias_correction: bool = True
+    adamw_mode: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.beta1 < 1.0 or not 0.0 <= self.beta2 < 1.0:
+            raise ConfigurationError("betas must be in [0, 1)")
+        if self.eps <= 0:
+            raise ConfigurationError("eps must be positive")
+
+
+class AdamRule(OptimizerRule):
+    """Adam with optional decoupled weight decay (AdamW)."""
+
+    state_names = ("momentum", "variance")
+
+    def __init__(self, config: AdamConfig | None = None) -> None:
+        super().__init__(config or AdamConfig())
+        self.config: AdamConfig
+
+    def apply(
+        self,
+        params: np.ndarray,
+        grads: np.ndarray,
+        state: OptimizerState,
+        step: int,
+    ) -> None:
+        """One Adam step over a flat FP32 slice, in place."""
+        if step < 1:
+            raise ConfigurationError("optimizer step numbers are 1-based")
+        self.validate_buffers(params, grads, state)
+        cfg = self.config
+        momentum = state["momentum"]
+        variance = state["variance"]
+        grads = np.asarray(grads, dtype=np.float32)
+
+        if cfg.weight_decay and not cfg.adamw_mode:
+            grads = grads + cfg.weight_decay * params
+
+        momentum *= cfg.beta1
+        momentum += (1.0 - cfg.beta1) * grads
+        variance *= cfg.beta2
+        variance += (1.0 - cfg.beta2) * np.square(grads)
+
+        if cfg.bias_correction:
+            bias1 = 1.0 - cfg.beta1**step
+            bias2 = 1.0 - cfg.beta2**step
+        else:
+            bias1 = bias2 = 1.0
+
+        denom = np.sqrt(variance / bias2) + cfg.eps
+        update = (momentum / bias1) / denom
+        if cfg.weight_decay and cfg.adamw_mode:
+            update = update + cfg.weight_decay * params
+        params -= cfg.learning_rate * update
+
+
+def adam_reference_update(
+    params: np.ndarray,
+    grads: np.ndarray,
+    momentum: np.ndarray,
+    variance: np.ndarray,
+    step: int,
+    config: AdamConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Float64 out-of-place Adam used as the ground truth in numerical tests."""
+    p = np.asarray(params, dtype=np.float64).copy()
+    g = np.asarray(grads, dtype=np.float64).copy()
+    m = np.asarray(momentum, dtype=np.float64).copy()
+    v = np.asarray(variance, dtype=np.float64).copy()
+
+    if config.weight_decay and not config.adamw_mode:
+        g = g + config.weight_decay * p
+    m = config.beta1 * m + (1.0 - config.beta1) * g
+    v = config.beta2 * v + (1.0 - config.beta2) * g**2
+    if config.bias_correction:
+        bias1 = 1.0 - config.beta1**step
+        bias2 = 1.0 - config.beta2**step
+    else:
+        bias1 = bias2 = 1.0
+    update = (m / bias1) / (np.sqrt(v / bias2) + config.eps)
+    if config.weight_decay and config.adamw_mode:
+        update = update + config.weight_decay * p
+    p = p - config.learning_rate * update
+    return p, m, v

@@ -1,0 +1,78 @@
+"""Optimizer rule interface.
+
+A rule owns no tensors; it receives the FP32 master parameters, the FP32 gradients and
+a dictionary of FP32 state buffers (all flat, all the same length) and mutates them in
+place.  The per-subgroup buffers themselves are owned by :class:`repro.zero.Subgroup`
+so that they can be placed on (simulated) host or GPU memory independently of the
+update rule.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+OptimizerState = dict[str, np.ndarray]
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Hyper-parameters shared by every rule."""
+
+    learning_rate: float = 1e-4
+    weight_decay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if self.weight_decay < 0:
+            raise ConfigurationError("weight_decay must be non-negative")
+
+
+class OptimizerRule(abc.ABC):
+    """An embarrassingly parallel per-parameter update rule."""
+
+    #: Names of the FP32 state buffers this rule needs (e.g. momentum / variance).
+    state_names: tuple[str, ...] = ()
+
+    def __init__(self, config: OptimizerConfig) -> None:
+        self.config = config
+
+    def init_state(self, num_params: int) -> OptimizerState:
+        """Allocate zero-initialised state buffers for ``num_params`` parameters."""
+        if num_params < 0:
+            raise ConfigurationError("num_params must be non-negative")
+        return {name: np.zeros(num_params, dtype=np.float32) for name in self.state_names}
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        params: np.ndarray,
+        grads: np.ndarray,
+        state: OptimizerState,
+        step: int,
+    ) -> None:
+        """Update ``params`` and ``state`` in place using ``grads`` at optimizer ``step``."""
+
+    def validate_buffers(self, params: np.ndarray, grads: np.ndarray, state: OptimizerState) -> None:
+        """Common shape/dtype checks shared by the concrete rules."""
+        if params.shape != grads.shape:
+            raise ConfigurationError(
+                f"parameter shape {params.shape} does not match gradient shape {grads.shape}"
+            )
+        for name in self.state_names:
+            if name not in state:
+                raise ConfigurationError(f"missing optimizer state buffer {name!r}")
+            if state[name].shape != params.shape:
+                raise ConfigurationError(
+                    f"state buffer {name!r} shape {state[name].shape} does not match parameters"
+                )
+
+    @property
+    def state_bytes_per_param(self) -> int:
+        """FP32 bytes of optimizer state per parameter (used by the memory model)."""
+        return 4 * len(self.state_names)

@@ -1,0 +1,67 @@
+"""RMSProp rule (Graves/Hinton), one of the adaptive optimizers the paper cites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.optim.base import OptimizerConfig, OptimizerRule, OptimizerState
+
+
+@dataclass(frozen=True)
+class RMSPropConfig(OptimizerConfig):
+    """RMSProp hyper-parameters."""
+
+    learning_rate: float = 1e-3
+    alpha: float = 0.99
+    eps: float = 1e-8
+    weight_decay: float = 0.0
+    momentum: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.alpha < 1.0:
+            raise ConfigurationError("alpha must be in [0, 1)")
+        if self.eps <= 0:
+            raise ConfigurationError("eps must be positive")
+        if self.momentum < 0:
+            raise ConfigurationError("momentum must be non-negative")
+
+
+class RMSPropRule(OptimizerRule):
+    """Exponential moving average of squared gradients with optional momentum."""
+
+    state_names = ("square_avg", "momentum_buffer")
+
+    def __init__(self, config: RMSPropConfig | None = None) -> None:
+        super().__init__(config or RMSPropConfig())
+        self.config: RMSPropConfig
+
+    def apply(
+        self,
+        params: np.ndarray,
+        grads: np.ndarray,
+        state: OptimizerState,
+        step: int,
+    ) -> None:
+        """One RMSProp step over a flat FP32 slice, in place."""
+        if step < 1:
+            raise ConfigurationError("optimizer step numbers are 1-based")
+        self.validate_buffers(params, grads, state)
+        cfg = self.config
+        grads = np.asarray(grads, dtype=np.float32)
+        if cfg.weight_decay:
+            grads = grads + cfg.weight_decay * params
+        square_avg = state["square_avg"]
+        square_avg *= cfg.alpha
+        square_avg += (1.0 - cfg.alpha) * np.square(grads)
+        scaled = grads / (np.sqrt(square_avg) + cfg.eps)
+        if cfg.momentum > 0:
+            buffer = state["momentum_buffer"]
+            buffer *= cfg.momentum
+            buffer += scaled
+            params -= cfg.learning_rate * buffer
+        else:
+            params -= cfg.learning_rate * scaled

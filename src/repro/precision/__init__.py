@@ -1,0 +1,32 @@
+"""Mixed-precision substrate: dtype descriptors, conversions and loss scaling.
+
+Mixed-precision training (Micikevicius et al.) keeps the model parameters and
+activations on the GPU in 16-bit precision while the optimizer state (master
+parameters, momentum, variance) stays in 32-bit precision.  Deep Optimizer States
+relies on two properties of this scheme that this subpackage implements and tests:
+
+* FP16 -> FP32 upscaling is exact, so converting gradients on the GPU before the D2H
+  flush (the paper's Figure 6 optimisation) cannot change the training result.
+* FP32 -> FP16 downscaling of updated parameters is a pure element-wise cast whose
+  throughput on the CPU (``D_c`` in Equation 1) is one of the inputs of the
+  performance model.
+"""
+
+from repro.precision.dtypes import DType, dtype_size, to_numpy_dtype
+from repro.precision.convert import (
+    chunked_convert,
+    downscale_fp32_to_fp16,
+    upscale_fp16_to_fp32,
+)
+from repro.precision.loss_scaler import DynamicLossScaler, StaticLossScaler
+
+__all__ = [
+    "DType",
+    "dtype_size",
+    "to_numpy_dtype",
+    "upscale_fp16_to_fp32",
+    "downscale_fp32_to_fp16",
+    "chunked_convert",
+    "StaticLossScaler",
+    "DynamicLossScaler",
+]

@@ -1,0 +1,88 @@
+"""Floating-point dtype descriptors used across the reproduction.
+
+The paper's memory accounting (Table 2, Section 5.3) is entirely determined by the
+per-parameter byte counts of the FP16 model/gradients and the FP32 optimizer state,
+so the descriptors here are the single source of truth for those sizes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+class DType(enum.Enum):
+    """Floating point formats relevant to mixed-precision LLM training."""
+
+    FP16 = "fp16"
+    BF16 = "bf16"
+    FP32 = "fp32"
+    FP64 = "fp64"
+
+    @property
+    def itemsize(self) -> int:
+        """Size of one element in bytes."""
+        return _ITEMSIZE[self]
+
+    @property
+    def is_low_precision(self) -> bool:
+        """True for the 16-bit formats used for parameters/gradients on the GPU."""
+        return self in (DType.FP16, DType.BF16)
+
+
+_ITEMSIZE = {
+    DType.FP16: 2,
+    DType.BF16: 2,
+    DType.FP32: 4,
+    DType.FP64: 8,
+}
+
+_NUMPY_DTYPES = {
+    DType.FP16: np.float16,
+    # NumPy has no native bfloat16; float32 storage preserves all bfloat16 values and is
+    # only used for the numeric (miniature-model) execution path, never for sizing.
+    DType.BF16: np.float32,
+    DType.FP32: np.float32,
+    DType.FP64: np.float64,
+}
+
+
+def dtype_size(dtype: DType) -> int:
+    """Return the per-element size in bytes of ``dtype``."""
+    return dtype.itemsize
+
+
+def to_numpy_dtype(dtype: DType) -> np.dtype:
+    """Return the NumPy dtype used to materialise tensors of ``dtype``."""
+    return np.dtype(_NUMPY_DTYPES[dtype])
+
+
+def parse_dtype(name: str | DType) -> DType:
+    """Parse a dtype name (``"fp16"``, ``"bf16"``, ``"fp32"``, ``"fp64"``)."""
+    if isinstance(name, DType):
+        return name
+    try:
+        return DType(name.lower())
+    except ValueError as exc:
+        raise ConfigurationError(f"unknown dtype name: {name!r}") from exc
+
+
+# Per-parameter byte counts used by the ZeRO-Infinity style memory model (Section 2,
+# Table 2): FP16 parameters + FP16 gradients on the GPU, FP32 parameters + momentum +
+# variance (+ FP32 gradients while updating) on the host.
+FP16_PARAM_BYTES = DType.FP16.itemsize
+FP16_GRAD_BYTES = DType.FP16.itemsize
+FP32_PARAM_BYTES = DType.FP32.itemsize
+FP32_MOMENTUM_BYTES = DType.FP32.itemsize
+FP32_VARIANCE_BYTES = DType.FP32.itemsize
+FP32_GRAD_BYTES = DType.FP32.itemsize
+
+OPTIMIZER_STATE_BYTES_PER_PARAM = (
+    FP32_PARAM_BYTES + FP32_MOMENTUM_BYTES + FP32_VARIANCE_BYTES
+)
+OPTIMIZER_STATE_WITH_GRADS_BYTES_PER_PARAM = (
+    OPTIMIZER_STATE_BYTES_PER_PARAM + FP32_GRAD_BYTES
+)

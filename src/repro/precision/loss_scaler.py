@@ -1,0 +1,86 @@
+"""Loss scaling for mixed-precision training.
+
+FP16 gradients underflow easily; production runtimes (DeepSpeed, Megatron-LM) multiply
+the loss by a scale factor before the backward pass and divide the gradients by the
+same factor before the optimizer step.  The reproduction implements both the static
+and the dynamic (overflow-adaptive) variants so that the miniature-model training
+examples follow the same numerical recipe as the paper's runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass
+class StaticLossScaler:
+    """Constant loss scale, the simplest variant."""
+
+    scale: float = 2.0**16
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigurationError("loss scale must be positive")
+
+    def scale_loss(self, loss: float) -> float:
+        """Return the loss multiplied by the current scale."""
+        return loss * self.scale
+
+    def unscale_gradients(self, gradients: np.ndarray) -> np.ndarray:
+        """Return gradients divided by the current scale (in FP32)."""
+        return np.asarray(gradients, dtype=np.float32) / self.scale
+
+    def update(self, found_overflow: bool) -> bool:
+        """Static scaling never skips steps; returns True (step should be applied)."""
+        return not found_overflow
+
+    @staticmethod
+    def has_overflow(gradients: np.ndarray) -> bool:
+        """Check an FP16/FP32 gradient buffer for inf/NaN."""
+        return not bool(np.isfinite(np.asarray(gradients, dtype=np.float32)).all())
+
+
+@dataclass
+class DynamicLossScaler(StaticLossScaler):
+    """DeepSpeed-style dynamic loss scaling.
+
+    The scale is halved whenever an overflow is detected (and the step skipped) and
+    doubled after ``growth_interval`` consecutive overflow-free steps.
+    """
+
+    scale: float = 2.0**16
+    growth_factor: float = 2.0
+    backoff_factor: float = 0.5
+    growth_interval: int = 1000
+    min_scale: float = 1.0
+    max_scale: float = 2.0**24
+    _good_steps: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 < self.backoff_factor < 1:
+            raise ConfigurationError("backoff_factor must be in (0, 1)")
+        if self.growth_factor <= 1:
+            raise ConfigurationError("growth_factor must be > 1")
+        if self.growth_interval <= 0:
+            raise ConfigurationError("growth_interval must be positive")
+
+    def update(self, found_overflow: bool) -> bool:
+        """Adjust the scale given the overflow status of the last step.
+
+        Returns True when the optimizer step should be applied (no overflow), False
+        when the step must be skipped.
+        """
+        if found_overflow:
+            self.scale = max(self.min_scale, self.scale * self.backoff_factor)
+            self._good_steps = 0
+            return False
+        self._good_steps += 1
+        if self._good_steps >= self.growth_interval:
+            self.scale = min(self.max_scale, self.scale * self.growth_factor)
+            self._good_steps = 0
+        return True

@@ -1,0 +1,144 @@
+"""Trace reconstruction: memory and bandwidth time series from a schedule.
+
+The paper instruments training with NVML and plots GPU memory utilisation (Figure 3),
+PCIe throughput (Figure 4) and GPU/CPU/PCIe utilisation during the update phase
+(Figure 15).  This module rebuilds the same kinds of series from a simulated
+:class:`~repro.sim.engine.Schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.sim.engine import Schedule
+from repro.sim.ops import OpKind
+
+
+@dataclass
+class MemoryTimeline:
+    """GPU memory occupancy over time, reconstructed from op ``gpu_mem_delta`` tags."""
+
+    times: list[float] = field(default_factory=list)
+    used_bytes: list[int] = field(default_factory=list)
+
+    @classmethod
+    def from_schedule(cls, schedule: Schedule, initial_bytes: int = 0) -> "MemoryTimeline":
+        """Apply every op's memory delta at its completion time."""
+        events = [
+            (item.end, item.op.gpu_mem_delta)
+            for item in schedule.ops
+            if item.op.gpu_mem_delta != 0
+        ]
+        events.sort(key=lambda pair: pair[0])
+        times = [0.0]
+        used = [initial_bytes]
+        current = initial_bytes
+        for time, delta in events:
+            current += delta
+            times.append(time)
+            used.append(current)
+        return cls(times=times, used_bytes=used)
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of the timeline."""
+        return max(self.used_bytes, default=0)
+
+    @property
+    def final_bytes(self) -> int:
+        """Occupancy after the last event."""
+        return self.used_bytes[-1] if self.used_bytes else 0
+
+    def at(self, time: float) -> int:
+        """Occupancy at ``time`` (step function, right-continuous)."""
+        result = self.used_bytes[0] if self.used_bytes else 0
+        for when, value in zip(self.times, self.used_bytes):
+            if when <= time:
+                result = value
+            else:
+                break
+        return result
+
+    def sample(self, resolution: float, end_time: float | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Sample the step function on a regular grid (for plotting/inspection)."""
+        if resolution <= 0:
+            raise ConfigurationError("resolution must be positive")
+        stop = end_time if end_time is not None else (self.times[-1] if self.times else 0.0)
+        grid = np.arange(0.0, stop + resolution, resolution)
+        values = np.array([self.at(float(t)) for t in grid], dtype=np.int64)
+        return grid, values
+
+
+@dataclass
+class ThroughputTimeline:
+    """Bandwidth over time for one transfer direction (H2D or D2H)."""
+
+    times: np.ndarray
+    bytes_per_second: np.ndarray
+
+    @classmethod
+    def from_schedule(
+        cls,
+        schedule: Schedule,
+        kind: OpKind,
+        resolution: float = 0.05,
+        end_time: float | None = None,
+    ) -> "ThroughputTimeline":
+        """Distribute each transfer's payload uniformly over its service interval."""
+        if resolution <= 0:
+            raise ConfigurationError("resolution must be positive")
+        stop = end_time if end_time is not None else schedule.makespan
+        num_bins = max(1, int(np.ceil(stop / resolution)))
+        bins = np.zeros(num_bins, dtype=np.float64)
+        for item in schedule.filter(kind=kind):
+            if item.op.payload_bytes == 0 or item.duration <= 0:
+                continue
+            rate = item.op.payload_bytes / item.duration
+            first = int(item.start / resolution)
+            last = min(num_bins - 1, int(np.floor((item.end - 1e-12) / resolution)))
+            for index in range(first, last + 1):
+                bin_start = index * resolution
+                bin_end = bin_start + resolution
+                overlap = max(0.0, min(item.end, bin_end) - max(item.start, bin_start))
+                bins[index] += rate * overlap
+        times = (np.arange(num_bins) + 0.5) * resolution
+        return cls(times=times, bytes_per_second=bins / resolution)
+
+    @property
+    def peak_bps(self) -> float:
+        """Peak observed bandwidth."""
+        return float(self.bytes_per_second.max()) if self.bytes_per_second.size else 0.0
+
+    @property
+    def mean_bps(self) -> float:
+        """Mean bandwidth over the sampled window."""
+        return float(self.bytes_per_second.mean()) if self.bytes_per_second.size else 0.0
+
+    def total_bytes(self) -> float:
+        """Integral of the series (total bytes transferred)."""
+        if self.bytes_per_second.size == 0:
+            return 0.0
+        resolution = float(self.times[1] - self.times[0]) if self.times.size > 1 else float(self.times[0] * 2)
+        return float(self.bytes_per_second.sum() * resolution)
+
+
+def sample_series(times: list[float], values: list[float], resolution: float) -> tuple[np.ndarray, np.ndarray]:
+    """Resample an irregular step series onto a regular grid."""
+    if resolution <= 0:
+        raise ConfigurationError("resolution must be positive")
+    if not times:
+        return np.array([]), np.array([])
+    stop = times[-1]
+    grid = np.arange(0.0, stop + resolution, resolution)
+    sampled = np.zeros_like(grid)
+    current = values[0]
+    index = 0
+    for position, t in enumerate(grid):
+        while index < len(times) and times[index] <= t:
+            current = values[index]
+            index += 1
+        sampled[position] = current
+    return grid, sampled

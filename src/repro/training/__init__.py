@@ -1,0 +1,40 @@
+"""Training runtime: job configuration, iteration simulation, metrics and monitoring.
+
+The trainer composes the substrates (model memory/FLOPs model, ZeRO-3 sharding,
+hardware profile) with an offloading strategy (ZeRO-3 offload, TwinFlow, or Deep
+Optimizer States) into full training iterations.  Two execution paths share the same
+configuration surface:
+
+* the *simulated* path (:class:`Trainer`) reproduces the timing behaviour of the
+  paper-scale models on the paper's testbed and backs every figure of the evaluation;
+* the *numeric* path (:class:`MiniTrainer`) actually trains a miniature NumPy
+  transformer end to end through the same sharded optimizer and scheduling code,
+  proving that interleaved offloading does not change the learning dynamics.
+"""
+
+from repro.training.config import ResolvedJob, TrainingJobConfig
+from repro.training.metrics import IterationBreakdown, TrainingReport
+from repro.training.simulation import IterationOps, SimulationResult, simulate_job
+from repro.training.trainer import Trainer
+from repro.training.numeric import MiniTrainer, MiniTrainingResult
+from repro.training.monitor import ResourceMonitor, UtilizationSample
+from repro.training.data import SyntheticCorpus, TokenDataset, WordTokenizer, make_dataloader
+
+__all__ = [
+    "TrainingJobConfig",
+    "ResolvedJob",
+    "IterationBreakdown",
+    "TrainingReport",
+    "simulate_job",
+    "SimulationResult",
+    "IterationOps",
+    "Trainer",
+    "MiniTrainer",
+    "MiniTrainingResult",
+    "ResourceMonitor",
+    "UtilizationSample",
+    "SyntheticCorpus",
+    "WordTokenizer",
+    "TokenDataset",
+    "make_dataloader",
+]

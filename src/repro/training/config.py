@@ -1,0 +1,156 @@
+"""Training job configuration and its resolution into concrete objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.core.engine import OffloadStrategy
+from repro.baselines.registry import build_strategy
+from repro.hardware.contention import HostContentionModel
+from repro.hardware.presets import get_machine_preset
+from repro.hardware.specs import MachineSpec
+from repro.hardware.throughput import ThroughputProfile
+from repro.model.config import TransformerConfig
+from repro.model.footprint import RankFootprint, build_rank_footprint, check_fits
+from repro.model.presets import get_model_preset
+from repro.zero.partitioner import build_subgroups, partition_evenly
+
+
+@dataclass
+class TrainingJobConfig:
+    """Everything needed to describe one training run of the paper's evaluation."""
+
+    model: str | TransformerConfig = "20B"
+    machine: str | MachineSpec = "jlse-4xh100"
+    strategy: str | OffloadStrategy = "deep-optimizer-states"
+    data_parallel_degree: int | None = None
+    microbatch_size: int = 1
+    subgroup_size: int = 100_000_000
+    activation_checkpointing: bool = True
+    static_gpu_fraction: float = 0.0
+    update_stride: int = 0
+    cpu_cores_per_gpu: int | None = None
+    iterations: int = 10
+    warmup_iterations: int = 2
+    model_contention: bool = True
+    check_memory: bool = True
+    forward_chunks: int = 16
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.microbatch_size <= 0:
+            raise ConfigurationError("microbatch_size must be positive")
+        if self.subgroup_size <= 0:
+            raise ConfigurationError("subgroup_size must be positive")
+        if self.iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if not 0 <= self.warmup_iterations < self.iterations:
+            raise ConfigurationError("warmup_iterations must be in [0, iterations)")
+        if self.forward_chunks <= 0:
+            raise ConfigurationError("forward_chunks must be positive")
+
+    # ------------------------------------------------------------------ resolution
+
+    def resolve(self) -> "ResolvedJob":
+        """Materialise presets and derived quantities into a :class:`ResolvedJob`."""
+        model = self.model if isinstance(self.model, TransformerConfig) else get_model_preset(self.model)
+        machine = (
+            self.machine if isinstance(self.machine, MachineSpec) else get_machine_preset(self.machine)
+        )
+        dp = self.data_parallel_degree or machine.num_gpus
+        if dp <= 0:
+            raise ConfigurationError("data_parallel_degree must be positive")
+        if dp < machine.num_gpus:
+            machine = machine.with_num_gpus(dp)
+
+        strategy = (
+            self.strategy
+            if isinstance(self.strategy, OffloadStrategy)
+            else build_strategy(
+                self.strategy,
+                static_gpu_fraction=self.static_gpu_fraction,
+                subgroup_size=self.subgroup_size,
+                update_stride=self.update_stride,
+            )
+        )
+
+        contention = HostContentionModel() if self.model_contention else None
+        cores = self.cpu_cores_per_gpu
+        if cores is not None and contention is not None:
+            cores = contention.effective_cores(cores)
+        profile = ThroughputProfile.from_machine(machine, cores_per_gpu=cores)
+
+        rank_ranges = partition_evenly(model.num_parameters(), dp)
+        rank0_specs = build_subgroups(0, rank_ranges[0], self.subgroup_size)
+        subgroup_params = {spec.index: spec.num_params for spec in rank0_specs}
+
+        plan_preview = strategy.build_plan(len(rank0_specs), profile)
+        gradient_fraction = plan_preview.gpu_fraction() if strategy.stages_subgroup_on_gpu() else 0.0
+        footprint = build_rank_footprint(
+            model,
+            data_parallel_degree=dp,
+            microbatch_size=self.microbatch_size,
+            activation_checkpointing=self.activation_checkpointing,
+            gpu_resident_optimizer_fraction=strategy.static_gpu_fraction,
+            subgroup_size=self.subgroup_size,
+            stage_subgroup_on_gpu=strategy.stages_subgroup_on_gpu(),
+            gpu_scheduled_gradient_fraction=gradient_fraction,
+        )
+        if self.check_memory:
+            check_fits(footprint, machine, data_parallel_degree=dp)
+
+        plan = plan_preview
+        return ResolvedJob(
+            config=self,
+            model=model,
+            machine=machine,
+            strategy=strategy,
+            profile=profile,
+            contention=contention,
+            data_parallel_degree=dp,
+            subgroup_params=subgroup_params,
+            plan=plan,
+            footprint=footprint,
+        )
+
+
+@dataclass
+class ResolvedJob:
+    """A fully resolved training job ready to simulate."""
+
+    config: TrainingJobConfig
+    model: TransformerConfig
+    machine: MachineSpec
+    strategy: OffloadStrategy
+    profile: ThroughputProfile
+    contention: HostContentionModel | None
+    data_parallel_degree: int
+    subgroup_params: dict[int, int]
+    plan: "object"
+    footprint: RankFootprint
+
+    @property
+    def rank_parameters(self) -> int:
+        """Parameters owned by the representative rank (rank 0)."""
+        return sum(self.subgroup_params.values())
+
+    @property
+    def num_subgroups(self) -> int:
+        """Subgroups of the representative rank."""
+        return len(self.subgroup_params)
+
+    def describe(self) -> dict:
+        """Summary used by reports and examples."""
+        return {
+            "model": self.model.name,
+            "parameters_billions": round(self.model.billions_of_parameters, 2),
+            "machine": self.machine.name,
+            "strategy": self.strategy.name,
+            "data_parallel_degree": self.data_parallel_degree,
+            "microbatch_size": self.config.microbatch_size,
+            "subgroup_size": self.config.subgroup_size,
+            "num_subgroups_per_rank": self.num_subgroups,
+            "activation_checkpointing": self.config.activation_checkpointing,
+            "static_gpu_fraction": self.strategy.static_gpu_fraction,
+        }

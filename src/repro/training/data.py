@@ -1,0 +1,169 @@
+"""Synthetic text corpus, tokenizer and data loading.
+
+The paper fine-tunes on a 79K-record subset of OSCAR-en tokenized with the LLaMA-2
+tokenizer.  The dataset's content has no effect on any reported metric (all metrics
+are timings), so the reproduction ships a deterministic synthetic corpus with a
+Zipf-distributed vocabulary and a simple word-level tokenizer.  The numeric training
+examples use it to drive real forward/backward passes through the miniature model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+
+_SYLLABLES = (
+    "ba be bi bo bu da de di do du ka ke ki ko ku la le li lo lu "
+    "ma me mi mo mu na ne ni no nu ra re ri ro ru sa se si so su "
+    "ta te ti to tu va ve vi vo vu za ze zi zo zu"
+).split()
+
+
+@dataclass
+class SyntheticCorpus:
+    """A deterministic pseudo-natural-language corpus."""
+
+    num_documents: int = 256
+    words_per_document: int = 200
+    vocabulary_size: int = 2000
+    zipf_exponent: float = 1.1
+    seed: int | None = None
+    documents: list[str] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_documents <= 0 or self.words_per_document <= 0:
+            raise ConfigurationError("corpus dimensions must be positive")
+        if self.vocabulary_size < 10:
+            raise ConfigurationError("vocabulary_size must be at least 10")
+        if not self.documents:
+            self.documents = self._generate()
+
+    def _generate(self) -> list[str]:
+        rng = make_rng(self.seed, stream="corpus")
+        words = [self._word(index, rng) for index in range(self.vocabulary_size)]
+        ranks = np.arange(1, self.vocabulary_size + 1, dtype=np.float64)
+        probabilities = ranks**-self.zipf_exponent
+        probabilities /= probabilities.sum()
+        documents = []
+        for _ in range(self.num_documents):
+            indices = rng.choice(self.vocabulary_size, size=self.words_per_document, p=probabilities)
+            documents.append(" ".join(words[i] for i in indices))
+        return documents
+
+    @staticmethod
+    def _word(index: int, rng: np.random.Generator) -> str:
+        length = 2 + index % 3
+        picks = rng.integers(0, len(_SYLLABLES), size=length)
+        return "".join(_SYLLABLES[int(p)] for p in picks) + str(index % 10)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.documents)
+
+
+class WordTokenizer:
+    """Whitespace tokenizer with a fixed-size vocabulary and special tokens."""
+
+    PAD = "<pad>"
+    UNK = "<unk>"
+    BOS = "<bos>"
+    EOS = "<eos>"
+
+    def __init__(self, corpus: SyntheticCorpus | list[str], vocab_size: int = 512) -> None:
+        if vocab_size < 8:
+            raise ConfigurationError("vocab_size must be at least 8")
+        documents = list(corpus)
+        counts: dict[str, int] = {}
+        for document in documents:
+            for word in document.split():
+                counts[word] = counts.get(word, 0) + 1
+        specials = [self.PAD, self.UNK, self.BOS, self.EOS]
+        most_common = sorted(counts, key=lambda word: (-counts[word], word))
+        vocab = specials + most_common[: vocab_size - len(specials)]
+        self.token_to_id = {token: index for index, token in enumerate(vocab)}
+        self.id_to_token = {index: token for token, index in self.token_to_id.items()}
+
+    @property
+    def vocab_size(self) -> int:
+        """Number of distinct token ids."""
+        return len(self.token_to_id)
+
+    @property
+    def pad_id(self) -> int:
+        """Id of the padding token."""
+        return self.token_to_id[self.PAD]
+
+    def encode(self, text: str, *, add_special: bool = True) -> list[int]:
+        """Tokenize a document into ids (unknown words map to ``<unk>``)."""
+        unk = self.token_to_id[self.UNK]
+        ids = [self.token_to_id.get(word, unk) for word in text.split()]
+        if add_special:
+            return [self.token_to_id[self.BOS]] + ids + [self.token_to_id[self.EOS]]
+        return ids
+
+    def decode(self, ids: list[int]) -> str:
+        """Map ids back to a whitespace-joined string."""
+        return " ".join(self.id_to_token.get(int(i), self.UNK) for i in ids)
+
+
+@dataclass
+class TokenDataset:
+    """A flat token stream chunked into fixed-length training sequences."""
+
+    tokens: np.ndarray
+    sequence_length: int
+
+    @classmethod
+    def from_corpus(
+        cls, corpus: SyntheticCorpus, tokenizer: WordTokenizer, sequence_length: int
+    ) -> "TokenDataset":
+        """Tokenize and concatenate every document of ``corpus``."""
+        if sequence_length < 2:
+            raise ConfigurationError("sequence_length must be at least 2")
+        stream: list[int] = []
+        for document in corpus:
+            stream.extend(tokenizer.encode(document))
+        return cls(tokens=np.asarray(stream, dtype=np.int64), sequence_length=sequence_length)
+
+    def __len__(self) -> int:
+        return max(0, (self.tokens.size - 1) // self.sequence_length)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        start = index * self.sequence_length
+        chunk = self.tokens[start : start + self.sequence_length + 1]
+        return chunk[:-1].copy(), chunk[1:].copy()
+
+
+def make_dataloader(
+    dataset: TokenDataset,
+    batch_size: int,
+    *,
+    shuffle: bool = True,
+    seed: int | None = None,
+    drop_last: bool = True,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(tokens, targets)`` batches of shape ``(batch, sequence)``."""
+    if batch_size <= 0:
+        raise ConfigurationError("batch_size must be positive")
+    indices = np.arange(len(dataset))
+    if shuffle:
+        make_rng(seed, stream="dataloader").shuffle(indices)
+    batch_tokens, batch_targets = [], []
+    for index in indices:
+        tokens, targets = dataset[int(index)]
+        batch_tokens.append(tokens)
+        batch_targets.append(targets)
+        if len(batch_tokens) == batch_size:
+            yield np.stack(batch_tokens), np.stack(batch_targets)
+            batch_tokens, batch_targets = [], []
+    if batch_tokens and not drop_last:
+        yield np.stack(batch_tokens), np.stack(batch_targets)

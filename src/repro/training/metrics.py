@@ -1,0 +1,105 @@
+"""Training metrics: per-iteration phase breakdowns and aggregated reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """Wall-clock seconds of one training iteration, split by phase (Figure 7)."""
+
+    forward_seconds: float
+    backward_seconds: float
+    update_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end iteration time."""
+        return self.forward_seconds + self.backward_seconds + self.update_seconds
+
+    def as_dict(self) -> dict:
+        """Plain dictionary (used by the experiment tables)."""
+        return {
+            "forward_s": round(self.forward_seconds, 4),
+            "backward_s": round(self.backward_seconds, 4),
+            "update_s": round(self.update_seconds, 4),
+            "total_s": round(self.total_seconds, 4),
+        }
+
+
+def average_breakdown(breakdowns: list[IterationBreakdown]) -> IterationBreakdown:
+    """Element-wise mean of a list of breakdowns."""
+    if not breakdowns:
+        raise ConfigurationError("cannot average an empty list of breakdowns")
+    count = len(breakdowns)
+    return IterationBreakdown(
+        forward_seconds=sum(item.forward_seconds for item in breakdowns) / count,
+        backward_seconds=sum(item.backward_seconds for item in breakdowns) / count,
+        update_seconds=sum(item.update_seconds for item in breakdowns) / count,
+    )
+
+
+@dataclass
+class TrainingReport:
+    """Aggregated result of one (simulated) training run."""
+
+    job: dict
+    breakdowns: list[IterationBreakdown] = field(default_factory=list)
+    warmup_iterations: int = 0
+    requested_iterations: int = 0
+    update_throughput_pps: float = 0.0
+    achieved_tflops: float = 0.0
+    end_to_end_seconds: float = 0.0
+    oom: bool = False
+    oom_reason: str = ""
+
+    @property
+    def steady_state(self) -> IterationBreakdown:
+        """Average breakdown over the post-warmup iterations."""
+        usable = self.breakdowns[self.warmup_iterations :] or self.breakdowns
+        return average_breakdown(usable)
+
+    @property
+    def iteration_seconds(self) -> float:
+        """Average post-warmup iteration time (the headline per-iteration metric)."""
+        return self.steady_state.total_seconds
+
+    def speedup_over(self, other: "TrainingReport") -> float:
+        """Iteration-time speedup of this run relative to ``other``."""
+        if self.oom or other.oom:
+            raise ConfigurationError("cannot compute a speedup involving an OOM run")
+        return other.iteration_seconds / self.iteration_seconds
+
+    def as_row(self) -> dict:
+        """One row for the experiment tables."""
+        if self.oom:
+            return {**self.job, "oom": True}
+        steady = self.steady_state
+        return {
+            **self.job,
+            "forward_s": round(steady.forward_seconds, 3),
+            "backward_s": round(steady.backward_seconds, 3),
+            "update_s": round(steady.update_seconds, 3),
+            "iteration_s": round(steady.total_seconds, 3),
+            "update_throughput_bpps": round(self.update_throughput_pps / 1e9, 2),
+            "tflops": round(self.achieved_tflops, 1),
+            "end_to_end_s": round(self.end_to_end_seconds, 1),
+            "oom": False,
+        }
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+    widths = {col: max(len(col), *(len(str(row.get(col, ""))) for row in rows)) for col in columns}
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    separator = "  ".join("-" * widths[col] for col in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""NVML-style resource monitoring of simulated schedules.
+
+The paper instruments its runs with the NVIDIA Management Library to obtain GPU
+memory utilisation (Figure 3), PCIe throughput (Figure 4) and GPU/CPU utilisation
+during the update phase (Figure 15).  :class:`ResourceMonitor` produces the same
+quantities from a :class:`~repro.training.simulation.SimulationResult`.
+
+The paper notes that NVML "reports active GPU utilisation even when no kernels are
+running and only transfers are in progress" because the copy engines keep the GPU
+busy; ``gpu_utilization`` therefore counts PCIe transfer time as GPU activity too,
+matching that measurement artefact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import GB
+from repro.sim.ops import OpKind
+from repro.sim.trace import MemoryTimeline, ThroughputTimeline
+from repro.training.simulation import SimulationResult
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """Average utilisations over a time window (one bar group of Figure 15)."""
+
+    window: tuple[float, float]
+    gpu_utilization: float
+    cpu_utilization: float
+    pcie_h2d_gbps: float
+    pcie_d2h_gbps: float
+
+
+class ResourceMonitor:
+    """Derives NVML-like measurements from a simulation result."""
+
+    def __init__(self, result: SimulationResult) -> None:
+        self.result = result
+        self.schedule = result.schedule
+
+    # ------------------------------------------------------------------ memory
+
+    def gpu_memory_timeline(self) -> MemoryTimeline:
+        """GPU memory occupancy over the simulated window (Figure 3)."""
+        return self.result.memory_timeline()
+
+    def peak_gpu_memory_bytes(self) -> int:
+        """Peak GPU memory over the whole simulation."""
+        return self.gpu_memory_timeline().peak_bytes
+
+    # ------------------------------------------------------------------ PCIe
+
+    def pcie_throughput(self, direction: str, resolution: float = 0.05) -> ThroughputTimeline:
+        """PCIe bandwidth trace for one direction (Figure 4)."""
+        return self.result.pcie_timeline(direction, resolution=resolution)
+
+    def mean_pcie_gbps(self, direction: str, window: tuple[float, float]) -> float:
+        """Average PCIe bandwidth (GB/s) over ``window``."""
+        kind = OpKind.H2D if direction == "h2d" else OpKind.D2H
+        moved = self.schedule.transferred_bytes(kind, window)
+        span = window[1] - window[0]
+        return 0.0 if span <= 0 else moved / span / GB
+
+    # ------------------------------------------------------------------ utilisation
+
+    def gpu_utilization(self, window: tuple[float, float]) -> float:
+        """Fraction of ``window`` during which the GPU (SMs or copy engines) was active."""
+        span = window[1] - window[0]
+        if span <= 0:
+            return 0.0
+        busy = (
+            self.schedule.busy_time("gpu.compute", window)
+            + self.schedule.busy_time("pcie.h2d", window)
+            + self.schedule.busy_time("pcie.d2h", window)
+        )
+        return min(1.0, busy / span)
+
+    def cpu_utilization(self, window: tuple[float, float]) -> float:
+        """Fraction of ``window`` during which the host CPU cores were busy."""
+        return self.schedule.utilization("cpu", window)
+
+    def update_phase_sample(self, iteration: int = 0) -> UtilizationSample:
+        """Utilisations over the update phase of ``iteration`` (Figure 15)."""
+        window = self.result.update_window(iteration)
+        return UtilizationSample(
+            window=window,
+            gpu_utilization=self.gpu_utilization(window),
+            cpu_utilization=self.cpu_utilization(window),
+            pcie_h2d_gbps=self.mean_pcie_gbps("h2d", window),
+            pcie_d2h_gbps=self.mean_pcie_gbps("d2h", window),
+        )
+
+    def phase_samples(self, iteration: int = 0) -> dict[str, UtilizationSample]:
+        """Utilisation samples for the forward, backward and update windows."""
+        start = self.result.iteration_start(iteration)
+        forward_end = self.result.forward_end(iteration)
+        backward_end = self.result.backward_end(iteration)
+        ready = self.result.params_ready_time(iteration)
+        windows = {
+            "forward": (start, forward_end),
+            "backward": (forward_end, backward_end),
+            "update": (backward_end, ready),
+        }
+        return {
+            phase: UtilizationSample(
+                window=window,
+                gpu_utilization=self.gpu_utilization(window),
+                cpu_utilization=self.cpu_utilization(window),
+                pcie_h2d_gbps=self.mean_pcie_gbps("h2d", window),
+                pcie_d2h_gbps=self.mean_pcie_gbps("d2h", window),
+            )
+            for phase, window in windows.items()
+        }

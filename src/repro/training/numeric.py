@@ -1,0 +1,163 @@
+"""Numeric end-to-end training of the miniature model through the sharded optimizer.
+
+:class:`MiniTrainer` wires together the full data path of the paper at laptop scale:
+the NumPy transformer produces FP32 gradients, they are cast to FP16 (the precision in
+which a real backward pass emits them), averaged across simulated data-parallel ranks,
+scattered into the ZeRO-3 subgroups, upscaled exactly to FP32, and consumed by the
+optimizer through whichever update executor the chosen offloading strategy provides —
+sequential CPU for the baselines, interleaved for Deep Optimizer States.  Because the
+executors share the same arithmetic, any strategy must produce exactly the same
+training trajectory, which the integration tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.core.engine import OffloadStrategy
+from repro.baselines.registry import build_strategy
+from repro.hardware.presets import JLSE_H100_NODE
+from repro.hardware.throughput import ThroughputProfile
+from repro.model.config import TransformerConfig
+from repro.model.nn.model import TinyTransformerLM
+from repro.optim import AdamConfig, AdamRule
+from repro.optim.base import OptimizerRule
+from repro.precision.loss_scaler import DynamicLossScaler, StaticLossScaler
+from repro.zero.collectives import allreduce_mean
+from repro.zero.stage3 import ShardedMixedPrecisionOptimizer
+
+
+@dataclass
+class MiniTrainingResult:
+    """Outcome of a numeric training run."""
+
+    losses: list[float] = field(default_factory=list)
+    skipped_steps: int = 0
+    steps: int = 0
+    strategy: str = ""
+
+    @property
+    def initial_loss(self) -> float:
+        """Loss of the first step."""
+        return self.losses[0] if self.losses else float("nan")
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last step."""
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class MiniTrainer:
+    """Trains a :class:`TinyTransformerLM` with a ZeRO-3 sharded, offloaded optimizer."""
+
+    def __init__(
+        self,
+        model_config: TransformerConfig,
+        *,
+        strategy: str | OffloadStrategy = "deep-optimizer-states",
+        data_parallel_degree: int = 2,
+        subgroup_size: int = 8192,
+        rule: OptimizerRule | None = None,
+        loss_scaler: StaticLossScaler | DynamicLossScaler | None = None,
+        seed: int | None = None,
+        profile: ThroughputProfile | None = None,
+    ) -> None:
+        if data_parallel_degree <= 0:
+            raise ConfigurationError("data_parallel_degree must be positive")
+        self.model_config = model_config
+        self.data_parallel_degree = data_parallel_degree
+        self.model = TinyTransformerLM(model_config, seed=seed)
+        self.rule = rule or AdamRule(AdamConfig(learning_rate=1e-3))
+        self.loss_scaler = loss_scaler
+        self.strategy = (
+            strategy
+            if isinstance(strategy, OffloadStrategy)
+            else build_strategy(strategy, subgroup_size=subgroup_size)
+        )
+        self.profile = profile or ThroughputProfile.from_machine(JLSE_H100_NODE)
+
+        flat = self.model.flatten_parameters()
+        self.optimizer = ShardedMixedPrecisionOptimizer(
+            flat,
+            self.rule,
+            data_parallel_degree=data_parallel_degree,
+            offload=self.strategy.offload_config(subgroup_size),
+        )
+        subgroups_per_rank = self.optimizer.num_subgroups(self.optimizer.ranks[0])
+        self.executor = self.strategy.numeric_executor(subgroups_per_rank, self.profile)
+
+    # ------------------------------------------------------------------ training
+
+    def train_step(self, batches: list[tuple[np.ndarray, np.ndarray]]) -> float | None:
+        """One data-parallel training step; ``batches`` holds one microbatch per rank.
+
+        Returns the mean loss, or None if the step was skipped due to an FP16 overflow
+        detected by the (optional) dynamic loss scaler.
+        """
+        if len(batches) != self.data_parallel_degree:
+            raise ConfigurationError(
+                f"expected {self.data_parallel_degree} microbatches, got {len(batches)}"
+            )
+        rank_losses: list[float] = []
+        rank_gradients: list[np.ndarray] = []
+        for tokens, targets in batches:
+            loss, gradients = self.model.train_step_gradients(tokens, targets)
+            rank_losses.append(loss)
+            rank_gradients.append(gradients)
+
+        averaged = allreduce_mean(rank_gradients)
+        if self.loss_scaler is not None:
+            overflow = self.loss_scaler.has_overflow(averaged)
+            should_step = self.loss_scaler.update(overflow)
+            if not should_step:
+                return None
+
+        self.optimizer.set_gradients(averaged)
+        self.optimizer.step(self.executor)
+        updated = self.optimizer.gathered_fp16_parameters().astype(np.float32)
+        self.model.load_flat_parameters(updated)
+        return float(np.mean(rank_losses))
+
+    def train(
+        self,
+        dataloader: Iterable[tuple[np.ndarray, np.ndarray]],
+        *,
+        max_steps: int | None = None,
+    ) -> MiniTrainingResult:
+        """Train over ``dataloader``, grouping batches into data-parallel steps."""
+        result = MiniTrainingResult(strategy=self.strategy.name)
+        pending: list[tuple[np.ndarray, np.ndarray]] = []
+        for batch in dataloader:
+            pending.append(batch)
+            if len(pending) < self.data_parallel_degree:
+                continue
+            loss = self.train_step(pending)
+            pending = []
+            result.steps += 1
+            if loss is None:
+                result.skipped_steps += 1
+            else:
+                result.losses.append(loss)
+            if max_steps is not None and result.steps >= max_steps:
+                break
+        return result
+
+    # ------------------------------------------------------------------ inspection
+
+    def master_parameters(self) -> np.ndarray:
+        """The FP32 master parameter vector (for equivalence checks)."""
+        return self.optimizer.master_parameters()
+
+    def describe(self) -> dict:
+        """Summary of the trainer's configuration."""
+        return {
+            "model": self.model_config.name,
+            "parameters": self.model.num_parameters(),
+            "strategy": self.strategy.name,
+            "data_parallel_degree": self.data_parallel_degree,
+            "subgroups_per_rank": self.optimizer.num_subgroups(self.optimizer.ranks[0]),
+        }

@@ -1,0 +1,274 @@
+"""Iteration-level simulation: compose forward, backward and update into one schedule.
+
+One training iteration of the ZeRO-3 runtime decomposes into:
+
+* **forward** — per-layer parameter all-gathers over NVLink overlapped with GPU
+  compute; activations (or activation checkpoints) accumulate in GPU memory;
+* **backward** — GPU compute (plus recomputation when activation checkpointing is on)
+  interleaved with gradient reduce-scatters and the per-subgroup gradient flush,
+  which *blocks* the backward pass for the baselines and is asynchronous for Deep
+  Optimizer States (Figure 6);
+* **update** — the strategy-specific update phase (Figure 5), whose completion gates
+  the next iteration's forward pass.
+
+The builder chains several iterations in a single schedule so that transfers spilling
+past the nominal end of the update phase (Figure 5, bottom) are charged against the
+next iteration exactly as they would be on real hardware (the Figure 9 experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB
+from repro.core.gradient_flush import GradientFlushOps
+from repro.core.sim_executor import UpdatePhaseOps
+from repro.model.flops import backward_compute_seconds, forward_compute_seconds
+from repro.precision.dtypes import DType
+from repro.sim.engine import Schedule, SimEngine, standard_resources
+from repro.sim.ops import OpKind, SimOp
+from repro.sim.trace import MemoryTimeline, ThroughputTimeline
+from repro.training.config import ResolvedJob
+from repro.training.metrics import IterationBreakdown
+from repro.zero.collectives import allgather_seconds, reduce_scatter_seconds
+
+
+@dataclass
+class IterationOps:
+    """Op-id bookkeeping for one simulated iteration."""
+
+    index: int
+    forward_ops: list[int] = field(default_factory=list)
+    forward_compute_ops: list[int] = field(default_factory=list)
+    backward_compute_ops: list[int] = field(default_factory=list)
+    flush: GradientFlushOps = field(default_factory=GradientFlushOps)
+    update: UpdatePhaseOps = field(default_factory=UpdatePhaseOps)
+    blocks_backward: bool = False
+
+
+@dataclass
+class SimulationResult:
+    """A schedule plus the per-iteration op bookkeeping needed to interpret it."""
+
+    job: ResolvedJob
+    schedule: Schedule
+    iterations: list[IterationOps]
+    initial_gpu_bytes: int = 0
+
+    # ------------------------------------------------------------------ times
+
+    def iteration_start(self, index: int) -> float:
+        """Start time of iteration ``index`` (first forward op's start)."""
+        ops = self.iterations[index].forward_ops
+        return min(self.schedule.by_id(op_id).start for op_id in ops)
+
+    def forward_end(self, index: int) -> float:
+        """End of the forward compute of iteration ``index``."""
+        ops = self.iterations[index].forward_compute_ops
+        return max(self.schedule.by_id(op_id).end for op_id in ops)
+
+    def backward_end(self, index: int) -> float:
+        """End of the backward phase (including blocking flushes for the baselines)."""
+        record = self.iterations[index]
+        end = max(self.schedule.by_id(op_id).end for op_id in record.backward_compute_ops)
+        if record.blocks_backward and record.flush.op_ids:
+            end = max(end, max(self.schedule.by_id(op_id).end for op_id in record.flush.op_ids))
+        return end
+
+    def params_ready_time(self, index: int) -> float:
+        """Time at which every updated FP16 parameter is back on the GPU."""
+        ops = self.iterations[index].update.params_ready_ops
+        return max(self.schedule.by_id(op_id).end for op_id in ops)
+
+    def update_window(self, index: int) -> tuple[float, float]:
+        """(start, end) of the update phase, including any spill-over transfers."""
+        ops = self.iterations[index].update.op_ids
+        starts = [self.schedule.by_id(op_id).start for op_id in ops]
+        ends = [self.schedule.by_id(op_id).end for op_id in ops]
+        return (min(starts), max(ends))
+
+    def breakdown(self, index: int) -> IterationBreakdown:
+        """Per-phase wall-clock breakdown of iteration ``index`` (the Figure 7 metric)."""
+        start = self.iteration_start(index)
+        forward_end = self.forward_end(index)
+        backward_end = self.backward_end(index)
+        ready = self.params_ready_time(index)
+        return IterationBreakdown(
+            forward_seconds=forward_end - start,
+            backward_seconds=backward_end - forward_end,
+            update_seconds=ready - backward_end,
+        )
+
+    def breakdowns(self) -> list[IterationBreakdown]:
+        """Breakdowns of every simulated iteration."""
+        return [self.breakdown(index) for index in range(len(self.iterations))]
+
+    # ------------------------------------------------------------------ traces
+
+    def memory_timeline(self) -> MemoryTimeline:
+        """GPU memory occupancy over the whole simulated window (Figure 3)."""
+        return MemoryTimeline.from_schedule(self.schedule, initial_bytes=self.initial_gpu_bytes)
+
+    def pcie_timeline(self, direction: str, resolution: float = 0.05) -> ThroughputTimeline:
+        """PCIe throughput trace for "h2d" or "d2h" (Figure 4)."""
+        kind = OpKind.H2D if direction == "h2d" else OpKind.D2H
+        return ThroughputTimeline.from_schedule(self.schedule, kind, resolution=resolution)
+
+
+def _iteration_compute_times(job: ResolvedJob) -> tuple[float, float, float, float]:
+    """(forward compute, backward compute, forward allgather, backward collectives) seconds."""
+    model = job.model
+    microbatch = job.config.microbatch_size
+    peak_flops = job.machine.gpu.fp16_flops
+    forward = forward_compute_seconds(model, microbatch, peak_flops)
+    backward = backward_compute_seconds(
+        model,
+        microbatch,
+        peak_flops,
+        activation_checkpointing=job.config.activation_checkpointing,
+    )
+    nvlink_bps = job.machine.nvlink.d2d_gbps * GB
+    model_fp16_bytes = model.num_parameters() * DType.FP16.itemsize
+    gather = allgather_seconds(model_fp16_bytes, job.data_parallel_degree, nvlink_bps)
+    reduce = reduce_scatter_seconds(model_fp16_bytes, job.data_parallel_degree, nvlink_bps) + gather
+    return forward, backward, gather, reduce
+
+
+def build_iteration(
+    engine: SimEngine,
+    job: ResolvedJob,
+    iteration_index: int,
+    start_deps: tuple[int, ...] = (),
+) -> IterationOps:
+    """Submit the operations of one training iteration to ``engine``."""
+    record = IterationOps(index=iteration_index)
+    record.blocks_backward = job.strategy.flush_blocks_backward()
+    forward_time, backward_time, gather_time, backward_collective_time = _iteration_compute_times(job)
+
+    model = job.model
+    footprint = job.footprint
+    n_forward_chunks = min(job.config.forward_chunks, model.num_layers)
+    activation_per_chunk = footprint.activation_bytes // n_forward_chunks
+
+    # ------------------------------------------------------------------ forward
+    previous_compute: int | None = None
+    for chunk in range(n_forward_chunks):
+        gather = SimOp(
+            name=f"it{iteration_index}.fwd_allgather[{chunk}]",
+            kind=OpKind.ALLGATHER,
+            resource="nvlink",
+            duration=gather_time / n_forward_chunks,
+            deps=start_deps if chunk == 0 else (),
+            phase="forward",
+        )
+        engine.submit(gather)
+        compute_deps = [gather.op_id]
+        if chunk == 0:
+            compute_deps.extend(start_deps)
+        compute = SimOp(
+            name=f"it{iteration_index}.fwd_compute[{chunk}]",
+            kind=OpKind.GPU_COMPUTE,
+            resource="gpu.compute",
+            duration=forward_time / n_forward_chunks,
+            deps=tuple(compute_deps),
+            phase="forward",
+            gpu_mem_delta=activation_per_chunk,
+        )
+        engine.submit(compute)
+        record.forward_ops.extend([gather.op_id, compute.op_id])
+        record.forward_compute_ops.append(compute.op_id)
+        previous_compute = compute.op_id
+
+    # ------------------------------------------------------------------ backward
+    num_subgroups = job.num_subgroups
+    if num_subgroups == 0:
+        raise ConfigurationError("cannot simulate an iteration with zero subgroups")
+    activation_free_per_chunk = footprint.activation_bytes // num_subgroups
+    grad_ready_deps: dict[int, int] = {}
+    blocking_tail: int | None = None
+
+    # Gradients are produced in reverse subgroup order (backprop walks the layers from
+    # the output back to the input), which is why Deep Optimizer States can start
+    # updating the highest-index subgroups while the backward pass is still running.
+    for position, subgroup_index in enumerate(reversed(range(num_subgroups))):
+        params = job.subgroup_params[subgroup_index]
+        compute_deps = [previous_compute] if previous_compute is not None else []
+        if record.blocks_backward and blocking_tail is not None:
+            compute_deps.append(blocking_tail)
+        compute = SimOp(
+            name=f"it{iteration_index}.bwd_compute[{subgroup_index}]",
+            kind=OpKind.GPU_COMPUTE,
+            resource="gpu.compute",
+            duration=backward_time / num_subgroups,
+            deps=tuple(compute_deps),
+            phase="backward",
+            subgroup=subgroup_index,
+            gpu_mem_delta=-activation_free_per_chunk + params * DType.FP16.itemsize,
+        )
+        engine.submit(compute)
+        record.backward_compute_ops.append(compute.op_id)
+        previous_compute = compute.op_id
+
+        reduce = SimOp(
+            name=f"it{iteration_index}.bwd_reduce_scatter[{subgroup_index}]",
+            kind=OpKind.REDUCE_SCATTER,
+            resource="nvlink",
+            duration=backward_collective_time / num_subgroups,
+            deps=(compute.op_id,),
+            phase="backward",
+            subgroup=subgroup_index,
+        )
+        engine.submit(reduce)
+
+        flush = job.strategy.build_gradient_flush(
+            engine,
+            job.profile,
+            {subgroup_index: params},
+            {subgroup_index: reduce.op_id},
+            job.plan,
+        )
+        record.flush.grad_ready_ops.update(flush.grad_ready_ops)
+        record.flush.blocking_ops.update(flush.blocking_ops)
+        record.flush.op_ids.extend(flush.op_ids)
+        record.flush.d2h_bytes += flush.d2h_bytes
+        grad_ready_deps.update(flush.grad_ready_ops)
+        if record.blocks_backward:
+            blocking_tail = flush.blocking_ops.get(subgroup_index, blocking_tail)
+
+    # ------------------------------------------------------------------ update
+    last_backward = record.backward_compute_ops[-1]
+    record.update = job.strategy.build_update_phase(
+        engine,
+        job.profile,
+        job.plan,
+        job.subgroup_params,
+        grad_ready_ops=grad_ready_deps,
+        start_deps=(last_backward,),
+        contention=job.contention,
+        staged_subgroup_bytes=footprint.staged_subgroup_bytes,
+    )
+    return record
+
+
+def simulate_job(job: ResolvedJob, iterations: int = 1) -> SimulationResult:
+    """Simulate ``iterations`` chained training iterations of ``job``."""
+    if iterations <= 0:
+        raise ConfigurationError("iterations must be positive")
+    engine = SimEngine(name=f"{job.model.name}-{job.strategy.name}")
+    standard_resources(engine)
+
+    records: list[IterationOps] = []
+    start_deps: tuple[int, ...] = ()
+    for index in range(iterations):
+        record = build_iteration(engine, job, index, start_deps)
+        records.append(record)
+        start_deps = tuple(record.update.params_ready_ops)
+
+    schedule = engine.run()
+    initial = (
+        job.footprint.fp16_parameter_bytes
+        + job.footprint.gpu_resident_optimizer_bytes
+        + job.footprint.gathered_layer_workspace_bytes
+    )
+    return SimulationResult(job=job, schedule=schedule, iterations=records, initial_gpu_bytes=initial)

@@ -1,0 +1,130 @@
+"""High-level trainer for the simulated (paper-scale) execution path."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import OutOfMemoryError
+from repro.model.flops import achieved_tflops
+from repro.training.config import ResolvedJob, TrainingJobConfig
+from repro.training.metrics import TrainingReport, average_breakdown
+from repro.training.simulation import SimulationResult, simulate_job
+
+# Number of chained iterations actually simulated; further iterations repeat the
+# steady state, so the end-to-end time is extrapolated from the last simulated one.
+DEFAULT_SIMULATED_ITERATIONS = 3
+
+
+@dataclass
+class Trainer:
+    """Runs a (simulated) training job and produces a :class:`TrainingReport`."""
+
+    config: TrainingJobConfig
+    simulated_iterations: int = DEFAULT_SIMULATED_ITERATIONS
+
+    def run(self) -> TrainingReport:
+        """Resolve the job, simulate it, and aggregate the paper's metrics.
+
+        An out-of-memory condition (GPU or host) is reported in the returned report
+        rather than raised, matching how the paper's Figure 13 presents the
+        microbatch-16 OOM.
+        """
+        try:
+            job = self.config.resolve()
+        except OutOfMemoryError as exc:
+            return TrainingReport(
+                job=self._job_summary_fallback(),
+                requested_iterations=self.config.iterations,
+                oom=True,
+                oom_reason=str(exc),
+            )
+        result = self.simulate(job)
+        return self.report_from_simulation(job, result)
+
+    # ------------------------------------------------------------------ pieces
+
+    def simulate(self, job: ResolvedJob) -> SimulationResult:
+        """Run the discrete-event simulation for a resolved job."""
+        iterations = min(self.simulated_iterations, self.config.iterations)
+        return simulate_job(job, iterations=max(1, iterations))
+
+    def report_from_simulation(self, job: ResolvedJob, result: SimulationResult) -> TrainingReport:
+        """Aggregate a simulation into the metrics the paper reports."""
+        breakdowns = result.breakdowns()
+        warmup = min(self.config.warmup_iterations, max(0, len(breakdowns) - 1))
+        steady = average_breakdown(breakdowns[warmup:] or breakdowns)
+
+        total_params = job.model.num_parameters()
+        update_throughput = (
+            total_params / steady.update_seconds if steady.update_seconds > 0 else float("inf")
+        )
+        tflops = achieved_tflops(job.model, self.config.microbatch_size, steady.total_seconds)
+
+        simulated = len(breakdowns)
+        simulated_total = sum(item.total_seconds for item in breakdowns)
+        remaining = max(0, self.config.iterations - simulated)
+        end_to_end = simulated_total + remaining * breakdowns[-1].total_seconds
+
+        return TrainingReport(
+            job=job.describe(),
+            breakdowns=breakdowns,
+            warmup_iterations=warmup,
+            requested_iterations=self.config.iterations,
+            update_throughput_pps=update_throughput,
+            achieved_tflops=tflops,
+            end_to_end_seconds=end_to_end,
+        )
+
+    def _job_summary_fallback(self) -> dict:
+        """Job description used when resolution itself fails with OOM."""
+        model = self.config.model if isinstance(self.config.model, str) else self.config.model.name
+        machine = (
+            self.config.machine if isinstance(self.config.machine, str) else self.config.machine.name
+        )
+        strategy = (
+            self.config.strategy
+            if isinstance(self.config.strategy, str)
+            else self.config.strategy.name
+        )
+        return {
+            "model": model,
+            "machine": machine,
+            "strategy": strategy,
+            "microbatch_size": self.config.microbatch_size,
+            "data_parallel_degree": self.config.data_parallel_degree,
+        }
+
+
+def run_job(config: TrainingJobConfig, *, simulated_iterations: int = DEFAULT_SIMULATED_ITERATIONS) -> TrainingReport:
+    """Convenience wrapper: build a trainer and run it."""
+    return Trainer(config, simulated_iterations=simulated_iterations).run()
+
+
+def compare_strategies(
+    base_config: TrainingJobConfig,
+    strategies: list[str],
+    *,
+    simulated_iterations: int = DEFAULT_SIMULATED_ITERATIONS,
+) -> dict[str, TrainingReport]:
+    """Run the same job under several strategies (the basic experiment pattern)."""
+    reports: dict[str, TrainingReport] = {}
+    for strategy in strategies:
+        config = TrainingJobConfig(
+            model=base_config.model,
+            machine=base_config.machine,
+            strategy=strategy,
+            data_parallel_degree=base_config.data_parallel_degree,
+            microbatch_size=base_config.microbatch_size,
+            subgroup_size=base_config.subgroup_size,
+            activation_checkpointing=base_config.activation_checkpointing,
+            static_gpu_fraction=base_config.static_gpu_fraction,
+            update_stride=base_config.update_stride,
+            cpu_cores_per_gpu=base_config.cpu_cores_per_gpu,
+            iterations=base_config.iterations,
+            warmup_iterations=base_config.warmup_iterations,
+            model_contention=base_config.model_contention,
+            check_memory=base_config.check_memory,
+            forward_chunks=base_config.forward_chunks,
+        )
+        reports[strategy] = run_job(config, simulated_iterations=simulated_iterations)
+    return reports

@@ -1,0 +1,48 @@
+"""ZeRO-3 substrate: parameter partitioning, optimizer subgroups and collectives.
+
+DeepSpeed's ZeRO-3 partitions the model parameters, gradients and optimizer state
+across data-parallel ranks and further splits each rank's share into fixed-size
+*subgroups* (Figure 1(c) of the paper).  Deep Optimizer States relies on exactly two
+properties of that layout, both implemented here:
+
+* each rank owns a disjoint, contiguous slice of the flat parameter space, so its
+  update phase needs no inter-process communication; and
+* the slice is divided into subgroups that can be updated independently and out of
+  order, which is what makes interleaved CPU/GPU scheduling legal.
+"""
+
+from repro.zero.partitioner import (
+    SubgroupSpec,
+    build_subgroups,
+    partition_evenly,
+    partition_model,
+)
+from repro.zero.subgroup import Placement, Subgroup
+from repro.zero.offload import OffloadConfig, OffloadDevice
+from repro.zero.collectives import (
+    allgather,
+    allgather_seconds,
+    allreduce_mean,
+    allreduce_seconds,
+    reduce_scatter_mean,
+    reduce_scatter_seconds,
+)
+from repro.zero.stage3 import ShardedMixedPrecisionOptimizer
+
+__all__ = [
+    "SubgroupSpec",
+    "partition_evenly",
+    "build_subgroups",
+    "partition_model",
+    "Placement",
+    "Subgroup",
+    "OffloadConfig",
+    "OffloadDevice",
+    "allreduce_mean",
+    "allgather",
+    "reduce_scatter_mean",
+    "allgather_seconds",
+    "reduce_scatter_seconds",
+    "allreduce_seconds",
+    "ShardedMixedPrecisionOptimizer",
+]

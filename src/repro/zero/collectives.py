@@ -1,0 +1,81 @@
+"""Collective operations: functional (numeric) and analytic (cost-model) versions.
+
+The numeric collectives operate on in-process lists of NumPy arrays, one per
+data-parallel rank — they provide data parallelism for the miniature-model examples
+and tests.  The analytic functions give the standard ring-algorithm cost of each
+collective over the intra-node interconnect, which the timing simulation charges to
+its ``nvlink`` resource (forward/backward allgathers and the gradient reduce-scatter
+of ZeRO-3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+# ----------------------------------------------------------------------- numeric
+
+def allreduce_mean(arrays: list[np.ndarray]) -> np.ndarray:
+    """Element-wise mean across ranks (the gradient averaging of data parallelism)."""
+    if not arrays:
+        raise ConfigurationError("allreduce_mean needs at least one array")
+    shapes = {array.shape for array in arrays}
+    if len(shapes) != 1:
+        raise ConfigurationError(f"rank arrays have mismatched shapes: {shapes}")
+    stacked = np.stack([np.asarray(array, dtype=np.float32) for array in arrays])
+    return stacked.mean(axis=0)
+
+
+def reduce_scatter_mean(
+    arrays: list[np.ndarray], partitions: list[tuple[int, int]]
+) -> list[np.ndarray]:
+    """Average across ranks, then return each rank's slice of the result."""
+    if len(partitions) != len(arrays):
+        raise ConfigurationError("need exactly one partition range per rank")
+    mean = allreduce_mean(arrays)
+    return [mean[start:stop].copy() for start, stop in partitions]
+
+
+def allgather(shards: list[np.ndarray]) -> np.ndarray:
+    """Concatenate per-rank shards back into the full flat vector."""
+    if not shards:
+        raise ConfigurationError("allgather needs at least one shard")
+    return np.concatenate([np.asarray(shard) for shard in shards])
+
+
+def broadcast(value: np.ndarray, num_ranks: int) -> list[np.ndarray]:
+    """Give every rank its own copy of ``value``."""
+    if num_ranks <= 0:
+        raise ConfigurationError("num_ranks must be positive")
+    return [np.asarray(value).copy() for _ in range(num_ranks)]
+
+
+# ----------------------------------------------------------------------- cost model
+
+def _ring_seconds(total_bytes: float, num_ranks: int, link_bytes_per_second: float) -> float:
+    if total_bytes < 0:
+        raise ConfigurationError("total_bytes must be non-negative")
+    if num_ranks <= 0:
+        raise ConfigurationError("num_ranks must be positive")
+    if link_bytes_per_second <= 0:
+        raise ConfigurationError("link bandwidth must be positive")
+    if num_ranks == 1:
+        return 0.0
+    return total_bytes * (num_ranks - 1) / num_ranks / link_bytes_per_second
+
+
+def allgather_seconds(total_bytes: float, num_ranks: int, link_bytes_per_second: float) -> float:
+    """Ring all-gather time for ``total_bytes`` of gathered data."""
+    return _ring_seconds(total_bytes, num_ranks, link_bytes_per_second)
+
+
+def reduce_scatter_seconds(total_bytes: float, num_ranks: int, link_bytes_per_second: float) -> float:
+    """Ring reduce-scatter time for ``total_bytes`` of reduced data."""
+    return _ring_seconds(total_bytes, num_ranks, link_bytes_per_second)
+
+
+def allreduce_seconds(total_bytes: float, num_ranks: int, link_bytes_per_second: float) -> float:
+    """Ring all-reduce time (reduce-scatter followed by all-gather)."""
+    return 2.0 * _ring_seconds(total_bytes, num_ranks, link_bytes_per_second)

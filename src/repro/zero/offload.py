@@ -1,0 +1,73 @@
+"""Offloading configuration (the knobs DeepSpeed exposes in its JSON config).
+
+``OffloadConfig`` captures the options relevant to the paper: whether the optimizer
+state is offloaded to the host, the subgroup size ("sub_group_size" in DeepSpeed),
+whether host buffers are pinned, and the TwinFlow-style "user-supplied ratio" of
+optimizer subgroups statically resident on the GPU.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+DEFAULT_SUBGROUP_SIZE = 100_000_000  # 100M trainable parameters per subgroup (Section 5.3)
+
+
+class OffloadDevice(enum.Enum):
+    """Target of optimizer-state offloading."""
+
+    NONE = "none"
+    CPU = "cpu"
+    NVME = "nvme"
+
+
+@dataclass(frozen=True)
+class OffloadConfig:
+    """Optimizer offloading options for one training run."""
+
+    device: OffloadDevice = OffloadDevice.CPU
+    subgroup_size: int = DEFAULT_SUBGROUP_SIZE
+    pin_memory: bool = True
+    static_gpu_fraction: float = 0.0
+    static_residents_at_end: bool = False
+
+    def __post_init__(self) -> None:
+        if self.subgroup_size <= 0:
+            raise ConfigurationError("subgroup_size must be positive")
+        if not 0.0 <= self.static_gpu_fraction <= 1.0:
+            raise ConfigurationError("static_gpu_fraction must be in [0, 1]")
+
+    @property
+    def offload_enabled(self) -> bool:
+        """True when the optimizer state lives outside GPU memory."""
+        return self.device != OffloadDevice.NONE
+
+    def static_resident_count(self, num_subgroups: int) -> int:
+        """Number of subgroups statically pinned to the GPU for ``num_subgroups`` total.
+
+        Mirrors the paper's observation that the achievable static fraction is
+        quantised by the subgroup size (Section 4.2): the count is the floor of
+        ``fraction * num_subgroups``.
+        """
+        if num_subgroups < 0:
+            raise ConfigurationError("num_subgroups must be non-negative")
+        if not self.offload_enabled:
+            return num_subgroups
+        return int(self.static_gpu_fraction * num_subgroups)
+
+    def static_resident_indices(self, num_subgroups: int) -> frozenset[int]:
+        """Indices of the statically GPU-resident subgroups.
+
+        TwinFlow pins the *first* subgroups; Deep Optimizer States proposes pinning
+        the *last* ones so that their (absent) transfers overlap with the tail of the
+        pipeline (Section 4.1) — controlled by ``static_residents_at_end``.
+        """
+        count = self.static_resident_count(num_subgroups)
+        if count == 0:
+            return frozenset()
+        if self.static_residents_at_end:
+            return frozenset(range(num_subgroups - count, num_subgroups))
+        return frozenset(range(count))

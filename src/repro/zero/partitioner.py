@@ -1,0 +1,112 @@
+"""Partitioning of the flat parameter space across ranks and into subgroups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SubgroupSpec:
+    """A contiguous slice of the flat parameter space owned by one rank.
+
+    ``start``/``stop`` are global offsets into the flat parameter vector; ``index`` is
+    the subgroup's position within its rank (the index used by Algorithm 1).
+    """
+
+    index: int
+    rank: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0 or self.rank < 0:
+            raise ConfigurationError("subgroup index and rank must be non-negative")
+        if self.stop <= self.start:
+            raise ConfigurationError(
+                f"subgroup [{self.start}, {self.stop}) must contain at least one parameter"
+            )
+
+    @property
+    def num_params(self) -> int:
+        """Number of parameters in this subgroup."""
+        return self.stop - self.start
+
+    @property
+    def slice(self) -> slice:
+        """Slice object selecting this subgroup from the flat parameter vector."""
+        return slice(self.start, self.stop)
+
+
+def partition_evenly(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into ``parts`` contiguous ranges whose sizes differ by <= 1.
+
+    The first ``total % parts`` ranges get one extra element, matching DeepSpeed's
+    padding-free partitioning.  Ranges may be empty only when ``parts > total``.
+    """
+    if total < 0:
+        raise ConfigurationError("total must be non-negative")
+    if parts <= 0:
+        raise ConfigurationError("parts must be positive")
+    base = total // parts
+    remainder = total % parts
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for part in range(parts):
+        size = base + (1 if part < remainder else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def build_subgroups(rank: int, rank_range: tuple[int, int], subgroup_size: int) -> list[SubgroupSpec]:
+    """Split one rank's contiguous range into subgroups of at most ``subgroup_size``."""
+    if subgroup_size <= 0:
+        raise ConfigurationError("subgroup_size must be positive")
+    start, stop = rank_range
+    if stop < start:
+        raise ConfigurationError("rank range is inverted")
+    specs: list[SubgroupSpec] = []
+    cursor = start
+    index = 0
+    while cursor < stop:
+        upper = min(cursor + subgroup_size, stop)
+        specs.append(SubgroupSpec(index=index, rank=rank, start=cursor, stop=upper))
+        cursor = upper
+        index += 1
+    return specs
+
+
+def partition_model(
+    total_params: int, data_parallel_degree: int, subgroup_size: int
+) -> dict[int, list[SubgroupSpec]]:
+    """Full ZeRO-3 partitioning: rank ranges first, then subgroups within each rank."""
+    if total_params <= 0:
+        raise ConfigurationError("total_params must be positive")
+    rank_ranges = partition_evenly(total_params, data_parallel_degree)
+    result: dict[int, list[SubgroupSpec]] = {}
+    for rank, rank_range in enumerate(rank_ranges):
+        if rank_range[1] == rank_range[0]:
+            result[rank] = []
+        else:
+            result[rank] = build_subgroups(rank, rank_range, subgroup_size)
+    return result
+
+
+def validate_partition(partition: dict[int, list[SubgroupSpec]], total_params: int) -> None:
+    """Check that a partition covers ``[0, total_params)`` exactly once, in order."""
+    covered = 0
+    previous_stop = 0
+    for rank in sorted(partition):
+        for spec in partition[rank]:
+            if spec.start != previous_stop:
+                raise ConfigurationError(
+                    f"subgroup {spec} does not start where the previous one stopped ({previous_stop})"
+                )
+            previous_stop = spec.stop
+            covered += spec.num_params
+    if covered != total_params:
+        raise ConfigurationError(
+            f"partition covers {covered} parameters, expected {total_params}"
+        )

@@ -1,0 +1,211 @@
+"""Numeric ZeRO-3 sharded mixed-precision optimizer.
+
+This is the functional counterpart of DeepSpeed's stage-3 optimizer for the purposes
+of this reproduction: it owns the FP32 master copy of a flat parameter vector,
+partitioned across data-parallel ranks and split into subgroups, keeps the FP16
+working copy in sync, and routes the actual per-subgroup updates through a pluggable
+*executor* so that the baseline (all-CPU, in order) and Deep Optimizer States
+(interleaved, out of order) strategies can be swapped without touching the numerics.
+
+The executor is a callable ``executor(subgroups, rule, step)`` — see
+:mod:`repro.core.numeric_executor` for the implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.optim.base import OptimizerRule
+from repro.precision.convert import downscale_fp32_to_fp16
+from repro.zero.offload import OffloadConfig, OffloadDevice
+from repro.zero.partitioner import partition_model, validate_partition
+from repro.zero.subgroup import Placement, Subgroup
+
+UpdateExecutor = Callable[[list[Subgroup], OptimizerRule, int], None]
+
+
+def _default_executor(subgroups: list[Subgroup], rule: OptimizerRule, step: int) -> None:
+    """Baseline execution: update every subgroup in order on the CPU."""
+    for subgroup in subgroups:
+        subgroup.flush_gradients_to_host()
+        subgroup.apply_update(rule, step, device="cpu")
+
+
+class ShardedMixedPrecisionOptimizer:
+    """ZeRO-3 style sharded optimizer over a flat FP32 parameter space."""
+
+    def __init__(
+        self,
+        initial_params: np.ndarray,
+        rule: OptimizerRule,
+        *,
+        data_parallel_degree: int = 1,
+        offload: OffloadConfig | None = None,
+    ) -> None:
+        flat = np.asarray(initial_params, dtype=np.float32).ravel()
+        if flat.size == 0:
+            raise ConfigurationError("cannot shard an empty parameter vector")
+        if data_parallel_degree <= 0:
+            raise ConfigurationError("data_parallel_degree must be positive")
+        self.rule = rule
+        self.offload = offload or OffloadConfig()
+        self.data_parallel_degree = data_parallel_degree
+        self.num_params = flat.size
+        self.step_count = 0
+
+        partition = partition_model(flat.size, data_parallel_degree, self.offload.subgroup_size)
+        validate_partition(partition, flat.size)
+        placement = (
+            Placement.GPU
+            if not self.offload.offload_enabled
+            else (Placement.HOST_PINNED if self.offload.pin_memory else Placement.HOST_PAGEABLE)
+        )
+
+        self._subgroups_by_rank: dict[int, list[Subgroup]] = {}
+        for rank, specs in partition.items():
+            statics = self.offload.static_resident_indices(len(specs))
+            rank_subgroups: list[Subgroup] = []
+            for spec in specs:
+                subgroup = Subgroup(
+                    spec,
+                    placement=placement,
+                    static_gpu_resident=spec.index in statics,
+                )
+                subgroup.materialize(flat[spec.slice], rule)
+                rank_subgroups.append(subgroup)
+            self._subgroups_by_rank[rank] = rank_subgroups
+
+    # ------------------------------------------------------------------ access
+
+    @property
+    def ranks(self) -> list[int]:
+        """Data-parallel rank ids."""
+        return sorted(self._subgroups_by_rank)
+
+    def subgroups(self, rank: int | None = None) -> list[Subgroup]:
+        """Subgroups of one rank, or of every rank concatenated in rank order."""
+        if rank is not None:
+            if rank not in self._subgroups_by_rank:
+                raise ConfigurationError(f"unknown rank {rank}")
+            return list(self._subgroups_by_rank[rank])
+        result: list[Subgroup] = []
+        for rank_id in self.ranks:
+            result.extend(self._subgroups_by_rank[rank_id])
+        return result
+
+    def num_subgroups(self, rank: int | None = None) -> int:
+        """Number of subgroups (for one rank or in total)."""
+        return len(self.subgroups(rank))
+
+    def iter_rank_subgroups(self) -> Iterable[tuple[int, list[Subgroup]]]:
+        """Iterate (rank, subgroups) pairs in rank order."""
+        for rank in self.ranks:
+            yield rank, list(self._subgroups_by_rank[rank])
+
+    # ------------------------------------------------------------------ gradients
+
+    def set_gradients(self, flat_grads: np.ndarray) -> None:
+        """Distribute averaged gradients to every subgroup.
+
+        The gradients are first cast to FP16 to mirror the precision in which the
+        backward pass produces them on the GPU; each subgroup keeps that FP16 view
+        (what gets flushed or converted) and its exact FP32 upscale.
+        """
+        grads = np.asarray(flat_grads).ravel()
+        if grads.size != self.num_params:
+            raise ConfigurationError(
+                f"gradient vector has {grads.size} elements, expected {self.num_params}"
+            )
+        fp16_grads = grads.astype(np.float16)
+        for subgroup in self.subgroups():
+            subgroup.set_fp16_gradients(fp16_grads[subgroup.spec.slice])
+
+    # ------------------------------------------------------------------ stepping
+
+    def step(self, executor: UpdateExecutor | None = None) -> int:
+        """Run one optimizer step on every rank's subgroups; returns the step number."""
+        self.step_count += 1
+        runner = executor or _default_executor
+        for _, rank_subgroups in self.iter_rank_subgroups():
+            runner(rank_subgroups, self.rule, self.step_count)
+        return self.step_count
+
+    # ------------------------------------------------------------------ parameter views
+
+    def gathered_fp16_parameters(self) -> np.ndarray:
+        """The full FP16 parameter vector the GPUs train with in the next iteration."""
+        parts = [subgroup.fp16_params for subgroup in self.subgroups()]
+        return np.concatenate(parts)
+
+    def gathered_fp32_parameters(self) -> np.ndarray:
+        """The full FP32 master parameter vector."""
+        parts = [subgroup.fp32_params for subgroup in self.subgroups()]
+        return np.concatenate(parts)
+
+    def master_parameters(self) -> np.ndarray:
+        """Alias of :meth:`gathered_fp32_parameters` (kept for API clarity)."""
+        return self.gathered_fp32_parameters()
+
+    # ------------------------------------------------------------------ checkpointing
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the optimizer (used by the checkpointing example)."""
+        subgroup_states = []
+        for subgroup in self.subgroups():
+            entry = {
+                "rank": subgroup.spec.rank,
+                "index": subgroup.index,
+                "start": subgroup.spec.start,
+                "stop": subgroup.spec.stop,
+                "fp32_params": subgroup.fp32_params.copy(),
+                "state": {name: buffer.copy() for name, buffer in subgroup.state.items()},
+            }
+            subgroup_states.append(entry)
+        return {
+            "step_count": self.step_count,
+            "num_params": self.num_params,
+            "data_parallel_degree": self.data_parallel_degree,
+            "subgroups": subgroup_states,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        if state.get("num_params") != self.num_params:
+            raise ConfigurationError("checkpoint does not match the current parameter count")
+        if state.get("data_parallel_degree") != self.data_parallel_degree:
+            raise ConfigurationError("checkpoint does not match the data-parallel degree")
+        self.step_count = int(state["step_count"])
+        by_key = {(entry["rank"], entry["index"]): entry for entry in state["subgroups"]}
+        for subgroup in self.subgroups():
+            key = (subgroup.spec.rank, subgroup.index)
+            if key not in by_key:
+                raise ConfigurationError(f"checkpoint is missing subgroup {key}")
+            entry = by_key[key]
+            subgroup.fp32_params[...] = entry["fp32_params"]
+            for name, buffer in entry["state"].items():
+                subgroup.state[name][...] = buffer
+            downscale_fp32_to_fp16(subgroup.fp32_params, out=subgroup.fp16_params)
+
+    # ------------------------------------------------------------------ description
+
+    def describe(self) -> dict:
+        """Summary used by examples and logging."""
+        return {
+            "num_params": self.num_params,
+            "data_parallel_degree": self.data_parallel_degree,
+            "subgroup_size": self.offload.subgroup_size,
+            "subgroups_per_rank": {rank: len(subs) for rank, subs in self.iter_rank_subgroups()},
+            "offload_device": self.offload.device.value,
+            "static_gpu_fraction": self.offload.static_gpu_fraction,
+        }
+
+
+def offload_disabled_config(subgroup_size: int | None = None) -> OffloadConfig:
+    """Convenience: a configuration with the optimizer kept entirely on the GPU."""
+    return OffloadConfig(
+        device=OffloadDevice.NONE,
+        subgroup_size=subgroup_size or OffloadConfig().subgroup_size,
+    )

@@ -1,0 +1,169 @@
+"""Optimizer subgroups: the unit of placement and scheduling.
+
+A :class:`Subgroup` bundles, for one contiguous parameter slice:
+
+* the FP16 working parameters (live on the GPU),
+* the FP16 gradients produced by the backward pass (GPU) and the FP32 gradient buffer
+  they are flushed into (host),
+* the FP32 master parameters and optimizer state (momentum, variance, ...), which live
+  on the host when the optimizer is offloaded, on the GPU when the subgroup is a
+  static GPU resident (TwinFlow) or while it is dynamically staged there by Deep
+  Optimizer States.
+
+Subgroups can be *materialised* (NumPy buffers — used by the numeric execution path
+and the miniature-model examples) or *virtual* (sizes only — used by the timing
+simulation of paper-scale models).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.optim.base import OptimizerRule, OptimizerState
+from repro.precision.convert import downscale_fp32_to_fp16, upscale_fp16_to_fp32
+from repro.precision.dtypes import DType
+from repro.zero.partitioner import SubgroupSpec
+
+
+class Placement(enum.Enum):
+    """Where the FP32 optimizer state of a subgroup currently resides."""
+
+    GPU = "gpu"
+    HOST_PINNED = "host_pinned"
+    HOST_PAGEABLE = "host_pageable"
+    NVME = "nvme"
+
+    @property
+    def on_host(self) -> bool:
+        """True for host-memory placements."""
+        return self in (Placement.HOST_PINNED, Placement.HOST_PAGEABLE)
+
+
+class Subgroup:
+    """One schedulable unit of the sharded optimizer."""
+
+    def __init__(
+        self,
+        spec: SubgroupSpec,
+        placement: Placement = Placement.HOST_PINNED,
+        *,
+        static_gpu_resident: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.placement = Placement.GPU if static_gpu_resident else placement
+        self.static_gpu_resident = static_gpu_resident
+        self.fp32_params: np.ndarray | None = None
+        self.fp16_params: np.ndarray | None = None
+        self.fp32_grads: np.ndarray | None = None
+        self.fp16_grads: np.ndarray | None = None
+        self.state: OptimizerState = {}
+        self.last_update_step = 0
+        self.last_update_device: str | None = None
+
+    # ------------------------------------------------------------------ identity
+
+    @property
+    def index(self) -> int:
+        """Subgroup index within its rank (the index Algorithm 1 iterates over)."""
+        return self.spec.index
+
+    @property
+    def num_params(self) -> int:
+        """Number of parameters in this subgroup."""
+        return self.spec.num_params
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Subgroup(rank={self.spec.rank}, index={self.index}, params={self.num_params}, "
+            f"placement={self.placement.value}, static={self.static_gpu_resident})"
+        )
+
+    # ------------------------------------------------------------------ sizes
+
+    def fp32_state_bytes(self) -> int:
+        """Bytes of FP32 master parameters + optimizer state buffers."""
+        buffers = 1 + (len(self.state) if self.state else 2)
+        return self.num_params * DType.FP32.itemsize * buffers
+
+    def fp16_param_bytes(self) -> int:
+        """Bytes of the FP16 working copy of the parameters."""
+        return self.num_params * DType.FP16.itemsize
+
+    def fp32_grad_bytes(self) -> int:
+        """Bytes of the FP32 gradient buffer."""
+        return self.num_params * DType.FP32.itemsize
+
+    def fp16_grad_bytes(self) -> int:
+        """Bytes of the FP16 gradients."""
+        return self.num_params * DType.FP16.itemsize
+
+    def transfer_bytes_prefetch(self) -> int:
+        """Bytes moved H2D to stage this subgroup on the GPU (FP32 p, m, v)."""
+        return 3 * self.num_params * DType.FP32.itemsize
+
+    def transfer_bytes_flush(self) -> int:
+        """Bytes moved D2H to evict this subgroup's updated state (FP32 p, m, v)."""
+        return 3 * self.num_params * DType.FP32.itemsize
+
+    # ------------------------------------------------------------------ numerics
+
+    @property
+    def is_materialized(self) -> bool:
+        """True when NumPy buffers are attached (numeric execution path)."""
+        return self.fp32_params is not None
+
+    def materialize(self, initial_fp32_params: np.ndarray, rule: OptimizerRule) -> None:
+        """Attach NumPy buffers initialised from ``initial_fp32_params``."""
+        values = np.asarray(initial_fp32_params, dtype=np.float32)
+        if values.shape != (self.num_params,):
+            raise ConfigurationError(
+                f"expected {self.num_params} initial parameters, got shape {values.shape}"
+            )
+        self.fp32_params = values.copy()
+        self.fp16_params = downscale_fp32_to_fp16(self.fp32_params)
+        self.fp32_grads = np.zeros(self.num_params, dtype=np.float32)
+        self.fp16_grads = np.zeros(self.num_params, dtype=np.float16)
+        self.state = rule.init_state(self.num_params)
+
+    def _require_materialized(self) -> None:
+        if not self.is_materialized:
+            raise ConfigurationError(f"subgroup {self.index} is not materialized")
+
+    def set_fp16_gradients(self, grads: np.ndarray) -> None:
+        """Store the FP16 gradients produced by the backward pass for this slice."""
+        self._require_materialized()
+        grads = np.asarray(grads)
+        if grads.shape != (self.num_params,):
+            raise ConfigurationError(
+                f"expected {self.num_params} gradients, got shape {grads.shape}"
+            )
+        self.fp16_grads = grads.astype(np.float16)
+
+    def flush_gradients_to_host(self) -> None:
+        """Upscale the FP16 gradients into the FP32 host gradient buffer (exact)."""
+        self._require_materialized()
+        upscale_fp16_to_fp32(self.fp16_grads, out=self.fp32_grads)
+
+    def apply_update(self, rule: OptimizerRule, step: int, device: str) -> None:
+        """Run the optimizer rule on this subgroup's buffers (on ``device``).
+
+        The device label only affects bookkeeping — the arithmetic is identical on the
+        CPU and the GPU, which is precisely why interleaving preserves the training
+        result; the property tests rely on this method being device-agnostic.
+        """
+        self._require_materialized()
+        rule.apply(self.fp32_params, self.fp32_grads, self.state, step)
+        downscale_fp32_to_fp16(self.fp32_params, out=self.fp16_params)
+        self.last_update_step = step
+        self.last_update_device = device
+
+    def master_snapshot(self) -> dict[str, np.ndarray]:
+        """Copies of the FP32 master buffers (used by equivalence tests)."""
+        self._require_materialized()
+        snapshot = {"params": self.fp32_params.copy()}
+        for name, buffer in self.state.items():
+            snapshot[name] = buffer.copy()
+        return snapshot

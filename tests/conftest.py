@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a source checkout without installing the package.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.hardware.presets import JLSE_H100_NODE, LAMBDA_V100_NODE
+from repro.hardware.throughput import ThroughputProfile
+from repro.model.presets import TINY_MODELS
+from repro.optim import AdamConfig, AdamRule
+
+
+@pytest.fixture
+def h100_machine():
+    """The paper's primary testbed preset."""
+    return JLSE_H100_NODE
+
+
+@pytest.fixture
+def v100_machine():
+    """The paper's secondary (performance-model validation) testbed preset."""
+    return LAMBDA_V100_NODE
+
+
+@pytest.fixture
+def h100_profile():
+    """Per-process throughput profile of the H100 testbed."""
+    return ThroughputProfile.from_machine(JLSE_H100_NODE)
+
+
+@pytest.fixture
+def paper_v100_profile():
+    """The throughput numbers the paper reports for its V100 machine."""
+    return ThroughputProfile.from_paper_v100()
+
+
+@pytest.fixture
+def nano_config():
+    """Smallest miniature transformer configuration."""
+    return TINY_MODELS["nano"]
+
+
+@pytest.fixture
+def tiny_config():
+    """Small (but multi-layer, multi-head) miniature transformer configuration."""
+    return TINY_MODELS["tiny-1M"]
+
+
+@pytest.fixture
+def adam_rule():
+    """Default Adam rule used across the numeric tests."""
+    return AdamRule(AdamConfig(learning_rate=1e-3))
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy generator for test data."""
+    return np.random.default_rng(1234)

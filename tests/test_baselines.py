@@ -1,0 +1,76 @@
+"""Tests for the baseline strategies and the strategy registry."""
+
+import pytest
+
+from repro.baselines import TwinFlowBaseline, Zero3OffloadBaseline, available_strategies, build_strategy
+from repro.common.errors import ConfigurationError
+from repro.core.engine import DeepOptimizerStates
+from repro.core.numeric_executor import SequentialCpuExecutor
+
+
+def test_registry_lists_all_three_strategies():
+    assert set(available_strategies()) == {"zero3-offload", "twinflow", "deep-optimizer-states"}
+
+
+def test_build_strategy_aliases():
+    assert isinstance(build_strategy("zero3"), Zero3OffloadBaseline)
+    assert isinstance(build_strategy("ZeRO3-Offload"), Zero3OffloadBaseline)
+    assert isinstance(build_strategy("twinflow", static_gpu_fraction=0.3), TwinFlowBaseline)
+    assert isinstance(build_strategy("dos"), DeepOptimizerStates)
+    with pytest.raises(ConfigurationError):
+        build_strategy("zero-offload-infinity")
+
+
+def test_zero3_baseline_properties(h100_profile):
+    strategy = Zero3OffloadBaseline()
+    assert strategy.static_gpu_fraction == 0.0
+    assert strategy.flush_blocks_backward()
+    assert not strategy.stages_subgroup_on_gpu()
+    plan = strategy.build_plan(12, h100_profile)
+    assert plan.gpu_indices() == []
+    assert isinstance(strategy.numeric_executor(12), SequentialCpuExecutor)
+    offload = strategy.offload_config(100_000_000)
+    assert offload.static_gpu_fraction == 0.0
+
+
+def test_twinflow_baseline_static_residency(h100_profile):
+    strategy = TwinFlowBaseline(static_gpu_fraction=0.25)
+    assert strategy.static_gpu_fraction == 0.25
+    plan = strategy.build_plan(8, h100_profile)
+    # TwinFlow pins the first subgroups.
+    assert plan.gpu_indices() == [0, 1]
+    assert plan.dynamic_gpu_indices() == []
+    assert strategy.flush_blocks_backward()
+    offload = strategy.offload_config(100_000_000)
+    assert not offload.static_residents_at_end
+    with pytest.raises(ConfigurationError):
+        TwinFlowBaseline(static_gpu_fraction=2.0)
+
+
+def test_build_strategy_passes_parameters_through(h100_profile):
+    dos = build_strategy("deep-optimizer-states", static_gpu_fraction=0.2, update_stride=3)
+    assert dos.static_gpu_fraction == 0.2
+    assert dos.update_stride(h100_profile) == 3
+    twinflow = build_strategy("twinflow", static_gpu_fraction=0.4)
+    assert twinflow.static_gpu_fraction == 0.4
+
+
+def test_twinflow_gradient_flush_keeps_resident_gradients_on_gpu(h100_profile):
+    from repro.sim.engine import SimEngine, standard_resources
+    from repro.sim.ops import OpKind, SimOp
+
+    strategy = TwinFlowBaseline(static_gpu_fraction=0.25)
+    plan = strategy.build_plan(4, h100_profile)
+    engine = SimEngine()
+    standard_resources(engine)
+    deps = {}
+    for index in range(4):
+        producer = SimOp(f"bwd[{index}]", OpKind.GPU_COMPUTE, "gpu.compute", 0.01, subgroup=index)
+        engine.submit(producer)
+        deps[index] = producer.op_id
+    sizes = {i: 10_000_000 for i in range(4)}
+    flush = strategy.build_gradient_flush(engine, h100_profile, sizes, deps, plan)
+    schedule = engine.run()
+    flushed = {item.op.subgroup for item in schedule.filter(kind=OpKind.D2H)}
+    assert 0 not in flushed  # the static resident's gradients stay on the GPU
+    assert set(flush.grad_ready_ops) == {0, 1, 2, 3}

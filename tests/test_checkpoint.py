@@ -1,0 +1,116 @@
+"""Tests for optimizer-state checkpointing and resume."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    CheckpointManifest,
+    load_optimizer_checkpoint,
+    save_optimizer_checkpoint,
+)
+from repro.common.errors import ConfigurationError
+from repro.core.numeric_executor import InterleavedNumericExecutor
+from repro.optim import AdamRule
+from repro.zero.offload import OffloadConfig
+from repro.zero.stage3 import ShardedMixedPrecisionOptimizer
+
+
+def make_optimizer(num_params=800, dp=2, subgroup_size=100, seed=0):
+    rng = np.random.default_rng(seed)
+    params = rng.normal(size=num_params).astype(np.float32)
+    return (
+        ShardedMixedPrecisionOptimizer(
+            params,
+            AdamRule(),
+            data_parallel_degree=dp,
+            offload=OffloadConfig(subgroup_size=subgroup_size),
+        ),
+        rng,
+    )
+
+
+def test_save_and_resume_round_trip(tmp_path):
+    optimizer, rng = make_optimizer()
+    for _ in range(3):
+        optimizer.set_gradients(rng.normal(size=800).astype(np.float32))
+        optimizer.step(InterleavedNumericExecutor(stride=2))
+    manifest = save_optimizer_checkpoint(optimizer, tmp_path / "ckpt")
+    assert manifest.step_count == 3
+    assert (tmp_path / "ckpt" / "manifest.json").exists()
+    assert len(manifest.rank_files) == 2
+
+    restored, _ = make_optimizer(seed=99)
+    load_optimizer_checkpoint(restored, tmp_path / "ckpt")
+    assert restored.step_count == 3
+    np.testing.assert_array_equal(
+        restored.gathered_fp32_parameters(), optimizer.gathered_fp32_parameters()
+    )
+    np.testing.assert_array_equal(
+        restored.gathered_fp16_parameters(), optimizer.gathered_fp16_parameters()
+    )
+
+
+def test_resume_continues_identically_to_uninterrupted_run(tmp_path):
+    reference, rng = make_optimizer(seed=1)
+    interrupted, _ = make_optimizer(seed=1)
+    gradients = [np.random.default_rng(10 + i).normal(size=800).astype(np.float32) for i in range(4)]
+
+    for grads in gradients[:2]:
+        for optimizer in (reference, interrupted):
+            optimizer.set_gradients(grads)
+            optimizer.step(InterleavedNumericExecutor(stride=2))
+
+    save_optimizer_checkpoint(interrupted, tmp_path / "mid")
+    resumed, _ = make_optimizer(seed=42)
+    load_optimizer_checkpoint(resumed, tmp_path / "mid")
+
+    for grads in gradients[2:]:
+        for optimizer in (reference, resumed):
+            optimizer.set_gradients(grads)
+            optimizer.step(InterleavedNumericExecutor(stride=2))
+
+    np.testing.assert_array_equal(
+        reference.gathered_fp32_parameters(), resumed.gathered_fp32_parameters()
+    )
+
+
+def test_manifest_json_round_trip():
+    manifest = CheckpointManifest(
+        step_count=5, num_params=10, data_parallel_degree=2, subgroup_size=4,
+        rank_files={"0": "rank000.npz"}, checksums={"0": "abc"},
+    )
+    restored = CheckpointManifest.from_json(manifest.to_json())
+    assert restored == manifest
+
+
+def test_mismatched_optimizer_rejected(tmp_path):
+    optimizer, _ = make_optimizer(num_params=800)
+    save_optimizer_checkpoint(optimizer, tmp_path / "ckpt")
+    smaller, _ = make_optimizer(num_params=400)
+    with pytest.raises(ConfigurationError):
+        load_optimizer_checkpoint(smaller, tmp_path / "ckpt")
+    wrong_dp, _ = make_optimizer(num_params=800, dp=1)
+    with pytest.raises(ConfigurationError):
+        load_optimizer_checkpoint(wrong_dp, tmp_path / "ckpt")
+
+
+def test_missing_manifest_and_corruption_detected(tmp_path):
+    optimizer, _ = make_optimizer()
+    with pytest.raises(ConfigurationError):
+        load_optimizer_checkpoint(optimizer, tmp_path / "nothing-here")
+
+    save_optimizer_checkpoint(optimizer, tmp_path / "ckpt")
+    # Corrupt one rank file by rewriting it with different contents.
+    other, rng = make_optimizer(seed=7)
+    other.set_gradients(rng.normal(size=800).astype(np.float32))
+    other.step()
+    import numpy as np_
+
+    target = tmp_path / "ckpt" / "rank000.npz"
+    arrays = {}
+    with np_.load(target) as stored:
+        for name in stored.files:
+            arrays[name] = stored[name] + 1.0
+    np_.savez(target, **arrays)
+    with pytest.raises(ConfigurationError):
+        load_optimizer_checkpoint(optimizer, tmp_path / "ckpt", verify=True)

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_presets_runs(capsys):
+    assert main(["list-presets"]) == 0
+    output = capsys.readouterr().out
+    assert "20B" in output
+    assert "jlse-4xh100" in output
+    assert "deep-optimizer-states" in output
+    assert "fig7" in output
+
+
+def test_stride_command_reports_equation1(capsys):
+    assert main(["stride", "--machine", "jlse-4xh100"]) == 0
+    output = capsys.readouterr().out
+    assert "Equation 1 ratio" in output
+    assert "Selected stride    : 2" in output
+
+
+def test_stride_command_with_core_override(capsys):
+    assert main(["stride", "--machine", "jlse-4xh100", "--cores-per-gpu", "10"]) == 0
+    output = capsys.readouterr().out
+    assert "B params/s" in output
+
+
+def test_compare_command_prints_speedup(capsys):
+    code = main(
+        [
+            "compare",
+            "--model", "7B",
+            "--iterations", "3",
+            "--strategies", "zero3-offload", "deep-optimizer-states",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "iteration_s" in output
+    assert "speedup over ZeRO-3 offload" in output
+
+
+def test_experiment_command_runs_table2(capsys):
+    assert main(["experiment", "table2"]) == 0
+    output = capsys.readouterr().out
+    assert "[table2]" in output
+    assert "fp32_optimizer_gib" in output
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["experiment", "fig99"])
+
+
+def test_parser_requires_a_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

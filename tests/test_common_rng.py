@@ -1,0 +1,32 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+
+from repro.common.rng import DEFAULT_SEED, make_rng, spawn
+
+
+def test_same_seed_same_stream_is_deterministic():
+    a = make_rng(7, stream="data").normal(size=16)
+    b = make_rng(7, stream="data").normal(size=16)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_streams_differ():
+    a = make_rng(7, stream="weights").normal(size=16)
+    b = make_rng(7, stream="data").normal(size=16)
+    assert not np.allclose(a, b)
+
+
+def test_default_seed_used_when_none():
+    a = make_rng(None).integers(0, 1000, size=8)
+    b = make_rng(DEFAULT_SEED).integers(0, 1000, size=8)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_spawn_produces_independent_generators():
+    children = spawn(make_rng(3), 4)
+    assert len(children) == 4
+    draws = [child.normal(size=8) for child in children]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not np.allclose(draws[i], draws[j])

@@ -1,0 +1,66 @@
+"""Tests for the JSON configuration helpers."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.serialization import dump_json, from_dict, load_json, to_dict
+from repro.core.engine import DeepOptimizerStatesConfig
+from repro.zero.offload import OffloadConfig, OffloadDevice
+
+
+@dataclass
+class _Inner:
+    value: int = 1
+
+
+@dataclass
+class _Outer:
+    name: str = "outer"
+    inner: _Inner = field(default_factory=_Inner)
+
+
+def test_to_dict_recurses_into_nested_dataclasses():
+    data = to_dict(_Outer(name="x", inner=_Inner(value=7)))
+    assert data == {"name": "x", "inner": {"value": 7}}
+
+
+def test_from_dict_builds_nested_dataclasses():
+    outer = from_dict(_Outer, {"name": "y", "inner": {"value": 3}})
+    assert outer.name == "y"
+    assert outer.inner.value == 3
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ConfigurationError):
+        from_dict(_Outer, {"name": "y", "bogus": 1})
+
+
+def test_from_dict_rejects_non_dataclass():
+    with pytest.raises(ConfigurationError):
+        from_dict(dict, {"a": 1})
+
+
+def test_enum_fields_serialise_to_values():
+    config = OffloadConfig(device=OffloadDevice.CPU)
+    data = to_dict(config)
+    assert data["device"] == "cpu"
+    restored = from_dict(OffloadConfig, data)
+    assert restored.device == OffloadDevice.CPU
+
+
+def test_round_trip_through_file(tmp_path):
+    config = DeepOptimizerStatesConfig(subgroup_size=5_000_000, update_stride=3)
+    path = tmp_path / "dos.json"
+    dump_json(config, path)
+    restored = load_json(DeepOptimizerStatesConfig, path)
+    assert restored == config
+
+
+def test_deep_optimizer_states_json_block_round_trip():
+    config = DeepOptimizerStatesConfig(static_gpu_fraction=0.25)
+    block = config.to_json_dict()
+    assert "deep_optimizer_states" in block
+    assert DeepOptimizerStatesConfig.from_json_dict(block) == config
+    assert DeepOptimizerStatesConfig.from_json_dict(block["deep_optimizer_states"]) == config

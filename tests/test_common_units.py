@@ -1,0 +1,51 @@
+"""Tests for unit constants and formatting helpers."""
+
+import pytest
+
+from repro.common import units
+
+
+def test_decimal_constants_are_powers_of_ten():
+    assert units.KB == 10**3
+    assert units.MB == 10**6
+    assert units.GB == 10**9
+    assert units.TB == 10**12
+
+
+def test_binary_constants_are_powers_of_two():
+    assert units.KIB == 2**10
+    assert units.MIB == 2**20
+    assert units.GIB == 2**30
+
+
+def test_gb_and_gib_conversions_roundtrip():
+    assert units.bytes_to_gb(units.gb(3.5)) == pytest.approx(3.5)
+    assert units.bytes_to_gib(units.gib(80)) == pytest.approx(80)
+
+
+def test_gib_is_larger_than_gb():
+    assert units.gib(1) > units.gb(1)
+
+
+def test_format_bytes_selects_suffix():
+    assert units.format_bytes(512) == "512 B"
+    assert "KiB" in units.format_bytes(4 * units.KIB)
+    assert "MiB" in units.format_bytes(3 * units.MIB)
+    assert "GiB" in units.format_bytes(2 * units.GIB)
+    assert "TiB" in units.format_bytes(5 * units.TIB)
+
+
+def test_format_duration_scales():
+    assert "ns" in units.format_duration(5e-9)
+    assert "us" in units.format_duration(5e-6)
+    assert "ms" in units.format_duration(5e-3)
+    assert units.format_duration(2.5).endswith(" s")
+    assert "m " in units.format_duration(125.0)
+
+
+def test_format_throughput_uses_decimal_gigabytes():
+    assert units.format_throughput(55 * units.GB) == "55.00 GB/s"
+
+
+def test_format_param_throughput():
+    assert units.format_param_throughput(8.8e9) == "8.80 B params/s"

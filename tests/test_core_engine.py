@@ -1,0 +1,92 @@
+"""Tests for the DeepOptimizerStates middleware facade and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.engine import DeepOptimizerStates, DeepOptimizerStatesConfig
+from repro.core.numeric_executor import InterleavedNumericExecutor
+from repro.zero.offload import OffloadDevice
+from repro.zero.stage3 import ShardedMixedPrecisionOptimizer
+from repro.optim import AdamRule
+
+
+def test_config_defaults_and_validation():
+    config = DeepOptimizerStatesConfig()
+    assert config.enabled
+    assert config.subgroup_size == 100_000_000
+    assert config.update_stride == 0  # automatic, from Equation 1
+    with pytest.raises(ConfigurationError):
+        DeepOptimizerStatesConfig(subgroup_size=0)
+    with pytest.raises(ConfigurationError):
+        DeepOptimizerStatesConfig(update_stride=-1)
+    with pytest.raises(ConfigurationError):
+        DeepOptimizerStatesConfig(min_update_stride=4, max_update_stride=2)
+    with pytest.raises(ConfigurationError):
+        DeepOptimizerStatesConfig(static_gpu_fraction=1.2)
+
+
+def test_disabled_config_rejected():
+    with pytest.raises(ConfigurationError):
+        DeepOptimizerStates(DeepOptimizerStatesConfig(enabled=False))
+
+
+def test_update_stride_automatic_and_forced(h100_profile):
+    auto = DeepOptimizerStates()
+    assert auto.update_stride(h100_profile) == 2
+    forced = DeepOptimizerStates(DeepOptimizerStatesConfig(update_stride=4))
+    assert forced.update_stride(h100_profile) == 4
+
+
+def test_offload_config_places_static_residents_at_end():
+    strategy = DeepOptimizerStates(DeepOptimizerStatesConfig(static_gpu_fraction=0.25))
+    offload = strategy.offload_config(1_000_000)
+    assert offload.device == OffloadDevice.CPU
+    assert offload.static_residents_at_end
+    assert offload.static_resident_indices(8) == frozenset({6, 7})
+
+
+def test_build_plan_combines_stride_and_residents(h100_profile):
+    strategy = DeepOptimizerStates(DeepOptimizerStatesConfig(static_gpu_fraction=0.25))
+    plan = strategy.build_plan(8, h100_profile)
+    assert plan.stride == 2
+    assert {6, 7} <= set(plan.gpu_indices())
+    assert plan.gpu_fraction() >= 0.5
+
+
+def test_strategy_flags(h100_profile):
+    strategy = DeepOptimizerStates()
+    assert not strategy.flush_blocks_backward()
+    assert strategy.stages_subgroup_on_gpu()
+    description = strategy.describe()
+    assert description["strategy"] == "deep-optimizer-states"
+    assert "update_stride" in description
+
+
+def test_performance_model_uses_config_bounds(h100_profile):
+    strategy = DeepOptimizerStates(DeepOptimizerStatesConfig(min_update_stride=3, max_update_stride=5))
+    model = strategy.performance_model(h100_profile)
+    assert model.stride >= 3
+
+
+def test_numeric_executor_and_attach(h100_profile, rng):
+    strategy = DeepOptimizerStates()
+    executor = strategy.numeric_executor(10, h100_profile)
+    assert isinstance(executor, InterleavedNumericExecutor)
+    assert executor.stride == 2
+
+    params = rng.normal(size=1000).astype(np.float32)
+    optimizer = ShardedMixedPrecisionOptimizer(
+        params, AdamRule(), data_parallel_degree=1, offload=strategy.offload_config(100)
+    )
+    attached = strategy.attach(optimizer, h100_profile)
+    optimizer.set_gradients(rng.normal(size=1000).astype(np.float32))
+    optimizer.step(attached)
+    assert attached.devices_used()["gpu"] == 5
+
+
+def test_json_round_trip_of_config():
+    config = DeepOptimizerStatesConfig(update_stride=3, static_gpu_fraction=0.1)
+    block = config.to_json_dict()
+    assert block["deep_optimizer_states"]["update_stride"] == 3
+    assert DeepOptimizerStatesConfig.from_json_dict(block) == config

@@ -1,0 +1,96 @@
+"""Tests for the two gradient-flush paths (Figure 6)."""
+
+import pytest
+
+from repro.core.gradient_flush import (
+    baseline_flush_seconds,
+    build_baseline_gradient_flush,
+    build_overlapped_gradient_flush,
+    overlapped_flush_seconds,
+)
+from repro.core.scheduler import build_update_plan
+from repro.sim.engine import SimEngine, standard_resources
+from repro.sim.ops import OpKind, SimOp
+
+SUBGROUP = 100_000_000
+
+
+def engine_with_producers(num_subgroups):
+    engine = SimEngine()
+    standard_resources(engine)
+    deps = {}
+    for index in range(num_subgroups):
+        producer = SimOp(f"bwd[{index}]", OpKind.GPU_COMPUTE, "gpu.compute", 0.015, subgroup=index)
+        engine.submit(producer)
+        deps[index] = producer.op_id
+    return engine, deps
+
+
+def test_baseline_flush_has_three_sequential_stages():
+    engine, deps = engine_with_producers(3)
+    profile_sizes = {i: SUBGROUP for i in range(3)}
+    from repro.hardware.presets import JLSE_H100_NODE
+    from repro.hardware.throughput import ThroughputProfile
+
+    profile = ThroughputProfile.from_machine(JLSE_H100_NODE)
+    result = build_baseline_gradient_flush(engine, profile, profile_sizes, deps)
+    schedule = engine.run()
+    assert len(result.op_ids) == 9  # alloc + copy + upscale per subgroup
+    assert set(result.blocking_ops) == {0, 1, 2}
+    # The flush transfers FP16 gradients.
+    assert result.d2h_bytes == 3 * SUBGROUP * 2
+    # Alloc happens before copy which happens before upscale for each subgroup.
+    for index in range(3):
+        alloc = schedule.filter(kind=OpKind.HOST_ALLOC, subgroup=index)[0]
+        copy = schedule.filter(kind=OpKind.D2H, subgroup=index)[0]
+        upscale = schedule.filter(kind=OpKind.CPU_UPSCALE, subgroup=index)[0]
+        assert alloc.end <= copy.start + 1e-9
+        assert copy.end <= upscale.start + 1e-9
+
+
+def test_overlapped_flush_skips_gpu_scheduled_subgroups(h100_profile):
+    engine, deps = engine_with_producers(4)
+    sizes = {i: SUBGROUP for i in range(4)}
+    plan = build_update_plan(4, 2)  # subgroups 1 and 3 update on the GPU
+    result = build_overlapped_gradient_flush(engine, h100_profile, sizes, deps, plan=plan)
+    schedule = engine.run()
+    d2h_ops = schedule.filter(kind=OpKind.D2H)
+    assert {item.op.subgroup for item in d2h_ops} == {0, 2}
+    assert result.d2h_bytes == 2 * SUBGROUP * 4  # FP32 transfers for the CPU-scheduled half
+    assert not result.blocking_ops  # never blocks the backward pass
+    assert set(result.grad_ready_ops) == {0, 1, 2, 3}
+
+
+def test_overlapped_flush_without_plan_flushes_everything(h100_profile):
+    engine, deps = engine_with_producers(2)
+    sizes = {i: SUBGROUP for i in range(2)}
+    result = build_overlapped_gradient_flush(engine, h100_profile, sizes, deps, plan=None)
+    engine.run()
+    assert result.d2h_bytes == 2 * SUBGROUP * 4
+
+
+def test_per_subgroup_analytic_costs_match_paper_orders(h100_profile):
+    baseline_ms = baseline_flush_seconds(h100_profile, SUBGROUP) * 1e3
+    overlapped_ms = overlapped_flush_seconds(h100_profile, SUBGROUP) * 1e3
+    # Figure 6: ~90 ms for the baseline path, single-digit milliseconds for the new path.
+    assert 50 <= baseline_ms <= 150
+    assert overlapped_ms <= 15
+    assert baseline_ms / overlapped_ms > 5
+
+
+def test_flush_frees_fp16_gradients_on_gpu(h100_profile):
+    engine, deps = engine_with_producers(2)
+    sizes = {i: SUBGROUP for i in range(2)}
+    build_overlapped_gradient_flush(engine, h100_profile, sizes, deps, plan=None)
+    schedule = engine.run()
+    freed = sum(-item.op.gpu_mem_delta for item in schedule.filter(kind=OpKind.D2H))
+    assert freed == 2 * SUBGROUP * 2
+
+
+def test_last_op_id_property(h100_profile):
+    engine, deps = engine_with_producers(1)
+    result = build_overlapped_gradient_flush(engine, h100_profile, {0: SUBGROUP}, deps, plan=None)
+    assert result.last_op_id == result.op_ids[-1]
+    from repro.core.gradient_flush import GradientFlushOps
+
+    assert GradientFlushOps().last_op_id is None

@@ -1,0 +1,127 @@
+"""Tests for Equation 1 and the analytic update-phase estimates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.performance_model import (
+    PerformanceModel,
+    cpu_to_gpu_update_ratio,
+    optimal_update_stride,
+)
+from repro.hardware.throughput import ThroughputProfile
+
+
+def make_profile(pcie=13.75e9, gpu=25e9, cpu=2e9, downscale=10e9) -> ThroughputProfile:
+    return ThroughputProfile(
+        pcie_pps=pcie, gpu_update_pps=gpu, cpu_update_pps=cpu, cpu_downscale_pps=downscale
+    )
+
+
+def test_paper_v100_numbers_give_ratio_2_3(paper_v100_profile):
+    """Section 5.4: B=3, Ug=35, Uc=2, Dc=8.7 billion params/s -> k ~= 2.29 -> stride 2."""
+    ratio = cpu_to_gpu_update_ratio(paper_v100_profile)
+    assert ratio == pytest.approx(2.29, abs=0.05)
+    assert optimal_update_stride(paper_v100_profile) == 2
+
+
+def test_h100_testbed_selects_stride_2(h100_profile):
+    """The paper states the optimal dynamic update stride is 2 on the H100 testbed."""
+    assert optimal_update_stride(h100_profile) == 2
+
+
+def test_equation_1_closed_form():
+    profile = make_profile(pcie=10e9, gpu=50e9, cpu=2e9, downscale=10e9)
+    expected = (3 / 10e9 + 1 / 50e9) / (1 / 2e9 + 1 / 10e9 - 1 / 20e9)
+    assert cpu_to_gpu_update_ratio(profile) == pytest.approx(expected)
+
+
+def test_ratio_monotonicity_faster_cpu_means_more_cpu_work():
+    slow_cpu = cpu_to_gpu_update_ratio(make_profile(cpu=1e9))
+    fast_cpu = cpu_to_gpu_update_ratio(make_profile(cpu=4e9))
+    assert fast_cpu > slow_cpu
+
+
+def test_ratio_monotonicity_faster_pcie_means_more_gpu_work():
+    slow_pcie = cpu_to_gpu_update_ratio(make_profile(pcie=5e9))
+    fast_pcie = cpu_to_gpu_update_ratio(make_profile(pcie=40e9))
+    assert fast_pcie < slow_pcie
+
+
+def test_ratio_monotonicity_faster_gpu_means_more_gpu_work():
+    slow_gpu = cpu_to_gpu_update_ratio(make_profile(gpu=10e9))
+    fast_gpu = cpu_to_gpu_update_ratio(make_profile(gpu=100e9))
+    assert fast_gpu < slow_gpu
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(1e9, 60e9),
+    st.floats(5e9, 200e9),
+    st.floats(0.5e9, 10e9),
+    st.floats(2e9, 40e9),
+)
+def test_ratio_independent_of_subgroup_size(pcie, gpu, cpu, downscale):
+    """Equation 1 does not depend on S, so the stride is subgroup-size independent."""
+    profile = make_profile(pcie, gpu, cpu, downscale)
+    try:
+        ratio = cpu_to_gpu_update_ratio(profile)
+    except ConfigurationError:
+        return  # degenerate corner where the denominator is non-positive
+    assert ratio > 0
+    model = PerformanceModel(profile)
+    small = model.estimate_interleaved(20, 1_000_000, stride=model.stride)
+    large = model.estimate_interleaved(20, 100_000_000, stride=model.stride)
+    # The per-parameter update rate is size-independent.
+    assert small.total_seconds * 100 == pytest.approx(large.total_seconds, rel=0.05)
+
+
+def test_degenerate_denominator_raises():
+    # A CPU so fast that offloading to it never becomes the bottleneck.
+    with pytest.raises(ConfigurationError):
+        cpu_to_gpu_update_ratio(make_profile(pcie=1e9, cpu=1e12, downscale=1e12))
+
+
+def test_stride_clamping_bounds(h100_profile):
+    assert optimal_update_stride(h100_profile, min_stride=3) >= 3
+    assert optimal_update_stride(h100_profile, max_stride=2) == 2
+    with pytest.raises(ConfigurationError):
+        optimal_update_stride(h100_profile, min_stride=0)
+    with pytest.raises(ConfigurationError):
+        optimal_update_stride(h100_profile, min_stride=3, max_stride=2)
+
+
+def test_interleaved_estimate_beats_blocking_estimate(h100_profile):
+    model = PerformanceModel(h100_profile)
+    blocking = model.estimate_blocking_offload(50, 100_000_000)
+    interleaved = model.estimate_interleaved(50, 100_000_000)
+    assert interleaved.total_seconds < blocking.total_seconds
+    assert interleaved.gpu_scheduled_subgroups > 0
+    assert blocking.gpu_scheduled_subgroups == 0
+
+
+def test_static_residents_accelerate_blocking_estimate(h100_profile):
+    model = PerformanceModel(h100_profile)
+    none = model.estimate_blocking_offload(50, 100_000_000, static_gpu_resident=0)
+    some = model.estimate_blocking_offload(50, 100_000_000, static_gpu_resident=10)
+    assert some.total_seconds < none.total_seconds
+    assert some.gpu_scheduled_subgroups == 10
+
+
+def test_best_stride_on_h100_is_2(h100_profile):
+    model = PerformanceModel(h100_profile)
+    assert model.best_stride_by_estimate(50, 100_000_000) == 2
+    assert model.gpu_fraction() == pytest.approx(0.5)
+
+
+def test_estimate_validation(h100_profile):
+    model = PerformanceModel(h100_profile)
+    with pytest.raises(ConfigurationError):
+        model.estimate_interleaved(0, 100)
+    with pytest.raises(ConfigurationError):
+        model.estimate_interleaved(10, 0)
+    with pytest.raises(ConfigurationError):
+        model.estimate_interleaved(10, 100, static_gpu_resident=11)
+    with pytest.raises(ConfigurationError):
+        model.estimate_interleaved(10, 100, stride=0)

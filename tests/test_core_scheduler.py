@@ -1,0 +1,120 @@
+"""Tests for Algorithm 1's update plan construction and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, SchedulingError
+from repro.core.scheduler import (
+    AssignmentReason,
+    UpdatePlan,
+    UpdateTarget,
+    build_cpu_only_plan,
+    build_update_plan,
+)
+
+
+def test_stride_2_schedules_every_alternate_subgroup_on_gpu():
+    plan = build_update_plan(8, 2)
+    assert plan.gpu_indices() == [1, 3, 5, 7]
+    assert plan.cpu_indices() == [0, 2, 4, 6]
+    assert plan.gpu_fraction() == pytest.approx(0.5)
+
+
+def test_stride_3_matches_paper_figure5_example():
+    """Figure 5: 8 subgroups, 'for every two subgroups updated on the CPU, one on the GPU'."""
+    plan = build_update_plan(8, 3)
+    assert plan.gpu_indices() == [2, 5]
+    assert plan.gpu_fraction() == pytest.approx(0.25)
+    dynamic = plan.dynamic_gpu_indices()
+    assert dynamic == [2, 5]
+
+
+def test_static_residents_always_on_gpu_even_off_stride():
+    plan = build_update_plan(8, 2, static_residents={6, 7})
+    assert 6 in plan.gpu_indices() and 7 in plan.gpu_indices()
+    assert plan.assignments[6].reason == AssignmentReason.STATIC_RESIDENT
+    assert plan.assignments[7].reason == AssignmentReason.STATIC_RESIDENT
+    # Static residents do not count as dynamically staged subgroups.
+    assert 7 not in plan.dynamic_gpu_indices()
+
+
+def test_cpu_only_plan_matches_baselines():
+    zero3 = build_cpu_only_plan(10)
+    assert zero3.gpu_indices() == []
+    assert zero3.gpu_fraction() == 0.0
+    twinflow = build_cpu_only_plan(10, static_residents={0, 1})
+    assert twinflow.gpu_indices() == [0, 1]
+    assert twinflow.dynamic_gpu_indices() == []
+
+
+def test_prev_next_on_gpu_helpers():
+    plan = build_update_plan(10, 3)
+    assert plan.dynamic_gpu_indices() == [2, 5, 8]
+    assert plan.prev_on_gpu(5) == 2
+    assert plan.prev_on_gpu(2) is None
+    assert plan.next_on_gpu(3) == 5
+    assert plan.next_on_gpu(9) is None
+
+
+def test_target_of_and_describe():
+    plan = build_update_plan(4, 2)
+    assert plan.target_of(1) == UpdateTarget.GPU
+    assert plan.target_of(0) == UpdateTarget.CPU
+    description = plan.describe()
+    assert description["num_subgroups"] == 4
+    assert description["stride"] == 2
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ConfigurationError):
+        build_update_plan(-1, 2)
+    with pytest.raises(ConfigurationError):
+        build_update_plan(4, 0)
+    with pytest.raises(ConfigurationError):
+        build_update_plan(4, 2, static_residents={5})
+
+
+def test_validate_detects_corrupted_plans():
+    plan = build_update_plan(6, 2)
+    # Tamper with an assignment: move a stride hit to the CPU.
+    corrupted = UpdatePlan(
+        assignments=tuple(
+            item if item.index != 1 else type(item)(1, UpdateTarget.CPU, AssignmentReason.CPU_DEFAULT)
+            for item in plan.assignments
+        ),
+        stride=2,
+    )
+    with pytest.raises(SchedulingError):
+        corrupted.validate()
+
+
+def test_empty_plan_is_valid():
+    plan = build_update_plan(0, 2)
+    assert plan.num_subgroups == 0
+    assert plan.gpu_fraction() == 0.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.integers(1, 120),
+    st.integers(1, 10),
+    st.data(),
+)
+def test_plan_invariants_hold_for_random_inputs(num_subgroups, stride, data):
+    residents = frozenset(
+        data.draw(
+            st.sets(st.integers(0, num_subgroups - 1), max_size=min(8, num_subgroups))
+        )
+    )
+    plan = build_update_plan(num_subgroups, stride, residents)
+    plan.validate()
+    # Every subgroup appears exactly once.
+    assert sorted(plan.gpu_indices() + plan.cpu_indices()) == list(range(num_subgroups))
+    # Static residents are always on the GPU.
+    assert residents <= set(plan.gpu_indices())
+    # Dynamic GPU share equals the stride hits that are not residents.
+    expected_dynamic = [
+        i for i in range(num_subgroups) if (i + 1) % stride == 0 and i not in residents
+    ]
+    assert plan.dynamic_gpu_indices() == expected_dynamic

@@ -1,0 +1,142 @@
+"""Tests for the simulated update-phase builders (Figure 5 semantics)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.scheduler import build_cpu_only_plan, build_update_plan
+from repro.core.sim_executor import build_blocking_offload_update, build_interleaved_update
+from repro.hardware.contention import HostContentionModel
+from repro.sim.engine import SimEngine, standard_resources
+from repro.sim.ops import OpKind
+
+SUBGROUP = 100_000_000
+
+
+def simulate(builder, plan, profile, num_subgroups=8, **kwargs):
+    engine = SimEngine()
+    standard_resources(engine)
+    sizes = {i: SUBGROUP for i in range(num_subgroups)}
+    ops = builder(engine, profile, plan, sizes, **kwargs)
+    schedule = engine.run()
+    ready = max(schedule.by_id(op).end for op in ops.params_ready_ops)
+    return schedule, ops, ready
+
+
+def test_blocking_baseline_serialises_cpu_and_h2d(h100_profile):
+    plan = build_cpu_only_plan(8)
+    schedule, ops, ready = simulate(build_blocking_offload_update, plan, h100_profile)
+    # The phase length equals the sum of all per-subgroup costs (no overlap at all).
+    per_subgroup = (
+        SUBGROUP / h100_profile.cpu_update_pps
+        + SUBGROUP / h100_profile.cpu_downscale_pps
+        + SUBGROUP / (2 * h100_profile.pcie_pps)
+    )
+    assert ready == pytest.approx(8 * per_subgroup, rel=1e-3)
+    assert len(ops.params_ready_ops) == 8
+    assert schedule.busy_time("pcie.d2h") == 0.0
+
+
+def test_blocking_baseline_with_static_residents_updates_them_on_gpu_first(h100_profile):
+    plan = build_cpu_only_plan(8, static_residents={0, 1})
+    schedule, ops, ready = simulate(build_blocking_offload_update, plan, h100_profile)
+    gpu_updates = schedule.filter(kind=OpKind.GPU_UPDATE)
+    cpu_updates = schedule.filter(kind=OpKind.CPU_UPDATE)
+    assert len(gpu_updates) == 2
+    assert len(cpu_updates) == 6
+    # The CPU does not start before the GPU residents are done (observation (a) in §4.1).
+    first_cpu_start = min(item.start for item in cpu_updates)
+    last_gpu_end = max(item.end for item in gpu_updates)
+    assert first_cpu_start >= last_gpu_end - 1e-9
+
+
+def test_interleaved_overlaps_and_beats_blocking(h100_profile):
+    blocking_plan = build_cpu_only_plan(8)
+    _, _, blocking_ready = simulate(build_blocking_offload_update, blocking_plan, h100_profile)
+    interleaved_plan = build_update_plan(8, 2)
+    schedule, ops, interleaved_ready = simulate(
+        build_interleaved_update, interleaved_plan, h100_profile
+    )
+    assert interleaved_ready < blocking_ready
+    # Both PCIe directions are exercised (full duplex) and the GPU updates subgroups.
+    assert schedule.busy_time("pcie.d2h") > 0
+    assert schedule.busy_time("pcie.h2d") > 0
+    assert len(schedule.filter(kind=OpKind.GPU_UPDATE)) == 4
+    # 4 prefetches of 3 FP32 tensors each plus 4 FP16 parameter copies.
+    assert ops.h2d_bytes == 4 * 3 * SUBGROUP * 4 + 4 * SUBGROUP * 2
+    assert ops.d2h_bytes == 4 * 3 * SUBGROUP * 4
+
+
+def test_interleaved_prefetch_overlaps_cpu_work(h100_profile):
+    plan = build_update_plan(8, 2)
+    schedule, _, _ = simulate(build_interleaved_update, plan, h100_profile)
+    first_prefetch = min(item.start for item in schedule.filter(kind=OpKind.H2D))
+    first_cpu_end = min(item.end for item in schedule.filter(kind=OpKind.CPU_UPDATE))
+    # The first prefetch starts before the first CPU update has finished.
+    assert first_prefetch < first_cpu_end
+
+
+def test_interleaved_every_subgroup_has_a_completion_op(h100_profile):
+    plan = build_update_plan(10, 3, static_residents={8, 9})
+    _, ops, _ = simulate(build_interleaved_update, plan, h100_profile, num_subgroups=10)
+    assert set(ops.per_subgroup_done) == set(range(10))
+    assert len(ops.params_ready_ops) == 10
+
+
+def test_contention_slows_interleaved_cpu_work(h100_profile):
+    plan = build_update_plan(8, 2)
+    _, _, fast = simulate(build_interleaved_update, plan, h100_profile, contention=None)
+    _, _, derated = simulate(
+        build_interleaved_update,
+        plan,
+        h100_profile,
+        contention=HostContentionModel(cpu_efficiency_under_transfer=0.5, pcie_duplex_efficiency=0.9),
+    )
+    assert derated >= fast
+
+
+def test_gradient_fetch_adds_prefetch_payload_when_grads_on_host(h100_profile):
+    plan = build_update_plan(8, 2)
+    _, on_gpu, _ = simulate(build_interleaved_update, plan, h100_profile, gradients_on_gpu=True)
+    _, on_host, _ = simulate(build_interleaved_update, plan, h100_profile, gradients_on_gpu=False)
+    assert on_host.h2d_bytes > on_gpu.h2d_bytes
+
+
+def test_grad_ready_dependencies_delay_updates(h100_profile):
+    engine = SimEngine()
+    standard_resources(engine)
+    from repro.sim.ops import SimOp
+
+    blocker = SimOp("grad_producer", OpKind.GPU_COMPUTE, "gpu.compute", 5.0)
+    engine.submit(blocker)
+    plan = build_cpu_only_plan(2)
+    sizes = {0: SUBGROUP, 1: SUBGROUP}
+    ops = build_blocking_offload_update(
+        engine, h100_profile, plan, sizes, grad_ready_ops={0: blocker.op_id, 1: blocker.op_id}
+    )
+    schedule = engine.run()
+    first_update = min(item.start for item in schedule.filter(kind=OpKind.CPU_UPDATE))
+    assert first_update >= 5.0
+    assert max(schedule.by_id(op).end for op in ops.params_ready_ops) > 5.0
+
+
+def test_size_mismatch_rejected(h100_profile):
+    engine = SimEngine()
+    standard_resources(engine)
+    plan = build_update_plan(4, 2)
+    with pytest.raises(ConfigurationError):
+        build_interleaved_update(engine, h100_profile, plan, {0: SUBGROUP})
+    with pytest.raises(ConfigurationError):
+        build_blocking_offload_update(engine, h100_profile, plan, {i: 0 for i in range(4)})
+
+
+def test_staged_subgroup_memory_deltas_balance(h100_profile):
+    engine = SimEngine()
+    standard_resources(engine)
+    plan = build_update_plan(6, 2)
+    sizes = {i: SUBGROUP for i in range(6)}
+    build_interleaved_update(
+        engine, h100_profile, plan, sizes, staged_subgroup_bytes=1_200_000_000
+    )
+    schedule = engine.run()
+    total_delta = sum(item.op.gpu_mem_delta for item in schedule.ops)
+    assert total_delta == 0  # every prefetched staging buffer is eventually flushed out

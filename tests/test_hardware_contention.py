@@ -1,0 +1,36 @@
+"""Tests for the host contention model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.hardware.contention import HostContentionModel
+
+
+def test_cpu_derated_only_when_transfers_overlap():
+    model = HostContentionModel(cpu_efficiency_under_transfer=0.8)
+    assert model.effective_cpu_update_pps(10e9, transfers_overlap=False) == 10e9
+    assert model.effective_cpu_update_pps(10e9, transfers_overlap=True) == pytest.approx(8e9)
+
+
+def test_pcie_derated_only_when_bidirectional():
+    model = HostContentionModel(pcie_duplex_efficiency=0.9)
+    assert model.effective_pcie_pps(13.75e9, bidirectional=False) == 13.75e9
+    assert model.effective_pcie_pps(13.75e9, bidirectional=True) == pytest.approx(12.375e9)
+
+
+def test_effective_cores_plateau():
+    model = HostContentionModel(dram_saturation_cores=38)
+    assert model.effective_cores(10) == 10
+    assert model.effective_cores(38) == 38
+    assert model.effective_cores(48) == 38
+    with pytest.raises(ConfigurationError):
+        model.effective_cores(0)
+
+
+def test_configuration_validation():
+    with pytest.raises(ConfigurationError):
+        HostContentionModel(cpu_efficiency_under_transfer=0.0)
+    with pytest.raises(ConfigurationError):
+        HostContentionModel(pcie_duplex_efficiency=1.5)
+    with pytest.raises(ConfigurationError):
+        HostContentionModel(dram_saturation_cores=0)

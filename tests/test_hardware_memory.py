@@ -1,0 +1,103 @@
+"""Tests for the device/host memory pools and the memory plan."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.common.units import GIB
+from repro.hardware.memory import DeviceMemoryPool, HostMemoryPool, MemoryPlan
+
+
+def test_allocate_and_free_tracks_usage():
+    pool = DeviceMemoryPool(capacity_bytes=1000)
+    pool.allocate("a", 400, tag="params")
+    pool.allocate("b", 500, tag="activations")
+    assert pool.used_bytes == 900
+    assert pool.free_bytes == 100
+    assert pool.peak_bytes == 900
+    assert "a" in pool
+    assert pool.free("a") == 400
+    assert pool.used_bytes == 500
+    assert pool.peak_bytes == 900
+
+
+def test_over_allocation_raises_oom_with_details():
+    pool = DeviceMemoryPool(capacity_bytes=100)
+    pool.allocate("a", 80)
+    with pytest.raises(OutOfMemoryError) as excinfo:
+        pool.allocate("b", 50)
+    assert excinfo.value.requested_bytes == 50
+    assert excinfo.value.available_bytes == 20
+
+
+def test_duplicate_and_missing_names_raise():
+    pool = DeviceMemoryPool(capacity_bytes=100)
+    pool.allocate("a", 10)
+    with pytest.raises(ConfigurationError):
+        pool.allocate("a", 10)
+    with pytest.raises(ConfigurationError):
+        pool.free("missing")
+
+
+def test_free_all_by_tag():
+    pool = DeviceMemoryPool(capacity_bytes=1000)
+    pool.allocate("act1", 100, tag="activations")
+    pool.allocate("act2", 200, tag="activations")
+    pool.allocate("params", 300, tag="params")
+    assert pool.free_all(tag="activations") == 300
+    assert pool.used_bytes == 300
+    assert pool.free_all() == 300
+    assert pool.used_bytes == 0
+
+
+def test_usage_by_tag_and_reset_peak():
+    pool = DeviceMemoryPool(capacity_bytes=1000)
+    pool.allocate("a", 100, tag="x")
+    pool.allocate("b", 200, tag="x")
+    assert pool.usage_by_tag()["x"] == 300
+    pool.free("b")
+    pool.reset_peak()
+    assert pool.peak_bytes == 100
+
+
+def test_host_pool_pinned_limit():
+    pool = HostMemoryPool(capacity_bytes=1000, pinned_limit_bytes=300)
+    pool.allocate("pinned1", 200, pinned=True)
+    assert pool.pinned_bytes == 200
+    with pytest.raises(OutOfMemoryError):
+        pool.allocate("pinned2", 200, pinned=True)
+    pool.allocate("pageable", 500, pinned=False)
+    pool.free("pinned1")
+    assert pool.pinned_bytes == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(1, 50), min_size=1, max_size=20))
+def test_pool_usage_never_negative_and_balanced(sizes):
+    pool = DeviceMemoryPool(capacity_bytes=sum(sizes))
+    for index, size in enumerate(sizes):
+        pool.allocate(f"r{index}", size)
+    assert pool.used_bytes == sum(sizes)
+    for index in range(len(sizes)):
+        pool.free(f"r{index}")
+        assert pool.used_bytes >= 0
+    assert pool.used_bytes == 0
+    assert pool.peak_bytes == sum(sizes)
+
+
+def test_memory_plan_totals():
+    plan = MemoryPlan(
+        fp16_parameters=int(10 * GIB),
+        fp16_gradients=int(2 * GIB),
+        activations=int(20 * GIB),
+        gpu_resident_optimizer=int(5 * GIB),
+        staged_subgroup=int(1 * GIB),
+        workspace=int(3 * GIB),
+        host_optimizer_state=int(200 * GIB),
+        host_gradient_buffer=int(20 * GIB),
+    )
+    with_acts = plan.gpu_total(include_activations=True, include_staged_subgroup=True)
+    without_acts = plan.gpu_total(include_activations=False, include_staged_subgroup=True)
+    assert with_acts - without_acts == int(20 * GIB)
+    assert plan.host_total() == int(220 * GIB)

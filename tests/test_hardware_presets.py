@@ -1,0 +1,61 @@
+"""Tests for the machine presets."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.hardware.presets import (
+    AWS_P3DN,
+    JLSE_H100_NODE,
+    LAMBDA_V100_NODE,
+    POLARIS_A100_NODE,
+    get_machine_preset,
+    list_machine_presets,
+)
+
+
+def test_all_presets_listed():
+    names = list_machine_presets()
+    assert set(names) >= {"jlse-4xh100", "4xv100", "polaris-4xa100", "aws-p3dn-24xlarge"}
+
+
+def test_lookup_returns_same_object():
+    assert get_machine_preset("jlse-4xh100") is JLSE_H100_NODE
+    assert get_machine_preset("4xv100") is LAMBDA_V100_NODE
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(ConfigurationError):
+        get_machine_preset("dgx-gh200")
+
+
+def test_jlse_matches_section_5_1():
+    node = JLSE_H100_NODE
+    assert node.num_gpus == 4
+    assert node.gpu.memory_gib == 80
+    assert node.cpu.total_cores == 96
+    assert node.cpu.total_threads == 192
+    assert node.host_memory.capacity_gib == 512
+    assert node.host_memory.numa_domains == 2
+    assert node.pcie.generation == 5
+    assert node.pcie.h2d_gbps_pinned == pytest.approx(55)
+    assert node.nvlink.d2d_gbps == pytest.approx(133)
+    # Pageable transfers are asymmetric and much slower, as reported in §5.1.
+    assert node.pcie.d2h_gbps_pageable == pytest.approx(16)
+    assert node.pcie.h2d_gbps_pageable == pytest.approx(9)
+
+
+def test_v100_machine_matches_section_5_4():
+    node = LAMBDA_V100_NODE
+    assert node.num_gpus == 4
+    assert node.gpu.memory_gib == 32
+    assert node.cpu.total_cores == 44
+    assert node.host_memory.capacity_gib == 192
+
+
+def test_secondary_presets_are_plausible():
+    assert POLARIS_A100_NODE.num_gpus == 4
+    assert POLARIS_A100_NODE.cpu.total_cores == 32
+    assert AWS_P3DN.num_gpus == 8
+    # Every preset must expose positive aggregate GPU update throughput.
+    for node in (JLSE_H100_NODE, LAMBDA_V100_NODE, POLARIS_A100_NODE, AWS_P3DN):
+        assert node.aggregate_gpu_update_pps > 0

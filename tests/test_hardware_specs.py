@@ -1,0 +1,83 @@
+"""Tests for machine specification dataclasses."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, GIB
+from repro.hardware.specs import CpuSpec, GpuSpec, HostMemorySpec, NvlinkSpec, PcieLinkSpec
+
+
+def test_gpu_spec_memory_and_flops(h100_machine):
+    gpu = h100_machine.gpu
+    assert gpu.memory_bytes == 80 * GIB
+    assert gpu.fp16_flops == pytest.approx(989e12)
+
+
+def test_gpu_spec_rejects_invalid_values():
+    with pytest.raises(ConfigurationError):
+        GpuSpec(name="bad", memory_gib=0, fp16_tflops=100, hbm_gbps=1000, adam_update_pps=1e9)
+    with pytest.raises(ConfigurationError):
+        GpuSpec(name="bad", memory_gib=80, fp16_tflops=100, hbm_gbps=1000, adam_update_pps=0)
+
+
+def test_cpu_spec_core_counts_and_throughput():
+    cpu = CpuSpec(name="test", sockets=2, cores_per_socket=48, adam_update_pps_per_core=83e6)
+    assert cpu.total_cores == 96
+    assert cpu.total_threads == 192
+    assert cpu.aggregate_adam_update_pps == pytest.approx(96 * 83e6)
+    assert cpu.adam_update_pps(24) == pytest.approx(24 * 83e6)
+    # Requesting more cores than exist caps at the socket total.
+    assert cpu.adam_update_pps(1000) == cpu.aggregate_adam_update_pps
+
+
+def test_cpu_spec_rejects_non_positive_cores():
+    with pytest.raises(ConfigurationError):
+        CpuSpec(name="bad", sockets=0, cores_per_socket=8)
+    cpu = CpuSpec(name="ok", sockets=1, cores_per_socket=8)
+    with pytest.raises(ConfigurationError):
+        cpu.adam_update_pps(0)
+
+
+def test_pcie_bandwidth_lookup():
+    pcie = PcieLinkSpec(
+        generation=5, h2d_gbps_pinned=55, d2h_gbps_pinned=50, h2d_gbps_pageable=9, d2h_gbps_pageable=16
+    )
+    assert pcie.bandwidth_gbps("h2d") == 55
+    assert pcie.bandwidth_gbps("d2h") == 50
+    assert pcie.bandwidth_gbps("h2d", pinned=False) == 9
+    assert pcie.bandwidth_gbps("d2h", pinned=False) == 16
+    with pytest.raises(ConfigurationError):
+        pcie.bandwidth_gbps("sideways")
+
+
+def test_nvlink_and_host_memory_validation():
+    with pytest.raises(ConfigurationError):
+        NvlinkSpec(d2d_gbps=0)
+    with pytest.raises(ConfigurationError):
+        HostMemorySpec(capacity_gib=0)
+    host = HostMemorySpec(capacity_gib=512)
+    assert host.capacity_bytes == 512 * GIB
+
+
+def test_machine_aggregates(h100_machine):
+    assert h100_machine.total_gpu_memory_bytes == 4 * 80 * GIB
+    assert h100_machine.cpu_cores_per_gpu == 24
+    assert h100_machine.aggregate_gpu_update_pps == pytest.approx(100e9)
+    assert h100_machine.pcie_h2d_bps == pytest.approx(55 * GB)
+
+
+def test_machine_with_cpu_cores_per_gpu(h100_machine):
+    restricted = h100_machine.with_cpu_cores_per_gpu(10)
+    assert restricted.cpu_cores_per_gpu == pytest.approx(10, abs=1)
+    assert restricted.num_gpus == h100_machine.num_gpus
+    with pytest.raises(ConfigurationError):
+        h100_machine.with_cpu_cores_per_gpu(0)
+
+
+def test_machine_with_num_gpus(h100_machine):
+    single = h100_machine.with_num_gpus(1)
+    assert single.num_gpus == 1
+    # Fewer GPUs share the same host CPUs, so each rank gets more cores.
+    assert single.cpu_cores_per_gpu > h100_machine.cpu_cores_per_gpu
+    with pytest.raises(ConfigurationError):
+        h100_machine.with_num_gpus(0)

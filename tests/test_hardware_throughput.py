@@ -1,0 +1,84 @@
+"""Tests for throughput profiles and the Table 1 reconstruction."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.hardware.throughput import ThroughputProfile, TransferKind, transfer_table
+from repro.precision.dtypes import DType
+
+
+def test_profile_from_machine_matches_paper_headline_rates(h100_machine):
+    profile = ThroughputProfile.from_machine(h100_machine)
+    # 55 GB/s PCIe over 4-byte FP32 parameters.
+    assert profile.pcie_pps == pytest.approx(55e9 / 4)
+    # "the 4xH100 GPUs update ~100 Billion parameters per second" -> 25 B/s per GPU.
+    assert profile.gpu_update_pps == pytest.approx(25e9)
+    # 24 cores per rank at ~83M params/s per core -> ~2 B params/s per rank.
+    assert profile.cpu_update_pps == pytest.approx(2e9, rel=0.05)
+    # H32<->H16 at 62 GB/s shared by 4 ranks, 6 bytes moved per converted parameter.
+    assert profile.cpu_downscale_pps == pytest.approx(62e9 / 4 / 6, rel=1e-6)
+
+
+def test_profile_respects_cores_per_gpu_override(h100_machine):
+    few = ThroughputProfile.from_machine(h100_machine, cores_per_gpu=10)
+    many = ThroughputProfile.from_machine(h100_machine, cores_per_gpu=40)
+    assert few.cpu_update_pps < many.cpu_update_pps
+    with pytest.raises(ConfigurationError):
+        ThroughputProfile.from_machine(h100_machine, cores_per_gpu=0)
+
+
+def test_profile_rejects_non_positive_rates():
+    with pytest.raises(ConfigurationError):
+        ThroughputProfile(pcie_pps=0, gpu_update_pps=1, cpu_update_pps=1, cpu_downscale_pps=1)
+
+
+def test_paper_v100_profile_values(paper_v100_profile):
+    assert paper_v100_profile.pcie_pps == pytest.approx(3e9)
+    assert paper_v100_profile.gpu_update_pps == pytest.approx(35e9)
+    assert paper_v100_profile.cpu_update_pps == pytest.approx(2e9)
+    assert paper_v100_profile.cpu_downscale_pps == pytest.approx(8.7e9)
+
+
+def test_scaled_cpu_returns_new_profile(h100_profile):
+    scaled = h100_profile.scaled_cpu(0.5)
+    assert scaled.cpu_update_pps == pytest.approx(h100_profile.cpu_update_pps * 0.5)
+    assert scaled.gpu_update_pps == h100_profile.gpu_update_pps
+    with pytest.raises(ConfigurationError):
+        h100_profile.scaled_cpu(0.0)
+
+
+def test_seconds_helpers(h100_profile):
+    params = 100_000_000
+    assert h100_profile.seconds_for_update(params, "gpu") == pytest.approx(params / 25e9)
+    assert h100_profile.seconds_for_update(params, "cpu") == pytest.approx(
+        params / h100_profile.cpu_update_pps
+    )
+    assert h100_profile.seconds_for_downscale(params) == pytest.approx(
+        params / h100_profile.cpu_downscale_pps
+    )
+    fp32 = h100_profile.seconds_for_transfer(params, DType.FP32)
+    fp16 = h100_profile.seconds_for_transfer(params, DType.FP16)
+    assert fp16 == pytest.approx(fp32 / 2)
+
+
+def test_transfer_table_reproduces_table1_ordering(h100_machine):
+    table = transfer_table(h100_machine)
+    # On-device conversion is fastest, then host conversion, then pinned PCIe, then the
+    # two mixed-precision cross-device paths (Table 1's ordering).
+    assert table[TransferKind.G32_G16] > table[TransferKind.H32_H16]
+    assert table[TransferKind.H32_H16] > table[TransferKind.H16_G16] / 2
+    assert table[TransferKind.H16_G16] > table[TransferKind.H32_G16]
+    assert table[TransferKind.H32_G16] > table[TransferKind.G16_H32]
+
+
+def test_transfer_table_matches_paper_within_factor(h100_machine):
+    paper = {
+        TransferKind.G32_G16: 1200.0,
+        TransferKind.H32_H16: 62.0,
+        TransferKind.H16_G16: 52.0,
+        TransferKind.H32_G16: 8.0,
+        TransferKind.G16_H32: 4.0,
+    }
+    table = transfer_table(h100_machine)
+    for kind, expected in paper.items():
+        assert table[kind] == pytest.approx(expected, rel=0.35)

@@ -1,0 +1,104 @@
+"""Cross-module integration tests tying the public API together."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    DeepOptimizerStates,
+    DeepOptimizerStatesConfig,
+    ShardedMixedPrecisionOptimizer,
+    Trainer,
+    TrainingJobConfig,
+    build_strategy,
+    get_model_preset,
+    optimal_update_stride,
+)
+from repro.core.numeric_executor import SequentialCpuExecutor
+from repro.hardware.throughput import ThroughputProfile
+from repro.model.nn.model import TinyTransformerLM
+from repro.optim import AdamRule
+from repro.training.numeric import MiniTrainer
+
+
+def test_package_exports_are_importable():
+    assert repro.__version__
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_flow_from_readme():
+    report = Trainer(
+        TrainingJobConfig(model="7B", strategy="deep-optimizer-states", iterations=3, warmup_iterations=1)
+    ).run()
+    baseline = Trainer(
+        TrainingJobConfig(model="7B", strategy="zero3-offload", iterations=3, warmup_iterations=1)
+    ).run()
+    assert report.speedup_over(baseline) > 1.5
+    assert "iteration_s" in report.as_row()
+
+
+def test_middleware_attached_to_real_model_training():
+    """The full stack: NumPy transformer -> ZeRO-3 sharding -> interleaved updates."""
+    config = get_model_preset("nano")
+    model = TinyTransformerLM(config, seed=0)
+    strategy = DeepOptimizerStates(DeepOptimizerStatesConfig(subgroup_size=4096, update_stride=2))
+    optimizer = ShardedMixedPrecisionOptimizer(
+        model.flatten_parameters(),
+        AdamRule(),
+        data_parallel_degree=2,
+        offload=strategy.offload_config(4096),
+    )
+    executor = strategy.attach(optimizer)
+
+    reference = ShardedMixedPrecisionOptimizer(
+        model.flatten_parameters(),
+        AdamRule(),
+        data_parallel_degree=2,
+        offload=strategy.offload_config(4096),
+    )
+
+    rng = np.random.default_rng(0)
+    for step in range(3):
+        tokens = rng.integers(0, config.vocab_size, size=(2, config.sequence_length))
+        targets = rng.integers(0, config.vocab_size, size=(2, config.sequence_length))
+        _, grads = model.train_step_gradients(tokens, targets)
+        optimizer.set_gradients(grads)
+        optimizer.step(executor)
+        reference.set_gradients(grads)
+        reference.step(SequentialCpuExecutor())
+        model.load_flat_parameters(optimizer.gathered_fp16_parameters().astype(np.float32))
+
+    np.testing.assert_array_equal(
+        optimizer.gathered_fp32_parameters(), reference.gathered_fp32_parameters()
+    )
+    assert executor.devices_used()["gpu"] > 0
+
+
+def test_stride_selection_consistent_between_api_layers(h100_machine):
+    profile = ThroughputProfile.from_machine(h100_machine)
+    strategy = build_strategy("deep-optimizer-states")
+    assert strategy.update_stride(profile) == optimal_update_stride(profile)
+    job = TrainingJobConfig(model="7B", strategy="deep-optimizer-states").resolve()
+    assert job.plan.stride == optimal_update_stride(job.profile)
+
+
+def test_paper_headline_claims_hold_in_simulation():
+    """2-2.5x faster iterations and ~1.7x+ faster updates for the 20B model."""
+    dos = Trainer(TrainingJobConfig(model="20B", strategy="deep-optimizer-states", iterations=3, warmup_iterations=1)).run()
+    zero3 = Trainer(TrainingJobConfig(model="20B", strategy="zero3-offload", iterations=3, warmup_iterations=1)).run()
+    speedup = dos.speedup_over(zero3)
+    assert 1.8 <= speedup <= 3.2
+    assert dos.update_throughput_pps / zero3.update_throughput_pps >= 1.5
+    # Training the 20B model with DOS costs no more than the 7B model on the baseline
+    # (the Figure 9 observation).
+    zero3_7b = Trainer(TrainingJobConfig(model="7B", strategy="zero3-offload", iterations=3, warmup_iterations=1)).run()
+    assert dos.iteration_seconds <= zero3_7b.iteration_seconds * 1.8
+
+
+def test_mini_trainer_and_simulated_trainer_share_strategy_objects():
+    strategy = build_strategy("deep-optimizer-states", subgroup_size=4096)
+    mini = MiniTrainer(get_model_preset("nano"), strategy=strategy, data_parallel_degree=1, subgroup_size=4096)
+    assert mini.strategy is strategy
+    report = Trainer(TrainingJobConfig(model="7B", strategy=strategy, iterations=3, warmup_iterations=1)).run()
+    assert report.job["strategy"] == "deep-optimizer-states"

@@ -1,0 +1,77 @@
+"""Tests for the transformer configuration and its analytic size model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.model.config import TransformerConfig
+from repro.model.presets import MODEL_PRESETS
+
+
+def test_parameter_count_formula_small_case():
+    config = TransformerConfig(
+        name="unit", num_layers=2, hidden_size=8, num_attention_heads=2, vocab_size=16,
+        sequence_length=4,
+    )
+    hidden = 8
+    per_layer = (4 * hidden * hidden + 4 * hidden) + (2 * hidden * 4 * hidden + 4 * hidden + hidden) + 4 * hidden
+    expected = 2 * per_layer + 16 * hidden + 2 * hidden
+    assert config.num_parameters() == expected
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ConfigurationError):
+        TransformerConfig(name="bad", num_layers=0, hidden_size=8, num_attention_heads=2)
+    with pytest.raises(ConfigurationError):
+        TransformerConfig(name="bad", num_layers=2, hidden_size=10, num_attention_heads=3)
+    with pytest.raises(ConfigurationError):
+        TransformerConfig(name="bad", num_layers=2, hidden_size=8, num_attention_heads=2, vocab_size=0)
+
+
+@pytest.mark.parametrize(
+    "name,expected_billions,tolerance",
+    [("7B", 7.0, 0.1), ("8.3B", 8.3, 0.05), ("10B", 10.0, 0.05), ("13B", 13.0, 0.05), ("20B", 20.0, 0.12)],
+)
+def test_preset_parameter_counts_match_labels(name, expected_billions, tolerance):
+    config = MODEL_PRESETS[name]
+    assert config.billions_of_parameters == pytest.approx(expected_billions, rel=tolerance)
+
+
+@pytest.mark.parametrize(
+    "name,paper_fp16_gb,paper_fp32_gb",
+    [("7B", 24, 96), ("8.3B", 30, 121), ("10B", 37, 150), ("13B", 46, 188), ("20B", 73, 294)],
+)
+def test_table2_state_sizes_close_to_paper(name, paper_fp16_gb, paper_fp32_gb):
+    config = MODEL_PRESETS[name]
+    assert config.fp16_model_state_gib() == pytest.approx(paper_fp16_gb, rel=0.15)
+    assert config.fp32_optimizer_state_gib() == pytest.approx(paper_fp32_gb, rel=0.15)
+
+
+def test_state_sizes_follow_mixed_precision_accounting():
+    config = MODEL_PRESETS["7B"]
+    params = config.num_parameters()
+    assert config.fp16_model_state_bytes() == 4 * params
+    assert config.fp32_optimizer_state_bytes() == 16 * params
+
+
+def test_activation_bytes_scale_with_microbatch_and_checkpointing():
+    config = MODEL_PRESETS["20B"]
+    full_1 = config.activation_bytes(1, checkpointing=False)
+    full_2 = config.activation_bytes(2, checkpointing=False)
+    ckpt_1 = config.activation_bytes(1, checkpointing=True)
+    assert full_2 == 2 * full_1
+    assert ckpt_1 < full_1 / 5
+    assert config.single_layer_activation_bytes(1) < full_1
+    with pytest.raises(ConfigurationError):
+        config.activation_bytes(0, checkpointing=True)
+
+
+def test_head_and_ffn_dimensions():
+    config = MODEL_PRESETS["13B"]
+    assert config.head_dim == 128
+    assert config.ffn_hidden_size == 4 * config.hidden_size
+
+
+def test_describe_contains_table2_fields():
+    description = MODEL_PRESETS["10B"].describe()
+    for key in ("name", "num_layers", "hidden_size", "attention_heads", "fp16_model_gib"):
+        assert key in description

@@ -1,0 +1,127 @@
+"""Tests for the per-rank memory footprint and OOM pre-flight checks."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.common.units import GIB
+from repro.hardware.presets import JLSE_H100_NODE
+from repro.model.footprint import build_memory_plan, build_rank_footprint, check_fits
+from repro.model.presets import MODEL_PRESETS
+
+
+def footprint_20b(**overrides):
+    defaults = dict(
+        data_parallel_degree=4,
+        microbatch_size=1,
+        activation_checkpointing=True,
+        subgroup_size=100_000_000,
+    )
+    defaults.update(overrides)
+    return build_rank_footprint(MODEL_PRESETS["20B"], **defaults)
+
+
+def test_rank_parameters_are_ceiling_of_even_split():
+    footprint = footprint_20b()
+    total = MODEL_PRESETS["20B"].num_parameters()
+    assert footprint.rank_parameters == -(-total // 4)
+
+
+def test_fp16_parameter_bytes_match_rank_share():
+    footprint = footprint_20b()
+    assert footprint.fp16_parameter_bytes == footprint.rank_parameters * 2
+
+
+def test_host_bytes_cover_offloaded_optimizer_and_gradients():
+    footprint = footprint_20b()
+    assert footprint.host_optimizer_bytes == footprint.rank_parameters * 12
+    assert footprint.host_gradient_bytes == footprint.rank_parameters * 4
+
+
+def test_static_gpu_fraction_moves_state_from_host_to_gpu():
+    none = footprint_20b()
+    half = footprint_20b(gpu_resident_optimizer_fraction=0.5)
+    assert half.gpu_resident_optimizer_bytes > 0
+    assert half.host_optimizer_bytes < none.host_optimizer_bytes
+    assert (
+        half.gpu_resident_optimizer_bytes + half.host_optimizer_bytes
+        == none.gpu_resident_optimizer_bytes + none.host_optimizer_bytes
+    )
+
+
+def test_staged_subgroup_costs_about_1_2_gb():
+    footprint = footprint_20b(stage_subgroup_on_gpu=True)
+    # The paper: a 100M-parameter subgroup needs 3 x 4 bytes x 100M ~= 1.2 GB on the GPU.
+    assert footprint.staged_subgroup_bytes == pytest.approx(1.2e9, rel=0.01)
+
+
+def test_activation_checkpointing_reduces_peak():
+    with_ckpt = footprint_20b(activation_checkpointing=True)
+    without = footprint_20b(activation_checkpointing=False, microbatch_size=1)
+    assert with_ckpt.gpu_peak_bytes() < without.gpu_peak_bytes()
+
+
+def test_update_phase_bytes_much_smaller_than_peak():
+    footprint = footprint_20b()
+    assert footprint.gpu_update_phase_bytes() < footprint.gpu_peak_bytes()
+
+
+def test_retained_gradient_fraction_increases_gradient_bytes():
+    none = footprint_20b()
+    retained = footprint_20b(gpu_scheduled_gradient_fraction=0.5)
+    assert retained.fp16_gradient_bytes > none.fp16_gradient_bytes
+    with pytest.raises(ConfigurationError):
+        footprint_20b(gpu_scheduled_gradient_fraction=1.5)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ConfigurationError):
+        footprint_20b(data_parallel_degree=0)
+    with pytest.raises(ConfigurationError):
+        footprint_20b(gpu_resident_optimizer_fraction=2.0)
+    with pytest.raises(ConfigurationError):
+        footprint_20b(subgroup_size=0)
+
+
+def test_check_fits_passes_for_paper_configuration():
+    footprint = footprint_20b(stage_subgroup_on_gpu=True)
+    check_fits(footprint, JLSE_H100_NODE)
+
+
+def test_check_fits_raises_gpu_oom_for_large_microbatch():
+    footprint = footprint_20b(microbatch_size=16, stage_subgroup_on_gpu=True)
+    with pytest.raises(OutOfMemoryError):
+        check_fits(footprint, JLSE_H100_NODE)
+
+
+def test_check_fits_raises_host_oom_when_dram_too_small():
+    # LLaMA-33B-like: the paper notes its optimizer state exceeds the 512 GB of DRAM.
+    footprint = build_rank_footprint(
+        MODEL_PRESETS["20B"],
+        data_parallel_degree=1,
+        microbatch_size=1,
+        activation_checkpointing=True,
+    )
+    tiny_host = JLSE_H100_NODE
+    object.__setattr__  # silence linters about frozen dataclasses; we build a new one instead
+    from dataclasses import replace
+    from repro.hardware.specs import HostMemorySpec
+
+    small = replace(tiny_host, host_memory=HostMemorySpec(capacity_gib=64.0))
+    with pytest.raises(OutOfMemoryError):
+        check_fits(footprint, small, data_parallel_degree=1)
+
+
+def test_memory_plan_mirrors_footprint():
+    footprint = footprint_20b(stage_subgroup_on_gpu=True)
+    plan = build_memory_plan(footprint)
+    assert plan.fp16_parameters == footprint.fp16_parameter_bytes
+    assert plan.staged_subgroup == footprint.staged_subgroup_bytes
+    assert plan.host_total() == footprint.host_bytes()
+    assert plan.gpu_total(include_activations=True, include_staged_subgroup=True) >= (
+        footprint.fp16_parameter_bytes
+    )
+
+
+def test_20b_fp16_share_per_rank_about_11_gib():
+    footprint = footprint_20b()
+    assert footprint.fp16_parameter_bytes / GIB == pytest.approx(10.2, rel=0.1)

@@ -1,0 +1,52 @@
+"""Tests for model presets (Table 2 architectures plus tiny test models)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.model.presets import (
+    MODEL_PRESETS,
+    PAPER_MODEL_ORDER,
+    TINY_MODELS,
+    get_model_preset,
+    list_model_presets,
+)
+
+PAPER_ARCHITECTURES = {
+    "7B": (32, 4096, 32),
+    "8.3B": (72, 3072, 24),
+    "10B": (50, 4096, 32),
+    "13B": (40, 5120, 40),
+    "20B": (48, 6144, 64),
+}
+
+
+@pytest.mark.parametrize("name", PAPER_MODEL_ORDER)
+def test_paper_architectures_match_table2(name):
+    layers, hidden, heads = PAPER_ARCHITECTURES[name]
+    config = MODEL_PRESETS[name]
+    assert config.num_layers == layers
+    assert config.hidden_size == hidden
+    assert config.num_attention_heads == heads
+    assert config.sequence_length == 2048
+
+
+def test_paper_order_is_increasing_in_size():
+    sizes = [MODEL_PRESETS[name].num_parameters() for name in PAPER_MODEL_ORDER]
+    # 8.3B has more layers but smaller hidden size than 10B; overall sizes still increase.
+    assert sizes == sorted(sizes)
+
+
+def test_listing_and_lookup():
+    names = list_model_presets()
+    assert names == list(PAPER_MODEL_ORDER)
+    assert set(list_model_presets(include_tiny=True)) >= set(TINY_MODELS)
+    assert get_model_preset("13B") is MODEL_PRESETS["13B"]
+    assert get_model_preset("nano") is TINY_MODELS["nano"]
+    with pytest.raises(ConfigurationError):
+        get_model_preset("33B")
+
+
+def test_tiny_models_are_actually_tiny():
+    for config in TINY_MODELS.values():
+        assert config.num_parameters() < 10_000_000
+        assert config.sequence_length <= 64

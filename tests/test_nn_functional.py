@@ -1,0 +1,109 @@
+"""Tests for the NumPy neural-network primitives (forward and gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.model.nn import functional as F
+
+
+def numerical_gradient(fn, x, eps=1e-4):
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = fn()
+        flat[index] = original - eps
+        minus = fn()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def test_gelu_matches_reference_points():
+    x = np.array([-2.0, -1.0, 0.0, 1.0, 2.0], dtype=np.float32)
+    y = F.gelu(x)
+    assert y[2] == pytest.approx(0.0, abs=1e-7)
+    assert y[3] == pytest.approx(0.8412, abs=1e-3)
+    assert y[0] == pytest.approx(-0.0454, abs=1e-3)
+
+
+def test_gelu_backward_matches_finite_differences(rng):
+    x = rng.normal(size=(4, 5)).astype(np.float32)
+    grad_out = np.ones_like(x)
+    analytic = F.gelu_backward(x, grad_out)
+    numeric = numerical_gradient(lambda: float(F.gelu(x).sum()), x)
+    np.testing.assert_allclose(analytic, numeric, atol=1e-2)
+
+
+def test_softmax_rows_sum_to_one_and_is_stable(rng):
+    x = rng.normal(size=(3, 7)).astype(np.float32) * 50
+    probs = F.softmax(x)
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-5)
+    assert np.isfinite(probs).all()
+    shifted = F.softmax(x + 1000.0)
+    np.testing.assert_allclose(probs, shifted, atol=1e-5)
+
+
+def test_log_softmax_consistent_with_softmax(rng):
+    x = rng.normal(size=(2, 9)).astype(np.float32)
+    np.testing.assert_allclose(np.exp(F.log_softmax(x)), F.softmax(x), atol=1e-6)
+
+
+def test_layer_norm_output_statistics(rng):
+    x = rng.normal(size=(4, 16)).astype(np.float32) * 3 + 2
+    gamma = np.ones(16, dtype=np.float32)
+    beta = np.zeros(16, dtype=np.float32)
+    out, _ = F.layer_norm(x, gamma, beta)
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+    np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+def test_layer_norm_backward_matches_finite_differences(rng):
+    x = rng.normal(size=(3, 6)).astype(np.float64)
+    gamma = rng.normal(size=6).astype(np.float64)
+    beta = rng.normal(size=6).astype(np.float64)
+
+    def loss():
+        out, _ = F.layer_norm(x.astype(np.float32), gamma.astype(np.float32), beta.astype(np.float32))
+        return float((out**2).sum())
+
+    out, cache = F.layer_norm(x.astype(np.float32), gamma.astype(np.float32), beta.astype(np.float32))
+    dx, dgamma, dbeta = F.layer_norm_backward(2 * out, cache)
+    # The forward pass runs in float32, so central differences carry ~1e-2 noise.
+    np.testing.assert_allclose(dx, numerical_gradient(loss, x, eps=1e-3), atol=5e-2)
+    np.testing.assert_allclose(dgamma, numerical_gradient(loss, gamma, eps=1e-3), atol=5e-2)
+    np.testing.assert_allclose(dbeta, numerical_gradient(loss, beta, eps=1e-3), atol=5e-2)
+
+
+def test_cross_entropy_uniform_logits(rng):
+    logits = np.zeros((2, 3, 5), dtype=np.float32)
+    targets = rng.integers(0, 5, size=(2, 3))
+    loss, probs = F.cross_entropy(logits, targets)
+    assert loss == pytest.approx(np.log(5), abs=1e-5)
+    np.testing.assert_allclose(probs, 0.2, atol=1e-6)
+
+
+def test_cross_entropy_backward_sums_to_zero(rng):
+    logits = rng.normal(size=(2, 4, 6)).astype(np.float32)
+    targets = rng.integers(0, 6, size=(2, 4))
+    _, probs = F.cross_entropy(logits, targets)
+    grad = F.cross_entropy_backward(probs, targets)
+    # Each token's gradient sums to zero (softmax property) and scales by 1/num_tokens.
+    np.testing.assert_allclose(grad.sum(axis=-1), 0.0, atol=1e-6)
+    assert grad.max() <= 1.0 / (2 * 4) + 1e-6
+
+
+def test_cross_entropy_backward_matches_finite_differences(rng):
+    logits = rng.normal(size=(1, 3, 4)).astype(np.float64)
+    targets = rng.integers(0, 4, size=(1, 3))
+
+    def loss():
+        value, _ = F.cross_entropy(logits.astype(np.float32), targets)
+        return value
+
+    _, probs = F.cross_entropy(logits.astype(np.float32), targets)
+    analytic = F.cross_entropy_backward(probs, targets)
+    numeric = numerical_gradient(loss, logits)
+    np.testing.assert_allclose(analytic, numeric, atol=1e-3)

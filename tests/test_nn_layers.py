@@ -1,0 +1,147 @@
+"""Gradient-checking tests for the transformer building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.model.nn.layers import (
+    CausalSelfAttention,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    TransformerBlock,
+)
+
+
+def check_parameter_gradients(layer, forward, atol=2e-2):
+    """Finite-difference check of every parameter gradient of ``layer``."""
+    layer.zero_grad()
+    out = forward()
+    loss = float((out**2).sum())
+    layer_backward = getattr(layer, "backward")
+    layer_backward(2 * out)
+    params = layer.named_parameters()
+    grads = layer.named_gradients()
+    eps = 1e-3
+    rng = np.random.default_rng(0)
+    for name, value in params.items():
+        flat = value.reshape(-1)
+        picks = rng.choice(flat.size, size=min(5, flat.size), replace=False)
+        for index in picks:
+            original = flat[index]
+            flat[index] = original + eps
+            plus = float((forward() ** 2).sum())
+            flat[index] = original - eps
+            minus = float((forward() ** 2).sum())
+            flat[index] = original
+            numeric = (plus - minus) / (2 * eps)
+            analytic = grads[name].reshape(-1)[index]
+            assert analytic == pytest.approx(numeric, abs=atol), f"{name}[{index}]"
+    return loss
+
+
+def test_linear_forward_shape_and_gradients():
+    rng = make_rng(0)
+    layer = Linear(6, 4, rng)
+    x = rng.normal(size=(2, 3, 6)).astype(np.float32)
+    out = layer.forward(x)
+    assert out.shape == (2, 3, 4)
+    check_parameter_gradients(layer, lambda: layer.forward(x))
+
+
+def test_linear_input_gradient():
+    rng = make_rng(1)
+    layer = Linear(5, 5, rng)
+    x = rng.normal(size=(2, 5)).astype(np.float64)
+    out = layer.forward(x.astype(np.float32))
+    dx = layer.backward(2 * out)
+    eps = 1e-4
+    for index in range(5):
+        perturbed = x.copy()
+        perturbed[0, index] += eps
+        plus = float((layer.forward(perturbed.astype(np.float32)) ** 2).sum())
+        perturbed[0, index] -= 2 * eps
+        minus = float((layer.forward(perturbed.astype(np.float32)) ** 2).sum())
+        numeric = (plus - minus) / (2 * eps)
+        assert dx[0, index] == pytest.approx(numeric, abs=1e-2)
+
+
+def test_backward_before_forward_raises():
+    rng = make_rng(2)
+    layer = Linear(3, 3, rng)
+    with pytest.raises(ConfigurationError):
+        layer.backward(np.zeros((1, 3), dtype=np.float32))
+
+
+def test_embedding_forward_and_scatter_add_gradient():
+    rng = make_rng(3)
+    layer = Embedding(10, 4, rng)
+    indices = np.array([[1, 1, 3]])
+    out = layer.forward(indices)
+    assert out.shape == (1, 3, 4)
+    layer.zero_grad()
+    grad_out = np.ones((1, 3, 4), dtype=np.float32)
+    layer.backward(grad_out)
+    # Token 1 appears twice, so its gradient row accumulates twice the ones-vector.
+    np.testing.assert_allclose(layer.grads["weight"][1], 2.0)
+    np.testing.assert_allclose(layer.grads["weight"][3], 1.0)
+    np.testing.assert_allclose(layer.grads["weight"][0], 0.0)
+
+
+def test_layer_norm_gradients():
+    layer = LayerNorm(8)
+    rng = make_rng(4)
+    x = rng.normal(size=(2, 3, 8)).astype(np.float32)
+    check_parameter_gradients(layer, lambda: layer.forward(x))
+
+
+def test_attention_is_causal():
+    rng = make_rng(5)
+    attention = CausalSelfAttention(hidden_size=8, num_heads=2, rng=rng)
+    x = rng.normal(size=(1, 6, 8)).astype(np.float32)
+    baseline = attention.forward(x)
+    modified = x.copy()
+    modified[:, -1, :] += 10.0  # changing the last position must not affect earlier outputs
+    changed = attention.forward(modified)
+    np.testing.assert_allclose(baseline[:, :-1, :], changed[:, :-1, :], atol=1e-5)
+    assert not np.allclose(baseline[:, -1, :], changed[:, -1, :])
+
+
+def test_attention_gradients():
+    rng = make_rng(6)
+    attention = CausalSelfAttention(hidden_size=8, num_heads=2, rng=rng)
+    x = rng.normal(size=(1, 4, 8)).astype(np.float32)
+    check_parameter_gradients(attention, lambda: attention.forward(x), atol=5e-2)
+
+
+def test_attention_rejects_indivisible_heads():
+    with pytest.raises(ConfigurationError):
+        CausalSelfAttention(hidden_size=10, num_heads=3, rng=make_rng(0))
+
+
+def test_mlp_gradients():
+    rng = make_rng(7)
+    mlp = MLP(hidden_size=6, ffn_size=12, rng=rng)
+    x = rng.normal(size=(2, 3, 6)).astype(np.float32)
+    check_parameter_gradients(mlp, lambda: mlp.forward(x), atol=5e-2)
+
+
+def test_transformer_block_preserves_shape_and_has_all_parameters():
+    rng = make_rng(8)
+    block = TransformerBlock(hidden_size=8, num_heads=2, ffn_size=32, rng=rng)
+    x = rng.normal(size=(2, 5, 8)).astype(np.float32)
+    out = block.forward(x)
+    assert out.shape == x.shape
+    params = block.named_parameters("blocks.0.")
+    assert any(name.startswith("blocks.0.attn.qkv") for name in params)
+    assert any(name.startswith("blocks.0.mlp.fc_out") for name in params)
+    assert any(name.startswith("blocks.0.ln_attn") for name in params)
+
+
+def test_transformer_block_gradients():
+    rng = make_rng(9)
+    block = TransformerBlock(hidden_size=8, num_heads=2, ffn_size=16, rng=rng)
+    x = rng.normal(size=(1, 3, 8)).astype(np.float32)
+    check_parameter_gradients(block, lambda: block.forward(x), atol=8e-2)

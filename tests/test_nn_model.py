@@ -1,0 +1,117 @@
+"""Tests for the miniature transformer language model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.model.nn.model import TinyTransformerLM
+
+
+@pytest.fixture
+def model(nano_config):
+    return TinyTransformerLM(nano_config, seed=0)
+
+
+@pytest.fixture
+def batch(nano_config, rng):
+    tokens = rng.integers(0, nano_config.vocab_size, size=(2, nano_config.sequence_length))
+    targets = rng.integers(0, nano_config.vocab_size, size=(2, nano_config.sequence_length))
+    return tokens, targets
+
+
+def test_forward_shapes_and_loss(model, nano_config, batch):
+    tokens, targets = batch
+    logits, loss = model.forward(tokens, targets)
+    assert logits.shape == (2, nano_config.sequence_length, nano_config.vocab_size)
+    assert loss is not None and np.isfinite(loss)
+    # With random weights the loss is close to log(vocab_size).
+    assert loss == pytest.approx(np.log(nano_config.vocab_size), rel=0.35)
+
+
+def test_forward_without_targets_has_no_loss(model, batch):
+    tokens, _ = batch
+    logits, loss = model.forward(tokens)
+    assert loss is None
+    assert logits.shape[0] == 2
+
+
+def test_forward_validates_input_shape(model, nano_config):
+    with pytest.raises(ConfigurationError):
+        model.forward(np.zeros(nano_config.sequence_length, dtype=np.int64))
+    with pytest.raises(ConfigurationError):
+        model.forward(np.zeros((1, nano_config.sequence_length + 1), dtype=np.int64))
+
+
+def test_backward_requires_forward_and_targets(model, batch):
+    with pytest.raises(ConfigurationError):
+        TinyTransformerLM(model.config, seed=1).backward()
+    tokens, _ = batch
+    model.forward(tokens)
+    with pytest.raises(ConfigurationError):
+        model.backward()
+
+
+def test_parameter_count_matches_flatten(model):
+    flat = model.flatten_parameters()
+    assert flat.size == model.num_parameters()
+    grads = model.flatten_gradients()
+    assert grads.size == flat.size
+
+
+def test_flatten_load_roundtrip(model):
+    flat = model.flatten_parameters()
+    perturbed = flat + 0.25
+    model.load_flat_parameters(perturbed)
+    np.testing.assert_allclose(model.flatten_parameters(), perturbed, atol=1e-6)
+    with pytest.raises(ConfigurationError):
+        model.load_flat_parameters(flat[:-1])
+
+
+def test_gradients_flow_to_every_parameter(model, batch):
+    tokens, targets = batch
+    loss, grads = model.train_step_gradients(tokens, targets)
+    assert np.isfinite(loss)
+    assert np.isfinite(grads).all()
+    named = model.named_gradients()
+    zero_fraction = sum(1 for g in named.values() if np.allclose(g, 0.0)) / len(named)
+    assert zero_fraction < 0.1  # essentially every tensor receives gradient signal
+
+
+def test_training_step_gradient_descent_reduces_loss(model, batch):
+    tokens, targets = batch
+    loss_before, grads = model.train_step_gradients(tokens, targets)
+    flat = model.flatten_parameters()
+    model.load_flat_parameters(flat - 0.05 * grads)
+    loss_after, _ = model.train_step_gradients(tokens, targets)
+    assert loss_after < loss_before
+
+
+def test_whole_model_gradient_check(nano_config):
+    model = TinyTransformerLM(nano_config, seed=3)
+    rng = make_rng(11)
+    tokens = rng.integers(0, nano_config.vocab_size, size=(1, 8))
+    targets = rng.integers(0, nano_config.vocab_size, size=(1, 8))
+    _, grads = model.train_step_gradients(tokens, targets)
+    flat = model.flatten_parameters().astype(np.float64)
+    eps = 1e-3
+    picks = rng.integers(0, flat.size, size=10)
+    for index in picks:
+        perturbed = flat.copy()
+        perturbed[index] += eps
+        model.load_flat_parameters(perturbed.astype(np.float32))
+        _, loss_plus = model.forward(tokens, targets)
+        perturbed[index] -= 2 * eps
+        model.load_flat_parameters(perturbed.astype(np.float32))
+        _, loss_minus = model.forward(tokens, targets)
+        model.load_flat_parameters(flat.astype(np.float32))
+        numeric = (loss_plus - loss_minus) / (2 * eps)
+        assert grads[index] == pytest.approx(numeric, abs=5e-2)
+
+
+def test_same_seed_gives_same_initialisation(nano_config):
+    a = TinyTransformerLM(nano_config, seed=42).flatten_parameters()
+    b = TinyTransformerLM(nano_config, seed=42).flatten_parameters()
+    np.testing.assert_array_equal(a, b)
+    c = TinyTransformerLM(nano_config, seed=43).flatten_parameters()
+    assert not np.allclose(a, c)

@@ -1,0 +1,133 @@
+"""Tests for the mixed-precision Adam rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.common.errors import ConfigurationError
+from repro.optim.adam import AdamConfig, AdamRule, adam_reference_update
+
+
+def run_steps(rule, params, grads_list):
+    state = rule.init_state(params.size)
+    for step, grads in enumerate(grads_list, start=1):
+        rule.apply(params, grads, state, step)
+    return params, state
+
+
+def test_single_step_matches_float64_reference(rng):
+    config = AdamConfig(learning_rate=1e-3)
+    rule = AdamRule(config)
+    params = rng.normal(size=128).astype(np.float32)
+    grads = rng.normal(size=128).astype(np.float32)
+    expected_p, expected_m, expected_v = adam_reference_update(
+        params, grads, np.zeros(128), np.zeros(128), 1, config
+    )
+    state = rule.init_state(128)
+    rule.apply(params, grads, state, 1)
+    np.testing.assert_allclose(params, expected_p, rtol=1e-5, atol=1e-7)
+    np.testing.assert_allclose(state["momentum"], expected_m, rtol=1e-5, atol=1e-7)
+    np.testing.assert_allclose(state["variance"], expected_v, rtol=1e-5, atol=1e-7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hnp.arrays(np.float32, 32, elements=st.floats(-2, 2, allow_nan=False, width=32)),
+    hnp.arrays(np.float32, 32, elements=st.floats(-2, 2, allow_nan=False, width=32)),
+    st.integers(1, 5),
+)
+def test_multi_step_matches_reference(params0, grads, steps):
+    config = AdamConfig(learning_rate=1e-2)
+    rule = AdamRule(config)
+    params = params0.copy()
+    state = rule.init_state(32)
+    reference_p = params0.astype(np.float64)
+    reference_m = np.zeros(32)
+    reference_v = np.zeros(32)
+    for step in range(1, steps + 1):
+        rule.apply(params, grads, state, step)
+        reference_p, reference_m, reference_v = adam_reference_update(
+            reference_p, grads, reference_m, reference_v, step, config
+        )
+    np.testing.assert_allclose(params, reference_p, rtol=1e-4, atol=1e-5)
+
+
+def test_bias_correction_scales_first_step():
+    params_corrected = np.zeros(4, dtype=np.float32)
+    params_uncorrected = np.zeros(4, dtype=np.float32)
+    grads = np.full(4, 0.5, dtype=np.float32)
+    learning_rate = 1e-3
+    corrected = AdamRule(AdamConfig(learning_rate=learning_rate, bias_correction=True))
+    uncorrected = AdamRule(AdamConfig(learning_rate=learning_rate, bias_correction=False))
+    corrected.apply(params_corrected, grads, corrected.init_state(4), 1)
+    uncorrected.apply(params_uncorrected, grads, uncorrected.init_state(4), 1)
+    # With bias correction the first step has magnitude ~lr (the Adam paper's invariant);
+    # without it the first step overshoots by roughly (1-beta1)/sqrt(1-beta2) ~= 3.2x.
+    assert abs(params_corrected[0]) == pytest.approx(learning_rate, rel=1e-3)
+    assert abs(params_uncorrected[0]) > abs(params_corrected[0]) * 2
+
+
+def test_adamw_decoupled_weight_decay_shrinks_params_without_gradients():
+    rule = AdamRule(AdamConfig(learning_rate=1e-2, weight_decay=0.1, adamw_mode=True))
+    params = np.full(8, 2.0, dtype=np.float32)
+    rule.apply(params, np.zeros(8, dtype=np.float32), rule.init_state(8), 1)
+    assert np.all(params < 2.0)
+
+
+def test_l2_mode_adds_decay_to_gradient():
+    adamw = AdamRule(AdamConfig(learning_rate=1e-2, weight_decay=0.1, adamw_mode=True))
+    l2 = AdamRule(AdamConfig(learning_rate=1e-2, weight_decay=0.1, adamw_mode=False))
+    grads = np.full(4, 0.5, dtype=np.float32)
+    params_a = np.full(4, 1.0, dtype=np.float32)
+    params_b = np.full(4, 1.0, dtype=np.float32)
+    adamw.apply(params_a, grads, adamw.init_state(4), 1)
+    l2.apply(params_b, grads, l2.init_state(4), 1)
+    assert not np.allclose(params_a, params_b)
+
+
+def test_step_must_be_one_based_and_buffers_validated(rng):
+    rule = AdamRule()
+    params = rng.normal(size=8).astype(np.float32)
+    grads = rng.normal(size=8).astype(np.float32)
+    state = rule.init_state(8)
+    with pytest.raises(ConfigurationError):
+        rule.apply(params, grads, state, 0)
+    with pytest.raises(ConfigurationError):
+        rule.apply(params, grads[:4], state, 1)
+    with pytest.raises(ConfigurationError):
+        rule.apply(params, grads, {"momentum": state["momentum"]}, 1)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        AdamConfig(learning_rate=0.0)
+    with pytest.raises(ConfigurationError):
+        AdamConfig(beta1=1.0)
+    with pytest.raises(ConfigurationError):
+        AdamConfig(eps=0.0)
+    with pytest.raises(ConfigurationError):
+        AdamConfig(weight_decay=-0.1)
+
+
+def test_state_bytes_per_param():
+    assert AdamRule().state_bytes_per_param == 8  # momentum + variance in FP32
+
+
+def test_update_is_elementwise_independent(rng):
+    """Adam is embarrassingly parallel: updating a slice equals slicing the full update."""
+    config = AdamConfig(learning_rate=5e-3)
+    full_rule = AdamRule(config)
+    params = rng.normal(size=64).astype(np.float32)
+    grads = rng.normal(size=64).astype(np.float32)
+    full = params.copy()
+    full_state = full_rule.init_state(64)
+    full_rule.apply(full, grads, full_state, 1)
+
+    split = params.copy()
+    left_state = full_rule.init_state(32)
+    right_state = full_rule.init_state(32)
+    full_rule.apply(split[:32], grads[:32], left_state, 1)
+    full_rule.apply(split[32:], grads[32:], right_state, 1)
+    np.testing.assert_array_equal(full, split)

@@ -1,0 +1,83 @@
+"""Tests for Adagrad, RMSProp and the optimizer factory."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.optim import build_optimizer
+from repro.optim.adagrad import AdagradConfig, AdagradRule
+from repro.optim.adam import AdamRule
+from repro.optim.rmsprop import RMSPropConfig, RMSPropRule
+
+
+def test_adagrad_accumulates_squared_gradients(rng):
+    rule = AdagradRule(AdagradConfig(learning_rate=0.1))
+    params = np.zeros(16, dtype=np.float32)
+    grads = rng.normal(size=16).astype(np.float32)
+    state = rule.init_state(16)
+    rule.apply(params, grads, state, 1)
+    np.testing.assert_allclose(state["accumulator"], grads**2, rtol=1e-6)
+    first_step = params.copy()
+    rule.apply(params, grads, state, 2)
+    # The adaptive denominator grows, so the second step is smaller in magnitude.
+    assert np.all(np.abs(params - first_step) <= np.abs(first_step) + 1e-7)
+
+
+def test_adagrad_weight_decay_and_validation():
+    with pytest.raises(ConfigurationError):
+        AdagradConfig(eps=0.0)
+    rule = AdagradRule(AdagradConfig(learning_rate=0.1, weight_decay=0.5))
+    params = np.full(4, 2.0, dtype=np.float32)
+    rule.apply(params, np.zeros(4, dtype=np.float32), rule.init_state(4), 1)
+    assert np.all(params < 2.0)
+
+
+def test_rmsprop_moving_average(rng):
+    rule = RMSPropRule(RMSPropConfig(learning_rate=0.01, alpha=0.9))
+    params = np.zeros(8, dtype=np.float32)
+    grads = np.ones(8, dtype=np.float32)
+    state = rule.init_state(8)
+    rule.apply(params, grads, state, 1)
+    np.testing.assert_allclose(state["square_avg"], 0.1, rtol=1e-5)
+    rule.apply(params, grads, state, 2)
+    np.testing.assert_allclose(state["square_avg"], 0.19, rtol=1e-5)
+    assert np.all(params < 0)
+
+
+def test_rmsprop_momentum_accumulates():
+    plain = RMSPropRule(RMSPropConfig(learning_rate=0.01, momentum=0.0))
+    momentum = RMSPropRule(RMSPropConfig(learning_rate=0.01, momentum=0.9))
+    grads = np.ones(4, dtype=np.float32)
+    params_plain = np.zeros(4, dtype=np.float32)
+    params_momentum = np.zeros(4, dtype=np.float32)
+    state_plain = plain.init_state(4)
+    state_momentum = momentum.init_state(4)
+    for step in (1, 2, 3):
+        plain.apply(params_plain, grads, state_plain, step)
+        momentum.apply(params_momentum, grads, state_momentum, step)
+    assert np.all(np.abs(params_momentum) > np.abs(params_plain))
+
+
+def test_rmsprop_validation():
+    with pytest.raises(ConfigurationError):
+        RMSPropConfig(alpha=1.0)
+    with pytest.raises(ConfigurationError):
+        RMSPropConfig(momentum=-1.0)
+
+
+def test_build_optimizer_factory():
+    assert isinstance(build_optimizer("adam"), AdamRule)
+    assert isinstance(build_optimizer("adamw", weight_decay=0.1), AdamRule)
+    assert isinstance(build_optimizer("adagrad"), AdagradRule)
+    assert isinstance(build_optimizer("rmsprop"), RMSPropRule)
+    with pytest.raises(ConfigurationError):
+        build_optimizer("lamb")
+
+
+def test_init_state_shapes():
+    rule = RMSPropRule()
+    state = rule.init_state(10)
+    assert set(state) == {"square_avg", "momentum_buffer"}
+    assert all(buffer.shape == (10,) and buffer.dtype == np.float32 for buffer in state.values())
+    with pytest.raises(ConfigurationError):
+        rule.init_state(-1)

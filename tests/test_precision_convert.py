@@ -1,0 +1,96 @@
+"""Tests for precision conversion, including the properties Deep Optimizer States relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.common.errors import ConfigurationError
+from repro.precision.convert import (
+    chunked_convert,
+    conversion_bytes,
+    downscale_fp32_to_fp16,
+    iter_chunks,
+    upscale_fp16_to_fp32,
+)
+
+finite_fp16_arrays = hnp.arrays(
+    dtype=np.float16,
+    shape=st.integers(1, 300),
+    elements=st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False, width=16),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_fp16_arrays)
+def test_fp16_to_fp32_upscale_is_exact(values):
+    upscaled = upscale_fp16_to_fp32(values)
+    assert upscaled.dtype == np.float32
+    np.testing.assert_array_equal(upscaled.astype(np.float16), values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_fp16_arrays)
+def test_downscale_after_upscale_roundtrips(values):
+    """FP16 -> FP32 -> FP16 must be the identity (both steps are needed in training)."""
+    roundtrip = downscale_fp32_to_fp16(upscale_fp16_to_fp32(values))
+    np.testing.assert_array_equal(roundtrip, values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float32,
+        shape=st.integers(1, 500),
+        elements=st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False, width=32),
+    ),
+    st.integers(1, 64),
+)
+def test_chunked_conversion_matches_whole_array(values, chunk):
+    """Chunk-wise conversion (the paper's on-GPU path) is bit-identical to a single cast."""
+    chunked = chunked_convert(values, np.float16, chunk)
+    np.testing.assert_array_equal(chunked, values.astype(np.float16))
+
+
+def test_upscale_into_preallocated_output():
+    source = np.array([1.5, -2.25, 0.0], dtype=np.float16)
+    out = np.empty(3, dtype=np.float32)
+    result = upscale_fp16_to_fp32(source, out=out)
+    assert result is out
+    np.testing.assert_array_equal(out, source.astype(np.float32))
+
+
+def test_downscale_into_preallocated_output():
+    source = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+    out = np.empty(3, dtype=np.float16)
+    downscale_fp32_to_fp16(source, out=out)
+    np.testing.assert_array_equal(out, source.astype(np.float16))
+
+
+def test_output_shape_mismatch_raises():
+    with pytest.raises(ConfigurationError):
+        upscale_fp16_to_fp32(np.zeros(3, dtype=np.float16), out=np.zeros(4, dtype=np.float32))
+    with pytest.raises(ConfigurationError):
+        downscale_fp32_to_fp16(np.zeros(3, dtype=np.float32), out=np.zeros(2, dtype=np.float16))
+
+
+def test_downscale_uses_round_to_nearest_even():
+    # 2049 is not representable in fp16; nearest even rounding gives 2048.
+    assert float(downscale_fp32_to_fp16(np.array([2049.0], dtype=np.float32))[0]) == 2048.0
+
+
+def test_iter_chunks_covers_range_without_overlap():
+    chunks = list(iter_chunks(10, 3))
+    assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+
+def test_iter_chunks_rejects_non_positive_chunk():
+    with pytest.raises(ConfigurationError):
+        list(iter_chunks(10, 0))
+
+
+def test_conversion_bytes_counts_read_and_write():
+    assert conversion_bytes(100, 2, 4) == 600
+    with pytest.raises(ConfigurationError):
+        conversion_bytes(-1, 2, 4)

@@ -1,0 +1,55 @@
+"""Tests for dtype descriptors and the per-parameter byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.precision.dtypes import (
+    DType,
+    OPTIMIZER_STATE_BYTES_PER_PARAM,
+    OPTIMIZER_STATE_WITH_GRADS_BYTES_PER_PARAM,
+    dtype_size,
+    parse_dtype,
+    to_numpy_dtype,
+)
+
+
+def test_itemsizes_match_ieee_formats():
+    assert DType.FP16.itemsize == 2
+    assert DType.BF16.itemsize == 2
+    assert DType.FP32.itemsize == 4
+    assert DType.FP64.itemsize == 8
+
+
+def test_low_precision_flag():
+    assert DType.FP16.is_low_precision
+    assert DType.BF16.is_low_precision
+    assert not DType.FP32.is_low_precision
+
+
+def test_numpy_dtype_mapping():
+    assert to_numpy_dtype(DType.FP16) == np.float16
+    assert to_numpy_dtype(DType.FP32) == np.float32
+    assert to_numpy_dtype(DType.FP64) == np.float64
+
+
+def test_dtype_size_helper_matches_itemsize():
+    for dtype in DType:
+        assert dtype_size(dtype) == dtype.itemsize
+
+
+def test_parse_dtype_accepts_names_and_instances():
+    assert parse_dtype("fp16") == DType.FP16
+    assert parse_dtype("FP32") == DType.FP32
+    assert parse_dtype(DType.BF16) == DType.BF16
+
+
+def test_parse_dtype_rejects_unknown():
+    with pytest.raises(ConfigurationError):
+        parse_dtype("int8")
+
+
+def test_optimizer_state_bytes_per_param_match_zero_infinity_accounting():
+    # FP32 parameters + momentum + variance = 12 bytes; +4 for the FP32 gradient buffer.
+    assert OPTIMIZER_STATE_BYTES_PER_PARAM == 12
+    assert OPTIMIZER_STATE_WITH_GRADS_BYTES_PER_PARAM == 16

@@ -1,0 +1,64 @@
+"""Tests for static and dynamic loss scaling."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.precision.loss_scaler import DynamicLossScaler, StaticLossScaler
+
+
+def test_static_scaler_scales_loss_and_unscales_gradients():
+    scaler = StaticLossScaler(scale=1024.0)
+    assert scaler.scale_loss(2.0) == 2048.0
+    grads = np.array([1024.0, -2048.0], dtype=np.float32)
+    np.testing.assert_allclose(scaler.unscale_gradients(grads), [1.0, -2.0])
+
+
+def test_static_scaler_rejects_non_positive_scale():
+    with pytest.raises(ConfigurationError):
+        StaticLossScaler(scale=0.0)
+
+
+def test_overflow_detection():
+    assert StaticLossScaler.has_overflow(np.array([1.0, np.inf], dtype=np.float16))
+    assert StaticLossScaler.has_overflow(np.array([np.nan], dtype=np.float32))
+    assert not StaticLossScaler.has_overflow(np.array([1.0, -2.0], dtype=np.float16))
+
+
+def test_static_update_only_skips_on_overflow():
+    scaler = StaticLossScaler()
+    assert scaler.update(found_overflow=False)
+    assert not scaler.update(found_overflow=True)
+    assert scaler.scale == StaticLossScaler().scale
+
+
+def test_dynamic_scaler_backs_off_on_overflow():
+    scaler = DynamicLossScaler(scale=2.0**16, backoff_factor=0.5, growth_interval=4)
+    assert not scaler.update(found_overflow=True)
+    assert scaler.scale == 2.0**15
+
+
+def test_dynamic_scaler_grows_after_interval():
+    scaler = DynamicLossScaler(scale=1024.0, growth_factor=2.0, growth_interval=3)
+    for _ in range(3):
+        assert scaler.update(found_overflow=False)
+    assert scaler.scale == 2048.0
+
+
+def test_dynamic_scaler_respects_bounds():
+    scaler = DynamicLossScaler(scale=2.0, min_scale=1.0, growth_interval=1, max_scale=4.0)
+    scaler.update(found_overflow=True)
+    scaler.update(found_overflow=True)
+    assert scaler.scale >= scaler.min_scale
+    for _ in range(5):
+        scaler.update(found_overflow=False)
+    assert scaler.scale <= scaler.max_scale
+
+
+def test_dynamic_scaler_validates_configuration():
+    with pytest.raises(ConfigurationError):
+        DynamicLossScaler(backoff_factor=1.5)
+    with pytest.raises(ConfigurationError):
+        DynamicLossScaler(growth_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        DynamicLossScaler(growth_interval=0)

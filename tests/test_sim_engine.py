@@ -1,0 +1,174 @@
+"""Tests for the discrete-event engine: FIFO resources, dependencies, overlap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.sim.engine import SimEngine, standard_resources
+from repro.sim.ops import OpKind, SimOp
+
+
+def make_engine() -> SimEngine:
+    engine = SimEngine()
+    engine.add_resource("cpu")
+    engine.add_resource("gpu")
+    engine.add_resource("link")
+    return engine
+
+
+def test_fifo_order_on_single_resource():
+    engine = make_engine()
+    first = SimOp("a", OpKind.CPU_UPDATE, "cpu", 1.0)
+    second = SimOp("b", OpKind.CPU_UPDATE, "cpu", 2.0)
+    engine.submit(first)
+    engine.submit(second)
+    schedule = engine.run()
+    assert schedule.by_id(first.op_id).start == 0.0
+    assert schedule.by_id(first.op_id).end == 1.0
+    assert schedule.by_id(second.op_id).start == 1.0
+    assert schedule.by_id(second.op_id).end == 3.0
+    assert schedule.makespan == 3.0
+
+
+def test_independent_resources_overlap():
+    engine = make_engine()
+    cpu_op = SimOp("cpu", OpKind.CPU_UPDATE, "cpu", 2.0)
+    gpu_op = SimOp("gpu", OpKind.GPU_UPDATE, "gpu", 2.0)
+    engine.submit(cpu_op)
+    engine.submit(gpu_op)
+    schedule = engine.run()
+    assert schedule.makespan == 2.0
+    assert schedule.utilization("cpu") == pytest.approx(1.0)
+    assert schedule.utilization("gpu") == pytest.approx(1.0)
+
+
+def test_dependencies_delay_start():
+    engine = make_engine()
+    producer = SimOp("produce", OpKind.GPU_COMPUTE, "gpu", 1.5)
+    consumer = SimOp("consume", OpKind.CPU_UPDATE, "cpu", 1.0, deps=(producer.op_id,))
+    engine.submit(producer)
+    engine.submit(consumer)
+    schedule = engine.run()
+    assert schedule.by_id(consumer.op_id).start == pytest.approx(1.5)
+    assert schedule.makespan == pytest.approx(2.5)
+
+
+def test_head_of_line_blocking_matches_cuda_stream_semantics():
+    engine = make_engine()
+    slow_producer = SimOp("producer", OpKind.GPU_COMPUTE, "gpu", 5.0)
+    blocked = SimOp("blocked", OpKind.CPU_UPDATE, "cpu", 1.0, deps=(slow_producer.op_id,))
+    ready = SimOp("ready", OpKind.CPU_UPDATE, "cpu", 1.0)
+    engine.submit(slow_producer)
+    engine.submit(blocked)
+    engine.submit(ready)
+    schedule = engine.run()
+    # "ready" was submitted after "blocked" on the same FIFO resource, so it cannot
+    # jump the queue even though its dependencies are satisfied earlier.
+    assert schedule.by_id(ready.op_id).start >= schedule.by_id(blocked.op_id).end - 1e-9
+
+
+def test_release_time_not_before():
+    engine = make_engine()
+    op = SimOp("late", OpKind.CPU_UPDATE, "cpu", 1.0)
+    engine.submit(op, not_before=3.0)
+    schedule = engine.run()
+    assert schedule.by_id(op.op_id).start == pytest.approx(3.0)
+    with pytest.raises(ConfigurationError):
+        engine.submit(SimOp("x", OpKind.CPU_UPDATE, "cpu", 1.0), not_before=-1.0)
+
+
+def test_unknown_resource_and_unknown_dependency_fail():
+    engine = make_engine()
+    with pytest.raises(ConfigurationError):
+        engine.submit(SimOp("x", OpKind.CPU_UPDATE, "nvme", 1.0))
+    engine.submit(SimOp("y", OpKind.CPU_UPDATE, "cpu", 1.0, deps=(10_000_000,)))
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ConfigurationError):
+        SimOp("bad", OpKind.CPU_UPDATE, "cpu", -1.0)
+
+
+def test_schedule_queries_filter_and_busy_time():
+    engine = make_engine()
+    a = SimOp("a", OpKind.H2D, "link", 2.0, phase="update", payload_bytes=100)
+    b = SimOp("b", OpKind.D2H, "link", 1.0, phase="update", payload_bytes=50)
+    c = SimOp("c", OpKind.GPU_COMPUTE, "gpu", 4.0, phase="forward")
+    engine.submit_many([a, b, c])
+    schedule = engine.run()
+    assert len(schedule.filter(resource="link")) == 2
+    assert len(schedule.filter(kind=OpKind.H2D)) == 1
+    assert len(schedule.filter(phase="update")) == 2
+    assert schedule.busy_time("link") == pytest.approx(3.0)
+    assert schedule.phase_duration("forward") == pytest.approx(4.0)
+    assert schedule.transferred_bytes(OpKind.H2D) == pytest.approx(100)
+    # Clipping a window to half of op "a" pro-rates its payload.
+    assert schedule.transferred_bytes(OpKind.H2D, (0.0, 1.0)) == pytest.approx(50)
+
+
+def test_end_of_helper():
+    engine = make_engine()
+    a = SimOp("a", OpKind.CPU_UPDATE, "cpu", 1.0)
+    b = SimOp("b", OpKind.CPU_UPDATE, "cpu", 2.0)
+    engine.submit_many([a, b])
+    schedule = engine.run()
+    assert schedule.end_of([a.op_id, b.op_id]) == pytest.approx(3.0)
+    assert schedule.end_of([]) == 0.0
+
+
+def test_engine_is_single_shot():
+    engine = make_engine()
+    engine.submit(SimOp("a", OpKind.CPU_UPDATE, "cpu", 1.0))
+    assert engine.pending_ops == 1
+    engine.run()
+    assert engine.pending_ops == 0
+    # A second run with no submissions yields an empty schedule.
+    assert engine.run().makespan == 0.0
+
+
+def test_standard_resources_registered():
+    engine = SimEngine()
+    standard_resources(engine)
+    for name in ("gpu.compute", "pcie.h2d", "pcie.d2h", "cpu", "nvlink"):
+        assert engine.has_resource(name)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.floats(0.01, 2.0)),
+        min_size=1,
+        max_size=30,
+    ),
+    st.data(),
+)
+def test_random_dags_schedule_consistently(jobs, data):
+    """Random chains with random dependencies always produce a valid schedule."""
+    resources = ["cpu", "gpu", "link"]
+    engine = make_engine()
+    submitted: list[SimOp] = []
+    for resource_index, duration in jobs:
+        deps = ()
+        if submitted:
+            dep = data.draw(st.integers(0, len(submitted) - 1))
+            deps = (submitted[dep].op_id,)
+        op = SimOp(
+            name=f"op{len(submitted)}",
+            kind=OpKind.GPU_COMPUTE,
+            resource=resources[resource_index],
+            duration=duration,
+            deps=deps,
+        )
+        engine.submit(op)
+        submitted.append(op)
+    schedule = engine.run()
+    schedule.validate()
+    # Work conservation: the makespan is at least the busiest resource's total work
+    # and at most the sum of all durations.
+    total = sum(op.duration for op in submitted)
+    busiest = max(sum(op.duration for op in submitted if op.resource == r) for r in resources)
+    assert schedule.makespan >= busiest - 1e-9
+    assert schedule.makespan <= total + 1e-9

@@ -1,0 +1,72 @@
+"""Tests for memory and throughput trace reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sim.engine import SimEngine
+from repro.sim.ops import OpKind, SimOp
+from repro.sim.trace import MemoryTimeline, ThroughputTimeline, sample_series
+
+
+def _schedule_with_memory_and_transfers():
+    engine = SimEngine()
+    engine.add_resource("gpu")
+    engine.add_resource("d2h")
+    alloc = SimOp("alloc", OpKind.GPU_COMPUTE, "gpu", 1.0, gpu_mem_delta=1000)
+    compute = SimOp("compute", OpKind.GPU_COMPUTE, "gpu", 1.0, gpu_mem_delta=500)
+    free = SimOp("free", OpKind.GPU_COMPUTE, "gpu", 1.0, gpu_mem_delta=-1500)
+    copy = SimOp("copy", OpKind.D2H, "d2h", 2.0, payload_bytes=200, deps=(alloc.op_id,))
+    engine.submit_many([alloc, compute, free, copy])
+    return engine.run()
+
+
+def test_memory_timeline_tracks_deltas_and_peak():
+    schedule = _schedule_with_memory_and_transfers()
+    timeline = MemoryTimeline.from_schedule(schedule, initial_bytes=100)
+    assert timeline.used_bytes[0] == 100
+    assert timeline.peak_bytes == 1600
+    assert timeline.final_bytes == 100
+    assert timeline.at(0.5) == 100
+    assert timeline.at(1.5) == 1100
+    assert timeline.at(10.0) == 100
+
+
+def test_memory_timeline_sampling():
+    schedule = _schedule_with_memory_and_transfers()
+    timeline = MemoryTimeline.from_schedule(schedule)
+    grid, values = timeline.sample(resolution=0.5)
+    assert len(grid) == len(values)
+    assert values.min() >= 0
+    with pytest.raises(ConfigurationError):
+        timeline.sample(resolution=0.0)
+
+
+def test_throughput_timeline_integral_matches_payload():
+    schedule = _schedule_with_memory_and_transfers()
+    timeline = ThroughputTimeline.from_schedule(schedule, OpKind.D2H, resolution=0.1)
+    assert timeline.total_bytes() == pytest.approx(200, rel=0.05)
+    assert timeline.peak_bps == pytest.approx(100, rel=0.05)
+    assert timeline.mean_bps <= timeline.peak_bps
+
+
+def test_throughput_timeline_empty_kind_is_zero():
+    schedule = _schedule_with_memory_and_transfers()
+    timeline = ThroughputTimeline.from_schedule(schedule, OpKind.H2D, resolution=0.1)
+    assert timeline.total_bytes() == 0.0
+    assert timeline.peak_bps == 0.0
+
+
+def test_sample_series_steps():
+    grid, values = sample_series([1.0, 2.0, 3.0], [10.0, 20.0, 5.0], resolution=0.5)
+    assert values[0] == 10.0  # before the first event the first value holds
+    assert values[np.searchsorted(grid, 2.2)] == 20.0
+    assert values[-1] == 5.0
+    with pytest.raises(ConfigurationError):
+        sample_series([1.0], [1.0], resolution=0)
+
+
+def test_sample_series_empty_input():
+    grid, values = sample_series([], [], resolution=0.5)
+    assert grid.size == 0
+    assert values.size == 0

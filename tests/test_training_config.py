@@ -1,0 +1,90 @@
+"""Tests for training job configuration and resolution."""
+
+import pytest
+
+from repro.baselines import TwinFlowBaseline
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.core.engine import DeepOptimizerStates
+from repro.hardware.presets import JLSE_H100_NODE
+from repro.model.presets import MODEL_PRESETS
+from repro.training.config import TrainingJobConfig
+
+
+def test_defaults_resolve_to_paper_setup():
+    job = TrainingJobConfig().resolve()
+    assert job.model.name == "20B"
+    assert job.machine.name == "jlse-4xh100"
+    assert isinstance(job.strategy, DeepOptimizerStates)
+    assert job.data_parallel_degree == 4
+    assert job.config.subgroup_size == 100_000_000
+    assert 50 <= job.num_subgroups <= 60
+    assert job.rank_parameters == -(-job.model.num_parameters() // 4)
+
+
+def test_strategy_and_machine_objects_accepted():
+    config = TrainingJobConfig(
+        model=MODEL_PRESETS["7B"],
+        machine=JLSE_H100_NODE,
+        strategy=TwinFlowBaseline(static_gpu_fraction=0.2),
+    )
+    job = config.resolve()
+    assert job.strategy.name == "twinflow"
+    assert job.strategy.static_gpu_fraction == 0.2
+    assert job.plan.gpu_indices()  # static residents exist
+
+
+def test_data_parallel_degree_shrinks_machine():
+    job = TrainingJobConfig(model="7B", data_parallel_degree=2).resolve()
+    assert job.machine.num_gpus == 2
+    assert job.data_parallel_degree == 2
+    # Fewer ranks -> each rank owns more parameters and subgroups.
+    full = TrainingJobConfig(model="7B").resolve()
+    assert job.num_subgroups > full.num_subgroups
+
+
+def test_cpu_cores_override_affects_profile():
+    few = TrainingJobConfig(model="7B", cpu_cores_per_gpu=10).resolve()
+    many = TrainingJobConfig(model="7B", cpu_cores_per_gpu=38).resolve()
+    assert few.profile.cpu_update_pps < many.profile.cpu_update_pps
+
+
+def test_cpu_cores_plateau_beyond_dram_saturation():
+    at_saturation = TrainingJobConfig(model="7B", cpu_cores_per_gpu=38).resolve()
+    beyond = TrainingJobConfig(model="7B", cpu_cores_per_gpu=48).resolve()
+    assert beyond.profile.cpu_update_pps == pytest.approx(at_saturation.profile.cpu_update_pps)
+
+
+def test_oom_configuration_raises_when_memory_checked():
+    config = TrainingJobConfig(model="20B", microbatch_size=16)
+    with pytest.raises(OutOfMemoryError):
+        config.resolve()
+    unchecked = TrainingJobConfig(model="20B", microbatch_size=16, check_memory=False)
+    assert unchecked.resolve().config.microbatch_size == 16
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ConfigurationError):
+        TrainingJobConfig(microbatch_size=0)
+    with pytest.raises(ConfigurationError):
+        TrainingJobConfig(iterations=0)
+    with pytest.raises(ConfigurationError):
+        TrainingJobConfig(iterations=2, warmup_iterations=2)
+    with pytest.raises(ConfigurationError):
+        TrainingJobConfig(subgroup_size=0)
+    with pytest.raises(ConfigurationError):
+        TrainingJobConfig(forward_chunks=0)
+
+
+def test_describe_reports_key_settings():
+    job = TrainingJobConfig(model="13B", strategy="zero3-offload").resolve()
+    description = job.describe()
+    assert description["model"] == "13B"
+    assert description["strategy"] == "zero3-offload"
+    assert description["data_parallel_degree"] == 4
+    assert description["num_subgroups_per_rank"] == job.num_subgroups
+
+
+def test_update_stride_override_propagates_to_plan():
+    job = TrainingJobConfig(model="7B", strategy="deep-optimizer-states", update_stride=4).resolve()
+    assert job.plan.stride == 4
+    assert job.plan.gpu_fraction() == pytest.approx(0.25, abs=0.05)

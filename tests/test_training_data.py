@@ -1,0 +1,94 @@
+"""Tests for the synthetic corpus, tokenizer and dataloader."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.training.data import SyntheticCorpus, TokenDataset, WordTokenizer, make_dataloader
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(num_documents=20, words_per_document=50, vocabulary_size=200, seed=1)
+
+
+@pytest.fixture(scope="module")
+def tokenizer(corpus):
+    return WordTokenizer(corpus, vocab_size=128)
+
+
+def test_corpus_is_deterministic_given_seed():
+    a = SyntheticCorpus(num_documents=5, words_per_document=10, seed=7)
+    b = SyntheticCorpus(num_documents=5, words_per_document=10, seed=7)
+    assert a.documents == b.documents
+    c = SyntheticCorpus(num_documents=5, words_per_document=10, seed=8)
+    assert a.documents != c.documents
+
+
+def test_corpus_dimensions_and_validation(corpus):
+    assert len(corpus) == 20
+    assert all(len(doc.split()) == 50 for doc in corpus)
+    with pytest.raises(ConfigurationError):
+        SyntheticCorpus(num_documents=0)
+    with pytest.raises(ConfigurationError):
+        SyntheticCorpus(vocabulary_size=5)
+
+
+def test_tokenizer_vocabulary_and_specials(tokenizer):
+    assert tokenizer.vocab_size <= 128
+    assert tokenizer.pad_id == 0
+    ids = tokenizer.encode("unseenwordxyz", add_special=True)
+    assert ids[0] == tokenizer.token_to_id[tokenizer.BOS]
+    assert ids[-1] == tokenizer.token_to_id[tokenizer.EOS]
+    assert ids[1] == tokenizer.token_to_id[tokenizer.UNK]
+
+
+def test_tokenizer_encode_decode_roundtrip(corpus, tokenizer):
+    text = corpus.documents[0]
+    ids = tokenizer.encode(text, add_special=False)
+    decoded = tokenizer.decode(ids)
+    # Frequent words survive the round trip; rare ones may map to <unk>.
+    original = text.split()
+    recovered = decoded.split()
+    assert len(original) == len(recovered)
+    matches = sum(1 for a, b in zip(original, recovered) if a == b)
+    assert matches / len(original) > 0.5
+
+
+def test_token_dataset_chunks(corpus, tokenizer):
+    dataset = TokenDataset.from_corpus(corpus, tokenizer, sequence_length=16)
+    assert len(dataset) > 0
+    tokens, targets = dataset[0]
+    assert tokens.shape == (16,)
+    assert targets.shape == (16,)
+    np.testing.assert_array_equal(tokens[1:], targets[:-1])
+    with pytest.raises(IndexError):
+        dataset[len(dataset)]
+    with pytest.raises(ConfigurationError):
+        TokenDataset.from_corpus(corpus, tokenizer, sequence_length=1)
+
+
+def test_dataloader_batches_and_determinism(corpus, tokenizer):
+    dataset = TokenDataset.from_corpus(corpus, tokenizer, sequence_length=16)
+    batches_a = list(make_dataloader(dataset, batch_size=4, seed=3))
+    batches_b = list(make_dataloader(dataset, batch_size=4, seed=3))
+    assert len(batches_a) == len(dataset) // 4
+    for (xa, ya), (xb, yb) in zip(batches_a, batches_b):
+        assert xa.shape == (4, 16)
+        np.testing.assert_array_equal(xa, xb)
+        np.testing.assert_array_equal(ya, yb)
+    shuffled_differently = list(make_dataloader(dataset, batch_size=4, seed=4))
+    assert any(
+        not np.array_equal(a[0], b[0]) for a, b in zip(batches_a, shuffled_differently)
+    )
+
+
+def test_dataloader_drop_last_behaviour(corpus, tokenizer):
+    dataset = TokenDataset.from_corpus(corpus, tokenizer, sequence_length=16)
+    batch_size = 7
+    kept = list(make_dataloader(dataset, batch_size=batch_size, drop_last=False, shuffle=False))
+    dropped = list(make_dataloader(dataset, batch_size=batch_size, drop_last=True, shuffle=False))
+    if len(dataset) % batch_size:
+        assert len(kept) == len(dropped) + 1
+    with pytest.raises(ConfigurationError):
+        list(make_dataloader(dataset, batch_size=0))

@@ -1,0 +1,81 @@
+"""Tests for iteration breakdowns and training reports."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.training.metrics import (
+    IterationBreakdown,
+    TrainingReport,
+    average_breakdown,
+    format_table,
+)
+
+
+def make_breakdown(f=1.0, b=2.0, u=3.0):
+    return IterationBreakdown(forward_seconds=f, backward_seconds=b, update_seconds=u)
+
+
+def test_total_and_dict():
+    breakdown = make_breakdown()
+    assert breakdown.total_seconds == 6.0
+    data = breakdown.as_dict()
+    assert data["total_s"] == 6.0
+    assert set(data) == {"forward_s", "backward_s", "update_s", "total_s"}
+
+
+def test_average_breakdown():
+    mean = average_breakdown([make_breakdown(1, 1, 1), make_breakdown(3, 3, 3)])
+    assert mean.forward_seconds == 2.0
+    assert mean.total_seconds == 6.0
+    with pytest.raises(ConfigurationError):
+        average_breakdown([])
+
+
+def make_report(iteration_seconds=2.0, warmup=1, count=4, oom=False):
+    breakdowns = [make_breakdown(u=iteration_seconds - 3.0) for _ in range(count)]
+    return TrainingReport(
+        job={"model": "20B", "strategy": "test"},
+        breakdowns=breakdowns,
+        warmup_iterations=warmup,
+        requested_iterations=count,
+        update_throughput_pps=10e9,
+        achieved_tflops=50.0,
+        end_to_end_seconds=iteration_seconds * count,
+        oom=oom,
+    )
+
+
+def test_report_steady_state_skips_warmup():
+    report = make_report(iteration_seconds=5.0)
+    assert report.iteration_seconds == pytest.approx(5.0)
+    assert report.steady_state.update_seconds == pytest.approx(2.0)
+
+
+def test_speedup_over():
+    fast = make_report(iteration_seconds=4.0)
+    slow = make_report(iteration_seconds=8.0)
+    assert fast.speedup_over(slow) == pytest.approx(2.0)
+    oom = make_report(oom=True)
+    with pytest.raises(ConfigurationError):
+        fast.speedup_over(oom)
+
+
+def test_as_row_contains_metrics_or_oom_flag():
+    row = make_report().as_row()
+    assert row["update_throughput_bpps"] == 10.0
+    assert row["tflops"] == 50.0
+    assert row["oom"] is False
+    oom_row = make_report(oom=True).as_row()
+    assert oom_row["oom"] is True
+    assert "tflops" not in oom_row
+
+
+def test_format_table_alignment_and_missing_columns():
+    rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert len(lines) == 4
+    assert format_table([]) == "(no rows)"
+    partial = format_table(rows, columns=["a", "missing"])
+    assert "missing" in partial

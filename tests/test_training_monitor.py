@@ -1,0 +1,72 @@
+"""Tests for the NVML-style resource monitor."""
+
+import pytest
+
+from repro.training.config import TrainingJobConfig
+from repro.training.monitor import ResourceMonitor
+from repro.training.simulation import simulate_job
+
+
+@pytest.fixture(scope="module")
+def zero3_monitor():
+    job = TrainingJobConfig(model="7B", strategy="zero3-offload", iterations=2, warmup_iterations=0).resolve()
+    return ResourceMonitor(simulate_job(job, iterations=1))
+
+
+@pytest.fixture(scope="module")
+def dos_monitor():
+    job = TrainingJobConfig(
+        model="7B", strategy="deep-optimizer-states", iterations=2, warmup_iterations=0
+    ).resolve()
+    return ResourceMonitor(simulate_job(job, iterations=1))
+
+
+def test_memory_timeline_and_peak(zero3_monitor):
+    timeline = zero3_monitor.gpu_memory_timeline()
+    assert timeline.peak_bytes == zero3_monitor.peak_gpu_memory_bytes()
+    assert timeline.peak_bytes > 0
+
+
+def test_phase_samples_cover_all_phases(zero3_monitor):
+    samples = zero3_monitor.phase_samples(0)
+    assert set(samples) == {"forward", "backward", "update"}
+    for sample in samples.values():
+        assert 0.0 <= sample.gpu_utilization <= 1.0
+        assert 0.0 <= sample.cpu_utilization <= 1.0
+        assert sample.pcie_h2d_gbps >= 0.0
+        assert sample.pcie_d2h_gbps >= 0.0
+
+
+def test_pcie_stays_far_below_peak_for_baseline(zero3_monitor):
+    """The Figure 4 observation: the baseline uses a small fraction of the PCIe peak."""
+    samples = zero3_monitor.phase_samples(0)
+    peak = 55.0
+    for sample in samples.values():
+        assert sample.pcie_h2d_gbps < 0.5 * peak
+        assert sample.pcie_d2h_gbps < 0.5 * peak
+
+
+def test_update_phase_gpu_utilization_higher_for_dos(zero3_monitor, dos_monitor):
+    """The Figure 15 observation: interleaving drives GPU/PCIe utilisation up."""
+    zero3 = zero3_monitor.update_phase_sample(0)
+    dos = dos_monitor.update_phase_sample(0)
+    assert dos.gpu_utilization > zero3.gpu_utilization
+    assert dos.pcie_h2d_gbps > zero3.pcie_h2d_gbps
+    assert dos.pcie_d2h_gbps > zero3.pcie_d2h_gbps
+
+
+def test_cpu_utilization_high_during_baseline_update(zero3_monitor):
+    sample = zero3_monitor.update_phase_sample(0)
+    assert sample.cpu_utilization > 0.5
+
+
+def test_mean_pcie_gbps_zero_for_empty_window(zero3_monitor):
+    assert zero3_monitor.mean_pcie_gbps("h2d", (1.0, 1.0)) == 0.0
+
+
+def test_gpu_utilization_counts_copy_engines(dos_monitor):
+    """NVML counts DMA activity as GPU activity; the monitor mirrors that artefact."""
+    window = dos_monitor.result.update_window(0)
+    compute_only = dos_monitor.schedule.utilization("gpu.compute", window)
+    with_copies = dos_monitor.gpu_utilization(window)
+    assert with_copies >= compute_only

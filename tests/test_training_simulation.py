@@ -1,0 +1,91 @@
+"""Tests for the iteration-level simulation."""
+
+import pytest
+
+from repro.training.config import TrainingJobConfig
+from repro.training.simulation import simulate_job
+from repro.common.errors import ConfigurationError
+
+
+def resolve(model="7B", strategy="zero3-offload", **kwargs):
+    return TrainingJobConfig(model=model, strategy=strategy, iterations=3, warmup_iterations=1, **kwargs).resolve()
+
+
+@pytest.fixture(scope="module")
+def zero3_result():
+    return simulate_job(resolve(strategy="zero3-offload"), iterations=2)
+
+
+@pytest.fixture(scope="module")
+def dos_result():
+    return simulate_job(resolve(strategy="deep-optimizer-states"), iterations=2)
+
+
+def test_simulation_produces_valid_schedule(zero3_result):
+    zero3_result.schedule.validate()
+    assert zero3_result.schedule.makespan > 0
+    assert len(zero3_result.iterations) == 2
+
+
+def test_phase_boundaries_are_ordered(zero3_result):
+    for index in range(2):
+        start = zero3_result.iteration_start(index)
+        forward_end = zero3_result.forward_end(index)
+        backward_end = zero3_result.backward_end(index)
+        ready = zero3_result.params_ready_time(index)
+        assert start <= forward_end <= backward_end <= ready
+
+
+def test_second_iteration_starts_after_first_params_ready(zero3_result):
+    assert zero3_result.iteration_start(1) >= zero3_result.params_ready_time(0) - 1e-9
+
+
+def test_breakdowns_are_positive_and_sum_to_iteration(zero3_result):
+    breakdown = zero3_result.breakdown(1)
+    assert breakdown.forward_seconds > 0
+    assert breakdown.backward_seconds > 0
+    assert breakdown.update_seconds > 0
+    span = zero3_result.params_ready_time(1) - zero3_result.iteration_start(1)
+    assert breakdown.total_seconds == pytest.approx(span, rel=1e-6)
+
+
+def test_dos_iteration_faster_than_zero3(zero3_result, dos_result):
+    zero3 = zero3_result.breakdown(1)
+    dos = dos_result.breakdown(1)
+    assert dos.total_seconds < zero3.total_seconds
+    assert dos.backward_seconds < zero3.backward_seconds
+    assert dos.update_seconds < zero3.update_seconds
+    # Forward compute is identical between strategies.
+    assert dos.forward_seconds == pytest.approx(zero3.forward_seconds, rel=0.05)
+
+
+def test_memory_timeline_peaks_during_forward(zero3_result):
+    timeline = zero3_result.memory_timeline()
+    assert timeline.peak_bytes > zero3_result.initial_gpu_bytes
+    job = zero3_result.job
+    # Never exceeds the GPU capacity for a configuration that passed the OOM check.
+    assert timeline.peak_bytes < job.machine.gpu.memory_bytes
+
+
+def test_update_window_contains_update_ops(dos_result):
+    start, end = dos_result.update_window(0)
+    assert start < end
+    assert end <= dos_result.schedule.makespan + 1e-9
+
+
+def test_pcie_timelines_nonzero_for_offloaded_training(zero3_result):
+    h2d = zero3_result.pcie_timeline("h2d", resolution=0.2)
+    d2h = zero3_result.pcie_timeline("d2h", resolution=0.2)
+    assert h2d.total_bytes() > 0
+    assert d2h.total_bytes() > 0
+
+
+def test_dos_moves_more_h2d_bytes_due_to_staging(zero3_result, dos_result):
+    zero3_h2d = zero3_result.iterations[1].update.h2d_bytes
+    dos_h2d = dos_result.iterations[1].update.h2d_bytes
+    assert dos_h2d > zero3_h2d
+
+
+def test_simulate_job_rejects_non_positive_iterations():
+    with pytest.raises(ConfigurationError):
+        simulate_job(resolve(), iterations=0)

@@ -1,0 +1,72 @@
+"""Tests for the high-level simulated trainer."""
+
+import pytest
+
+from repro.training.config import TrainingJobConfig
+from repro.training.trainer import Trainer, compare_strategies, run_job
+
+
+def config(**kwargs):
+    defaults = dict(model="7B", iterations=4, warmup_iterations=1)
+    defaults.update(kwargs)
+    return TrainingJobConfig(**defaults)
+
+
+def test_run_produces_full_report():
+    report = Trainer(config(strategy="zero3-offload")).run()
+    assert not report.oom
+    assert report.requested_iterations == 4
+    assert len(report.breakdowns) == 3  # simulated iterations are capped
+    assert report.iteration_seconds > 0
+    assert report.update_throughput_pps > 0
+    assert report.achieved_tflops > 0
+    assert report.end_to_end_seconds >= report.iteration_seconds * 3
+    row = report.as_row()
+    assert row["model"] == "7B"
+
+
+def test_end_to_end_extrapolation_scales_with_iterations():
+    short = Trainer(config(strategy="zero3-offload", iterations=4)).run()
+    long = Trainer(config(strategy="zero3-offload", iterations=100)).run()
+    assert long.end_to_end_seconds > short.end_to_end_seconds * 10
+    assert long.iteration_seconds == pytest.approx(short.iteration_seconds, rel=0.05)
+
+
+def test_oom_reported_not_raised():
+    report = Trainer(config(model="20B", microbatch_size=16)).run()
+    assert report.oom
+    assert "GPU memory" in report.oom_reason or "host memory" in report.oom_reason
+    assert report.as_row()["oom"] is True
+
+
+def test_update_throughput_definition():
+    report = Trainer(config(strategy="zero3-offload")).run()
+    job_params = report.job["parameters_billions"] * 1e9
+    expected = job_params / report.steady_state.update_seconds
+    assert report.update_throughput_pps == pytest.approx(expected, rel=0.01)
+
+
+def test_run_job_convenience_wrapper():
+    report = run_job(config(strategy="deep-optimizer-states"))
+    assert report.job["strategy"] == "deep-optimizer-states"
+
+
+def test_compare_strategies_runs_all_and_preserves_settings():
+    reports = compare_strategies(
+        config(model="7B", static_gpu_fraction=0.2),
+        ["zero3-offload", "twinflow", "deep-optimizer-states"],
+    )
+    assert set(reports) == {"zero3-offload", "twinflow", "deep-optimizer-states"}
+    assert reports["twinflow"].job["static_gpu_fraction"] == 0.2
+    # The headline ordering of the paper: DOS < TwinFlow < ZeRO-3 iteration time.
+    assert (
+        reports["deep-optimizer-states"].iteration_seconds
+        < reports["twinflow"].iteration_seconds
+        < reports["zero3-offload"].iteration_seconds
+    )
+
+
+def test_speedup_band_matches_paper_for_7b():
+    reports = compare_strategies(config(model="7B"), ["zero3-offload", "deep-optimizer-states"])
+    speedup = reports["deep-optimizer-states"].speedup_over(reports["zero3-offload"])
+    assert 1.8 <= speedup <= 3.0

@@ -1,0 +1,80 @@
+"""Tests for numeric collectives and their cost model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.zero.collectives import (
+    allgather,
+    allgather_seconds,
+    allreduce_mean,
+    allreduce_seconds,
+    broadcast,
+    reduce_scatter_mean,
+    reduce_scatter_seconds,
+)
+from repro.zero.partitioner import partition_evenly
+
+
+def test_allreduce_mean_averages_across_ranks(rng):
+    arrays = [rng.normal(size=32).astype(np.float32) for _ in range(4)]
+    mean = allreduce_mean(arrays)
+    np.testing.assert_allclose(mean, np.stack(arrays).mean(axis=0), rtol=1e-6)
+
+
+def test_allreduce_mean_validation():
+    with pytest.raises(ConfigurationError):
+        allreduce_mean([])
+    with pytest.raises(ConfigurationError):
+        allreduce_mean([np.zeros(3), np.zeros(4)])
+
+
+def test_reduce_scatter_then_allgather_is_allreduce(rng):
+    arrays = [rng.normal(size=40).astype(np.float32) for _ in range(4)]
+    partitions = partition_evenly(40, 4)
+    shards = reduce_scatter_mean(arrays, partitions)
+    assert [shard.size for shard in shards] == [10, 10, 10, 10]
+    gathered = allgather(shards)
+    np.testing.assert_allclose(gathered, allreduce_mean(arrays), rtol=1e-6)
+
+
+def test_reduce_scatter_requires_matching_partitions(rng):
+    arrays = [rng.normal(size=10) for _ in range(2)]
+    with pytest.raises(ConfigurationError):
+        reduce_scatter_mean(arrays, [(0, 5)])
+
+
+def test_broadcast_copies(rng):
+    value = rng.normal(size=8)
+    copies = broadcast(value, 3)
+    assert len(copies) == 3
+    copies[0][:] = 0
+    assert not np.allclose(copies[1], 0)
+    with pytest.raises(ConfigurationError):
+        broadcast(value, 0)
+
+
+def test_allgather_requires_shards():
+    with pytest.raises(ConfigurationError):
+        allgather([])
+
+
+def test_ring_cost_model_scaling():
+    bandwidth = 100e9
+    single = allgather_seconds(1e9, 1, bandwidth)
+    assert single == 0.0
+    two = allgather_seconds(1e9, 2, bandwidth)
+    four = allgather_seconds(1e9, 4, bandwidth)
+    assert two == pytest.approx(0.5 * 1e9 / bandwidth)
+    assert four == pytest.approx(0.75 * 1e9 / bandwidth)
+    assert reduce_scatter_seconds(1e9, 4, bandwidth) == four
+    assert allreduce_seconds(1e9, 4, bandwidth) == pytest.approx(2 * four)
+
+
+def test_ring_cost_model_validation():
+    with pytest.raises(ConfigurationError):
+        allgather_seconds(-1, 4, 1e9)
+    with pytest.raises(ConfigurationError):
+        allgather_seconds(1e9, 0, 1e9)
+    with pytest.raises(ConfigurationError):
+        allgather_seconds(1e9, 4, 0)

@@ -1,0 +1,44 @@
+"""Tests for the offloading configuration (static resident selection in particular)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.zero.offload import DEFAULT_SUBGROUP_SIZE, OffloadConfig, OffloadDevice
+
+
+def test_defaults_match_paper_settings():
+    config = OffloadConfig()
+    assert config.device == OffloadDevice.CPU
+    assert config.subgroup_size == DEFAULT_SUBGROUP_SIZE == 100_000_000
+    assert config.pin_memory
+    assert config.offload_enabled
+
+
+def test_disabled_offload_keeps_everything_on_gpu():
+    config = OffloadConfig(device=OffloadDevice.NONE)
+    assert not config.offload_enabled
+    assert config.static_resident_count(10) == 10
+
+
+def test_static_resident_count_quantised_by_subgroups():
+    config = OffloadConfig(static_gpu_fraction=0.2)
+    assert config.static_resident_count(10) == 2
+    assert config.static_resident_count(4) == 0  # the paper's 3B/1B-subgroup example
+    assert config.static_resident_count(0) == 0
+    with pytest.raises(ConfigurationError):
+        config.static_resident_count(-1)
+
+
+def test_static_residents_first_for_twinflow_last_for_dos():
+    twinflow_style = OffloadConfig(static_gpu_fraction=0.25, static_residents_at_end=False)
+    dos_style = OffloadConfig(static_gpu_fraction=0.25, static_residents_at_end=True)
+    assert twinflow_style.static_resident_indices(8) == frozenset({0, 1})
+    assert dos_style.static_resident_indices(8) == frozenset({6, 7})
+    assert OffloadConfig(static_gpu_fraction=0.0).static_resident_indices(8) == frozenset()
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        OffloadConfig(subgroup_size=0)
+    with pytest.raises(ConfigurationError):
+        OffloadConfig(static_gpu_fraction=1.5)

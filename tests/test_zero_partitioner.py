@@ -1,0 +1,98 @@
+"""Tests for rank/subgroup partitioning, including coverage invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.zero.partitioner import (
+    SubgroupSpec,
+    build_subgroups,
+    partition_evenly,
+    partition_model,
+    validate_partition,
+)
+
+
+def test_partition_evenly_basic():
+    assert partition_evenly(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+    assert partition_evenly(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+
+def test_partition_evenly_edge_cases():
+    assert partition_evenly(0, 3) == [(0, 0), (0, 0), (0, 0)]
+    assert partition_evenly(2, 4) == [(0, 1), (1, 2), (2, 2), (2, 2)]
+    with pytest.raises(ConfigurationError):
+        partition_evenly(-1, 2)
+    with pytest.raises(ConfigurationError):
+        partition_evenly(10, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 100_000), st.integers(1, 16))
+def test_partition_evenly_properties(total, parts):
+    ranges = partition_evenly(total, parts)
+    assert len(ranges) == parts
+    sizes = [stop - start for start, stop in ranges]
+    assert sum(sizes) == total
+    assert max(sizes) - min(sizes) <= 1
+    # Contiguity.
+    for (previous_start, previous_stop), (start, stop) in zip(ranges, ranges[1:]):
+        assert start == previous_stop
+
+
+def test_build_subgroups_sizes_and_indices():
+    specs = build_subgroups(rank=1, rank_range=(100, 350), subgroup_size=100)
+    assert [spec.num_params for spec in specs] == [100, 100, 50]
+    assert [spec.index for spec in specs] == [0, 1, 2]
+    assert specs[0].start == 100 and specs[-1].stop == 350
+    assert all(spec.rank == 1 for spec in specs)
+
+
+def test_build_subgroups_validation():
+    with pytest.raises(ConfigurationError):
+        build_subgroups(0, (0, 10), 0)
+    with pytest.raises(ConfigurationError):
+        build_subgroups(0, (10, 5), 3)
+
+
+def test_subgroup_spec_validation():
+    with pytest.raises(ConfigurationError):
+        SubgroupSpec(index=0, rank=0, start=5, stop=5)
+    with pytest.raises(ConfigurationError):
+        SubgroupSpec(index=-1, rank=0, start=0, stop=5)
+    spec = SubgroupSpec(index=0, rank=0, start=3, stop=9)
+    assert spec.num_params == 6
+    assert spec.slice == slice(3, 9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 50_000), st.integers(1, 8), st.integers(1, 5_000))
+def test_partition_model_covers_every_parameter_exactly_once(total, dp, subgroup_size):
+    partition = partition_model(total, dp, subgroup_size)
+    validate_partition(partition, total)
+    for rank, specs in partition.items():
+        for spec in specs:
+            assert spec.rank == rank
+            assert spec.num_params <= subgroup_size
+
+
+def test_partition_model_paper_configuration():
+    """20B parameters on 4 GPUs with 100M subgroups -> ~55 subgroups per rank."""
+    total = 21_940_000_000
+    partition = partition_model(total, 4, 100_000_000)
+    per_rank = [len(specs) for specs in partition.values()]
+    assert all(54 <= count <= 56 for count in per_rank)
+
+
+def test_validate_partition_detects_gaps():
+    partition = partition_model(1000, 2, 100)
+    # Remove a subgroup to create a gap.
+    partition[0] = partition[0][:-1]
+    with pytest.raises(ConfigurationError):
+        validate_partition(partition, 1000)
+
+
+def test_partition_model_rejects_empty_model():
+    with pytest.raises(ConfigurationError):
+        partition_model(0, 2, 10)

@@ -1,0 +1,138 @@
+"""Tests for the sharded mixed-precision optimizer (ZeRO-3 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.optim import AdamConfig, AdamRule
+from repro.zero.offload import OffloadConfig, OffloadDevice
+from repro.zero.stage3 import ShardedMixedPrecisionOptimizer, offload_disabled_config
+
+
+def make_optimizer(num_params=1000, dp=2, subgroup_size=128, static_fraction=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    params = rng.normal(size=num_params).astype(np.float32)
+    offload = OffloadConfig(subgroup_size=subgroup_size, static_gpu_fraction=static_fraction)
+    rule = AdamRule(AdamConfig(learning_rate=1e-3))
+    return (
+        ShardedMixedPrecisionOptimizer(
+            params, rule, data_parallel_degree=dp, offload=offload
+        ),
+        params,
+        rng,
+    )
+
+
+def test_sharding_covers_all_parameters():
+    optimizer, params, _ = make_optimizer()
+    gathered = optimizer.gathered_fp32_parameters()
+    np.testing.assert_array_equal(gathered, params)
+    assert optimizer.num_subgroups() == sum(
+        optimizer.num_subgroups(rank) for rank in optimizer.ranks
+    )
+
+
+def test_fp16_working_copy_matches_downscaled_master():
+    optimizer, params, _ = make_optimizer()
+    np.testing.assert_array_equal(
+        optimizer.gathered_fp16_parameters(), params.astype(np.float16)
+    )
+
+
+def test_static_residents_marked_per_rank():
+    optimizer, _, _ = make_optimizer(num_params=1024, dp=2, subgroup_size=128, static_fraction=0.5)
+    for rank in optimizer.ranks:
+        subgroups = optimizer.subgroups(rank)
+        statics = [s for s in subgroups if s.static_gpu_resident]
+        assert len(statics) == len(subgroups) // 2
+
+
+def test_set_gradients_distributes_and_casts(rng):
+    optimizer, _, _ = make_optimizer(num_params=300, dp=1, subgroup_size=100)
+    grads = rng.normal(size=300).astype(np.float32)
+    optimizer.set_gradients(grads)
+    for subgroup in optimizer.subgroups():
+        expected = grads[subgroup.spec.slice].astype(np.float16)
+        np.testing.assert_array_equal(subgroup.fp16_grads, expected)
+    with pytest.raises(ConfigurationError):
+        optimizer.set_gradients(grads[:-1])
+
+
+def test_default_step_updates_every_subgroup(rng):
+    optimizer, params, _ = make_optimizer(num_params=500, dp=2, subgroup_size=100)
+    grads = rng.normal(size=500).astype(np.float32)
+    optimizer.set_gradients(grads)
+    step = optimizer.step()
+    assert step == 1
+    assert optimizer.step_count == 1
+    updated = optimizer.gathered_fp32_parameters()
+    assert not np.allclose(updated, params)
+    for subgroup in optimizer.subgroups():
+        assert subgroup.last_update_step == 1
+
+
+def test_custom_executor_receives_rank_subgroups(rng):
+    optimizer, _, _ = make_optimizer(num_params=400, dp=2, subgroup_size=100)
+    optimizer.set_gradients(rng.normal(size=400).astype(np.float32))
+    seen = []
+
+    def executor(subgroups, rule, step):
+        seen.append((len(subgroups), step))
+        for subgroup in subgroups:
+            subgroup.flush_gradients_to_host()
+            subgroup.apply_update(rule, step, device="cpu")
+
+    optimizer.step(executor)
+    assert seen == [(2, 1), (2, 1)]
+
+
+def test_offload_disabled_places_subgroups_on_gpu():
+    rng = np.random.default_rng(0)
+    params = rng.normal(size=200).astype(np.float32)
+    optimizer = ShardedMixedPrecisionOptimizer(
+        params, AdamRule(), data_parallel_degree=1, offload=offload_disabled_config(64)
+    )
+    assert optimizer.offload.device == OffloadDevice.NONE
+    assert all(s.placement.value == "gpu" for s in optimizer.subgroups())
+
+
+def test_state_dict_round_trip(rng):
+    optimizer, _, _ = make_optimizer(num_params=256, dp=2, subgroup_size=64, seed=3)
+    optimizer.set_gradients(rng.normal(size=256).astype(np.float32))
+    optimizer.step()
+    snapshot = optimizer.state_dict()
+
+    restored, _, _ = make_optimizer(num_params=256, dp=2, subgroup_size=64, seed=99)
+    restored.load_state_dict(snapshot)
+    np.testing.assert_array_equal(
+        restored.gathered_fp32_parameters(), optimizer.gathered_fp32_parameters()
+    )
+    np.testing.assert_array_equal(
+        restored.gathered_fp16_parameters(), optimizer.gathered_fp16_parameters()
+    )
+    assert restored.step_count == optimizer.step_count
+
+
+def test_state_dict_mismatch_rejected():
+    optimizer, _, _ = make_optimizer(num_params=256, dp=2, subgroup_size=64)
+    other, _, _ = make_optimizer(num_params=128, dp=2, subgroup_size=64)
+    with pytest.raises(ConfigurationError):
+        other.load_state_dict(optimizer.state_dict())
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigurationError):
+        ShardedMixedPrecisionOptimizer(np.array([], dtype=np.float32), AdamRule())
+    with pytest.raises(ConfigurationError):
+        ShardedMixedPrecisionOptimizer(np.ones(10, dtype=np.float32), AdamRule(), data_parallel_degree=0)
+    optimizer, _, _ = make_optimizer()
+    with pytest.raises(ConfigurationError):
+        optimizer.subgroups(rank=99)
+
+
+def test_describe_contains_key_fields():
+    optimizer, _, _ = make_optimizer()
+    description = optimizer.describe()
+    assert description["data_parallel_degree"] == 2
+    assert description["offload_device"] == "cpu"
+    assert "subgroups_per_rank" in description

@@ -1,0 +1,106 @@
+"""Tests for the Subgroup data structure and its numeric operations."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.optim import AdamConfig, AdamRule
+from repro.zero.partitioner import SubgroupSpec
+from repro.zero.subgroup import Placement, Subgroup
+
+
+@pytest.fixture
+def materialized_subgroup(rng, adam_rule):
+    spec = SubgroupSpec(index=0, rank=0, start=0, stop=256)
+    subgroup = Subgroup(spec)
+    subgroup.materialize(rng.normal(size=256).astype(np.float32), adam_rule)
+    return subgroup
+
+
+def test_placement_defaults_and_static_override():
+    spec = SubgroupSpec(index=3, rank=0, start=0, stop=10)
+    default = Subgroup(spec)
+    assert default.placement == Placement.HOST_PINNED
+    assert default.placement.on_host
+    static = Subgroup(spec, static_gpu_resident=True)
+    assert static.placement == Placement.GPU
+    assert not static.placement.on_host
+
+
+def test_byte_accounting(materialized_subgroup):
+    subgroup = materialized_subgroup
+    n = subgroup.num_params
+    assert subgroup.fp16_param_bytes() == 2 * n
+    assert subgroup.fp16_grad_bytes() == 2 * n
+    assert subgroup.fp32_grad_bytes() == 4 * n
+    # FP32 parameters + Adam momentum and variance.
+    assert subgroup.fp32_state_bytes() == 12 * n
+    # Staging a subgroup moves FP32 p, m and v in each direction.
+    assert subgroup.transfer_bytes_prefetch() == 12 * n
+    assert subgroup.transfer_bytes_flush() == 12 * n
+
+
+def test_materialize_validates_shape(adam_rule, rng):
+    subgroup = Subgroup(SubgroupSpec(index=0, rank=0, start=0, stop=10))
+    with pytest.raises(ConfigurationError):
+        subgroup.materialize(rng.normal(size=5).astype(np.float32), adam_rule)
+    assert not subgroup.is_materialized
+
+
+def test_unmaterialized_operations_raise(adam_rule):
+    subgroup = Subgroup(SubgroupSpec(index=0, rank=0, start=0, stop=10))
+    with pytest.raises(ConfigurationError):
+        subgroup.set_fp16_gradients(np.zeros(10, dtype=np.float16))
+    with pytest.raises(ConfigurationError):
+        subgroup.flush_gradients_to_host()
+    with pytest.raises(ConfigurationError):
+        subgroup.apply_update(adam_rule, 1, "cpu")
+
+
+def test_gradient_flush_is_exact_fp16_upscale(materialized_subgroup, rng):
+    subgroup = materialized_subgroup
+    grads = rng.normal(size=subgroup.num_params).astype(np.float16)
+    subgroup.set_fp16_gradients(grads)
+    subgroup.flush_gradients_to_host()
+    np.testing.assert_array_equal(subgroup.fp32_grads, grads.astype(np.float32))
+
+
+def test_gradient_shape_validation(materialized_subgroup):
+    with pytest.raises(ConfigurationError):
+        materialized_subgroup.set_fp16_gradients(np.zeros(3, dtype=np.float16))
+
+
+def test_apply_update_is_device_agnostic(rng, adam_rule):
+    spec = SubgroupSpec(index=0, rank=0, start=0, stop=128)
+    initial = rng.normal(size=128).astype(np.float32)
+    grads = rng.normal(size=128).astype(np.float16)
+
+    results = {}
+    for device in ("cpu", "gpu"):
+        subgroup = Subgroup(spec)
+        subgroup.materialize(initial, AdamRule(AdamConfig(learning_rate=1e-3)))
+        subgroup.set_fp16_gradients(grads)
+        subgroup.flush_gradients_to_host()
+        subgroup.apply_update(AdamRule(AdamConfig(learning_rate=1e-3)), 1, device=device)
+        results[device] = subgroup.master_snapshot()
+        assert subgroup.last_update_device == device
+        assert subgroup.last_update_step == 1
+
+    for key in results["cpu"]:
+        np.testing.assert_array_equal(results["cpu"][key], results["gpu"][key])
+
+
+def test_apply_update_keeps_fp16_copy_in_sync(materialized_subgroup, adam_rule, rng):
+    subgroup = materialized_subgroup
+    subgroup.set_fp16_gradients(rng.normal(size=subgroup.num_params).astype(np.float16))
+    subgroup.flush_gradients_to_host()
+    subgroup.apply_update(adam_rule, 1, device="cpu")
+    np.testing.assert_array_equal(
+        subgroup.fp16_params, subgroup.fp32_params.astype(np.float16)
+    )
+
+
+def test_master_snapshot_is_a_copy(materialized_subgroup):
+    snapshot = materialized_subgroup.master_snapshot()
+    snapshot["params"][:] = 0.0
+    assert not np.allclose(materialized_subgroup.fp32_params, 0.0)
