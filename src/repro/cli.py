@@ -5,10 +5,15 @@ Usage (after ``pip install -e .``)::
     python -m repro list-presets
     python -m repro compare --model 20B --strategies zero3-offload deep-optimizer-states
     python -m repro experiment fig7
+    python -m repro experiment fig2 --models 7B,20B --set iterations=2
+    python -m repro sweep --models 7B,20B --strategies zero3-offload,deep-optimizer-states --jobs 4
     python -m repro stride --machine jlse-4xh100
 
 The CLI is a thin wrapper over the public API so that the headline results can be
-regenerated without writing any Python.
+regenerated without writing any Python.  ``sweep`` exposes the scenario-sweep
+subsystem directly: any :func:`repro.experiments.base.run_training` keyword can
+become an axis, scenarios run process-parallel with ``--jobs``, and results are
+cached on disk so a repeated invocation is instant (disable with ``--no-cache``).
 """
 
 from __future__ import annotations
@@ -17,15 +22,57 @@ import argparse
 import sys
 
 from repro.baselines.registry import available_strategies
+from repro.common.errors import ConfigurationError
 from repro.core.performance_model import cpu_to_gpu_update_ratio, optimal_update_stride
 from repro.experiments import EXPERIMENT_MODULES
-from repro.experiments.base import run_experiment
+from repro.experiments.base import run_experiment, run_training, training_sweep
 from repro.hardware.presets import get_machine_preset, list_machine_presets
 from repro.hardware.throughput import ThroughputProfile
 from repro.model.presets import list_model_presets
-from repro.training.config import TrainingJobConfig
+from repro.sweep import SweepRunner, SweepSpec, configure_defaults, default_cache_dir
 from repro.training.metrics import format_table
-from repro.training.trainer import compare_strategies
+from repro.training.trainer import compare_strategies  # noqa: F401  (public re-export)
+
+
+def _parse_scalar(text: str):
+    """Best-effort scalar parsing for --set/--axis values: int, float, bool, None, str."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_values(text: str) -> tuple:
+    """Parse a comma-separated value list into a tuple of scalars."""
+    return tuple(_parse_scalar(part) for part in text.split(",") if part != "")
+
+
+def _parse_assignment(item: str) -> tuple[str, str]:
+    """Split one KEY=VALUE argument."""
+    key, separator, value = item.partition("=")
+    if not separator or not key:
+        raise ConfigurationError(f"expected KEY=VALUE, got {item!r}")
+    return key.replace("-", "_"), value
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution-policy flags shared by ``sweep`` and ``compare``."""
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for scenario execution (default: serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help=f"result cache directory (default: {default_cache_dir()})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,10 +95,38 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--iterations", type=int, default=10, help="training iterations")
     compare.add_argument("--strategies", nargs="+", default=available_strategies(),
                          help="strategies to compare")
+    _add_sweep_flags(compare)
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment (table/figure)")
     experiment.add_argument("experiment_id", choices=sorted(EXPERIMENT_MODULES),
                             help="experiment identifier, e.g. fig7")
+    experiment.add_argument("--models", default=None,
+                            help="comma-separated model presets forwarded to the experiment")
+    experiment.add_argument("--set", action="append", default=[], dest="overrides",
+                            metavar="KEY=VALUE",
+                            help="forward any run() keyword, e.g. --set iterations=2 "
+                                 "(comma-separated values become tuples)")
+    experiment.add_argument("--jobs", type=int, default=None,
+                            help="worker processes for the experiment's internal sweeps")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a declarative training-scenario grid, parallel and cached"
+    )
+    sweep.add_argument("--models", default="7B,20B",
+                       help="comma-separated model presets (one sweep axis)")
+    sweep.add_argument("--strategies", default=",".join(available_strategies()),
+                       help="comma-separated strategies (one sweep axis)")
+    sweep.add_argument("--axis", action="append", default=[], dest="axes",
+                       metavar="KEY=V1,V2",
+                       help="extra axis over a run_training keyword, "
+                            "e.g. --axis microbatch_size=1,2,4")
+    sweep.add_argument("--set", action="append", default=[], dest="overrides",
+                       metavar="KEY=VALUE",
+                       help="fixed run_training keyword applied to every scenario")
+    sweep.add_argument("--iterations", type=int, default=4, help="training iterations")
+    sweep.add_argument("--json", default=None, dest="json_path",
+                       help="write the structured sweep result to this JSON file")
+    _add_sweep_flags(sweep)
 
     stride = subparsers.add_parser("stride", help="evaluate Equation 1 for a machine preset")
     stride.add_argument("--machine", default="jlse-4xh100", help="machine preset")
@@ -67,20 +142,29 @@ def _cmd_list_presets() -> int:
     return 0
 
 
+_REPORT_COLUMNS = ["forward_s", "backward_s", "update_s", "iteration_s",
+                   "update_throughput_bpps", "tflops", "end_to_end_s", "oom"]
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
-    base = TrainingJobConfig(
-        model=args.model,
-        machine=args.machine,
-        microbatch_size=args.microbatch,
-        data_parallel_degree=args.data_parallel,
-        static_gpu_fraction=args.static_gpu_fraction,
-        iterations=args.iterations,
-        warmup_iterations=min(2, args.iterations - 1),
+    reports = training_sweep(
+        {"strategy": tuple(args.strategies)},
+        base={
+            "model": args.model,
+            "machine": args.machine,
+            "microbatch_size": args.microbatch,
+            "data_parallel_degree": args.data_parallel,
+            "static_gpu_fraction": args.static_gpu_fraction,
+            "iterations": args.iterations,
+            # compare has always averaged steady state over two warmup iterations.
+            "warmup_iterations": min(2, args.iterations - 1),
+        },
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
     )
-    reports = compare_strategies(base, list(args.strategies))
     rows = [report.as_row() for report in reports.values()]
-    columns = ["strategy", "forward_s", "backward_s", "update_s", "iteration_s",
-               "update_throughput_bpps", "tflops", "end_to_end_s", "oom"]
+    columns = ["strategy"] + _REPORT_COLUMNS
     print(format_table(rows, columns=[c for c in columns if any(c in row for row in rows)]))
     valid = {name: report for name, report in reports.items() if not report.oom}
     if "zero3-offload" in valid and "deep-optimizer-states" in valid:
@@ -90,8 +174,64 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment_id)
+    if args.jobs is not None:
+        configure_defaults(jobs=args.jobs)
+    kwargs: dict = {}
+    if args.models is not None:
+        kwargs["models"] = _parse_values(args.models)
+    for item in args.overrides:
+        key, raw = _parse_assignment(item)
+        values = _parse_values(raw)
+        if not values:
+            raise ConfigurationError(f"--set {key} has no value")
+        kwargs[key] = values if len(values) > 1 else values[0]
+    result = run_experiment(args.experiment_id, **kwargs)
     print(result.format())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    axes: dict[str, tuple] = {}
+    if args.models:
+        axes["model"] = _parse_values(args.models)
+    if args.strategies:
+        axes["strategy"] = _parse_values(args.strategies)
+    for item in args.axes:
+        key, raw = _parse_assignment(item)
+        axes[key] = _parse_values(raw)
+    base: dict = {"iterations": args.iterations}
+    for item in args.overrides:
+        key, raw = _parse_assignment(item)
+        values = _parse_values(raw)
+        if len(values) != 1:
+            raise ConfigurationError(
+                f"--set {key} must be a single value; use --axis for value lists"
+            )
+        base[key] = values[0]
+
+    spec = SweepSpec.build(axes, base)
+    runner = SweepRunner(
+        run_training,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    result = runner.run(spec)
+
+    rows = result.rows(value_columns=lambda report: {
+        column: value for column, value in report.as_row().items()
+        if column in _REPORT_COLUMNS
+    })
+    axis_columns = list(spec.axis_names)
+    value_columns = [c for c in _REPORT_COLUMNS if any(c in row for row in rows)]
+    print(format_table(rows, columns=axis_columns + value_columns + ["cached"]))
+    print(
+        f"\n{len(result)} scenarios ({result.cache_hits} cached, "
+        f"{result.cache_misses} computed) with jobs={result.jobs}"
+    )
+    if args.json_path:
+        path = result.save_json(args.json_path)
+        print(f"wrote {path}")
     return 0
 
 
@@ -119,6 +259,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "stride":
         return _cmd_stride(args)
     return 1  # pragma: no cover - argparse enforces the choices above

@@ -19,7 +19,9 @@ proves the schedule does not change the training result) and the simulation exec
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.common.errors import ConfigurationError, SchedulingError
 
@@ -80,13 +82,22 @@ class UpdatePlan:
         """Indices updated on the CPU, in order."""
         return [item.index for item in self.assignments if not item.on_gpu]
 
-    def dynamic_gpu_indices(self) -> list[int]:
-        """GPU-scheduled indices that require staging (i.e. are not static residents)."""
-        return [
+    @cached_property
+    def _dynamic_gpu(self) -> tuple[int, ...]:
+        """Sorted, cached tuple of dynamically GPU-scheduled indices.
+
+        ``cached_property`` writes straight into the instance ``__dict__``, which
+        works on a frozen (non-slots) dataclass.
+        """
+        return tuple(
             item.index
             for item in self.assignments
             if item.on_gpu and item.reason == AssignmentReason.STRIDE
-        ]
+        )
+
+    def dynamic_gpu_indices(self) -> list[int]:
+        """GPU-scheduled indices that require staging (i.e. are not static residents)."""
+        return list(self._dynamic_gpu)
 
     def gpu_fraction(self) -> float:
         """Fraction of all subgroups updated on the GPU."""
@@ -96,13 +107,15 @@ class UpdatePlan:
 
     def prev_on_gpu(self, index: int) -> int | None:
         """The closest dynamically GPU-scheduled index strictly before ``index``."""
-        candidates = [i for i in self.dynamic_gpu_indices() if i < index]
-        return candidates[-1] if candidates else None
+        dynamic = self._dynamic_gpu
+        position = bisect_left(dynamic, index)
+        return dynamic[position - 1] if position else None
 
     def next_on_gpu(self, index: int) -> int | None:
         """The closest dynamically GPU-scheduled index at or after ``index``."""
-        candidates = [i for i in self.dynamic_gpu_indices() if i >= index]
-        return candidates[0] if candidates else None
+        dynamic = self._dynamic_gpu
+        position = bisect_left(dynamic, index)
+        return dynamic[position] if position < len(dynamic) else None
 
     # ------------------------------------------------------------------ validation
 

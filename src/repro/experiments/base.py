@@ -1,12 +1,20 @@
-"""Shared infrastructure for the experiment runners."""
+"""Shared infrastructure for the experiment runners.
+
+Grid-shaped experiments declare their (model × strategy × knob) grids through the
+sweep subsystem (:func:`training_sweep` / :func:`model_sweep`) instead of hand-rolled
+nested loops, so every figure/table inherits process parallelism and result caching
+from :class:`~repro.sweep.runner.SweepRunner` without any per-module code.
+"""
 
 from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.model.presets import PAPER_MODEL_ORDER
+from repro.sweep import Scenario, SweepRunner, SweepSpec
 from repro.training.config import TrainingJobConfig
 from repro.training.metrics import TrainingReport, format_table
 from repro.training.trainer import Trainer
@@ -66,9 +74,12 @@ def run_training(
     cpu_cores_per_gpu: int | None = None,
     update_stride: int = 0,
     iterations: int = DEFAULT_ITERATIONS,
+    warmup_iterations: int | None = None,
     check_memory: bool = True,
 ) -> TrainingReport:
     """Run one simulated training job with the paper's default runtime settings."""
+    if warmup_iterations is None:
+        warmup_iterations = min(DEFAULT_WARMUP, iterations - 1)
     config = TrainingJobConfig(
         model=model,
         machine=machine,
@@ -81,10 +92,30 @@ def run_training(
         update_stride=update_stride,
         cpu_cores_per_gpu=cpu_cores_per_gpu,
         iterations=iterations,
-        warmup_iterations=min(DEFAULT_WARMUP, iterations - 1),
+        warmup_iterations=warmup_iterations,
         check_memory=check_memory,
     )
     return Trainer(config, simulated_iterations=min(3, iterations)).run()
+
+
+def training_sweep(
+    axes: Mapping[str, Sequence[Any]],
+    *,
+    base: Mapping[str, Any] | None = None,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    cache_dir: Any = None,
+) -> dict[tuple, TrainingReport]:
+    """Run a declarative grid of :func:`run_training` scenarios.
+
+    ``axes`` maps :func:`run_training` keyword names to candidate values; ``base``
+    holds fixed keywords shared by every scenario.  Returns reports keyed by the
+    tuple of axis values in declaration order (bare values for a single axis).
+    Parallelism and caching follow the sweep-runner defaults unless overridden.
+    """
+    spec = SweepSpec.build(axes, base)
+    runner = SweepRunner(run_training, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    return runner.run(spec).keyed(*spec.axis_names)
 
 
 def model_sweep(
@@ -94,17 +125,31 @@ def model_sweep(
     static_gpu_fraction: float = 0.0,
     iterations: int = DEFAULT_ITERATIONS,
     data_parallel_degree: int | None = None,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
 ) -> dict[tuple[str, str], TrainingReport]:
-    """Run every (model, strategy) combination; keys are ``(model, strategy)``."""
-    reports: dict[tuple[str, str], TrainingReport] = {}
-    for model in models:
-        for strategy in strategies:
-            fraction = static_gpu_fraction if strategy != "zero3-offload" else 0.0
-            reports[(model, strategy)] = run_training(
-                model=model,
-                strategy=strategy,
-                static_gpu_fraction=fraction,
-                iterations=iterations,
-                data_parallel_degree=data_parallel_degree,
-            )
-    return reports
+    """Run every (model, strategy) combination; keys are ``(model, strategy)``.
+
+    The static GPU fraction is forced to zero for the fully-offloaded ZeRO-3
+    baseline, so the grid is built as an explicit scenario list rather than a pure
+    cartesian spec.
+    """
+    scenarios = [
+        Scenario.from_params(
+            {
+                "model": model,
+                "strategy": strategy,
+                "static_gpu_fraction": static_gpu_fraction if strategy != "zero3-offload" else 0.0,
+                "iterations": iterations,
+                "data_parallel_degree": data_parallel_degree,
+            }
+        )
+        for model in models
+        for strategy in strategies
+    ]
+    runner = SweepRunner(run_training, jobs=jobs, use_cache=use_cache)
+    result = runner.run(scenarios)
+    return {
+        (record.scenario.get("model"), record.scenario.get("strategy")): record.value
+        for record in result.records
+    }

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, run_training
+from repro.experiments.base import ExperimentResult, training_sweep
 from repro.model.presets import PAPER_MODEL_ORDER
 
 PAPER_FIG2_SECONDS = {
@@ -14,17 +14,16 @@ SUBGROUP_SIZES = (100_000_000, 200_000_000, 500_000_000, 1_000_000_000)
 
 def run(models: tuple[str, ...] = PAPER_MODEL_ORDER, iterations: int = 3) -> ExperimentResult:
     """Sweep subgroup sizes for the ZeRO-3 offload baseline."""
+    reports = training_sweep(
+        {"model": models, "subgroup_size": SUBGROUP_SIZES},
+        base={"strategy": "zero3-offload", "iterations": iterations},
+    )
     rows = []
     for model in models:
-        times = {}
-        for subgroup_size in SUBGROUP_SIZES:
-            report = run_training(
-                model=model,
-                strategy="zero3-offload",
-                subgroup_size=subgroup_size,
-                iterations=iterations,
-            )
-            times[subgroup_size] = report.iteration_seconds
+        times = {
+            subgroup_size: reports[(model, subgroup_size)].iteration_seconds
+            for subgroup_size in SUBGROUP_SIZES
+        }
         base = times[SUBGROUP_SIZES[0]]
         row = {"model": model}
         for subgroup_size in SUBGROUP_SIZES:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, run_training
+from repro.experiments.base import ExperimentResult, training_sweep
 from repro.model.presets import PAPER_MODEL_ORDER
 
 PAPER_FIG9_SECONDS = {
@@ -17,10 +17,14 @@ TRAINING_ITERATIONS = 100
 
 def run(models: tuple[str, ...] = PAPER_MODEL_ORDER) -> ExperimentResult:
     """Extrapolate 100-iteration training time from chained steady-state iterations."""
+    reports = training_sweep(
+        {"model": models, "strategy": ("zero3-offload", "deep-optimizer-states")},
+        base={"iterations": TRAINING_ITERATIONS},
+    )
     rows = []
     for model in models:
-        zero3 = run_training(model=model, strategy="zero3-offload", iterations=TRAINING_ITERATIONS)
-        dos = run_training(model=model, strategy="deep-optimizer-states", iterations=TRAINING_ITERATIONS)
+        zero3 = reports[(model, "zero3-offload")]
+        dos = reports[(model, "deep-optimizer-states")]
         paper = PAPER_FIG9_SECONDS[model]
         rows.append(
             {

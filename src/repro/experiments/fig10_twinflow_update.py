@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, run_training
+from repro.experiments.base import ExperimentResult, training_sweep
 
 PAPER_FIG10_UPDATE_S = {
     0.0: {"twinflow": 2.3, "deep-optimizer-states": 1.3},
@@ -17,10 +17,14 @@ PAPER_MIN_SPEEDUP = 1.7
 
 def run(model: str = "20B", fractions: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)) -> ExperimentResult:
     """Sweep the static GPU-resident ratio for TwinFlow and Deep Optimizer States."""
+    reports = training_sweep(
+        {"static_gpu_fraction": fractions, "strategy": ("twinflow", "deep-optimizer-states")},
+        base={"model": model},
+    )
     rows = []
     for fraction in fractions:
-        twinflow = run_training(model=model, strategy="twinflow", static_gpu_fraction=fraction)
-        dos = run_training(model=model, strategy="deep-optimizer-states", static_gpu_fraction=fraction)
+        twinflow = reports[(fraction, "twinflow")]
+        dos = reports[(fraction, "deep-optimizer-states")]
         paper = PAPER_FIG10_UPDATE_S.get(round(fraction, 1), {})
         rows.append(
             {

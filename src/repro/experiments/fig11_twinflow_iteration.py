@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, run_training
+from repro.experiments.base import ExperimentResult, training_sweep
 
 PAPER_FIG11_ITERATION_S = {
     0.0: {"twinflow": 7.3, "deep-optimizer-states": 3.0},
@@ -16,12 +16,16 @@ PAPER_FIG11_ITERATION_S = {
 
 def run(model: str = "20B", fractions: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)) -> ExperimentResult:
     """Sweep the static GPU-resident ratio and report full iteration breakdowns."""
+    reports = training_sweep(
+        {"static_gpu_fraction": fractions, "strategy": ("twinflow", "deep-optimizer-states")},
+        base={"model": model},
+    )
     rows = []
     dos_at_zero = None
     twinflow_at_half = None
     for fraction in fractions:
-        twinflow = run_training(model=model, strategy="twinflow", static_gpu_fraction=fraction)
-        dos = run_training(model=model, strategy="deep-optimizer-states", static_gpu_fraction=fraction)
+        twinflow = reports[(fraction, "twinflow")]
+        dos = reports[(fraction, "deep-optimizer-states")]
         if fraction == 0.0:
             dos_at_zero = dos.iteration_seconds
         if round(fraction, 1) == 0.5:

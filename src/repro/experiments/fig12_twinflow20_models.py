@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, run_training
+from repro.experiments.base import ExperimentResult, training_sweep
 from repro.model.presets import PAPER_MODEL_ORDER
 
 PAPER_FIG12_ITERATION_S = {
@@ -18,12 +18,14 @@ STATIC_FRACTION = 0.2
 
 def run(models: tuple[str, ...] = PAPER_MODEL_ORDER) -> ExperimentResult:
     """Compare TwinFlow (20% static residency) and Deep Optimizer States across models."""
+    reports = training_sweep(
+        {"model": models, "strategy": ("twinflow", "deep-optimizer-states")},
+        base={"static_gpu_fraction": STATIC_FRACTION},
+    )
     rows = []
     for model in models:
-        twinflow = run_training(model=model, strategy="twinflow", static_gpu_fraction=STATIC_FRACTION)
-        dos = run_training(
-            model=model, strategy="deep-optimizer-states", static_gpu_fraction=STATIC_FRACTION
-        )
+        twinflow = reports[(model, "twinflow")]
+        dos = reports[(model, "deep-optimizer-states")]
         paper = PAPER_FIG12_ITERATION_S[model]
         rows.append(
             {

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, run_training
+from repro.experiments.base import ExperimentResult, training_sweep
 
 PAPER_OOM_MICROBATCH = 16
 PAPER_SPEEDUP_BAND = (1.6, 2.5)
@@ -10,10 +10,14 @@ PAPER_SPEEDUP_BAND = (1.6, 2.5)
 
 def run(model: str = "20B", microbatches: tuple[int, ...] = (1, 2, 4, 8, 16)) -> ExperimentResult:
     """Sweep the microbatch size; out-of-memory configurations are reported, not raised."""
+    reports = training_sweep(
+        {"microbatch_size": microbatches, "strategy": ("zero3-offload", "deep-optimizer-states")},
+        base={"model": model},
+    )
     rows = []
     for microbatch in microbatches:
-        zero3 = run_training(model=model, strategy="zero3-offload", microbatch_size=microbatch)
-        dos = run_training(model=model, strategy="deep-optimizer-states", microbatch_size=microbatch)
+        zero3 = reports[(microbatch, "zero3-offload")]
+        dos = reports[(microbatch, "deep-optimizer-states")]
         row: dict = {"microbatch": microbatch}
         if zero3.oom or dos.oom:
             row.update({"zero3_iteration_s": "OOM", "dos_iteration_s": "OOM", "speedup": None,

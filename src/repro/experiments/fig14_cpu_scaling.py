@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, run_training
+from repro.experiments.base import ExperimentResult, training_sweep
 
 PAPER_MAX_SPEEDUP_LOW_CPU = 3.0
 PAPER_PLATEAU_CORES = 38
@@ -10,12 +10,14 @@ PAPER_PLATEAU_CORES = 38
 
 def run(model: str = "20B", cores: tuple[int, ...] = (10, 20, 30, 38, 44, 48)) -> ExperimentResult:
     """Sweep CPU cores per GPU with the optimizer fully offloaded to the host."""
+    reports = training_sweep(
+        {"cpu_cores_per_gpu": cores, "strategy": ("zero3-offload", "deep-optimizer-states")},
+        base={"model": model},
+    )
     rows = []
     for cores_per_gpu in cores:
-        zero3 = run_training(model=model, strategy="zero3-offload", cpu_cores_per_gpu=cores_per_gpu)
-        dos = run_training(
-            model=model, strategy="deep-optimizer-states", cpu_cores_per_gpu=cores_per_gpu
-        )
+        zero3 = reports[(cores_per_gpu, "zero3-offload")]
+        dos = reports[(cores_per_gpu, "deep-optimizer-states")]
         rows.append(
             {
                 "cpu_cores_per_gpu": cores_per_gpu,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, run_training
+from repro.experiments.base import ExperimentResult, training_sweep
 from repro.model.presets import PAPER_MODEL_ORDER
 
 PAPER_FIG17_SPEEDUP = {
@@ -18,19 +18,20 @@ def run(
     models: tuple[str, ...] = PAPER_MODEL_ORDER, degrees: tuple[int, ...] = (1, 2, 4)
 ) -> ExperimentResult:
     """Measure the Deep Optimizer States speedup over ZeRO-3 at DP = 1, 2 and 4."""
+    reports = training_sweep(
+        {
+            "model": models,
+            "data_parallel_degree": degrees,
+            "strategy": ("zero3-offload", "deep-optimizer-states"),
+        },
+        base={"iterations": 3},
+    )
     rows = []
     for model in models:
         row: dict = {"model": model}
         for degree in degrees:
-            zero3 = run_training(
-                model=model, strategy="zero3-offload", data_parallel_degree=degree, iterations=3
-            )
-            dos = run_training(
-                model=model,
-                strategy="deep-optimizer-states",
-                data_parallel_degree=degree,
-                iterations=3,
-            )
+            zero3 = reports[(model, degree, "zero3-offload")]
+            dos = reports[(model, degree, "deep-optimizer-states")]
             speedup = dos.speedup_over(zero3)
             row[f"speedup_dp{degree}"] = round(speedup, 2)
             row[f"paper_dp{degree}"] = PAPER_FIG17_SPEEDUP[model][degree]

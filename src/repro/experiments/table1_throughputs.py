@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult
 from repro.hardware.presets import get_machine_preset
 from repro.hardware.throughput import TransferKind, transfer_table
+from repro.sweep import SweepRunner, SweepSpec
 
 PAPER_TABLE1_GBPS = {
     TransferKind.G32_G16: 1200.0,
@@ -15,14 +16,23 @@ PAPER_TABLE1_GBPS = {
 }
 
 
+def measure_transfer(*, machine: str, transfer: str) -> float:
+    """Sweep worker: throughput (GB/s) of one transfer kind on one machine preset."""
+    spec = get_machine_preset(machine)
+    return transfer_table(spec)[TransferKind(transfer)]
+
+
 def run(machine: str = "jlse-4xh100") -> ExperimentResult:
     """Reproduce Table 1 for the given machine preset."""
-    spec = get_machine_preset(machine)
-    measured = transfer_table(spec)
+    spec = SweepSpec.build(
+        {"transfer": tuple(kind.value for kind in TransferKind)},
+        base={"machine": machine},
+    )
+    measured = SweepRunner(measure_transfer).run(spec).keyed("transfer")
     rows = []
     for kind in TransferKind:
         paper = PAPER_TABLE1_GBPS.get(kind)
-        value = measured[kind]
+        value = measured[kind.value]
         rows.append(
             {
                 "transfer": kind.value,

@@ -1,4 +1,4 @@
-"""List-scheduling discrete-event engine with FIFO resources.
+"""Event-heap discrete-event engine with FIFO resources and indexed schedules.
 
 The engine intentionally mirrors CUDA execution semantics:
 
@@ -9,10 +9,18 @@ The engine intentionally mirrors CUDA execution semantics:
 * operations on different resources run concurrently — this is what produces the
   overlap between CPU updates, GPU updates and full-duplex PCIe transfers that Deep
   Optimizer States exploits.
+
+Scheduling is driven by a ready-set heap: a resource enters the heap the moment its
+head-of-queue operation has every dependency satisfied, keyed by the earliest start
+time it could achieve (with the resource name as tie-break).  This is O(N log N) in
+the number of operations while producing *exactly* the same schedule as the original
+per-pop scan over all resource queues — the equivalence is enforced by the golden
+property test in ``tests/test_engine_equivalence.py``.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -42,12 +50,47 @@ class ScheduledOp:
         return self.end - self.start
 
 
+class _ScheduleIndex:
+    """Precomputed lookup structures for :class:`Schedule` queries.
+
+    Built once, lazily, on the first indexed query.  The per-resource, per-kind and
+    per-phase lists preserve the schedule's global op order, so indexed filters return
+    results in the same order as a full scan would.
+    """
+
+    __slots__ = ("by_id", "by_resource", "by_kind", "by_phase")
+
+    def __init__(self, ops: list[ScheduledOp]) -> None:
+        self.by_id: dict[int, ScheduledOp] = {}
+        self.by_resource: dict[str, list[ScheduledOp]] = {}
+        self.by_kind: dict[OpKind, list[ScheduledOp]] = {}
+        self.by_phase: dict[str, list[ScheduledOp]] = {}
+        for item in ops:
+            self.by_id[item.op.op_id] = item
+            self.by_resource.setdefault(item.op.resource, []).append(item)
+            self.by_kind.setdefault(item.op.kind, []).append(item)
+            self.by_phase.setdefault(item.op.phase, []).append(item)
+
+
 @dataclass
 class Schedule:
-    """The result of running a :class:`SimEngine`."""
+    """The result of running a :class:`SimEngine`.
+
+    A schedule is immutable once produced: the query methods build lookup indices on
+    first use and assume ``ops`` is never mutated afterwards.
+    """
 
     ops: list[ScheduledOp] = field(default_factory=list)
     resources: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._index_cache: _ScheduleIndex | None = None
+
+    @property
+    def _index(self) -> _ScheduleIndex:
+        if self._index_cache is None:
+            self._index_cache = _ScheduleIndex(self.ops)
+        return self._index_cache
 
     # ------------------------------------------------------------------ queries
 
@@ -57,11 +100,11 @@ class Schedule:
         return max((item.end for item in self.ops), default=0.0)
 
     def by_id(self, op_id: int) -> ScheduledOp:
-        """Look up a scheduled operation by its op id."""
-        for item in self.ops:
-            if item.op.op_id == op_id:
-                return item
-        raise KeyError(f"no scheduled op with id {op_id}")
+        """Look up a scheduled operation by its op id (O(1) after the first call)."""
+        try:
+            return self._index.by_id[op_id]
+        except KeyError:
+            raise KeyError(f"no scheduled op with id {op_id}") from None
 
     def filter(
         self,
@@ -71,9 +114,25 @@ class Schedule:
         phase: str | None = None,
         subgroup: int | None = None,
     ) -> list[ScheduledOp]:
-        """Return scheduled ops matching all provided criteria."""
+        """Return scheduled ops matching all provided criteria.
+
+        The narrowest available index (resource, kind or phase) seeds the candidate
+        list; the remaining criteria are applied as predicates.
+        """
+        index = self._index
+        if resource is not None:
+            candidates = index.by_resource.get(resource, [])
+            resource = None
+        elif kind is not None:
+            candidates = index.by_kind.get(kind, [])
+            kind = None
+        elif phase is not None:
+            candidates = index.by_phase.get(phase, [])
+            phase = None
+        else:
+            candidates = self.ops
         result = []
-        for item in self.ops:
+        for item in candidates:
             if resource is not None and item.op.resource != resource:
                 continue
             if kind is not None and item.op.kind != kind:
@@ -88,7 +147,7 @@ class Schedule:
     def busy_time(self, resource: str, window: tuple[float, float] | None = None) -> float:
         """Total service time of ``resource`` (optionally clipped to ``window``)."""
         total = 0.0
-        for item in self.filter(resource=resource):
+        for item in self._index.by_resource.get(resource, []):
             start, end = item.start, item.end
             if window is not None:
                 start = max(start, window[0])
@@ -108,7 +167,7 @@ class Schedule:
 
     def phase_window(self, phase: str) -> tuple[float, float]:
         """(first start, last end) of the operations tagged with ``phase``."""
-        items = self.filter(phase=phase)
+        items = self._index.by_phase.get(phase, [])
         if not items:
             return (0.0, 0.0)
         return (min(item.start for item in items), max(item.end for item in items))
@@ -122,13 +181,13 @@ class Schedule:
         """Latest completion time among ``op_ids`` (0.0 for an empty list)."""
         if not op_ids:
             return 0.0
-        lookup = {item.op.op_id: item.end for item in self.ops}
-        return max(lookup[op_id] for op_id in op_ids)
+        by_id = self._index.by_id
+        return max(by_id[op_id].end for op_id in op_ids)
 
     def transferred_bytes(self, kind: OpKind, window: tuple[float, float] | None = None) -> float:
         """Bytes moved by transfers of ``kind`` (pro-rated if clipped to a window)."""
         total = 0.0
-        for item in self.filter(kind=kind):
+        for item in self._index.by_kind.get(kind, []):
             if item.op.payload_bytes == 0 or item.duration == 0:
                 continue
             if window is None:
@@ -167,7 +226,13 @@ class Schedule:
 
 
 class SimEngine:
-    """Collects operations and computes their schedule."""
+    """Collects operations and computes their schedule.
+
+    The engine is **single-shot**: :meth:`run` consumes every submitted operation and
+    resets the engine to an empty state, so a subsequent :meth:`run` without new
+    submissions returns an empty schedule.  Re-submit (or build a fresh engine) to
+    simulate again.
+    """
 
     def __init__(self, name: str = "sim") -> None:
         self.name = name
@@ -224,49 +289,73 @@ class SimEngine:
     def run(self) -> Schedule:
         """Compute the schedule of every submitted operation.
 
+        A resource is *ready* when its head-of-queue operation has all dependencies
+        finished; ready resources live in a min-heap keyed by ``(earliest start,
+        resource name)``.  Each pop schedules exactly one operation, then re-arms the
+        popped resource and any resources whose head was blocked on the finished op.
+        A ready entry never goes stale: its start time depends only on the resource's
+        own free time (the resource cannot run anything before its head) and on
+        dependency end times that are already final.
+
         Raises :class:`SimulationError` when the dependency graph and the per-resource
         FIFO order deadlock (e.g. two resources whose head operations wait on each
         other's queued-but-not-head operations).
+
+        The engine is single-shot: on return every queue is cleared, so calling
+        :meth:`run` again without new submissions yields an empty schedule.
         """
         queues = {name: deque(queue) for name, queue in self._queues.items()}
         finished: dict[int, float] = {}
         resource_free = {name: 0.0 for name in self._resources}
         scheduled: list[ScheduledOp] = []
 
+        # dep op_id -> resources whose head waits on it; resource -> #unfinished deps.
+        waiting: dict[int, list[str]] = {}
+        blocked: dict[str, int] = {}
+        ready: list[tuple[float, str]] = []
+
+        def arm(name: str) -> None:
+            """Queue the resource's head on the ready heap, or register its blockers."""
+            queue = queues[name]
+            if not queue:
+                return
+            head = queue[0]
+            unfinished = {dep for dep in head.deps if dep not in finished}
+            if unfinished:
+                blocked[name] = len(unfinished)
+                for dep in unfinished:
+                    waiting.setdefault(dep, []).append(name)
+                return
+            deps_end = max((finished[dep] for dep in head.deps), default=0.0)
+            release = self._release_times.get(head.op_id, 0.0)
+            start = max(resource_free[name], deps_end, release)
+            heapq.heappush(ready, (start, name))
+
+        for name in queues:
+            arm(name)
+
         remaining = sum(len(queue) for queue in queues.values())
         while remaining:
-            progressed = False
-            # Among all ready head-of-queue ops pick the one that can start earliest;
-            # this yields a deterministic, work-conserving schedule.
-            best: tuple[float, str, SimOp] | None = None
-            for name, queue in queues.items():
-                if not queue:
-                    continue
-                head = queue[0]
-                if any(dep not in finished for dep in head.deps):
-                    continue
-                deps_end = max((finished[dep] for dep in head.deps), default=0.0)
-                release = self._release_times.get(head.op_id, 0.0)
-                start = max(resource_free[name], deps_end, release)
-                if best is None or start < best[0] or (start == best[0] and name < best[1]):
-                    best = (start, name, head)
-            if best is None:
-                blocked = [queue[0].name for queue in queues.values() if queue]
+            if not ready:
+                blocked_heads = [queue[0].name for queue in queues.values() if queue]
                 raise SimulationError(
-                    f"simulation deadlock: blocked head operations {blocked}"
+                    f"simulation deadlock: blocked head operations {blocked_heads}"
                 )
-            start, name, op = best
-            queues[name].popleft()
+            start, name = heapq.heappop(ready)
+            op = queues[name].popleft()
             end = start + op.duration
             finished[op.op_id] = end
             resource_free[name] = end
             scheduled.append(ScheduledOp(op=op, start=start, end=end))
-            progressed = True
             remaining -= 1
-            if not progressed:  # pragma: no cover - defensive
-                raise SimulationError("no progress in simulation loop")
+            arm(name)
+            for blocked_name in waiting.pop(op.op_id, ()):
+                blocked[blocked_name] -= 1
+                if blocked[blocked_name] == 0:
+                    del blocked[blocked_name]
+                    arm(blocked_name)
 
-        # The engine is single-shot: clear submissions so it can be reused explicitly.
+        # Single-shot reset: clear submissions so explicit reuse starts empty.
         self._queues = {name: deque() for name in self._resources}
         self._submission_order = []
         self._release_times = {}

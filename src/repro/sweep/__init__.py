@@ -1,0 +1,39 @@
+"""Scenario-sweep subsystem: declarative grids, parallel execution, cached results.
+
+The experiment layer re-runs the same discrete-event simulation over large
+(model × strategy × machine × knob) grids.  This package turns those grids into
+declarations:
+
+* :class:`~repro.sweep.spec.SweepSpec` / :class:`~repro.sweep.spec.Scenario` — the
+  declarative grid model (axes over a base configuration, JSON-scalar parameters,
+  deterministic config hashes);
+* :class:`~repro.sweep.runner.SweepRunner` — policy-carrying execution: serial or
+  process-parallel via :mod:`concurrent.futures`, with a deterministic on-disk
+  result cache keyed by the scenario hash;
+* :class:`~repro.sweep.result.SweepResult` — ordered, structured results with JSON
+  export.
+"""
+
+from repro.sweep.result import SweepRecord, SweepResult
+from repro.sweep.runner import (
+    SweepRunner,
+    configure_defaults,
+    default_cache_dir,
+    default_jobs,
+    reset_defaults,
+    run_sweep,
+)
+from repro.sweep.spec import Scenario, SweepSpec
+
+__all__ = [
+    "Scenario",
+    "SweepSpec",
+    "SweepRunner",
+    "SweepRecord",
+    "SweepResult",
+    "run_sweep",
+    "configure_defaults",
+    "reset_defaults",
+    "default_jobs",
+    "default_cache_dir",
+]

@@ -1,0 +1,101 @@
+"""Structured sweep results with JSON export."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.common.errors import ConfigurationError
+from repro.common.serialization import to_dict
+from repro.sweep.spec import Scenario
+
+
+@dataclass
+class SweepRecord:
+    """One scenario together with its computed value."""
+
+    scenario: Scenario
+    value: Any
+    from_cache: bool = False
+
+
+@dataclass
+class SweepResult:
+    """Ordered results of one sweep run (scenario order, not completion order)."""
+
+    records: list[SweepRecord] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def values(self) -> list[Any]:
+        """Values in scenario order."""
+        return [record.value for record in self.records]
+
+    def keyed(self, *axes: str) -> dict:
+        """Map axis-value keys to values.
+
+        With a single axis the key is the bare value; with several it is the tuple of
+        values in the given order.  Duplicate keys raise so silent overwrites cannot
+        hide a mis-declared grid.
+        """
+        if not axes:
+            raise ConfigurationError("keyed() needs at least one axis name")
+        result: dict = {}
+        for record in self.records:
+            key = record.scenario.key(axes)
+            if len(axes) == 1:
+                key = key[0]
+            if key in result:
+                raise ConfigurationError(f"duplicate sweep key {key!r} for axes {axes}")
+            result[key] = record.value
+        return result
+
+    def rows(self, value_columns: Callable[[Any], dict] | None = None) -> list[dict]:
+        """One flat dict per record: scenario params plus the value's columns.
+
+        ``value_columns`` converts a value into table columns; by default a dict value
+        is inlined and anything else lands in a ``value`` column.
+        """
+        table = []
+        for record in self.records:
+            row = record.scenario.as_dict()
+            value = record.value
+            if value_columns is not None:
+                row.update(value_columns(value))
+            elif isinstance(value, dict):
+                row.update(value)
+            else:
+                row["value"] = value
+            row["cached"] = record.from_cache
+            table.append(row)
+        return table
+
+    def to_dict(self) -> dict:
+        """JSON-able representation (dataclass values are serialised recursively)."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "jobs": self.jobs,
+            "scenarios": [
+                {
+                    "params": record.scenario.as_dict(),
+                    "config_hash": record.scenario.config_hash(),
+                    "from_cache": record.from_cache,
+                    "value": to_dict(record.value),
+                }
+                for record in self.records
+            ],
+        }
+
+    def save_json(self, path: str | Path) -> Path:
+        """Write the result to ``path`` as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path

@@ -1,0 +1,226 @@
+"""Process-parallel scenario execution with a deterministic on-disk result cache.
+
+The runner is the policy layer of the sweep subsystem: it takes a declarative
+:class:`~repro.sweep.spec.SweepSpec` (or an explicit scenario list), a picklable
+worker callable, and decides how to execute — serially in-process, or fanned out over
+a :class:`concurrent.futures.ProcessPoolExecutor`.  Results come back in scenario
+order regardless of completion order, so a parallel sweep is indistinguishable from
+the nested loops it replaces.
+
+Caching is keyed by ``(worker identity, cache version, scenario config hash)``; a
+cache entry is a pickle of the worker's return value, written atomically so a killed
+sweep never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.sweep.result import SweepRecord, SweepResult
+from repro.sweep.spec import Scenario, SweepSpec
+
+#: Bump when the cache entry format (not the simulated physics) changes.
+CACHE_VERSION = 1
+
+_MISS = object()
+
+# Session-wide defaults, configurable by the CLI (`--jobs` / `--no-cache`) so that
+# experiment modules pick them up without threading flags through every signature.
+_defaults: dict[str, Any] = {"jobs": None, "use_cache": None, "cache_dir": None}
+
+
+def configure_defaults(
+    *,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    cache_dir: str | Path | None = None,
+) -> None:
+    """Set session-wide runner defaults (None leaves a setting unchanged)."""
+    if jobs is not None:
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        _defaults["jobs"] = jobs
+    if use_cache is not None:
+        _defaults["use_cache"] = use_cache
+    if cache_dir is not None:
+        _defaults["cache_dir"] = Path(cache_dir)
+
+
+def reset_defaults() -> None:
+    """Restore the built-in defaults (used by tests)."""
+    _defaults.update({"jobs": None, "use_cache": None, "cache_dir": None})
+
+
+def default_jobs() -> int:
+    """Effective parallelism: configured default, then $REPRO_SWEEP_JOBS, then 1."""
+    if _defaults["jobs"] is not None:
+        return _defaults["jobs"]
+    env = os.environ.get("REPRO_SWEEP_JOBS", "")
+    if env.isdigit() and int(env) >= 1:
+        return int(env)
+    return 1
+
+
+def default_cache_dir() -> Path:
+    """Effective cache directory: configured, then $REPRO_SWEEP_CACHE_DIR, then ~/.cache."""
+    if _defaults["cache_dir"] is not None:
+        return _defaults["cache_dir"]
+    env = os.environ.get("REPRO_SWEEP_CACHE_DIR", "")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+def _call_worker(worker: Callable[..., Any], params: dict[str, Any]) -> Any:
+    """Module-level trampoline so the pool only has to pickle (worker, params)."""
+    return worker(**params)
+
+
+class SweepRunner:
+    """Executes scenarios through a worker callable, parallel and cached.
+
+    ``worker`` must be a module-level callable accepting every scenario parameter as
+    a keyword argument (a requirement of process-based parallelism: the pool pickles
+    the callable by reference).  ``jobs`` > 1 enables process parallelism;
+    ``use_cache`` enables the on-disk result cache under ``cache_dir``.
+    """
+
+    def __init__(
+        self,
+        worker: Callable[..., Any],
+        *,
+        jobs: int | None = None,
+        use_cache: bool | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        if not callable(worker):
+            raise ConfigurationError("worker must be callable")
+        self.worker = worker
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        if use_cache is None:
+            use_cache = _defaults["use_cache"] if _defaults["use_cache"] is not None else False
+        self.use_cache = use_cache
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        if self.jobs > 1 and "<locals>" in getattr(worker, "__qualname__", ""):
+            raise ConfigurationError(
+                "parallel sweeps need a module-level worker (locally defined "
+                "functions cannot be pickled into worker processes)"
+            )
+        # Scenario hashes only cover explicitly-passed parameters, so fold the
+        # worker's signature (names, defaults, annotations) into the cache key:
+        # changing a default invalidates entries instead of silently aliasing them.
+        try:
+            signature = str(inspect.signature(worker))
+        except (TypeError, ValueError):
+            signature = ""
+        self._worker_salt = hashlib.sha256(signature.encode()).hexdigest()[:8]
+
+    # ------------------------------------------------------------------ cache
+
+    def _cache_path(self, scenario: Scenario) -> Path:
+        worker_id = f"{self.worker.__module__}.{self.worker.__qualname__}"
+        safe = worker_id.replace("<", "").replace(">", "").replace("/", "_")
+        return self.cache_dir / (
+            f"{safe}-v{CACHE_VERSION}-{self._worker_salt}-{scenario.config_hash()}.pkl"
+        )
+
+    def _cache_load(self, scenario: Scenario) -> Any:
+        path = self._cache_path(scenario)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            # A stale entry referencing moved/renamed classes is a miss, not a crash.
+            return _MISS
+
+    def _cache_store(self, scenario: Scenario, value: Any) -> None:
+        path = self._cache_path(scenario)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=path.parent, prefix=path.name, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(value, handle)
+            os.replace(handle.name, path)
+        except OSError:
+            # Caching is best-effort: a read-only or full disk must not fail the sweep.
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ execution
+
+    def run(self, spec: SweepSpec | Iterable[Scenario]) -> SweepResult:
+        """Execute every scenario and return results in scenario order."""
+        if isinstance(spec, SweepSpec):
+            scenarios: Sequence[Scenario] = list(spec.scenarios())
+        else:
+            scenarios = list(spec)
+
+        values: dict[int, Any] = {}
+        pending: list[int] = []
+        for index, scenario in enumerate(scenarios):
+            if self.use_cache:
+                cached = self._cache_load(scenario)
+                if cached is not _MISS:
+                    values[index] = cached
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        index: pool.submit(
+                            _call_worker, self.worker, scenarios[index].as_dict()
+                        )
+                        for index in pending
+                    }
+                    for index, future in futures.items():
+                        values[index] = future.result()
+            else:
+                for index in pending:
+                    values[index] = self.worker(**scenarios[index].as_dict())
+            if self.use_cache:
+                for index in pending:
+                    self._cache_store(scenarios[index], values[index])
+
+        fresh = set(pending)
+        records = [
+            SweepRecord(scenario=scenario, value=values[index], from_cache=index not in fresh)
+            for index, scenario in enumerate(scenarios)
+        ]
+        return SweepResult(
+            records=records,
+            cache_hits=len(scenarios) - len(pending),
+            cache_misses=len(pending),
+            jobs=self.jobs,
+        )
+
+
+def run_sweep(
+    worker: Callable[..., Any],
+    axes: dict[str, Sequence[Any]],
+    *,
+    base: dict[str, Any] | None = None,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    cache_dir: str | Path | None = None,
+) -> SweepResult:
+    """One-call convenience: build a spec and run it."""
+    spec = SweepSpec.build(axes, base)
+    runner = SweepRunner(worker, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    return runner.run(spec)

@@ -1,0 +1,143 @@
+"""Declarative scenario grids: the configuration model of the sweep subsystem.
+
+A :class:`SweepSpec` describes a cartesian grid of scenarios — a set of *axes*
+(parameter name → candidate values) layered over a *base* of fixed parameters.  Every
+grid point becomes a :class:`Scenario`, a frozen mapping of JSON-scalar parameters
+with a deterministic content hash.  The hash is what makes the on-disk result cache
+of :class:`~repro.sweep.runner.SweepRunner` safe: two scenarios with the same
+parameters always map to the same cache entry, regardless of axis declaration order.
+
+Following the declarative-middleware idea (configuration describes *what* to run,
+the runner decides *how*), a spec carries no execution policy: parallelism, caching
+and the worker callable all live on the runner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.common.errors import ConfigurationError
+
+#: Parameter values must stay JSON scalars so scenario hashes are canonical.
+SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _check_scalar(key: str, value: Any) -> None:
+    if not isinstance(value, SCALAR_TYPES):
+        raise ConfigurationError(
+            f"sweep parameter {key!r} must be a JSON scalar "
+            f"(str/int/float/bool/None), got {type(value).__name__}"
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One grid point: an immutable parameter mapping with a stable hash."""
+
+    params: tuple[tuple[str, Any], ...]
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "Scenario":
+        """Build a scenario, validating every value is a JSON scalar."""
+        for key, value in params.items():
+            _check_scalar(key, value)
+        return cls(params=tuple(params.items()))
+
+    def as_dict(self) -> dict[str, Any]:
+        """Parameters as a plain dict (the worker's ``**kwargs``)."""
+        return dict(self.params)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Value of one parameter."""
+        return self.as_dict().get(key, default)
+
+    def key(self, axes: Sequence[str]) -> tuple:
+        """Tuple of the values of ``axes``, used to index sweep results."""
+        lookup = self.as_dict()
+        return tuple(lookup[axis] for axis in axes)
+
+    def config_hash(self) -> str:
+        """Deterministic content hash, independent of parameter order."""
+        canonical = json.dumps(
+            sorted(self.as_dict().items(), key=lambda pair: pair[0]),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+    def label(self) -> str:
+        """Compact human-readable form, e.g. ``model=20B strategy=twinflow``."""
+        return " ".join(f"{key}={value}" for key, value in self.params)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A cartesian grid: ordered axes of candidate values over a base configuration."""
+
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]
+    base: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        axes: Mapping[str, Sequence[Any]],
+        base: Mapping[str, Any] | None = None,
+    ) -> "SweepSpec":
+        """Validate and freeze an axes/base declaration.
+
+        Axis order is preserved: the first axis varies slowest, exactly like the
+        nested ``for`` loops the spec replaces.
+        """
+        if not axes:
+            raise ConfigurationError("a sweep needs at least one axis")
+        frozen_axes = []
+        for name, values in axes.items():
+            values = tuple(values)
+            if not values:
+                raise ConfigurationError(f"sweep axis {name!r} has no values")
+            for value in values:
+                _check_scalar(name, value)
+            frozen_axes.append((name, values))
+        base = dict(base or {})
+        overlap = set(base) & {name for name, _ in frozen_axes}
+        if overlap:
+            raise ConfigurationError(
+                f"parameters {sorted(overlap)} appear in both axes and base"
+            )
+        for key, value in base.items():
+            _check_scalar(key, value)
+        return cls(axes=tuple(frozen_axes), base=tuple(base.items()))
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        """Axis names in declaration order."""
+        return tuple(name for name, _ in self.axes)
+
+    @property
+    def num_scenarios(self) -> int:
+        """Size of the grid."""
+        total = 1
+        for _, values in self.axes:
+            total *= len(values)
+        return total
+
+    def scenarios(self) -> Iterator[Scenario]:
+        """Yield every grid point in deterministic (row-major) order."""
+        names = self.axis_names
+        value_lists = [values for _, values in self.axes]
+        for combo in itertools.product(*value_lists):
+            params = dict(self.base)
+            params.update(zip(names, combo))
+            yield Scenario.from_params(params)
+
+    def describe(self) -> dict:
+        """Summary used by logging and the CLI."""
+        return {
+            "axes": {name: list(values) for name, values in self.axes},
+            "base": dict(self.base),
+            "num_scenarios": self.num_scenarios,
+        }

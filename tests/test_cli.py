@@ -59,3 +59,70 @@ def test_parser_requires_a_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+def test_sweep_command_runs_grid_and_hits_cache(tmp_path, capsys):
+    args = [
+        "sweep",
+        "--models", "7B",
+        "--strategies", "zero3-offload,deep-optimizer-states",
+        "--iterations", "2",
+        "--cache-dir", str(tmp_path),
+        "--json", str(tmp_path / "result.json"),
+    ]
+    assert main(args) == 0
+    output = capsys.readouterr().out
+    assert "2 scenarios (0 cached, 2 computed)" in output
+    assert "iteration_s" in output
+    assert (tmp_path / "result.json").exists()
+
+    # A second invocation with the same grid is served entirely from the cache.
+    assert main(args[:-2]) == 0
+    output = capsys.readouterr().out
+    assert "2 scenarios (2 cached, 0 computed)" in output
+
+
+def test_sweep_command_with_extra_axis_and_jobs(tmp_path, capsys):
+    assert main([
+        "sweep",
+        "--models", "7B",
+        "--strategies", "deep-optimizer-states",
+        "--axis", "microbatch_size=1,2",
+        "--iterations", "2",
+        "--jobs", "2",
+        "--no-cache",
+        "--cache-dir", str(tmp_path),
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "microbatch_size" in output
+    assert "2 scenarios (0 cached, 2 computed) with jobs=2" in output
+
+
+def test_experiment_command_forwards_kwargs(capsys):
+    assert main(["experiment", "fig2", "--models", "7B", "--set", "iterations=2"]) == 0
+    output = capsys.readouterr().out
+    assert "[fig2]" in output
+    # Only the requested model ran.
+    assert "20B" not in output
+
+
+def test_experiment_command_rejects_malformed_set():
+    from repro.common.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        main(["experiment", "fig2", "--set", "iterations"])
+
+
+def test_compare_command_with_no_cache(tmp_path, capsys):
+    assert main([
+        "compare",
+        "--model", "7B",
+        "--iterations", "2",
+        "--strategies", "zero3-offload", "deep-optimizer-states",
+        "--no-cache",
+        "--cache-dir", str(tmp_path),
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "speedup over ZeRO-3 offload" in output
+    # --no-cache leaves the cache directory untouched.
+    assert list(tmp_path.glob("*.pkl")) == []

@@ -172,3 +172,90 @@ def test_random_dags_schedule_consistently(jobs, data):
     busiest = max(sum(op.duration for op in submitted if op.resource == r) for r in resources)
     assert schedule.makespan >= busiest - 1e-9
     assert schedule.makespan <= total + 1e-9
+
+
+# ---------------------------------------------------------------------- indexed queries
+
+
+def _window_schedule():
+    """Two link transfers and one gpu op with known intervals for window tests."""
+    engine = make_engine()
+    a = SimOp("a", OpKind.H2D, "link", 2.0, phase="update", payload_bytes=100)
+    b = SimOp("b", OpKind.D2H, "link", 1.0, phase="update", payload_bytes=50)
+    c = SimOp("c", OpKind.GPU_COMPUTE, "gpu", 4.0, phase="forward")
+    engine.submit_many([a, b, c])
+    return engine.run(), a, b, c
+
+
+def test_by_id_unknown_op_raises_keyerror():
+    schedule, a, _, _ = _window_schedule()
+    assert schedule.by_id(a.op_id).op is a
+    with pytest.raises(KeyError, match="no scheduled op"):
+        schedule.by_id(10_000_000)
+
+
+def test_filter_combined_criteria_and_missing_keys():
+    schedule, a, b, c = _window_schedule()
+    # resource + kind narrows to a single op.
+    assert [i.op.op_id for i in schedule.filter(resource="link", kind=OpKind.H2D)] == [a.op_id]
+    # kind + phase with no match.
+    assert schedule.filter(kind=OpKind.H2D, phase="forward") == []
+    # unknown resource/kind/phase return empty, not KeyError.
+    assert schedule.filter(resource="nvme") == []
+    assert schedule.filter(kind=OpKind.BARRIER) == []
+    assert schedule.filter(phase="nonexistent") == []
+    # subgroup predicate composes with an indexed criterion.
+    assert schedule.filter(resource="link", subgroup=7) == []
+    # repeated queries hit the same index and stay consistent.
+    assert schedule.filter(resource="link") == schedule.filter(resource="link")
+
+
+def test_filter_preserves_schedule_order():
+    schedule, a, b, _ = _window_schedule()
+    link_ops = schedule.filter(resource="link")
+    assert [item.op.op_id for item in link_ops] == [a.op_id, b.op_id]
+    assert link_ops == sorted(link_ops, key=lambda item: (item.start, item.op.op_id))
+
+
+def test_busy_time_window_edges():
+    schedule, _, _, _ = _window_schedule()
+    # ops "a" [0,2] and "b" [2,3] on link.
+    assert schedule.busy_time("link", (0.0, 3.0)) == pytest.approx(3.0)
+    # window touching only a boundary contributes nothing.
+    assert schedule.busy_time("link", (3.0, 3.0)) == 0.0
+    # inverted window contributes nothing.
+    assert schedule.busy_time("link", (2.5, 1.0)) == 0.0
+    # window clipping the middle of both ops.
+    assert schedule.busy_time("link", (1.5, 2.5)) == pytest.approx(1.0)
+    # window entirely outside the schedule.
+    assert schedule.busy_time("link", (10.0, 20.0)) == 0.0
+    assert schedule.busy_time("nvme") == 0.0
+
+
+def test_transferred_bytes_window_edges():
+    schedule, _, _, _ = _window_schedule()
+    # full payload without a window.
+    assert schedule.transferred_bytes(OpKind.D2H) == pytest.approx(50)
+    # window covering exactly op "b" [2,3].
+    assert schedule.transferred_bytes(OpKind.D2H, (2.0, 3.0)) == pytest.approx(50)
+    # half window pro-rates.
+    assert schedule.transferred_bytes(OpKind.D2H, (2.0, 2.5)) == pytest.approx(25)
+    # boundary-only and disjoint windows transfer nothing.
+    assert schedule.transferred_bytes(OpKind.D2H, (3.0, 3.0)) == 0.0
+    assert schedule.transferred_bytes(OpKind.D2H, (5.0, 9.0)) == 0.0
+    # zero-duration transfers with payload are skipped, not divided by zero.
+    engine = make_engine()
+    engine.submit(SimOp("z", OpKind.H2D, "link", 0.0, payload_bytes=10))
+    zero = engine.run()
+    assert zero.transferred_bytes(OpKind.H2D) == 0.0
+
+
+def test_phase_window_and_utilization_edges():
+    schedule, _, _, _ = _window_schedule()
+    assert schedule.phase_window("update") == (0.0, 3.0)
+    assert schedule.phase_window("missing") == (0.0, 0.0)
+    assert schedule.utilization("gpu") == pytest.approx(1.0)
+    assert schedule.utilization("gpu", (0.0, 0.0)) == 0.0
+    empty = SimEngine()
+    empty.add_resource("cpu")
+    assert empty.run().utilization("cpu") == 0.0

@@ -1,0 +1,181 @@
+"""Tests for the scenario-sweep subsystem: specs, runner, cache, results."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.base import model_sweep, run_training, training_sweep
+from repro.sweep import Scenario, SweepRunner, SweepSpec, run_sweep
+from repro.training.metrics import TrainingReport
+
+
+def _product(*, x, y=1, tag=""):
+    """Module-level worker (picklable) used by the runner tests."""
+    return x * y
+
+
+def _record_call(*, log_path, x):
+    """Worker with an observable side effect, to prove cache hits skip execution."""
+    with open(log_path, "a") as handle:
+        handle.write(f"{x}\n")
+    return x * 2
+
+
+# ---------------------------------------------------------------------- spec
+
+
+def test_spec_row_major_scenario_order():
+    spec = SweepSpec.build({"a": (1, 2), "b": ("x", "y")}, base={"c": 0})
+    params = [scenario.as_dict() for scenario in spec.scenarios()]
+    assert params == [
+        {"c": 0, "a": 1, "b": "x"},
+        {"c": 0, "a": 1, "b": "y"},
+        {"c": 0, "a": 2, "b": "x"},
+        {"c": 0, "a": 2, "b": "y"},
+    ]
+    assert spec.num_scenarios == 4
+    assert spec.axis_names == ("a", "b")
+
+
+def test_spec_rejects_bad_declarations():
+    with pytest.raises(ConfigurationError):
+        SweepSpec.build({})
+    with pytest.raises(ConfigurationError):
+        SweepSpec.build({"a": ()})
+    with pytest.raises(ConfigurationError):
+        SweepSpec.build({"a": (1,)}, base={"a": 2})
+    with pytest.raises(ConfigurationError):
+        SweepSpec.build({"a": ([1, 2],)})  # non-scalar axis value
+    with pytest.raises(ConfigurationError):
+        SweepSpec.build({"a": (1,)}, base={"b": object()})
+
+
+def test_scenario_hash_is_order_independent_and_value_sensitive():
+    first = Scenario.from_params({"a": 1, "b": "x"})
+    second = Scenario.from_params({"b": "x", "a": 1})
+    third = Scenario.from_params({"a": 2, "b": "x"})
+    assert first.config_hash() == second.config_hash()
+    assert first.config_hash() != third.config_hash()
+    assert first.key(["b", "a"]) == ("x", 1)
+    assert "a=1" in first.label()
+
+
+# ---------------------------------------------------------------------- runner
+
+
+def test_runner_serial_preserves_scenario_order():
+    result = run_sweep(_product, {"x": (3, 1, 2)}, base={"y": 10})
+    assert result.values() == [30, 10, 20]
+    assert result.keyed("x") == {3: 30, 1: 10, 2: 20}
+    assert result.cache_misses == 3 and result.cache_hits == 0
+
+
+def test_runner_parallel_jobs_match_serial(tmp_path):
+    spec = SweepSpec.build({"x": tuple(range(6))}, base={"y": 7})
+    serial = SweepRunner(_product, jobs=1).run(spec)
+    parallel = SweepRunner(_product, jobs=2).run(spec)
+    assert parallel.values() == serial.values()
+    assert parallel.jobs == 2
+
+
+def test_runner_rejects_local_worker_for_parallel_runs():
+    def local_worker(*, x):
+        return x
+
+    with pytest.raises(ConfigurationError):
+        SweepRunner(local_worker, jobs=2)
+    # Serial execution of a local worker is fine.
+    result = SweepRunner(local_worker, jobs=1).run(SweepSpec.build({"x": (1,)}))
+    assert result.values() == [1]
+
+
+def test_cache_hit_skips_execution(tmp_path):
+    log = tmp_path / "calls.log"
+    axes = {"x": (1, 2, 3)}
+    base = {"log_path": str(log)}
+    first = run_sweep(_record_call, axes, base=base, use_cache=True, cache_dir=tmp_path)
+    assert first.values() == [2, 4, 6]
+    assert len(log.read_text().splitlines()) == 3
+
+    second = run_sweep(_record_call, axes, base=base, use_cache=True, cache_dir=tmp_path)
+    assert second.values() == [2, 4, 6]
+    assert second.cache_hits == 3 and second.cache_misses == 0
+    assert all(record.from_cache for record in second.records)
+    # The worker never ran again.
+    assert len(log.read_text().splitlines()) == 3
+
+
+def test_cache_disabled_recomputes(tmp_path):
+    log = tmp_path / "calls.log"
+    axes = {"x": (5,)}
+    base = {"log_path": str(log)}
+    run_sweep(_record_call, axes, base=base, use_cache=False, cache_dir=tmp_path)
+    run_sweep(_record_call, axes, base=base, use_cache=False, cache_dir=tmp_path)
+    assert len(log.read_text().splitlines()) == 2
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    runner = SweepRunner(_product, use_cache=True, cache_dir=tmp_path)
+    spec = SweepSpec.build({"x": (4,)}, base={"y": 2})
+    runner.run(spec)
+    entries = list(tmp_path.glob("*.pkl"))
+    assert len(entries) == 1
+    entries[0].write_bytes(b"not a pickle")
+    result = runner.run(spec)
+    assert result.values() == [8]
+    assert result.cache_misses == 1
+
+
+def test_result_json_export(tmp_path):
+    result = run_sweep(_product, {"x": (1, 2)}, base={"y": 3})
+    path = result.save_json(tmp_path / "out" / "sweep.json")
+    data = json.loads(path.read_text())
+    assert data["cache_misses"] == 2
+    assert [entry["params"]["x"] for entry in data["scenarios"]] == [1, 2]
+    assert [entry["value"] for entry in data["scenarios"]] == [3, 6]
+    assert all(entry["config_hash"] for entry in data["scenarios"])
+
+
+def test_result_keyed_rejects_duplicates():
+    result = run_sweep(_product, {"x": (1, 2)}, base={"y": 3})
+    with pytest.raises(ConfigurationError):
+        result.keyed("y")  # same y value for every scenario
+
+
+# ---------------------------------------------------------------------- training integration
+
+
+def test_training_sweep_matches_direct_run():
+    reports = training_sweep(
+        {"model": ("7B",), "strategy": ("zero3-offload",)},
+        base={"iterations": 2},
+    )
+    report = reports[("7B", "zero3-offload")]
+    assert isinstance(report, TrainingReport)
+    direct = run_training(model="7B", strategy="zero3-offload", iterations=2)
+    assert report.iteration_seconds == pytest.approx(direct.iteration_seconds)
+
+
+def test_training_sweep_parallel_matches_serial():
+    axes = {"strategy": ("zero3-offload", "deep-optimizer-states")}
+    base = {"model": "7B", "iterations": 2}
+    serial = training_sweep(axes, base=base, jobs=1)
+    parallel = training_sweep(axes, base=base, jobs=2)
+    for strategy in axes["strategy"]:
+        assert parallel[strategy].iteration_seconds == pytest.approx(
+            serial[strategy].iteration_seconds
+        )
+
+
+def test_model_sweep_zeroes_static_fraction_for_zero3():
+    reports = model_sweep(
+        ["zero3-offload", "twinflow"],
+        models=("7B",),
+        static_gpu_fraction=0.3,
+        iterations=2,
+    )
+    zero3 = reports[("7B", "zero3-offload")]
+    twinflow = reports[("7B", "twinflow")]
+    assert zero3.job["static_gpu_fraction"] == 0.0
+    assert twinflow.job["static_gpu_fraction"] == pytest.approx(0.3)
