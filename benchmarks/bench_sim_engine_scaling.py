@@ -1,18 +1,30 @@
-"""Engine scheduling throughput (ops/sec) vs subgroup count: seed vs heap engine.
+"""Engine scheduling throughput (ops/sec) vs subgroup count: seed vs heap engine,
+and eager vs array-batched ``simulate_job`` op construction.
 
-The seed engine re-scanned every resource queue per scheduled op and answered every
-``Schedule`` query with a linear scan, which made the schedule-then-analyse pipeline
-used by the training simulation quadratic in the number of operations.  This
-benchmark replays the seed algorithm (ported verbatim below) against the current
-heap-scheduled, index-backed engine on update-phase-shaped DAGs of growing subgroup
-count and reports end-to-end pipeline throughput.
+**Part 1 — scheduling.**  The seed engine re-scanned every resource queue per
+scheduled op and answered every ``Schedule`` query with a linear scan, which made
+the schedule-then-analyse pipeline used by the training simulation quadratic in the
+number of operations.  This benchmark replays the seed algorithm (ported verbatim
+below) against the current heap-scheduled, index-backed engine on
+update-phase-shaped DAGs of growing subgroup count and reports end-to-end pipeline
+throughput.
+
+**Part 2 — op construction.**  With scheduling O(N log N), per-op Python-object
+construction became the next hot path: one ``SimOp`` dataclass per operation plus
+per-subgroup strategy-builder overhead dominates ``simulate_job`` beyond ~10k
+subgroups.  The second section measures end-to-end ``simulate_job`` (resolve ->
+build ops -> run -> materialise the schedule) under the eager ``objects`` backend
+(the pre-opbatch path, still selectable) and the array-batched ``batch`` backend,
+and asserts the acceptance criterion: >= 2x end-to-end throughput at 10k subgroups
+for the default strategy.  The two backends are byte-identical by construction
+(``tests/test_opbatch_equivalence.py``), which this script spot-checks via makespans.
 
 Run directly (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_sim_engine_scaling.py
 
-The script asserts the acceptance criterion of the refactor: >= 5x pipeline
-throughput at 1000+ operations.
+The script asserts both acceptance criteria: >= 5x pipeline throughput at 1000+
+operations (Part 1) and >= 2x ``simulate_job`` throughput at 10k subgroups (Part 2).
 """
 
 from __future__ import annotations
@@ -29,6 +41,8 @@ if str(_SRC) not in sys.path:
 
 from repro.sim.engine import SimEngine, standard_resources  # noqa: E402
 from repro.sim.ops import OpKind, SimOp  # noqa: E402
+from repro.training.config import TrainingJobConfig  # noqa: E402
+from repro.training.simulation import simulate_job  # noqa: E402
 
 SUBGROUP_COUNTS = (50, 125, 250, 500, 1250)
 OPS_PER_SUBGROUP = 4  # d2h, cpu update, h2d, gpu compute
@@ -36,6 +50,15 @@ OPS_PER_SUBGROUP = 4  # d2h, cpu update, h2d, gpu compute
 # Acceptance threshold for the 1000+ op speedup.  Noisy shared runners (CI) can
 # deschedule the millisecond-scale timing windows, so the gate is overridable.
 MIN_SPEEDUP = float(os.environ.get("BENCH_MIN_SPEEDUP", "5.0"))
+
+# Part 2: simulate_job end-to-end speedup gate (batch vs eager op construction) at
+# SIMJOB_GATE_SUBGROUPS subgroups for the default strategy.  Same noise caveat.
+MIN_SIMJOB_SPEEDUP = float(os.environ.get("BENCH_MIN_SIMJOB_SPEEDUP", "2.0"))
+SIMJOB_SUBGROUPS = (1000, 2500, 10000)
+SIMJOB_GATE_SUBGROUPS = 10000
+SIMJOB_STRATEGIES = ("deep-optimizer-states", "zero3-offload", "twinflow")
+# Rank parameters of the 20B preset at data-parallel degree 4.
+RANK_PARAMS_20B = 5_000_000_000
 
 
 # --------------------------------------------------------------------- seed port
@@ -170,6 +193,57 @@ def _time_heap(ops) -> tuple[float, float]:
     return time.perf_counter() - begin, checksum
 
 
+# ----------------------------------------------------------- simulate_job backends
+
+
+def _time_simulate(job, backend: str, repeats: int = 2) -> tuple[float, float, int]:
+    """Best-of-N end-to-end simulate_job time, the makespan, and the op count."""
+    best = float("inf")
+    makespan = 0.0
+    num_ops = 0
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        result = simulate_job(job, iterations=1, op_backend=backend)
+        best = min(best, time.perf_counter() - begin)
+        makespan = result.schedule.makespan
+        num_ops = len(result.schedule.ops)
+    return best, makespan, num_ops
+
+
+def bench_simulate_job_backends() -> None:
+    """Part 2: eager vs array-batched op construction across subgroup counts."""
+    print(f"\n{'strategy':>22}  {'subgroups':>9}  {'ops':>6}  "
+          f"{'eager ops/s':>12}  {'batch ops/s':>12}  {'speedup':>8}")
+    gate_speedup = None
+    for strategy in SIMJOB_STRATEGIES:
+        for subgroups in SIMJOB_SUBGROUPS:
+            job = TrainingJobConfig(
+                model="20B",
+                strategy=strategy,
+                subgroup_size=RANK_PARAMS_20B // subgroups,
+                check_memory=False,
+            ).resolve()
+            eager_s, eager_makespan, num_ops = _time_simulate(job, "objects")
+            batch_s, batch_makespan, _ = _time_simulate(job, "batch")
+            assert batch_makespan == eager_makespan, (
+                f"{strategy}@{subgroups}: backends diverged "
+                f"({batch_makespan} != {eager_makespan})"
+            )
+            speedup = eager_s / batch_s if batch_s > 0 else float("inf")
+            print(f"{strategy:>22}  {subgroups:>9}  {num_ops:>6}  "
+                  f"{num_ops / eager_s:>12.0f}  {num_ops / batch_s:>12.0f}  "
+                  f"{speedup:>7.2f}x")
+            if strategy == SIMJOB_STRATEGIES[0] and subgroups == SIMJOB_GATE_SUBGROUPS:
+                gate_speedup = speedup
+    assert gate_speedup is not None and gate_speedup >= MIN_SIMJOB_SPEEDUP, (
+        f"expected >= {MIN_SIMJOB_SPEEDUP:g}x end-to-end simulate_job speedup at "
+        f"{SIMJOB_GATE_SUBGROUPS} subgroups ({SIMJOB_STRATEGIES[0]}), "
+        f"got {gate_speedup:.2f}x"
+    )
+    print(f"\nOK: >= {MIN_SIMJOB_SPEEDUP:g}x simulate_job speedup at "
+          f"{SIMJOB_GATE_SUBGROUPS} subgroups ({gate_speedup:.2f}x)")
+
+
 def main() -> int:
     resources = ("gpu.compute", "pcie.h2d", "pcie.d2h", "cpu", "nvlink")
     print(f"{'subgroups':>9}  {'ops':>6}  {'seed ops/s':>12}  {'heap ops/s':>12}  {'speedup':>8}")
@@ -191,6 +265,7 @@ def main() -> int:
     )
     print(f"\nOK: >= {MIN_SPEEDUP:g}x speedup sustained at 1000+ ops "
           f"(worst {worst_at_scale:.1f}x)")
+    bench_simulate_job_backends()
     return 0
 
 

@@ -4,10 +4,18 @@ from __future__ import annotations
 
 from repro.common.errors import ConfigurationError
 from repro.core.engine import OffloadStrategy
-from repro.core.gradient_flush import GradientFlushOps, build_baseline_gradient_flush
+from repro.core.gradient_flush import (
+    GradientFlushOps,
+    build_baseline_gradient_flush,
+    make_baseline_flush_rows,
+)
 from repro.core.numeric_executor import SequentialCpuExecutor
 from repro.core.scheduler import UpdatePlan, build_cpu_only_plan
-from repro.core.sim_executor import UpdatePhaseOps, build_blocking_offload_update
+from repro.core.sim_executor import (
+    UpdatePhaseOps,
+    build_blocking_offload_update,
+    build_blocking_offload_update_rows,
+)
 from repro.hardware.contention import HostContentionModel
 from repro.hardware.throughput import ThroughputProfile
 from repro.zero.offload import OffloadConfig, OffloadDevice
@@ -100,3 +108,34 @@ class TwinFlowBaseline(OffloadStrategy):
 
     def numeric_executor(self, num_subgroups: int, profile: ThroughputProfile | None = None):
         return SequentialCpuExecutor()
+
+    # ------------------------------------------------------------------ op batching
+
+    def supports_op_batch(self) -> bool:
+        return True
+
+    def flush_row_builder(self, batch, profile, plan):
+        # Static residents skip the flush; their gradients are ready with the
+        # backward collective (the filtered path of build_gradient_flush above).
+        return make_baseline_flush_rows(batch, profile, skip_residents=plan.static_residents)
+
+    def build_update_phase_rows(
+        self,
+        batch,
+        profile,
+        plan,
+        subgroup_params,
+        *,
+        grad_ready_ops,
+        start_deps,
+        contention,
+        staged_subgroup_bytes: int = 0,
+    ):
+        return build_blocking_offload_update_rows(
+            batch,
+            profile,
+            plan,
+            subgroup_params,
+            grad_ready_ops=grad_ready_ops,
+            start_deps=start_deps,
+        )

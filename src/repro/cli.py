@@ -7,13 +7,20 @@ Usage (after ``pip install -e .``)::
     python -m repro experiment fig7
     python -m repro experiment fig2 --models 7B,20B --set iterations=2
     python -m repro sweep --models 7B,20B --strategies zero3-offload,deep-optimizer-states --jobs 4
+    python -m repro sweep --models 20B --machines jlse-4xh100,4xv100 --strategies deep-optimizer-states
+    python -m repro sweep --executor numeric --models nano --axis seed=0,1,2
+    python -m repro sweep --cache-stats --models 7B --strategies deep-optimizer-states
+    python -m repro sweep --cache-evict stale
     python -m repro stride --machine jlse-4xh100
 
 The CLI is a thin wrapper over the public API so that the headline results can be
 regenerated without writing any Python.  ``sweep`` exposes the scenario-sweep
-subsystem directly: any :func:`repro.experiments.base.run_training` keyword can
-become an axis, scenarios run process-parallel with ``--jobs``, and results are
-cached on disk so a repeated invocation is instant (disable with ``--no-cache``).
+subsystem directly: any :func:`repro.experiments.base.run_training` keyword (or,
+with ``--executor numeric``, any :func:`repro.training.numeric.run_numeric_training`
+keyword) can become an axis, scenarios run process-parallel with ``--jobs``, and
+results are cached on disk so a repeated invocation is instant (disable with
+``--no-cache``).  The cache is inspectable (``--cache-stats``) and evictable
+(``--cache-evict stale|all``) through its JSON manifest.
 """
 
 from __future__ import annotations
@@ -30,7 +37,9 @@ from repro.hardware.presets import get_machine_preset, list_machine_presets
 from repro.hardware.throughput import ThroughputProfile
 from repro.model.presets import list_model_presets
 from repro.sweep import SweepRunner, SweepSpec, configure_defaults, default_cache_dir
+from repro.sweep.cache import cache_stats, evict_cache, format_stats
 from repro.training.metrics import format_table
+from repro.training.numeric import run_numeric_training
 from repro.training.trainer import compare_strategies  # noqa: F401  (public re-export)
 
 
@@ -112,20 +121,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "sweep", help="run a declarative training-scenario grid, parallel and cached"
     )
-    sweep.add_argument("--models", default="7B,20B",
-                       help="comma-separated model presets (one sweep axis)")
+    sweep.add_argument("--executor", choices=("training", "numeric"), default="training",
+                       help="worker behind the grid: 'training' simulates paper-scale "
+                            "jobs (run_training), 'numeric' trains tiny models for real "
+                            "(run_numeric_training)")
+    sweep.add_argument("--models", default=None,
+                       help="comma-separated model presets (one sweep axis; default "
+                            "7B,20B for training, nano,tiny-1M for numeric)")
     sweep.add_argument("--strategies", default=",".join(available_strategies()),
                        help="comma-separated strategies (one sweep axis)")
+    sweep.add_argument("--machines", default=None,
+                       help="comma-separated machine presets (adds a machine axis, "
+                            "training executor only), e.g. jlse-4xh100,4xv100")
     sweep.add_argument("--axis", action="append", default=[], dest="axes",
                        metavar="KEY=V1,V2",
-                       help="extra axis over a run_training keyword, "
-                            "e.g. --axis microbatch_size=1,2,4")
+                       help="extra axis over a worker keyword, "
+                            "e.g. --axis microbatch_size=1,2,4 or --axis machine=jlse-4xh100,4xv100")
     sweep.add_argument("--set", action="append", default=[], dest="overrides",
                        metavar="KEY=VALUE",
-                       help="fixed run_training keyword applied to every scenario")
-    sweep.add_argument("--iterations", type=int, default=4, help="training iterations")
+                       help="fixed worker keyword applied to every scenario")
+    sweep.add_argument("--iterations", type=int, default=4,
+                       help="training iterations (numeric executor: steps)")
     sweep.add_argument("--json", default=None, dest="json_path",
                        help="write the structured sweep result to this JSON file")
+    sweep.add_argument("--cache-stats", action="store_true",
+                       help="print result-cache statistics (entries, bytes, stale "
+                            "entries) after the sweep")
+    sweep.add_argument("--cache-evict", nargs="?", const="stale",
+                       choices=("stale", "all"), default=None,
+                       help="evict cache entries instead of sweeping: 'stale' removes "
+                            "orphaned/version-mismatched entries, 'all' clears the cache")
     _add_sweep_flags(sweep)
 
     stride = subparsers.add_parser("stride", help="evaluate Equation 1 for a machine preset")
@@ -191,15 +216,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+
+    # Maintenance mode: evict and report without running a sweep.
+    if args.cache_evict is not None:
+        report = evict_cache(cache_dir, mode=args.cache_evict)
+        print(
+            f"evicted {report['removed_files']} cache files "
+            f"({report['freed_bytes']} bytes), dropped {report['dropped_entries']} "
+            f"manifest entries [{args.cache_evict}]"
+        )
+        if args.cache_stats:
+            print(format_stats(cache_stats(cache_dir)))
+        return 0
+
+    numeric = args.executor == "numeric"
+    models = args.models if args.models is not None else ("nano,tiny-1M" if numeric else "7B,20B")
     axes: dict[str, tuple] = {}
-    if args.models:
-        axes["model"] = _parse_values(args.models)
+    if models:
+        axes["model"] = _parse_values(models)
     if args.strategies:
         axes["strategy"] = _parse_values(args.strategies)
+    if args.machines:
+        if numeric:
+            raise ConfigurationError("--machines applies to the training executor only")
+        axes["machine"] = _parse_values(args.machines)
     for item in args.axes:
         key, raw = _parse_assignment(item)
         axes[key] = _parse_values(raw)
-    base: dict = {"iterations": args.iterations}
+    base: dict = {"steps" if numeric else "iterations": args.iterations}
     for item in args.overrides:
         key, raw = _parse_assignment(item)
         values = _parse_values(raw)
@@ -211,19 +256,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     spec = SweepSpec.build(axes, base)
     runner = SweepRunner(
-        run_training,
+        run_numeric_training if numeric else run_training,
         jobs=args.jobs,
         use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
+        cache_dir=cache_dir,
     )
     result = runner.run(spec)
 
-    rows = result.rows(value_columns=lambda report: {
-        column: value for column, value in report.as_row().items()
-        if column in _REPORT_COLUMNS
-    })
-    axis_columns = list(spec.axis_names)
-    value_columns = [c for c in _REPORT_COLUMNS if any(c in row for row in rows)]
+    if numeric:
+        # Numeric workers return flat JSON dicts; drop the axis duplicates and
+        # inline the rest as value columns.
+        axis_columns = list(spec.axis_names)
+        rows = result.rows(value_columns=lambda summary: {
+            column: value for column, value in summary.items()
+            if column not in axis_columns
+        })
+        value_columns = [c for c in rows[0] if c not in axis_columns and c != "cached"]
+    else:
+        rows = result.rows(value_columns=lambda report: {
+            column: value for column, value in report.as_row().items()
+            if column in _REPORT_COLUMNS
+        })
+        axis_columns = list(spec.axis_names)
+        value_columns = [c for c in _REPORT_COLUMNS if any(c in row for row in rows)]
     print(format_table(rows, columns=axis_columns + value_columns + ["cached"]))
     print(
         f"\n{len(result)} scenarios ({result.cache_hits} cached, "
@@ -232,6 +287,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.json_path:
         path = result.save_json(args.json_path)
         print(f"wrote {path}")
+    if args.cache_stats:
+        print()
+        print(format_stats(cache_stats(cache_dir)))
     return 0
 
 

@@ -24,6 +24,7 @@ from repro.core.gradient_flush import (
     GradientFlushOps,
     build_baseline_gradient_flush,
     build_overlapped_gradient_flush,
+    make_overlapped_flush_rows,
 )
 from repro.core.numeric_executor import InterleavedNumericExecutor, SequentialCpuExecutor
 from repro.core.performance_model import PerformanceModel, optimal_update_stride
@@ -32,6 +33,7 @@ from repro.core.sim_executor import (
     UpdatePhaseOps,
     build_blocking_offload_update,
     build_interleaved_update,
+    build_interleaved_update_rows,
 )
 from repro.hardware.contention import HostContentionModel
 from repro.hardware.throughput import ThroughputProfile
@@ -131,6 +133,36 @@ class OffloadStrategy(abc.ABC):
     def numeric_executor(self, num_subgroups: int, profile: ThroughputProfile | None = None):
         """Executor for :meth:`ShardedMixedPrecisionOptimizer.step` (numeric path)."""
 
+    # ------------------------------------------------------------------ op batching
+    #
+    # The array-batched fast path of ``simulate_job`` asks the strategy for
+    # row-emitting twins of the two builders above.  Strategies that do not
+    # implement them keep working: ``supports_op_batch()`` defaults to False and
+    # the simulation falls back to eager ``SimOp`` submission.
+
+    def supports_op_batch(self) -> bool:
+        """True when the strategy provides the row-emitting builder twins."""
+        return False
+
+    def flush_row_builder(self, batch, profile: ThroughputProfile, plan: UpdatePlan):
+        """Per-subgroup flush row emitter (see :mod:`repro.core.gradient_flush`)."""
+        raise NotImplementedError(f"{self.name} does not support op batching")
+
+    def build_update_phase_rows(
+        self,
+        batch,
+        profile: ThroughputProfile,
+        plan: UpdatePlan,
+        subgroup_params: dict[int, int],
+        *,
+        grad_ready_ops: dict[int, int],
+        start_deps: tuple[int, ...],
+        contention: HostContentionModel | None,
+        staged_subgroup_bytes: int = 0,
+    ) -> UpdatePhaseOps:
+        """Row-emitting twin of :meth:`build_update_phase`."""
+        raise NotImplementedError(f"{self.name} does not support op batching")
+
     def describe(self) -> dict:
         """Human-readable summary."""
         return {"strategy": self.name, "static_gpu_fraction": self.static_gpu_fraction}
@@ -214,6 +246,38 @@ class DeepOptimizerStates(OffloadStrategy):
     ):
         return build_interleaved_update(
             engine,
+            profile,
+            plan,
+            subgroup_params,
+            grad_ready_ops=grad_ready_ops,
+            start_deps=start_deps,
+            contention=contention,
+            gradients_on_gpu=self.config.keep_gpu_scheduled_gradients_on_gpu,
+            staged_subgroup_bytes=staged_subgroup_bytes,
+        )
+
+    # ------------------------------------------------------------------ op batching
+
+    def supports_op_batch(self) -> bool:
+        return True
+
+    def flush_row_builder(self, batch, profile, plan):
+        return make_overlapped_flush_rows(batch, profile, plan)
+
+    def build_update_phase_rows(
+        self,
+        batch,
+        profile,
+        plan,
+        subgroup_params,
+        *,
+        grad_ready_ops,
+        start_deps,
+        contention,
+        staged_subgroup_bytes: int = 0,
+    ):
+        return build_interleaved_update_rows(
+            batch,
             profile,
             plan,
             subgroup_params,

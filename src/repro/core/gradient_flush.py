@@ -15,6 +15,13 @@ gradient buffer of the host-resident optimizer:
 
 Both builders submit operations to a :class:`~repro.sim.engine.SimEngine` and return
 the per-subgroup "gradient ready" operations the update phase must depend on.
+
+Each eager builder has a row-emitting twin (``make_*_flush_rows``) used by the
+array-batched fast path of :func:`repro.training.simulation.simulate_job`: instead of
+constructing ``SimOp`` objects it appends row tuples to an
+:class:`~repro.sim.opbatch.OpBatch`, one subgroup per call, producing bit-identical
+operations (same names, ids, durations and dependency tuples).  The golden tests in
+``tests/test_opbatch_equivalence.py`` hold the two implementations together.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ from repro.core.scheduler import UpdatePlan, UpdateTarget
 from repro.hardware.throughput import ThroughputProfile
 from repro.precision.dtypes import DType
 from repro.sim.engine import SimEngine
-from repro.sim.ops import OpKind, SimOp
+from repro.sim.opbatch import OpBatch
+from repro.sim.ops import OpKind, SimOp, next_op_id
 
 
 @dataclass
@@ -152,6 +160,102 @@ def build_overlapped_gradient_flush(
         result.op_ids.append(copy.op_id)
         result.d2h_bytes += copy.payload_bytes
     return result
+
+
+# --------------------------------------------------------------------- row twins
+
+
+def make_baseline_flush_rows(
+    batch: OpBatch,
+    profile: ThroughputProfile,
+    *,
+    skip_residents: frozenset[int] = frozenset(),
+    phase: str = "backward",
+):
+    """Row-emitting twin of :func:`build_baseline_gradient_flush`, one subgroup per call.
+
+    Returns ``emit(flush, index, params, compute_dep) -> (grad_ready_id, blocking_id)``
+    which appends the subgroup's flush rows to ``batch`` and aggregates the same
+    bookkeeping into ``flush`` (a shared :class:`GradientFlushOps`) that the eager
+    path accumulates per-subgroup.  ``skip_residents`` reproduces TwinFlow's
+    behaviour: statically GPU-resident subgroups skip the flush entirely and their
+    gradients are ready with the backward collective (``blocking_id`` is ``None``).
+    """
+    rows_append = batch.rows.append
+    new_id = next_op_id
+    alloc_pps = profile.host_unpinned_alloc_pps
+    d2h_pps = profile.unpinned_d2h_fp16_pps
+    upscale_pps = profile.host_upscale_pps
+    fp16 = DType.FP16.itemsize
+
+    def emit(flush: GradientFlushOps, index: int, params: int, compute_dep: int):
+        if index in skip_residents:
+            flush.grad_ready_ops[index] = compute_dep
+            return compute_dep, None
+        alloc_id = new_id()
+        rows_append((f"host_alloc_grad[{index}]", OpKind.HOST_ALLOC, "cpu",
+                     params / alloc_pps, (compute_dep,), phase, index, 0, 0, alloc_id))
+        payload = params * fp16
+        copy_id = new_id()
+        rows_append((f"d2h_grad_fp16[{index}]", OpKind.D2H, "pcie.d2h",
+                     params / d2h_pps, (alloc_id,), phase, index, payload, -payload, copy_id))
+        upscale_id = new_id()
+        rows_append((f"host_upscale_grad[{index}]", OpKind.CPU_UPSCALE, "cpu",
+                     params / upscale_pps, (copy_id,), phase, index, 0, 0, upscale_id))
+        flush.grad_ready_ops[index] = upscale_id
+        flush.blocking_ops[index] = upscale_id
+        flush.op_ids.extend((alloc_id, copy_id, upscale_id))
+        flush.d2h_bytes += payload
+        return upscale_id, upscale_id
+
+    return emit
+
+
+def make_overlapped_flush_rows(
+    batch: OpBatch,
+    profile: ThroughputProfile,
+    plan: UpdatePlan | None = None,
+    *,
+    phase: str = "backward",
+):
+    """Row-emitting twin of :func:`build_overlapped_gradient_flush`, one subgroup per call.
+
+    Same contract as :func:`make_baseline_flush_rows`; ``blocking_id`` is always
+    ``None`` because the Deep Optimizer States flush never blocks the backward pass.
+    GPU-scheduled subgroups (per ``plan``) keep their gradients on the GPU and only
+    pay the on-device conversion.
+    """
+    rows_append = batch.rows.append
+    new_id = next_op_id
+    convert_pps = profile.gpu_convert_pps
+    pinned_pps = profile.pinned_d2h_pps
+    fp16 = DType.FP16.itemsize
+    fp32 = DType.FP32.itemsize
+    keep_on_gpu = (
+        [item.target == UpdateTarget.GPU for item in plan.assignments]
+        if plan is not None
+        else None
+    )
+
+    def emit(flush: GradientFlushOps, index: int, params: int, compute_dep: int):
+        convert_id = new_id()
+        rows_append((f"gpu_upscale_grad[{index}]", OpKind.GPU_CONVERT, "gpu.compute",
+                     params / convert_pps, (compute_dep,), phase, index, 0, 0, convert_id))
+        flush.op_ids.append(convert_id)
+        if keep_on_gpu is not None and keep_on_gpu[index]:
+            flush.grad_ready_ops[index] = convert_id
+            return convert_id, None
+        copy_id = new_id()
+        payload = params * fp32
+        rows_append((f"d2h_grad_fp32_pinned[{index}]", OpKind.D2H, "pcie.d2h",
+                     params / pinned_pps, (convert_id,), phase, index,
+                     payload, -(params * fp16), copy_id))
+        flush.grad_ready_ops[index] = copy_id
+        flush.op_ids.append(copy_id)
+        flush.d2h_bytes += payload
+        return copy_id, None
+
+    return emit
 
 
 def baseline_flush_seconds(profile: ThroughputProfile, params: int) -> float:

@@ -14,6 +14,13 @@ Two builders are provided:
 
 Both return the operations after which every subgroup's updated FP16 parameters are
 available on the GPU — the dependencies of the next iteration's forward pass.
+
+Each eager builder has a row-emitting twin (``build_*_update_rows``) that appends
+row tuples to an :class:`~repro.sim.opbatch.OpBatch` instead of constructing
+``SimOp`` objects — the array-batched fast path of
+:func:`repro.training.simulation.simulate_job`.  The twins must emit bit-identical
+operations in the same order (ids are drawn from the shared global counter), which
+``tests/test_opbatch_equivalence.py`` verifies end-to-end for every strategy.
 """
 
 from __future__ import annotations
@@ -26,7 +33,8 @@ from repro.hardware.contention import HostContentionModel
 from repro.hardware.throughput import ThroughputProfile
 from repro.precision.dtypes import DType
 from repro.sim.engine import SimEngine
-from repro.sim.ops import OpKind, SimOp
+from repro.sim.opbatch import OpBatch
+from repro.sim.ops import OpKind, SimOp, next_op_id
 
 FP32 = DType.FP32.itemsize
 FP16 = DType.FP16.itemsize
@@ -322,4 +330,221 @@ def build_interleaved_update(
         result.params_ready_ops.append(copy.op_id)
         result.per_subgroup_done[index] = copy.op_id
 
+    return result
+
+
+# --------------------------------------------------------------------- row twins
+
+
+def build_blocking_offload_update_rows(
+    batch: OpBatch,
+    profile: ThroughputProfile,
+    plan: UpdatePlan,
+    subgroup_params: dict[int, int],
+    *,
+    grad_ready_ops: dict[int, int] | None = None,
+    start_deps: tuple[int, ...] = (),
+    phase: str = "update",
+) -> UpdatePhaseOps:
+    """Row-emitting twin of :func:`build_blocking_offload_update` (same op stream)."""
+    _check_inputs(plan, subgroup_params)
+    grad_ready_ops = grad_ready_ops or {}
+    result = UpdatePhaseOps()
+    op_ids_append = result.op_ids.append
+    ready_append = result.params_ready_ops.append
+    rows_append = batch.rows.append
+    new_id = next_op_id
+    gpu_update_pps = profile.gpu_update_pps
+    gpu_convert_pps = profile.gpu_convert_pps
+    cpu_update_pps = profile.cpu_update_pps
+    cpu_downscale_pps = profile.cpu_downscale_pps
+    pcie_pps = profile.pcie_pps
+    h2d_bytes = 0
+    blocking_tail: int | None = None
+
+    for index in sorted(plan.static_residents):
+        params = subgroup_params[index]
+        deps = start_deps
+        if index in grad_ready_ops:
+            deps += (grad_ready_ops[index],)
+        update_id = new_id()
+        rows_append((f"gpu_update[{index}]", OpKind.GPU_UPDATE, "gpu.compute",
+                     params / gpu_update_pps, deps, phase, index, 0, 0, update_id))
+        op_ids_append(update_id)
+        convert_id = new_id()
+        rows_append((f"gpu_downscale[{index}]", OpKind.GPU_CONVERT, "gpu.compute",
+                     params / gpu_convert_pps, (update_id,), phase, index, 0, 0, convert_id))
+        op_ids_append(convert_id)
+        blocking_tail = convert_id
+        ready_append(convert_id)
+        result.per_subgroup_done[index] = convert_id
+
+    for index in plan.cpu_indices():
+        params = subgroup_params[index]
+        deps = start_deps
+        if blocking_tail is not None:
+            deps += (blocking_tail,)
+        if index in grad_ready_ops:
+            deps += (grad_ready_ops[index],)
+        update_id = new_id()
+        rows_append((f"cpu_update[{index}]", OpKind.CPU_UPDATE, "cpu",
+                     params / cpu_update_pps, deps, phase, index, 0, 0, update_id))
+        op_ids_append(update_id)
+        downscale_id = new_id()
+        rows_append((f"cpu_downscale[{index}]", OpKind.CPU_DOWNSCALE, "cpu",
+                     params / cpu_downscale_pps, (update_id,), phase, index, 0, 0, downscale_id))
+        op_ids_append(downscale_id)
+        copy_id = new_id()
+        payload = params * FP16
+        rows_append((f"h2d_params_fp16[{index}]", OpKind.H2D, "pcie.h2d",
+                     params / (2.0 * pcie_pps), (downscale_id,), phase, index,
+                     payload, 0, copy_id))
+        op_ids_append(copy_id)
+        h2d_bytes += payload
+        blocking_tail = copy_id
+        ready_append(copy_id)
+        result.per_subgroup_done[index] = copy_id
+
+    result.h2d_bytes = h2d_bytes
+    return result
+
+
+def build_interleaved_update_rows(
+    batch: OpBatch,
+    profile: ThroughputProfile,
+    plan: UpdatePlan,
+    subgroup_params: dict[int, int],
+    *,
+    grad_ready_ops: dict[int, int] | None = None,
+    start_deps: tuple[int, ...] = (),
+    phase: str = "update",
+    contention: HostContentionModel | None = None,
+    gradients_on_gpu: bool = True,
+    staged_subgroup_bytes: int = 0,
+) -> UpdatePhaseOps:
+    """Row-emitting twin of :func:`build_interleaved_update` (same op stream).
+
+    The per-subgroup scans of the eager builder (``dynamic_gpu.index(...)`` and the
+    trailing-resident dependency search) are replaced with a precomputed position
+    map and :meth:`UpdatePlan.prev_on_gpu`, which change the complexity from
+    O(n^2) to O(n log n) without changing a single emitted operation.
+    """
+    _check_inputs(plan, subgroup_params)
+    grad_ready_ops = grad_ready_ops or {}
+    result = UpdatePhaseOps()
+    op_ids_append = result.op_ids.append
+    ready_append = result.params_ready_ops.append
+    rows_append = batch.rows.append
+    new_id = next_op_id
+    gpu_update_pps = profile.gpu_update_pps
+    gpu_convert_pps = profile.gpu_convert_pps
+    cpu_downscale_pps = profile.cpu_downscale_pps
+    h2d_bytes = 0
+    d2h_bytes = 0
+
+    cpu_update_pps = profile.cpu_update_pps
+    pcie_pps = profile.pcie_pps
+    dynamic_gpu = plan.dynamic_gpu_indices()
+    if contention is not None:
+        has_dynamic = bool(dynamic_gpu)
+        cpu_update_pps = contention.effective_cpu_update_pps(
+            cpu_update_pps, transfers_overlap=has_dynamic
+        )
+        pcie_pps = contention.effective_pcie_pps(pcie_pps, bidirectional=has_dynamic)
+
+    position_of = {index: position for position, index in enumerate(dynamic_gpu)}
+    gpu_update_ops: dict[int, int] = {}
+    prefetch_ops: dict[int, int] = {}
+
+    def emit_prefetch(position: int, index: int) -> None:
+        params = subgroup_params[index]
+        payload_params = 3 * params + (0 if gradients_on_gpu else params)
+        deps = start_deps
+        if position >= 1:
+            deps += (gpu_update_ops[dynamic_gpu[position - 1]],)
+        prefetch_id = new_id()
+        payload = payload_params * FP32
+        rows_append((f"prefetch_in[{index}]", OpKind.H2D, "pcie.h2d",
+                     payload_params / pcie_pps, deps, phase, index,
+                     payload, staged_subgroup_bytes, prefetch_id))
+        op_ids_append(prefetch_id)
+        prefetch_ops[index] = prefetch_id
+        nonlocal h2d_bytes
+        h2d_bytes += payload
+
+    def emit_gpu_update(index: int, extra_deps: tuple[int, ...] = ()) -> tuple[int, int]:
+        params = subgroup_params[index]
+        deps = start_deps + extra_deps
+        if index in grad_ready_ops:
+            deps += (grad_ready_ops[index],)
+        update_id = new_id()
+        rows_append((f"gpu_update[{index}]", OpKind.GPU_UPDATE, "gpu.compute",
+                     params / gpu_update_pps, deps, phase, index, 0, 0, update_id))
+        op_ids_append(update_id)
+        convert_id = new_id()
+        rows_append((f"gpu_downscale[{index}]", OpKind.GPU_CONVERT, "gpu.compute",
+                     params / gpu_convert_pps, (update_id,), phase, index, 0, 0, convert_id))
+        op_ids_append(convert_id)
+        return update_id, convert_id
+
+    if dynamic_gpu:
+        emit_prefetch(0, dynamic_gpu[0])
+
+    assignments = plan.assignments
+    previous_cpu_op: int | None = None
+    for index in range(plan.num_subgroups):
+        reason = assignments[index].reason
+        params = subgroup_params[index]
+
+        if reason == AssignmentReason.STRIDE:
+            position = position_of[index]
+            update_id, convert_id = emit_gpu_update(index, (prefetch_ops[index],))
+            gpu_update_ops[index] = update_id
+            ready_append(convert_id)
+            result.per_subgroup_done[index] = convert_id
+            flush_id = new_id()
+            payload = 3 * params * FP32
+            rows_append((f"flush_out[{index}]", OpKind.D2H, "pcie.d2h",
+                         3 * params / pcie_pps, (update_id,), phase, index,
+                         payload, -staged_subgroup_bytes, flush_id))
+            op_ids_append(flush_id)
+            d2h_bytes += payload
+            if position + 1 < len(dynamic_gpu):
+                emit_prefetch(position + 1, dynamic_gpu[position + 1])
+            continue
+
+        if reason == AssignmentReason.STATIC_RESIDENT:
+            previous_dynamic = plan.prev_on_gpu(index)
+            extra = (gpu_update_ops[previous_dynamic],) if previous_dynamic is not None else ()
+            _, convert_id = emit_gpu_update(index, extra)
+            ready_append(convert_id)
+            result.per_subgroup_done[index] = convert_id
+            continue
+
+        deps = start_deps
+        if previous_cpu_op is not None:
+            deps += (previous_cpu_op,)
+        if index in grad_ready_ops:
+            deps += (grad_ready_ops[index],)
+        update_id = new_id()
+        rows_append((f"cpu_update[{index}]", OpKind.CPU_UPDATE, "cpu",
+                     params / cpu_update_pps, deps, phase, index, 0, 0, update_id))
+        op_ids_append(update_id)
+        downscale_id = new_id()
+        rows_append((f"cpu_downscale[{index}]", OpKind.CPU_DOWNSCALE, "cpu",
+                     params / cpu_downscale_pps, (update_id,), phase, index, 0, 0, downscale_id))
+        op_ids_append(downscale_id)
+        copy_id = new_id()
+        payload = params * FP16
+        rows_append((f"h2d_params_fp16[{index}]", OpKind.H2D, "pcie.h2d",
+                     params / (2.0 * pcie_pps), (downscale_id,), phase, index,
+                     payload, 0, copy_id))
+        op_ids_append(copy_id)
+        h2d_bytes += payload
+        previous_cpu_op = update_id
+        ready_append(copy_id)
+        result.per_subgroup_done[index] = copy_id
+
+    result.h2d_bytes = h2d_bytes
+    result.d2h_bytes = d2h_bytes
     return result

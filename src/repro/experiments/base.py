@@ -118,6 +118,29 @@ def training_sweep(
     return runner.run(spec).keyed(*spec.axis_names)
 
 
+def numeric_sweep(
+    axes: Mapping[str, Sequence[Any]],
+    *,
+    base: Mapping[str, Any] | None = None,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    cache_dir: Any = None,
+) -> dict[tuple, dict]:
+    """Run a declarative grid of numeric (tiny-model) training runs.
+
+    The sweep twin of :func:`training_sweep` for the numeric execution path:
+    ``axes``/``base`` map :func:`repro.training.numeric.run_numeric_training`
+    keywords, values are its JSON summaries keyed by axis values.  Sweeping
+    ``strategy`` with a fixed ``seed`` demonstrates the paper's numerical
+    equivalence claim grid-wide (identical losses for every strategy).
+    """
+    from repro.training.numeric import run_numeric_training
+
+    spec = SweepSpec.build(axes, base)
+    runner = SweepRunner(run_numeric_training, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    return runner.run(spec).keyed(*spec.axis_names)
+
+
 def model_sweep(
     strategies: list[str],
     *,

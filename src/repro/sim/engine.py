@@ -16,15 +16,29 @@ time it could achieve (with the resource name as tie-break).  This is O(N log N)
 the number of operations while producing *exactly* the same schedule as the original
 per-pop scan over all resource queues — the equivalence is enforced by the golden
 property test in ``tests/test_engine_equivalence.py``.
+
+The engine has two admission paths with identical semantics:
+
+* **eager** — :meth:`SimEngine.submit` one :class:`~repro.sim.ops.SimOp` at a time,
+  then :meth:`SimEngine.run`;
+* **batched** — hand :meth:`SimEngine.run_batch` a
+  :class:`~repro.sim.opbatch.OpBatch` of row tuples; the scheduler runs directly on
+  the rows and materialises ``SimOp`` objects only for the finished schedule, which
+  makes large DAGs (10k+ optimizer subgroups) several times cheaper end-to-end.
+
+Both paths must produce byte-identical schedules; ``tests/test_opbatch_equivalence.py``
+is the golden test for the batched path.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError, SimulationError
+from repro.sim.opbatch import simop_from_row
 from repro.sim.ops import OpKind, SimOp
 
 
@@ -363,6 +377,163 @@ class SimEngine:
         schedule = Schedule(ops=sorted(scheduled, key=lambda item: (item.start, item.op.op_id)),
                             resources=list(self._resources))
         schedule.validate()
+        return schedule
+
+    def run_batch(self, batch, *, validate: bool = False) -> Schedule:
+        """Schedule an :class:`~repro.sim.opbatch.OpBatch` without per-op objects.
+
+        The scheduling algorithm is the same ready-set heap as :meth:`run` — same
+        ``(earliest start, resource name)`` heap key, same FIFO-per-resource order,
+        same deadlock condition — but it walks the batch's row tuples directly.
+        ``SimOp`` objects are created only at the end, one ``__dict__`` assignment
+        per scheduled row, so the result is a plain :class:`Schedule` that compares
+        equal (including op ids, names and exact float times) to what expanding the
+        batch through :meth:`submit`/:meth:`run` would produce; the golden tests in
+        ``tests/test_opbatch_equivalence.py`` enforce that bit-for-bit.
+
+        ``validate=False`` (the default) skips :meth:`Schedule.validate`: the loop
+        establishes the schedule invariants by construction (starts are max() over
+        resource-free and dependency-end times), and the golden-equivalence suite
+        cross-checks against :meth:`run`, which does validate.  Pass ``True`` when
+        scheduling rows from an untrusted builder.
+
+        Unlike :meth:`run` this does not consume engine state — the batch carries
+        the submissions — but mixing the two admission paths in one scheduling round
+        is a :class:`ConfigurationError`.
+        """
+        if self._submission_order:
+            raise ConfigurationError(
+                "run_batch on an engine with eagerly submitted pending ops; "
+                "use either submit()+run() or run_batch(), not both"
+            )
+        rows = batch.rows
+        batch.validate_rows()
+        # Scheduling and materialisation allocate ~4 container objects per op; at
+        # 100k ops the generational collector would otherwise run hundreds of
+        # pointless scans over acyclic garbage (every object built here is
+        # reachable from the returned Schedule or refcount-freed immediately).
+        # Pausing collection for the duration roughly halves run_batch wall time.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run_batch_rows(batch, rows, validate)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run_batch_rows(self, batch, rows: list[tuple], validate: bool) -> Schedule:
+        """The scheduling core of :meth:`run_batch` (runs with GC paused)."""
+        resources = self._resources
+        queues: dict[str, list[int]] = {name: [] for name in resources}
+        for index, row in enumerate(rows):
+            queue = queues.get(row[2])
+            if queue is None:
+                raise ConfigurationError(
+                    f"op {row[0]!r} targets unknown resource {row[2]!r}"
+                )
+            queue.append(index)
+
+        release_times = batch.release_times
+        heads = {name: 0 for name in queues}
+        finished: dict[int, float] = {}
+        finished_get = finished.get
+        resource_free = {name: 0.0 for name in resources}
+        scheduled: list[tuple[float, int, float, int]] = []  # (start, op_id, end, row index)
+        sched_append = scheduled.append
+
+        waiting: dict[int, list[str]] = {}
+        blocked: dict[str, int] = {}
+        ready: list[tuple[float, str]] = []
+        push = heapq.heappush
+
+        def arm(name: str) -> None:
+            position = heads[name]
+            queue = queues[name]
+            if position >= len(queue):
+                return
+            row = rows[queue[position]]
+            deps = row[4]
+            deps_end = 0.0
+            if deps:
+                if len(deps) == 1:
+                    deps_end = finished_get(deps[0])
+                    if deps_end is None:
+                        blocked[name] = 1
+                        waiting.setdefault(deps[0], []).append(name)
+                        return
+                else:
+                    for dep in deps:
+                        end = finished_get(dep)
+                        if end is None:
+                            # At least one dependency unfinished: register every
+                            # distinct blocker (duplicates count once, as in run()).
+                            unfinished = {d for d in deps if d not in finished}
+                            blocked[name] = len(unfinished)
+                            for blocker in unfinished:
+                                waiting.setdefault(blocker, []).append(name)
+                            return
+                        if end > deps_end:
+                            deps_end = end
+            start = resource_free[name]
+            if deps_end > start:
+                start = deps_end
+            if release_times:
+                release = release_times.get(row[9], 0.0)
+                if release > start:
+                    start = release
+            push(ready, (start, name))
+
+        for name in queues:
+            arm(name)
+
+        remaining = len(rows)
+        while remaining:
+            if not ready:
+                blocked_heads = [
+                    rows[queue[heads[name]]][0]
+                    for name, queue in queues.items()
+                    if heads[name] < len(queue)
+                ]
+                raise SimulationError(
+                    f"simulation deadlock: blocked head operations {blocked_heads}"
+                )
+            start, name = heapq.heappop(ready)
+            position = heads[name]
+            heads[name] = position + 1
+            index = queues[name][position]
+            row = rows[index]
+            end = start + row[3]
+            op_id = row[9]
+            finished[op_id] = end
+            resource_free[name] = end
+            sched_append((start, op_id, end, index))
+            remaining -= 1
+            arm(name)
+            if op_id in waiting:
+                for blocked_name in waiting.pop(op_id):
+                    blocked[blocked_name] -= 1
+                    if blocked[blocked_name] == 0:
+                        del blocked[blocked_name]
+                        arm(blocked_name)
+
+        scheduled.sort()
+        new_item = ScheduledOp.__new__
+        set_attr = object.__setattr__
+        ops: list[ScheduledOp] = []
+        append = ops.append
+        for start, _, end, index in scheduled:
+            # ScheduledOp is a frozen dataclass; installing the attribute dict
+            # through object.__setattr__ skips the three per-field frozen checks
+            # of the generated __init__ (a measurable win at 100k+ ops).
+            item = new_item(ScheduledOp)
+            set_attr(item, "__dict__",
+                     {"op": simop_from_row(rows[index]), "start": start, "end": end})
+            append(item)
+
+        schedule = Schedule(ops=ops, resources=list(self._resources))
+        if validate:
+            schedule.validate()
         return schedule
 
 

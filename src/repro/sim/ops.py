@@ -39,6 +39,17 @@ class OpKind(enum.Enum):
 _op_counter = itertools.count()
 
 
+def next_op_id() -> int:
+    """Allocate the next global op id.
+
+    :class:`SimOp` draws from the same counter via its ``op_id`` default factory, so
+    interleaving eager ``SimOp`` construction with :class:`~repro.sim.opbatch.OpBatch`
+    row appends yields one globally consistent id sequence — the property the
+    opbatch golden-equivalence tests rely on.
+    """
+    return next(_op_counter)
+
+
 @dataclass
 class SimOp:
     """One operation to be scheduled on a resource.

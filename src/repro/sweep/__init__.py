@@ -11,9 +11,22 @@ declarations:
   process-parallel via :mod:`concurrent.futures`, with a deterministic on-disk
   result cache keyed by the scenario hash;
 * :class:`~repro.sweep.result.SweepResult` — ordered, structured results with JSON
-  export.
+  export;
+* :mod:`repro.sweep.cache` — a JSON manifest over the result cache, powering
+  ``repro sweep --cache-stats`` (inspection, stale-entry detection) and
+  ``--cache-evict`` (eviction).
+
+Two invariants hold across the subsystem:
+
+* **determinism** — a scenario's cache key depends only on its parameters (canonical
+  hash), the worker's identity/signature and the cache version, never on axis
+  declaration order, parallelism or wall-clock;
+* **execution transparency** — ``jobs`` and ``use_cache`` change performance, never
+  values: a parallel, cached sweep returns exactly what the nested loops it replaces
+  would have returned, in scenario order.
 """
 
+from repro.sweep.cache import CACHE_VERSION, cache_stats, evict_cache
 from repro.sweep.result import SweepRecord, SweepResult
 from repro.sweep.runner import (
     SweepRunner,
@@ -36,4 +49,7 @@ __all__ = [
     "reset_defaults",
     "default_jobs",
     "default_cache_dir",
+    "CACHE_VERSION",
+    "cache_stats",
+    "evict_cache",
 ]

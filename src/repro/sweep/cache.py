@@ -1,0 +1,214 @@
+"""JSON manifest over the sweep runner's pickle-per-scenario result cache.
+
+The :class:`~repro.sweep.runner.SweepRunner` cache is a directory of opaque
+``*.pkl`` files whose names encode ``(worker identity, cache version, worker salt,
+scenario hash)`` — safe, but uninspectable: nothing says which scenario produced an
+entry, when, or whether it is still reachable.  The manifest fixes that: every
+stored entry is also recorded in ``manifest.json`` next to the pickles, carrying the
+scenario parameters, the worker's dotted name, the cache version, a creation
+timestamp and the entry's size.
+
+On top of the manifest this module implements the two maintenance operations the
+CLI exposes (``repro sweep --cache-stats`` / ``--cache-evict``):
+
+* :func:`cache_stats` — entry/byte totals, per-worker breakdown, and *stale-entry
+  detection*: manifest entries whose pickle vanished, pickles the manifest does not
+  know about (orphans, e.g. from a pre-manifest version of this code or a sweep
+  killed between store and record), and entries written under an older
+  ``CACHE_VERSION``.
+* :func:`evict_cache` — ``mode="stale"`` removes exactly those three classes;
+  ``mode="all"`` clears the cache completely.
+
+Manifest writes are atomic (write-temp + ``os.replace``) and best-effort, like the
+cache itself: concurrent sweeps may lose a manifest record to a race (the entry then
+shows up as an orphan, still evictable), but they can never corrupt the file or fail
+a sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.common.errors import ConfigurationError
+
+#: Bump to invalidate every cache entry at once: when the entry format changes,
+#: or after changing the simulated physics (which the cache key cannot detect —
+#: the worker salt only covers signatures, not implementations).  Entries written
+#: under an older version are reported — and evicted — as stale.
+CACHE_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = 1
+
+
+def manifest_path(cache_dir: str | Path) -> Path:
+    """Location of the manifest inside ``cache_dir``."""
+    return Path(cache_dir) / MANIFEST_NAME
+
+
+def load_manifest(cache_dir: str | Path) -> dict:
+    """Read the manifest; a missing or unreadable file is an empty manifest."""
+    try:
+        data = json.loads(manifest_path(cache_dir).read_text())
+    except (OSError, json.JSONDecodeError):
+        return {"format": MANIFEST_FORMAT, "entries": {}}
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), dict):
+        return {"format": MANIFEST_FORMAT, "entries": {}}
+    return data
+
+
+def _write_manifest(cache_dir: Path, manifest: dict) -> None:
+    """Atomically replace the manifest; best-effort like the cache stores."""
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w", dir=cache_dir, prefix=MANIFEST_NAME, suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+        os.replace(handle.name, manifest_path(cache_dir))
+    except OSError:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+
+
+def record_entries(cache_dir: str | Path, entries: Iterable[dict]) -> None:
+    """Merge freshly stored cache entries into the manifest.
+
+    Each entry dict must carry a ``file`` key (the pickle's filename inside
+    ``cache_dir``); remaining keys are stored verbatim.  Called once per sweep run
+    with every entry that run stored, so manifest I/O is O(1) per sweep rather than
+    per scenario.
+    """
+    entries = list(entries)
+    if not entries:
+        return
+    cache_dir = Path(cache_dir)
+    manifest = load_manifest(cache_dir)
+    stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    for entry in entries:
+        entry = dict(entry)
+        filename = entry.pop("file", None)
+        if not filename:
+            raise ConfigurationError("manifest entries need a 'file' key")
+        entry.setdefault("created_at", stamp)
+        manifest["entries"][filename] = entry
+    _write_manifest(cache_dir, manifest)
+
+
+def _pickle_files(cache_dir: Path) -> dict[str, int]:
+    """Map of pickle filename -> size in bytes for every entry on disk."""
+    files: dict[str, int] = {}
+    try:
+        listing = list(cache_dir.iterdir())
+    except OSError:
+        return files
+    for path in listing:
+        if path.suffix == ".pkl" and path.is_file():
+            try:
+                files[path.name] = path.stat().st_size
+            except OSError:
+                continue
+    return files
+
+
+def cache_stats(cache_dir: str | Path) -> dict:
+    """Inspect the cache: live/stale entry counts, byte totals, per-worker breakdown."""
+    cache_dir = Path(cache_dir)
+    manifest = load_manifest(cache_dir)
+    on_disk = _pickle_files(cache_dir)
+
+    live = 0
+    live_bytes = 0
+    missing_files: list[str] = []
+    version_mismatch: list[str] = []
+    workers: dict[str, int] = {}
+    for filename, entry in manifest["entries"].items():
+        if filename not in on_disk:
+            missing_files.append(filename)
+            continue
+        if entry.get("cache_version") != CACHE_VERSION:
+            version_mismatch.append(filename)
+            continue
+        live += 1
+        live_bytes += on_disk[filename]
+        worker = entry.get("worker", "<unknown>")
+        workers[worker] = workers.get(worker, 0) + 1
+
+    orphans = sorted(set(on_disk) - set(manifest["entries"]))
+    return {
+        "cache_dir": str(cache_dir),
+        "entries": live,
+        "total_bytes": live_bytes,
+        "workers": dict(sorted(workers.items())),
+        "stale": {
+            "missing_files": sorted(missing_files),
+            "orphaned_files": orphans,
+            "version_mismatch": sorted(version_mismatch),
+        },
+        "stale_count": len(missing_files) + len(orphans) + len(version_mismatch),
+    }
+
+
+def evict_cache(cache_dir: str | Path, mode: str = "stale") -> dict:
+    """Remove cache entries and their manifest records.
+
+    ``mode="stale"`` removes version-mismatched entries, manifest records whose
+    pickle is gone, and orphaned pickles; ``mode="all"`` removes every pickle and
+    resets the manifest.  Returns ``{"removed_files", "freed_bytes",
+    "dropped_entries"}``.
+    """
+    if mode not in ("stale", "all"):
+        raise ConfigurationError(f"unknown eviction mode {mode!r}; use 'stale' or 'all'")
+    cache_dir = Path(cache_dir)
+    manifest = load_manifest(cache_dir)
+    on_disk = _pickle_files(cache_dir)
+
+    if mode == "all":
+        to_remove = set(on_disk)
+        dropped = len(manifest["entries"])
+        manifest["entries"] = {}
+    else:
+        stats = cache_stats(cache_dir)
+        stale = stats["stale"]
+        to_remove = set(stale["orphaned_files"]) | set(stale["version_mismatch"])
+        dropped = 0
+        for filename in stale["missing_files"] + stale["version_mismatch"]:
+            if manifest["entries"].pop(filename, None) is not None:
+                dropped += 1
+
+    freed = 0
+    removed = 0
+    for filename in to_remove:
+        try:
+            freed += on_disk.get(filename, 0)
+            (cache_dir / filename).unlink()
+            removed += 1
+        except OSError:
+            continue
+    _write_manifest(cache_dir, manifest)
+    return {"removed_files": removed, "freed_bytes": freed, "dropped_entries": dropped}
+
+
+def format_stats(stats: dict) -> str:
+    """Human-readable rendering of :func:`cache_stats` for the CLI."""
+    lines = [
+        f"cache dir   : {stats['cache_dir']}",
+        f"live entries: {stats['entries']} ({stats['total_bytes']} bytes)",
+    ]
+    for worker, count in stats["workers"].items():
+        lines.append(f"  {worker}: {count}")
+    stale = stats["stale"]
+    lines.append(
+        f"stale       : {stats['stale_count']} "
+        f"(missing {len(stale['missing_files'])}, orphaned {len(stale['orphaned_files'])}, "
+        f"version-mismatch {len(stale['version_mismatch'])})"
+    )
+    return "\n".join(lines)

@@ -1,4 +1,12 @@
-"""Structured sweep results with JSON export."""
+"""Structured sweep results with JSON export.
+
+A :class:`SweepResult` is ordered by *scenario* order (the deterministic row-major
+order of the spec, or the caller's explicit list order), never by completion order —
+the runner guarantees a parallel, cached sweep is value-identical to the serial
+loops it replaces, and this module is where that ordering becomes visible.  Each
+:class:`SweepRecord` also carries cache provenance (``from_cache``), so exports can
+distinguish computed from replayed values.
+"""
 
 from __future__ import annotations
 

@@ -5,11 +5,30 @@ The runner is the policy layer of the sweep subsystem: it takes a declarative
 worker callable, and decides how to execute — serially in-process, or fanned out over
 a :class:`concurrent.futures.ProcessPoolExecutor`.  Results come back in scenario
 order regardless of completion order, so a parallel sweep is indistinguishable from
-the nested loops it replaces.
+the nested loops it replaces.  That indistinguishability is an invariant the tests
+enforce (``tests/test_sweep.py``): for a fixed worker, ``jobs`` and ``use_cache``
+may change *performance*, never *values*.
 
-Caching is keyed by ``(worker identity, cache version, scenario config hash)``; a
-cache entry is a pickle of the worker's return value, written atomically so a killed
-sweep never leaves a truncated entry behind.
+**Cache key.**  An entry's filename is deterministic and content-addressed::
+
+    <worker module.qualname>-v<CACHE_VERSION>-<worker salt>-<scenario hash>.pkl
+
+* the *worker identity* keeps different workers from aliasing each other;
+* the *cache version* (:data:`CACHE_VERSION`, re-exported from
+  :mod:`repro.sweep.cache`) invalidates every entry when the storage format — not
+  the simulated physics — changes;
+* the *worker salt* hashes the worker's signature, so changing a keyword default
+  invalidates entries instead of silently serving results computed under the old
+  default (scenario hashes only cover explicitly-passed parameters);
+* the *scenario hash* is :meth:`~repro.sweep.spec.Scenario.config_hash` — canonical
+  over parameter order, so two declarations of the same grid point share one entry.
+
+A cache entry is a pickle of the worker's return value, written atomically
+(temp file + ``os.replace``) so a killed sweep never leaves a truncated entry
+behind; unreadable or stale pickles load as misses, never as errors.  Every store
+is also recorded in a JSON manifest next to the pickles
+(:mod:`repro.sweep.cache`), which powers ``repro sweep --cache-stats`` and
+``--cache-evict``.
 """
 
 from __future__ import annotations
@@ -24,11 +43,9 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.common.errors import ConfigurationError
+from repro.sweep.cache import CACHE_VERSION, record_entries
 from repro.sweep.result import SweepRecord, SweepResult
 from repro.sweep.spec import Scenario, SweepSpec
-
-#: Bump when the cache entry format (not the simulated physics) changes.
-CACHE_VERSION = 1
 
 _MISS = object()
 
@@ -143,7 +160,8 @@ class SweepRunner:
             # A stale entry referencing moved/renamed classes is a miss, not a crash.
             return _MISS
 
-    def _cache_store(self, scenario: Scenario, value: Any) -> None:
+    def _cache_store(self, scenario: Scenario, value: Any) -> Path | None:
+        """Atomically persist one entry; returns its path, or None when storing failed."""
         path = self._cache_path(scenario)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
@@ -153,12 +171,37 @@ class SweepRunner:
             with handle:
                 pickle.dump(value, handle)
             os.replace(handle.name, path)
+            return path
         except OSError:
             # Caching is best-effort: a read-only or full disk must not fail the sweep.
             try:
                 os.unlink(handle.name)
             except OSError:
                 pass
+            return None
+
+    def _record_manifest(self, stored: list[tuple[Path, Scenario]]) -> None:
+        """Append the run's fresh cache entries to the manifest (best-effort)."""
+        worker_id = f"{self.worker.__module__}.{self.worker.__qualname__}"
+        entries = []
+        for path, scenario in stored:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            entries.append({
+                "file": path.name,
+                "worker": worker_id,
+                "cache_version": CACHE_VERSION,
+                "worker_salt": self._worker_salt,
+                "config_hash": scenario.config_hash(),
+                "params": scenario.as_dict(),
+                "size_bytes": size,
+            })
+        try:
+            record_entries(self.cache_dir, entries)
+        except OSError:  # pragma: no cover - same best-effort rule as the stores
+            pass
 
     # ------------------------------------------------------------------ execution
 
@@ -195,8 +238,12 @@ class SweepRunner:
                 for index in pending:
                     values[index] = self.worker(**scenarios[index].as_dict())
             if self.use_cache:
+                stored = []
                 for index in pending:
-                    self._cache_store(scenarios[index], values[index])
+                    path = self._cache_store(scenarios[index], values[index])
+                    if path is not None:
+                        stored.append((path, scenarios[index]))
+                self._record_manifest(stored)
 
         fresh = set(pending)
         records = [

@@ -61,7 +61,14 @@ class Scenario:
         return tuple(lookup[axis] for axis in axes)
 
     def config_hash(self) -> str:
-        """Deterministic content hash, independent of parameter order."""
+        """Deterministic content hash, independent of parameter order.
+
+        The hash is SHA-256 over the canonical JSON form of the sorted parameter
+        items (sorted keys, no whitespace), truncated to 24 hex chars.  It is the
+        scenario component of the runner's cache key, so it must only ever change
+        when a parameter's *value* changes — never with declaration order, Python
+        version or process.  ``tests/test_sweep.py`` pins this behaviour.
+        """
         canonical = json.dumps(
             sorted(self.as_dict().items(), key=lambda pair: pair[0]),
             sort_keys=True,

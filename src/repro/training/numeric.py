@@ -24,6 +24,7 @@ from repro.hardware.presets import JLSE_H100_NODE
 from repro.hardware.throughput import ThroughputProfile
 from repro.model.config import TransformerConfig
 from repro.model.nn.model import TinyTransformerLM
+from repro.model.presets import TINY_MODELS
 from repro.optim import AdamConfig, AdamRule
 from repro.optim.base import OptimizerRule
 from repro.precision.loss_scaler import DynamicLossScaler, StaticLossScaler
@@ -161,3 +162,63 @@ class MiniTrainer:
             "data_parallel_degree": self.data_parallel_degree,
             "subgroups_per_rank": self.optimizer.num_subgroups(self.optimizer.ranks[0]),
         }
+
+
+def run_numeric_training(
+    *,
+    model: str = "nano",
+    strategy: str = "deep-optimizer-states",
+    steps: int = 3,
+    data_parallel_degree: int = 2,
+    subgroup_size: int = 2048,
+    seed: int = 0,
+    learning_rate: float = 1e-3,
+) -> dict:
+    """Sweep worker for the numeric execution path (module-level, hence picklable).
+
+    Trains a tiny NumPy transformer for ``steps`` data-parallel steps on a
+    deterministic synthetic batch stream (derived from ``seed``) through the chosen
+    offloading strategy's numeric executor, and returns a JSON-friendly summary.
+    Every parameter is a JSON scalar, so any of them can be a
+    :class:`~repro.sweep.spec.SweepSpec` axis; ``repro sweep --executor numeric``
+    routes exactly this callable through the :class:`~repro.sweep.runner.SweepRunner`.
+
+    Because every strategy's executor performs the same arithmetic, sweeping
+    ``strategy`` with fixed ``seed`` must produce identical losses — the headline
+    numerical-equivalence claim, now checkable from the CLI.
+    """
+    if model not in TINY_MODELS:
+        raise ConfigurationError(
+            f"numeric training needs a tiny model preset ({sorted(TINY_MODELS)}), "
+            f"got {model!r}; paper-scale presets are simulation-only"
+        )
+    if steps <= 0:
+        raise ConfigurationError("steps must be positive")
+    config = TINY_MODELS[model]
+    trainer = MiniTrainer(
+        config,
+        strategy=strategy,
+        data_parallel_degree=data_parallel_degree,
+        subgroup_size=subgroup_size,
+        rule=AdamRule(AdamConfig(learning_rate=learning_rate)),
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    batches = [
+        (
+            rng.integers(0, config.vocab_size, size=(1, config.sequence_length)),
+            rng.integers(0, config.vocab_size, size=(1, config.sequence_length)),
+        )
+        for _ in range(steps * data_parallel_degree)
+    ]
+    result = trainer.train(iter(batches), max_steps=steps)
+    return {
+        "model": model,
+        "strategy": result.strategy,
+        "parameters": trainer.model.num_parameters(),
+        "subgroups_per_rank": trainer.describe()["subgroups_per_rank"],
+        "steps": result.steps,
+        "skipped_steps": result.skipped_steps,
+        "initial_loss": round(result.initial_loss, 8),
+        "final_loss": round(result.final_loss, 8),
+    }

@@ -14,10 +14,27 @@ One training iteration of the ZeRO-3 runtime decomposes into:
 The builder chains several iterations in a single schedule so that transfers spilling
 past the nominal end of the update phase (Figure 5, bottom) are charged against the
 next iteration exactly as they would be on real hardware (the Figure 9 experiment).
+
+Two op-construction backends feed the engine:
+
+* ``"objects"`` — the original eager path: one :class:`~repro.sim.ops.SimOp` per
+  operation, submitted through :meth:`~repro.sim.engine.SimEngine.submit`;
+* ``"batch"`` (the default) — the array-batched path: operations are appended as row
+  tuples to an :class:`~repro.sim.opbatch.OpBatch` and scheduled through
+  :meth:`~repro.sim.engine.SimEngine.run_batch`, which skips per-op Python-object
+  construction and is several times faster beyond ~10k subgroups.
+
+Both backends produce byte-identical schedules and bookkeeping — enforced by
+``tests/test_opbatch_equivalence.py`` — so every metric derived from a
+:class:`SimulationResult` is backend-independent.  Select explicitly with the
+``op_backend`` argument or the ``REPRO_SIM_OP_BACKEND`` environment variable;
+strategies that do not implement the row builders silently fall back to the eager
+path.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError
@@ -27,7 +44,8 @@ from repro.core.sim_executor import UpdatePhaseOps
 from repro.model.flops import backward_compute_seconds, forward_compute_seconds
 from repro.precision.dtypes import DType
 from repro.sim.engine import Schedule, SimEngine, standard_resources
-from repro.sim.ops import OpKind, SimOp
+from repro.sim.opbatch import OpBatch
+from repro.sim.ops import OpKind, SimOp, next_op_id
 from repro.sim.trace import MemoryTimeline, ThroughputTimeline
 from repro.training.config import ResolvedJob
 from repro.training.metrics import IterationBreakdown
@@ -251,21 +269,150 @@ def build_iteration(
     return record
 
 
-def simulate_job(job: ResolvedJob, iterations: int = 1) -> SimulationResult:
-    """Simulate ``iterations`` chained training iterations of ``job``."""
+def build_iteration_rows(
+    batch: OpBatch,
+    job: ResolvedJob,
+    iteration_index: int,
+    start_deps: tuple[int, ...] = (),
+) -> IterationOps:
+    """Row-emitting twin of :func:`build_iteration` for the array-batched backend.
+
+    Appends the iteration's operations to ``batch`` as row tuples — same names,
+    kinds, durations, dependency tuples and id allocation order as the eager
+    builder, with no per-op ``SimOp`` construction or per-subgroup strategy-call
+    overhead.  The emitted stream must stay bit-identical to the eager one; the
+    golden tests compare the two schedules field by field.
+    """
+    record = IterationOps(index=iteration_index)
+    record.blocks_backward = job.strategy.flush_blocks_backward()
+    forward_time, backward_time, gather_time, backward_collective_time = _iteration_compute_times(job)
+
+    model = job.model
+    footprint = job.footprint
+    n_forward_chunks = min(job.config.forward_chunks, model.num_layers)
+    activation_per_chunk = footprint.activation_bytes // n_forward_chunks
+    rows_append = batch.rows.append
+    new_id = next_op_id
+
+    # ------------------------------------------------------------------ forward
+    gather_duration = gather_time / n_forward_chunks
+    forward_duration = forward_time / n_forward_chunks
+    previous_compute: int | None = None
+    for chunk in range(n_forward_chunks):
+        gather_id = new_id()
+        rows_append((f"it{iteration_index}.fwd_allgather[{chunk}]", OpKind.ALLGATHER,
+                     "nvlink", gather_duration, start_deps if chunk == 0 else (),
+                     "forward", None, 0, 0, gather_id))
+        compute_id = new_id()
+        compute_deps = (gather_id,) + start_deps if chunk == 0 else (gather_id,)
+        rows_append((f"it{iteration_index}.fwd_compute[{chunk}]", OpKind.GPU_COMPUTE,
+                     "gpu.compute", forward_duration, compute_deps, "forward", None,
+                     0, activation_per_chunk, compute_id))
+        record.forward_ops.extend([gather_id, compute_id])
+        record.forward_compute_ops.append(compute_id)
+        previous_compute = compute_id
+
+    # ------------------------------------------------------------------ backward
+    num_subgroups = job.num_subgroups
+    if num_subgroups == 0:
+        raise ConfigurationError("cannot simulate an iteration with zero subgroups")
+    activation_free_per_chunk = footprint.activation_bytes // num_subgroups
+    backward_duration = backward_time / num_subgroups
+    reduce_duration = backward_collective_time / num_subgroups
+    fp16 = DType.FP16.itemsize
+    subgroup_params = job.subgroup_params
+    emit_flush = job.strategy.flush_row_builder(batch, job.profile, job.plan)
+    flush = record.flush
+    blocks_backward = record.blocks_backward
+    backward_append = record.backward_compute_ops.append
+    grad_ready_deps: dict[int, int] = {}
+    blocking_tail: int | None = None
+
+    for subgroup_index in reversed(range(num_subgroups)):
+        params = subgroup_params[subgroup_index]
+        if previous_compute is not None:
+            if blocks_backward and blocking_tail is not None:
+                compute_deps = (previous_compute, blocking_tail)
+            else:
+                compute_deps = (previous_compute,)
+        elif blocks_backward and blocking_tail is not None:
+            compute_deps = (blocking_tail,)
+        else:
+            compute_deps = ()
+        compute_id = new_id()
+        rows_append((f"it{iteration_index}.bwd_compute[{subgroup_index}]",
+                     OpKind.GPU_COMPUTE, "gpu.compute", backward_duration,
+                     compute_deps, "backward", subgroup_index, 0,
+                     -activation_free_per_chunk + params * fp16, compute_id))
+        backward_append(compute_id)
+        previous_compute = compute_id
+
+        reduce_id = new_id()
+        rows_append((f"it{iteration_index}.bwd_reduce_scatter[{subgroup_index}]",
+                     OpKind.REDUCE_SCATTER, "nvlink", reduce_duration,
+                     (compute_id,), "backward", subgroup_index, 0, 0, reduce_id))
+
+        grad_ready, blocking = emit_flush(flush, subgroup_index, params, reduce_id)
+        grad_ready_deps[subgroup_index] = grad_ready
+        if blocks_backward and blocking is not None:
+            blocking_tail = blocking
+
+    # ------------------------------------------------------------------ update
+    last_backward = record.backward_compute_ops[-1]
+    record.update = job.strategy.build_update_phase_rows(
+        batch,
+        job.profile,
+        job.plan,
+        subgroup_params,
+        grad_ready_ops=grad_ready_deps,
+        start_deps=(last_backward,),
+        contention=job.contention,
+        staged_subgroup_bytes=footprint.staged_subgroup_bytes,
+    )
+    return record
+
+
+def simulate_job(
+    job: ResolvedJob,
+    iterations: int = 1,
+    *,
+    op_backend: str | None = None,
+) -> SimulationResult:
+    """Simulate ``iterations`` chained training iterations of ``job``.
+
+    ``op_backend`` selects how operations reach the engine: ``"batch"`` (default)
+    uses the array-batched row path, ``"objects"`` the eager per-``SimOp`` path.
+    ``None`` reads ``$REPRO_SIM_OP_BACKEND`` and falls back to ``"batch"``.  The two
+    backends are schedule-identical; strategies without row builders are silently
+    simulated through the eager path.
+    """
     if iterations <= 0:
         raise ConfigurationError("iterations must be positive")
+    backend = op_backend or os.environ.get("REPRO_SIM_OP_BACKEND") or "batch"
+    if backend not in ("batch", "objects"):
+        raise ConfigurationError(
+            f"unknown op backend {backend!r}; expected 'batch' or 'objects'"
+        )
+    if backend == "batch" and not job.strategy.supports_op_batch():
+        backend = "objects"
     engine = SimEngine(name=f"{job.model.name}-{job.strategy.name}")
     standard_resources(engine)
 
     records: list[IterationOps] = []
     start_deps: tuple[int, ...] = ()
-    for index in range(iterations):
-        record = build_iteration(engine, job, index, start_deps)
-        records.append(record)
-        start_deps = tuple(record.update.params_ready_ops)
-
-    schedule = engine.run()
+    if backend == "batch":
+        batch = OpBatch()
+        for index in range(iterations):
+            record = build_iteration_rows(batch, job, index, start_deps)
+            records.append(record)
+            start_deps = tuple(record.update.params_ready_ops)
+        schedule = engine.run_batch(batch)
+    else:
+        for index in range(iterations):
+            record = build_iteration(engine, job, index, start_deps)
+            records.append(record)
+            start_deps = tuple(record.update.params_ready_ops)
+        schedule = engine.run()
     initial = (
         job.footprint.fp16_parameter_bytes
         + job.footprint.gpu_resident_optimizer_bytes

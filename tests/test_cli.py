@@ -113,6 +113,80 @@ def test_experiment_command_rejects_malformed_set():
         main(["experiment", "fig2", "--set", "iterations"])
 
 
+def test_sweep_command_with_machine_axis_and_cache_stats(tmp_path, capsys):
+    assert main([
+        "sweep",
+        "--models", "7B",
+        "--strategies", "deep-optimizer-states",
+        "--machines", "jlse-4xh100,4xv100",
+        "--iterations", "2",
+        "--cache-dir", str(tmp_path),
+        "--cache-stats",
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "4xv100" in output and "jlse-4xh100" in output
+    assert "2 scenarios (0 cached, 2 computed)" in output
+    assert "live entries: 2" in output
+    assert "repro.experiments.base.run_training: 2" in output
+    # --axis machine=... is the equivalent generic spelling.
+    assert main([
+        "sweep",
+        "--models", "7B",
+        "--strategies", "deep-optimizer-states",
+        "--axis", "machine=jlse-4xh100,4xv100",
+        "--iterations", "2",
+        "--cache-dir", str(tmp_path),
+    ]) == 0
+    assert "2 cached, 0 computed" in capsys.readouterr().out
+
+
+def test_sweep_command_cache_evict(tmp_path, capsys):
+    args = ["sweep", "--models", "7B", "--strategies", "zero3-offload",
+            "--iterations", "2", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    capsys.readouterr()
+    # Eviction is a maintenance mode: no sweep runs, stats can be chained.
+    assert main(["sweep", "--cache-evict", "all", "--cache-stats",
+                 "--cache-dir", str(tmp_path)]) == 0
+    output = capsys.readouterr().out
+    assert "evicted 1 cache files" in output
+    assert "live entries: 0" in output
+    assert "scenarios" not in output
+    assert list(tmp_path.glob("*.pkl")) == []
+    # Bare --cache-evict defaults to the 'stale' mode and removes nothing live.
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(["sweep", "--cache-evict", "--cache-dir", str(tmp_path)]) == 0
+    assert "[stale]" in capsys.readouterr().out
+    assert len(list(tmp_path.glob("*.pkl"))) == 1
+
+
+def test_sweep_command_numeric_executor(tmp_path, capsys):
+    assert main([
+        "sweep",
+        "--executor", "numeric",
+        "--models", "nano",
+        "--strategies", "zero3-offload,deep-optimizer-states",
+        "--iterations", "2",
+        "--cache-dir", str(tmp_path),
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "final_loss" in output
+    assert "2 scenarios" in output
+    # The numerical-equivalence claim, visible from the CLI: both strategies
+    # produce the same loss column.
+    lines = [line for line in output.splitlines() if line.startswith("nano")]
+    assert len(lines) == 2
+    assert lines[0].split()[-2] == lines[1].split()[-2]  # final_loss column
+
+
+def test_sweep_command_numeric_rejects_machines():
+    from repro.common.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        main(["sweep", "--executor", "numeric", "--machines", "jlse-4xh100"])
+
+
 def test_compare_command_with_no_cache(tmp_path, capsys):
     assert main([
         "compare",

@@ -1,0 +1,104 @@
+"""Documentation checks: intra-repo links resolve and documented CLI commands parse.
+
+Docs drift is a test failure here, not a review comment:
+
+* every relative markdown link in ``README.md`` and ``docs/*.md`` must point at a
+  file that exists in the repository;
+* every ``python -m repro ...`` command inside a fenced code block must parse
+  against the real argument parser (``repro.cli.build_parser``), so an example
+  using a renamed flag or a removed subcommand breaks the build;
+* every subcommand's ``--help`` must render (smoke invocation).
+"""
+
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOC_FILES = sorted([REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")])
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```(?:bash|sh|console)?\n(.*?)```", re.DOTALL)
+
+
+def _doc_ids():
+    return [str(path.relative_to(REPO_ROOT)) for path in DOC_FILES]
+
+
+def test_docs_suite_exists():
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "architecture.md", "sweeps.md", "experiments.md"} <= names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_intra_repo_links_resolve(doc):
+    broken = []
+    for target in _LINK.findall(doc.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken relative links {broken}"
+
+
+def _documented_commands():
+    """Every `python -m repro ...` line inside a fenced code block, per doc."""
+    commands = []
+    for doc in DOC_FILES:
+        for block in _FENCE.findall(doc.read_text()):
+            # Join "\"-continued lines before scanning.
+            joined = block.replace("\\\n", " ")
+            for line in joined.splitlines():
+                line = line.strip()
+                if line.startswith("#") or "python -m repro" not in line:
+                    continue
+                tokens = shlex.split(line)
+                anchor = tokens.index("repro")
+                commands.append((doc.name, tokens[anchor + 1:]))
+    return commands
+
+
+def test_docs_contain_cli_examples():
+    commands = _documented_commands()
+    assert len(commands) >= 10
+    subcommands = {argv[0] for _, argv in commands if argv}
+    assert {"sweep", "experiment", "compare", "stride", "list-presets"} <= subcommands
+
+
+@pytest.mark.parametrize(
+    "doc,argv",
+    _documented_commands(),
+    ids=[f"{doc}:{' '.join(argv[:4])}" for doc, argv in _documented_commands()],
+)
+def test_documented_cli_commands_parse(doc, argv):
+    """The CLI-reference check: docs and `repro --help` must agree."""
+    parser = build_parser()
+    try:
+        parser.parse_args(argv)
+    except SystemExit as exc:  # argparse rejected the documented command
+        pytest.fail(f"{doc}: documented command {' '.join(argv)!r} no longer parses ({exc})")
+
+
+@pytest.mark.parametrize(
+    "subcommand", ["list-presets", "compare", "experiment", "sweep", "stride"]
+)
+def test_subcommand_help_smoke(subcommand, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([subcommand, "--help"])
+    assert excinfo.value.code == 0
+    help_text = capsys.readouterr().out
+    assert subcommand != "sweep" or "--cache-stats" in help_text
+
+
+def test_readme_documents_new_sweep_flags():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for needle in ("--cache-stats", "--cache-evict", "--machines", "docs/sweeps.md"):
+        assert needle in readme, f"README.md must document {needle}"

@@ -131,7 +131,9 @@ def test_fig13_microbatch_oom_at_16():
 
 
 def test_fig14_cpu_scaling_plateau():
-    result = run_experiment("fig14", model="7B", cores=(10, 38, 48))
+    result = run_experiment(
+        "fig14", model="7B", cores=(10, 38, 48), machines=("jlse-4xh100",)
+    )
     rows = {row["cpu_cores_per_gpu"]: row for row in result.rows}
     assert rows[10]["zero3_iteration_s"] > rows[38]["zero3_iteration_s"]
     assert rows[48]["zero3_iteration_s"] == pytest.approx(rows[38]["zero3_iteration_s"], rel=0.02)
@@ -141,6 +143,20 @@ def test_fig14_cpu_scaling_plateau():
     zero3_sensitivity = rows[10]["zero3_iteration_s"] - rows[38]["zero3_iteration_s"]
     dos_sensitivity = rows[10]["dos_iteration_s"] - rows[38]["dos_iteration_s"]
     assert zero3_sensitivity > dos_sensitivity
+
+
+def test_fig14_declares_a_machine_grid():
+    result = run_experiment("fig14", model="7B", cores=(10, 38))
+    machines = {row["machine"] for row in result.rows}
+    assert machines == {"jlse-4xh100", "polaris-4xa100"}
+    # Interleaving beats the blocking baseline on every machine in the grid, and the
+    # better-provisioned H100 node runs the same job faster than the A100 node.
+    assert all(row["speedup"] > 1.0 for row in result.rows)
+    by_key = {(row["machine"], row["cpu_cores_per_gpu"]): row for row in result.rows}
+    assert (
+        by_key[("jlse-4xh100", 38)]["dos_iteration_s"]
+        < by_key[("polaris-4xa100", 38)]["dos_iteration_s"]
+    )
 
 
 def test_fig15_resource_utilisation_ordering():
@@ -154,9 +170,21 @@ def test_fig15_resource_utilisation_ordering():
 def test_fig16_50_percent_is_optimal():
     result = run_experiment("fig16", models=("7B",))
     row = result.rows[0]
+    assert row["machine"] == "jlse-4xh100"
     assert row["best_fraction"] == "50%"
     assert row["dos_50%_bpps"] >= row["dos_33%_bpps"] >= row["dos_25%_bpps"]
     assert row["dos_50%_bpps"] > row["zero3_bpps"]
+
+
+def test_fig16_validates_on_both_testbeds():
+    result = run_experiment("fig16", models=("7B",))
+    by_machine = {row["machine"]: row for row in result.rows}
+    assert set(by_machine) == {"jlse-4xh100", "4xv100"}
+    v100 = by_machine["4xv100"]
+    # Paper reference columns exist only for the machine the paper measured.
+    assert "paper_50%_bpps" not in v100
+    # The §5.4 machine still prefers interleaving over the blocking baseline.
+    assert v100["dos_50%_bpps"] > v100["zero3_bpps"]
 
 
 def test_fig17_speedup_decreases_with_data_parallelism():

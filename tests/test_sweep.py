@@ -168,6 +168,30 @@ def test_training_sweep_parallel_matches_serial():
         )
 
 
+def test_numeric_sweep_runs_tiny_models_through_runner():
+    from repro.experiments.base import numeric_sweep
+
+    results = numeric_sweep(
+        {"strategy": ("zero3-offload", "deep-optimizer-states")},
+        base={"model": "nano", "steps": 2, "seed": 3},
+    )
+    zero3 = results["zero3-offload"]
+    dos = results["deep-optimizer-states"]
+    assert zero3["steps"] == dos["steps"] == 2
+    # The numerical-equivalence claim holds grid-wide: identical losses.
+    assert zero3["final_loss"] == dos["final_loss"]
+    assert zero3["initial_loss"] == dos["initial_loss"]
+
+
+def test_numeric_worker_rejects_paper_scale_models():
+    from repro.training.numeric import run_numeric_training
+
+    with pytest.raises(ConfigurationError):
+        run_numeric_training(model="20B")
+    with pytest.raises(ConfigurationError):
+        run_numeric_training(model="nano", steps=0)
+
+
 def test_model_sweep_zeroes_static_fraction_for_zero3():
     reports = model_sweep(
         ["zero3-offload", "twinflow"],

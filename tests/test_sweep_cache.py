@@ -1,0 +1,160 @@
+"""Tests for the sweep cache manifest: round-trip, stale detection, eviction."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sweep import SweepRunner, SweepSpec, run_sweep
+from repro.sweep.cache import (
+    CACHE_VERSION,
+    cache_stats,
+    evict_cache,
+    format_stats,
+    load_manifest,
+    manifest_path,
+    record_entries,
+)
+
+
+def _double(*, x, y=1):
+    """Module-level worker (picklable) for cache tests."""
+    return x * 2 + y
+
+
+def _sweep(tmp_path, values=(1, 2, 3)):
+    return run_sweep(_double, {"x": tuple(values)}, use_cache=True, cache_dir=tmp_path)
+
+
+# ---------------------------------------------------------------------- manifest
+
+
+def test_manifest_records_every_stored_entry(tmp_path):
+    _sweep(tmp_path)
+    manifest = load_manifest(tmp_path)
+    assert len(manifest["entries"]) == 3
+    pickles = {path.name for path in tmp_path.glob("*.pkl")}
+    assert set(manifest["entries"]) == pickles
+    for filename, entry in manifest["entries"].items():
+        assert entry["worker"] == f"{_double.__module__}.{_double.__qualname__}"
+        assert entry["cache_version"] == CACHE_VERSION
+        assert entry["config_hash"] in filename
+        assert entry["params"]["x"] in (1, 2, 3)
+        assert entry["size_bytes"] == (tmp_path / filename).stat().st_size
+        assert entry["created_at"]
+
+
+def test_manifest_survives_cache_hits_and_new_entries(tmp_path):
+    _sweep(tmp_path)
+    first = load_manifest(tmp_path)
+    # A fully cached re-run must not rewrite (or lose) manifest records.
+    result = _sweep(tmp_path)
+    assert result.cache_hits == 3
+    assert load_manifest(tmp_path) == first
+    # New scenarios extend the manifest without touching old entries.
+    _sweep(tmp_path, values=(1, 2, 3, 4))
+    merged = load_manifest(tmp_path)
+    assert len(merged["entries"]) == 4
+    assert set(first["entries"]) <= set(merged["entries"])
+
+
+def test_corrupt_manifest_is_an_empty_manifest(tmp_path):
+    manifest_path(tmp_path).parent.mkdir(parents=True, exist_ok=True)
+    manifest_path(tmp_path).write_text("{not json")
+    assert load_manifest(tmp_path) == {"format": 1, "entries": {}}
+    # And a sweep on top of the corrupt file repairs it.
+    _sweep(tmp_path)
+    assert len(load_manifest(tmp_path)["entries"]) == 3
+
+
+def test_record_entries_requires_file_key(tmp_path):
+    with pytest.raises(ConfigurationError):
+        record_entries(tmp_path, [{"worker": "w"}])
+
+
+# ---------------------------------------------------------------------- stats
+
+
+def test_cache_stats_counts_live_entries_and_bytes(tmp_path):
+    _sweep(tmp_path)
+    stats = cache_stats(tmp_path)
+    assert stats["entries"] == 3
+    assert stats["total_bytes"] == sum(p.stat().st_size for p in tmp_path.glob("*.pkl"))
+    assert stats["workers"] == {f"{_double.__module__}.{_double.__qualname__}": 3}
+    assert stats["stale_count"] == 0
+    rendered = format_stats(stats)
+    assert "live entries: 3" in rendered and str(tmp_path) in rendered
+
+
+def test_cache_stats_detects_all_three_stale_classes(tmp_path):
+    _sweep(tmp_path)
+    pickles = sorted(tmp_path.glob("*.pkl"))
+    # 1. manifest entry whose pickle vanished
+    pickles[0].unlink()
+    # 2. orphaned pickle the manifest does not know about
+    orphan = tmp_path / "orphan-entry.pkl"
+    orphan.write_bytes(b"x")
+    # 3. entry recorded under an older cache version
+    manifest = load_manifest(tmp_path)
+    manifest["entries"][pickles[1].name]["cache_version"] = CACHE_VERSION - 1
+    manifest_path(tmp_path).write_text(json.dumps(manifest))
+
+    stats = cache_stats(tmp_path)
+    assert stats["entries"] == 1
+    assert stats["stale"]["missing_files"] == [pickles[0].name]
+    assert stats["stale"]["orphaned_files"] == [orphan.name]
+    assert stats["stale"]["version_mismatch"] == [pickles[1].name]
+    assert stats["stale_count"] == 3
+
+
+def test_cache_stats_on_missing_directory(tmp_path):
+    stats = cache_stats(tmp_path / "never-created")
+    assert stats["entries"] == 0 and stats["stale_count"] == 0
+
+
+# ---------------------------------------------------------------------- eviction
+
+
+def test_evict_stale_removes_only_stale_entries(tmp_path):
+    _sweep(tmp_path)
+    pickles = sorted(tmp_path.glob("*.pkl"))
+    pickles[0].unlink()
+    (tmp_path / "orphan-entry.pkl").write_bytes(b"xx")
+    manifest = load_manifest(tmp_path)
+    manifest["entries"][pickles[1].name]["cache_version"] = CACHE_VERSION - 1
+    manifest_path(tmp_path).write_text(json.dumps(manifest))
+
+    report = evict_cache(tmp_path, mode="stale")
+    assert report["removed_files"] == 2  # orphan + version mismatch
+    assert report["dropped_entries"] == 2  # missing file + version mismatch
+    assert report["freed_bytes"] > 0
+
+    stats = cache_stats(tmp_path)
+    assert stats["stale_count"] == 0
+    assert stats["entries"] == 1  # the one untouched live entry survived
+
+    # The surviving entry still serves cache hits.
+    result = _sweep(tmp_path)
+    assert result.cache_hits == 1 and result.cache_misses == 2
+
+
+def test_evict_all_clears_cache_and_manifest(tmp_path):
+    _sweep(tmp_path)
+    report = evict_cache(tmp_path, mode="all")
+    assert report["removed_files"] == 3 and report["dropped_entries"] == 3
+    assert list(tmp_path.glob("*.pkl")) == []
+    stats = cache_stats(tmp_path)
+    assert stats["entries"] == 0 and stats["stale_count"] == 0
+    result = _sweep(tmp_path)
+    assert result.cache_misses == 3
+
+
+def test_evict_rejects_unknown_mode(tmp_path):
+    with pytest.raises(ConfigurationError):
+        evict_cache(tmp_path, mode="everything")
+
+
+def test_no_cache_run_writes_no_manifest(tmp_path):
+    runner = SweepRunner(_double, use_cache=False, cache_dir=tmp_path)
+    runner.run(SweepSpec.build({"x": (1,)}))
+    assert not manifest_path(tmp_path).exists()
