@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --models 7B,20B --strategies zero3-offload,deep-optimizer-states --jobs 4
     python -m repro sweep --models 20B --machines jlse-4xh100,4xv100 --strategies deep-optimizer-states
     python -m repro sweep --executor numeric --models nano --axis seed=0,1,2
+    python -m repro sweep --models 20B --strategies deep-optimizer-states --scheduler vector
     python -m repro sweep --cache-stats --models 7B --strategies deep-optimizer-states
     python -m repro sweep --cache-evict stale
     python -m repro stride --machine jlse-4xh100
@@ -36,6 +37,7 @@ from repro.experiments.base import run_experiment, run_training, training_sweep
 from repro.hardware.presets import get_machine_preset, list_machine_presets
 from repro.hardware.throughput import ThroughputProfile
 from repro.model.presets import list_model_presets
+from repro.sim.engine import SCHEDULER_BACKENDS
 from repro.sweep import SweepRunner, SweepSpec, configure_defaults, default_cache_dir
 from repro.sweep.cache import cache_stats, evict_cache, format_stats
 from repro.training.metrics import format_table
@@ -82,6 +84,9 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable the on-disk result cache")
     parser.add_argument("--cache-dir", default=None,
                         help=f"result cache directory (default: {default_cache_dir()})")
+    parser.add_argument("--scheduler", choices=SCHEDULER_BACKENDS, default=None,
+                        help="simulation scheduler backend (byte-identical schedules; "
+                             "'vector' is the fast path for very large grids)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,6 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(comma-separated values become tuples)")
     experiment.add_argument("--jobs", type=int, default=None,
                             help="worker processes for the experiment's internal sweeps")
+    experiment.add_argument("--scheduler", choices=SCHEDULER_BACKENDS, default=None,
+                            help="simulation scheduler backend for the experiment's "
+                                 "internal sweeps (byte-identical schedules)")
 
     sweep = subparsers.add_parser(
         "sweep", help="run a declarative training-scenario grid, parallel and cached"
@@ -187,6 +195,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        scheduler=args.scheduler,
     )
     rows = [report.as_row() for report in reports.values()]
     columns = ["strategy"] + _REPORT_COLUMNS
@@ -201,6 +210,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         configure_defaults(jobs=args.jobs)
+    if args.scheduler is not None:
+        configure_defaults(scheduler=args.scheduler)
     kwargs: dict = {}
     if args.models is not None:
         kwargs["models"] = _parse_values(args.models)
@@ -260,6 +271,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=cache_dir,
+        scheduler=args.scheduler,
     )
     result = runner.run(spec)
 

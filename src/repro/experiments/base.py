@@ -105,16 +105,21 @@ def training_sweep(
     jobs: int | None = None,
     use_cache: bool | None = None,
     cache_dir: Any = None,
+    scheduler: str | None = None,
 ) -> dict[tuple, TrainingReport]:
     """Run a declarative grid of :func:`run_training` scenarios.
 
     ``axes`` maps :func:`run_training` keyword names to candidate values; ``base``
     holds fixed keywords shared by every scenario.  Returns reports keyed by the
     tuple of axis values in declaration order (bare values for a single axis).
-    Parallelism and caching follow the sweep-runner defaults unless overridden.
+    Parallelism, caching and the simulation scheduler backend follow the
+    sweep-runner defaults unless overridden.
     """
     spec = SweepSpec.build(axes, base)
-    runner = SweepRunner(run_training, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    runner = SweepRunner(
+        run_training, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+        scheduler=scheduler,
+    )
     return runner.run(spec).keyed(*spec.axis_names)
 
 

@@ -14,7 +14,14 @@ throughput time series to reproduce Figures 3, 4 and 15.
 """
 
 from repro.sim.ops import OpKind, SimOp, next_op_id
-from repro.sim.engine import Resource, Schedule, ScheduledOp, SimEngine
+from repro.sim.engine import (
+    SCHEDULER_BACKENDS,
+    Resource,
+    Schedule,
+    ScheduledOp,
+    SimEngine,
+    VectorSchedule,
+)
 from repro.sim.opbatch import OpBatch
 from repro.sim.trace import MemoryTimeline, ThroughputTimeline, sample_series
 
@@ -23,10 +30,12 @@ __all__ = [
     "SimOp",
     "OpBatch",
     "next_op_id",
+    "SCHEDULER_BACKENDS",
     "SimEngine",
     "Resource",
     "Schedule",
     "ScheduledOp",
+    "VectorSchedule",
     "MemoryTimeline",
     "ThroughputTimeline",
     "sample_series",

@@ -17,17 +17,24 @@ the number of operations while producing *exactly* the same schedule as the orig
 per-pop scan over all resource queues — the equivalence is enforced by the golden
 property test in ``tests/test_engine_equivalence.py``.
 
-The engine has two admission paths with identical semantics:
+The engine has three admission paths with identical semantics:
 
 * **eager** — :meth:`SimEngine.submit` one :class:`~repro.sim.ops.SimOp` at a time,
   then :meth:`SimEngine.run`;
 * **batched** — hand :meth:`SimEngine.run_batch` a
   :class:`~repro.sim.opbatch.OpBatch` of row tuples; the scheduler runs directly on
   the rows and materialises ``SimOp`` objects only for the finished schedule, which
-  makes large DAGs (10k+ optimizer subgroups) several times cheaper end-to-end.
+  makes large DAGs (10k+ optimizer subgroups) several times cheaper end-to-end;
+* **vector** — :meth:`SimEngine.run_vector` schedules a batch (or the eager
+  submissions) on the numpy struct-of-arrays kernel in
+  :mod:`repro.sim.veckernel`, which replaces the per-op heap/dict event loop
+  with flat arrays and run-at-a-time scans — the backend for very large grids
+  (100k+ subgroups per scenario).
 
-Both paths must produce byte-identical schedules; ``tests/test_opbatch_equivalence.py``
-is the golden test for the batched path.
+All paths must produce byte-identical schedules; ``tests/test_opbatch_equivalence.py``
+is the golden test for the batched path and the three-way differential harness in
+``tests/test_engine_equivalence.py`` covers all of them against the seed
+list-scheduler reference.
 """
 
 from __future__ import annotations
@@ -38,8 +45,30 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError, SimulationError
-from repro.sim.opbatch import simop_from_row
+from repro.sim.opbatch import row_from_simop, simop_from_row
 from repro.sim.ops import OpKind, SimOp
+
+#: The engine's scheduler backends: ``"heap"`` is :meth:`SimEngine.run` /
+#: :meth:`SimEngine.run_batch`, ``"vector"`` is :meth:`SimEngine.run_vector`.
+#: The single source of truth for backend names — ``simulate_job`` validation,
+#: ``SweepRunner`` and the CLI ``--scheduler`` choices all import it, so adding
+#: a backend here makes it selectable everywhere at once.
+SCHEDULER_BACKENDS = ("heap", "vector")
+
+
+def validate_scheduler_backend(name: str) -> str:
+    """Return ``name`` if it is a registered scheduler backend, else raise.
+
+    The one validation every selection surface shares (``simulate_job``,
+    ``SweepRunner``, ``configure_defaults``); the error names the bad value and
+    the valid backends.
+    """
+    if name not in SCHEDULER_BACKENDS:
+        raise ConfigurationError(
+            f"unknown scheduler backend {name!r}; expected one of "
+            f"{', '.join(repr(backend) for backend in SCHEDULER_BACKENDS)}"
+        )
+    return name
 
 
 @dataclass
@@ -99,6 +128,15 @@ class Schedule:
 
     def __post_init__(self) -> None:
         self._index_cache: _ScheduleIndex | None = None
+
+    def __eq__(self, other: object) -> bool:
+        # Defined by hand (the dataclass skips generating __eq__ when one
+        # exists) so equality spans Schedule subclasses: a lazily materialised
+        # VectorSchedule must compare equal to the heap Schedule it matches
+        # bit for bit, not fail the generated same-class check.
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return (self.ops, self.resources) == (other.ops, other.resources)
 
     @property
     def _index(self) -> _ScheduleIndex:
@@ -216,7 +254,6 @@ class Schedule:
     def validate(self) -> None:
         """Check internal consistency (used by property tests)."""
         lookup = {item.op.op_id: item for item in self.ops}
-        last_end: dict[str, float] = {}
         seen_order: dict[str, list[ScheduledOp]] = {}
         for item in self.ops:
             if item.start < 0 or item.end < item.start:
@@ -230,13 +267,88 @@ class Schedule:
                     )
             seen_order.setdefault(item.op.resource, []).append(item)
         for resource, items in seen_order.items():
+            # self.ops is sorted by (start, op id), which only matches execution
+            # order when ids are monotone with submission order; serial execution
+            # itself is order-free — intervals on one resource must not overlap.
+            items = sorted(items, key=lambda item: (item.start, item.end))
             for first, second in zip(items, items[1:]):
                 if second.start + 1e-9 < first.end:
                     raise SimulationError(
                         f"resource {resource!r} executes ops {first.op.name!r} and "
                         f"{second.op.name!r} concurrently"
                     )
-            last_end[resource] = items[-1].end
+
+
+def _materialise_ops(rows: list[tuple], triples) -> list[ScheduledOp]:
+    """Bulk-build ``ScheduledOp`` objects from ``(row index, start, end)`` triples.
+
+    The one materialisation path shared by :meth:`SimEngine.run_batch` and
+    :class:`VectorSchedule`.  ``ScheduledOp`` is a frozen dataclass; installing
+    the attribute dict through ``object.__setattr__`` skips the three per-field
+    frozen checks of the generated ``__init__``, and the generational collector
+    is paused for the duration (~4 container objects per op, every one of them
+    reachable from the result or refcount-freed immediately) — both measurable
+    wins at 100k+ ops.
+    """
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        new_item = ScheduledOp.__new__
+        set_attr = object.__setattr__
+        ops: list[ScheduledOp] = []
+        append = ops.append
+        for index, start, end in triples:
+            item = new_item(ScheduledOp)
+            set_attr(item, "__dict__",
+                     {"op": simop_from_row(rows[index]), "start": start, "end": end})
+            append(item)
+        return ops
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+class VectorSchedule(Schedule):
+    """A :class:`Schedule` whose per-op objects materialise lazily.
+
+    The vector kernel finishes with flat start/end/op-id arrays — everything
+    array-backed queries need.  Sorting the schedule and building the 100k+
+    :class:`ScheduledOp`/:class:`~repro.sim.ops.SimOp` objects of a large grid
+    cost more than the scheduling itself, so both are deferred to the first
+    access of :attr:`ops`; ``makespan`` is answered from the arrays directly.
+    Once materialised, the schedule is bit-for-bit the one the heap paths
+    produce (same object layout, same floats, same order) and every inherited
+    query behaves identically.
+    """
+
+    def __init__(self, rows: list[tuple], starts, ends, op_id_column, resources: list[str]) -> None:
+        self._rows = rows
+        self._starts = starts
+        self._ends = ends
+        self._op_id_column = op_id_column
+        self._ops_cache: list[ScheduledOp] | None = None
+        self.resources = resources
+        self._index_cache = None
+
+    @property
+    def ops(self) -> list[ScheduledOp]:  # type: ignore[override]
+        if self._ops_cache is None:
+            from repro.sim.veckernel import schedule_order
+
+            order = schedule_order(self._starts, self._op_id_column)
+            self._ops_cache = _materialise_ops(
+                self._rows,
+                zip(order.tolist(), self._starts[order].tolist(), self._ends[order].tolist()),
+            )
+        return self._ops_cache
+
+    @property
+    def makespan(self) -> float:  # type: ignore[override]
+        """Completion time of the last operation (array-backed, no materialisation)."""
+        if self._ends.shape[0] == 0:
+            return 0.0
+        return float(self._ends.max())
 
 
 class SimEngine:
@@ -518,20 +630,61 @@ class SimEngine:
                         arm(blocked_name)
 
         scheduled.sort()
-        new_item = ScheduledOp.__new__
-        set_attr = object.__setattr__
-        ops: list[ScheduledOp] = []
-        append = ops.append
-        for start, _, end, index in scheduled:
-            # ScheduledOp is a frozen dataclass; installing the attribute dict
-            # through object.__setattr__ skips the three per-field frozen checks
-            # of the generated __init__ (a measurable win at 100k+ ops).
-            item = new_item(ScheduledOp)
-            set_attr(item, "__dict__",
-                     {"op": simop_from_row(rows[index]), "start": start, "end": end})
-            append(item)
+        ops = _materialise_ops(
+            rows, ((index, start, end) for start, _, end, index in scheduled)
+        )
 
         schedule = Schedule(ops=ops, resources=list(self._resources))
+        if validate:
+            schedule.validate()
+        return schedule
+
+
+    def run_vector(self, batch=None, *, validate: bool = False) -> Schedule:
+        """Schedule on the numpy vector kernel (:mod:`repro.sim.veckernel`).
+
+        The third admission path: pass an :class:`~repro.sim.opbatch.OpBatch`
+        to schedule its rows, or no batch to consume the eagerly submitted
+        operations exactly as :meth:`run` would (single-shot semantics
+        included).  The kernel performs the same float operations as the heap
+        scheduler over struct-of-arrays state, so the resulting schedule is
+        byte-identical to :meth:`run`/:meth:`run_batch` on the same DAG — the
+        three-way differential harness in ``tests/test_engine_equivalence.py``
+        enforces that bit-for-bit.
+
+        Returns a :class:`VectorSchedule`: start/end times and schedule order
+        are final on return, while ``ScheduledOp`` materialisation is deferred
+        to the first ``.ops`` access.  ``validate=True`` materialises and runs
+        :meth:`Schedule.validate` before returning.
+
+        Raises the same errors as the heap paths: :class:`ConfigurationError`
+        for unknown resources or mixed admission, :class:`SimulationError` for
+        FIFO/dependency deadlocks.
+        """
+        from repro.sim.veckernel import schedule_rows
+
+        if batch is None:
+            rows = [row_from_simop(op) for op in self._submission_order]
+            release_times = self._release_times
+        else:
+            if self._submission_order:
+                raise ConfigurationError(
+                    "run_vector on an engine with eagerly submitted pending ops; "
+                    "use either submit()+run_vector() or run_vector(batch), not both"
+                )
+            batch.validate_rows()
+            rows = batch.rows
+            release_times = batch.release_times
+
+        starts, ends, op_id_column = schedule_rows(rows, release_times, list(self._resources))
+        if batch is None:
+            # Single-shot reset, as in run(): only after successful scheduling,
+            # so a deadlock error leaves the submissions intact (run() raises
+            # before its own reset too).
+            self._queues = {name: deque() for name in self._resources}
+            self._submission_order = []
+            self._release_times = {}
+        schedule = VectorSchedule(rows, starts, ends, op_id_column, list(self._resources))
         if validate:
             schedule.validate()
         return schedule

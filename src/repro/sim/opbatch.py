@@ -57,6 +57,19 @@ NAME, KIND, RESOURCE, DURATION, DEPS, PHASE, SUBGROUP, PAYLOAD, MEM_DELTA, OP_ID
 _NEW_SIMOP = SimOp.__new__
 
 
+def row_from_simop(op: SimOp) -> tuple:
+    """Pack one ``SimOp`` as a row tuple (the inverse of :func:`simop_from_row`).
+
+    The single place that spells out the row layout from object attributes —
+    callers that turn eager submissions into rows (e.g.
+    :meth:`~repro.sim.engine.SimEngine.run_vector`) go through it, so a
+    ``SimOp`` field change only has to touch :data:`ROW_FIELDS` and the two
+    converters.
+    """
+    return (op.name, op.kind, op.resource, op.duration, op.deps, op.phase,
+            op.subgroup, op.payload_bytes, op.gpu_mem_delta, op.op_id)
+
+
 def simop_from_row(row: tuple, _new=_NEW_SIMOP) -> SimOp:
     """Materialise one row as a ``SimOp`` without running ``SimOp.__init__``.
 

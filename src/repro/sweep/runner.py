@@ -29,6 +29,15 @@ behind; unreadable or stale pickles load as misses, never as errors.  Every stor
 is also recorded in a JSON manifest next to the pickles
 (:mod:`repro.sweep.cache`), which powers ``repro sweep --cache-stats`` and
 ``--cache-evict``.
+
+**Scheduler backend.**  ``scheduler`` selects the simulation engine workers run
+on (``"heap"`` or ``"vector"``, see
+:func:`repro.training.simulation.simulate_job`) by exporting
+``$REPRO_SIM_SCHEDULER`` around worker execution — in-process for serial runs,
+inside each pool process for parallel ones.  Scheduler backends are
+byte-identical (the whole point of the three-way differential harness), so the
+knob deliberately does **not** enter the cache key: a grid computed on one
+backend is a valid cache hit for the other.
 """
 
 from __future__ import annotations
@@ -43,15 +52,19 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.common.errors import ConfigurationError
+from repro.sim.engine import validate_scheduler_backend
 from repro.sweep.cache import CACHE_VERSION, record_entries
 from repro.sweep.result import SweepRecord, SweepResult
 from repro.sweep.spec import Scenario, SweepSpec
 
 _MISS = object()
 
-# Session-wide defaults, configurable by the CLI (`--jobs` / `--no-cache`) so that
-# experiment modules pick them up without threading flags through every signature.
-_defaults: dict[str, Any] = {"jobs": None, "use_cache": None, "cache_dir": None}
+# Session-wide defaults, configurable by the CLI (`--jobs` / `--no-cache` /
+# `--scheduler`) so that experiment modules pick them up without threading flags
+# through every signature.
+_defaults: dict[str, Any] = {
+    "jobs": None, "use_cache": None, "cache_dir": None, "scheduler": None,
+}
 
 
 def configure_defaults(
@@ -59,6 +72,7 @@ def configure_defaults(
     jobs: int | None = None,
     use_cache: bool | None = None,
     cache_dir: str | Path | None = None,
+    scheduler: str | None = None,
 ) -> None:
     """Set session-wide runner defaults (None leaves a setting unchanged)."""
     if jobs is not None:
@@ -69,11 +83,15 @@ def configure_defaults(
         _defaults["use_cache"] = use_cache
     if cache_dir is not None:
         _defaults["cache_dir"] = Path(cache_dir)
+    if scheduler is not None:
+        _defaults["scheduler"] = validate_scheduler_backend(scheduler)
 
 
 def reset_defaults() -> None:
     """Restore the built-in defaults (used by tests)."""
-    _defaults.update({"jobs": None, "use_cache": None, "cache_dir": None})
+    _defaults.update(
+        {"jobs": None, "use_cache": None, "cache_dir": None, "scheduler": None}
+    )
 
 
 def default_jobs() -> int:
@@ -96,8 +114,18 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro" / "sweeps"
 
 
-def _call_worker(worker: Callable[..., Any], params: dict[str, Any]) -> Any:
-    """Module-level trampoline so the pool only has to pickle (worker, params)."""
+def _call_worker(
+    worker: Callable[..., Any],
+    params: dict[str, Any],
+    env: dict[str, str] | None = None,
+) -> Any:
+    """Module-level trampoline so the pool only has to pickle (worker, params).
+
+    ``env`` entries are exported before the call (and deliberately left set: a
+    pool process only ever runs scenarios of the sweep that spawned it).
+    """
+    if env:
+        os.environ.update(env)
     return worker(**params)
 
 
@@ -107,7 +135,9 @@ class SweepRunner:
     ``worker`` must be a module-level callable accepting every scenario parameter as
     a keyword argument (a requirement of process-based parallelism: the pool pickles
     the callable by reference).  ``jobs`` > 1 enables process parallelism;
-    ``use_cache`` enables the on-disk result cache under ``cache_dir``.
+    ``use_cache`` enables the on-disk result cache under ``cache_dir``;
+    ``scheduler`` pins the simulation scheduler backend workers run on (exported
+    as ``$REPRO_SIM_SCHEDULER`` around every worker call, serial or pooled).
     """
 
     def __init__(
@@ -117,6 +147,7 @@ class SweepRunner:
         jobs: int | None = None,
         use_cache: bool | None = None,
         cache_dir: str | Path | None = None,
+        scheduler: str | None = None,
     ) -> None:
         if not callable(worker):
             raise ConfigurationError("worker must be callable")
@@ -128,6 +159,9 @@ class SweepRunner:
             use_cache = _defaults["use_cache"] if _defaults["use_cache"] is not None else False
         self.use_cache = use_cache
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        if scheduler is None:
+            scheduler = _defaults["scheduler"]
+        self.scheduler = validate_scheduler_backend(scheduler) if scheduler is not None else None
         if self.jobs > 1 and "<locals>" in getattr(worker, "__qualname__", ""):
             raise ConfigurationError(
                 "parallel sweeps need a module-level worker (locally defined "
@@ -223,17 +257,31 @@ class SweepRunner:
             pending.append(index)
 
         if pending:
+            env = {"REPRO_SIM_SCHEDULER": self.scheduler} if self.scheduler else None
             if self.jobs > 1 and len(pending) > 1:
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
                         index: pool.submit(
-                            _call_worker, self.worker, scenarios[index].as_dict()
+                            _call_worker, self.worker, scenarios[index].as_dict(), env
                         )
                         for index in pending
                     }
                     for index, future in futures.items():
                         values[index] = future.result()
+            elif env:
+                # Serial workers run in-process: scope the backend override to
+                # the sweep instead of leaking it into the caller's environment.
+                saved = os.environ.get("REPRO_SIM_SCHEDULER")
+                os.environ.update(env)
+                try:
+                    for index in pending:
+                        values[index] = self.worker(**scenarios[index].as_dict())
+                finally:
+                    if saved is None:
+                        os.environ.pop("REPRO_SIM_SCHEDULER", None)
+                    else:
+                        os.environ["REPRO_SIM_SCHEDULER"] = saved
             else:
                 for index in pending:
                     values[index] = self.worker(**scenarios[index].as_dict())
@@ -266,8 +314,11 @@ def run_sweep(
     jobs: int | None = None,
     use_cache: bool | None = None,
     cache_dir: str | Path | None = None,
+    scheduler: str | None = None,
 ) -> SweepResult:
     """One-call convenience: build a spec and run it."""
     spec = SweepSpec.build(axes, base)
-    runner = SweepRunner(worker, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    runner = SweepRunner(
+        worker, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir, scheduler=scheduler
+    )
     return runner.run(spec)

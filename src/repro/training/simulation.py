@@ -30,6 +30,22 @@ Both backends produce byte-identical schedules and bookkeeping — enforced by
 ``op_backend`` argument or the ``REPRO_SIM_OP_BACKEND`` environment variable;
 strategies that do not implement the row builders silently fall back to the eager
 path.
+
+Orthogonally, a *scheduler backend* selects the engine that turns the submitted
+operations into a schedule:
+
+* ``"heap"`` (the default) — the ready-set heap of
+  :meth:`~repro.sim.engine.SimEngine.run` / :meth:`~repro.sim.engine.SimEngine.run_batch`;
+* ``"vector"`` — the struct-of-arrays kernel of :mod:`repro.sim.veckernel`
+  via :meth:`~repro.sim.engine.SimEngine.run_vector`, whose scheduling is
+  several times faster once scenarios reach ~100k subgroups (analyses that
+  materialise every op keep a smaller end-to-end gain).
+
+Scheduler backends are byte-identical too (the three-way differential harness in
+``tests/test_engine_equivalence.py`` is the proof), so the choice — the
+``scheduler_backend`` argument or ``$REPRO_SIM_SCHEDULER`` — is purely a
+performance knob: any combination of op backend and scheduler backend yields the
+same :class:`SimulationResult`.
 """
 
 from __future__ import annotations
@@ -43,7 +59,13 @@ from repro.core.gradient_flush import GradientFlushOps
 from repro.core.sim_executor import UpdatePhaseOps
 from repro.model.flops import backward_compute_seconds, forward_compute_seconds
 from repro.precision.dtypes import DType
-from repro.sim.engine import Schedule, SimEngine, standard_resources
+from repro.sim.engine import (
+    SCHEDULER_BACKENDS,  # noqa: F401  (public re-export)
+    Schedule,
+    SimEngine,
+    standard_resources,
+    validate_scheduler_backend,
+)
 from repro.sim.opbatch import OpBatch
 from repro.sim.ops import OpKind, SimOp, next_op_id
 from repro.sim.trace import MemoryTimeline, ThroughputTimeline
@@ -377,6 +399,7 @@ def simulate_job(
     iterations: int = 1,
     *,
     op_backend: str | None = None,
+    scheduler_backend: str | None = None,
 ) -> SimulationResult:
     """Simulate ``iterations`` chained training iterations of ``job``.
 
@@ -385,6 +408,12 @@ def simulate_job(
     ``None`` reads ``$REPRO_SIM_OP_BACKEND`` and falls back to ``"batch"``.  The two
     backends are schedule-identical; strategies without row builders are silently
     simulated through the eager path.
+
+    ``scheduler_backend`` selects the scheduling engine: ``"heap"`` (default) or
+    ``"vector"`` (the numpy struct-of-arrays kernel, the backend for very large
+    grids).  ``None`` reads ``$REPRO_SIM_SCHEDULER`` and falls back to
+    ``"heap"``.  Scheduler backends are byte-identical, so this is purely a
+    performance knob.
     """
     if iterations <= 0:
         raise ConfigurationError("iterations must be positive")
@@ -393,6 +422,9 @@ def simulate_job(
         raise ConfigurationError(
             f"unknown op backend {backend!r}; expected 'batch' or 'objects'"
         )
+    scheduler = validate_scheduler_backend(
+        scheduler_backend or os.environ.get("REPRO_SIM_SCHEDULER") or "heap"
+    )
     if backend == "batch" and not job.strategy.supports_op_batch():
         backend = "objects"
     engine = SimEngine(name=f"{job.model.name}-{job.strategy.name}")
@@ -406,13 +438,13 @@ def simulate_job(
             record = build_iteration_rows(batch, job, index, start_deps)
             records.append(record)
             start_deps = tuple(record.update.params_ready_ops)
-        schedule = engine.run_batch(batch)
+        schedule = engine.run_vector(batch) if scheduler == "vector" else engine.run_batch(batch)
     else:
         for index in range(iterations):
             record = build_iteration(engine, job, index, start_deps)
             records.append(record)
             start_deps = tuple(record.update.params_ready_ops)
-        schedule = engine.run()
+        schedule = engine.run_vector() if scheduler == "vector" else engine.run()
     initial = (
         job.footprint.fp16_parameter_bytes
         + job.footprint.gpu_resident_optimizer_bytes

@@ -1,17 +1,35 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus pinned hypothesis profiles."""
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 # Allow running the tests from a source checkout without installing the package.
 _SRC = Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+# Hypothesis profiles.  CI runs with HYPOTHESIS_PROFILE=ci: ``derandomize=True``
+# pins the generated examples to the test code itself, so a shared-runner rerun
+# can never fail on a fresh random seed that no developer can reproduce, and the
+# suite never trips deadline/health checks on noisy-runner timing.  Local runs
+# keep the default randomized exploration (that is where new counterexamples
+# should be found — and shrunk failures replay from the local example database).
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", settings.get_profile("default"))
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.hardware.presets import JLSE_H100_NODE, LAMBDA_V100_NODE
 from repro.hardware.throughput import ThroughputProfile

@@ -1,11 +1,24 @@
-"""Golden-equivalence property test: heap engine == seed list-scheduler, exactly.
+"""Three-way differential harness: seed reference == heap == batch == vector.
 
-The heap-based ready-set in :meth:`repro.sim.engine.SimEngine.run` must produce
-*byte-identical* schedules to the original per-pop scan over all resource queues.
-``_seed_list_scheduler`` below is a verbatim port of the seed algorithm; the
-hypothesis test submits the same randomized DAGs (random resources, dependencies,
-durations and release times) to both and compares every (op id, start, end) triple
-with exact float equality.
+Every randomized DAG is scheduled four ways and all results must agree with
+*exact float equality* on every ``(op id, start, end)`` triple:
+
+* ``_seed_list_scheduler`` — a verbatim port of the seed algorithm (per-pop scan
+  over all resource queues), the reference;
+* the heap engine's **eager** path (:meth:`SimEngine.submit` + :meth:`SimEngine.run`);
+* the heap engine's **batched** path (:meth:`SimEngine.run_batch` over the same
+  operations as :class:`~repro.sim.opbatch.OpBatch` rows);
+* the **vector** kernel (:meth:`SimEngine.run_vector`, the numpy
+  struct-of-arrays backend of :mod:`repro.sim.veckernel`).
+
+The DAG generator deliberately covers the shapes that stress scheduler corner
+cases: zero-duration operations (ties on the ready heap), ``not_before`` release
+times, diamond and fan-in dependency patterns (including duplicate dependency
+ids), long same-resource chains, and single-resource workloads (pure FIFO).
+
+Exact equality is the point: all schedulers must compute identical start times
+through identical ``max()`` chains, not merely close ones — this is what lets
+``simulate_job`` treat the backend choice as a pure performance knob.
 """
 
 from dataclasses import dataclass
@@ -15,7 +28,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.engine import SimEngine
-from repro.sim.ops import OpKind, SimOp
+from repro.sim.opbatch import OpBatch, row_from_simop
+from repro.sim.ops import OpKind, SimOp, next_op_id
 
 RESOURCES = ("cpu", "gpu", "link", "pcie.h2d", "pcie.d2h")
 
@@ -67,93 +81,157 @@ def _seed_list_scheduler(
     return scheduled
 
 
-def _build_ops(jobs, data) -> tuple[list[SimOp], dict[int, float]]:
-    """Materialise a random DAG: jobs are (resource index, duration) pairs."""
-    submitted: list[SimOp] = []
+# ------------------------------------------------------------------- harness
+
+
+def _as_batch(submissions: list[SimOp], release_times: dict[int, float]) -> OpBatch:
+    """The same operations as op-batch rows (same ids, same order)."""
+    batch = OpBatch()
+    batch.rows.extend(row_from_simop(op) for op in submissions)
+    batch.release_times = {
+        op_id: release for op_id, release in release_times.items() if release > 0
+    }
+    return batch
+
+
+def _engine(resources: tuple[str, ...] = RESOURCES) -> SimEngine:
+    engine = SimEngine()
+    for name in resources:
+        engine.add_resource(name)
+    return engine
+
+
+def assert_all_schedulers_agree(
+    submissions: list[SimOp],
+    release_times: dict[int, float] | None = None,
+    resources: tuple[str, ...] = RESOURCES,
+) -> list[tuple[int, float, float]]:
+    """Schedule the DAG four ways and assert byte-identical results.
+
+    Returns the agreed ``(op id, start, end)`` triples so callers can make
+    additional assertions about the schedule itself.
+    """
+    release_times = release_times or {}
+
+    eager = _engine(resources)
+    for op in submissions:
+        eager.submit(op, not_before=release_times.get(op.op_id, 0.0))
+    heap_eager = [(i.op.op_id, i.start, i.end) for i in eager.run().ops]
+
+    batch = _as_batch(submissions, release_times)
+    heap_batch = [(i.op.op_id, i.start, i.end)
+                  for i in _engine(resources).run_batch(batch, validate=True).ops]
+    vector = [(i.op.op_id, i.start, i.end)
+              for i in _engine(resources).run_vector(batch, validate=True).ops]
+
+    reference = [(i.op_id, i.start, i.end)
+                 for i in _seed_list_scheduler(resources, submissions, release_times)]
+
+    # Exact float equality on purpose: every scheduler must compute identical
+    # start times through identical max() chains, not merely close ones.
+    assert heap_eager == reference, "heap eager path diverged from the seed reference"
+    assert heap_batch == reference, "heap batch path diverged from the seed reference"
+    assert vector == reference, "vector kernel diverged from the seed reference"
+    return reference
+
+
+# ------------------------------------------------------------- DAG generator
+
+
+_DURATIONS = st.one_of(
+    st.just(0.0),  # zero-duration ops: ready-heap ties and zero-width intervals
+    st.floats(0.0, 3.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def _dags(draw, max_ops: int = 40, min_resources: int = 1):
+    """A randomized DAG: (submissions, release_times, resources).
+
+    Covers single-resource chains (``num_resources == 1``), diamond and fan-in
+    dependency shapes (with duplicate ids), explicit same-resource chains,
+    zero-duration ops and ``not_before`` release times.
+    """
+    num_resources = draw(st.integers(min_resources, len(RESOURCES)))
+    resources = RESOURCES[:num_resources]
+    num_ops = draw(st.integers(1, max_ops))
+    submissions: list[SimOp] = []
     release_times: dict[int, float] = {}
-    for resource_index, duration, with_release in jobs:
-        deps = ()
-        if submitted:
-            num_deps = data.draw(st.integers(0, min(3, len(submitted))))
-            chosen = data.draw(
-                st.lists(
-                    st.integers(0, len(submitted) - 1),
-                    min_size=num_deps,
-                    max_size=num_deps,
-                )
-            )
-            deps = tuple(submitted[i].op_id for i in chosen)
+    for index in range(num_ops):
+        deps: tuple[int, ...] = ()
+        if submissions:
+            shape = draw(st.sampled_from(("independent", "chain", "fan_in", "diamond")))
+            if shape == "chain":
+                # Often a *same-resource* chain: dependency on the previous op.
+                deps = (submissions[-1].op_id,)
+            elif shape == "fan_in":
+                count = draw(st.integers(1, min(4, len(submissions))))
+                deps = tuple(
+                    submissions[draw(st.integers(0, len(submissions) - 1))].op_id
+                    for _ in range(count)
+                )  # duplicates allowed on purpose
+            elif shape == "diamond" and len(submissions) >= 2:
+                left = draw(st.integers(0, len(submissions) - 1))
+                right = draw(st.integers(0, len(submissions) - 1))
+                deps = (submissions[left].op_id, submissions[right].op_id)
         op = SimOp(
-            name=f"op{len(submitted)}",
+            name=f"op{index}",
             kind=OpKind.GPU_COMPUTE,
-            resource=RESOURCES[resource_index],
-            duration=duration,
+            resource=resources[draw(st.integers(0, num_resources - 1))],
+            duration=draw(_DURATIONS),
             deps=deps,
         )
-        submitted.append(op)
-        if with_release:
-            release_times[op.op_id] = data.draw(
+        submissions.append(op)
+        if draw(st.booleans()):
+            release_times[op.op_id] = draw(
                 st.floats(0.0, 5.0, allow_nan=False, allow_infinity=False)
             )
-    return submitted, release_times
+    return submissions, release_times, resources
 
 
-@settings(max_examples=60, deadline=None)
-@given(
-    st.lists(
-        st.tuples(
-            st.integers(0, len(RESOURCES) - 1),
-            st.floats(0.0, 3.0, allow_nan=False, allow_infinity=False),
-            st.booleans(),
-        ),
-        min_size=1,
-        max_size=40,
-    ),
-    st.data(),
-)
-def test_heap_engine_matches_seed_scheduler_exactly(jobs, data):
-    """Randomized DAGs schedule byte-identically under the heap and seed engines."""
-    submissions, release_times = _build_ops(jobs, data)
+# ------------------------------------------------------------------- tests
 
-    engine = SimEngine()
-    for name in RESOURCES:
-        engine.add_resource(name)
+
+@settings(max_examples=80, deadline=None)
+@given(_dags())
+def test_all_schedulers_match_seed_reference_exactly(case):
+    """Randomized DAGs schedule byte-identically under all four schedulers."""
+    submissions, release_times, resources = case
+    assert_all_schedulers_agree(submissions, release_times, resources)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_dags(min_resources=1, max_ops=25))
+def test_single_resource_dags_are_pure_fifo(case):
+    """With one resource the agreed schedule must follow submission order."""
+    submissions, release_times, _ = case
+    resources = RESOURCES[:1]
+    single: list[SimOp] = []
+    remapped: dict[int, int] = {}
     for op in submissions:
-        engine.submit(op, not_before=release_times.get(op.op_id, 0.0))
-    schedule = engine.run()
+        clone = SimOp(name=op.name, kind=op.kind, resource=resources[0],
+                      duration=op.duration,
+                      deps=tuple(remapped[dep] for dep in op.deps))
+        remapped[op.op_id] = clone.op_id
+        single.append(clone)
+    releases = {remapped[op_id]: value for op_id, value in release_times.items()}
+    triples = assert_all_schedulers_agree(single, releases, resources)
+    scheduled_ids = [op_id for op_id, _, _ in triples]
+    assert scheduled_ids == sorted(scheduled_ids), "single-resource order is FIFO"
 
-    reference = _seed_list_scheduler(RESOURCES, submissions, release_times)
 
-    got = [(item.op.op_id, item.start, item.end) for item in schedule.ops]
-    expected = [(item.op_id, item.start, item.end) for item in reference]
-    # Exact float equality on purpose: both schedulers must compute identical start
-    # times through identical max() chains, not merely close ones.
-    assert got == expected
-
-
-def test_heap_engine_matches_seed_on_duplicate_deps():
-    """Duplicate dependency ids behave identically in both schedulers."""
-    engine = SimEngine()
-    for name in RESOURCES:
-        engine.add_resource(name)
+def test_schedulers_match_on_duplicate_deps():
+    """Duplicate dependency ids behave identically in every scheduler."""
     producer = SimOp("p", OpKind.GPU_COMPUTE, "gpu", 2.0)
     consumer = SimOp(
         "c", OpKind.CPU_UPDATE, "cpu", 1.0, deps=(producer.op_id, producer.op_id)
     )
-    engine.submit(producer)
-    engine.submit(consumer)
-    schedule = engine.run()
-    reference = _seed_list_scheduler(RESOURCES, [producer, consumer], {})
-    assert [(i.op.op_id, i.start, i.end) for i in schedule.ops] == [
-        (i.op_id, i.start, i.end) for i in reference
-    ]
+    triples = assert_all_schedulers_agree([producer, consumer])
+    assert triples == [(producer.op_id, 0.0, 2.0), (consumer.op_id, 2.0, 3.0)]
 
 
-def test_heap_engine_matches_seed_on_cross_resource_chain():
+def test_schedulers_match_on_cross_resource_chain():
     """A ping-pong chain across resources with release times matches exactly."""
-    engine = SimEngine()
-    for name in RESOURCES:
-        engine.add_resource(name)
     ops: list[SimOp] = []
     release: dict[int, float] = {}
     previous: SimOp | None = None
@@ -169,10 +247,67 @@ def test_heap_engine_matches_seed_on_cross_resource_chain():
         if index % 4 == 0:
             release[op.op_id] = 0.5 * index
         previous = op
-    for op in ops:
-        engine.submit(op, not_before=release.get(op.op_id, 0.0))
-    schedule = engine.run()
-    reference = _seed_list_scheduler(RESOURCES, ops, release)
-    assert [(i.op.op_id, i.start, i.end) for i in schedule.ops] == [
-        (i.op_id, i.start, i.end) for i in reference
+    assert_all_schedulers_agree(ops, release)
+
+
+def test_schedulers_match_on_gapped_and_shuffled_op_ids():
+    """Non-consecutive, non-monotonic op ids schedule identically everywhere.
+
+    Builder batches draw consecutive ids, which the vector kernel detects and
+    resolves with an offset; this case forces its general ``searchsorted``
+    dependency-resolution path instead: ids have gaps (ops created and
+    discarded between rows) and the submission order does not follow id order
+    (ops created out of order, then submitted interleaved).
+    """
+    SimOp("burn0", OpKind.GPU_COMPUTE, "gpu", 1.0)  # id gap before the DAG
+    late = SimOp("late", OpKind.GPU_COMPUTE, "gpu", 1.5)
+    SimOp("burn1", OpKind.GPU_COMPUTE, "gpu", 1.0)  # id gap inside the DAG
+    early = SimOp("early", OpKind.CPU_UPDATE, "cpu", 0.5)
+    fan_in = SimOp(
+        "fan_in", OpKind.D2H, "pcie.d2h", 0.25, deps=(late.op_id, early.op_id)
+    )
+    tail = SimOp("tail", OpKind.H2D, "pcie.h2d", 0.0, deps=(fan_in.op_id,))
+    # Submission order deliberately disagrees with id order (late has a lower
+    # id than early but is submitted after it).
+    submissions = [early, late, fan_in, tail]
+    assert sorted(op.op_id for op in submissions) != [op.op_id for op in submissions]
+    triples = assert_all_schedulers_agree(submissions, {early.op_id: 0.75})
+    assert triples[-1] == (tail.op_id, 1.75, 1.75)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_dags(max_ops=20), st.data())
+def test_schedulers_match_with_shuffled_id_allocation(case, data):
+    """Randomized DAGs whose id allocation order differs from submission order.
+
+    Ids are drawn in a permuted order (with gaps burned in between), so the
+    vector kernel's consecutive-id shortcut cannot apply and the general
+    ``searchsorted`` dependency-resolution path is exercised on every example.
+    """
+    submissions, release_times, resources = case
+    order = data.draw(st.permutations(range(len(submissions))))
+    new_ids: dict[int, int] = {}
+    for index in order:
+        if data.draw(st.booleans()):
+            next_op_id()  # burn an id: gaps as well as shuffled allocation
+        new_ids[index] = next_op_id()
+    id_map = {submissions[i].op_id: new_ids[i] for i in range(len(submissions))}
+    rebuilt = [
+        SimOp(name=op.name, kind=op.kind, resource=op.resource, duration=op.duration,
+              deps=tuple(id_map[dep] for dep in op.deps), op_id=new_ids[index])
+        for index, op in enumerate(submissions)
     ]
+    releases = {id_map[op_id]: value for op_id, value in release_times.items()}
+    assert_all_schedulers_agree(rebuilt, releases, resources)
+
+
+def test_schedulers_match_on_zero_duration_diamond():
+    """A zero-duration diamond (fan-out + fan-in ties) matches exactly."""
+    top = SimOp("top", OpKind.GPU_COMPUTE, "gpu", 0.0)
+    left = SimOp("left", OpKind.CPU_UPDATE, "cpu", 0.0, deps=(top.op_id,))
+    right = SimOp("right", OpKind.H2D, "pcie.h2d", 1.0, deps=(top.op_id,))
+    bottom = SimOp(
+        "bottom", OpKind.GPU_COMPUTE, "gpu", 0.5, deps=(left.op_id, right.op_id)
+    )
+    triples = assert_all_schedulers_agree([top, left, right, bottom])
+    assert triples[-1] == (bottom.op_id, 1.0, 1.5)

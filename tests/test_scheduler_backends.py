@@ -1,0 +1,265 @@
+"""Scheduler-backend selection and the vector admission path.
+
+Covers the plumbing around :mod:`repro.sim.veckernel` (the kernel's
+byte-identical-schedule guarantee itself lives in the three-way differential
+harness, ``tests/test_engine_equivalence.py``):
+
+* ``simulate_job`` validation: unknown ``scheduler_backend`` arguments and
+  ``$REPRO_SIM_SCHEDULER`` values raise a :class:`ConfigurationError` naming
+  the bad value — mirroring the existing ``op_backend`` validation;
+* argument/environment selection parity for the ``vector`` backend;
+* the :class:`~repro.sim.engine.VectorSchedule` surface: lazy materialisation,
+  array-backed ``makespan``, inherited queries, validation;
+* :class:`~repro.sweep.runner.SweepRunner` scheduler plumbing: validation,
+  worker-visible ``$REPRO_SIM_SCHEDULER``, environment restoration;
+* the ``--scheduler`` CLI flag.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser
+from repro.common.errors import ConfigurationError
+from repro.sim.engine import SimEngine, VectorSchedule, standard_resources
+from repro.sim.opbatch import OpBatch
+from repro.sim.ops import OpKind, SimOp, reset_op_counter
+from repro.sweep import SweepRunner, SweepSpec, configure_defaults, reset_defaults
+from repro.training.config import TrainingJobConfig
+from repro.training.simulation import SCHEDULER_BACKENDS, simulate_job
+
+
+@pytest.fixture(scope="module")
+def job():
+    return TrainingJobConfig(model="7B", strategy="deep-optimizer-states",
+                             check_memory=False).resolve()
+
+
+def _schedule_tuples(schedule):
+    return [(item.op.op_id, item.op.name, item.start, item.end) for item in schedule.ops]
+
+
+# ----------------------------------------------------------------- validation
+
+
+def test_simulate_job_rejects_unknown_scheduler_backend(job):
+    with pytest.raises(ConfigurationError, match="warp-drive"):
+        simulate_job(job, 1, scheduler_backend="warp-drive")
+
+
+def test_simulate_job_rejects_unknown_scheduler_env_value(job, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "quantum")
+    with pytest.raises(ConfigurationError, match="quantum"):
+        simulate_job(job, 1)
+
+
+def test_scheduler_error_lists_valid_backends(job):
+    with pytest.raises(ConfigurationError, match="'heap'.*'vector'"):
+        simulate_job(job, 1, scheduler_backend="nope")
+
+
+def test_scheduler_argument_overrides_env(job, monkeypatch):
+    # A bad env value must not break an explicit, valid argument.
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "quantum")
+    result = simulate_job(job, 1, scheduler_backend="heap")
+    assert result.schedule.makespan > 0
+
+
+def test_scheduler_backends_constant_matches_validation(job):
+    for name in SCHEDULER_BACKENDS:
+        assert simulate_job(job, 1, scheduler_backend=name).schedule.makespan > 0
+
+
+# ------------------------------------------------------------ selection parity
+
+
+def test_vector_via_env_equals_vector_via_argument(job, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "vector")
+    reset_op_counter()
+    via_env = simulate_job(job, 1)
+    monkeypatch.delenv("REPRO_SIM_SCHEDULER")
+    reset_op_counter()
+    via_arg = simulate_job(job, 1, scheduler_backend="vector")
+    reset_op_counter()
+    via_heap = simulate_job(job, 1, scheduler_backend="heap")
+    assert _schedule_tuples(via_env.schedule) == _schedule_tuples(via_arg.schedule)
+    assert _schedule_tuples(via_arg.schedule) == _schedule_tuples(via_heap.schedule)
+
+
+def test_vector_scheduler_with_objects_op_backend(job):
+    reset_op_counter()
+    heap = simulate_job(job, 2, op_backend="objects", scheduler_backend="heap")
+    reset_op_counter()
+    vector = simulate_job(job, 2, op_backend="objects", scheduler_backend="vector")
+    assert _schedule_tuples(heap.schedule) == _schedule_tuples(vector.schedule)
+
+
+# ----------------------------------------------------------- VectorSchedule
+
+
+def test_run_vector_returns_lazy_vector_schedule():
+    engine = SimEngine()
+    standard_resources(engine)
+    batch = OpBatch()
+    first = batch.add_op("first", OpKind.GPU_COMPUTE, "gpu.compute", 2.0)
+    batch.add_op("second", OpKind.CPU_UPDATE, "cpu", 1.0, deps=(first,))
+    schedule = engine.run_vector(batch)
+    assert isinstance(schedule, VectorSchedule)
+    # Array-backed makespan works before any op materialisation...
+    assert schedule._ops_cache is None
+    assert schedule.makespan == 3.0
+    assert schedule._ops_cache is None
+    # ...and the inherited queries materialise on demand.
+    assert schedule.by_id(first).end == 2.0
+    assert [item.op.name for item in schedule.ops] == ["first", "second"]
+    assert schedule.busy_time("cpu") == 1.0
+    schedule.validate()
+
+
+def test_vector_schedule_compares_equal_across_backends():
+    """Schedule equality spans subclasses: vector == heap on the same batch."""
+    engine = SimEngine()
+    standard_resources(engine)
+    batch = OpBatch()
+    first = batch.add_op("first", OpKind.GPU_COMPUTE, "gpu.compute", 2.0)
+    batch.add_op("second", OpKind.CPU_UPDATE, "cpu", 1.0, deps=(first,))
+    assert engine.run_vector(batch) == engine.run_batch(batch)
+    assert engine.run_batch(batch) == engine.run_vector(batch)
+    other = OpBatch()
+    other.add_op("other", OpKind.GPU_COMPUTE, "gpu.compute", 1.0)
+    assert engine.run_vector(batch) != engine.run_vector(other)
+
+
+def test_run_vector_empty_engine_returns_empty_schedule():
+    engine = SimEngine()
+    standard_resources(engine)
+    schedule = engine.run_vector()
+    assert schedule.ops == [] and schedule.makespan == 0.0
+
+
+def test_run_vector_is_single_shot_for_eager_submissions():
+    engine = SimEngine()
+    standard_resources(engine)
+    engine.submit(SimOp("only", OpKind.GPU_COMPUTE, "gpu.compute", 1.0))
+    assert len(engine.run_vector().ops) == 1
+    assert engine.run_vector().ops == []  # consumed, like run()
+
+
+def test_run_vector_deadlock_preserves_submissions_like_run():
+    """A deadlock must not consume eager submissions — same contract as run()."""
+    from repro.common.errors import SimulationError
+
+    heap_engine = SimEngine()
+    vector_engine = SimEngine()
+    for engine in (heap_engine, vector_engine):
+        standard_resources(engine)
+        blocked = SimOp("blocked", OpKind.GPU_COMPUTE, "gpu.compute", 1.0,
+                        deps=(10**9,))
+        engine.submit(blocked)
+        with pytest.raises(SimulationError):
+            engine.run() if engine is heap_engine else engine.run_vector()
+        assert engine.pending_ops == 1  # submissions survive the failed run
+
+
+def test_run_vector_rejects_mixed_admission():
+    engine = SimEngine()
+    standard_resources(engine)
+    engine.submit(SimOp("eager", OpKind.GPU_COMPUTE, "gpu.compute", 1.0))
+    batch = OpBatch()
+    batch.add_op("batched", OpKind.CPU_UPDATE, "cpu", 1.0)
+    with pytest.raises(ConfigurationError):
+        engine.run_vector(batch)
+
+
+def test_run_vector_rejects_unknown_resource():
+    engine = SimEngine()
+    engine.add_resource("cpu")
+    batch = OpBatch()
+    batch.add_op("lost", OpKind.GPU_COMPUTE, "not-a-resource", 1.0)
+    with pytest.raises(ConfigurationError, match="not-a-resource"):
+        engine.run_vector(batch)
+
+
+# ---------------------------------------------------------------- SweepRunner
+
+
+def _spy_scheduler_env(**params):
+    """Module-level worker reporting the scheduler env it executed under."""
+    return os.environ.get("REPRO_SIM_SCHEDULER")
+
+
+def test_sweep_runner_rejects_unknown_scheduler():
+    with pytest.raises(ConfigurationError, match="warp"):
+        SweepRunner(_spy_scheduler_env, scheduler="warp")
+
+
+def test_configure_defaults_rejects_unknown_scheduler():
+    try:
+        with pytest.raises(ConfigurationError, match="warp"):
+            configure_defaults(scheduler="warp")
+    finally:
+        reset_defaults()
+
+
+def test_sweep_runner_exports_scheduler_to_serial_workers(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
+    runner = SweepRunner(_spy_scheduler_env, scheduler="vector")
+    result = runner.run(SweepSpec.build({"x": (1, 2)}))
+    assert [record.value for record in result.records] == ["vector", "vector"]
+    # Scoped: the override must not leak into the caller's environment.
+    assert "REPRO_SIM_SCHEDULER" not in os.environ
+
+
+def test_sweep_runner_restores_callers_scheduler_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
+    runner = SweepRunner(_spy_scheduler_env, scheduler="vector")
+    result = runner.run(SweepSpec.build({"x": (1,)}))
+    assert result.records[0].value == "vector"
+    assert os.environ["REPRO_SIM_SCHEDULER"] == "heap"
+
+
+def test_sweep_runner_scheduler_from_defaults(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
+    try:
+        configure_defaults(scheduler="vector")
+        runner = SweepRunner(_spy_scheduler_env)
+        assert runner.scheduler == "vector"
+        result = runner.run(SweepSpec.build({"x": (1,)}))
+        assert result.records[0].value == "vector"
+    finally:
+        reset_defaults()
+
+
+def test_sweep_runner_without_scheduler_leaves_env_untouched(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
+    runner = SweepRunner(_spy_scheduler_env)
+    result = runner.run(SweepSpec.build({"x": (1,)}))
+    assert result.records[0].value is None
+
+
+def test_parallel_sweep_runs_on_vector_backend(tmp_path):
+    """Pool workers inherit the scheduler via the trampoline env forwarding."""
+    runner = SweepRunner(_spy_scheduler_env, jobs=2, scheduler="vector",
+                         use_cache=False, cache_dir=tmp_path)
+    result = runner.run(SweepSpec.build({"x": (1, 2)}))
+    assert [record.value for record in result.records] == ["vector", "vector"]
+
+
+# ------------------------------------------------------------------------ CLI
+
+
+@pytest.mark.parametrize("command", [
+    ["sweep", "--scheduler", "vector"],
+    ["compare", "--scheduler", "vector"],
+    ["experiment", "fig7", "--scheduler", "vector"],
+    ["sweep", "--scheduler", "heap"],
+])
+def test_cli_accepts_scheduler_flag(command):
+    args = build_parser().parse_args(command)
+    assert args.scheduler in ("heap", "vector")
+
+
+def test_cli_rejects_unknown_scheduler_value(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "--scheduler", "warp"])
+    assert "invalid choice" in capsys.readouterr().err

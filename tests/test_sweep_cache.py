@@ -158,3 +158,94 @@ def test_no_cache_run_writes_no_manifest(tmp_path):
     runner = SweepRunner(_double, use_cache=False, cache_dir=tmp_path)
     runner.run(SweepSpec.build({"x": (1,)}))
     assert not manifest_path(tmp_path).exists()
+
+
+# ------------------------------------------------------------- crash recovery
+
+
+def test_truncated_manifest_recovers(tmp_path):
+    """A manifest cut off mid-write (crashed sweep) is a miss, not a crash."""
+    _sweep(tmp_path)
+    full = manifest_path(tmp_path).read_text()
+    manifest_path(tmp_path).write_text(full[: len(full) // 2])
+    assert load_manifest(tmp_path) == {"format": 1, "entries": {}}
+    # Stats and eviction survive the truncated file too: every pickle is now an
+    # orphan, and a stale eviction clears them without touching anything else.
+    stats = cache_stats(tmp_path)
+    assert stats["entries"] == 0
+    assert len(stats["stale"]["orphaned_files"]) == 3
+    report = evict_cache(tmp_path, mode="stale")
+    assert report["removed_files"] == 3
+    # The next sweep recomputes and repairs the manifest.
+    result = _sweep(tmp_path)
+    assert result.cache_misses == 3
+    assert len(load_manifest(tmp_path)["entries"]) == 3
+
+
+def test_manifest_that_is_not_an_object_is_empty(tmp_path):
+    """Valid JSON of the wrong shape (e.g. a bare list) is an empty manifest."""
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    manifest_path(tmp_path).write_text(json.dumps(["not", "a", "manifest"]))
+    assert load_manifest(tmp_path) == {"format": 1, "entries": {}}
+    manifest_path(tmp_path).write_text(json.dumps({"format": 1, "entries": [1, 2]}))
+    assert load_manifest(tmp_path) == {"format": 1, "entries": {}}
+
+
+def test_recorded_entry_with_interrupted_pickle_write(tmp_path):
+    """Manifest says the entry exists, but the pickle write was interrupted.
+
+    The atomic store makes this window small (temp file + ``os.replace``), but a
+    crash can still leave a recorded entry whose pickle is truncated — or, with
+    the orders flipped by a concurrent eviction, missing entirely.  Both must
+    load as cache *misses* and be recomputed, never crash or serve garbage.
+    """
+    _sweep(tmp_path)
+    pickles = sorted(tmp_path.glob("*.pkl"))
+    # Truncate one pickle mid-stream and delete another outright.
+    pickles[0].write_bytes(pickles[0].read_bytes()[:3])
+    pickles[1].unlink()
+
+    result = _sweep(tmp_path)
+    assert result.cache_hits == 1  # only the untouched entry survives
+    assert result.cache_misses == 2
+    # The recompute rewrote both pickles; everything is a hit again.
+    assert _sweep(tmp_path).cache_hits == 3
+    assert cache_stats(tmp_path)["stale_count"] == 0
+
+
+def test_orphan_temp_files_from_killed_store_are_ignored(tmp_path):
+    """A ``.tmp`` file left by a killed atomic store never enters the stats."""
+    _sweep(tmp_path)
+    (tmp_path / "entry.pkl.tmp").write_bytes(b"partial")
+    stats = cache_stats(tmp_path)
+    assert stats["entries"] == 3
+    assert stats["stale_count"] == 0
+    report = evict_cache(tmp_path, mode="stale")
+    assert report["removed_files"] == 0
+
+
+def test_evict_cache_on_empty_directory(tmp_path):
+    """Evicting an empty (but existing) cache directory is a clean no-op."""
+    for mode in ("stale", "all"):
+        report = evict_cache(tmp_path, mode=mode)
+        assert report == {"removed_files": 0, "freed_bytes": 0, "dropped_entries": 0}
+
+
+def test_evict_cache_on_missing_directory(tmp_path):
+    """Evicting a directory that does not exist yet must not crash."""
+    target = tmp_path / "never-created"
+    report = evict_cache(target, mode="stale")
+    assert report == {"removed_files": 0, "freed_bytes": 0, "dropped_entries": 0}
+    report = evict_cache(target, mode="all")
+    assert report["removed_files"] == 0
+
+
+def test_evict_cache_on_manifest_less_directory(tmp_path):
+    """Pickles without any manifest (pre-manifest cache) evict as orphans."""
+    _sweep(tmp_path)
+    manifest_path(tmp_path).unlink()
+    stats = cache_stats(tmp_path)
+    assert stats["entries"] == 0 and len(stats["stale"]["orphaned_files"]) == 3
+    report = evict_cache(tmp_path, mode="stale")
+    assert report["removed_files"] == 3 and report["dropped_entries"] == 0
+    assert list(tmp_path.glob("*.pkl")) == []
