@@ -62,6 +62,7 @@ _SRC = Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.runtime import ExecutionPolicy  # noqa: E402
 from repro.sim.engine import SimEngine, standard_resources  # noqa: E402
 from repro.sim.ops import OpKind, SimOp  # noqa: E402
 from repro.training.config import TrainingJobConfig  # noqa: E402
@@ -231,9 +232,12 @@ def _time_simulate(job, backend: str, repeats: int = 2) -> tuple[float, float, i
     best = float("inf")
     makespan = 0.0
     num_ops = 0
+    # Pin the scheduler to "heap" so Part 2 isolates op construction: with the
+    # "auto" default, the large grids would flip to the vector kernel mid-sweep.
+    policy = ExecutionPolicy(op_backend=backend, scheduler="heap")
     for _ in range(repeats):
         begin = time.perf_counter()
-        result = simulate_job(job, iterations=1, op_backend=backend)
+        result = simulate_job(job, iterations=1, policy=policy)
         best = min(best, time.perf_counter() - begin)
         makespan = result.schedule.makespan
         num_ops = len(result.schedule.ops)

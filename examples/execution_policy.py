@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Execution policy: one object for every runtime-configuration decision.
+
+Shows the four-level resolution order (explicit argument > active
+``repro.configure(...)`` context > ``REPRO_*`` environment variables >
+defaults), automatic scheduler selection (``scheduler="auto"`` flips to the
+vector kernel above an op-count threshold), and the ``resolved_policy`` record
+on every simulation result — so you can always introspect what actually ran.
+
+Run with:  python examples/execution_policy.py
+"""
+
+import os
+
+from repro import ExecutionPolicy, TrainingJobConfig, configure, simulate_job
+
+
+def show(result, label: str) -> None:
+    resolved = result.resolved_policy
+    print(f"{label:<34} requested={resolved.policy.scheduler:<6} "
+          f"ran={resolved.scheduler:<6} op_backend={resolved.op_backend:<7} "
+          f"ops={resolved.op_count:>5}  makespan={result.schedule.makespan:.3f}s")
+
+
+def main() -> None:
+    job = TrainingJobConfig(
+        model="7B", strategy="deep-optimizer-states", check_memory=False
+    ).resolve()
+
+    # 1. Defaults: op_backend="batch", scheduler="auto".  This job is far below
+    #    the auto threshold, so the heap scheduler runs.
+    print("Resolved defaults:", ExecutionPolicy.resolve().as_dict())
+    print()
+    show(simulate_job(job, iterations=1), "defaults (auto -> heap)")
+
+    # 2. An explicit policy is the strongest level: nothing else is consulted.
+    policy = ExecutionPolicy(scheduler="vector")
+    show(simulate_job(job, iterations=1, policy=policy), "explicit policy (vector)")
+
+    # 3. A configure() context scopes overrides to a block — here we drop the
+    #    auto threshold to 1 op, so "auto" now selects the vector kernel.
+    with configure(auto_vector_threshold=1):
+        show(simulate_job(job, iterations=1), "configure context (auto -> vector)")
+
+    # 4. Environment variables sit below contexts and arguments; schedules are
+    #    byte-identical in every case, so the choice is purely about speed.
+    os.environ["REPRO_SIM_SCHEDULER"] = "heap"
+    try:
+        show(simulate_job(job, iterations=1), "environment (heap)")
+    finally:
+        del os.environ["REPRO_SIM_SCHEDULER"]
+
+    print()
+    print("Every run above produced the same schedule — the policy decides how")
+    print("fast it is computed, never what it contains.  Inspect the resolution")
+    print("any time with:  python -m repro config")
+
+
+if __name__ == "__main__":
+    main()

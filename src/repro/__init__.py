@@ -33,6 +33,7 @@ from repro.hardware import (
 )
 from repro.model import TransformerConfig, get_model_preset, list_model_presets
 from repro.optim import AdamConfig, AdamRule, build_optimizer
+from repro.runtime import ExecutionPolicy, ResolvedExecution, configure
 from repro.training import (
     MiniTrainer,
     Trainer,
@@ -69,6 +70,9 @@ __all__ = [
     "AdamRule",
     "AdamConfig",
     "build_optimizer",
+    "ExecutionPolicy",
+    "ResolvedExecution",
+    "configure",
     "OffloadConfig",
     "ShardedMixedPrecisionOptimizer",
     "TrainingJobConfig",

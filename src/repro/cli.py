@@ -3,6 +3,8 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro list-presets
+    python -m repro config
+    python -m repro --scheduler vector config --json
     python -m repro compare --model 20B --strategies zero3-offload deep-optimizer-states
     python -m repro experiment fig7
     python -m repro experiment fig2 --models 7B,20B --set iterations=2
@@ -15,10 +17,16 @@ Usage (after ``pip install -e .``)::
     python -m repro stride --machine jlse-4xh100
 
 The CLI is a thin wrapper over the public API so that the headline results can be
-regenerated without writing any Python.  ``sweep`` exposes the scenario-sweep
-subsystem directly: any :func:`repro.experiments.base.run_training` keyword (or,
-with ``--executor numeric``, any :func:`repro.training.numeric.run_numeric_training`
-keyword) can become an axis, scenarios run process-parallel with ``--jobs``, and
+regenerated without writing any Python.  Execution policy is handled globally:
+``--scheduler`` / ``--op-backend`` before the subcommand apply to *every*
+command by entering a ``repro.configure`` context around dispatch (subcommand
+flags such as ``sweep --scheduler`` stay available and win, being explicit
+arguments), and ``repro config`` prints the fully resolved
+:class:`~repro.runtime.ExecutionPolicy` with each field's source.  ``sweep``
+exposes the scenario-sweep subsystem directly: any
+:func:`repro.experiments.base.run_training` keyword (or, with ``--executor
+numeric``, any :func:`repro.training.numeric.run_numeric_training` keyword)
+can become an axis, scenarios run process-parallel with ``--jobs``, and
 results are cached on disk so a repeated invocation is instant (disable with
 ``--no-cache``).  The cache is inspectable (``--cache-stats``) and evictable
 (``--cache-evict stale|all``) through its JSON manifest.
@@ -27,7 +35,9 @@ results are cached on disk so a repeated invocation is instant (disable with
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import nullcontext
 
 from repro.baselines.registry import available_strategies
 from repro.common.errors import ConfigurationError
@@ -37,8 +47,8 @@ from repro.experiments.base import run_experiment, run_training, training_sweep
 from repro.hardware.presets import get_machine_preset, list_machine_presets
 from repro.hardware.throughput import ThroughputProfile
 from repro.model.presets import list_model_presets
-from repro.sim.engine import SCHEDULER_BACKENDS
-from repro.sweep import SweepRunner, SweepSpec, configure_defaults, default_cache_dir
+from repro.runtime import OP_BACKENDS, SCHEDULER_CHOICES, configure, resolution_report
+from repro.sweep import SweepRunner, SweepSpec, default_cache_dir
 from repro.sweep.cache import cache_stats, evict_cache, format_stats
 from repro.training.metrics import format_table
 from repro.training.numeric import run_numeric_training
@@ -82,11 +92,14 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for scenario execution (default: serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
+    # The default is described, not resolved: parser construction must never
+    # run the policy resolver (a broken REPRO_* variable would kill --help).
     parser.add_argument("--cache-dir", default=None,
-                        help=f"result cache directory (default: {default_cache_dir()})")
-    parser.add_argument("--scheduler", choices=SCHEDULER_BACKENDS, default=None,
+                        help="result cache directory (default: ~/.cache/repro/sweeps "
+                             "or $REPRO_SWEEP_CACHE_DIR)")
+    parser.add_argument("--scheduler", choices=SCHEDULER_CHOICES, default=None,
                         help="simulation scheduler backend (byte-identical schedules; "
-                             "'vector' is the fast path for very large grids)")
+                             "'auto' picks the vector kernel for large scenarios)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,9 +108,27 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Deep Optimizer States reproduction (MIDDLEWARE 2024)",
     )
+    # Global execution-policy flags: apply to every subcommand by entering a
+    # repro.configure context around dispatch.  Distinct dests keep subcommand
+    # defaults (e.g. `sweep --scheduler`) from clobbering them — a classic
+    # argparse shared-dest pitfall.
+    parser.add_argument("--scheduler", dest="global_scheduler",
+                        choices=SCHEDULER_CHOICES, default=None,
+                        help="simulation scheduler backend for every command "
+                             "('auto' picks the vector kernel for large scenarios)")
+    parser.add_argument("--op-backend", dest="global_op_backend",
+                        choices=OP_BACKENDS, default=None,
+                        help="op-construction backend for every command "
+                             "(byte-identical schedules; 'batch' is the fast default)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list-presets", help="list model, machine and strategy presets")
+
+    config = subparsers.add_parser(
+        "config", help="print the fully resolved execution policy and each field's source"
+    )
+    config.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the resolved policy as JSON")
 
     compare = subparsers.add_parser("compare", help="compare offloading strategies on one job")
     compare.add_argument("--model", default="20B", help="model preset (Table 2 name)")
@@ -122,7 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(comma-separated values become tuples)")
     experiment.add_argument("--jobs", type=int, default=None,
                             help="worker processes for the experiment's internal sweeps")
-    experiment.add_argument("--scheduler", choices=SCHEDULER_BACKENDS, default=None,
+    experiment.add_argument("--scheduler", choices=SCHEDULER_CHOICES, default=None,
                             help="simulation scheduler backend for the experiment's "
                                  "internal sweeps (byte-identical schedules)")
 
@@ -167,6 +198,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_config(args: argparse.Namespace) -> int:
+    """Print the resolved execution policy; global flags count as explicit args.
+
+    Fields resolve independently (``resolution_report``), so a broken
+    ``REPRO_*`` variable prints as an error row — the command stays usable as
+    the tool for diagnosing exactly that — and the exit code turns non-zero.
+    """
+    described = resolution_report(
+        scheduler=args.global_scheduler, op_backend=args.global_op_backend
+    )
+    errors = sum(1 for item in described.values() if "error" in item)
+    if args.as_json:
+        print(json.dumps(described, indent=2))
+        return 1 if errors else 0
+    rendered = {
+        name: str(item["value"]) if "value" in item else f"<error: {item['error']}>"
+        for name, item in described.items()
+    }
+    width = max(len(name) for name in described)
+    value_width = max(len(text) for text in rendered.values())
+    print(f"{'field':<{width}}  {'value':<{value_width}}  source")
+    for name, item in described.items():
+        print(f"{name:<{width}}  {rendered[name]:<{value_width}}  {item['source']}")
+    return 1 if errors else 0
+
+
 def _cmd_list_presets() -> int:
     print("Models    :", ", ".join(list_model_presets(include_tiny=True)))
     print("Machines  :", ", ".join(list_machine_presets()))
@@ -208,10 +265,6 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    if args.jobs is not None:
-        configure_defaults(jobs=args.jobs)
-    if args.scheduler is not None:
-        configure_defaults(scheduler=args.scheduler)
     kwargs: dict = {}
     if args.models is not None:
         kwargs["models"] = _parse_values(args.models)
@@ -221,7 +274,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if not values:
             raise ConfigurationError(f"--set {key} has no value")
         kwargs[key] = values if len(values) > 1 else values[0]
-    result = run_experiment(args.experiment_id, **kwargs)
+    # Scoped, not configure_defaults: the override must not outlive this command.
+    with configure(jobs=args.jobs, scheduler=args.scheduler):
+        result = run_experiment(args.experiment_id, **kwargs)
     print(result.format())
     return 0
 
@@ -323,16 +378,27 @@ def _cmd_stride(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "list-presets":
-        return _cmd_list_presets()
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "stride":
-        return _cmd_stride(args)
+    overrides = {
+        "scheduler": args.global_scheduler, "op_backend": args.global_op_backend,
+    }
+    context = (
+        configure(**overrides)
+        if any(value is not None for value in overrides.values())
+        else nullcontext()
+    )
+    with context:
+        if args.command == "list-presets":
+            return _cmd_list_presets()
+        if args.command == "config":
+            return _cmd_config(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "stride":
+            return _cmd_stride(args)
     return 1  # pragma: no cover - argparse enforces the choices above
 
 

@@ -14,6 +14,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.model.presets import PAPER_MODEL_ORDER
+from repro.runtime import ExecutionPolicy, policy_context
 from repro.sweep import Scenario, SweepRunner, SweepSpec
 from repro.training.config import TrainingJobConfig
 from repro.training.metrics import TrainingReport, format_table
@@ -50,8 +51,16 @@ class ExperimentResult:
         return [row.get(name) for row in self.rows]
 
 
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run an experiment by its id (e.g. ``"fig7"``)."""
+def run_experiment(
+    experiment_id: str, *, policy: ExecutionPolicy | None = None, **kwargs
+) -> ExperimentResult:
+    """Run an experiment by its id (e.g. ``"fig7"``).
+
+    ``policy`` pins the :class:`~repro.runtime.ExecutionPolicy` for everything
+    the experiment runs (its internal sweeps resolve at the context level);
+    ``None`` leaves resolution to the ambient context/environment, keeping the
+    experiment modules themselves policy-free.
+    """
     from repro.experiments import EXPERIMENT_MODULES
 
     if experiment_id not in EXPERIMENT_MODULES:
@@ -59,7 +68,10 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENT_MODULES)}"
         )
     module = importlib.import_module(EXPERIMENT_MODULES[experiment_id])
-    return module.run(**kwargs)
+    if policy is None:
+        return module.run(**kwargs)
+    with policy_context(policy):
+        return module.run(**kwargs)
 
 
 def run_training(
@@ -106,19 +118,21 @@ def training_sweep(
     use_cache: bool | None = None,
     cache_dir: Any = None,
     scheduler: str | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> dict[tuple, TrainingReport]:
     """Run a declarative grid of :func:`run_training` scenarios.
 
     ``axes`` maps :func:`run_training` keyword names to candidate values; ``base``
     holds fixed keywords shared by every scenario.  Returns reports keyed by the
     tuple of axis values in declaration order (bare values for a single axis).
-    Parallelism, caching and the simulation scheduler backend follow the
-    sweep-runner defaults unless overridden.
+    Parallelism, caching and the simulation backends follow the resolved
+    :class:`~repro.runtime.ExecutionPolicy` unless overridden (``policy=``
+    whole, or the individual keywords).
     """
     spec = SweepSpec.build(axes, base)
     runner = SweepRunner(
         run_training, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
-        scheduler=scheduler,
+        scheduler=scheduler, policy=policy,
     )
     return runner.run(spec).keyed(*spec.axis_names)
 
@@ -130,6 +144,7 @@ def numeric_sweep(
     jobs: int | None = None,
     use_cache: bool | None = None,
     cache_dir: Any = None,
+    policy: ExecutionPolicy | None = None,
 ) -> dict[tuple, dict]:
     """Run a declarative grid of numeric (tiny-model) training runs.
 
@@ -142,7 +157,10 @@ def numeric_sweep(
     from repro.training.numeric import run_numeric_training
 
     spec = SweepSpec.build(axes, base)
-    runner = SweepRunner(run_numeric_training, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    runner = SweepRunner(
+        run_numeric_training, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+        policy=policy,
+    )
     return runner.run(spec).keyed(*spec.axis_names)
 
 
@@ -155,6 +173,7 @@ def model_sweep(
     data_parallel_degree: int | None = None,
     jobs: int | None = None,
     use_cache: bool | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> dict[tuple[str, str], TrainingReport]:
     """Run every (model, strategy) combination; keys are ``(model, strategy)``.
 
@@ -175,7 +194,7 @@ def model_sweep(
         for model in models
         for strategy in strategies
     ]
-    runner = SweepRunner(run_training, jobs=jobs, use_cache=use_cache)
+    runner = SweepRunner(run_training, jobs=jobs, use_cache=use_cache, policy=policy)
     result = runner.run(scenarios)
     return {
         (record.scenario.get("model"), record.scenario.get("strategy")): record.value

@@ -1,0 +1,44 @@
+"""Runtime execution policy: one first-class object instead of plumbed knobs.
+
+:class:`ExecutionPolicy` carries every runtime-execution decision — op
+backend, scheduler backend (including ``"auto"`` threshold selection), sweep
+parallelism and caching — and :meth:`ExecutionPolicy.resolve` implements the
+one documented resolution order (explicit argument > active
+:func:`configure` context > ``REPRO_*`` environment > defaults) that every
+consumer shares: ``simulate_job``, ``Trainer``, ``SweepRunner`` and the CLI.
+See ``docs/runtime.md`` for the full model.
+"""
+
+from repro.runtime.policy import (
+    AUTO_SCHEDULER,
+    DEFAULT_AUTO_VECTOR_THRESHOLD,
+    OP_BACKENDS,
+    POLICY_FIELDS,
+    SCHEDULER_CHOICES,
+    SIMULATION_FIELDS,
+    ExecutionPolicy,
+    OpBackendFallbackWarning,
+    ResolvedExecution,
+    clear_global_defaults,
+    configure,
+    policy_context,
+    resolution_report,
+    set_global_defaults,
+)
+
+__all__ = [
+    "AUTO_SCHEDULER",
+    "DEFAULT_AUTO_VECTOR_THRESHOLD",
+    "OP_BACKENDS",
+    "POLICY_FIELDS",
+    "SCHEDULER_CHOICES",
+    "SIMULATION_FIELDS",
+    "ExecutionPolicy",
+    "OpBackendFallbackWarning",
+    "ResolvedExecution",
+    "configure",
+    "policy_context",
+    "resolution_report",
+    "set_global_defaults",
+    "clear_global_defaults",
+]

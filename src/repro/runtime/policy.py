@@ -1,0 +1,461 @@
+"""The :class:`ExecutionPolicy` object and its four-level resolution order.
+
+Three PRs of backend growth left runtime configuration smeared across call
+sites: per-function kwargs (``op_backend=``, ``scheduler_backend=``,
+``SweepRunner(scheduler=...)``), ad-hoc ``os.environ`` reads inside
+``simulate_job``, and environment-variable exports to reach pooled sweep
+workers.  Following the policy-free-middleware argument (Dearle et al.,
+"Towards Adaptable and Adaptive Policy-Free Middleware"), this module makes
+execution policy a first-class, explicitly-resolved object instead: every
+consumer asks :meth:`ExecutionPolicy.resolve` once and passes the result
+around as a value.
+
+**Resolution order** — implemented in exactly one place,
+:meth:`ExecutionPolicy.resolve`, and identical for every field:
+
+1. **explicit argument** — a non-``None`` keyword passed to ``resolve()``
+   (which is where ``simulate_job(policy=...)``, ``SweepRunner(jobs=...)``
+   and the CLI flags feed in);
+2. **active context** — the innermost :func:`configure` context manager that
+   sets the field (contexts nest; inner wins).  The sweep layer's
+   ``configure_defaults`` global sits at the bottom of this level;
+3. **environment** — the ``REPRO_*`` variable for the field (see
+   :data:`POLICY_FIELDS`);
+4. **default** — the field's built-in default.
+
+Only the winning value is validated, so a stale ``$REPRO_SIM_SCHEDULER`` in
+the environment cannot break a call that overrides it explicitly.
+
+**Automatic scheduler selection.**  ``scheduler="auto"`` (the default) is a
+policy-level choice, not an engine backend: :meth:`ExecutionPolicy.select_scheduler`
+maps it to the ``vector`` kernel when the DAG's op count reaches
+``auto_vector_threshold`` and to the ``heap`` scheduler below it.  Because
+scheduler backends are byte-identical (the three-way differential harness in
+``tests/test_engine_equivalence.py`` is the proof), ``auto`` can never change a
+result — only how fast it is computed.
+"""
+
+from __future__ import annotations
+
+import os
+from contextvars import ContextVar
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.common.errors import ConfigurationError
+from repro.sim.engine import SCHEDULER_BACKENDS
+
+#: The op-construction backends of ``simulate_job`` (see ``repro.sim.opbatch``).
+OP_BACKENDS = ("batch", "objects")
+
+#: Policy-level scheduler choices: the engine backends plus ``"auto"``.
+AUTO_SCHEDULER = "auto"
+SCHEDULER_CHOICES = (AUTO_SCHEDULER,) + SCHEDULER_BACKENDS
+
+#: Default op count at which ``scheduler="auto"`` switches to the vector kernel.
+#: Measured on the scaling benchmark: the struct-of-arrays kernel matches the
+#: heap from a few thousand ops and wins clearly beyond ~50k (≈7k optimizer
+#: subgroups per iteration), even for analyses that materialise every op.
+DEFAULT_AUTO_VECTOR_THRESHOLD = 50_000
+
+#: The policy fields ``simulate_job`` consumes — the ``env_fields`` it passes
+#: to :meth:`ExecutionPolicy.resolve`, so a broken sweep-level environment
+#: variable (say ``REPRO_SWEEP_JOBS=garbage``) can never fail a simulation
+#: that does not read it.
+SIMULATION_FIELDS = ("op_backend", "scheduler", "auto_vector_threshold")
+
+#: Source labels attached to each resolved field.
+SOURCE_ARG = "arg"
+SOURCE_CONTEXT = "context"
+SOURCE_ENV = "env"
+SOURCE_DEFAULT = "default"
+
+
+class OpBackendFallbackWarning(RuntimeWarning):
+    """Emitted (once per strategy) when ``op_backend="batch"`` silently degrades.
+
+    A strategy that does not implement the op-batch row builders is simulated
+    through the eager ``"objects"`` path instead.  The schedule is identical —
+    the downgrade is purely a performance matter — but it used to be silent;
+    now it is recorded in ``SimulationResult.resolved_policy`` and warned here.
+    """
+
+
+# --------------------------------------------------------------------- parsing
+
+
+def _parse_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ConfigurationError(f"expected a boolean, got {text!r}")
+
+
+def _parse_int(text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigurationError(f"expected an integer, got {text!r}") from None
+
+
+def _validate_op_backend(value: Any) -> str:
+    if value not in OP_BACKENDS:
+        raise ConfigurationError(
+            f"unknown op backend {value!r}; expected one of "
+            f"{', '.join(repr(name) for name in OP_BACKENDS)}"
+        )
+    return value
+
+
+def _validate_scheduler(value: Any) -> str:
+    if value not in SCHEDULER_CHOICES:
+        raise ConfigurationError(
+            f"unknown scheduler backend {value!r}; expected one of "
+            f"{', '.join(repr(name) for name in SCHEDULER_CHOICES)}"
+        )
+    return value
+
+
+def _validate_threshold(value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError("auto_vector_threshold must be an integer")
+    if value < 0:
+        raise ConfigurationError("auto_vector_threshold must be >= 0")
+    return value
+
+
+def _validate_jobs(value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError("jobs must be an integer")
+    if value < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    return value
+
+
+def _validate_use_cache(value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise ConfigurationError("use_cache must be a boolean")
+    return value
+
+
+def _validate_cache_dir(value: Any) -> Path:
+    if isinstance(value, (str, Path)):
+        return Path(value)
+    raise ConfigurationError("cache_dir must be a path or string")
+
+
+def _default_cache_dir() -> Path:
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+@dataclass(frozen=True)
+class _FieldSpec:
+    """How one policy field resolves: env variable, env parser, validator, default."""
+
+    env_var: str
+    parse_env: Callable[[str], Any]
+    validate: Callable[[Any], Any]
+    default: Callable[[], Any]
+
+
+#: The single registry every resolution surface shares — ``resolve()``, the
+#: ``repro config`` subcommand, and the docs table are all generated from it.
+POLICY_FIELDS: dict[str, _FieldSpec] = {
+    "op_backend": _FieldSpec(
+        "REPRO_SIM_OP_BACKEND", str, _validate_op_backend, lambda: "batch"
+    ),
+    "scheduler": _FieldSpec(
+        "REPRO_SIM_SCHEDULER", str, _validate_scheduler, lambda: AUTO_SCHEDULER
+    ),
+    "auto_vector_threshold": _FieldSpec(
+        "REPRO_AUTO_VECTOR_THRESHOLD",
+        _parse_int,
+        _validate_threshold,
+        lambda: DEFAULT_AUTO_VECTOR_THRESHOLD,
+    ),
+    "jobs": _FieldSpec("REPRO_SWEEP_JOBS", _parse_int, _validate_jobs, lambda: 1),
+    "use_cache": _FieldSpec(
+        "REPRO_SWEEP_USE_CACHE", _parse_bool, _validate_use_cache, lambda: False
+    ),
+    "cache_dir": _FieldSpec(
+        "REPRO_SWEEP_CACHE_DIR", Path, _validate_cache_dir, _default_cache_dir
+    ),
+}
+
+
+# -------------------------------------------------------------------- contexts
+
+# The context level of the resolution order: a tuple-of-overlays stack in a
+# ContextVar (async- and thread-correct), plus one process-global overlay at
+# its bottom that backs the legacy ``repro.sweep.configure_defaults`` surface.
+_CONTEXT_STACK: ContextVar[tuple[Mapping[str, Any], ...]] = ContextVar(
+    "repro_execution_policy_context", default=()
+)
+_GLOBAL_OVERLAY: dict[str, Any] = {}
+
+
+def _checked_overrides(overrides: Mapping[str, Any]) -> dict[str, Any]:
+    """Drop ``None`` values, reject unknown fields, validate the rest eagerly."""
+    checked: dict[str, Any] = {}
+    for name, value in overrides.items():
+        if name not in POLICY_FIELDS:
+            raise ConfigurationError(
+                f"unknown execution-policy field {name!r}; expected one of "
+                f"{', '.join(POLICY_FIELDS)}"
+            )
+        if value is None:
+            continue
+        checked[name] = POLICY_FIELDS[name].validate(value)
+    return checked
+
+
+class _PolicyContext:
+    """Re-entrant-free context manager pushing one overlay onto the stack."""
+
+    def __init__(self, overrides: dict[str, Any]) -> None:
+        self._overrides = overrides
+        self._token = None
+
+    def __enter__(self) -> "_PolicyContext":
+        self._token = _CONTEXT_STACK.set(_CONTEXT_STACK.get() + (self._overrides,))
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _CONTEXT_STACK.reset(self._token)
+        self._token = None
+
+
+def configure(**overrides: Any) -> _PolicyContext:
+    """Scope execution-policy overrides to a ``with`` block.
+
+    ::
+
+        with repro.configure(scheduler="vector", jobs=4):
+            report = Trainer(config).run()       # resolves scheduler="vector"
+
+    Contexts nest — the innermost context that sets a field wins — and sit
+    between explicit arguments and ``REPRO_*`` environment variables in the
+    resolution order.  Values are validated here, at declaration time, so a
+    typo fails fast rather than at the first resolution.
+    """
+    return _PolicyContext(_checked_overrides(overrides))
+
+
+def policy_context(policy: "ExecutionPolicy") -> _PolicyContext:
+    """A :func:`configure` context pinning *every* field of ``policy``.
+
+    This is how a resolved policy crosses process boundaries explicitly:
+    ``SweepRunner`` pickles its policy to each worker and the worker-side
+    trampoline activates it with this context, so worker resolution sees the
+    parent's decisions at the context level — no environment variables
+    involved.
+    """
+    if not isinstance(policy, ExecutionPolicy):
+        raise ConfigurationError("policy_context expects an ExecutionPolicy")
+    return _PolicyContext(policy.as_dict())
+
+
+def set_global_defaults(**overrides: Any) -> None:
+    """Install process-wide context-level defaults (``None`` leaves a field unchanged).
+
+    The bottom overlay of the context level — any active :func:`configure`
+    context overrides it, explicit arguments override both.  Backs the
+    ``repro.sweep.configure_defaults`` compatibility surface.
+    """
+    _GLOBAL_OVERLAY.update(_checked_overrides(overrides))
+
+
+def clear_global_defaults() -> None:
+    """Remove every global default installed by :func:`set_global_defaults`."""
+    _GLOBAL_OVERLAY.clear()
+
+
+def _context_lookup(name: str) -> tuple[bool, Any]:
+    """(found, value) for ``name`` at the context level (innermost overlay wins)."""
+    for overlay in reversed(_CONTEXT_STACK.get()):
+        if name in overlay:
+            return True, overlay[name]
+    if name in _GLOBAL_OVERLAY:
+        return True, _GLOBAL_OVERLAY[name]
+    return False, None
+
+
+# ---------------------------------------------------------------------- policy
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """A frozen record of every runtime-execution decision.
+
+    Constructing the dataclass directly yields a fully explicit policy (every
+    field validated, nothing consulted); :meth:`resolve` builds one through the
+    documented four-level order instead.  ``sources`` maps each field to where
+    its value came from (``arg``/``context``/``env``/``default``); it is
+    excluded from equality so two policies with identical values compare equal
+    regardless of how they were resolved.
+    """
+
+    op_backend: str = "batch"
+    scheduler: str = AUTO_SCHEDULER
+    auto_vector_threshold: int = DEFAULT_AUTO_VECTOR_THRESHOLD
+    jobs: int = 1
+    use_cache: bool = False
+    cache_dir: Path = field(default_factory=_default_cache_dir)
+    sources: Mapping[str, str] = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for name, spec in POLICY_FIELDS.items():
+            object.__setattr__(self, name, spec.validate(getattr(self, name)))
+        if not self.sources:
+            # Direct construction: infer sources by comparison with the
+            # defaults so describe()/resolved_policy introspection stays
+            # honest (a field left at its default is not an "arg").
+            object.__setattr__(self, "sources", {
+                name: SOURCE_ARG if getattr(self, name) != spec.default() else SOURCE_DEFAULT
+                for name, spec in POLICY_FIELDS.items()
+            })
+
+    # ------------------------------------------------------------- resolution
+
+    @classmethod
+    def resolve(
+        cls, *, env_fields: tuple[str, ...] | None = None, **overrides: Any
+    ) -> "ExecutionPolicy":
+        """Resolve every field through arg > context > env > default.
+
+        Keyword names are the policy field names; ``None`` means "not passed"
+        and falls through to the next level.  Only the winning value of each
+        field is parsed and validated, so garbage at an outvoted level (say, a
+        bad environment variable under an explicit argument) never raises.
+
+        ``env_fields`` limits which fields consult the *environment* level —
+        a consumer names the fields it actually reads (``simulate_job`` passes
+        :data:`SIMULATION_FIELDS`), so a broken ``REPRO_*`` variable for a
+        field the consumer never touches cannot fail the call.  Fields outside
+        ``env_fields`` still honour arguments and contexts (both validated at
+        declaration time) and otherwise take their defaults.  ``None`` — the
+        default, used by consumers of the whole policy such as ``SweepRunner``
+        and ``repro config`` — consults the environment for every field.
+        """
+        unknown = set(overrides) - set(POLICY_FIELDS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown execution-policy field(s) {sorted(unknown)!r}; "
+                f"expected one of {', '.join(POLICY_FIELDS)}"
+            )
+        values: dict[str, Any] = {}
+        sources: dict[str, str] = {}
+        for name, spec in POLICY_FIELDS.items():
+            if overrides.get(name) is not None:
+                values[name] = spec.validate(overrides[name])
+                sources[name] = SOURCE_ARG
+                continue
+            found, value = _context_lookup(name)
+            if found:
+                values[name] = spec.validate(value)
+                sources[name] = SOURCE_CONTEXT
+                continue
+            if env_fields is None or name in env_fields:
+                env_text = os.environ.get(spec.env_var)
+                if env_text is not None and env_text != "":
+                    try:
+                        values[name] = spec.validate(spec.parse_env(env_text))
+                    except ConfigurationError as exc:
+                        # Name the variable: six REPRO_* vars feed this
+                        # resolver, and a shell-level typo must say which.
+                        raise ConfigurationError(
+                            f"invalid ${spec.env_var}={env_text!r}: {exc}"
+                        ) from None
+                    sources[name] = SOURCE_ENV
+                    continue
+            values[name] = spec.default()
+            sources[name] = SOURCE_DEFAULT
+        return cls(sources=sources, **values)
+
+    def with_overrides(self, **overrides: Any) -> "ExecutionPolicy":
+        """A copy with the given fields replaced (marked as ``arg`` sources)."""
+        checked = _checked_overrides(overrides)
+        sources = dict(self.sources)
+        sources.update({name: SOURCE_ARG for name in checked})
+        return replace(self, sources=sources, **checked)
+
+    # ------------------------------------------------------------- behaviour
+
+    def select_scheduler(self, op_count: int) -> str:
+        """The engine backend this policy runs ``op_count`` operations on.
+
+        ``"auto"`` picks ``"vector"`` at or above ``auto_vector_threshold``
+        and ``"heap"`` below it; explicit backends pass through unchanged.
+        Backends are schedule-identical, so this is purely a performance
+        decision.
+        """
+        if self.scheduler != AUTO_SCHEDULER:
+            return self.scheduler
+        return "vector" if op_count >= self.auto_vector_threshold else "heap"
+
+    # ------------------------------------------------------------ introspection
+
+    def as_dict(self) -> dict[str, Any]:
+        """Field name -> value (no sources); the :func:`policy_context` payload."""
+        return {name: getattr(self, name) for name in POLICY_FIELDS}
+
+    def describe(self) -> dict[str, dict[str, Any]]:
+        """Field name -> ``{"value", "source"}`` (JSON-ready values)."""
+        return {
+            name: {
+                "value": str(value) if isinstance(value, Path) else value,
+                "source": self.sources.get(name, SOURCE_ARG),
+            }
+            for name, value in self.as_dict().items()
+        }
+
+
+def resolution_report(**overrides: Any) -> dict[str, dict[str, Any]]:
+    """Field -> ``{"value", "source"}`` rows (or ``{"error", "source": "error"}``).
+
+    The diagnostic twin of :meth:`ExecutionPolicy.resolve` behind
+    ``repro config``: each field resolves *independently*, so one broken
+    environment variable shows up as an error on its own row instead of
+    taking the whole report — the very tool for diagnosing it — down.
+    """
+    unknown = set(overrides) - set(POLICY_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown execution-policy field(s) {sorted(unknown)!r}; "
+            f"expected one of {', '.join(POLICY_FIELDS)}"
+        )
+    report: dict[str, dict[str, Any]] = {}
+    for name in POLICY_FIELDS:
+        override = {name: overrides[name]} if overrides.get(name) is not None else {}
+        try:
+            policy = ExecutionPolicy.resolve(env_fields=(name,), **override)
+        except ConfigurationError as exc:
+            report[name] = {"error": str(exc), "source": "error"}
+            continue
+        value = getattr(policy, name)
+        report[name] = {
+            "value": str(value) if isinstance(value, Path) else value,
+            "source": policy.sources[name],
+        }
+    return report
+
+
+@dataclass(frozen=True)
+class ResolvedExecution:
+    """What one ``simulate_job`` call actually ran, attached to its result.
+
+    ``policy`` is the resolved input; ``op_backend``/``scheduler`` are the
+    *effective* backends after the strategy-capability fallback and the
+    ``auto`` threshold decision, so callers can introspect what happened
+    without re-deriving it.
+    """
+
+    policy: ExecutionPolicy
+    op_backend: str
+    scheduler: str
+    op_count: int
+    op_backend_fallback: bool = False
+    fallback_reason: str = ""

@@ -50,25 +50,11 @@ from repro.sim.ops import OpKind, SimOp
 
 #: The engine's scheduler backends: ``"heap"`` is :meth:`SimEngine.run` /
 #: :meth:`SimEngine.run_batch`, ``"vector"`` is :meth:`SimEngine.run_vector`.
-#: The single source of truth for backend names — ``simulate_job`` validation,
-#: ``SweepRunner`` and the CLI ``--scheduler`` choices all import it, so adding
-#: a backend here makes it selectable everywhere at once.
+#: The single source of truth for backend names — the execution-policy layer
+#: (:mod:`repro.runtime`) builds its validation and the CLI ``--scheduler``
+#: choices from it (plus the policy-level ``"auto"``), so adding a backend
+#: here makes it selectable everywhere at once.
 SCHEDULER_BACKENDS = ("heap", "vector")
-
-
-def validate_scheduler_backend(name: str) -> str:
-    """Return ``name`` if it is a registered scheduler backend, else raise.
-
-    The one validation every selection surface shares (``simulate_job``,
-    ``SweepRunner``, ``configure_defaults``); the error names the bad value and
-    the valid backends.
-    """
-    if name not in SCHEDULER_BACKENDS:
-        raise ConfigurationError(
-            f"unknown scheduler backend {name!r}; expected one of "
-            f"{', '.join(repr(backend) for backend in SCHEDULER_BACKENDS)}"
-        )
-    return name
 
 
 @dataclass

@@ -30,14 +30,21 @@ is also recorded in a JSON manifest next to the pickles
 (:mod:`repro.sweep.cache`), which powers ``repro sweep --cache-stats`` and
 ``--cache-evict``.
 
-**Scheduler backend.**  ``scheduler`` selects the simulation engine workers run
-on (``"heap"`` or ``"vector"``, see
-:func:`repro.training.simulation.simulate_job`) by exporting
-``$REPRO_SIM_SCHEDULER`` around worker execution — in-process for serial runs,
-inside each pool process for parallel ones.  Scheduler backends are
-byte-identical (the whole point of the three-way differential harness), so the
-knob deliberately does **not** enter the cache key: a grid computed on one
-backend is a valid cache hit for the other.
+**Execution policy.**  A runner carries one resolved
+:class:`~repro.runtime.ExecutionPolicy` — ``jobs``, ``use_cache``,
+``cache_dir`` and the simulation backends (``op_backend``, ``scheduler``,
+``auto_vector_threshold``) all come from it.  Pass ``policy=`` explicitly, or
+pass the individual keywords and the runner resolves the rest through the
+standard order (``repro.configure`` context > ``REPRO_*`` environment >
+defaults).  The resolved policy travels to workers **explicitly**: it is
+pickled alongside the scenario parameters and activated as a
+:func:`repro.runtime.policy_context` around each worker call — in-process for
+serial runs, inside each pool process for parallel ones — so worker-side
+resolution sees the parent's decisions at the context level and no
+environment variables are exported anywhere.  Backends are byte-identical
+(the whole point of the three-way differential harness), so the policy
+deliberately does **not** enter the cache key: a grid computed on one backend
+is a valid cache hit for the other.
 """
 
 from __future__ import annotations
@@ -52,19 +59,12 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.common.errors import ConfigurationError
-from repro.sim.engine import validate_scheduler_backend
+from repro.runtime import ExecutionPolicy, policy_context, set_global_defaults, clear_global_defaults
 from repro.sweep.cache import CACHE_VERSION, record_entries
 from repro.sweep.result import SweepRecord, SweepResult
 from repro.sweep.spec import Scenario, SweepSpec
 
 _MISS = object()
-
-# Session-wide defaults, configurable by the CLI (`--jobs` / `--no-cache` /
-# `--scheduler`) so that experiment modules pick them up without threading flags
-# through every signature.
-_defaults: dict[str, Any] = {
-    "jobs": None, "use_cache": None, "cache_dir": None, "scheduler": None,
-}
 
 
 def configure_defaults(
@@ -74,59 +74,49 @@ def configure_defaults(
     cache_dir: str | Path | None = None,
     scheduler: str | None = None,
 ) -> None:
-    """Set session-wide runner defaults (None leaves a setting unchanged)."""
-    if jobs is not None:
-        if jobs < 1:
-            raise ConfigurationError("jobs must be >= 1")
-        _defaults["jobs"] = jobs
-    if use_cache is not None:
-        _defaults["use_cache"] = use_cache
-    if cache_dir is not None:
-        _defaults["cache_dir"] = Path(cache_dir)
-    if scheduler is not None:
-        _defaults["scheduler"] = validate_scheduler_backend(scheduler)
+    """Set session-wide execution-policy defaults (None leaves a setting unchanged).
 
-
-def reset_defaults() -> None:
-    """Restore the built-in defaults (used by tests)."""
-    _defaults.update(
-        {"jobs": None, "use_cache": None, "cache_dir": None, "scheduler": None}
+    Compatibility shim over :func:`repro.runtime.set_global_defaults`: the
+    values land at the bottom of the resolution order's *context* level, so
+    any active ``repro.configure(...)`` context or explicit argument still
+    wins.  Prefer ``repro.configure`` for new code — it is scoped.
+    """
+    set_global_defaults(
+        jobs=jobs, use_cache=use_cache, cache_dir=cache_dir, scheduler=scheduler
     )
 
 
+def reset_defaults() -> None:
+    """Clear every default installed by :func:`configure_defaults` (used by tests)."""
+    clear_global_defaults()
+
+
 def default_jobs() -> int:
-    """Effective parallelism: configured default, then $REPRO_SWEEP_JOBS, then 1."""
-    if _defaults["jobs"] is not None:
-        return _defaults["jobs"]
-    env = os.environ.get("REPRO_SWEEP_JOBS", "")
-    if env.isdigit() and int(env) >= 1:
-        return int(env)
-    return 1
+    """Worker parallelism the current resolution context yields."""
+    return ExecutionPolicy.resolve(env_fields=("jobs",)).jobs
 
 
 def default_cache_dir() -> Path:
-    """Effective cache directory: configured, then $REPRO_SWEEP_CACHE_DIR, then ~/.cache."""
-    if _defaults["cache_dir"] is not None:
-        return _defaults["cache_dir"]
-    env = os.environ.get("REPRO_SWEEP_CACHE_DIR", "")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro" / "sweeps"
+    """Cache directory the current resolution context yields."""
+    return ExecutionPolicy.resolve(env_fields=("cache_dir",)).cache_dir
 
 
 def _call_worker(
     worker: Callable[..., Any],
     params: dict[str, Any],
-    env: dict[str, str] | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> Any:
-    """Module-level trampoline so the pool only has to pickle (worker, params).
+    """Module-level trampoline so the pool only has to pickle (worker, params, policy).
 
-    ``env`` entries are exported before the call (and deliberately left set: a
-    pool process only ever runs scenarios of the sweep that spawned it).
+    ``policy`` — the runner's resolved policy — is activated as the innermost
+    resolution context around the call, so a worker that resolves an
+    :class:`ExecutionPolicy` (``simulate_job`` does) sees the parent's
+    decisions regardless of the worker process's own environment.
     """
-    if env:
-        os.environ.update(env)
-    return worker(**params)
+    if policy is None:
+        return worker(**params)
+    with policy_context(policy):
+        return worker(**params)
 
 
 class SweepRunner:
@@ -134,10 +124,15 @@ class SweepRunner:
 
     ``worker`` must be a module-level callable accepting every scenario parameter as
     a keyword argument (a requirement of process-based parallelism: the pool pickles
-    the callable by reference).  ``jobs`` > 1 enables process parallelism;
-    ``use_cache`` enables the on-disk result cache under ``cache_dir``;
-    ``scheduler`` pins the simulation scheduler backend workers run on (exported
-    as ``$REPRO_SIM_SCHEDULER`` around every worker call, serial or pooled).
+    the callable by reference).  Execution is governed by one resolved
+    :class:`~repro.runtime.ExecutionPolicy`, bound at construction: pass
+    ``policy=`` whole, or pass ``jobs``/``use_cache``/``cache_dir``/``scheduler``
+    as explicit arguments and let the runner resolve the rest.  ``jobs`` > 1
+    enables process parallelism; ``use_cache`` enables the on-disk result cache
+    under ``cache_dir``; ``scheduler`` pins the simulation scheduler backend
+    workers run on (``"auto"`` by default — each worker picks per scenario).
+    The policy is serialized to every worker explicitly (see
+    :func:`_call_worker`); no environment variables are exported.
     """
 
     def __init__(
@@ -148,20 +143,28 @@ class SweepRunner:
         use_cache: bool | None = None,
         cache_dir: str | Path | None = None,
         scheduler: str | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> None:
         if not callable(worker):
             raise ConfigurationError("worker must be callable")
         self.worker = worker
-        self.jobs = jobs if jobs is not None else default_jobs()
-        if self.jobs < 1:
-            raise ConfigurationError("jobs must be >= 1")
-        if use_cache is None:
-            use_cache = _defaults["use_cache"] if _defaults["use_cache"] is not None else False
-        self.use_cache = use_cache
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
-        if scheduler is None:
-            scheduler = _defaults["scheduler"]
-        self.scheduler = validate_scheduler_backend(scheduler) if scheduler is not None else None
+        if policy is not None:
+            if not isinstance(policy, ExecutionPolicy):
+                raise ConfigurationError("policy must be an ExecutionPolicy")
+            if any(value is not None for value in (jobs, use_cache, cache_dir, scheduler)):
+                raise ConfigurationError(
+                    "pass either policy= or individual jobs/use_cache/cache_dir/"
+                    "scheduler arguments, not both"
+                )
+            self.policy = policy
+        else:
+            self.policy = ExecutionPolicy.resolve(
+                jobs=jobs, use_cache=use_cache, cache_dir=cache_dir, scheduler=scheduler
+            )
+        self.jobs = self.policy.jobs
+        self.use_cache = self.policy.use_cache
+        self.cache_dir = self.policy.cache_dir
+        self.scheduler = self.policy.scheduler
         if self.jobs > 1 and "<locals>" in getattr(worker, "__qualname__", ""):
             raise ConfigurationError(
                 "parallel sweeps need a module-level worker (locally defined "
@@ -257,34 +260,25 @@ class SweepRunner:
             pending.append(index)
 
         if pending:
-            env = {"REPRO_SIM_SCHEDULER": self.scheduler} if self.scheduler else None
             if self.jobs > 1 and len(pending) > 1:
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
                         index: pool.submit(
-                            _call_worker, self.worker, scenarios[index].as_dict(), env
+                            _call_worker, self.worker, scenarios[index].as_dict(),
+                            self.policy,
                         )
                         for index in pending
                     }
                     for index, future in futures.items():
                         values[index] = future.result()
-            elif env:
-                # Serial workers run in-process: scope the backend override to
-                # the sweep instead of leaking it into the caller's environment.
-                saved = os.environ.get("REPRO_SIM_SCHEDULER")
-                os.environ.update(env)
-                try:
+            else:
+                # Serial workers run in-process under the same policy context a
+                # pool worker would see — scoped to the sweep, nothing leaks
+                # into the caller's environment or context.
+                with policy_context(self.policy):
                     for index in pending:
                         values[index] = self.worker(**scenarios[index].as_dict())
-                finally:
-                    if saved is None:
-                        os.environ.pop("REPRO_SIM_SCHEDULER", None)
-                    else:
-                        os.environ["REPRO_SIM_SCHEDULER"] = saved
-            else:
-                for index in pending:
-                    values[index] = self.worker(**scenarios[index].as_dict())
             if self.use_cache:
                 stored = []
                 for index in pending:
@@ -315,10 +309,12 @@ def run_sweep(
     use_cache: bool | None = None,
     cache_dir: str | Path | None = None,
     scheduler: str | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> SweepResult:
     """One-call convenience: build a spec and run it."""
     spec = SweepSpec.build(axes, base)
     runner = SweepRunner(
-        worker, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir, scheduler=scheduler
+        worker, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+        scheduler=scheduler, policy=policy,
     )
     return runner.run(spec)

@@ -26,31 +26,38 @@ Two op-construction backends feed the engine:
 
 Both backends produce byte-identical schedules and bookkeeping — enforced by
 ``tests/test_opbatch_equivalence.py`` — so every metric derived from a
-:class:`SimulationResult` is backend-independent.  Select explicitly with the
-``op_backend`` argument or the ``REPRO_SIM_OP_BACKEND`` environment variable;
-strategies that do not implement the row builders silently fall back to the eager
-path.
+:class:`SimulationResult` is backend-independent.  Strategies that do not
+implement the row builders fall back to the eager path; the downgrade is
+recorded in :attr:`SimulationResult.resolved_policy` and warned once per
+strategy (:class:`~repro.runtime.OpBackendFallbackWarning`).
 
 Orthogonally, a *scheduler backend* selects the engine that turns the submitted
 operations into a schedule:
 
-* ``"heap"`` (the default) — the ready-set heap of
+* ``"heap"`` — the ready-set heap of
   :meth:`~repro.sim.engine.SimEngine.run` / :meth:`~repro.sim.engine.SimEngine.run_batch`;
 * ``"vector"`` — the struct-of-arrays kernel of :mod:`repro.sim.veckernel`
   via :meth:`~repro.sim.engine.SimEngine.run_vector`, whose scheduling is
-  several times faster once scenarios reach ~100k subgroups (analyses that
-  materialise every op keep a smaller end-to-end gain).
+  several times faster on very large scenarios;
+* ``"auto"`` (the default) — picks ``vector`` when the DAG's op count reaches
+  ``ExecutionPolicy.auto_vector_threshold`` and ``heap`` below it.
 
-Scheduler backends are byte-identical too (the three-way differential harness in
-``tests/test_engine_equivalence.py`` is the proof), so the choice — the
-``scheduler_backend`` argument or ``$REPRO_SIM_SCHEDULER`` — is purely a
+Scheduler backends are byte-identical (the three-way differential harness in
+``tests/test_engine_equivalence.py`` is the proof), so the choice is purely a
 performance knob: any combination of op backend and scheduler backend yields the
 same :class:`SimulationResult`.
+
+Both choices arrive through one :class:`~repro.runtime.ExecutionPolicy` — pass
+``policy=`` explicitly, activate a ``repro.configure(...)`` context, or set the
+``REPRO_SIM_OP_BACKEND``/``REPRO_SIM_SCHEDULER`` environment variables; see
+:mod:`repro.runtime` for the resolution order.  The ``op_backend=`` /
+``scheduler_backend=`` keywords survive as deprecation shims over the same
+resolver.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError
@@ -64,11 +71,16 @@ from repro.sim.engine import (
     Schedule,
     SimEngine,
     standard_resources,
-    validate_scheduler_backend,
 )
 from repro.sim.opbatch import OpBatch
 from repro.sim.ops import OpKind, SimOp, next_op_id
 from repro.sim.trace import MemoryTimeline, ThroughputTimeline
+from repro.runtime import (
+    SIMULATION_FIELDS,
+    ExecutionPolicy,
+    OpBackendFallbackWarning,
+    ResolvedExecution,
+)
 from repro.training.config import ResolvedJob
 from repro.training.metrics import IterationBreakdown
 from repro.zero.collectives import allgather_seconds, reduce_scatter_seconds
@@ -89,12 +101,19 @@ class IterationOps:
 
 @dataclass
 class SimulationResult:
-    """A schedule plus the per-iteration op bookkeeping needed to interpret it."""
+    """A schedule plus the per-iteration op bookkeeping needed to interpret it.
+
+    ``resolved_policy`` records what actually ran — the resolved
+    :class:`~repro.runtime.ExecutionPolicy` plus the *effective* op and
+    scheduler backends after the strategy-capability fallback and the
+    ``auto`` threshold decision.
+    """
 
     job: ResolvedJob
     schedule: Schedule
     iterations: list[IterationOps]
     initial_gpu_bytes: int = 0
+    resolved_policy: ResolvedExecution | None = None
 
     # ------------------------------------------------------------------ times
 
@@ -394,39 +413,95 @@ def build_iteration_rows(
     return record
 
 
+# Strategies already warned about missing row builders (one warning per
+# strategy per process; see OpBackendFallbackWarning).
+_FALLBACK_WARNED: set[str] = set()
+
+
+def reset_fallback_warnings() -> None:
+    """Forget which strategies were warned about (used by tests)."""
+    _FALLBACK_WARNED.clear()
+
+
+def _deprecated_backend_kwarg(name: str, policy_field: str) -> None:
+    warnings.warn(
+        f"simulate_job({name}=...) is deprecated; pass "
+        f"policy=ExecutionPolicy({policy_field}=...) or activate a "
+        f"repro.configure({policy_field}=...) context instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def simulate_job(
     job: ResolvedJob,
     iterations: int = 1,
     *,
+    policy: ExecutionPolicy | None = None,
     op_backend: str | None = None,
     scheduler_backend: str | None = None,
 ) -> SimulationResult:
     """Simulate ``iterations`` chained training iterations of ``job``.
 
-    ``op_backend`` selects how operations reach the engine: ``"batch"`` (default)
-    uses the array-batched row path, ``"objects"`` the eager per-``SimOp`` path.
-    ``None`` reads ``$REPRO_SIM_OP_BACKEND`` and falls back to ``"batch"``.  The two
-    backends are schedule-identical; strategies without row builders are silently
-    simulated through the eager path.
+    ``policy`` pins the execution policy for this call; ``None`` resolves one
+    through the standard order (active ``repro.configure`` context, then
+    ``REPRO_*`` environment variables, then defaults — see
+    :meth:`repro.runtime.ExecutionPolicy.resolve`).  The policy decides:
 
-    ``scheduler_backend`` selects the scheduling engine: ``"heap"`` (default) or
-    ``"vector"`` (the numpy struct-of-arrays kernel, the backend for very large
-    grids).  ``None`` reads ``$REPRO_SIM_SCHEDULER`` and falls back to
-    ``"heap"``.  Scheduler backends are byte-identical, so this is purely a
-    performance knob.
+    * the **op backend** — ``"batch"`` (array-batched rows, the default) or
+      ``"objects"`` (eager per-``SimOp``).  Strategies without row builders
+      fall back to the eager path; the downgrade is recorded in the result's
+      ``resolved_policy`` and warned once per strategy.
+    * the **scheduler backend** — ``"heap"``, ``"vector"``, or ``"auto"``
+      (the default), which picks the vector kernel when the op count reaches
+      ``policy.auto_vector_threshold`` and the heap below it.
+
+    Every combination is schedule-identical (enforced by
+    ``tests/test_opbatch_equivalence.py`` and the three-way differential
+    harness in ``tests/test_engine_equivalence.py``), so the policy is purely
+    a performance knob.  The legacy ``op_backend=`` / ``scheduler_backend=``
+    keywords still work as deprecated shims over the same resolver and cannot
+    be combined with ``policy=``.
     """
     if iterations <= 0:
         raise ConfigurationError("iterations must be positive")
-    backend = op_backend or os.environ.get("REPRO_SIM_OP_BACKEND") or "batch"
-    if backend not in ("batch", "objects"):
+    legacy: dict[str, str] = {}
+    if op_backend is not None:
+        _deprecated_backend_kwarg("op_backend", "op_backend")
+        legacy["op_backend"] = op_backend
+    if scheduler_backend is not None:
+        _deprecated_backend_kwarg("scheduler_backend", "scheduler")
+        legacy["scheduler"] = scheduler_backend
+    if policy is None:
+        # Only the simulation-relevant fields consult the environment: a
+        # broken sweep-level variable must not fail a call that never reads it.
+        policy = ExecutionPolicy.resolve(env_fields=SIMULATION_FIELDS, **legacy)
+    elif legacy:
         raise ConfigurationError(
-            f"unknown op backend {backend!r}; expected 'batch' or 'objects'"
+            "pass either policy= or the deprecated op_backend=/scheduler_backend= "
+            "keywords, not both"
         )
-    scheduler = validate_scheduler_backend(
-        scheduler_backend or os.environ.get("REPRO_SIM_SCHEDULER") or "heap"
-    )
+    elif not isinstance(policy, ExecutionPolicy):
+        raise ConfigurationError("policy must be an ExecutionPolicy")
+
+    backend = policy.op_backend
+    fallback = False
+    fallback_reason = ""
     if backend == "batch" and not job.strategy.supports_op_batch():
         backend = "objects"
+        fallback = True
+        fallback_reason = (
+            f"strategy {job.strategy.name!r} does not implement the op-batch "
+            "row builders; simulated through the eager 'objects' path instead"
+        )
+        if job.strategy.name not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(job.strategy.name)
+            warnings.warn(
+                fallback_reason + " (schedules are identical; this warning is "
+                "emitted once per strategy)",
+                OpBackendFallbackWarning,
+                stacklevel=2,
+            )
     engine = SimEngine(name=f"{job.model.name}-{job.strategy.name}")
     standard_resources(engine)
 
@@ -438,16 +513,34 @@ def simulate_job(
             record = build_iteration_rows(batch, job, index, start_deps)
             records.append(record)
             start_deps = tuple(record.update.params_ready_ops)
+        op_count = len(batch.rows)
+        scheduler = policy.select_scheduler(op_count)
         schedule = engine.run_vector(batch) if scheduler == "vector" else engine.run_batch(batch)
     else:
         for index in range(iterations):
             record = build_iteration(engine, job, index, start_deps)
             records.append(record)
             start_deps = tuple(record.update.params_ready_ops)
+        op_count = engine.pending_ops
+        scheduler = policy.select_scheduler(op_count)
         schedule = engine.run_vector() if scheduler == "vector" else engine.run()
     initial = (
         job.footprint.fp16_parameter_bytes
         + job.footprint.gpu_resident_optimizer_bytes
         + job.footprint.gathered_layer_workspace_bytes
     )
-    return SimulationResult(job=job, schedule=schedule, iterations=records, initial_gpu_bytes=initial)
+    resolved = ResolvedExecution(
+        policy=policy,
+        op_backend=backend,
+        scheduler=scheduler,
+        op_count=op_count,
+        op_backend_fallback=fallback,
+        fallback_reason=fallback_reason,
+    )
+    return SimulationResult(
+        job=job,
+        schedule=schedule,
+        iterations=records,
+        initial_gpu_bytes=initial,
+        resolved_policy=resolved,
+    )

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import OutOfMemoryError
 from repro.model.flops import achieved_tflops
+from repro.runtime import ExecutionPolicy
 from repro.training.config import ResolvedJob, TrainingJobConfig
 from repro.training.metrics import TrainingReport, average_breakdown
 from repro.training.simulation import SimulationResult, simulate_job
@@ -17,10 +18,17 @@ DEFAULT_SIMULATED_ITERATIONS = 3
 
 @dataclass
 class Trainer:
-    """Runs a (simulated) training job and produces a :class:`TrainingReport`."""
+    """Runs a (simulated) training job and produces a :class:`TrainingReport`.
+
+    ``policy`` pins the :class:`~repro.runtime.ExecutionPolicy` the simulation
+    runs under; ``None`` (the default) resolves one at simulation time through
+    the standard order (``repro.configure`` context > ``REPRO_*`` environment >
+    defaults), so a Trainer is policy-free unless a caller decides otherwise.
+    """
 
     config: TrainingJobConfig
     simulated_iterations: int = DEFAULT_SIMULATED_ITERATIONS
+    policy: ExecutionPolicy | None = None
 
     def run(self) -> TrainingReport:
         """Resolve the job, simulate it, and aggregate the paper's metrics.
@@ -46,7 +54,7 @@ class Trainer:
     def simulate(self, job: ResolvedJob) -> SimulationResult:
         """Run the discrete-event simulation for a resolved job."""
         iterations = min(self.simulated_iterations, self.config.iterations)
-        return simulate_job(job, iterations=max(1, iterations))
+        return simulate_job(job, iterations=max(1, iterations), policy=self.policy)
 
     def report_from_simulation(self, job: ResolvedJob, result: SimulationResult) -> TrainingReport:
         """Aggregate a simulation into the metrics the paper reports."""
@@ -95,9 +103,14 @@ class Trainer:
         }
 
 
-def run_job(config: TrainingJobConfig, *, simulated_iterations: int = DEFAULT_SIMULATED_ITERATIONS) -> TrainingReport:
+def run_job(
+    config: TrainingJobConfig,
+    *,
+    simulated_iterations: int = DEFAULT_SIMULATED_ITERATIONS,
+    policy: ExecutionPolicy | None = None,
+) -> TrainingReport:
     """Convenience wrapper: build a trainer and run it."""
-    return Trainer(config, simulated_iterations=simulated_iterations).run()
+    return Trainer(config, simulated_iterations=simulated_iterations, policy=policy).run()
 
 
 def compare_strategies(
@@ -105,6 +118,7 @@ def compare_strategies(
     strategies: list[str],
     *,
     simulated_iterations: int = DEFAULT_SIMULATED_ITERATIONS,
+    policy: ExecutionPolicy | None = None,
 ) -> dict[str, TrainingReport]:
     """Run the same job under several strategies (the basic experiment pattern)."""
     reports: dict[str, TrainingReport] = {}
@@ -126,5 +140,7 @@ def compare_strategies(
             check_memory=base_config.check_memory,
             forward_chunks=base_config.forward_chunks,
         )
-        reports[strategy] = run_job(config, simulated_iterations=simulated_iterations)
+        reports[strategy] = run_job(
+            config, simulated_iterations=simulated_iterations, policy=policy
+        )
     return reports

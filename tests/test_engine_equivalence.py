@@ -30,6 +30,7 @@ from hypothesis import strategies as st
 from repro.sim.engine import SimEngine
 from repro.sim.opbatch import OpBatch, row_from_simop
 from repro.sim.ops import OpKind, SimOp, next_op_id
+from repro.training.simulation import simulate_job
 
 RESOURCES = ("cpu", "gpu", "link", "pcie.h2d", "pcie.d2h")
 
@@ -311,3 +312,82 @@ def test_schedulers_match_on_zero_duration_diamond():
     )
     triples = assert_all_schedulers_agree([top, left, right, bottom])
     assert triples[-1] == (bottom.op_id, 1.0, 1.5)
+
+
+# --------------------------------------------------- policy resolution paths
+#
+# The harness above proves the *backends* identical on raw DAGs; this section
+# extends it through ``simulate_job``'s policy resolution: every way a caller
+# can select a scheduler — explicit policy, auto above/below threshold,
+# environment, configure() context, deprecated keyword — must land on the
+# same byte-identical schedule, or the policy layer added semantics it must
+# never have.
+
+
+def _policy_resolution_paths(monkeypatch):
+    """(label, callable) pairs covering every scheduler-resolution path."""
+    from repro.runtime import ExecutionPolicy, configure
+
+    def via_env(job):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "vector")
+        try:
+            return simulate_job(job, 1)
+        finally:
+            monkeypatch.delenv("REPRO_SIM_SCHEDULER")
+
+    def via_context(job):
+        with configure(scheduler="vector"):
+            return simulate_job(job, 1)
+
+    def via_auto_above(job):
+        with configure(auto_vector_threshold=1):
+            return simulate_job(job, 1)
+
+    def via_auto_below(job):
+        with configure(auto_vector_threshold=10**9):
+            return simulate_job(job, 1)
+
+    def via_legacy_kwarg(job):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return simulate_job(job, 1, scheduler_backend="vector")
+
+    return [
+        ("policy-heap", lambda job: simulate_job(job, 1, policy=ExecutionPolicy(scheduler="heap"))),
+        ("policy-vector", lambda job: simulate_job(job, 1, policy=ExecutionPolicy(scheduler="vector"))),
+        ("auto-above-threshold", via_auto_above),
+        ("auto-below-threshold", via_auto_below),
+        ("env", via_env),
+        ("context", via_context),
+        ("legacy-kwarg", via_legacy_kwarg),
+    ]
+
+
+def test_simulate_job_resolution_paths_are_schedule_identical(monkeypatch):
+    """All resolution paths (arg/context/env/auto/legacy) agree bit for bit."""
+    from repro.sim.ops import reset_op_counter
+    from repro.training.config import TrainingJobConfig
+
+    monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
+    monkeypatch.delenv("REPRO_SIM_OP_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_AUTO_VECTOR_THRESHOLD", raising=False)
+    job = TrainingJobConfig(model="7B", strategy="deep-optimizer-states",
+                            check_memory=False).resolve()
+    reference = None
+    selected = {}
+    for label, run in _policy_resolution_paths(monkeypatch):
+        reset_op_counter()
+        result = run(job)
+        triples = [(item.op.op_id, item.start, item.end) for item in result.schedule.ops]
+        if reference is None:
+            reference = triples
+        else:
+            assert triples == reference, f"path {label!r} diverged from the reference"
+        selected[label] = result.resolved_policy.scheduler
+    # The auto paths really exercised both sides of the threshold.
+    assert selected["auto-above-threshold"] == "vector"
+    assert selected["auto-below-threshold"] == "heap"
+    assert selected["policy-heap"] == "heap"
+    assert selected["env"] == "vector"

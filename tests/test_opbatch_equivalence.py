@@ -5,24 +5,28 @@ Two layers of guarantees:
 * **engine layer** — ``SimEngine.run_batch`` over an :class:`OpBatch` must produce a
   byte-identical :class:`Schedule` to expanding the same batch through
   ``submit()``/``run()`` (same op ids, names, dependency tuples and exact floats);
-* **simulation layer** — ``simulate_job(op_backend="batch")`` must match
-  ``simulate_job(op_backend="objects")`` bit for bit, for every offloading strategy,
-  including all the per-iteration bookkeeping the metrics are derived from.
+* **simulation layer** — ``simulate_job`` under ``op_backend="batch"`` must match
+  ``op_backend="objects"`` bit for bit, for every offloading strategy, including
+  all the per-iteration bookkeeping the metrics are derived from.
 
 Exact float equality is intentional: both paths must compute start times through
-identical ``max()`` chains, not merely close ones.
+identical ``max()`` chains, not merely close ones.  Backends are selected
+through :class:`~repro.runtime.ExecutionPolicy`; one test keeps the deprecated
+``op_backend=`` keyword covered as a shim.
 """
 
 import random
+import warnings
 
 import pytest
 
 from repro.common.errors import ConfigurationError, SimulationError
+from repro.runtime import ExecutionPolicy, OpBackendFallbackWarning
 from repro.sim.engine import SimEngine, standard_resources
 from repro.sim.opbatch import ROW_FIELDS, OpBatch
 from repro.sim.ops import OpKind, SimOp, reset_op_counter
 from repro.training.config import TrainingJobConfig
-from repro.training.simulation import simulate_job
+from repro.training.simulation import reset_fallback_warnings, simulate_job
 
 RESOURCES = ("cpu", "gpu", "link", "pcie.h2d", "pcie.d2h")
 
@@ -162,9 +166,11 @@ JOB_VARIANTS = [
 
 def _assert_simulations_identical(job, iterations):
     reset_op_counter()
-    eager = simulate_job(job, iterations=iterations, op_backend="objects")
+    eager = simulate_job(job, iterations=iterations,
+                         policy=ExecutionPolicy(op_backend="objects", scheduler="heap"))
     reset_op_counter()
-    batched = simulate_job(job, iterations=iterations, op_backend="batch")
+    batched = simulate_job(job, iterations=iterations,
+                           policy=ExecutionPolicy(op_backend="batch", scheduler="heap"))
 
     assert _schedule_tuples(batched.schedule) == _schedule_tuples(eager.schedule)
     batched.schedule.validate()
@@ -207,15 +213,17 @@ def test_simulate_job_backends_identical_at_10k_subgroups():
 
 
 def test_simulate_job_env_and_argument_backend_selection(monkeypatch):
+    """The deprecated op_backend= keyword still selects backends (with a warning)."""
     job = TrainingJobConfig(model="7B", strategy="zero3-offload", check_memory=False).resolve()
-    with pytest.raises(ConfigurationError):
+    with pytest.warns(DeprecationWarning), pytest.raises(ConfigurationError):
         simulate_job(job, 1, op_backend="no-such-backend")
     monkeypatch.setenv("REPRO_SIM_OP_BACKEND", "objects")
     reset_op_counter()
     via_env = simulate_job(job, 1)
     monkeypatch.delenv("REPRO_SIM_OP_BACKEND")
     reset_op_counter()
-    via_arg = simulate_job(job, 1, op_backend="objects")
+    with pytest.warns(DeprecationWarning):
+        via_arg = simulate_job(job, 1, op_backend="objects")
     assert _schedule_tuples(via_env.schedule) == _schedule_tuples(via_arg.schedule)
 
 
@@ -223,5 +231,14 @@ def test_strategies_without_row_builders_fall_back_to_eager():
     """A strategy that never implemented the row twins still simulates correctly."""
     job = TrainingJobConfig(model="7B", strategy="zero3-offload", check_memory=False).resolve()
     job.strategy.supports_op_batch = lambda: False  # simulate a third-party strategy
-    result = simulate_job(job, 1, op_backend="batch")
+    reset_fallback_warnings()
+    with pytest.warns(OpBackendFallbackWarning):
+        result = simulate_job(job, 1, policy=ExecutionPolicy(op_backend="batch"))
     assert result.schedule.ops  # eager fallback produced a real schedule
+    assert result.resolved_policy.op_backend == "objects"
+    assert result.resolved_policy.op_backend_fallback
+    # Warned once per strategy: a second simulation stays silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", OpBackendFallbackWarning)
+        simulate_job(job, 1, policy=ExecutionPolicy(op_backend="batch"))
+    reset_fallback_warnings()

@@ -1,0 +1,415 @@
+"""ExecutionPolicy: the four-level resolution order and its consumers.
+
+The contract under test (``docs/runtime.md``): every execution knob resolves
+through **explicit argument > active ``repro.configure`` context > ``REPRO_*``
+environment > default**, in exactly one place
+(:meth:`repro.runtime.ExecutionPolicy.resolve`), for every field.  On top of
+that order sit the consumers: ``simulate_job`` (including ``scheduler="auto"``
+threshold selection and the op-batch fallback record), ``Trainer``,
+``SweepRunner`` (explicit worker-side serialization) and the CLI (global
+flags, the ``repro config`` subcommand).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import ConfigurationError
+from repro.runtime import (
+    DEFAULT_AUTO_VECTOR_THRESHOLD,
+    POLICY_FIELDS,
+    ExecutionPolicy,
+    configure,
+    policy_context,
+)
+from repro.sim.engine import VectorSchedule
+from repro.sim.ops import reset_op_counter
+from repro.sweep import SweepRunner, SweepSpec
+from repro.training.config import TrainingJobConfig
+from repro.training.simulation import simulate_job
+from repro.training.trainer import Trainer
+
+ENV_VARS = [spec.env_var for spec in POLICY_FIELDS.values()]
+
+
+@pytest.fixture(autouse=True)
+def _clean_policy_env(monkeypatch):
+    """Policy env vars from the developer's shell must not steer these tests."""
+    for env_var in ENV_VARS:
+        monkeypatch.delenv(env_var, raising=False)
+
+
+@pytest.fixture(scope="module")
+def job():
+    return TrainingJobConfig(model="7B", strategy="deep-optimizer-states",
+                             check_memory=False).resolve()
+
+
+# ------------------------------------------------------------------ precedence
+
+# (field, env text, value the env text parses to, context value, arg value).
+# Context values deliberately differ from the env values (and arg from context)
+# so each assertion can only pass if the documented level won.
+FIELD_CASES = [
+    ("op_backend", "objects", "objects", "batch", "objects"),
+    ("scheduler", "vector", "vector", "heap", "vector"),
+    ("auto_vector_threshold", "123", 123, 456, 789),
+    ("jobs", "3", 3, 2, 4),
+    ("use_cache", "1", True, False, True),
+    ("cache_dir", "/tmp/env-cache", Path("/tmp/env-cache"),
+     Path("/tmp/ctx-cache"), Path("/tmp/arg-cache")),
+]
+
+DEFAULTS = {
+    "op_backend": "batch",
+    "scheduler": "auto",
+    "auto_vector_threshold": DEFAULT_AUTO_VECTOR_THRESHOLD,
+    "jobs": 1,
+    "use_cache": False,
+    "cache_dir": Path.home() / ".cache" / "repro" / "sweeps",
+}
+
+
+@pytest.mark.parametrize("name,env_text,env_value,ctx_value,arg_value", FIELD_CASES)
+def test_field_resolves_arg_over_context_over_env_over_default(
+    monkeypatch, name, env_text, env_value, ctx_value, arg_value
+):
+    spec = POLICY_FIELDS[name]
+
+    resolved = ExecutionPolicy.resolve()
+    assert getattr(resolved, name) == DEFAULTS[name]
+    assert resolved.sources[name] == "default"
+
+    monkeypatch.setenv(spec.env_var, env_text)
+    resolved = ExecutionPolicy.resolve()
+    assert getattr(resolved, name) == env_value
+    assert resolved.sources[name] == "env"
+
+    with configure(**{name: ctx_value}):
+        resolved = ExecutionPolicy.resolve()
+        assert getattr(resolved, name) == ctx_value
+        assert resolved.sources[name] == "context"
+
+        resolved = ExecutionPolicy.resolve(**{name: arg_value})
+        assert getattr(resolved, name) == arg_value
+        assert resolved.sources[name] == "arg"
+
+
+def test_contexts_nest_with_inner_wins_and_fields_merge():
+    with configure(scheduler="vector", jobs=3):
+        with configure(scheduler="heap"):
+            inner = ExecutionPolicy.resolve()
+            assert inner.scheduler == "heap"
+            assert inner.jobs == 3  # outer field shows through
+        outer = ExecutionPolicy.resolve()
+        assert outer.scheduler == "vector"
+    assert ExecutionPolicy.resolve().scheduler == "auto"
+
+
+def test_context_value_beats_env_even_when_equal_to_default(monkeypatch):
+    # A context explicitly pinning the default value must still outvote env.
+    monkeypatch.setenv("REPRO_SIM_OP_BACKEND", "objects")
+    with configure(op_backend="batch"):
+        resolved = ExecutionPolicy.resolve()
+    assert resolved.op_backend == "batch"
+    assert resolved.sources["op_backend"] == "context"
+
+
+def test_explicit_argument_shields_a_broken_env_value(monkeypatch):
+    # Only the winning level is validated: garbage below it cannot raise.
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "quantum")
+    assert ExecutionPolicy.resolve(scheduler="heap").scheduler == "heap"
+    with pytest.raises(ConfigurationError, match="quantum"):
+        ExecutionPolicy.resolve()
+
+
+# ------------------------------------------------------------------ validation
+
+
+def test_falsey_env_booleans_parse(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_USE_CACHE", "off")
+    assert ExecutionPolicy.resolve().use_cache is False
+    monkeypatch.setenv("REPRO_SWEEP_USE_CACHE", "true")
+    assert ExecutionPolicy.resolve().use_cache is True
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"op_backend": "rows"},
+    {"scheduler": "warp"},
+    {"auto_vector_threshold": -1},
+    {"auto_vector_threshold": "lots"},
+    {"jobs": 0},
+    {"jobs": 2.5},
+    {"use_cache": "yes"},
+    {"cache_dir": 42},
+])
+def test_bad_values_raise_at_construction_and_resolution(kwargs):
+    with pytest.raises(ConfigurationError):
+        ExecutionPolicy(**kwargs)
+    with pytest.raises(ConfigurationError):
+        ExecutionPolicy.resolve(**kwargs)
+    with pytest.raises(ConfigurationError):
+        configure(**kwargs)
+
+
+@pytest.mark.parametrize("env_var,text", [
+    ("REPRO_SWEEP_JOBS", "many"),
+    ("REPRO_SWEEP_USE_CACHE", "maybe"),
+    ("REPRO_AUTO_VECTOR_THRESHOLD", "1e6"),
+])
+def test_unparseable_env_values_raise(monkeypatch, env_var, text):
+    monkeypatch.setenv(env_var, text)
+    with pytest.raises(ConfigurationError):
+        ExecutionPolicy.resolve()
+
+
+def test_unknown_fields_are_rejected_everywhere():
+    with pytest.raises(ConfigurationError, match="warp_speed"):
+        configure(warp_speed=9)
+    with pytest.raises(ConfigurationError):
+        ExecutionPolicy.resolve(warp_speed=9)
+
+
+def test_policies_compare_by_value_not_by_source(monkeypatch):
+    assert ExecutionPolicy.resolve() == ExecutionPolicy()
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "vector")
+    assert ExecutionPolicy.resolve() == ExecutionPolicy(scheduler="vector")
+
+
+def test_with_overrides_replaces_fields_as_arg_sources():
+    base = ExecutionPolicy.resolve()
+    derived = base.with_overrides(scheduler="vector")
+    assert derived.scheduler == "vector"
+    assert derived.sources["scheduler"] == "arg"
+    assert derived.jobs == base.jobs
+    with pytest.raises(ConfigurationError):
+        base.with_overrides(scheduler="warp")
+
+
+def test_describe_is_json_ready():
+    described = ExecutionPolicy.resolve().describe()
+    assert set(described) == set(POLICY_FIELDS)
+    payload = json.loads(json.dumps(described))
+    assert payload["scheduler"] == {"value": "auto", "source": "default"}
+    assert isinstance(payload["cache_dir"]["value"], str)
+
+
+def test_directly_constructed_policy_infers_honest_sources():
+    described = ExecutionPolicy(scheduler="vector").describe()
+    assert described["scheduler"]["source"] == "arg"
+    assert described["jobs"]["source"] == "default"  # never passed, not an arg
+
+
+def test_env_errors_name_the_offending_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_JOBS", "garbage")
+    with pytest.raises(ConfigurationError, match=r"REPRO_SWEEP_JOBS"):
+        ExecutionPolicy.resolve()
+
+
+def test_resolution_report_rejects_unknown_fields():
+    from repro.runtime import resolution_report
+
+    with pytest.raises(ConfigurationError, match="schedular"):
+        resolution_report(schedular="vector")
+
+
+# ----------------------------------------------------- simulate_job consumers
+
+
+def test_simulate_job_auto_picks_heap_below_threshold(job):
+    result = simulate_job(job, 1)
+    resolved = result.resolved_policy
+    assert resolved.policy.scheduler == "auto"
+    assert resolved.op_count < resolved.policy.auto_vector_threshold
+    assert resolved.scheduler == "heap"
+    assert not isinstance(result.schedule, VectorSchedule)
+
+
+def test_simulate_job_auto_picks_vector_above_threshold(job):
+    with configure(auto_vector_threshold=1):
+        result = simulate_job(job, 1)
+    resolved = result.resolved_policy
+    assert resolved.scheduler == "vector"
+    assert resolved.op_count >= 1
+    assert isinstance(result.schedule, VectorSchedule)
+
+
+def test_simulate_job_records_what_actually_ran(job):
+    result = simulate_job(job, 1, policy=ExecutionPolicy(scheduler="vector"))
+    resolved = result.resolved_policy
+    assert resolved.scheduler == "vector"
+    assert resolved.op_backend == "batch"
+    assert not resolved.op_backend_fallback
+    assert resolved.op_count == len(result.schedule.ops)
+
+
+def test_simulate_job_rejects_policy_plus_legacy_kwargs(job):
+    with pytest.warns(DeprecationWarning), pytest.raises(ConfigurationError):
+        simulate_job(job, 1, policy=ExecutionPolicy(), op_backend="batch")
+
+
+def test_simulate_job_rejects_non_policy(job):
+    with pytest.raises(ConfigurationError, match="ExecutionPolicy"):
+        simulate_job(job, 1, policy="heap")
+
+
+def test_legacy_kwargs_warn_and_match_policy_path(job):
+    reset_op_counter()
+    with pytest.warns(DeprecationWarning, match="scheduler_backend"):
+        legacy = simulate_job(job, 1, scheduler_backend="vector")
+    reset_op_counter()
+    modern = simulate_job(job, 1, policy=ExecutionPolicy(scheduler="vector"))
+    assert [(i.op.op_id, i.start, i.end) for i in legacy.schedule.ops] == \
+           [(i.op.op_id, i.start, i.end) for i in modern.schedule.ops]
+
+
+def test_trainer_accepts_a_policy():
+    config = TrainingJobConfig(model="7B", strategy="deep-optimizer-states",
+                               iterations=2, warmup_iterations=1, check_memory=False)
+    pinned = Trainer(config, policy=ExecutionPolicy(scheduler="vector")).run()
+    ambient = Trainer(config).run()
+    # Backends are schedule-identical, so the reports agree exactly.
+    assert pinned.breakdowns == ambient.breakdowns
+    assert pinned.end_to_end_seconds == ambient.end_to_end_seconds
+
+
+# ----------------------------------------------------- SweepRunner serialization
+
+
+def _policy_probe(**params):
+    """Module-level worker reporting the policy its resolution context yields."""
+    resolved = ExecutionPolicy.resolve()
+    return {
+        "scheduler": resolved.scheduler,
+        "op_backend": resolved.op_backend,
+        "auto_vector_threshold": resolved.auto_vector_threshold,
+        "sources": dict(resolved.sources),
+    }
+
+
+def test_runner_binds_policy_at_construction():
+    policy = ExecutionPolicy(jobs=2, scheduler="vector", use_cache=False)
+    runner = SweepRunner(_policy_probe, policy=policy)
+    assert (runner.jobs, runner.scheduler, runner.use_cache) == (2, "vector", False)
+    assert runner.policy is policy
+
+
+def test_runner_rejects_policy_plus_individual_kwargs():
+    with pytest.raises(ConfigurationError, match="not both"):
+        SweepRunner(_policy_probe, policy=ExecutionPolicy(), jobs=2)
+    with pytest.raises(ConfigurationError, match="ExecutionPolicy"):
+        SweepRunner(_policy_probe, policy="vector")
+
+
+def test_runner_resolves_construction_context_not_run_context():
+    with configure(scheduler="vector"):
+        runner = SweepRunner(_policy_probe)
+    # The policy was bound under the construction context; running outside it
+    # still ships the bound decisions to the workers.
+    result = runner.run(SweepSpec.build({"x": (1,)}))
+    assert result.records[0].value["scheduler"] == "vector"
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_workers_resolve_the_serialized_policy_at_context_level(monkeypatch, jobs, tmp_path):
+    # Worker-side env (inherited by fork or present in-process) must lose to
+    # the explicitly serialized policy: context > env.
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
+    monkeypatch.setenv("REPRO_AUTO_VECTOR_THRESHOLD", "7")
+    runner = SweepRunner(_policy_probe, jobs=jobs, scheduler="vector",
+                         cache_dir=tmp_path)
+    values = [record.value for record in runner.run(SweepSpec.build({"x": (1, 2)})).records]
+    for value in values:
+        assert value["scheduler"] == "vector"
+        # Un-overridden fields were resolved at the parent (threshold 7 from its
+        # env) and shipped whole: the worker sees them at the *context* level.
+        assert value["auto_vector_threshold"] == 7
+        assert set(value["sources"].values()) == {"context"}
+
+
+def test_policy_context_requires_a_policy():
+    with pytest.raises(ConfigurationError):
+        policy_context({"scheduler": "vector"})
+
+
+# ------------------------------------------------------------------------ CLI
+
+
+def test_cli_config_prints_fields_and_sources(capsys):
+    assert main(["config"]) == 0
+    out = capsys.readouterr().out
+    for name in POLICY_FIELDS:
+        assert name in out
+    assert "auto" in out and "default" in out and "source" in out
+
+
+def test_cli_config_json_marks_global_flags_as_args(capsys):
+    assert main(["--scheduler", "vector", "--op-backend", "objects",
+                 "config", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scheduler"] == {"value": "vector", "source": "arg"}
+    assert payload["op_backend"] == {"value": "objects", "source": "arg"}
+    assert payload["jobs"]["source"] == "default"
+
+
+def test_cli_config_reports_env_sources(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "vector")
+    assert main(["config", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scheduler"] == {"value": "vector", "source": "env"}
+
+
+def test_cli_global_flags_do_not_outlive_the_command(capsys):
+    assert main(["--scheduler", "vector", "list-presets"]) == 0
+    assert ExecutionPolicy.resolve().scheduler == "auto"
+
+
+# ------------------------------------------- unrelated broken env isolation
+
+
+def test_simulate_job_ignores_broken_sweep_env_vars(monkeypatch, job):
+    # simulate_job consumes only the simulation fields; garbage in the
+    # sweep-level variables must not fail it (it did before env_fields).
+    monkeypatch.setenv("REPRO_SWEEP_USE_CACHE", "maybe")
+    monkeypatch.setenv("REPRO_SWEEP_JOBS", "garbage")
+    result = simulate_job(job, 1)
+    assert result.schedule.ops
+    assert result.resolved_policy.policy.use_cache is False  # default, env skipped
+
+
+def test_simulate_job_still_rejects_broken_simulation_env(monkeypatch, job):
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "quantum")
+    with pytest.raises(ConfigurationError, match="quantum"):
+        simulate_job(job, 1)
+
+
+def test_env_fields_restriction_still_honours_context_and_args(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_JOBS", "garbage")
+    with configure(jobs=5):
+        assert ExecutionPolicy.resolve(env_fields=("scheduler",)).jobs == 5
+    assert ExecutionPolicy.resolve(env_fields=("scheduler",), jobs=7).jobs == 7
+
+
+def test_cli_help_survives_broken_env(monkeypatch, capsys):
+    # Parser construction must never resolve the policy: --help (and every
+    # other command) has to work in the very environment config diagnoses.
+    monkeypatch.setenv("REPRO_SWEEP_JOBS", "garbage")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    assert "usage: repro" in capsys.readouterr().out
+
+
+def test_cli_config_reports_broken_env_as_error_rows(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SWEEP_JOBS", "garbage")
+    assert main(["config"]) == 1
+    out = capsys.readouterr().out
+    assert "<error:" in out and "garbage" in out
+    assert "scheduler" in out  # healthy fields still report
+
+    assert main(["config", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["jobs"]["source"] == "error" and "garbage" in payload["jobs"]["error"]
+    assert payload["scheduler"] == {"value": "auto", "source": "default"}

@@ -10,8 +10,10 @@ harness, ``tests/test_engine_equivalence.py``):
 * argument/environment selection parity for the ``vector`` backend;
 * the :class:`~repro.sim.engine.VectorSchedule` surface: lazy materialisation,
   array-backed ``makespan``, inherited queries, validation;
-* :class:`~repro.sweep.runner.SweepRunner` scheduler plumbing: validation,
-  worker-visible ``$REPRO_SIM_SCHEDULER``, environment restoration;
+* :class:`~repro.sweep.runner.SweepRunner` scheduler plumbing: validation and
+  the explicit policy serialization workers resolve against (no environment
+  variables are exported — ``tests/test_runtime_policy.py`` covers the full
+  precedence matrix);
 * the ``--scheduler`` CLI flag.
 """
 
@@ -21,6 +23,7 @@ import pytest
 
 from repro.cli import build_parser
 from repro.common.errors import ConfigurationError
+from repro.runtime import ExecutionPolicy
 from repro.sim.engine import SimEngine, VectorSchedule, standard_resources
 from repro.sim.opbatch import OpBatch
 from repro.sim.ops import OpKind, SimOp, reset_op_counter
@@ -43,7 +46,7 @@ def _schedule_tuples(schedule):
 
 
 def test_simulate_job_rejects_unknown_scheduler_backend(job):
-    with pytest.raises(ConfigurationError, match="warp-drive"):
+    with pytest.warns(DeprecationWarning), pytest.raises(ConfigurationError, match="warp-drive"):
         simulate_job(job, 1, scheduler_backend="warp-drive")
 
 
@@ -54,20 +57,22 @@ def test_simulate_job_rejects_unknown_scheduler_env_value(job, monkeypatch):
 
 
 def test_scheduler_error_lists_valid_backends(job):
-    with pytest.raises(ConfigurationError, match="'heap'.*'vector'"):
+    with pytest.warns(DeprecationWarning), pytest.raises(ConfigurationError, match="'heap'.*'vector'"):
         simulate_job(job, 1, scheduler_backend="nope")
 
 
 def test_scheduler_argument_overrides_env(job, monkeypatch):
     # A bad env value must not break an explicit, valid argument.
     monkeypatch.setenv("REPRO_SIM_SCHEDULER", "quantum")
-    result = simulate_job(job, 1, scheduler_backend="heap")
+    with pytest.warns(DeprecationWarning):
+        result = simulate_job(job, 1, scheduler_backend="heap")
     assert result.schedule.makespan > 0
 
 
 def test_scheduler_backends_constant_matches_validation(job):
     for name in SCHEDULER_BACKENDS:
-        assert simulate_job(job, 1, scheduler_backend=name).schedule.makespan > 0
+        policy = ExecutionPolicy(scheduler=name)
+        assert simulate_job(job, 1, policy=policy).schedule.makespan > 0
 
 
 # ------------------------------------------------------------ selection parity
@@ -79,18 +84,22 @@ def test_vector_via_env_equals_vector_via_argument(job, monkeypatch):
     via_env = simulate_job(job, 1)
     monkeypatch.delenv("REPRO_SIM_SCHEDULER")
     reset_op_counter()
-    via_arg = simulate_job(job, 1, scheduler_backend="vector")
+    via_arg = simulate_job(job, 1, policy=ExecutionPolicy(scheduler="vector"))
     reset_op_counter()
-    via_heap = simulate_job(job, 1, scheduler_backend="heap")
+    via_heap = simulate_job(job, 1, policy=ExecutionPolicy(scheduler="heap"))
     assert _schedule_tuples(via_env.schedule) == _schedule_tuples(via_arg.schedule)
     assert _schedule_tuples(via_arg.schedule) == _schedule_tuples(via_heap.schedule)
 
 
 def test_vector_scheduler_with_objects_op_backend(job):
     reset_op_counter()
-    heap = simulate_job(job, 2, op_backend="objects", scheduler_backend="heap")
+    heap = simulate_job(
+        job, 2, policy=ExecutionPolicy(op_backend="objects", scheduler="heap")
+    )
     reset_op_counter()
-    vector = simulate_job(job, 2, op_backend="objects", scheduler_backend="vector")
+    vector = simulate_job(
+        job, 2, policy=ExecutionPolicy(op_backend="objects", scheduler="vector")
+    )
     assert _schedule_tuples(heap.schedule) == _schedule_tuples(vector.schedule)
 
 
@@ -183,14 +192,14 @@ def test_run_vector_rejects_unknown_resource():
 # ---------------------------------------------------------------- SweepRunner
 
 
-def _spy_scheduler_env(**params):
-    """Module-level worker reporting the scheduler env it executed under."""
-    return os.environ.get("REPRO_SIM_SCHEDULER")
+def _spy_resolved_scheduler(**params):
+    """Module-level worker reporting the scheduler its resolution context yields."""
+    return ExecutionPolicy.resolve().scheduler
 
 
 def test_sweep_runner_rejects_unknown_scheduler():
     with pytest.raises(ConfigurationError, match="warp"):
-        SweepRunner(_spy_scheduler_env, scheduler="warp")
+        SweepRunner(_spy_resolved_scheduler, scheduler="warp")
 
 
 def test_configure_defaults_rejects_unknown_scheduler():
@@ -201,18 +210,20 @@ def test_configure_defaults_rejects_unknown_scheduler():
         reset_defaults()
 
 
-def test_sweep_runner_exports_scheduler_to_serial_workers(monkeypatch):
+def test_sweep_runner_serializes_scheduler_to_serial_workers(monkeypatch):
     monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
-    runner = SweepRunner(_spy_scheduler_env, scheduler="vector")
+    runner = SweepRunner(_spy_resolved_scheduler, scheduler="vector")
     result = runner.run(SweepSpec.build({"x": (1, 2)}))
     assert [record.value for record in result.records] == ["vector", "vector"]
-    # Scoped: the override must not leak into the caller's environment.
+    # Explicit serialization, not env export: the environment is never touched.
     assert "REPRO_SIM_SCHEDULER" not in os.environ
 
 
-def test_sweep_runner_restores_callers_scheduler_env(monkeypatch):
+def test_sweep_runner_policy_beats_worker_side_env(monkeypatch):
+    # The serialized policy wins over the worker's own environment (context >
+    # env in the resolution order) — and the environment itself is untouched.
     monkeypatch.setenv("REPRO_SIM_SCHEDULER", "heap")
-    runner = SweepRunner(_spy_scheduler_env, scheduler="vector")
+    runner = SweepRunner(_spy_resolved_scheduler, scheduler="vector")
     result = runner.run(SweepSpec.build({"x": (1,)}))
     assert result.records[0].value == "vector"
     assert os.environ["REPRO_SIM_SCHEDULER"] == "heap"
@@ -222,7 +233,7 @@ def test_sweep_runner_scheduler_from_defaults(monkeypatch):
     monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
     try:
         configure_defaults(scheduler="vector")
-        runner = SweepRunner(_spy_scheduler_env)
+        runner = SweepRunner(_spy_resolved_scheduler)
         assert runner.scheduler == "vector"
         result = runner.run(SweepSpec.build({"x": (1,)}))
         assert result.records[0].value == "vector"
@@ -230,16 +241,17 @@ def test_sweep_runner_scheduler_from_defaults(monkeypatch):
         reset_defaults()
 
 
-def test_sweep_runner_without_scheduler_leaves_env_untouched(monkeypatch):
+def test_sweep_runner_default_scheduler_is_auto(monkeypatch):
     monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
-    runner = SweepRunner(_spy_scheduler_env)
+    runner = SweepRunner(_spy_resolved_scheduler)
+    assert runner.scheduler == "auto"
     result = runner.run(SweepSpec.build({"x": (1,)}))
-    assert result.records[0].value is None
+    assert result.records[0].value == "auto"
 
 
 def test_parallel_sweep_runs_on_vector_backend(tmp_path):
-    """Pool workers inherit the scheduler via the trampoline env forwarding."""
-    runner = SweepRunner(_spy_scheduler_env, jobs=2, scheduler="vector",
+    """Pool workers inherit the scheduler via the pickled policy, not env vars."""
+    runner = SweepRunner(_spy_resolved_scheduler, jobs=2, scheduler="vector",
                          use_cache=False, cache_dir=tmp_path)
     result = runner.run(SweepSpec.build({"x": (1, 2)}))
     assert [record.value for record in result.records] == ["vector", "vector"]
@@ -253,10 +265,11 @@ def test_parallel_sweep_runs_on_vector_backend(tmp_path):
     ["compare", "--scheduler", "vector"],
     ["experiment", "fig7", "--scheduler", "vector"],
     ["sweep", "--scheduler", "heap"],
+    ["sweep", "--scheduler", "auto"],
 ])
 def test_cli_accepts_scheduler_flag(command):
     args = build_parser().parse_args(command)
-    assert args.scheduler in ("heap", "vector")
+    assert args.scheduler in ("auto", "heap", "vector")
 
 
 def test_cli_rejects_unknown_scheduler_value(capsys):
