@@ -10,8 +10,10 @@ Usage (after ``pip install -e .``)::
     python -m repro experiment fig2 --models 7B,20B --set iterations=2
     python -m repro sweep --models 7B,20B --strategies zero3-offload,deep-optimizer-states --jobs 4
     python -m repro sweep --models 20B --machines jlse-4xh100,4xv100 --strategies deep-optimizer-states
-    python -m repro sweep --executor numeric --models nano --axis seed=0,1,2
+    python -m repro sweep --worker numeric --models nano --axis seed=0,1,2
     python -m repro sweep --models 20B --strategies deep-optimizer-states --scheduler vector
+    python -m repro sweep --executor cluster --workers 2 --bind 127.0.0.1:7931 --progress
+    python -m repro worker --connect 127.0.0.1:7931 --retry-for 60
     python -m repro sweep --cache-stats --models 7B --strategies deep-optimizer-states
     python -m repro sweep --cache-evict stale
     python -m repro stride --machine jlse-4xh100
@@ -24,12 +26,17 @@ flags such as ``sweep --scheduler`` stay available and win, being explicit
 arguments), and ``repro config`` prints the fully resolved
 :class:`~repro.runtime.ExecutionPolicy` with each field's source.  ``sweep``
 exposes the scenario-sweep subsystem directly: any
-:func:`repro.experiments.base.run_training` keyword (or, with ``--executor
+:func:`repro.experiments.base.run_training` keyword (or, with ``--worker
 numeric``, any :func:`repro.training.numeric.run_numeric_training` keyword)
-can become an axis, scenarios run process-parallel with ``--jobs``, and
-results are cached on disk so a repeated invocation is instant (disable with
-``--no-cache``).  The cache is inspectable (``--cache-stats``) and evictable
-(``--cache-evict stale|all``) through its JSON manifest.
+can become an axis; ``--executor`` picks the dispatch backend
+(``serial``/``pool``/``cluster``; ``--jobs`` drives the default choice), with
+``--executor cluster`` dispatching over TCP to ``repro worker`` daemons
+(``--workers`` of them gate dispatch, ``--bind`` sets the coordinator
+address); and results are cached on disk so a repeated invocation is instant
+(disable with ``--no-cache``).  ``--progress`` streams one completion line
+per scenario from any executor.  The cache is inspectable
+(``--cache-stats``) and evictable (``--cache-evict stale|all``) through its
+JSON manifest.
 """
 
 from __future__ import annotations
@@ -47,7 +54,13 @@ from repro.experiments.base import run_experiment, run_training, training_sweep
 from repro.hardware.presets import get_machine_preset, list_machine_presets
 from repro.hardware.throughput import ThroughputProfile
 from repro.model.presets import list_model_presets
-from repro.runtime import OP_BACKENDS, SCHEDULER_CHOICES, configure, resolution_report
+from repro.runtime import (
+    EXECUTOR_CHOICES,
+    OP_BACKENDS,
+    SCHEDULER_CHOICES,
+    configure,
+    resolution_report,
+)
 from repro.sweep import SweepRunner, SweepSpec, default_cache_dir
 from repro.sweep.cache import cache_stats, evict_cache, format_stats
 from repro.training.metrics import format_table
@@ -160,10 +173,33 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "sweep", help="run a declarative training-scenario grid, parallel and cached"
     )
-    sweep.add_argument("--executor", choices=("training", "numeric"), default="training",
+    sweep.add_argument("--worker", choices=("training", "numeric"), default=None,
+                       dest="worker_kind",
                        help="worker behind the grid: 'training' simulates paper-scale "
-                            "jobs (run_training), 'numeric' trains tiny models for real "
-                            "(run_numeric_training)")
+                            "jobs (run_training, the default), 'numeric' trains tiny "
+                            "models for real (run_numeric_training)")
+    sweep.add_argument("--executor", default=None,
+                       choices=EXECUTOR_CHOICES + ("training", "numeric"),
+                       help="dispatch backend: 'serial', 'pool' (local processes), "
+                            "'cluster' (TCP to repro worker daemons) or 'auto' "
+                            "(pool when --jobs > 1; the default).  'training'/"
+                            "'numeric' are deprecated aliases for --worker")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="cluster executor: wait for this many connected "
+                            "worker daemons before dispatching (default 1, "
+                            "or $REPRO_WORKERS)")
+    sweep.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                       help="cluster executor: coordinator listen address "
+                            "(port 0 picks a free port and prints it)")
+    sweep.add_argument("--lease-timeout", type=float, default=None, metavar="SECONDS",
+                       help="cluster executor: task lease duration; a worker silent "
+                            "for this long has its task re-queued elsewhere")
+    sweep.add_argument("--max-retries", type=int, default=None, metavar="N",
+                       help="cluster executor: re-dispatch attempts per task after "
+                            "worker failures before the sweep errors out")
+    sweep.add_argument("--progress", action="store_true",
+                       help="stream one line per completed scenario (id, worker, "
+                            "wall time, cache hit/miss) from any executor")
     sweep.add_argument("--models", default=None,
                        help="comma-separated model presets (one sweep axis; default "
                             "7B,20B for training, nano,tiny-1M for numeric)")
@@ -191,6 +227,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="evict cache entries instead of sweeping: 'stale' removes "
                             "orphaned/version-mismatched entries, 'all' clears the cache")
     _add_sweep_flags(sweep)
+
+    worker = subparsers.add_parser(
+        "worker", help="run a dispatch worker daemon serving cluster sweeps"
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="address of the sweep coordinator "
+                             "(repro sweep --executor cluster --bind ...)")
+    worker.add_argument("--id", default=None, dest="worker_id",
+                        help="worker identity shown in progress lines "
+                             "(default: <hostname>-<pid>)")
+    worker.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
+                        help="lease heartbeat interval; 0 disables heartbeats "
+                             "(default: what the coordinator suggests)")
+    worker.add_argument("--retry-for", type=float, default=0.0, metavar="SECONDS",
+                        help="keep retrying the initial connect for this long, so "
+                             "daemons can start before the coordinator is listening")
 
     stride = subparsers.add_parser("stride", help="evaluate Equation 1 for a machine preset")
     stride.add_argument("--machine", default="jlse-4xh100", help="machine preset")
@@ -281,6 +333,47 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(event: dict) -> None:
+    """One completion line per scenario, identical for every executor."""
+    status = "hit" if event["cached"] else "miss"
+    retried = f" attempts={event['attempts']}" if event["attempts"] > 1 else ""
+    print(
+        f"[{event['completed']}/{event['total']}] {event['label']} "
+        f"worker={event['worker']} wall={event['wall_time']:.2f}s "
+        f"cache={status}{retried}",
+        flush=True,
+    )
+
+
+def _dispatch_event_printer(event: dict) -> None:
+    """Coordinator lifecycle lines (worker joins, lease expiries, re-queues)."""
+    kind = event.pop("event")
+    detail = " ".join(f"{key}={value}" for key, value in event.items())
+    print(f"[dispatch] {kind} {detail}".rstrip(), flush=True)
+
+
+def _split_sweep_executor(args: argparse.Namespace) -> tuple[str, str | None]:
+    """(worker kind, dispatch backend or None) from --worker/--executor.
+
+    ``--executor training|numeric`` predates the dispatch subsystem and named
+    the *worker*, not the backend; it keeps working as a deprecated alias so
+    existing invocations and docs do not break.
+    """
+    worker_kind = args.worker_kind
+    backend = args.executor
+    if backend in ("training", "numeric"):
+        if worker_kind is not None and worker_kind != backend:
+            raise ConfigurationError(
+                f"--executor {backend} (deprecated alias of --worker {backend}) "
+                f"conflicts with --worker {worker_kind}"
+            )
+        print(f"note: --executor {backend} is deprecated; use --worker {backend}",
+              file=sys.stderr)
+        worker_kind = backend
+        backend = None
+    return worker_kind or "training", backend
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
 
@@ -296,7 +389,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(format_stats(cache_stats(cache_dir)))
         return 0
 
-    numeric = args.executor == "numeric"
+    worker_kind, executor_backend = _split_sweep_executor(args)
+    numeric = worker_kind == "numeric"
     models = args.models if args.models is not None else ("nano,tiny-1M" if numeric else "7B,20B")
     axes: dict[str, tuple] = {}
     if models:
@@ -305,7 +399,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes["strategy"] = _parse_values(args.strategies)
     if args.machines:
         if numeric:
-            raise ConfigurationError("--machines applies to the training executor only")
+            raise ConfigurationError(
+                "--machines applies to the training worker (--worker training) only"
+            )
         axes["machine"] = _parse_values(args.machines)
     for item in args.axes:
         key, raw = _parse_assignment(item)
@@ -320,6 +416,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         base[key] = values[0]
 
+    # Cluster-backend options; the runner forwards them only when the policy
+    # actually resolves to the cluster executor (which can also happen via
+    # $REPRO_EXECUTOR, so they are prepared unconditionally).  The listen
+    # address always prints — with --bind HOST:0 it is the only way to learn
+    # the port workers should dial; --progress adds the full event stream.
+    executor_options: dict = {"bind": args.bind}
+    if args.lease_timeout is not None:
+        executor_options["lease_timeout"] = args.lease_timeout
+    if args.max_retries is not None:
+        executor_options["max_retries"] = args.max_retries
+    if args.progress:
+        executor_options["on_event"] = _dispatch_event_printer
+    else:
+        executor_options["on_event"] = lambda event: (
+            _dispatch_event_printer(event)
+            if event.get("event") == "coordinator-listening" else None
+        )
+
     spec = SweepSpec.build(axes, base)
     runner = SweepRunner(
         run_numeric_training if numeric else run_training,
@@ -327,6 +441,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         cache_dir=cache_dir,
         scheduler=args.scheduler,
+        executor=executor_backend,
+        workers=args.workers,
+        executor_options=executor_options,
+        progress=_progress_printer if args.progress else None,
     )
     result = runner.run(spec)
 
@@ -358,6 +476,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(format_stats(cache_stats(cache_dir)))
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dispatch import WorkerClient
+
+    client = WorkerClient(
+        args.connect,
+        worker_id=args.worker_id,
+        heartbeat=args.heartbeat,
+        retry_for=args.retry_for,
+        log=lambda line: print(line, flush=True),
+    )
+    return client.run()
 
 
 def _cmd_stride(args: argparse.Namespace) -> int:
@@ -397,6 +528,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "stride":
             return _cmd_stride(args)
     return 1  # pragma: no cover - argparse enforces the choices above

@@ -1,0 +1,156 @@
+"""Length-prefixed message framing shared by the coordinator and the workers.
+
+One frame on the wire is::
+
+    +----------------+-----------+----------------+
+    | length (4B BE) | codec (1B)| payload        |
+    +----------------+-----------+----------------+
+
+``length`` counts the payload bytes only.  ``codec`` selects how the payload
+decodes: :data:`CODEC_JSON` (UTF-8 JSON — control messages: hello, welcome,
+heartbeat, shutdown) or :data:`CODEC_PICKLE` (task assignments and results,
+which carry arbitrary picklable values such as :class:`~repro.runtime.ExecutionPolicy`
+and worker return values).  Frames above :data:`MAX_FRAME_BYTES` are rejected
+on both send and receive, so a corrupt length prefix cannot make a peer
+allocate unbounded memory.
+
+Both a blocking-socket API (worker daemons are synchronous) and an
+``asyncio`` stream API (the coordinator) are provided; they are wire-compatible
+by construction since both go through :func:`encode_frame` / :func:`decode_payload`.
+
+**Security model**: pickle crosses this wire.  The coordinator and its workers
+mutually trust each other and the network between them — see the security note
+in ``docs/dispatch.md``.  Nothing here authenticates peers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+import socket
+import struct
+from typing import Any
+
+from repro.common.errors import ReproError
+
+CODEC_JSON = 0
+CODEC_PICKLE = 1
+
+_HEADER = struct.Struct("!IB")
+
+#: Upper bound on one frame's payload; a sweep value larger than this should
+#: not be crossing a control channel in one message anyway.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class FramingError(ReproError):
+    """Raised on malformed frames or closed connections mid-frame."""
+
+
+def encode_frame(message: Any, codec: int = CODEC_JSON) -> bytes:
+    """Serialize one message into a complete frame (header + payload)."""
+    if codec == CODEC_JSON:
+        payload = json.dumps(message, separators=(",", ":")).encode()
+    elif codec == CODEC_PICKLE:
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    else:
+        raise FramingError(f"unknown frame codec {codec!r}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FramingError(f"frame payload of {len(payload)} bytes exceeds the "
+                           f"{MAX_FRAME_BYTES}-byte bound")
+    return _HEADER.pack(len(payload), codec) + payload
+
+
+def decode_payload(codec: int, payload: bytes) -> Any:
+    """Deserialize one frame's payload."""
+    if codec == CODEC_JSON:
+        try:
+            return json.loads(payload.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FramingError(f"undecodable JSON frame: {exc}") from exc
+    if codec == CODEC_PICKLE:
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:  # pickle raises a zoo of types
+            raise FramingError(f"undecodable pickle frame: {exc}") from exc
+    raise FramingError(f"unknown frame codec {codec!r}")
+
+
+def _check_header(length: int, codec: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte bound")
+    if codec not in (CODEC_JSON, CODEC_PICKLE):
+        raise FramingError(f"unknown frame codec {codec!r}")
+
+
+# ------------------------------------------------------------- blocking socket
+
+
+def send_message(sock: socket.socket, message: Any, codec: int = CODEC_JSON) -> None:
+    """Write one complete frame to a blocking socket."""
+    sock.sendall(encode_frame(message, codec))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise FramingError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Any:
+    """Read one complete frame from a blocking socket.
+
+    Raises :class:`FramingError` when the peer closes mid-frame; a clean close
+    *between* frames raises :class:`ConnectionClosed` so callers can tell an
+    orderly shutdown from a truncated message.
+    """
+    first = sock.recv(_HEADER.size)
+    if not first:
+        raise ConnectionClosed("connection closed")
+    header = first if len(first) == _HEADER.size else \
+        first + _recv_exact(sock, _HEADER.size - len(first))
+    length, codec = _HEADER.unpack(header)
+    _check_header(length, codec)
+    return decode_payload(codec, _recv_exact(sock, length) if length else b"")
+
+
+class ConnectionClosed(FramingError):
+    """The peer closed the connection cleanly between frames."""
+
+
+# ------------------------------------------------------------- asyncio streams
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Any:
+    """Read one complete frame from an asyncio stream.
+
+    Raises :class:`ConnectionClosed` on clean EOF between frames and
+    :class:`FramingError` on a truncated or malformed frame.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ConnectionClosed("connection closed") from None
+        raise FramingError("connection closed mid-frame") from None
+    length, codec = _HEADER.unpack(header)
+    _check_header(length, codec)
+    try:
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError:
+        raise FramingError("connection closed mid-frame") from None
+    return decode_payload(codec, payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: Any,
+                      codec: int = CODEC_JSON) -> None:
+    """Write one complete frame to an asyncio stream and drain."""
+    writer.write(encode_frame(message, codec))
+    await writer.drain()

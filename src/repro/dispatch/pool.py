@@ -1,0 +1,67 @@
+"""The pool executor: one host, many processes.
+
+The pre-dispatch ``jobs > 1`` path of ``SweepRunner`` refactored behind the
+:class:`~repro.dispatch.base.Executor` protocol: a
+:class:`concurrent.futures.ProcessPoolExecutor` of ``policy.jobs`` processes,
+each task invoked through a module-level trampoline that pickles only
+``(worker, params, policy)`` and activates the policy as the innermost
+resolution context around the call — worker-side resolution sees the parent's
+decisions at the context level, no environment variables are exported.
+Results stream back in completion order; values are byte-identical to a
+serial run (the runner reassembles scenario order by index).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.dispatch.base import Executor, ExecutorCapabilities, Task, TaskOutcome
+from repro.runtime import policy_context
+
+
+def _pool_call(worker: Callable[..., Any], params: dict, policy) -> tuple[Any, str, float]:
+    """Module-level trampoline: run one task inside a pool process.
+
+    Returns ``(value, worker_id, wall_time)`` so outcome provenance survives
+    the process boundary without a second round trip.
+    """
+    started = time.perf_counter()
+    with policy_context(policy):
+        value = worker(**params)
+    return value, f"pool-{os.getpid()}", time.perf_counter() - started
+
+
+class PoolExecutor(Executor):
+    """Process-parallel execution on the local host."""
+
+    name = "pool"
+
+    def capabilities(self) -> ExecutorCapabilities:
+        return ExecutorCapabilities(
+            name=self.name, distributed=False, fault_tolerant=False,
+            max_parallelism=self.policy.jobs,
+        )
+
+    def submit(self, tasks: Sequence[Task]) -> Iterator[TaskOutcome]:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        workers = max(1, min(self.policy.jobs, len(tasks)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_pool_call, self.worker, dict(task.params), self.policy): task
+                for task in tasks
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures[future]
+                    value, worker_id, wall_time = future.result()
+                    yield TaskOutcome(
+                        index=task.index, value=value,
+                        worker_id=worker_id, wall_time=wall_time,
+                    )

@@ -1,0 +1,46 @@
+"""The serial executor: in-process reference semantics.
+
+Runs every task in submission order in the calling process, under a
+:func:`repro.runtime.policy_context` pinning the resolved policy — exactly the
+environment a pool or cluster worker reproduces remotely.  Every other backend
+is tested against this one.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, Sequence
+
+from repro.dispatch.base import Executor, ExecutorCapabilities, Task, TaskOutcome
+from repro.runtime import policy_context
+
+#: Worker id every serial outcome reports.
+LOCAL_WORKER_ID = "local"
+
+
+class SerialExecutor(Executor):
+    """In-process execution, one task at a time, in submission order."""
+
+    name = "serial"
+
+    def capabilities(self) -> ExecutorCapabilities:
+        return ExecutorCapabilities(
+            name=self.name, distributed=False, fault_tolerant=False, max_parallelism=1
+        )
+
+    def submit(self, tasks: Sequence[Task]) -> Iterator[TaskOutcome]:
+        # The context scopes to each worker call, never to the yield: this is
+        # a generator, so a loop-wide context would also cover whatever the
+        # consumer does between outcomes (cache stores, progress callbacks) —
+        # work that runs *outside* any policy context on the pool and cluster
+        # backends, and must resolve identically here.
+        for task in tasks:
+            started = time.perf_counter()
+            with policy_context(self.policy):
+                value = self.worker(**dict(task.params))
+            yield TaskOutcome(
+                index=task.index,
+                value=value,
+                worker_id=LOCAL_WORKER_ID,
+                wall_time=time.perf_counter() - started,
+            )

@@ -1,0 +1,237 @@
+"""The ``repro worker`` daemon: a synchronous client of the cluster coordinator.
+
+A worker dials the coordinator (``repro worker --connect HOST:PORT``),
+introduces itself, and then serves tasks one at a time until the coordinator
+sends ``shutdown`` or closes the connection.  For each task it:
+
+1. imports the worker callable from its ``module:qualname`` reference
+   (cached per spec — both sides must run the same deployed codebase);
+2. activates the shipped :class:`~repro.runtime.ExecutionPolicy` as the
+   innermost resolution context, exactly like a pool process would;
+3. keeps the task's lease alive from a daemon heartbeat thread (the
+   interpreter's GIL switching guarantees the thread runs even while the
+   task computes); and
+4. sends back a ``result`` frame — or an ``error`` frame with the formatted
+   traceback if the task raised.
+
+The client is deliberately synchronous: one socket, one task at a time, a
+single lock serialising frame writes between the task loop and the heartbeat
+thread.  Parallelism on a host comes from running several daemons.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Callable
+
+from repro.common.errors import ConfigurationError
+from repro.dispatch.base import DispatchError, resolve_worker_spec
+from repro.dispatch.cluster import PROTOCOL_VERSION, parse_bind
+from repro.dispatch.framing import (
+    CODEC_PICKLE,
+    ConnectionClosed,
+    FramingError,
+    recv_message,
+    send_message,
+)
+from repro.runtime import ExecutionPolicy, policy_context
+
+
+class WorkerClient:
+    """One worker daemon: connect, serve tasks, exit on shutdown.
+
+    ``heartbeat`` overrides the interval the coordinator suggests in its
+    welcome message; ``0`` disables heartbeats entirely (only useful to *test*
+    the coordinator's lease-expiry path — a real deployment wants them on).
+    ``retry_for`` keeps retrying the initial connect for that many seconds, so
+    daemons can be launched before the coordinator is listening.
+    """
+
+    def __init__(
+        self,
+        connect: str,
+        *,
+        worker_id: str | None = None,
+        heartbeat: float | None = None,
+        retry_for: float = 0.0,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
+        self._host, self._port = parse_bind(connect)
+        if self._port == 0:
+            raise ConfigurationError("worker needs the coordinator's real port, not 0")
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        if heartbeat is not None and heartbeat < 0:
+            raise ConfigurationError("heartbeat must be >= 0 (0 disables)")
+        self._heartbeat = heartbeat
+        self._retry_for = float(retry_for)
+        self._log = log or (lambda line: None)
+        self._resolved: dict[str, Callable[..., Any]] = {}
+        self._send_lock = threading.Lock()
+        self.tasks_completed = 0
+
+    # ------------------------------------------------------------- connection
+
+    def _connect(self) -> socket.socket:
+        deadline = time.monotonic() + self._retry_for
+        while True:
+            try:
+                return socket.create_connection((self._host, self._port), timeout=10.0)
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise DispatchError(
+                        f"cannot reach coordinator at {self._host}:{self._port}: {exc}"
+                    ) from exc
+                time.sleep(0.2)
+
+    def _send(self, sock: socket.socket, message: Any, codec: int) -> None:
+        with self._send_lock:
+            send_message(sock, message, codec)
+
+    # -------------------------------------------------------------- main loop
+
+    def run(self) -> int:
+        """Serve until the coordinator shuts us down; returns an exit code."""
+        sock = self._connect()
+        sock.settimeout(None)  # task frames arrive at the coordinator's pace
+        try:
+            self._send(sock, {"type": "hello", "worker_id": self.worker_id,
+                              "pid": os.getpid(), "host": socket.gethostname()}, 0)
+            welcome = recv_message(sock)
+            if not isinstance(welcome, dict) or welcome.get("type") != "welcome":
+                raise DispatchError("coordinator did not send a welcome")
+            if welcome.get("protocol") != PROTOCOL_VERSION:
+                raise DispatchError(
+                    f"protocol mismatch: coordinator speaks "
+                    f"{welcome.get('protocol')!r}, this worker {PROTOCOL_VERSION!r}"
+                )
+            interval = self._heartbeat
+            if interval is None:
+                interval = float(welcome.get("heartbeat_interval", 5.0))
+            self._log(f"worker {self.worker_id} connected to {self._host}:{self._port}")
+            while True:
+                try:
+                    message = recv_message(sock)
+                except ConnectionClosed:
+                    self._log(f"worker {self.worker_id}: coordinator went away")
+                    return 0
+                if not isinstance(message, dict):
+                    continue
+                kind = message.get("type")
+                if kind == "shutdown":
+                    self._log(f"worker {self.worker_id}: shutdown "
+                              f"({self.tasks_completed} task(s) served)")
+                    return 0
+                if kind == "task":
+                    if not self._serve_task(sock, message, interval):
+                        self._log(f"worker {self.worker_id}: coordinator went away")
+                        return 0
+        except ConnectionClosed:
+            self._log(f"worker {self.worker_id}: coordinator went away")
+            return 0
+        except OSError as exc:
+            # A vanished coordinator (reset, closed socket) is an orderly end
+            # of service from the daemon's point of view, not a crash.
+            self._log(f"worker {self.worker_id}: connection lost: {exc}")
+            return 0
+        except FramingError as exc:
+            self._log(f"worker {self.worker_id}: protocol error: {exc}")
+            return 1
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ tasks
+
+    def _serve_task(self, sock: socket.socket, message: dict, interval: float) -> bool:
+        """Run one task and report it; False when the coordinator vanished.
+
+        A failed result/error send is not a daemon crash: the likely cause is
+        a coordinator that finished (or re-ran this task elsewhere after a
+        lease expiry) and closed the connection — the daemon should end its
+        service cleanly, matching the exit-0-on-shutdown contract.
+        """
+        task_id = message.get("task_id")
+        stop = threading.Event()
+        beat: threading.Thread | None = None
+        if interval > 0:
+            def _beat() -> None:
+                while not stop.wait(interval):
+                    try:
+                        self._send(sock, {"type": "heartbeat", "task_id": task_id}, 0)
+                    except OSError:
+                        return
+            beat = threading.Thread(target=_beat, daemon=True,
+                                    name=f"heartbeat-{task_id}")
+            beat.start()
+        started = time.perf_counter()
+        try:
+            spec = message["worker"]
+            if spec not in self._resolved:
+                self._resolved[spec] = resolve_worker_spec(spec)
+            fn = self._resolved[spec]
+            policy = message.get("policy")
+            if policy is not None and not isinstance(policy, ExecutionPolicy):
+                raise ConfigurationError("task carried a non-ExecutionPolicy policy")
+            if policy is None:
+                value = fn(**message.get("params", {}))
+            else:
+                with policy_context(policy):
+                    value = fn(**message.get("params", {}))
+        except Exception as exc:
+            stop.set()
+            try:
+                self._send(sock, {
+                    "type": "error",
+                    "task_id": task_id,
+                    "index": message.get("index"),
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                }, 0)
+            except OSError:
+                return False
+            self._log(f"worker {self.worker_id}: scenario #{message.get('index')} "
+                      f"raised {type(exc).__name__}")
+            return True
+        finally:
+            stop.set()
+            if beat is not None:
+                beat.join(timeout=1.0)
+        wall = time.perf_counter() - started
+        try:
+            self._send(sock, {
+                "type": "result",
+                "task_id": task_id,
+                "index": message.get("index"),
+                "value": value,
+                "wall_time": wall,
+            }, CODEC_PICKLE)
+        except OSError:
+            return False
+        except Exception as exc:
+            # An unpicklable or over-frame-bound value is a deterministic
+            # *application* failure: report it as a task error so the
+            # coordinator fails the sweep with the cause, instead of crashing
+            # the daemon and burning the retry budget on identical crashes.
+            try:
+                self._send(sock, {
+                    "type": "error",
+                    "task_id": task_id,
+                    "index": message.get("index"),
+                    "message": f"result not serializable: {type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                }, 0)
+            except OSError:
+                return False
+            self._log(f"worker {self.worker_id}: scenario #{message.get('index')} "
+                      f"returned an unserializable result ({type(exc).__name__})")
+            return True
+        self.tasks_completed += 1
+        self._log(f"worker {self.worker_id}: scenario #{message.get('index')} "
+                  f"done in {wall:.2f}s")
+        return True

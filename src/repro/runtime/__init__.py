@@ -10,8 +10,11 @@ See ``docs/runtime.md`` for the full model.
 """
 
 from repro.runtime.policy import (
+    AUTO_EXECUTOR,
     AUTO_SCHEDULER,
     DEFAULT_AUTO_VECTOR_THRESHOLD,
+    EXECUTOR_BACKENDS,
+    EXECUTOR_CHOICES,
     OP_BACKENDS,
     POLICY_FIELDS,
     SCHEDULER_CHOICES,
@@ -27,8 +30,11 @@ from repro.runtime.policy import (
 )
 
 __all__ = [
+    "AUTO_EXECUTOR",
     "AUTO_SCHEDULER",
     "DEFAULT_AUTO_VECTOR_THRESHOLD",
+    "EXECUTOR_BACKENDS",
+    "EXECUTOR_CHOICES",
     "OP_BACKENDS",
     "POLICY_FIELDS",
     "SCHEDULER_CHOICES",

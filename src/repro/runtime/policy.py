@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import os
 from contextvars import ContextVar
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
@@ -52,6 +52,14 @@ OP_BACKENDS = ("batch", "objects")
 #: Policy-level scheduler choices: the engine backends plus ``"auto"``.
 AUTO_SCHEDULER = "auto"
 SCHEDULER_CHOICES = (AUTO_SCHEDULER,) + SCHEDULER_BACKENDS
+
+#: The dispatch backends of :mod:`repro.dispatch` (declared here, not there,
+#: because the policy layer validates the ``executor`` field and the dispatch
+#: package imports this module).  ``"auto"`` preserves the pre-dispatch
+#: behaviour: ``pool`` when ``jobs > 1``, ``serial`` otherwise.
+EXECUTOR_BACKENDS = ("serial", "pool", "cluster")
+AUTO_EXECUTOR = "auto"
+EXECUTOR_CHOICES = (AUTO_EXECUTOR,) + EXECUTOR_BACKENDS
 
 #: Default op count at which ``scheduler="auto"`` switches to the vector kernel.
 #: Measured on the scaling benchmark: the struct-of-arrays kernel matches the
@@ -127,12 +135,27 @@ def _validate_threshold(value: Any) -> int:
     return value
 
 
-def _validate_jobs(value: Any) -> int:
-    if isinstance(value, bool) or not isinstance(value, int):
-        raise ConfigurationError("jobs must be an integer")
-    if value < 1:
-        raise ConfigurationError("jobs must be >= 1")
+def _validate_executor(value: Any) -> str:
+    if value not in EXECUTOR_CHOICES:
+        raise ConfigurationError(
+            f"unknown executor backend {value!r}; expected one of "
+            f"{', '.join(repr(name) for name in EXECUTOR_CHOICES)}"
+        )
     return value
+
+
+def _validate_positive_int(name: str) -> Callable[[Any], int]:
+    def validate(value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigurationError(f"{name} must be an integer")
+        if value < 1:
+            raise ConfigurationError(f"{name} must be >= 1")
+        return value
+    return validate
+
+
+_validate_jobs = _validate_positive_int("jobs")
+_validate_workers = _validate_positive_int("workers")
 
 
 def _validate_use_cache(value: Any) -> bool:
@@ -177,6 +200,10 @@ POLICY_FIELDS: dict[str, _FieldSpec] = {
         lambda: DEFAULT_AUTO_VECTOR_THRESHOLD,
     ),
     "jobs": _FieldSpec("REPRO_SWEEP_JOBS", _parse_int, _validate_jobs, lambda: 1),
+    "executor": _FieldSpec(
+        "REPRO_EXECUTOR", str, _validate_executor, lambda: AUTO_EXECUTOR
+    ),
+    "workers": _FieldSpec("REPRO_WORKERS", _parse_int, _validate_workers, lambda: 1),
     "use_cache": _FieldSpec(
         "REPRO_SWEEP_USE_CACHE", _parse_bool, _validate_use_cache, lambda: False
     ),
@@ -302,6 +329,8 @@ class ExecutionPolicy:
     scheduler: str = AUTO_SCHEDULER
     auto_vector_threshold: int = DEFAULT_AUTO_VECTOR_THRESHOLD
     jobs: int = 1
+    executor: str = AUTO_EXECUTOR
+    workers: int = 1
     use_cache: bool = False
     cache_dir: Path = field(default_factory=_default_cache_dir)
     sources: Mapping[str, str] = field(default_factory=dict, compare=False, repr=False)

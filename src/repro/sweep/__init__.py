@@ -7,9 +7,10 @@ declarations:
 * :class:`~repro.sweep.spec.SweepSpec` / :class:`~repro.sweep.spec.Scenario` — the
   declarative grid model (axes over a base configuration, JSON-scalar parameters,
   deterministic config hashes);
-* :class:`~repro.sweep.runner.SweepRunner` — policy-carrying execution: serial or
-  process-parallel via :mod:`concurrent.futures`, with a deterministic on-disk
-  result cache keyed by the scenario hash;
+* :class:`~repro.sweep.runner.SweepRunner` — policy-carrying execution through a
+  pluggable :mod:`repro.dispatch` backend (serial, process pool, or a TCP
+  cluster of ``repro worker`` daemons), with a deterministic on-disk result
+  cache keyed by the scenario hash and streamed to as results complete;
 * :class:`~repro.sweep.result.SweepResult` — ordered, structured results with JSON
   export;
 * :mod:`repro.sweep.cache` — a JSON manifest over the result cache, powering

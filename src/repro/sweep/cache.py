@@ -83,9 +83,13 @@ def record_entries(cache_dir: str | Path, entries: Iterable[dict]) -> None:
     """Merge freshly stored cache entries into the manifest.
 
     Each entry dict must carry a ``file`` key (the pickle's filename inside
-    ``cache_dir``); remaining keys are stored verbatim.  Called once per sweep run
-    with every entry that run stored, so manifest I/O is O(1) per sweep rather than
-    per scenario.
+    ``cache_dir``); remaining keys are stored verbatim.  The runner calls this
+    in small batches as results stream in (per-scenario rewrites of a growing
+    JSON file would be quadratic), so each call merges into — never replaces —
+    the manifest on disk.  Resume durability lives in the pickles, which *are*
+    written per scenario; a hard-killed sweep can at most leave one batch of
+    records unwritten, and those pickles then surface as orphans in
+    :func:`cache_stats`.
     """
     entries = list(entries)
     if not entries:

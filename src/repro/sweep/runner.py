@@ -32,19 +32,29 @@ is also recorded in a JSON manifest next to the pickles
 
 **Execution policy.**  A runner carries one resolved
 :class:`~repro.runtime.ExecutionPolicy` — ``jobs``, ``use_cache``,
-``cache_dir`` and the simulation backends (``op_backend``, ``scheduler``,
-``auto_vector_threshold``) all come from it.  Pass ``policy=`` explicitly, or
-pass the individual keywords and the runner resolves the rest through the
-standard order (``repro.configure`` context > ``REPRO_*`` environment >
-defaults).  The resolved policy travels to workers **explicitly**: it is
-pickled alongside the scenario parameters and activated as a
+``cache_dir``, the simulation backends (``op_backend``, ``scheduler``,
+``auto_vector_threshold``) and the dispatch decision (``executor``,
+``workers``) all come from it.  Pass ``policy=`` explicitly, or pass the
+individual keywords and the runner resolves the rest through the standard
+order (``repro.configure`` context > ``REPRO_*`` environment > defaults).
+The resolved policy travels to workers **explicitly**: it is serialized
+alongside the scenario parameters and activated as a
 :func:`repro.runtime.policy_context` around each worker call — in-process for
-serial runs, inside each pool process for parallel ones — so worker-side
-resolution sees the parent's decisions at the context level and no
-environment variables are exported anywhere.  Backends are byte-identical
+serial runs, inside each pool process, on each cluster daemon — so
+worker-side resolution sees the parent's decisions at the context level and
+no environment variables are exported anywhere.  Backends are byte-identical
 (the whole point of the three-way differential harness), so the policy
 deliberately does **not** enter the cache key: a grid computed on one backend
 is a valid cache hit for the other.
+
+**Dispatch.**  Scheduling and IPC live in :mod:`repro.dispatch`, not here:
+the runner resolves a backend name from the policy
+(:func:`repro.dispatch.select_backend` — ``serial``, ``pool`` or
+``cluster``), instantiates it, and drains one stream of
+:class:`~repro.dispatch.base.TaskOutcome` objects, identical for every
+backend.  Completed results are cached **as they arrive** — the entry pickle
+per outcome (that is what a resumed sweep loads), manifest records in small
+batches — so a sweep killed halfway resumes from everything that finished.
 """
 
 from __future__ import annotations
@@ -54,17 +64,23 @@ import inspect
 import os
 import pickle
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError
-from repro.runtime import ExecutionPolicy, policy_context, set_global_defaults, clear_global_defaults
+from repro.dispatch import Task, create_executor, select_backend
+from repro.runtime import ExecutionPolicy, set_global_defaults, clear_global_defaults
 from repro.sweep.cache import CACHE_VERSION, record_entries
 from repro.sweep.result import SweepRecord, SweepResult
 from repro.sweep.spec import Scenario, SweepSpec
 
 _MISS = object()
+
+#: Worker id reported in progress events for scenarios served from the cache.
+CACHE_WORKER_ID = "cache"
+
+#: Manifest records buffered before a merge-and-rewrite of manifest.json.
+_MANIFEST_FLUSH_EVERY = 32
 
 
 def configure_defaults(
@@ -101,38 +117,33 @@ def default_cache_dir() -> Path:
     return ExecutionPolicy.resolve(env_fields=("cache_dir",)).cache_dir
 
 
-def _call_worker(
-    worker: Callable[..., Any],
-    params: dict[str, Any],
-    policy: ExecutionPolicy | None = None,
-) -> Any:
-    """Module-level trampoline so the pool only has to pickle (worker, params, policy).
-
-    ``policy`` — the runner's resolved policy — is activated as the innermost
-    resolution context around the call, so a worker that resolves an
-    :class:`ExecutionPolicy` (``simulate_job`` does) sees the parent's
-    decisions regardless of the worker process's own environment.
-    """
-    if policy is None:
-        return worker(**params)
-    with policy_context(policy):
-        return worker(**params)
-
-
 class SweepRunner:
     """Executes scenarios through a worker callable, parallel and cached.
 
     ``worker`` must be a module-level callable accepting every scenario parameter as
-    a keyword argument (a requirement of process-based parallelism: the pool pickles
-    the callable by reference).  Execution is governed by one resolved
+    a keyword argument (a requirement of every distributed backend: pool processes
+    pickle the callable by reference, cluster daemons import it by name).
+    Execution is governed by one resolved
     :class:`~repro.runtime.ExecutionPolicy`, bound at construction: pass
-    ``policy=`` whole, or pass ``jobs``/``use_cache``/``cache_dir``/``scheduler``
-    as explicit arguments and let the runner resolve the rest.  ``jobs`` > 1
-    enables process parallelism; ``use_cache`` enables the on-disk result cache
-    under ``cache_dir``; ``scheduler`` pins the simulation scheduler backend
-    workers run on (``"auto"`` by default — each worker picks per scenario).
-    The policy is serialized to every worker explicitly (see
-    :func:`_call_worker`); no environment variables are exported.
+    ``policy=`` whole, or pass ``jobs``/``use_cache``/``cache_dir``/``scheduler``/
+    ``executor``/``workers`` as explicit arguments and let the runner resolve
+    the rest.  ``executor`` names the dispatch backend (``"auto"`` by default:
+    ``pool`` when ``jobs`` > 1, ``serial`` otherwise; ``"cluster"`` dispatches
+    over TCP-connected ``repro worker`` daemons, gated on ``workers`` of them
+    connecting); ``use_cache`` enables the on-disk result cache under
+    ``cache_dir``; ``scheduler`` pins the simulation scheduler backend workers
+    run on (``"auto"`` by default — each worker picks per scenario).  The
+    policy is serialized to every worker explicitly; no environment variables
+    are exported.
+
+    ``executor_options`` are backend-specific keywords forwarded to
+    :func:`repro.dispatch.create_executor` (the cluster backend takes
+    ``bind``, ``lease_timeout``, ``max_retries``, ``on_event``, ...).
+    ``progress`` is an optional callable receiving one event dict per
+    completed scenario — cache hits included — with keys ``index``,
+    ``scenario``, ``label``, ``cached``, ``worker``, ``wall_time``,
+    ``attempts``, ``completed`` and ``total``; it powers
+    ``repro sweep --progress`` for every backend alike.
     """
 
     def __init__(
@@ -143,7 +154,11 @@ class SweepRunner:
         use_cache: bool | None = None,
         cache_dir: str | Path | None = None,
         scheduler: str | None = None,
+        executor: str | None = None,
+        workers: int | None = None,
         policy: ExecutionPolicy | None = None,
+        executor_options: Mapping[str, Any] | None = None,
+        progress: Callable[[dict], None] | None = None,
     ) -> None:
         if not callable(worker):
             raise ConfigurationError("worker must be callable")
@@ -151,24 +166,30 @@ class SweepRunner:
         if policy is not None:
             if not isinstance(policy, ExecutionPolicy):
                 raise ConfigurationError("policy must be an ExecutionPolicy")
-            if any(value is not None for value in (jobs, use_cache, cache_dir, scheduler)):
+            if any(value is not None for value in
+                   (jobs, use_cache, cache_dir, scheduler, executor, workers)):
                 raise ConfigurationError(
                     "pass either policy= or individual jobs/use_cache/cache_dir/"
-                    "scheduler arguments, not both"
+                    "scheduler/executor/workers arguments, not both"
                 )
             self.policy = policy
         else:
             self.policy = ExecutionPolicy.resolve(
-                jobs=jobs, use_cache=use_cache, cache_dir=cache_dir, scheduler=scheduler
+                jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+                scheduler=scheduler, executor=executor, workers=workers,
             )
         self.jobs = self.policy.jobs
         self.use_cache = self.policy.use_cache
         self.cache_dir = self.policy.cache_dir
         self.scheduler = self.policy.scheduler
-        if self.jobs > 1 and "<locals>" in getattr(worker, "__qualname__", ""):
+        self.executor = self.policy.executor
+        self._executor_options = dict(executor_options or {})
+        self._progress = progress
+        if select_backend(self.policy) != "serial" and \
+                "<locals>" in getattr(worker, "__qualname__", ""):
             raise ConfigurationError(
                 "parallel sweeps need a module-level worker (locally defined "
-                "functions cannot be pickled into worker processes)"
+                "functions cannot be shipped to worker processes)"
             )
         # Scenario hashes only cover explicitly-passed parameters, so fold the
         # worker's signature (names, defaults, annotations) into the cache key:
@@ -217,30 +238,65 @@ class SweepRunner:
                 pass
             return None
 
-    def _record_manifest(self, stored: list[tuple[Path, Scenario]]) -> None:
-        """Append the run's fresh cache entries to the manifest (best-effort)."""
+    def _manifest_entry(self, path: Path, scenario: Scenario) -> dict:
+        """Manifest record for one freshly stored cache entry."""
         worker_id = f"{self.worker.__module__}.{self.worker.__qualname__}"
-        entries = []
-        for path, scenario in stored:
-            try:
-                size = path.stat().st_size
-            except OSError:
-                size = 0
-            entries.append({
-                "file": path.name,
-                "worker": worker_id,
-                "cache_version": CACHE_VERSION,
-                "worker_salt": self._worker_salt,
-                "config_hash": scenario.config_hash(),
-                "params": scenario.as_dict(),
-                "size_bytes": size,
-            })
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        return {
+            "file": path.name,
+            "worker": worker_id,
+            "cache_version": CACHE_VERSION,
+            "worker_salt": self._worker_salt,
+            "config_hash": scenario.config_hash(),
+            "params": scenario.as_dict(),
+            "size_bytes": size,
+        }
+
+    def _flush_manifest(self, entries: list[dict]) -> None:
+        """Merge buffered records into the manifest (best-effort) and clear them."""
+        if not entries:
+            return
         try:
             record_entries(self.cache_dir, entries)
         except OSError:  # pragma: no cover - same best-effort rule as the stores
             pass
+        entries.clear()
 
     # ------------------------------------------------------------------ execution
+
+    def _emit_progress(self, *, index: int, scenario: Scenario, cached: bool,
+                       worker: str, wall_time: float, attempts: int,
+                       completed: int, total: int) -> None:
+        if self._progress is None:
+            return
+        self._progress({
+            "index": index,
+            "scenario": scenario,
+            "label": scenario.label(),
+            "cached": cached,
+            "worker": worker,
+            "wall_time": wall_time,
+            "attempts": attempts,
+            "completed": completed,
+            "total": total,
+        })
+
+    def _make_executor(self, pending_count: int):
+        """Instantiate the dispatch backend this run resolves to.
+
+        ``pool`` quietly downgrades to ``serial`` when there is nothing to
+        parallelise (one pending task, or ``jobs == 1`` under an explicit
+        ``executor="pool"``) — same values either way, without paying for a
+        process pool that could never overlap work.
+        """
+        name = select_backend(self.policy)
+        if name == "pool" and (self.jobs <= 1 or pending_count <= 1):
+            name = "serial"
+        options = self._executor_options if name == "cluster" else {}
+        return create_executor(name, self.worker, self.policy, **options)
 
     def run(self, spec: SweepSpec | Iterable[Scenario]) -> SweepResult:
         """Execute every scenario and return results in scenario order."""
@@ -248,6 +304,7 @@ class SweepRunner:
             scenarios: Sequence[Scenario] = list(spec.scenarios())
         else:
             scenarios = list(spec)
+        total = len(scenarios)
 
         values: dict[int, Any] = {}
         pending: list[int] = []
@@ -256,36 +313,46 @@ class SweepRunner:
                 cached = self._cache_load(scenario)
                 if cached is not _MISS:
                     values[index] = cached
+                    self._emit_progress(
+                        index=index, scenario=scenario, cached=True,
+                        worker=CACHE_WORKER_ID, wall_time=0.0, attempts=0,
+                        completed=len(values), total=total,
+                    )
                     continue
             pending.append(index)
 
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        index: pool.submit(
-                            _call_worker, self.worker, scenarios[index].as_dict(),
-                            self.policy,
+            tasks = [Task(index=index, params=scenarios[index].as_dict())
+                     for index in pending]
+            # Entry pickles stream to disk per outcome (that is what a killed
+            # sweep resumes from — loads never consult the manifest), while
+            # manifest records batch in memory and flush every
+            # _MANIFEST_FLUSH_EVERY outcomes: one rewrite of a growing JSON
+            # file per scenario would be quadratic on cluster-scale grids.
+            # The finally flush covers failed sweeps; a hard kill loses at
+            # most one batch of records, which then surface as orphaned (and
+            # evictable) entries in --cache-stats.
+            manifest_buffer: list[dict] = []
+            try:
+                with self._make_executor(len(pending)) as executor:
+                    for outcome in executor.submit(tasks):
+                        values[outcome.index] = outcome.value
+                        scenario = scenarios[outcome.index]
+                        if self.use_cache:
+                            path = self._cache_store(scenario, outcome.value)
+                            if path is not None:
+                                manifest_buffer.append(
+                                    self._manifest_entry(path, scenario))
+                            if len(manifest_buffer) >= _MANIFEST_FLUSH_EVERY:
+                                self._flush_manifest(manifest_buffer)
+                        self._emit_progress(
+                            index=outcome.index, scenario=scenario, cached=False,
+                            worker=outcome.worker_id, wall_time=outcome.wall_time,
+                            attempts=outcome.attempts, completed=len(values),
+                            total=total,
                         )
-                        for index in pending
-                    }
-                    for index, future in futures.items():
-                        values[index] = future.result()
-            else:
-                # Serial workers run in-process under the same policy context a
-                # pool worker would see — scoped to the sweep, nothing leaks
-                # into the caller's environment or context.
-                with policy_context(self.policy):
-                    for index in pending:
-                        values[index] = self.worker(**scenarios[index].as_dict())
-            if self.use_cache:
-                stored = []
-                for index in pending:
-                    path = self._cache_store(scenarios[index], values[index])
-                    if path is not None:
-                        stored.append((path, scenarios[index]))
-                self._record_manifest(stored)
+            finally:
+                self._flush_manifest(manifest_buffer)
 
         fresh = set(pending)
         records = [
@@ -309,12 +376,17 @@ def run_sweep(
     use_cache: bool | None = None,
     cache_dir: str | Path | None = None,
     scheduler: str | None = None,
+    executor: str | None = None,
+    workers: int | None = None,
     policy: ExecutionPolicy | None = None,
+    executor_options: Mapping[str, Any] | None = None,
+    progress: Callable[[dict], None] | None = None,
 ) -> SweepResult:
     """One-call convenience: build a spec and run it."""
     spec = SweepSpec.build(axes, base)
     runner = SweepRunner(
         worker, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
-        scheduler=scheduler, policy=policy,
+        scheduler=scheduler, executor=executor, workers=workers, policy=policy,
+        executor_options=executor_options, progress=progress,
     )
     return runner.run(spec)

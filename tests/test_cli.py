@@ -187,6 +187,91 @@ def test_sweep_command_numeric_rejects_machines():
         main(["sweep", "--executor", "numeric", "--machines", "jlse-4xh100"])
 
 
+def test_sweep_worker_flag_replaces_executor_alias(tmp_path, capsys):
+    """--worker numeric is the modern spelling of --executor numeric."""
+    assert main([
+        "sweep",
+        "--worker", "numeric",
+        "--models", "nano",
+        "--strategies", "zero3-offload",
+        "--iterations", "2",
+        "--cache-dir", str(tmp_path),
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "final_loss" in output
+
+
+def test_sweep_executor_alias_warns_and_conflicts(capsys):
+    # The deprecated alias still parses and routes to the numeric worker...
+    args = build_parser().parse_args(["sweep", "--executor", "numeric"])
+    assert args.executor == "numeric" and args.worker_kind is None
+    # ...but contradicting --worker is an error.
+    from repro.common.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="conflicts"):
+        main(["sweep", "--executor", "numeric", "--worker", "training"])
+
+
+def test_sweep_parser_accepts_cluster_flags():
+    args = build_parser().parse_args([
+        "sweep", "--executor", "cluster", "--workers", "2",
+        "--bind", "127.0.0.1:7931", "--lease-timeout", "5",
+        "--max-retries", "1", "--progress",
+    ])
+    assert args.executor == "cluster"
+    assert args.workers == 2
+    assert args.bind == "127.0.0.1:7931"
+    assert args.lease_timeout == 5.0
+    assert args.max_retries == 1
+    assert args.progress
+
+
+def test_worker_parser_accepts_daemon_flags():
+    args = build_parser().parse_args([
+        "worker", "--connect", "127.0.0.1:7931", "--id", "w1",
+        "--heartbeat", "0", "--retry-for", "30",
+    ])
+    assert args.connect == "127.0.0.1:7931"
+    assert args.worker_id == "w1"
+    assert args.heartbeat == 0.0
+    assert args.retry_for == 30.0
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["worker"])  # --connect is required
+
+
+def test_sweep_progress_streams_completion_lines(tmp_path, capsys):
+    command = [
+        "sweep", "--worker", "numeric", "--models", "nano",
+        "--strategies", "zero3-offload", "--iterations", "2",
+        "--cache-dir", str(tmp_path), "--progress",
+    ]
+    assert main(command) == 0
+    output = capsys.readouterr().out
+    assert "[1/1]" in output
+    assert "worker=local" in output and "cache=miss" in output
+    # A repeat invocation streams the cache hit the same way.
+    assert main(command) == 0
+    output = capsys.readouterr().out
+    assert "worker=cache" in output and "cache=hit" in output
+
+
+def test_config_json_reports_executor_fields(monkeypatch, capsys):
+    import json
+
+    from repro.runtime import POLICY_FIELDS
+
+    # A malformed REPRO_* variable in the invoking shell makes `config` exit 1
+    # by design; scrub them all so only the two set below are in play.
+    for spec in POLICY_FIELDS.values():
+        monkeypatch.delenv(spec.env_var, raising=False)
+    monkeypatch.setenv("REPRO_EXECUTOR", "cluster")
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    assert main(["config", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["executor"] == {"value": "cluster", "source": "env"}
+    assert payload["workers"] == {"value": 4, "source": "env"}
+
+
 def test_compare_command_with_no_cache(tmp_path, capsys):
     assert main([
         "compare",

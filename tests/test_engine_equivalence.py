@@ -347,13 +347,10 @@ def _policy_resolution_paths(monkeypatch):
         with configure(auto_vector_threshold=10**9):
             return simulate_job(job, 1)
 
-    def via_legacy_kwarg(job):
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            return simulate_job(job, 1, scheduler_backend="vector")
-
+    # The deprecated scheduler_backend= kwarg is deliberately absent here:
+    # internal callers are fully migrated to policy=, and the shim's own
+    # agreement with the policy path is pinned by the dedicated regression
+    # test (test_runtime_policy.test_legacy_kwargs_warn_and_match_policy_path).
     return [
         ("policy-heap", lambda job: simulate_job(job, 1, policy=ExecutionPolicy(scheduler="heap"))),
         ("policy-vector", lambda job: simulate_job(job, 1, policy=ExecutionPolicy(scheduler="vector"))),
@@ -361,7 +358,6 @@ def _policy_resolution_paths(monkeypatch):
         ("auto-below-threshold", via_auto_below),
         ("env", via_env),
         ("context", via_context),
-        ("legacy-kwarg", via_legacy_kwarg),
     ]
 
 

@@ -57,6 +57,8 @@ FIELD_CASES = [
     ("scheduler", "vector", "vector", "heap", "vector"),
     ("auto_vector_threshold", "123", 123, 456, 789),
     ("jobs", "3", 3, 2, 4),
+    ("executor", "cluster", "cluster", "pool", "serial"),
+    ("workers", "3", 3, 2, 4),
     ("use_cache", "1", True, False, True),
     ("cache_dir", "/tmp/env-cache", Path("/tmp/env-cache"),
      Path("/tmp/ctx-cache"), Path("/tmp/arg-cache")),
@@ -67,6 +69,8 @@ DEFAULTS = {
     "scheduler": "auto",
     "auto_vector_threshold": DEFAULT_AUTO_VECTOR_THRESHOLD,
     "jobs": 1,
+    "executor": "auto",
+    "workers": 1,
     "use_cache": False,
     "cache_dir": Path.home() / ".cache" / "repro" / "sweeps",
 }
@@ -142,6 +146,9 @@ def test_falsey_env_booleans_parse(monkeypatch):
     {"auto_vector_threshold": "lots"},
     {"jobs": 0},
     {"jobs": 2.5},
+    {"executor": "mainframe"},
+    {"workers": 0},
+    {"workers": True},
     {"use_cache": "yes"},
     {"cache_dir": 42},
 ])

@@ -4,7 +4,7 @@ Covers the plumbing around :mod:`repro.sim.veckernel` (the kernel's
 byte-identical-schedule guarantee itself lives in the three-way differential
 harness, ``tests/test_engine_equivalence.py``):
 
-* ``simulate_job`` validation: unknown ``scheduler_backend`` arguments and
+* scheduler validation: unknown ``ExecutionPolicy(scheduler=...)`` values and
   ``$REPRO_SIM_SCHEDULER`` values raise a :class:`ConfigurationError` naming
   the bad value — mirroring the existing ``op_backend`` validation;
 * argument/environment selection parity for the ``vector`` backend;
@@ -45,9 +45,9 @@ def _schedule_tuples(schedule):
 # ----------------------------------------------------------------- validation
 
 
-def test_simulate_job_rejects_unknown_scheduler_backend(job):
-    with pytest.warns(DeprecationWarning), pytest.raises(ConfigurationError, match="warp-drive"):
-        simulate_job(job, 1, scheduler_backend="warp-drive")
+def test_policy_rejects_unknown_scheduler_backend():
+    with pytest.raises(ConfigurationError, match="warp-drive"):
+        ExecutionPolicy(scheduler="warp-drive")
 
 
 def test_simulate_job_rejects_unknown_scheduler_env_value(job, monkeypatch):
@@ -56,16 +56,15 @@ def test_simulate_job_rejects_unknown_scheduler_env_value(job, monkeypatch):
         simulate_job(job, 1)
 
 
-def test_scheduler_error_lists_valid_backends(job):
-    with pytest.warns(DeprecationWarning), pytest.raises(ConfigurationError, match="'heap'.*'vector'"):
-        simulate_job(job, 1, scheduler_backend="nope")
+def test_scheduler_error_lists_valid_backends():
+    with pytest.raises(ConfigurationError, match="'heap'.*'vector'"):
+        ExecutionPolicy(scheduler="nope")
 
 
 def test_scheduler_argument_overrides_env(job, monkeypatch):
     # A bad env value must not break an explicit, valid argument.
     monkeypatch.setenv("REPRO_SIM_SCHEDULER", "quantum")
-    with pytest.warns(DeprecationWarning):
-        result = simulate_job(job, 1, scheduler_backend="heap")
+    result = simulate_job(job, 1, policy=ExecutionPolicy.resolve(scheduler="heap"))
     assert result.schedule.makespan > 0
 
 
