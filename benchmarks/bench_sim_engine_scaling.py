@@ -40,14 +40,29 @@ subgroups.  The kernels are byte-identical
 (``tests/test_engine_equivalence.py`` is the three-way proof); this script
 cross-checks every makespan and fully compares the smallest schedule op by op.
 
+**Part 4 — sweep throughput.**  Grid sweeps re-pay the whole per-scenario
+pipeline per grid point even though every point of a typical figure grid shares
+one DAG shape.  The fourth section runs a 256-scenario ``cpu_cores_per_gpu``
+grid (a fig14-style sweep: same topology per point, different durations)
+through ``SweepRunner`` in ``sweep_mode="scenario"`` and ``sweep_mode="batch"``
+(the shape-compiled path of ``repro.sim.shapebatch`` /
+``repro.sweep.batching``), cross-checks that every scenario's
+``(params, config_hash, value)`` projection is byte-identical between the two
+modes, and reports sweep throughput in scenarios/sec.  It asserts the
+acceptance criterion: >= 3x sweep throughput on the shared-shape grid, and
+writes the measurements to ``BENCH_sweep_throughput.json``.
+
 Run directly (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_sim_engine_scaling.py
 
-The script asserts all three acceptance criteria: >= 5x pipeline throughput at
+The script asserts all four acceptance criteria: >= 5x pipeline throughput at
 1000+ operations (Part 1), >= 2x ``simulate_job`` throughput at 10k subgroups
-(Part 2), and >= 3x ``run_batch`` scheduling throughput at 100k subgroups
-(Part 3).
+(Part 2), >= 3x ``run_batch`` scheduling throughput at 100k subgroups
+(Part 3), and >= 3x sweep throughput on a 256-scenario shared-shape grid
+(Part 4).  CI shrinks Part 4 via ``BENCH_SWEEP_SCENARIOS`` and relaxes its
+gate via ``BENCH_MIN_SWEEP_SPEEDUP`` (small grids amortise the compiled plan
+over fewer scenarios).
 """
 
 from __future__ import annotations
@@ -90,6 +105,24 @@ RANK_PARAMS_20B = 5_000_000_000
 MIN_VECTOR_SPEEDUP = float(os.environ.get("BENCH_MIN_VECTOR_SPEEDUP", "3.0"))
 VECTOR_CASES = ((10_000, 1), (100_000, 1), (100_000, 2))
 VECTOR_GATE_CASE = (100_000, 2)
+
+# Part 4: shape-batched sweep throughput over the per-scenario path on a
+# shared-shape grid.  BENCH_SWEEP_SCENARIOS shrinks the grid for CI smoke runs
+# (per-group compile/replay costs amortise over fewer scenarios there, so CI
+# also relaxes the gate via BENCH_MIN_SWEEP_SPEEDUP).
+MIN_SWEEP_SPEEDUP = float(os.environ.get("BENCH_MIN_SWEEP_SPEEDUP", "3.0"))
+SWEEP_SCENARIOS = int(os.environ.get("BENCH_SWEEP_SCENARIOS", "256"))
+SWEEP_REPEATS = int(os.environ.get("BENCH_SWEEP_REPEATS", "3"))
+# 20B at 70M-parameter subgroups: dense enough that the per-scenario path's
+# heap scheduling and Python-level breakdown queries dominate, small enough
+# that the DAG stays below the auto vector threshold (the realistic regime —
+# above it both modes ride the same vector kernel per scenario).
+SWEEP_BASE = {
+    "model": "20B",
+    "strategy": "deep-optimizer-states",
+    "subgroup_size": 70_000_000,
+}
+SWEEP_RESULT_FILE = "BENCH_sweep_throughput.json"
 
 
 # --------------------------------------------------------------------- seed port
@@ -367,6 +400,83 @@ def bench_scheduler_kernels() -> None:
           f"informational)")
 
 
+# ----------------------------------------------------------- sweep throughput
+
+
+def _scenario_projection(result) -> list[dict]:
+    """The per-scenario identity a sweep mode must preserve byte-for-byte.
+
+    ``to_dict()`` also carries run provenance (worker ids, wall times, cache
+    counters) that legitimately differs between runs; the scenario params, the
+    config hash, and the value are the contract.
+    """
+    return [
+        {key: scenario[key] for key in ("params", "config_hash", "value")}
+        for scenario in result.to_dict()["scenarios"]
+    ]
+
+
+def bench_sweep_throughput() -> None:
+    """Part 4: per-scenario vs shape-batched sweep on a shared-shape grid."""
+    import json
+
+    from repro.experiments.base import run_training
+    from repro.sweep import SweepRunner, SweepSpec
+
+    spec = SweepSpec.build(
+        {"cpu_cores_per_gpu": list(range(2, 2 + SWEEP_SCENARIOS))}, SWEEP_BASE
+    )
+    warmup = SweepSpec.build({"cpu_cores_per_gpu": [2]}, SWEEP_BASE)
+
+    timings: dict[str, float] = {}
+    projections: dict[str, list[dict]] = {}
+    for mode in ("scenario", "batch"):
+        runner = SweepRunner(run_training, use_cache=False, sweep_mode=mode)
+        runner.run(warmup)  # absorb one-time import/preset costs
+        best = float("inf")
+        for _ in range(SWEEP_REPEATS):
+            begin = time.perf_counter()
+            result = runner.run(spec)
+            best = min(best, time.perf_counter() - begin)
+        timings[mode] = best
+        projections[mode] = _scenario_projection(result)
+
+    assert projections["batch"] == projections["scenario"], (
+        "sweep modes diverged: batch scenarios are not byte-identical to the "
+        "per-scenario path"
+    )
+    speedup = timings["scenario"] / timings["batch"] if timings["batch"] > 0 else float("inf")
+
+    print(f"\n{'mode':>10}  {'scenarios':>9}  {'time':>8}  {'scn/s':>8}")
+    for mode in ("scenario", "batch"):
+        print(f"{mode:>10}  {SWEEP_SCENARIOS:>9}  {timings[mode]:>7.2f}s  "
+              f"{SWEEP_SCENARIOS / timings[mode]:>8.1f}")
+
+    payload = {
+        "grid": {**SWEEP_BASE, "scenarios": SWEEP_SCENARIOS,
+                 "axis": "cpu_cores_per_gpu"},
+        "repeats": SWEEP_REPEATS,
+        "seconds": {mode: timings[mode] for mode in timings},
+        "scenarios_per_second": {
+            mode: SWEEP_SCENARIOS / timings[mode] for mode in timings
+        },
+        "speedup": speedup,
+        "min_speedup_gate": MIN_SWEEP_SPEEDUP,
+        "byte_identical": True,
+    }
+    with open(SWEEP_RESULT_FILE, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert speedup >= MIN_SWEEP_SPEEDUP, (
+        f"expected >= {MIN_SWEEP_SPEEDUP:g}x sweep throughput on the "
+        f"{SWEEP_SCENARIOS}-scenario shared-shape grid, got {speedup:.2f}x"
+    )
+    print(f"\nOK: >= {MIN_SWEEP_SPEEDUP:g}x sweep throughput on the shared-shape "
+          f"grid ({speedup:.2f}x; values byte-identical; results in "
+          f"{SWEEP_RESULT_FILE})")
+
+
 def main() -> int:
     resources = ("gpu.compute", "pcie.h2d", "pcie.d2h", "cpu", "nvlink")
     print(f"{'subgroups':>9}  {'ops':>6}  {'seed ops/s':>12}  {'heap ops/s':>12}  {'speedup':>8}")
@@ -390,6 +500,7 @@ def main() -> int:
           f"(worst {worst_at_scale:.1f}x)")
     bench_simulate_job_backends()
     bench_scheduler_kernels()
+    bench_sweep_throughput()
     return 0
 
 

@@ -44,6 +44,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from contextlib import nullcontext
 
 from repro.baselines.registry import available_strategies
@@ -58,6 +59,7 @@ from repro.runtime import (
     EXECUTOR_CHOICES,
     OP_BACKENDS,
     SCHEDULER_CHOICES,
+    SWEEP_MODE_CHOICES,
     configure,
     resolution_report,
 )
@@ -197,9 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-retries", type=int, default=None, metavar="N",
                        help="cluster executor: re-dispatch attempts per task after "
                             "worker failures before the sweep errors out")
+    sweep.add_argument("--sweep-mode", choices=SWEEP_MODE_CHOICES, default=None,
+                       help="scenario execution shape: 'scenario' runs one task per "
+                            "grid point, 'batch' groups same-shape scenarios and "
+                            "schedules each group in one stacked pass "
+                            "(byte-identical results), 'auto' picks 'batch' when "
+                            "the worker supports it (the default)")
     sweep.add_argument("--progress", action="store_true",
                        help="stream one line per completed scenario (id, worker, "
-                            "wall time, cache hit/miss) from any executor")
+                            "wall time, cache hit/miss, rate/ETA) from any executor")
     sweep.add_argument("--models", default=None,
                        help="comma-separated model presets (one sweep axis; default "
                             "7B,20B for training, nano,tiny-1M for numeric)")
@@ -333,16 +341,46 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _progress_printer(event: dict) -> None:
-    """One completion line per scenario, identical for every executor."""
-    status = "hit" if event["cached"] else "miss"
-    retried = f" attempts={event['attempts']}" if event["attempts"] > 1 else ""
-    print(
-        f"[{event['completed']}/{event['total']}] {event['label']} "
-        f"worker={event['worker']} wall={event['wall_time']:.2f}s "
-        f"cache={status}{retried}",
-        flush=True,
-    )
+class _ProgressPrinter:
+    """One completion line per scenario, with live throughput and an ETA.
+
+    Identical for every executor and sweep mode.  Throughput counts *computed*
+    scenarios only — cache hits return in microseconds and would otherwise
+    inflate the rate the ETA of the remaining computed work is based on; hits
+    are tallied separately in each line instead.
+    """
+
+    def __init__(self) -> None:
+        # Anchored at construction (just before the sweep starts), not at the
+        # first event: batched chunks report all their scenarios in one burst
+        # after computing, so event-to-event spacing measures nothing.
+        self._started = time.perf_counter()
+        self._computed = 0
+        self._cache_hits = 0
+
+    def _pace(self, event: dict, now: float) -> str:
+        elapsed = now - self._started
+        if self._computed == 0 or elapsed <= 0:
+            return ""
+        rate = self._computed / elapsed
+        remaining = event["total"] - event["completed"]
+        return f" rate={rate:.1f}/s eta={remaining / rate:.0f}s"
+
+    def __call__(self, event: dict) -> None:
+        now = time.perf_counter()
+        if event["cached"]:
+            self._cache_hits += 1
+        else:
+            self._computed += 1
+        status = "hit" if event["cached"] else "miss"
+        hits = f" hits={self._cache_hits}" if self._cache_hits else ""
+        retried = f" attempts={event['attempts']}" if event["attempts"] > 1 else ""
+        print(
+            f"[{event['completed']}/{event['total']}] {event['label']} "
+            f"worker={event['worker']} wall={event['wall_time']:.2f}s "
+            f"cache={status}{self._pace(event, now)}{hits}{retried}",
+            flush=True,
+        )
 
 
 def _dispatch_event_printer(event: dict) -> None:
@@ -444,7 +482,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         executor=executor_backend,
         workers=args.workers,
         executor_options=executor_options,
-        progress=_progress_printer if args.progress else None,
+        sweep_mode=args.sweep_mode,
+        progress=_ProgressPrinter() if args.progress else None,
     )
     result = runner.run(spec)
 

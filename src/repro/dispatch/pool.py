@@ -22,6 +22,26 @@ from repro.dispatch.base import Executor, ExecutorCapabilities, Task, TaskOutcom
 from repro.runtime import policy_context
 
 
+def _warm_worker() -> None:
+    """Pool-process initializer: preload the hot import graph once per process.
+
+    The first task a fresh pool process runs otherwise pays the full import of
+    the training stack and the hardware/model preset tables (plain module-level
+    dicts — importing the modules *is* the preload).  Doing it in the
+    initializer moves that cost off the first task's critical path and pays it
+    concurrently across processes while the parent is still submitting.
+    Best-effort by design: a trimmed deployment without the training extras
+    must not break pools running unrelated workers.
+    """
+    try:
+        import repro.hardware.presets  # noqa: F401
+        import repro.model.presets  # noqa: F401
+        import repro.training.simulation  # noqa: F401
+        import repro.experiments.base  # noqa: F401
+    except Exception:  # pragma: no cover - only on broken/partial installs
+        pass
+
+
 def _pool_call(worker: Callable[..., Any], params: dict, policy) -> tuple[Any, str, float]:
     """Module-level trampoline: run one task inside a pool process.
 
@@ -50,7 +70,7 @@ class PoolExecutor(Executor):
         if not tasks:
             return
         workers = max(1, min(self.policy.jobs, len(tasks)))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker) as pool:
             futures = {
                 pool.submit(_pool_call, self.worker, dict(task.params), self.policy): task
                 for task in tasks

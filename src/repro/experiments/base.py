@@ -12,12 +12,20 @@ import importlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, OutOfMemoryError
 from repro.model.presets import PAPER_MODEL_ORDER
-from repro.runtime import ExecutionPolicy, policy_context
+from repro.runtime import SIMULATION_FIELDS, ExecutionPolicy, policy_context
+from repro.sim.engine import STANDARD_RESOURCE_NAMES
 from repro.sweep import Scenario, SweepRunner, SweepSpec
+from repro.sweep.batching import PreparedCase, register_batchable
 from repro.training.config import TrainingJobConfig
 from repro.training.metrics import TrainingReport, format_table
+from repro.training.simulation import (
+    breakdown_index_plans,
+    finalize_simulation,
+    prepare_simulation,
+    stacked_breakdowns,
+)
 from repro.training.trainer import Trainer
 
 # The paper's fast-iteration defaults: DP = 4 GPUs, microbatch 1, 100M-parameter
@@ -74,7 +82,7 @@ def run_experiment(
         return module.run(**kwargs)
 
 
-def run_training(
+def _training_trainer(
     *,
     model: str = "20B",
     strategy: str = "deep-optimizer-states",
@@ -88,8 +96,8 @@ def run_training(
     iterations: int = DEFAULT_ITERATIONS,
     warmup_iterations: int | None = None,
     check_memory: bool = True,
-) -> TrainingReport:
-    """Run one simulated training job with the paper's default runtime settings."""
+) -> Trainer:
+    """The :class:`Trainer` behind one :func:`run_training` scenario."""
     if warmup_iterations is None:
         warmup_iterations = min(DEFAULT_WARMUP, iterations - 1)
     config = TrainingJobConfig(
@@ -107,7 +115,112 @@ def run_training(
         warmup_iterations=warmup_iterations,
         check_memory=check_memory,
     )
-    return Trainer(config, simulated_iterations=min(3, iterations)).run()
+    return Trainer(config, simulated_iterations=min(3, iterations))
+
+
+def run_training(
+    *,
+    model: str = "20B",
+    strategy: str = "deep-optimizer-states",
+    machine: str = "jlse-4xh100",
+    static_gpu_fraction: float = 0.0,
+    microbatch_size: int = 1,
+    subgroup_size: int = 100_000_000,
+    data_parallel_degree: int | None = None,
+    cpu_cores_per_gpu: int | None = None,
+    update_stride: int = 0,
+    iterations: int = DEFAULT_ITERATIONS,
+    warmup_iterations: int | None = None,
+    check_memory: bool = True,
+) -> TrainingReport:
+    """Run one simulated training job with the paper's default runtime settings."""
+    return _training_trainer(
+        model=model,
+        strategy=strategy,
+        machine=machine,
+        static_gpu_fraction=static_gpu_fraction,
+        microbatch_size=microbatch_size,
+        subgroup_size=subgroup_size,
+        data_parallel_degree=data_parallel_degree,
+        cpu_cores_per_gpu=cpu_cores_per_gpu,
+        update_stride=update_stride,
+        iterations=iterations,
+        warmup_iterations=warmup_iterations,
+        check_memory=check_memory,
+    ).run()
+
+
+# --------------------------------------------------------------- shape batching
+# The sweep-batching adapter for run_training: prepare builds the op rows
+# without scheduling them, finalize_group turns one stacked schedule back into
+# per-scenario TrainingReports.  Registered at the bottom of this module, so
+# any process that can import run_training (pool workers, cluster daemons)
+# rediscovers the adapter automatically.
+
+
+def _prepare_training_case(**params):
+    """Prepare one :func:`run_training` scenario for shape-batched scheduling.
+
+    Returns a :class:`~repro.sweep.batching.PreparedCase`, or — for scenarios
+    the stacked path cannot or should not serve (OOM at resolution, a policy
+    pinning the eager op backend, a strategy without row builders) — the
+    finished :class:`~repro.training.metrics.TrainingReport` itself, computed
+    exactly as :func:`run_training` would.
+    """
+    trainer = _training_trainer(**params)
+    try:
+        job = trainer.config.resolve()
+    except OutOfMemoryError as exc:
+        return trainer.oom_report(exc)
+    policy = ExecutionPolicy.resolve(env_fields=SIMULATION_FIELDS)
+    if policy.op_backend != "batch" or not job.strategy.supports_op_batch():
+        return trainer.report_from_simulation(job, trainer.simulate(job))
+    iterations = max(1, min(trainer.simulated_iterations, trainer.config.iterations))
+    prepared = prepare_simulation(job, iterations, policy=policy)
+    # The shape key only fingerprints op topology; the salt pre-partitions
+    # groups by everything else that must match for one compiled plan to
+    # serve all members (bookkeeping structure follows strategy + iteration
+    # count; the op count is a cheap extra guard).
+    salt = f"{job.strategy.name}|{iterations}|{prepared.op_count}"
+    batch = prepared.batch
+    # Hand the batch to the group runner via the case only: the payload must
+    # not pin it, so each scenario's row tuples can be collected as soon as
+    # their duration column is extracted (see PreparedCase).
+    prepared.batch = None
+    return PreparedCase(
+        batch=batch,
+        resource_names=STANDARD_RESOURCE_NAMES,
+        salt=salt,
+        payload=(trainer, job, prepared),
+    )
+
+
+def _finalize_training_group(payloads, stacked):
+    """Per-scenario :class:`TrainingReport` values from one stacked schedule.
+
+    Breakdowns are computed for the whole group in one vectorised pass (the
+    per-iteration row indices are shared across a shape group), then each
+    scenario's report aggregates them exactly like the per-scenario path —
+    same floats, same JSON.
+    """
+    _, _, representative = payloads[0]
+    plans = breakdown_index_plans(
+        representative.records,
+        stacked.first_ids[0],
+        stacked.plan.rel_ids,
+    )
+    group_breakdowns = stacked_breakdowns(plans, stacked.starts, stacked.ends)
+    reports = []
+    for scenario_index, (trainer, job, prepared) in enumerate(payloads):
+        schedule = stacked.schedule_for(scenario_index)
+        result = finalize_simulation(
+            prepared,
+            schedule,
+            scheduler="vector",
+            breakdowns=group_breakdowns[scenario_index],
+        )
+        reports.append(trainer.report_from_simulation(job, result))
+    return reports
 
 
 def training_sweep(
@@ -200,3 +313,10 @@ def model_sweep(
         (record.scenario.get("model"), record.scenario.get("strategy")): record.value
         for record in result.records
     }
+
+
+register_batchable(
+    run_training,
+    prepare=_prepare_training_case,
+    finalize_group=_finalize_training_group,
+)

@@ -12,6 +12,7 @@ See ``docs/runtime.md`` for the full model.
 from repro.runtime.policy import (
     AUTO_EXECUTOR,
     AUTO_SCHEDULER,
+    AUTO_SWEEP_MODE,
     DEFAULT_AUTO_VECTOR_THRESHOLD,
     EXECUTOR_BACKENDS,
     EXECUTOR_CHOICES,
@@ -19,6 +20,8 @@ from repro.runtime.policy import (
     POLICY_FIELDS,
     SCHEDULER_CHOICES,
     SIMULATION_FIELDS,
+    SWEEP_MODE_CHOICES,
+    SWEEP_MODES,
     ExecutionPolicy,
     OpBackendFallbackWarning,
     ResolvedExecution,
@@ -32,6 +35,7 @@ from repro.runtime.policy import (
 __all__ = [
     "AUTO_EXECUTOR",
     "AUTO_SCHEDULER",
+    "AUTO_SWEEP_MODE",
     "DEFAULT_AUTO_VECTOR_THRESHOLD",
     "EXECUTOR_BACKENDS",
     "EXECUTOR_CHOICES",
@@ -39,6 +43,8 @@ __all__ = [
     "POLICY_FIELDS",
     "SCHEDULER_CHOICES",
     "SIMULATION_FIELDS",
+    "SWEEP_MODE_CHOICES",
+    "SWEEP_MODES",
     "ExecutionPolicy",
     "OpBackendFallbackWarning",
     "ResolvedExecution",

@@ -61,6 +61,15 @@ EXECUTOR_BACKENDS = ("serial", "pool", "cluster")
 AUTO_EXECUTOR = "auto"
 EXECUTOR_CHOICES = (AUTO_EXECUTOR,) + EXECUTOR_BACKENDS
 
+#: How ``SweepRunner`` executes scenario grids: ``"scenario"`` dispatches one
+#: task per scenario (the classic path), ``"batch"`` groups scenarios by DAG
+#: shape and schedules each group in one stacked vector pass (see
+#: :mod:`repro.sim.shapebatch`), ``"auto"`` picks ``batch`` when the worker
+#: registered a batching adapter and the executor is serial or pool.
+SWEEP_MODES = ("scenario", "batch")
+AUTO_SWEEP_MODE = "auto"
+SWEEP_MODE_CHOICES = (AUTO_SWEEP_MODE,) + SWEEP_MODES
+
 #: Default op count at which ``scheduler="auto"`` switches to the vector kernel.
 #: Measured on the scaling benchmark: the struct-of-arrays kernel matches the
 #: heap from a few thousand ops and wins clearly beyond ~50k (≈7k optimizer
@@ -144,6 +153,15 @@ def _validate_executor(value: Any) -> str:
     return value
 
 
+def _validate_sweep_mode(value: Any) -> str:
+    if value not in SWEEP_MODE_CHOICES:
+        raise ConfigurationError(
+            f"unknown sweep mode {value!r}; expected one of "
+            f"{', '.join(repr(name) for name in SWEEP_MODE_CHOICES)}"
+        )
+    return value
+
+
 def _validate_positive_int(name: str) -> Callable[[Any], int]:
     def validate(value: Any) -> int:
         if isinstance(value, bool) or not isinstance(value, int):
@@ -204,6 +222,9 @@ POLICY_FIELDS: dict[str, _FieldSpec] = {
         "REPRO_EXECUTOR", str, _validate_executor, lambda: AUTO_EXECUTOR
     ),
     "workers": _FieldSpec("REPRO_WORKERS", _parse_int, _validate_workers, lambda: 1),
+    "sweep_mode": _FieldSpec(
+        "REPRO_SWEEP_MODE", str, _validate_sweep_mode, lambda: AUTO_SWEEP_MODE
+    ),
     "use_cache": _FieldSpec(
         "REPRO_SWEEP_USE_CACHE", _parse_bool, _validate_use_cache, lambda: False
     ),
@@ -331,6 +352,7 @@ class ExecutionPolicy:
     jobs: int = 1
     executor: str = AUTO_EXECUTOR
     workers: int = 1
+    sweep_mode: str = AUTO_SWEEP_MODE
     use_cache: bool = False
     cache_dir: Path = field(default_factory=_default_cache_dir)
     sources: Mapping[str, str] = field(default_factory=dict, compare=False, repr=False)

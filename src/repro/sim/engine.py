@@ -144,6 +144,14 @@ class Schedule:
         except KeyError:
             raise KeyError(f"no scheduled op with id {op_id}") from None
 
+    def op_start(self, op_id: int) -> float:
+        """Start time of one operation (:class:`VectorSchedule` answers from arrays)."""
+        return self.by_id(op_id).start
+
+    def op_end(self, op_id: int) -> float:
+        """End time of one operation (:class:`VectorSchedule` answers from arrays)."""
+        return self.by_id(op_id).end
+
     def filter(
         self,
         *,
@@ -314,8 +322,43 @@ class VectorSchedule(Schedule):
         self._ends = ends
         self._op_id_column = op_id_column
         self._ops_cache: list[ScheduledOp] | None = None
+        self._row_lookup = None
         self.resources = resources
         self._index_cache = None
+
+    def _row_of(self, op_id: int) -> int:
+        """Row index of ``op_id`` without materialising any ``ScheduledOp``."""
+        if self._row_lookup is None:
+            from repro.sim.veckernel import np
+
+            column = self._op_id_column
+            size = int(column.shape[0])
+            if size and int(column[-1]) - int(column[0]) + 1 == size \
+                    and bool((np.diff(column) == 1).all()):
+                # Consecutive ids (every builder batch): row = id - first id.
+                self._row_lookup = (int(column[0]), size)
+            else:
+                self._row_lookup = {
+                    op_id: row for row, op_id in enumerate(column.tolist())
+                }
+        lookup = self._row_lookup
+        if isinstance(lookup, tuple):
+            row = op_id - lookup[0]
+            if 0 <= row < lookup[1]:
+                return row
+            raise KeyError(f"no scheduled op with id {op_id}")
+        try:
+            return lookup[op_id]
+        except KeyError:
+            raise KeyError(f"no scheduled op with id {op_id}") from None
+
+    def op_start(self, op_id: int) -> float:  # type: ignore[override]
+        """Start time by op id, straight from the kernel's start column."""
+        return float(self._starts[self._row_of(op_id)])
+
+    def op_end(self, op_id: int) -> float:  # type: ignore[override]
+        """End time by op id, straight from the kernel's end column."""
+        return float(self._ends[self._row_of(op_id)])
 
     @property
     def ops(self) -> list[ScheduledOp]:  # type: ignore[override]
@@ -674,6 +717,11 @@ class SimEngine:
         if validate:
             schedule.validate()
         return schedule
+
+
+#: Names (and registration order) of the canonical per-process resources; the
+#: shape-batched sweep path builds schedules against this list without an engine.
+STANDARD_RESOURCE_NAMES = ("gpu.compute", "pcie.h2d", "pcie.d2h", "cpu", "nvlink")
 
 
 def standard_resources(engine: SimEngine) -> None:

@@ -1,0 +1,328 @@
+"""Shape-compiled scenario batching: one compiled DAG, many duration vectors.
+
+A sweep pays the full scheduling pipeline per scenario even when every grid
+point shares one DAG *shape* — the fig14/fig16 grids vary CPU cores or the
+static GPU fraction, which changes operation *durations* but never the
+operation set, the resources they run on, or the dependency edges.  This
+module exploits that: it derives a :class:`ShapeKey` from an
+:class:`~repro.sim.opbatch.OpBatch`'s topology, compiles the expensive parts
+of the :mod:`~repro.sim.veckernel` pipeline **once per shape**
+(:func:`compile_plan`), and then schedules every scenario of a group in one
+stacked struct-of-arrays pass (:func:`schedule_group`) over scenario-major 2-D
+columns.
+
+**Why the plan replays.**  The vector kernel's frontier loop visits resources
+in a fixed order and walks runs of ready head operations, where *ready* means
+``pending == 0`` — a pure function of which operations finalised earlier,
+i.e. of the dependency topology.  Durations, release times and lower bounds
+only feed the *float* computation (``start = max(lb, resource end)``;
+``end = start + duration``), never the control flow, so the sequence of
+``(row, resource)`` finalisations is identical for every scenario of a shape.
+:func:`compile_plan` records that sequence with a float-free walk;
+:func:`schedule_group` replays it with each float operation vectorised across
+the scenario axis — the same two-operand comparisons and additions
+:func:`~repro.sim.veckernel.schedule_rows` performs per scenario, in the same
+order, on the same IEEE-754 doubles.  Schedules are therefore byte-identical
+to the per-scenario paths; ``tests/test_shapebatch.py`` enforces that
+bit-for-bit against both the scalar vector kernel and the heap engine.
+
+**What is in a ShapeKey.**  Everything the control flow can see: per-row
+resource names, dependency edges and op ids (both normalised relative to the
+batch's first id, so two batches drawn from different stretches of the global
+id counter still match), and the *structure* of release times (which rows
+have one).  Everything that only feeds floats — durations and release-time
+*values* — is deliberately excluded: two scenarios that differ only in
+durations share a key, which is the entire point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from itertools import chain
+from operator import itemgetter
+from typing import Any, Mapping
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.sim.engine import VectorSchedule
+from repro.sim.veckernel import _compile, require_numpy
+
+try:  # numpy is a hard dependency of the reproduction, but degrade loudly.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on broken installs
+    np = None
+
+
+@dataclass(frozen=True)
+class ShapeKey:
+    """Topology fingerprint of an op batch: equal keys mean one shared plan.
+
+    ``digest`` hashes the scheduling topology (resources, relative op ids,
+    relative dependency edges, release-time structure); ``op_count`` rides
+    along for cheap sanity checks and logging.  Duration or release-time
+    *value* changes never change a key.
+    """
+
+    digest: str
+    op_count: int
+
+
+def shape_key(batch) -> ShapeKey:
+    """The :class:`ShapeKey` of an :class:`~repro.sim.opbatch.OpBatch`."""
+    require_numpy()
+    rows = batch.rows
+    n = len(rows)
+    if n == 0:
+        return ShapeKey(digest=hashlib.sha256(b"empty").hexdigest(), op_count=0)
+    first_id = rows[0][9]
+    ids = np.fromiter(map(itemgetter(9), rows), dtype=np.int64, count=n)
+    rel_ids = ids - first_id
+    deps_col = list(map(itemgetter(4), rows))
+    dep_counts = np.fromiter(map(len, deps_col), dtype=np.int64, count=n)
+    flat_deps = np.fromiter(
+        chain.from_iterable(deps_col), dtype=np.int64, count=int(dep_counts.sum())
+    )
+    hasher = hashlib.sha256()
+    hasher.update("\x1f".join(map(itemgetter(2), rows)).encode())
+    hasher.update(rel_ids.tobytes())
+    hasher.update(dep_counts.tobytes())
+    if flat_deps.size:
+        hasher.update((flat_deps - first_id).tobytes())
+    # Release-time *structure* only: which rows carry one, not their values.
+    if batch.release_times:
+        release_ids = np.asarray(sorted(batch.release_times), dtype=np.int64)
+        hasher.update(b"release")
+        hasher.update((release_ids - first_id).tobytes())
+    return ShapeKey(digest=hasher.hexdigest(), op_count=n)
+
+
+@dataclass(frozen=True)
+class ShapePlan:
+    """A shape's compiled scheduling recipe, reusable across scenarios.
+
+    ``steps`` is the finalisation sequence the vector kernel's frontier loop
+    produces for this topology: per step the row index, its resource code and
+    the successor rows whose lower bounds it raises.  ``rel_ids`` are the
+    batch-relative op ids (scenario ids are ``first id + rel_ids``);
+    ``release_rows`` are the row indices carrying a release time.
+    """
+
+    resource_names: tuple[str, ...]
+    op_count: int
+    steps: tuple[tuple[int, int, tuple[int, ...]], ...]
+    rel_ids: "np.ndarray"
+    release_rows: tuple[int, ...]
+
+
+def compile_plan(batch, resource_names) -> ShapePlan:
+    """Compile one representative batch of a shape into a :class:`ShapePlan`.
+
+    Runs the :func:`veckernel._compile <repro.sim.veckernel._compile>` bulk
+    pipeline (CSR successor graph, redundant same-resource edge dropping,
+    per-resource FIFO queues), then walks the frontier loop *without floats*,
+    recording the finalisation order.  Raises the kernel's
+    :class:`~repro.common.errors.SimulationError` on topological deadlock and
+    :class:`~repro.common.errors.ConfigurationError` on unknown resources —
+    once per shape instead of once per scenario.
+    """
+    require_numpy()
+    rows = batch.rows
+    resource_names = tuple(resource_names)
+    n = len(rows)
+    if n == 0:
+        return ShapePlan(
+            resource_names=resource_names, op_count=0, steps=(),
+            rel_ids=np.empty(0, dtype=np.int64), release_rows=(),
+        )
+    queues, pending, _lb, succ_ptr, succ_tgt, _durations, op_ids = _compile(
+        rows, batch.release_times, list(resource_names)
+    )
+    first_id = rows[0][9]
+    rel_ids = op_ids - first_id
+
+    row_resource = [0] * n
+    for code, queue in enumerate(queues):
+        for index in queue:
+            row_resource[index] = code
+
+    # The float-free twin of veckernel.schedule_rows' frontier loop: identical
+    # sweep order, identical run walks, identical deadlock condition — only
+    # the start/end arithmetic is deferred to schedule_group's stacked replay.
+    steps: list[tuple[int, int, tuple[int, ...]]] = []
+    append = steps.append
+    cursor = [0] * len(queues)
+    queue_lengths = [len(queue) for queue in queues]
+    remaining = n
+    while remaining:
+        progressed = 0
+        for resource, queue in enumerate(queues):
+            position = cursor[resource]
+            length = queue_lengths[resource]
+            if position >= length or pending[queue[position]]:
+                continue
+            walked = position
+            while position < length:
+                index = queue[position]
+                if pending[index]:
+                    break
+                successors = tuple(succ_tgt[succ_ptr[index]:succ_ptr[index + 1]])
+                for target in successors:
+                    pending[target] -= 1
+                append((index, resource, successors))
+                position += 1
+            cursor[resource] = position
+            progressed += position - walked
+        if not progressed:
+            blocked_heads = [
+                rows[queue[cursor[resource]]][0]
+                for resource, queue in enumerate(queues)
+                if cursor[resource] < queue_lengths[resource]
+            ]
+            raise SimulationError(
+                f"simulation deadlock: blocked head operations {blocked_heads}"
+            )
+        remaining -= progressed
+
+    release_rows: tuple[int, ...] = ()
+    if batch.release_times:
+        by_id = {op_id: index for index, op_id in enumerate(op_ids.tolist())}
+        release_rows = tuple(
+            by_id[op_id] for op_id in sorted(batch.release_times) if op_id in by_id
+        )
+    return ShapePlan(
+        resource_names=resource_names, op_count=n, steps=tuple(steps),
+        rel_ids=rel_ids, release_rows=release_rows,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioColumn:
+    """One scenario's float inputs, detached from its op rows.
+
+    Extracting a column is what lets a group run drop each scenario's row
+    tuples as soon as it has prepared them — holding hundreds of row lists
+    alive for the whole group keeps the garbage collector re-scanning them —
+    while the stacked pass still sees everything scenario-specific: the
+    duration vector (row order), the release times (keyed by original op id)
+    and the batch's first op id.
+    """
+
+    durations: "np.ndarray"
+    release_times: Mapping[int, float]
+    first_id: int
+
+
+def scenario_column(batch) -> ScenarioColumn:
+    """The :class:`ScenarioColumn` of one op batch."""
+    require_numpy()
+    rows = batch.rows
+    n = len(rows)
+    return ScenarioColumn(
+        durations=np.fromiter(map(itemgetter(3), rows), dtype=np.float64, count=n),
+        release_times=dict(batch.release_times),
+        first_id=rows[0][9] if n else 0,
+    )
+
+
+@dataclass
+class StackedSchedule:
+    """Start/end columns of every scenario in a group, shape ``(ops, scenarios)``.
+
+    Row ``k`` of ``starts``/``ends`` is the scenario-major vector of op ``k``'s
+    times; :meth:`schedule_for` slices one scenario back out as a lazy
+    :class:`~repro.sim.engine.VectorSchedule`.  ``rows`` optionally carries the
+    group representative's op rows so callers that dropped their own rows
+    (column-extracted scenarios) can still materialise schedules — start, end
+    and op-id columns are exact per scenario; only row metadata is shared.
+    """
+
+    plan: ShapePlan
+    starts: "np.ndarray"
+    ends: "np.ndarray"
+    first_ids: tuple[int, ...]
+    rows: Any = field(default=None, compare=False)
+
+    @property
+    def num_scenarios(self) -> int:
+        return len(self.first_ids)
+
+    def columns_for(self, scenario: int) -> tuple["np.ndarray", "np.ndarray"]:
+        """Contiguous per-row (starts, ends) columns of one scenario."""
+        return (
+            np.ascontiguousarray(self.starts[:, scenario]),
+            np.ascontiguousarray(self.ends[:, scenario]),
+        )
+
+    def schedule_for(self, scenario: int, rows=None) -> VectorSchedule:
+        """One scenario's schedule (lazy materialisation over ``rows``).
+
+        ``rows`` defaults to the stacked :attr:`rows` (the group
+        representative's); pass the scenario's own rows for exact per-row
+        metadata.
+        """
+        if rows is None:
+            rows = self.rows
+        if rows is None:
+            raise ConfigurationError(
+                "schedule_for needs op rows (pass rows= or set StackedSchedule.rows)"
+            )
+        starts, ends = self.columns_for(scenario)
+        op_ids = self.plan.rel_ids + self.first_ids[scenario]
+        return VectorSchedule(rows, starts, ends, op_ids, list(self.plan.resource_names))
+
+
+def schedule_group(plan: ShapePlan, columns) -> StackedSchedule:
+    """Schedule every scenario of one shape group in a single stacked pass.
+
+    ``columns`` are the scenarios' :class:`ScenarioColumn` extracts; their
+    batches must all carry ``plan``'s shape (group with :func:`shape_key`
+    first).  The replay performs, per plan step, the kernel's scalar float
+    operations vectorised across scenarios::
+
+        start = lb[k]  if lb[k] > resource_end  else resource_end
+        end   = start + duration[k]
+
+    expressed as ``np.maximum``/``np.add`` into preallocated rows.  All times
+    are non-negative and never NaN, so the max reformulations are bit-identical
+    to the kernel's comparison branches, keeping every scenario's floats
+    byte-equal to a solo :func:`~repro.sim.veckernel.schedule_rows` run.
+    """
+    require_numpy()
+    columns = list(columns)
+    if not columns:
+        raise ConfigurationError("schedule_group needs at least one scenario column")
+    n = plan.op_count
+    count = len(columns)
+    durations = np.empty((n, count), dtype=np.float64)
+    lower_bounds = np.zeros((n, count), dtype=np.float64)
+    release_rel = [int(plan.rel_ids[row]) for row in plan.release_rows]
+    first_ids = []
+    for index, column in enumerate(columns):
+        if column.durations.shape != (n,):
+            raise ConfigurationError(
+                f"scenario column {index} has {column.durations.shape[0]} ops, "
+                f"plan expects {n}; group batches by shape_key() before scheduling"
+            )
+        first_ids.append(column.first_id)
+        if n == 0:
+            continue
+        durations[:, index] = column.durations
+        for row, rel in zip(plan.release_rows, release_rel):
+            lower_bounds[row, index] = column.release_times[rel + column.first_id]
+
+    starts = np.empty((n, count), dtype=np.float64)
+    ends = np.empty((n, count), dtype=np.float64)
+    resource_end = [np.zeros(count, dtype=np.float64) for _ in plan.resource_names]
+    for index, resource, successors in plan.steps:
+        start = starts[index]
+        end = ends[index]
+        np.maximum(lower_bounds[index], resource_end[resource], out=start)
+        np.add(start, durations[index], out=end)
+        resource_end[resource] = end
+        for target in successors:
+            bound = lower_bounds[target]
+            np.maximum(bound, end, out=bound)
+
+    return StackedSchedule(
+        plan=plan, starts=starts, ends=ends, first_ids=tuple(first_ids)
+    )

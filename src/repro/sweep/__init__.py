@@ -15,7 +15,12 @@ declarations:
   export;
 * :mod:`repro.sweep.cache` — a JSON manifest over the result cache, powering
   ``repro sweep --cache-stats`` (inspection, stale-entry detection) and
-  ``--cache-evict`` (eviction).
+  ``--cache-evict`` (eviction);
+* :mod:`repro.sweep.batching` — shape-compiled scenario batching: workers that
+  :func:`~repro.sweep.batching.register_batchable` let the runner group
+  same-shape scenarios (``sweep_mode="batch"``, the ``auto`` default where
+  supported) and schedule each group in one stacked pass, byte-identical to
+  the per-scenario path.
 
 Two invariants hold across the subsystem:
 
@@ -27,6 +32,13 @@ Two invariants hold across the subsystem:
   would have returned, in scenario order.
 """
 
+from repro.sweep.batching import (
+    BatchAdapter,
+    PreparedCase,
+    is_batchable,
+    register_batchable,
+    run_scenario_group,
+)
 from repro.sweep.cache import CACHE_VERSION, cache_stats, evict_cache
 from repro.sweep.result import SweepRecord, SweepResult
 from repro.sweep.runner import (
@@ -53,4 +65,9 @@ __all__ = [
     "CACHE_VERSION",
     "cache_stats",
     "evict_cache",
+    "BatchAdapter",
+    "PreparedCase",
+    "register_batchable",
+    "is_batchable",
+    "run_scenario_group",
 ]

@@ -1,0 +1,209 @@
+"""Worker-side shape batching: prepare scenarios, schedule shape groups at once.
+
+The per-scenario sweep path pays the full simulation pipeline per grid point.
+For workers that opt in through :func:`register_batchable`, ``SweepRunner``
+can instead dispatch *groups* of scenarios to :func:`run_scenario_group` —
+a module-level trampoline every dispatch backend can ship by reference, just
+like an ordinary worker.  Inside the group, each scenario is *prepared*
+(everything up to but excluding scheduling: resolve, op-row construction),
+the resulting op batches are grouped by :func:`~repro.sim.shapebatch.shape_key`,
+each shape is compiled once (:func:`~repro.sim.shapebatch.compile_plan`) and
+scheduled for all its scenarios in one stacked pass
+(:func:`~repro.sim.shapebatch.schedule_group`), and the adapter's finalizer
+turns the stacked schedule back into the exact per-scenario values the plain
+worker returns.
+
+The contract is strict value equality: for every scenario,
+``run_scenario_group`` must produce byte-for-byte what ``worker(**params)``
+produces (``tests/test_shapebatch.py`` enforces this differentially across
+serial and pool executors).  That is what lets the runner keep its
+per-scenario cache entries — a batch-computed result is stored under the same
+key a serial run reads.
+
+An adapter's :attr:`~BatchAdapter.prepare` may also *decline* a scenario by
+returning the final value directly (anything that is not a
+:class:`PreparedCase`): out-of-memory configurations, strategies without row
+builders, and policies pinning the eager op backend all fall back to the
+per-scenario code path inside the same process, so a mixed grid still works.
+"""
+
+from __future__ import annotations
+
+import gc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.dispatch.base import resolve_worker_spec, worker_spec
+from repro.sim.shapebatch import (
+    StackedSchedule,
+    compile_plan,
+    scenario_column,
+    schedule_group,
+    shape_key,
+)
+
+
+@dataclass(frozen=True)
+class PreparedCase:
+    """One scenario, prepared up to (but excluding) scheduling.
+
+    ``batch`` is the scenario's op rows (an :class:`~repro.sim.opbatch.OpBatch`);
+    ``resource_names`` the resource universe those rows schedule on; ``salt``
+    a string folding in everything *besides* the op topology that must match
+    for two scenarios to share a compiled plan (strategy name, iteration
+    count, ...) — it pre-partitions groups so :func:`~repro.sim.shapebatch.shape_key`
+    only ever compares like with like; ``payload`` is whatever the adapter's
+    finalizer needs to rebuild the worker's return value (it never crosses a
+    process boundary — prepare and finalize run in the same process).
+
+    The group runner consumes ``batch`` immediately — shape key, duration
+    column — and then drops it (only each group's first batch is kept, as the
+    compile representative).  Adapters should therefore **not** reference the
+    batch from ``payload``: letting a scenario's row tuples die right after
+    extraction is what keeps hundreds of prepared scenarios from turning into
+    garbage-collector drag.
+    """
+
+    batch: Any
+    resource_names: tuple[str, ...]
+    salt: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class BatchAdapter:
+    """How one worker maps onto the prepare/schedule/finalize split.
+
+    ``prepare(**params)`` returns a :class:`PreparedCase`, or the scenario's
+    final value directly to decline batching for that point.
+    ``finalize_group(payloads, stacked)`` receives the prepared payloads of
+    one shape group (in group order) plus their stacked schedule and returns
+    the final values in the same order.
+    """
+
+    prepare: Callable[..., Any]
+    finalize_group: Callable[[list, StackedSchedule], list]
+
+
+@dataclass
+class _ShapeGroup:
+    """Accumulator for one (salt, resources, shape-key) group of a chunk."""
+
+    representative: Any
+    resource_names: tuple[str, ...]
+    positions: list[int] = field(default_factory=list)
+    columns: list = field(default_factory=list)
+    payloads: list = field(default_factory=list)
+
+
+#: worker spec string -> adapter.  Populated by ``register_batchable`` as an
+#: import side effect of the worker's module, so resolving the spec inside a
+#: pool or cluster process repopulates it there too.
+_REGISTRY: dict[str, BatchAdapter] = {}
+
+
+def register_batchable(
+    worker: Callable[..., Any],
+    *,
+    prepare: Callable[..., Any],
+    finalize_group: Callable[[list, StackedSchedule], list],
+) -> None:
+    """Declare that ``worker`` supports shape-batched sweep execution.
+
+    ``worker`` must be module-level (the registry is keyed by its
+    ``module:qualname`` spec, which is also how remote processes rediscover
+    the adapter: importing the module re-runs this registration).
+    """
+    _REGISTRY[worker_spec(worker)] = BatchAdapter(
+        prepare=prepare, finalize_group=finalize_group
+    )
+
+
+def is_batchable(worker: Callable[..., Any]) -> bool:
+    """Whether ``worker`` registered a batching adapter."""
+    try:
+        return worker_spec(worker) in _REGISTRY
+    except ConfigurationError:
+        return False
+
+
+def batchable_adapter(worker: Callable[..., Any]) -> BatchAdapter:
+    """The adapter ``worker`` registered (:class:`ConfigurationError` if none)."""
+    spec = worker_spec(worker)
+    adapter = _REGISTRY.get(spec)
+    if adapter is None:
+        raise ConfigurationError(
+            f"worker {spec!r} has no batching adapter; register one with "
+            "repro.sweep.batching.register_batchable or run with "
+            "sweep_mode='scenario'"
+        )
+    return adapter
+
+
+@contextmanager
+def _gc_paused():
+    """Pause generational collection for the duration of one chunk.
+
+    Preparing a chunk allocates hundreds of thousands of short-lived row
+    tuples; with the collector enabled, the recurring generation scans walk
+    every surviving payload each time and dominate the prepare loop.  Nothing
+    in a chunk builds reference cycles faster than the final collection can
+    reclaim, so pausing is safe — and worth ~15% of batch-mode wall time.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def run_scenario_group(*, worker: str, scenarios: Sequence[dict]) -> list:
+    """Execute one chunk of scenarios for ``worker``, shape-batched.
+
+    This is the group trampoline the runner dispatches in ``sweep_mode="batch"``:
+    a module-level callable taking plain-data keywords, so every backend ships
+    it exactly like an ordinary worker (pool pickles it by reference, cluster
+    daemons import it by name) and the dispatch policy context wraps the whole
+    group call.  Returns one value per scenario, in input order, byte-identical
+    to ``worker(**params)`` per scenario.
+    """
+    target = resolve_worker_spec(worker)
+    adapter = _REGISTRY.get(worker)
+    if adapter is None:
+        # Importing the worker's module did not register an adapter: stay
+        # correct by running the scenarios through the worker itself.
+        return [target(**dict(params)) for params in scenarios]
+
+    values: list[Any] = [None] * len(scenarios)
+    groups: dict[tuple, _ShapeGroup] = {}
+    with _gc_paused():
+        for position, params in enumerate(scenarios):
+            prepared = adapter.prepare(**dict(params))
+            if not isinstance(prepared, PreparedCase):
+                values[position] = prepared
+                continue
+            key = (prepared.salt, prepared.resource_names, shape_key(prepared.batch))
+            group = groups.get(key)
+            if group is None:
+                groups[key] = group = _ShapeGroup(
+                    representative=prepared.batch,
+                    resource_names=prepared.resource_names,
+                )
+            group.positions.append(position)
+            group.columns.append(scenario_column(prepared.batch))
+            group.payloads.append(prepared.payload)
+            # prepared.batch is dropped here: its rows die young (the extracted
+            # column is all the stacked pass needs), except the representative's.
+
+        for group in groups.values():
+            plan = compile_plan(group.representative, group.resource_names)
+            stacked = schedule_group(plan, group.columns)
+            stacked.rows = group.representative.rows
+            finals = adapter.finalize_group(group.payloads, stacked)
+            for position, value in zip(group.positions, finals):
+                values[position] = value
+    return values

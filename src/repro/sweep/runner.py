@@ -68,8 +68,9 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError
-from repro.dispatch import Task, create_executor, select_backend
+from repro.dispatch import Task, create_executor, select_backend, worker_spec
 from repro.runtime import ExecutionPolicy, set_global_defaults, clear_global_defaults
+from repro.sweep.batching import batchable_adapter, is_batchable, run_scenario_group
 from repro.sweep.cache import CACHE_VERSION, record_entries
 from repro.sweep.result import SweepRecord, SweepResult
 from repro.sweep.spec import Scenario, SweepSpec
@@ -136,6 +137,15 @@ class SweepRunner:
     policy is serialized to every worker explicitly; no environment variables
     are exported.
 
+    ``sweep_mode`` selects how scenarios are dispatched: ``"scenario"`` sends
+    one task per grid point; ``"batch"`` groups scenarios by DAG shape and
+    schedules each shape in one stacked vector pass
+    (:mod:`repro.sweep.batching` / :mod:`repro.sim.shapebatch`), which the
+    worker must support via a registered batching adapter; ``"auto"`` (the
+    default) picks ``batch`` when the adapter exists and the executor is
+    serial or pool.  Values and cache entries are byte-identical across modes
+    — a batched run fills the same per-scenario pickles a serial run reads.
+
     ``executor_options`` are backend-specific keywords forwarded to
     :func:`repro.dispatch.create_executor` (the cluster backend takes
     ``bind``, ``lease_timeout``, ``max_retries``, ``on_event``, ...).
@@ -156,6 +166,7 @@ class SweepRunner:
         scheduler: str | None = None,
         executor: str | None = None,
         workers: int | None = None,
+        sweep_mode: str | None = None,
         policy: ExecutionPolicy | None = None,
         executor_options: Mapping[str, Any] | None = None,
         progress: Callable[[dict], None] | None = None,
@@ -167,22 +178,25 @@ class SweepRunner:
             if not isinstance(policy, ExecutionPolicy):
                 raise ConfigurationError("policy must be an ExecutionPolicy")
             if any(value is not None for value in
-                   (jobs, use_cache, cache_dir, scheduler, executor, workers)):
+                   (jobs, use_cache, cache_dir, scheduler, executor, workers,
+                    sweep_mode)):
                 raise ConfigurationError(
                     "pass either policy= or individual jobs/use_cache/cache_dir/"
-                    "scheduler/executor/workers arguments, not both"
+                    "scheduler/executor/workers/sweep_mode arguments, not both"
                 )
             self.policy = policy
         else:
             self.policy = ExecutionPolicy.resolve(
                 jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
                 scheduler=scheduler, executor=executor, workers=workers,
+                sweep_mode=sweep_mode,
             )
         self.jobs = self.policy.jobs
         self.use_cache = self.policy.use_cache
         self.cache_dir = self.policy.cache_dir
         self.scheduler = self.policy.scheduler
         self.executor = self.policy.executor
+        self.sweep_mode = self.policy.sweep_mode
         self._executor_options = dict(executor_options or {})
         self._progress = progress
         if select_backend(self.policy) != "serial" and \
@@ -284,19 +298,90 @@ class SweepRunner:
             "total": total,
         })
 
-    def _make_executor(self, pending_count: int):
+    def _make_executor(self, pending_count: int, worker: Callable[..., Any] | None = None):
         """Instantiate the dispatch backend this run resolves to.
 
         ``pool`` quietly downgrades to ``serial`` when there is nothing to
         parallelise (one pending task, or ``jobs == 1`` under an explicit
         ``executor="pool"``) — same values either way, without paying for a
-        process pool that could never overlap work.
+        process pool that could never overlap work.  ``worker`` overrides the
+        dispatched callable (the batched path ships the group trampoline
+        instead of the worker itself).
         """
         name = select_backend(self.policy)
         if name == "pool" and (self.jobs <= 1 or pending_count <= 1):
             name = "serial"
         options = self._executor_options if name == "cluster" else {}
-        return create_executor(name, self.worker, self.policy, **options)
+        return create_executor(name, worker or self.worker, self.policy, **options)
+
+    def _effective_sweep_mode(self) -> str:
+        """``"batch"`` or ``"scenario"`` for this run (resolving ``"auto"``).
+
+        ``auto`` picks ``batch`` exactly when the worker registered a batching
+        adapter (:func:`repro.sweep.batching.register_batchable`) and the
+        executor is local (serial or pool) — cluster stays per-scenario unless
+        ``sweep_mode="batch"`` is requested explicitly, because its per-task
+        fault-tolerance granularity is a scenario.  An explicit ``"batch"``
+        with a worker that never registered an adapter is a configuration
+        error, not a silent downgrade.
+        """
+        if self.sweep_mode == "batch":
+            batchable_adapter(self.worker)
+            return "batch"
+        if self.sweep_mode == "scenario":
+            return "scenario"
+        if select_backend(self.policy) in ("serial", "pool") and is_batchable(self.worker):
+            return "batch"
+        return "scenario"
+
+    def _group_chunks(self, pending: list[int]) -> list[list[int]]:
+        """Split pending scenario indices into one chunk per parallel slot.
+
+        Chunked dispatch is what makes the batched path cheap on distributed
+        backends: a pool of ``jobs`` processes receives ``jobs`` tasks of
+        ``⌈pending/jobs⌉`` scenarios each — per-task pickle overhead is paid
+        per *chunk*, and each chunk is large enough for shape compilation to
+        amortise.  Serial runs get one chunk (maximum sharing).
+        """
+        name = select_backend(self.policy)
+        if name == "pool":
+            parallelism = max(1, min(self.jobs, len(pending)))
+        elif name == "cluster":
+            parallelism = max(1, self.policy.workers)
+        else:
+            parallelism = 1
+        size = -(-len(pending) // parallelism)
+        return [pending[start:start + size] for start in range(0, len(pending), size)]
+
+    def _run_batched(self, scenarios: Sequence[Scenario], pending: list[int],
+                     complete: Callable[..., None]) -> None:
+        """Dispatch ``pending`` as scenario-group tasks through the trampoline.
+
+        Each task carries the worker's ``module:qualname`` spec plus a chunk
+        of scenario parameter dicts; :func:`repro.sweep.batching.run_scenario_group`
+        re-resolves both on the executing side, so the same task payload works
+        in-process, in pool processes and on cluster daemons.  Group outcomes
+        fan back out into per-scenario completions — the cache and progress
+        surfaces never see the difference (each scenario's ``wall_time`` is
+        its chunk's share).
+        """
+        spec_name = worker_spec(self.worker)
+        chunks = self._group_chunks(pending)
+        tasks = [
+            Task(index=number, params={
+                "worker": spec_name,
+                "scenarios": [scenarios[index].as_dict() for index in chunk],
+            })
+            for number, chunk in enumerate(chunks)
+        ]
+        with self._make_executor(len(tasks), worker=run_scenario_group) as executor:
+            for outcome in executor.submit(tasks):
+                chunk = chunks[outcome.index]
+                share = outcome.wall_time / max(1, len(chunk))
+                for position, index in enumerate(chunk):
+                    complete(index, outcome.value[position],
+                             worker=outcome.worker_id, wall_time=share,
+                             attempts=outcome.attempts)
 
     def run(self, spec: SweepSpec | Iterable[Scenario]) -> SweepResult:
         """Execute every scenario and return results in scenario order."""
@@ -322,8 +407,6 @@ class SweepRunner:
             pending.append(index)
 
         if pending:
-            tasks = [Task(index=index, params=scenarios[index].as_dict())
-                     for index in pending]
             # Entry pickles stream to disk per outcome (that is what a killed
             # sweep resumes from — loads never consult the manifest), while
             # manifest records batch in memory and flush every
@@ -333,24 +416,35 @@ class SweepRunner:
             # most one batch of records, which then surface as orphaned (and
             # evictable) entries in --cache-stats.
             manifest_buffer: list[dict] = []
+
+            def complete(index: int, value: Any, *, worker: str,
+                         wall_time: float, attempts: int) -> None:
+                values[index] = value
+                scenario = scenarios[index]
+                if self.use_cache:
+                    path = self._cache_store(scenario, value)
+                    if path is not None:
+                        manifest_buffer.append(self._manifest_entry(path, scenario))
+                    if len(manifest_buffer) >= _MANIFEST_FLUSH_EVERY:
+                        self._flush_manifest(manifest_buffer)
+                self._emit_progress(
+                    index=index, scenario=scenario, cached=False, worker=worker,
+                    wall_time=wall_time, attempts=attempts,
+                    completed=len(values), total=total,
+                )
+
             try:
-                with self._make_executor(len(pending)) as executor:
-                    for outcome in executor.submit(tasks):
-                        values[outcome.index] = outcome.value
-                        scenario = scenarios[outcome.index]
-                        if self.use_cache:
-                            path = self._cache_store(scenario, outcome.value)
-                            if path is not None:
-                                manifest_buffer.append(
-                                    self._manifest_entry(path, scenario))
-                            if len(manifest_buffer) >= _MANIFEST_FLUSH_EVERY:
-                                self._flush_manifest(manifest_buffer)
-                        self._emit_progress(
-                            index=outcome.index, scenario=scenario, cached=False,
-                            worker=outcome.worker_id, wall_time=outcome.wall_time,
-                            attempts=outcome.attempts, completed=len(values),
-                            total=total,
-                        )
+                if self._effective_sweep_mode() == "batch":
+                    self._run_batched(scenarios, pending, complete)
+                else:
+                    tasks = [Task(index=index, params=scenarios[index].as_dict())
+                             for index in pending]
+                    with self._make_executor(len(pending)) as executor:
+                        for outcome in executor.submit(tasks):
+                            complete(outcome.index, outcome.value,
+                                     worker=outcome.worker_id,
+                                     wall_time=outcome.wall_time,
+                                     attempts=outcome.attempts)
             finally:
                 self._flush_manifest(manifest_buffer)
 
@@ -378,6 +472,7 @@ def run_sweep(
     scheduler: str | None = None,
     executor: str | None = None,
     workers: int | None = None,
+    sweep_mode: str | None = None,
     policy: ExecutionPolicy | None = None,
     executor_options: Mapping[str, Any] | None = None,
     progress: Callable[[dict], None] | None = None,
@@ -386,7 +481,8 @@ def run_sweep(
     spec = SweepSpec.build(axes, base)
     runner = SweepRunner(
         worker, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
-        scheduler=scheduler, executor=executor, workers=workers, policy=policy,
+        scheduler=scheduler, executor=executor, workers=workers,
+        sweep_mode=sweep_mode, policy=policy,
         executor_options=executor_options, progress=progress,
     )
     return runner.run(spec)

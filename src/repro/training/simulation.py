@@ -85,6 +85,11 @@ from repro.training.config import ResolvedJob
 from repro.training.metrics import IterationBreakdown
 from repro.zero.collectives import allgather_seconds, reduce_scatter_seconds
 
+try:  # Optional at import time: only the stacked-breakdown helpers need it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on broken installs
+    np = None
+
 
 @dataclass
 class IterationOps:
@@ -106,7 +111,10 @@ class SimulationResult:
     ``resolved_policy`` records what actually ran — the resolved
     :class:`~repro.runtime.ExecutionPolicy` plus the *effective* op and
     scheduler backends after the strategy-capability fallback and the
-    ``auto`` threshold decision.
+    ``auto`` threshold decision.  ``precomputed_breakdowns`` is set by the
+    shape-batched sweep path (:mod:`repro.sweep.batching`), which computes
+    every scenario's breakdowns in one vectorised pass; the values are
+    bit-identical to what :meth:`breakdown` would derive from the schedule.
     """
 
     job: ResolvedJob
@@ -114,41 +122,45 @@ class SimulationResult:
     iterations: list[IterationOps]
     initial_gpu_bytes: int = 0
     resolved_policy: ResolvedExecution | None = None
+    precomputed_breakdowns: list[IterationBreakdown] | None = None
 
     # ------------------------------------------------------------------ times
 
     def iteration_start(self, index: int) -> float:
         """Start time of iteration ``index`` (first forward op's start)."""
-        ops = self.iterations[index].forward_ops
-        return min(self.schedule.by_id(op_id).start for op_id in ops)
+        start_of = self.schedule.op_start
+        return min(start_of(op_id) for op_id in self.iterations[index].forward_ops)
 
     def forward_end(self, index: int) -> float:
         """End of the forward compute of iteration ``index``."""
-        ops = self.iterations[index].forward_compute_ops
-        return max(self.schedule.by_id(op_id).end for op_id in ops)
+        end_of = self.schedule.op_end
+        return max(end_of(op_id) for op_id in self.iterations[index].forward_compute_ops)
 
     def backward_end(self, index: int) -> float:
         """End of the backward phase (including blocking flushes for the baselines)."""
         record = self.iterations[index]
-        end = max(self.schedule.by_id(op_id).end for op_id in record.backward_compute_ops)
+        end_of = self.schedule.op_end
+        end = max(end_of(op_id) for op_id in record.backward_compute_ops)
         if record.blocks_backward and record.flush.op_ids:
-            end = max(end, max(self.schedule.by_id(op_id).end for op_id in record.flush.op_ids))
+            end = max(end, max(end_of(op_id) for op_id in record.flush.op_ids))
         return end
 
     def params_ready_time(self, index: int) -> float:
         """Time at which every updated FP16 parameter is back on the GPU."""
-        ops = self.iterations[index].update.params_ready_ops
-        return max(self.schedule.by_id(op_id).end for op_id in ops)
+        end_of = self.schedule.op_end
+        return max(end_of(op_id) for op_id in self.iterations[index].update.params_ready_ops)
 
     def update_window(self, index: int) -> tuple[float, float]:
         """(start, end) of the update phase, including any spill-over transfers."""
         ops = self.iterations[index].update.op_ids
-        starts = [self.schedule.by_id(op_id).start for op_id in ops]
-        ends = [self.schedule.by_id(op_id).end for op_id in ops]
+        starts = [self.schedule.op_start(op_id) for op_id in ops]
+        ends = [self.schedule.op_end(op_id) for op_id in ops]
         return (min(starts), max(ends))
 
     def breakdown(self, index: int) -> IterationBreakdown:
         """Per-phase wall-clock breakdown of iteration ``index`` (the Figure 7 metric)."""
+        if self.precomputed_breakdowns is not None:
+            return self.precomputed_breakdowns[index]
         start = self.iteration_start(index)
         forward_end = self.forward_end(index)
         backward_end = self.backward_end(index)
@@ -161,6 +173,8 @@ class SimulationResult:
 
     def breakdowns(self) -> list[IterationBreakdown]:
         """Breakdowns of every simulated iteration."""
+        if self.precomputed_breakdowns is not None:
+            return list(self.precomputed_breakdowns)
         return [self.breakdown(index) for index in range(len(self.iterations))]
 
     # ------------------------------------------------------------------ traces
@@ -505,30 +519,25 @@ def simulate_job(
     engine = SimEngine(name=f"{job.model.name}-{job.strategy.name}")
     standard_resources(engine)
 
+    if backend == "batch":
+        prepared = prepare_simulation(job, iterations, policy=policy)
+        scheduler = policy.select_scheduler(prepared.op_count)
+        schedule = (
+            engine.run_vector(prepared.batch)
+            if scheduler == "vector"
+            else engine.run_batch(prepared.batch)
+        )
+        return finalize_simulation(prepared, schedule, scheduler=scheduler)
+
     records: list[IterationOps] = []
     start_deps: tuple[int, ...] = ()
-    if backend == "batch":
-        batch = OpBatch()
-        for index in range(iterations):
-            record = build_iteration_rows(batch, job, index, start_deps)
-            records.append(record)
-            start_deps = tuple(record.update.params_ready_ops)
-        op_count = len(batch.rows)
-        scheduler = policy.select_scheduler(op_count)
-        schedule = engine.run_vector(batch) if scheduler == "vector" else engine.run_batch(batch)
-    else:
-        for index in range(iterations):
-            record = build_iteration(engine, job, index, start_deps)
-            records.append(record)
-            start_deps = tuple(record.update.params_ready_ops)
-        op_count = engine.pending_ops
-        scheduler = policy.select_scheduler(op_count)
-        schedule = engine.run_vector() if scheduler == "vector" else engine.run()
-    initial = (
-        job.footprint.fp16_parameter_bytes
-        + job.footprint.gpu_resident_optimizer_bytes
-        + job.footprint.gathered_layer_workspace_bytes
-    )
+    for index in range(iterations):
+        record = build_iteration(engine, job, index, start_deps)
+        records.append(record)
+        start_deps = tuple(record.update.params_ready_ops)
+    op_count = engine.pending_ops
+    scheduler = policy.select_scheduler(op_count)
+    schedule = engine.run_vector() if scheduler == "vector" else engine.run()
     resolved = ResolvedExecution(
         policy=policy,
         op_backend=backend,
@@ -541,6 +550,209 @@ def simulate_job(
         job=job,
         schedule=schedule,
         iterations=records,
-        initial_gpu_bytes=initial,
+        initial_gpu_bytes=_initial_gpu_bytes(job),
         resolved_policy=resolved,
     )
+
+
+def _initial_gpu_bytes(job: ResolvedJob) -> int:
+    """GPU bytes already resident when the simulated window opens."""
+    return (
+        job.footprint.fp16_parameter_bytes
+        + job.footprint.gpu_resident_optimizer_bytes
+        + job.footprint.gathered_layer_workspace_bytes
+    )
+
+
+@dataclass
+class PreparedSimulation:
+    """The op-construction half of a batch-backend simulation, before scheduling.
+
+    :func:`prepare_simulation` builds the op rows and the per-iteration
+    bookkeeping; the schedule itself can then come from anywhere — the solo
+    paths in :func:`simulate_job`, or one column of a shape-batched
+    :class:`~repro.sim.shapebatch.StackedSchedule` when a sweep schedules many
+    prepared scenarios at once.  :func:`finalize_simulation` reassembles the
+    pieces into the exact :class:`SimulationResult` the solo path returns.
+    """
+
+    job: ResolvedJob
+    policy: ExecutionPolicy
+    batch: OpBatch
+    records: list[IterationOps]
+    op_count: int
+
+
+def prepare_simulation(
+    job: ResolvedJob,
+    iterations: int,
+    *,
+    policy: ExecutionPolicy | None = None,
+) -> PreparedSimulation:
+    """Build the op rows of ``iterations`` chained iterations without scheduling.
+
+    Only the ``"batch"`` op backend can be split this way; strategies without
+    row builders (``supports_op_batch()`` false) raise
+    :class:`~repro.common.errors.ConfigurationError` — callers that cannot
+    guarantee support (the sweep batching adapter) must check first and fall
+    back to :func:`simulate_job`.
+    """
+    if iterations <= 0:
+        raise ConfigurationError("iterations must be positive")
+    if policy is None:
+        policy = ExecutionPolicy.resolve(env_fields=SIMULATION_FIELDS)
+    if not job.strategy.supports_op_batch():
+        raise ConfigurationError(
+            f"strategy {job.strategy.name!r} does not implement the op-batch row "
+            "builders; prepare_simulation only supports the 'batch' op backend"
+        )
+    batch = OpBatch()
+    records: list[IterationOps] = []
+    start_deps: tuple[int, ...] = ()
+    for index in range(iterations):
+        record = build_iteration_rows(batch, job, index, start_deps)
+        records.append(record)
+        start_deps = tuple(record.update.params_ready_ops)
+    return PreparedSimulation(
+        job=job,
+        policy=policy,
+        batch=batch,
+        records=records,
+        op_count=len(batch.rows),
+    )
+
+
+def finalize_simulation(
+    prepared: PreparedSimulation,
+    schedule: Schedule,
+    *,
+    scheduler: str = "vector",
+    breakdowns: list[IterationBreakdown] | None = None,
+) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` from a prepared batch and its schedule.
+
+    ``scheduler`` names the backend that produced ``schedule`` (recorded in
+    ``resolved_policy``); ``breakdowns`` optionally carries per-iteration
+    breakdowns already computed elsewhere (the stacked sweep path), which
+    :meth:`SimulationResult.breakdowns` then returns without touching the
+    schedule.
+    """
+    resolved = ResolvedExecution(
+        policy=prepared.policy,
+        op_backend="batch",
+        scheduler=scheduler,
+        op_count=prepared.op_count,
+        op_backend_fallback=False,
+        fallback_reason="",
+    )
+    return SimulationResult(
+        job=prepared.job,
+        schedule=schedule,
+        iterations=prepared.records,
+        initial_gpu_bytes=_initial_gpu_bytes(prepared.job),
+        resolved_policy=resolved,
+        precomputed_breakdowns=breakdowns,
+    )
+
+
+# --------------------------------------------------------------------- stacked
+# Vectorised breakdown computation for the shape-batched sweep path: instead of
+# querying one schedule at a time, gather the relevant rows of the stacked
+# (ops, scenarios) start/end matrices once and reduce across the op axis, so a
+# group of S scenarios pays one numpy pass instead of S rounds of id lookups.
+
+
+@dataclass(frozen=True)
+class BreakdownIndexPlan:
+    """Row indices feeding one iteration's breakdown, shared across a shape group.
+
+    Valid for every scenario whose batch matches the plan's
+    :class:`~repro.sim.shapebatch.ShapeKey` — key-matched batches share their
+    relative id layout, so the row indices derived from one representative's
+    bookkeeping apply to all columns of the stacked schedule.
+    """
+
+    start_rows: "np.ndarray"
+    forward_rows: "np.ndarray"
+    backward_rows: "np.ndarray"
+    ready_rows: "np.ndarray"
+
+
+def breakdown_index_plans(
+    records: list[IterationOps],
+    first_id: int,
+    rel_ids,
+) -> list[BreakdownIndexPlan]:
+    """Translate per-iteration op-id bookkeeping into stacked row indices.
+
+    ``first_id`` and ``rel_ids`` come from the representative scenario's batch
+    and its :class:`~repro.sim.shapebatch.ShapePlan` (``rel_ids[row]`` is the
+    row's op id minus ``first_id``).
+    """
+    rel_list = rel_ids.tolist() if hasattr(rel_ids, "tolist") else list(rel_ids)
+    if rel_list == list(range(len(rel_list))):
+        def row_of(op_id: int) -> int:
+            return op_id - first_id
+    else:
+        lookup = {rel: row for row, rel in enumerate(rel_list)}
+
+        def row_of(op_id: int) -> int:
+            return lookup[op_id - first_id]
+
+    plans: list[BreakdownIndexPlan] = []
+    for record in records:
+        backward = [row_of(op_id) for op_id in record.backward_compute_ops]
+        if record.blocks_backward and record.flush.op_ids:
+            backward.extend(row_of(op_id) for op_id in record.flush.op_ids)
+        plans.append(
+            BreakdownIndexPlan(
+                start_rows=np.asarray(
+                    [row_of(op_id) for op_id in record.forward_ops], dtype=np.intp
+                ),
+                forward_rows=np.asarray(
+                    [row_of(op_id) for op_id in record.forward_compute_ops], dtype=np.intp
+                ),
+                backward_rows=np.asarray(backward, dtype=np.intp),
+                ready_rows=np.asarray(
+                    [row_of(op_id) for op_id in record.update.params_ready_ops],
+                    dtype=np.intp,
+                ),
+            )
+        )
+    return plans
+
+
+def stacked_breakdowns(
+    plans: list[BreakdownIndexPlan],
+    starts,
+    ends,
+) -> list[list[IterationBreakdown]]:
+    """Per-scenario breakdowns from stacked ``(ops, scenarios)`` time matrices.
+
+    Returns one list of :class:`IterationBreakdown` per scenario column,
+    bit-identical to what :meth:`SimulationResult.breakdown` computes from the
+    scenario's own schedule: the axis-0 min/max reductions see the same float
+    values as the scalar query chains, and the phase subtractions are the same
+    IEEE-754 double operations applied elementwise.
+    """
+    num_scenarios = starts.shape[1]
+    phases = []
+    for plan in plans:
+        iteration_start = starts[plan.start_rows].min(axis=0)
+        forward_end = ends[plan.forward_rows].max(axis=0)
+        backward_end = ends[plan.backward_rows].max(axis=0)
+        ready = ends[plan.ready_rows].max(axis=0)
+        phases.append(
+            (forward_end - iteration_start, backward_end - forward_end, ready - backward_end)
+        )
+    return [
+        [
+            IterationBreakdown(
+                forward_seconds=float(forward[s]),
+                backward_seconds=float(backward[s]),
+                update_seconds=float(update[s]),
+            )
+            for forward, backward, update in phases
+        ]
+        for s in range(num_scenarios)
+    ]

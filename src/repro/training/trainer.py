@@ -40,16 +40,20 @@ class Trainer:
         try:
             job = self.config.resolve()
         except OutOfMemoryError as exc:
-            return TrainingReport(
-                job=self._job_summary_fallback(),
-                requested_iterations=self.config.iterations,
-                oom=True,
-                oom_reason=str(exc),
-            )
+            return self.oom_report(exc)
         result = self.simulate(job)
         return self.report_from_simulation(job, result)
 
     # ------------------------------------------------------------------ pieces
+
+    def oom_report(self, exc: OutOfMemoryError) -> TrainingReport:
+        """The report an out-of-memory resolution failure produces."""
+        return TrainingReport(
+            job=self._job_summary_fallback(),
+            requested_iterations=self.config.iterations,
+            oom=True,
+            oom_reason=str(exc),
+        )
 
     def simulate(self, job: ResolvedJob) -> SimulationResult:
         """Run the discrete-event simulation for a resolved job."""

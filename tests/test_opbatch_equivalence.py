@@ -11,8 +11,9 @@ Two layers of guarantees:
 
 Exact float equality is intentional: both paths must compute start times through
 identical ``max()`` chains, not merely close ones.  Backends are selected
-through :class:`~repro.runtime.ExecutionPolicy`; one test keeps the deprecated
-``op_backend=`` keyword covered as a shim.
+through :class:`~repro.runtime.ExecutionPolicy`; the deprecated ``op_backend=``/
+``scheduler_backend=`` keyword shims are pinned (DeprecationWarning plus
+policy-path equality) by the regression tests in ``tests/test_runtime_policy.py``.
 """
 
 import random
@@ -210,21 +211,6 @@ def test_simulate_job_backends_identical_at_10k_subgroups():
     ).resolve()
     assert job.num_subgroups >= 10_000
     _assert_simulations_identical(job, iterations=1)
-
-
-def test_simulate_job_env_and_argument_backend_selection(monkeypatch):
-    """The deprecated op_backend= keyword still selects backends (with a warning)."""
-    job = TrainingJobConfig(model="7B", strategy="zero3-offload", check_memory=False).resolve()
-    with pytest.warns(DeprecationWarning), pytest.raises(ConfigurationError):
-        simulate_job(job, 1, op_backend="no-such-backend")
-    monkeypatch.setenv("REPRO_SIM_OP_BACKEND", "objects")
-    reset_op_counter()
-    via_env = simulate_job(job, 1)
-    monkeypatch.delenv("REPRO_SIM_OP_BACKEND")
-    reset_op_counter()
-    with pytest.warns(DeprecationWarning):
-        via_arg = simulate_job(job, 1, op_backend="objects")
-    assert _schedule_tuples(via_env.schedule) == _schedule_tuples(via_arg.schedule)
 
 
 def test_strategies_without_row_builders_fall_back_to_eager():

@@ -1,0 +1,338 @@
+"""Shape-compiled scenario batching: keys, stacked schedules, sweep equality.
+
+Three layers of guarantees:
+
+* **key layer** — :func:`~repro.sim.shapebatch.shape_key` fingerprints exactly
+  the scheduling topology: duration and release-time *value* changes never
+  change a key; resource, dependency-edge or release-*structure* changes
+  always do; drawing the same shape from a different stretch of the global op
+  id counter does not.
+* **kernel layer** — :func:`~repro.sim.shapebatch.schedule_group` over one
+  compiled :func:`~repro.sim.shapebatch.compile_plan` must be byte-identical,
+  scenario for scenario, to solo runs of both scheduler kernels (vector and
+  heap) on random same-shape batches.
+* **sweep layer** — ``SweepRunner(sweep_mode="batch")`` must return scenario
+  values byte-identical (as JSON) to ``sweep_mode="scenario"``, across serial
+  and pool executors, on fig14-style shared-shape grids and fig16-style mixed
+  grids, and its cache entries must be interchangeable with per-scenario runs.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.base import run_training
+from repro.runtime import ExecutionPolicy
+from repro.sim.engine import SimEngine
+from repro.sim.opbatch import OpBatch
+from repro.sim.ops import OpKind
+from repro.sim.shapebatch import (
+    ScenarioColumn,
+    ShapeKey,
+    compile_plan,
+    scenario_column,
+    schedule_group,
+    shape_key,
+)
+from repro.sweep import SweepRunner, SweepSpec
+from repro.sweep.batching import is_batchable, run_scenario_group
+
+RESOURCES = ("cpu", "gpu", "link", "pcie.h2d", "pcie.d2h")
+
+# Small-but-real training grid: 7B at data-parallel 4 resolves in milliseconds
+# while still exercising the full prepare/schedule/report pipeline.
+TRAIN_BASE = {"model": "7B", "strategy": "deep-optimizer-states", "iterations": 2}
+
+
+# ------------------------------------------------------------------ fixtures
+
+
+def random_topology(rng: random.Random, size: int) -> list[tuple]:
+    """(resource, dep positions, has release) per op — the durations-free shape."""
+    topology = []
+    for index in range(size):
+        count = rng.randint(0, min(3, index))
+        deps = tuple(sorted(rng.sample(range(index), count))) if count else ()
+        topology.append((rng.choice(RESOURCES), deps, rng.random() < 0.3))
+    return topology
+
+
+def batch_from(topology, rng: random.Random) -> OpBatch:
+    """One scenario of a topology: same shape, freshly drawn float inputs."""
+    batch = OpBatch()
+    ids: list[int] = []
+    for index, (resource, deps, has_release) in enumerate(topology):
+        op_id = batch.add_op(
+            f"op{index}", OpKind.GPU_COMPUTE, resource, rng.random() * 3,
+            tuple(ids[position] for position in deps),
+            phase=f"phase{index % 3}", subgroup=index % 5,
+            not_before=rng.uniform(0.1, 2.0) if has_release else 0.0,
+        )
+        ids.append(op_id)
+    return batch
+
+
+def _engine() -> SimEngine:
+    engine = SimEngine()
+    for name in RESOURCES:
+        engine.add_resource(name)
+    return engine
+
+
+def _triples(schedule) -> list[tuple[int, float, float]]:
+    return [(item.op.op_id, item.start, item.end) for item in schedule.ops]
+
+
+def _projection(result) -> str:
+    """The JSON identity a sweep mode must preserve (params, hash, value)."""
+    return json.dumps(
+        [
+            {key: scenario[key] for key in ("params", "config_hash", "value")}
+            for scenario in result.to_dict()["scenarios"]
+        ],
+        sort_keys=True,
+    )
+
+
+def plain_worker(*, x: int = 0) -> int:
+    """A module-level worker with no batching adapter."""
+    return x * 2
+
+
+# ------------------------------------------------------------------ shape keys
+
+
+def test_duration_changes_never_change_the_key():
+    topology = random_topology(random.Random(7), 40)
+    keys = {shape_key(batch_from(topology, random.Random(seed))) for seed in range(5)}
+    assert len(keys) == 1
+
+
+def test_release_time_values_do_not_enter_the_key():
+    batch_a, batch_b = OpBatch(), OpBatch()
+    for batch, release in ((batch_a, 0.5), (batch_b, 2.5)):
+        first = batch.add_op("a", OpKind.GPU_COMPUTE, "gpu", 1.0, ())
+        batch.add_op("b", OpKind.CPU_UPDATE, "cpu", 2.0, (first,), not_before=release)
+    assert shape_key(batch_a) == shape_key(batch_b)
+
+
+def test_release_time_structure_does_enter_the_key():
+    batch_a, batch_b = OpBatch(), OpBatch()
+    for batch, release in ((batch_a, 0.5), (batch_b, 0.0)):
+        first = batch.add_op("a", OpKind.GPU_COMPUTE, "gpu", 1.0, ())
+        batch.add_op("b", OpKind.CPU_UPDATE, "cpu", 2.0, (first,), not_before=release)
+    assert shape_key(batch_a) != shape_key(batch_b)
+
+
+def test_resource_and_dependency_changes_change_the_key():
+    def build(resource: str, with_dep: bool) -> OpBatch:
+        batch = OpBatch()
+        first = batch.add_op("a", OpKind.GPU_COMPUTE, "gpu", 1.0, ())
+        batch.add_op("b", OpKind.CPU_UPDATE, resource, 2.0,
+                     (first,) if with_dep else ())
+        return batch
+
+    base = shape_key(build("cpu", True))
+    assert shape_key(build("link", True)) != base
+    assert shape_key(build("cpu", False)) != base
+
+
+def test_keys_are_invariant_to_the_global_id_offset():
+    topology = random_topology(random.Random(11), 25)
+    first = batch_from(topology, random.Random(0))
+    OpBatch().add_op("burn", OpKind.GPU_COMPUTE, "gpu", 1.0, ())  # shift the counter
+    second = batch_from(topology, random.Random(0))
+    assert first.rows[0][9] != second.rows[0][9]
+    assert shape_key(first) == shape_key(second)
+
+
+def test_shape_key_is_structured():
+    topology = random_topology(random.Random(3), 10)
+    key = shape_key(batch_from(topology, random.Random(0)))
+    assert isinstance(key, ShapeKey)
+    assert key.op_count == 10
+    assert shape_key(OpBatch()).op_count == 0
+
+
+def test_training_scenarios_differing_in_knob_values_share_a_key():
+    from repro.experiments.base import _prepare_training_case
+
+    cases = [
+        _prepare_training_case(**TRAIN_BASE, cpu_cores_per_gpu=cores)
+        for cores in (4, 16)
+    ]
+    assert shape_key(cases[0].batch) == shape_key(cases[1].batch)
+    assert cases[0].salt == cases[1].salt
+
+
+# ----------------------------------------------------------- stacked schedules
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_stacked_schedules_match_solo_kernels_bit_for_bit(seed):
+    topology = random_topology(random.Random(seed), 60)
+    batches = [batch_from(topology, random.Random(100 + index)) for index in range(6)]
+    keys = {shape_key(batch) for batch in batches}
+    assert len(keys) == 1
+
+    plan = compile_plan(batches[0], RESOURCES)
+    stacked = schedule_group(plan, [scenario_column(batch) for batch in batches])
+    engine = _engine()
+    for index, batch in enumerate(batches):
+        stacked_triples = _triples(stacked.schedule_for(index, rows=batch.rows))
+        assert stacked_triples == _triples(engine.run_vector(batch))
+        assert stacked_triples == _triples(engine.run_batch(batch))
+
+
+def test_stacked_columns_are_exact_per_scenario():
+    topology = random_topology(random.Random(5), 30)
+    batches = [batch_from(topology, random.Random(index)) for index in range(4)]
+    plan = compile_plan(batches[0], RESOURCES)
+    stacked = schedule_group(plan, [scenario_column(batch) for batch in batches])
+    assert stacked.num_scenarios == 4
+    engine = _engine()
+    for index, batch in enumerate(batches):
+        solo = engine.run_vector(batch)
+        starts, ends = stacked.columns_for(index)
+        for row_index, op_id in enumerate((plan.rel_ids + batch.rows[0][9]).tolist()):
+            assert starts[row_index] == solo.op_start(op_id)
+            assert ends[row_index] == solo.op_end(op_id)
+
+
+def test_schedule_group_rejects_mismatched_columns():
+    topology = random_topology(random.Random(9), 12)
+    batch = batch_from(topology, random.Random(0))
+    other = batch_from(random_topology(random.Random(10), 13), random.Random(0))
+    plan = compile_plan(batch, RESOURCES)
+    with pytest.raises(ConfigurationError, match="group batches by shape_key"):
+        schedule_group(plan, [scenario_column(batch), scenario_column(other)])
+    with pytest.raises(ConfigurationError, match="at least one"):
+        schedule_group(plan, [])
+
+
+def test_schedule_for_requires_rows():
+    topology = random_topology(random.Random(4), 8)
+    batch = batch_from(topology, random.Random(0))
+    plan = compile_plan(batch, RESOURCES)
+    stacked = schedule_group(plan, [scenario_column(batch)])
+    with pytest.raises(ConfigurationError, match="rows"):
+        stacked.schedule_for(0)
+    stacked.rows = batch.rows
+    assert stacked.schedule_for(0).makespan > 0
+
+
+def test_scenario_column_detaches_the_float_inputs():
+    batch = OpBatch()
+    first = batch.add_op("a", OpKind.GPU_COMPUTE, "gpu", 1.5, ())
+    batch.add_op("b", OpKind.CPU_UPDATE, "cpu", 2.5, (first,), not_before=0.75)
+    column = scenario_column(batch)
+    assert isinstance(column, ScenarioColumn)
+    assert column.durations.tolist() == [1.5, 2.5]
+    assert column.release_times == {first + 1: 0.75}
+    assert column.first_id == first
+
+
+# ------------------------------------------------------------ sweep equality
+
+
+def _grid(axis_values) -> SweepSpec:
+    return SweepSpec.build({"cpu_cores_per_gpu": list(axis_values)}, TRAIN_BASE)
+
+
+def test_batch_sweep_is_byte_identical_to_scenario_sweep():
+    spec = _grid(range(2, 8))
+    scenario = SweepRunner(run_training, use_cache=False, sweep_mode="scenario").run(spec)
+    batch = SweepRunner(run_training, use_cache=False, sweep_mode="batch").run(spec)
+    assert _projection(batch) == _projection(scenario)
+
+
+def test_mixed_strategy_grid_splits_into_groups_and_stays_identical():
+    # fig16-style: two strategies = two DAG shapes in one grid, plus an OOM-free
+    # knob axis; every scenario must still match its per-scenario twin.
+    spec = SweepSpec.build(
+        {
+            "strategy": ["deep-optimizer-states", "zero3-offload"],
+            "cpu_cores_per_gpu": [4, 8],
+        },
+        {"model": "7B", "iterations": 2},
+    )
+    scenario = SweepRunner(run_training, use_cache=False, sweep_mode="scenario").run(spec)
+    batch = SweepRunner(run_training, use_cache=False, sweep_mode="batch").run(spec)
+    assert _projection(batch) == _projection(scenario)
+
+
+def test_pool_batch_sweep_matches_serial(tmp_path):
+    spec = _grid(range(2, 6))
+    serial = SweepRunner(run_training, use_cache=False, sweep_mode="batch").run(spec)
+    pool = SweepRunner(
+        run_training, jobs=2, use_cache=False, sweep_mode="batch"
+    ).run(spec)
+    assert _projection(pool) == _projection(serial)
+
+
+def test_batch_cache_entries_serve_scenario_runs(tmp_path):
+    spec = _grid(range(2, 6))
+    first = SweepRunner(
+        run_training, use_cache=True, cache_dir=tmp_path, sweep_mode="batch"
+    ).run(spec)
+    total = len(list(spec.scenarios()))
+    assert first.cache_misses == total
+    second = SweepRunner(
+        run_training, use_cache=True, cache_dir=tmp_path, sweep_mode="scenario"
+    ).run(spec)
+    assert second.cache_hits == total
+    assert second.cache_misses == 0
+    assert _projection(second) == _projection(first)
+
+
+def test_auto_mode_batches_training_and_leaves_plain_workers_alone():
+    assert is_batchable(run_training)
+    assert not is_batchable(plain_worker)
+    runner = SweepRunner(run_training, use_cache=False)
+    assert runner.sweep_mode == "auto"
+    assert runner._effective_sweep_mode() == "batch"
+    plain = SweepRunner(plain_worker, use_cache=False)
+    assert plain._effective_sweep_mode() == "scenario"
+    result = plain.run(SweepSpec.build({"x": [1, 2, 3]}, None))
+    assert [record.value for record in result.records] == [2, 4, 6]
+
+
+def test_explicit_batch_mode_without_adapter_raises():
+    runner = SweepRunner(plain_worker, use_cache=False, sweep_mode="batch")
+    with pytest.raises(ConfigurationError, match="no batching adapter"):
+        runner.run(SweepSpec.build({"x": [1]}, None))
+
+
+def test_sweep_mode_is_validated():
+    with pytest.raises(ConfigurationError, match="unknown sweep mode"):
+        ExecutionPolicy.resolve(sweep_mode="bogus")
+    assert ExecutionPolicy.resolve(sweep_mode="batch").sweep_mode == "batch"
+
+
+def test_sweep_mode_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_MODE", "scenario")
+    runner = SweepRunner(run_training, use_cache=False)
+    assert runner.sweep_mode == "scenario"
+    assert runner._effective_sweep_mode() == "scenario"
+
+
+def test_group_trampoline_falls_back_without_an_adapter():
+    values = run_scenario_group(
+        worker=f"{plain_worker.__module__}:{plain_worker.__qualname__}",
+        scenarios=[{"x": 5}, {"x": 7}],
+    )
+    assert values == [10, 14]
+
+
+def test_batch_mode_emits_one_progress_event_per_scenario():
+    events = []
+    spec = _grid(range(2, 6))
+    SweepRunner(
+        run_training, use_cache=False, sweep_mode="batch", progress=events.append
+    ).run(spec)
+    assert [event["completed"] for event in events] == [1, 2, 3, 4]
+    assert all(event["total"] == 4 for event in events)
+    assert all(not event["cached"] for event in events)
+    assert all(event["wall_time"] >= 0.0 for event in events)
