@@ -52,15 +52,26 @@ modes, and reports sweep throughput in scenarios/sec.  It asserts the
 acceptance criterion: >= 3x sweep throughput on the shared-shape grid, and
 writes the measurements to ``BENCH_sweep_throughput.json``.
 
+**Part 5 — middleware overhead.**  The middleware layer
+(:mod:`repro.middleware`) intercepts the engine's run methods once per
+invocation — coarse-grained on purpose, so the chain costs one extra Python
+call per *run*, not per op.  The fifth section schedules the 100k-subgroup
+prebuilt batch through ``run_vector`` bare and under an installed no-op chain,
+asserts identical makespans, and gates the chained/bare ratio: an empty
+(observe-only no-op) chain must add **< 2%** to the 100k-op vector path
+(``BENCH_MAX_MIDDLEWARE_OVERHEAD``), with the measurements written to
+``BENCH_middleware_overhead.json``.
+
 Run directly (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_sim_engine_scaling.py
 
-The script asserts all four acceptance criteria: >= 5x pipeline throughput at
+The script asserts all five acceptance criteria: >= 5x pipeline throughput at
 1000+ operations (Part 1), >= 2x ``simulate_job`` throughput at 10k subgroups
 (Part 2), >= 3x ``run_batch`` scheduling throughput at 100k subgroups
-(Part 3), and >= 3x sweep throughput on a 256-scenario shared-shape grid
-(Part 4).  CI shrinks Part 4 via ``BENCH_SWEEP_SCENARIOS`` and relaxes its
+(Part 3), >= 3x sweep throughput on a 256-scenario shared-shape grid
+(Part 4), and <= 2% no-op middleware overhead on the 100k-op vector path
+(Part 5).  CI shrinks Part 4 via ``BENCH_SWEEP_SCENARIOS`` and relaxes its
 gate via ``BENCH_MIN_SWEEP_SPEEDUP`` (small grids amortise the compiled plan
 over fewer scenarios).
 """
@@ -123,6 +134,14 @@ SWEEP_BASE = {
     "subgroup_size": 70_000_000,
 }
 SWEEP_RESULT_FILE = "BENCH_sweep_throughput.json"
+
+# Part 5: no-op middleware chain overhead on the vector path.  The 100k-op
+# single-iteration DAG is the gate case; the bar is a *ratio* (2% by default),
+# overridable for noisy shared runners like every other gate here.
+MAX_MIDDLEWARE_OVERHEAD = float(os.environ.get("BENCH_MAX_MIDDLEWARE_OVERHEAD", "0.02"))
+MIDDLEWARE_REPEATS = int(os.environ.get("BENCH_MIDDLEWARE_REPEATS", "5"))
+MIDDLEWARE_CASE = (100_000, 1)
+MIDDLEWARE_RESULT_FILE = "BENCH_middleware_overhead.json"
 
 
 # --------------------------------------------------------------------- seed port
@@ -477,6 +496,67 @@ def bench_sweep_throughput() -> None:
           f"{SWEEP_RESULT_FILE})")
 
 
+# -------------------------------------------------------- middleware overhead
+
+
+def bench_middleware_overhead() -> None:
+    """Part 5: an installed no-op chain must not tax the 100k-op vector path."""
+    import json
+
+    from repro.middleware import Middleware, MiddlewareChain
+
+    subgroups, iterations = MIDDLEWARE_CASE
+    batch = _build_job_batch(subgroups, iterations)
+    num_ops = len(batch)
+
+    bare_engine = SimEngine(name="bare")
+    standard_resources(bare_engine)
+    chained_engine = SimEngine(name="chained")
+    standard_resources(chained_engine)
+    chained_engine.install_middleware(MiddlewareChain((Middleware(),)))
+
+    # Interleave the two measurements so a mid-run machine hiccup cannot land
+    # entirely on one side; best-of-N on each absorbs the rest of the noise.
+    bare_s = chained_s = float("inf")
+    bare_makespan = chained_makespan = 0.0
+    for _ in range(MIDDLEWARE_REPEATS):
+        sample, bare_makespan = _time_scheduler(bare_engine, batch, "run_vector",
+                                                repeats=1)
+        bare_s = min(bare_s, sample)
+        sample, chained_makespan = _time_scheduler(chained_engine, batch,
+                                                   "run_vector", repeats=1)
+        chained_s = min(chained_s, sample)
+    assert chained_makespan == bare_makespan, (
+        f"no-op chain changed the schedule ({chained_makespan} != {bare_makespan})"
+    )
+    overhead = chained_s / bare_s - 1.0 if bare_s > 0 else 0.0
+
+    print(f"\n{'path':>8}  {'ops':>8}  {'time':>10}  {'ops/s':>12}")
+    for label, seconds in (("bare", bare_s), ("chained", chained_s)):
+        print(f"{label:>8}  {num_ops:>8}  {seconds * 1e3:>8.2f}ms  "
+              f"{num_ops / seconds:>12.0f}")
+
+    payload = {
+        "case": {"subgroups": subgroups, "iterations": iterations, "ops": num_ops},
+        "repeats": MIDDLEWARE_REPEATS,
+        "seconds": {"bare": bare_s, "chained": chained_s},
+        "overhead": overhead,
+        "max_overhead_gate": MAX_MIDDLEWARE_OVERHEAD,
+        "makespans_identical": True,
+    }
+    with open(MIDDLEWARE_RESULT_FILE, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert overhead <= MAX_MIDDLEWARE_OVERHEAD, (
+        f"expected <= {MAX_MIDDLEWARE_OVERHEAD:.0%} no-op middleware overhead on "
+        f"the {num_ops}-op vector path, got {overhead:.2%}"
+    )
+    print(f"\nOK: no-op middleware chain adds {overhead:+.2%} on the {num_ops}-op "
+          f"vector path (gate <= {MAX_MIDDLEWARE_OVERHEAD:.0%}; results in "
+          f"{MIDDLEWARE_RESULT_FILE})")
+
+
 def main() -> int:
     resources = ("gpu.compute", "pcie.h2d", "pcie.d2h", "cpu", "nvlink")
     print(f"{'subgroups':>9}  {'ops':>6}  {'seed ops/s':>12}  {'heap ops/s':>12}  {'speedup':>8}")
@@ -501,6 +581,7 @@ def main() -> int:
     bench_simulate_job_backends()
     bench_scheduler_kernels()
     bench_sweep_throughput()
+    bench_middleware_overhead()
     return 0
 
 

@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro list-presets
     python -m repro config
     python -m repro --scheduler vector config --json
+    python -m repro --middleware timing,logging config --json
     python -m repro compare --model 20B --strategies zero3-offload deep-optimizer-states
     python -m repro experiment fig7
     python -m repro experiment fig2 --models 7B,20B --set iterations=2
@@ -20,8 +21,10 @@ Usage (after ``pip install -e .``)::
 
 The CLI is a thin wrapper over the public API so that the headline results can be
 regenerated without writing any Python.  Execution policy is handled globally:
-``--scheduler`` / ``--op-backend`` before the subcommand apply to *every*
-command by entering a ``repro.configure`` context around dispatch (subcommand
+``--scheduler`` / ``--op-backend`` / ``--middleware`` before the subcommand
+apply to *every* command by entering a ``repro.configure`` context around
+dispatch — the resolved middleware chain also wraps the subcommand itself at
+the CLI seam (:mod:`repro.middleware`) — (subcommand
 flags such as ``sweep --scheduler`` stay available and win, being explicit
 arguments), and ``repro config`` prints the fully resolved
 :class:`~repro.runtime.ExecutionPolicy` with each field's source.  ``sweep``
@@ -54,12 +57,14 @@ from repro.experiments import EXPERIMENT_MODULES
 from repro.experiments.base import run_experiment, run_training, training_sweep
 from repro.hardware.presets import get_machine_preset, list_machine_presets
 from repro.hardware.throughput import ThroughputProfile
+from repro.middleware import SEAM_CLI, MiddlewareContext, build_chain, middleware_metrics
 from repro.model.presets import list_model_presets
 from repro.runtime import (
     EXECUTOR_CHOICES,
     OP_BACKENDS,
     SCHEDULER_CHOICES,
     SWEEP_MODE_CHOICES,
+    ExecutionPolicy,
     configure,
     resolution_report,
 )
@@ -135,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=OP_BACKENDS, default=None,
                         help="op-construction backend for every command "
                              "(byte-identical schedules; 'batch' is the fast default)")
+    parser.add_argument("--middleware", dest="global_middleware", default=None,
+                        metavar="SPEC[,SPEC...]",
+                        help="middleware chain for every command, e.g. "
+                             "timing,logging or retry:attempts=3:backoff=0.1 "
+                             "(overrides $REPRO_MIDDLEWARE; see docs/middleware.md)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list-presets", help="list model, machine and strategy presets")
@@ -198,7 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "for this long has its task re-queued elsewhere")
     sweep.add_argument("--max-retries", type=int, default=None, metavar="N",
                        help="cluster executor: re-dispatch attempts per task after "
-                            "worker failures before the sweep errors out")
+                            "worker failures before the sweep errors out "
+                            "(deprecated: declare --middleware retry:attempts=N "
+                            "instead; an explicit flag still wins)")
     sweep.add_argument("--sweep-mode", choices=SWEEP_MODE_CHOICES, default=None,
                        help="scenario execution shape: 'scenario' runs one task per "
                             "grid point, 'batch' groups same-shape scenarios and "
@@ -266,11 +278,19 @@ def _cmd_config(args: argparse.Namespace) -> int:
     the tool for diagnosing exactly that — and the exit code turns non-zero.
     """
     described = resolution_report(
-        scheduler=args.global_scheduler, op_backend=args.global_op_backend
+        scheduler=args.global_scheduler, op_backend=args.global_op_backend,
+        middleware=args.global_middleware,
     )
     errors = sum(1 for item in described.values() if "error" in item)
+    # TimingMiddleware feeds a process-wide per-seam registry; surface it here.
+    # A timing chain on this very invocation is already visible: counts are
+    # incremented at seam entry, so the in-flight cli interception shows up.
+    metrics = middleware_metrics()
     if args.as_json:
-        print(json.dumps(described, indent=2))
+        payload: dict = dict(described)
+        if metrics:
+            payload["middleware_metrics"] = metrics
+        print(json.dumps(payload, indent=2))
         return 1 if errors else 0
     rendered = {
         name: str(item["value"]) if "value" in item else f"<error: {item['error']}>"
@@ -281,6 +301,11 @@ def _cmd_config(args: argparse.Namespace) -> int:
     print(f"{'field':<{width}}  {'value':<{value_width}}  source")
     for name, item in described.items():
         print(f"{name:<{width}}  {rendered[name]:<{value_width}}  {item['source']}")
+    if metrics:
+        print("\nmiddleware metrics (this process):")
+        for seam, entry in sorted(metrics.items()):
+            print(f"  {seam}: count={int(entry['count'])} errors={int(entry['errors'])} "
+                  f"total={entry['total_s']:.6f}s last={entry['last_s']:.6f}s")
     return 1 if errors else 0
 
 
@@ -545,11 +570,56 @@ def _cmd_stride(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_command(args: argparse.Namespace) -> int:
+    """Route one parsed invocation to its subcommand handler."""
+    if args.command == "list-presets":
+        return _cmd_list_presets()
+    if args.command == "config":
+        return _cmd_config(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "stride":
+        return _cmd_stride(args)
+    return 1  # pragma: no cover - argparse enforces the choices above
+
+
+def _dispatch_command(args: argparse.Namespace) -> int:
+    """Run the subcommand through the CLI-seam middleware chain.
+
+    Only the ``middleware`` field resolves here (``env_fields``), so an
+    unrelated broken ``REPRO_*`` variable cannot stop command dispatch.  A
+    broken ``$REPRO_MIDDLEWARE`` itself degrades to no chain instead of
+    raising: ``repro config`` must stay usable as the tool that diagnoses it
+    (its middleware row reports the error and the exit code turns non-zero).
+    """
+    try:
+        policy = ExecutionPolicy.resolve(env_fields=("middleware",))
+        chain = build_chain(policy.middleware)
+    except ConfigurationError:
+        return _run_command(args)
+    if chain is None:
+        return _run_command(args)
+    context = MiddlewareContext(
+        seam=SEAM_CLI,
+        name=args.command,
+        policy=policy,
+        payload={"command": args.command},
+    )
+    return chain.run(context, lambda: _run_command(args))
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     overrides = {
         "scheduler": args.global_scheduler, "op_backend": args.global_op_backend,
+        "middleware": args.global_middleware,
     }
     context = (
         configure(**overrides)
@@ -557,21 +627,7 @@ def main(argv: list[str] | None = None) -> int:
         else nullcontext()
     )
     with context:
-        if args.command == "list-presets":
-            return _cmd_list_presets()
-        if args.command == "config":
-            return _cmd_config(args)
-        if args.command == "compare":
-            return _cmd_compare(args)
-        if args.command == "experiment":
-            return _cmd_experiment(args)
-        if args.command == "sweep":
-            return _cmd_sweep(args)
-        if args.command == "worker":
-            return _cmd_worker(args)
-        if args.command == "stride":
-            return _cmd_stride(args)
-    return 1  # pragma: no cover - argparse enforces the choices above
+        return _dispatch_command(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError, ReproError
+from repro.middleware import SEAM_DISPATCH, MiddlewareContext, build_chain
 
 # The backend names are declared in repro.runtime.policy (the policy layer
 # validates the `executor` field, and importing them from here would cycle
@@ -132,6 +133,38 @@ class Executor(ABC):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def run_task_with_middleware(
+    worker: Callable[..., Any],
+    params: Mapping[str, Any],
+    policy,
+    *,
+    index: int,
+    attempts: int = 1,
+    worker_id: str = "",
+) -> Any:
+    """Invoke ``worker(**params)`` through the policy's dispatch-seam chain.
+
+    The one dispatch-seam entry point every backend shares on its *executing*
+    side — the serial loop, the pool-process trampoline, and the cluster
+    worker daemon all land here, so a chain declared on the policy runs
+    wherever the task does.  The payload carries the task's sweep ``index``,
+    its 1-based delivery ``attempts`` (above 1 on cluster re-dispatch) and
+    the executing ``worker_id`` — what :class:`~repro.middleware.FaultInjectionMiddleware`
+    keys its deterministic targeting on.  With an empty stack this is a plain
+    call: no context, no chain, no overhead.
+    """
+    chain = build_chain(getattr(policy, "middleware", ()) if policy is not None else ())
+    if chain is None:
+        return worker(**dict(params))
+    context = MiddlewareContext(
+        seam=SEAM_DISPATCH,
+        name=getattr(worker, "__qualname__", None) or repr(worker),
+        policy=policy,
+        payload={"index": index, "attempts": attempts, "worker_id": worker_id},
+    )
+    return chain.run(context, lambda: worker(**dict(params)))
 
 
 def worker_spec(worker: Callable[..., Any]) -> str:

@@ -37,6 +37,7 @@ import asyncio
 import queue
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
@@ -58,6 +59,7 @@ from repro.dispatch.framing import (
     read_frame,
     write_frame,
 )
+from repro.middleware.builtin import retry_attempts_from_specs
 
 #: Version stamped into the welcome message; workers refuse a mismatch.
 PROTOCOL_VERSION = 1
@@ -67,7 +69,10 @@ PROTOCOL_VERSION = 1
 #: loss, not task duration.
 DEFAULT_LEASE_TIMEOUT = 30.0
 
-#: Default bound on *re*-tries per task after its first lease.
+#: Default bound on *re*-tries per task after its first lease.  The operative
+#: bound now derives from the policy's ``retry:attempts=N`` middleware spec
+#: when one is declared (one knob for worker-side retry and coordinator
+#: re-queue); this constant is the fallback for chains without one.
 DEFAULT_MAX_RETRIES = 2
 
 #: How long the coordinator waits for the worker fleet (the initial
@@ -135,7 +140,7 @@ class ClusterExecutor(Executor):
         bind: str = "127.0.0.1:0",
         min_workers: int | None = None,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
-        max_retries: int = DEFAULT_MAX_RETRIES,
+        max_retries: int | None = None,
         worker_wait_timeout: float = DEFAULT_WORKER_WAIT,
         on_event: Callable[[dict], None] | None = None,
     ) -> None:
@@ -147,6 +152,22 @@ class ClusterExecutor(Executor):
             raise ConfigurationError("min_workers must be >= 1")
         if lease_timeout <= 0:
             raise ConfigurationError("lease_timeout must be positive")
+        if max_retries is None:
+            # One retry knob, declared as policy: a `retry:attempts=N` spec on
+            # the middleware stack bounds coordinator re-queues too (the
+            # worker-side RetryMiddleware covers application exceptions; this
+            # bound covers infrastructure failures).
+            max_retries = retry_attempts_from_specs(
+                getattr(policy, "middleware", ()), default=DEFAULT_MAX_RETRIES
+            )
+        else:
+            warnings.warn(
+                "ClusterExecutor(max_retries=...) is deprecated; declare the "
+                "bound on the policy's middleware stack instead "
+                "(middleware=('retry:attempts=N',))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
         self._lease_timeout = float(lease_timeout)
@@ -406,6 +427,7 @@ class ClusterExecutor(Executor):
                 "type": "task",
                 "task_id": task_id,
                 "index": task.index,
+                "attempts": round_.attempts[task_id],
                 "worker": self._spec,
                 "params": dict(task.params),
                 "policy": self.policy,

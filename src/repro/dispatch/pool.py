@@ -18,7 +18,13 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Iterator, Sequence
 
-from repro.dispatch.base import Executor, ExecutorCapabilities, Task, TaskOutcome
+from repro.dispatch.base import (
+    Executor,
+    ExecutorCapabilities,
+    Task,
+    TaskOutcome,
+    run_task_with_middleware,
+)
 from repro.runtime import policy_context
 
 
@@ -42,16 +48,23 @@ def _warm_worker() -> None:
         pass
 
 
-def _pool_call(worker: Callable[..., Any], params: dict, policy) -> tuple[Any, str, float]:
+def _pool_call(
+    worker: Callable[..., Any], params: dict, policy, index: int
+) -> tuple[Any, str, float]:
     """Module-level trampoline: run one task inside a pool process.
 
     Returns ``(value, worker_id, wall_time)`` so outcome provenance survives
-    the process boundary without a second round trip.
+    the process boundary without a second round trip.  The policy's
+    dispatch-seam middleware chain is rebuilt from its spec strings here, on
+    the executing side.
     """
     started = time.perf_counter()
+    worker_id = f"pool-{os.getpid()}"
     with policy_context(policy):
-        value = worker(**params)
-    return value, f"pool-{os.getpid()}", time.perf_counter() - started
+        value = run_task_with_middleware(
+            worker, params, policy, index=index, worker_id=worker_id,
+        )
+    return value, worker_id, time.perf_counter() - started
 
 
 class PoolExecutor(Executor):
@@ -72,7 +85,9 @@ class PoolExecutor(Executor):
         workers = max(1, min(self.policy.jobs, len(tasks)))
         with ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker) as pool:
             futures = {
-                pool.submit(_pool_call, self.worker, dict(task.params), self.policy): task
+                pool.submit(
+                    _pool_call, self.worker, dict(task.params), self.policy, task.index
+                ): task
                 for task in tasks
             }
             remaining = set(futures)

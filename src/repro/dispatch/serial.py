@@ -11,7 +11,13 @@ from __future__ import annotations
 import time
 from typing import Iterator, Sequence
 
-from repro.dispatch.base import Executor, ExecutorCapabilities, Task, TaskOutcome
+from repro.dispatch.base import (
+    Executor,
+    ExecutorCapabilities,
+    Task,
+    TaskOutcome,
+    run_task_with_middleware,
+)
 from repro.runtime import policy_context
 
 #: Worker id every serial outcome reports.
@@ -37,7 +43,10 @@ class SerialExecutor(Executor):
         for task in tasks:
             started = time.perf_counter()
             with policy_context(self.policy):
-                value = self.worker(**dict(task.params))
+                value = run_task_with_middleware(
+                    self.worker, task.params, self.policy,
+                    index=task.index, worker_id=LOCAL_WORKER_ID,
+                )
             yield TaskOutcome(
                 index=task.index,
                 value=value,

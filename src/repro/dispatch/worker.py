@@ -29,7 +29,11 @@ import traceback
 from typing import Any, Callable
 
 from repro.common.errors import ConfigurationError
-from repro.dispatch.base import DispatchError, resolve_worker_spec
+from repro.dispatch.base import (
+    DispatchError,
+    resolve_worker_spec,
+    run_task_with_middleware,
+)
 from repro.dispatch.cluster import PROTOCOL_VERSION, parse_bind
 from repro.dispatch.framing import (
     CODEC_PICKLE,
@@ -178,11 +182,21 @@ class WorkerClient:
             policy = message.get("policy")
             if policy is not None and not isinstance(policy, ExecutionPolicy):
                 raise ConfigurationError("task carried a non-ExecutionPolicy policy")
+            params = message.get("params", {})
+            # The dispatch seam runs here, on the executing side: the chain is
+            # rebuilt from the shipped policy's spec strings, and the payload
+            # carries the coordinator's delivery-attempt count so fault and
+            # retry middleware see re-dispatches for what they are.
             if policy is None:
-                value = fn(**message.get("params", {}))
+                value = fn(**params)
             else:
                 with policy_context(policy):
-                    value = fn(**message.get("params", {}))
+                    value = run_task_with_middleware(
+                        fn, params, policy,
+                        index=message.get("index", -1),
+                        attempts=int(message.get("attempts", 1)),
+                        worker_id=self.worker_id,
+                    )
         except Exception as exc:
             stop.set()
             try:

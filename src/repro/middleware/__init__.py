@@ -1,0 +1,62 @@
+"""Composable interception around the stack's three hot seams.
+
+The mechanism/policy split the source paper argues for: this package is the
+*mechanism* — :class:`MiddlewareContext`, :class:`Middleware`,
+:class:`MiddlewareChain`, and the built-in concerns (timing, logging, retry,
+fault injection) — while *which* middleware run where is policy, declared as
+spec strings on ``ExecutionPolicy.middleware`` and resolved like every other
+runtime knob (arg > context > ``$REPRO_MIDDLEWARE`` > default-empty).
+
+See ``docs/middleware.md`` for seams, ordering semantics, the spec grammar,
+and worker-pickling caveats.
+"""
+
+from repro.middleware.base import (
+    SEAM_CLI,
+    SEAM_DISPATCH,
+    SEAM_ENGINE,
+    SEAMS,
+    Middleware,
+    MiddlewareChain,
+    MiddlewareContext,
+    middleware_metrics,
+    reset_middleware_metrics,
+)
+from repro.middleware.builtin import (
+    DEFAULT_RETRY_ATTEMPTS,
+    MIDDLEWARE_FACTORIES,
+    FaultInjectionMiddleware,
+    InjectedFault,
+    LoggingMiddleware,
+    RetryMiddleware,
+    TimingMiddleware,
+    build_chain,
+    build_middleware,
+    normalize_middleware_specs,
+    parse_middleware_spec,
+    retry_attempts_from_specs,
+)
+
+__all__ = [
+    "SEAM_CLI",
+    "SEAM_DISPATCH",
+    "SEAM_ENGINE",
+    "SEAMS",
+    "DEFAULT_RETRY_ATTEMPTS",
+    "MIDDLEWARE_FACTORIES",
+    "FaultInjectionMiddleware",
+    "InjectedFault",
+    "LoggingMiddleware",
+    "Middleware",
+    "MiddlewareChain",
+    "MiddlewareContext",
+    "RetryMiddleware",
+    "TimingMiddleware",
+    "build_chain",
+    "build_middleware",
+    "middleware_metrics",
+    "normalize_middleware_specs",
+    "parse_middleware_spec",
+    "reset_middleware_metrics",
+    "retry_attempts_from_specs",
+]

@@ -1,0 +1,199 @@
+"""The middleware mechanism: contexts, the hook chain, and seam metrics.
+
+The source paper's central idea is middleware-mediated interception:
+cross-cutting concerns live in a composable chain *around* the mechanism
+instead of inside it.  This module supplies that mechanism for the repro
+stack.  A :class:`Middleware` sees every call that crosses one of three hot
+seams as a :class:`MiddlewareContext` plus a ``call_next`` continuation:
+
+``engine``
+    op admission in :class:`repro.sim.engine.SimEngine` — one interception
+    per ``run()``/``run_batch()``/``run_vector()`` invocation (coarse-grained
+    on purpose: wrapping the per-op inner loop would tax the 100k-op vector
+    path the whole engine rewrite was about).
+``dispatch``
+    scenario execution in :mod:`repro.dispatch` — wrapped on the *executing*
+    side (serial in-process, pool child, cluster worker daemon), so the same
+    chain runs wherever the task actually lands.
+``cli``
+    command dispatch in ``repro <command>``.
+
+Which middleware run is policy, not mechanism: the chain is described by
+spec strings on ``ExecutionPolicy.middleware`` (resolved arg > ``configure``
+context > ``$REPRO_MIDDLEWARE`` > default-empty) and instantiated where it
+executes.  Spec strings — not instances — cross process boundaries, which is
+what makes the chain trivially picklable to pool and cluster workers.
+
+Ordering semantics are the conventional onion: the first middleware in the
+chain is outermost — it sees the context first on the way in and the result
+last on the way out.  A middleware that returns without invoking
+``call_next`` short-circuits everything deeper, including the wrapped
+operation itself; an exception raised by the operation propagates outward
+through every middleware unless one of them handles it.
+
+This module depends only on the stdlib and ``repro.common.errors`` so every
+other layer (policy, engine, dispatch, CLI) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.common.errors import ConfigurationError
+
+#: The three interception seams.  Seam names appear in ``MiddlewareContext.seam``
+#: and key the process-wide timing metrics.
+SEAM_ENGINE = "engine"
+SEAM_DISPATCH = "dispatch"
+SEAM_CLI = "cli"
+SEAMS = (SEAM_ENGINE, SEAM_DISPATCH, SEAM_CLI)
+
+
+@dataclass(frozen=True)
+class MiddlewareContext:
+    """What one intercepted call looks like to the chain.
+
+    ``seam``
+        which seam fired (:data:`SEAM_ENGINE` / :data:`SEAM_DISPATCH` /
+        :data:`SEAM_CLI`).
+    ``name``
+        a human-readable label for the intercepted operation — the engine
+        name and run method, the dispatched worker spec, or the CLI command.
+    ``policy``
+        the resolved :class:`~repro.runtime.ExecutionPolicy` active at the
+        seam (``None`` only in unit tests that exercise the chain bare).
+    ``payload``
+        seam-specific metadata — e.g. ``{"index", "attempts", "worker_id"}``
+        at the dispatch seam, ``{"scheduler", "op_count"}`` at the engine
+        seam.  Read-only by convention: middleware observe it, they do not
+        steer the mechanism through it.
+    ``started``
+        ``time.perf_counter()`` at context creation — a monotonic timestamp
+        middleware can diff against for latency without re-reading the clock.
+    """
+
+    seam: str
+    name: str
+    policy: Any = None
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    started: float = field(default_factory=time.perf_counter)
+
+
+class Middleware:
+    """Base middleware: an observe-only pass-through.
+
+    Subclasses override :meth:`handle`; the base implementation forwards to
+    ``call_next`` untouched, so it doubles as the ``noop`` spec used by the
+    overhead benchmark and the differential identity tests.
+    """
+
+    def handle(
+        self, context: MiddlewareContext, call_next: Callable[[MiddlewareContext], Any]
+    ) -> Any:
+        """Intercept one call; return its (possibly substituted) result.
+
+        ``call_next(context)`` invokes the rest of the chain and, at the
+        innermost position, the wrapped operation itself.  Not calling it
+        short-circuits; calling it more than once re-executes the remainder
+        of the chain (how :class:`~repro.middleware.builtin.RetryMiddleware`
+        retries).
+        """
+        return call_next(context)
+
+
+class MiddlewareChain:
+    """An ordered stack of middleware composed into one continuation.
+
+    The chain is immutable; :meth:`run` threads a context through every
+    middleware (first entry outermost) down to the wrapped zero-argument
+    callable.  An empty chain is falsy, so seams can skip interception with
+    a single truthiness check — the no-middleware fast path costs nothing.
+    """
+
+    __slots__ = ("middlewares",)
+
+    def __init__(self, middlewares: tuple[Middleware, ...] = ()) -> None:
+        for candidate in middlewares:
+            if not callable(getattr(candidate, "handle", None)):
+                raise ConfigurationError(
+                    f"middleware {candidate!r} does not provide a handle() method"
+                )
+        object.__setattr__(self, "middlewares", tuple(middlewares))
+
+    def __bool__(self) -> bool:
+        return bool(self.middlewares)
+
+    def __len__(self) -> int:
+        return len(self.middlewares)
+
+    def run(self, context: MiddlewareContext, call: Callable[[], Any]) -> Any:
+        """Run ``call`` through the chain under ``context``."""
+        middlewares = self.middlewares
+
+        def continuation(position: int) -> Callable[[MiddlewareContext], Any]:
+            if position >= len(middlewares):
+                return lambda _context: call()
+            nxt = continuation(position + 1)
+            return lambda ctx: middlewares[position].handle(ctx, nxt)
+
+        return continuation(0)(context)
+
+
+# --------------------------------------------------------------------- metrics
+
+# Process-wide per-seam timing registry, fed by TimingMiddleware and surfaced
+# through ``repro config --json``.  A plain dict keyed by seam: entries are
+# only ever mutated under the GIL by whichever thread runs the seam, and the
+# consumers (CLI diagnostics, tests) read snapshots.
+_SEAM_METRICS: dict[str, dict[str, float]] = {}
+
+
+def _metrics_entry(seam: str) -> dict[str, float]:
+    entry = _SEAM_METRICS.get(seam)
+    if entry is None:
+        entry = {
+            "count": 0,
+            "errors": 0,
+            "total_s": 0.0,
+            "min_s": float("inf"),
+            "max_s": 0.0,
+            "last_s": 0.0,
+        }
+        _SEAM_METRICS[seam] = entry
+    return entry
+
+
+def record_seam_timing(metrics: dict[str, float], elapsed: float, *, error: bool) -> None:
+    """Fold one completed interception into a metrics entry (in place)."""
+    if error:
+        metrics["errors"] += 1
+    metrics["total_s"] += elapsed
+    metrics["min_s"] = min(metrics["min_s"], elapsed)
+    metrics["max_s"] = max(metrics["max_s"], elapsed)
+    metrics["last_s"] = elapsed
+
+
+def middleware_metrics() -> dict[str, dict[str, float]]:
+    """A snapshot of the process-wide per-seam timing metrics.
+
+    Empty until a :class:`~repro.middleware.builtin.TimingMiddleware` has
+    intercepted at least one call.  ``count`` is incremented at seam *entry*
+    and the duration fields at exit, so an in-flight interception (the CLI
+    seam while ``repro config`` itself runs) is already visible in ``count``.
+    The snapshot is JSON-ready: a seam with no *completed* interception yet
+    reports ``min_s`` as ``0.0``, not the internal ``inf`` sentinel.
+    """
+    snapshot = {}
+    for seam, entry in _SEAM_METRICS.items():
+        entry = dict(entry)
+        if entry["min_s"] == float("inf"):
+            entry["min_s"] = 0.0
+        snapshot[seam] = entry
+    return snapshot
+
+
+def reset_middleware_metrics() -> None:
+    """Clear the process-wide timing metrics (test isolation hook)."""
+    _SEAM_METRICS.clear()

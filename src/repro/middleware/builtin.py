@@ -1,0 +1,447 @@
+"""The built-in middleware and the spec grammar that names them.
+
+A chain is configured as a sequence of **spec strings**, each
+``name[:key=value[:key=value...]]`` — colons separate arguments so commas
+stay free to separate specs in ``$REPRO_MIDDLEWARE`` and ``--middleware``::
+
+    REPRO_MIDDLEWARE="timing,logging"
+    repro --middleware retry:attempts=3:backoff=0.1 sweep ...
+    middleware=("fault:mode=crash:index=1", "retry:attempts=1")
+
+Specs — not instances — live on ``ExecutionPolicy.middleware`` and travel
+to pool and cluster workers inside the pickled policy; :func:`build_chain`
+instantiates them on the executing side.  Chains are cached per spec tuple,
+so every dispatch at a seam reuses one chain (and one set of
+:class:`TimingMiddleware` counters) per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import time
+from functools import lru_cache
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.common.errors import ConfigurationError
+from repro.middleware.base import (
+    Middleware,
+    MiddlewareChain,
+    MiddlewareContext,
+    SEAM_DISPATCH,
+    _metrics_entry,
+    record_seam_timing,
+)
+
+log = logging.getLogger("repro.middleware")
+
+#: Default retry bound of the ``retry`` spec: re-attempts after the first
+#: try, matching the cluster coordinator's historical ``max_retries`` knob
+#: (which now derives from this spec — see ``repro.dispatch.cluster``).
+DEFAULT_RETRY_ATTEMPTS = 2
+
+
+class InjectedFault(RuntimeError):
+    """The deterministic failure raised by ``FaultInjectionMiddleware`` in raise mode."""
+
+
+# ------------------------------------------------------------------ middlewares
+
+
+class TimingMiddleware(Middleware):
+    """Per-seam latency/counter metrics.
+
+    Counts are incremented at seam entry and durations folded in at exit,
+    into both this instance's ``metrics`` and the process-wide registry
+    behind :func:`repro.middleware.middleware_metrics` (what
+    ``repro config --json`` surfaces).  Observe-only: results and exceptions
+    pass through untouched.
+    """
+
+    def __init__(self) -> None:
+        self.metrics: dict[str, dict[str, float]] = {}
+
+    def _entry(self, seam: str) -> dict[str, float]:
+        entry = self.metrics.get(seam)
+        if entry is None:
+            entry = {
+                "count": 0,
+                "errors": 0,
+                "total_s": 0.0,
+                "min_s": float("inf"),
+                "max_s": 0.0,
+                "last_s": 0.0,
+            }
+            self.metrics[seam] = entry
+        return entry
+
+    def handle(
+        self, context: MiddlewareContext, call_next: Callable[[MiddlewareContext], Any]
+    ) -> Any:
+        mine = self._entry(context.seam)
+        shared = _metrics_entry(context.seam)
+        mine["count"] += 1
+        shared["count"] += 1
+        started = time.perf_counter()
+        error = False
+        try:
+            return call_next(context)
+        except BaseException:
+            error = True
+            raise
+        finally:
+            elapsed = time.perf_counter() - started
+            record_seam_timing(mine, elapsed, error=error)
+            record_seam_timing(shared, elapsed, error=error)
+
+    @classmethod
+    def from_spec(cls, args: Mapping[str, str]) -> "TimingMiddleware":
+        _reject_unknown_args("timing", args, ())
+        return cls()
+
+
+class LoggingMiddleware(Middleware):
+    """Logs seam entry, exit (with latency) and errors to ``repro.middleware``.
+
+    Observe-only; quiet by default because the logger propagates to the root
+    handler at WARNING.  ``logging:level=debug`` (or ``info``) picks the
+    record level.
+    """
+
+    _LEVELS = {"debug": logging.DEBUG, "info": logging.INFO, "warning": logging.WARNING}
+
+    def __init__(self, level: str = "debug") -> None:
+        if level not in self._LEVELS:
+            raise ConfigurationError(
+                f"unknown logging middleware level {level!r}; expected one of "
+                f"{', '.join(sorted(self._LEVELS))}"
+            )
+        self.level = level
+
+    def handle(
+        self, context: MiddlewareContext, call_next: Callable[[MiddlewareContext], Any]
+    ) -> Any:
+        level = self._LEVELS[self.level]
+        log.log(level, "-> %s %s", context.seam, context.name)
+        try:
+            result = call_next(context)
+        except BaseException as exc:
+            log.log(level, "!! %s %s: %r", context.seam, context.name, exc)
+            raise
+        log.log(
+            level,
+            "<- %s %s (%.6fs)",
+            context.seam,
+            context.name,
+            time.perf_counter() - context.started,
+        )
+        return result
+
+    @classmethod
+    def from_spec(cls, args: Mapping[str, str]) -> "LoggingMiddleware":
+        _reject_unknown_args("logging", args, ("level",))
+        return cls(level=args.get("level", "debug"))
+
+
+class RetryMiddleware(Middleware):
+    """Bounded retry with exponential backoff at the dispatch seam.
+
+    ``retry:attempts=N`` allows N re-invocations after the first failure
+    (N+1 tries total); ``backoff=S`` sleeps ``S * 2**k`` seconds before retry
+    ``k`` (default 0: no sleep, deterministic tests).  Retries application
+    exceptions on the executing side; infrastructure failures (a worker
+    process dying mid-task) are the cluster coordinator's re-queue bound,
+    which now *derives* from this spec — one knob for both layers.
+
+    Active only at the dispatch seam: re-running an engine pass or a CLI
+    command on error would repeat side effects, not mask transients.
+    """
+
+    def __init__(self, attempts: int = DEFAULT_RETRY_ATTEMPTS, backoff: float = 0.0) -> None:
+        if attempts < 0:
+            raise ConfigurationError("retry middleware attempts must be >= 0")
+        if backoff < 0:
+            raise ConfigurationError("retry middleware backoff must be >= 0")
+        self.attempts = attempts
+        self.backoff = backoff
+
+    def handle(
+        self, context: MiddlewareContext, call_next: Callable[[MiddlewareContext], Any]
+    ) -> Any:
+        if context.seam != SEAM_DISPATCH:
+            return call_next(context)
+        failures = 0
+        while True:
+            try:
+                return call_next(context)
+            except Exception:
+                failures += 1
+                if failures > self.attempts:
+                    raise
+                if self.backoff:
+                    time.sleep(self.backoff * 2 ** (failures - 1))
+
+    @classmethod
+    def from_spec(cls, args: Mapping[str, str]) -> "RetryMiddleware":
+        _reject_unknown_args("retry", args, ("attempts", "backoff"))
+        return cls(
+            attempts=_spec_int("retry", "attempts", args.get("attempts"), DEFAULT_RETRY_ATTEMPTS),
+            backoff=_spec_float("retry", "backoff", args.get("backoff"), 0.0),
+        )
+
+
+class FaultInjectionMiddleware(Middleware):
+    """Deterministic, seed-driven fault injection at the dispatch seam.
+
+    The first-class replacement for the env-armed fault hooks the cluster
+    tests used to plant in worker functions: the fault is policy, declared
+    in the spec string, and fires on the executing side wherever the task
+    lands — serial process, pool child, or cluster daemon.
+
+    Target selection (all deterministic):
+
+    ``index=I``
+        fire only on the task whose dispatch ``payload["index"]`` equals I.
+    ``ratio=R:seed=S``
+        fire on the fraction R of indices selected by hashing ``"S:index"``
+        — the same seed always picks the same tasks, independent of worker
+        assignment or timing.
+    neither
+        fire on every task.
+
+    ``times=K`` arms the fault for the first K delivery attempts of a
+    selected task (``payload["attempts"]``, 1-based), so a task crashed once
+    succeeds on re-dispatch; ``times=0`` means *every* attempt (retry
+    exhaustion).  Modes:
+
+    ``mode=raise``
+        raise :class:`InjectedFault` (an application error: no retry by the
+        coordinator, surfaces as ``DispatchTaskError``).
+    ``mode=crash``
+        sleep ``delay`` seconds (default 0.2 — long enough for the lease to
+        be observed mid-task), then ``os._exit(exit_code)`` (default 13),
+        killing the executing process without cleanup.
+    ``mode=hang``
+        sleep ``seconds`` (default 30.0) before proceeding — with
+        heartbeats disabled this wedges the task past its lease.
+    """
+
+    MODES = ("raise", "crash", "hang")
+
+    def __init__(
+        self,
+        mode: str = "raise",
+        index: int | None = None,
+        ratio: float | None = None,
+        seed: int = 0,
+        times: int = 1,
+        seconds: float = 30.0,
+        delay: float = 0.2,
+        exit_code: int = 13,
+    ) -> None:
+        if mode not in self.MODES:
+            raise ConfigurationError(
+                f"unknown fault middleware mode {mode!r}; expected one of "
+                f"{', '.join(self.MODES)}"
+            )
+        if ratio is not None and not 0.0 <= ratio <= 1.0:
+            raise ConfigurationError("fault middleware ratio must be in [0, 1]")
+        if times < 0:
+            raise ConfigurationError("fault middleware times must be >= 0")
+        self.mode = mode
+        self.index = index
+        self.ratio = ratio
+        self.seed = seed
+        self.times = times
+        self.seconds = seconds
+        self.delay = delay
+        self.exit_code = exit_code
+
+    def _selected(self, index: Any) -> bool:
+        if self.index is not None:
+            return index == self.index
+        if self.ratio is not None:
+            digest = hashlib.sha256(f"{self.seed}:{index}".encode()).digest()
+            return int.from_bytes(digest[:8], "big") / 2**64 < self.ratio
+        return True
+
+    def _armed(self, context: MiddlewareContext) -> bool:
+        if context.seam != SEAM_DISPATCH:
+            return False
+        if not self._selected(context.payload.get("index")):
+            return False
+        attempts = int(context.payload.get("attempts", 1))
+        return self.times == 0 or attempts <= self.times
+
+    def handle(
+        self, context: MiddlewareContext, call_next: Callable[[MiddlewareContext], Any]
+    ) -> Any:
+        if self._armed(context):
+            if self.mode == "raise":
+                raise InjectedFault(
+                    f"injected fault at dispatch seam "
+                    f"(index={context.payload.get('index')}, "
+                    f"attempts={context.payload.get('attempts', 1)})"
+                )
+            if self.mode == "crash":
+                time.sleep(self.delay)
+                os._exit(self.exit_code)
+            time.sleep(self.seconds)
+        return call_next(context)
+
+    @classmethod
+    def from_spec(cls, args: Mapping[str, str]) -> "FaultInjectionMiddleware":
+        _reject_unknown_args(
+            "fault",
+            args,
+            ("mode", "index", "ratio", "seed", "times", "seconds", "delay", "exit_code"),
+        )
+        index = args.get("index")
+        ratio = args.get("ratio")
+        return cls(
+            mode=args.get("mode", "raise"),
+            index=_spec_int("fault", "index", index, 0) if index is not None else None,
+            ratio=_spec_float("fault", "ratio", ratio, 0.0) if ratio is not None else None,
+            seed=_spec_int("fault", "seed", args.get("seed"), 0),
+            times=_spec_int("fault", "times", args.get("times"), 1),
+            seconds=_spec_float("fault", "seconds", args.get("seconds"), 30.0),
+            delay=_spec_float("fault", "delay", args.get("delay"), 0.2),
+            exit_code=_spec_int("fault", "exit_code", args.get("exit_code"), 13),
+        )
+
+
+# ------------------------------------------------------------------ spec layer
+
+
+def _reject_unknown_args(
+    name: str, args: Mapping[str, str], known: tuple[str, ...]
+) -> None:
+    unknown = set(args) - set(known)
+    if unknown:
+        expected = f"expected one of {', '.join(known)}" if known else "takes no arguments"
+        raise ConfigurationError(
+            f"unknown argument(s) {sorted(unknown)!r} for middleware {name!r}; {expected}"
+        )
+
+
+def _spec_int(name: str, key: str, text: str | None, default: int) -> int:
+    if text is None:
+        return default
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"middleware {name!r} argument {key}={text!r} must be an integer"
+        ) from None
+
+
+def _spec_float(name: str, key: str, text: str | None, default: float) -> float:
+    if text is None:
+        return default
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"middleware {name!r} argument {key}={text!r} must be a number"
+        ) from None
+
+
+#: Spec name -> factory.  ``noop`` is the bare observe-only base class, kept
+#: first-class for the overhead benchmark and the identity tests.
+MIDDLEWARE_FACTORIES: dict[str, Callable[[Mapping[str, str]], Middleware]] = {
+    "noop": lambda args: (_reject_unknown_args("noop", args, ()), Middleware())[1],
+    "timing": TimingMiddleware.from_spec,
+    "logging": LoggingMiddleware.from_spec,
+    "retry": RetryMiddleware.from_spec,
+    "fault": FaultInjectionMiddleware.from_spec,
+}
+
+
+def parse_middleware_spec(spec: str) -> tuple[str, dict[str, str]]:
+    """``"name:key=value:..."`` -> ``(name, {key: value})`` (no instantiation)."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise ConfigurationError(f"middleware spec must be a non-empty string, got {spec!r}")
+    head, *rest = [part.strip() for part in spec.strip().split(":")]
+    args: dict[str, str] = {}
+    for part in rest:
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or not key.strip():
+            raise ConfigurationError(
+                f"malformed middleware argument {part!r} in spec {spec!r}; expected key=value"
+            )
+        args[key.strip()] = value.strip()
+    return head, args
+
+
+def build_middleware(spec: str) -> Middleware:
+    """Instantiate one spec string (validating its name and arguments)."""
+    name, args = parse_middleware_spec(spec)
+    factory = MIDDLEWARE_FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown middleware {name!r}; expected one of "
+            f"{', '.join(sorted(MIDDLEWARE_FACTORIES))}"
+        )
+    return factory(args)
+
+
+def normalize_middleware_specs(value: Any) -> tuple[str, ...]:
+    """Canonicalize + validate a middleware stack description.
+
+    Accepts a comma-separated string (the ``$REPRO_MIDDLEWARE`` /
+    ``--middleware`` form) or a sequence of spec strings, and returns the
+    canonical tuple stored on ``ExecutionPolicy.middleware``.  Every spec is
+    instantiated once here so a typo fails at declaration time, not on the
+    first worker.
+    """
+    if isinstance(value, str):
+        value = tuple(part.strip() for part in value.split(",") if part.strip())
+    if not isinstance(value, (tuple, list)):
+        raise ConfigurationError(
+            "middleware must be a comma-separated spec string or a sequence "
+            f"of spec strings, got {value!r}"
+        )
+    specs = tuple(str(spec).strip() for spec in value)
+    for spec in specs:
+        build_middleware(spec)
+    return specs
+
+
+def retry_attempts_from_specs(
+    specs: Iterable[str] | None, default: int = DEFAULT_RETRY_ATTEMPTS
+) -> int:
+    """The retry bound a ``retry`` spec declares, or ``default`` without one.
+
+    How the cluster coordinator derives its re-queue bound from the policy's
+    middleware stack: ``retry:attempts=N`` means N re-attempts after the first
+    try at *both* layers — the worker-side :class:`RetryMiddleware` for
+    application exceptions and the coordinator's lease re-queue for
+    infrastructure failures.
+    """
+    for spec in specs or ():
+        name, args = parse_middleware_spec(spec)
+        if name == "retry":
+            return _spec_int("retry", "attempts", args.get("attempts"), DEFAULT_RETRY_ATTEMPTS)
+    return default
+
+
+@lru_cache(maxsize=64)
+def _chain_for(specs: tuple[str, ...]) -> MiddlewareChain:
+    return MiddlewareChain(tuple(build_middleware(spec) for spec in specs))
+
+
+def build_chain(specs: Iterable[str] | None) -> MiddlewareChain | None:
+    """Instantiate the chain for a spec tuple; ``None`` when the stack is empty.
+
+    Chains are cached per spec tuple, so repeated dispatches in one process
+    share instances (and :class:`TimingMiddleware` accumulates into one set
+    of counters).  The ``None`` return lets seams skip interception with a
+    single identity check.
+    """
+    specs = tuple(specs or ())
+    if not specs:
+        return None
+    return _chain_for(specs)

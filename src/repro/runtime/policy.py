@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from repro.common.errors import ConfigurationError
+from repro.middleware import normalize_middleware_specs
 from repro.sim.engine import SCHEDULER_BACKENDS
 
 #: The op-construction backends of ``simulate_job`` (see ``repro.sim.opbatch``).
@@ -79,8 +80,9 @@ DEFAULT_AUTO_VECTOR_THRESHOLD = 50_000
 #: The policy fields ``simulate_job`` consumes — the ``env_fields`` it passes
 #: to :meth:`ExecutionPolicy.resolve`, so a broken sweep-level environment
 #: variable (say ``REPRO_SWEEP_JOBS=garbage``) can never fail a simulation
-#: that does not read it.
-SIMULATION_FIELDS = ("op_backend", "scheduler", "auto_vector_threshold")
+#: that does not read it.  ``middleware`` is here because the engine seam
+#: (``SimEngine.install_middleware``) runs the resolved chain.
+SIMULATION_FIELDS = ("op_backend", "scheduler", "auto_vector_threshold", "middleware")
 
 #: Source labels attached to each resolved field.
 SOURCE_ARG = "arg"
@@ -231,6 +233,15 @@ POLICY_FIELDS: dict[str, _FieldSpec] = {
     "cache_dir": _FieldSpec(
         "REPRO_SWEEP_CACHE_DIR", Path, _validate_cache_dir, _default_cache_dir
     ),
+    # The middleware stack: a tuple of spec strings ("timing", "retry:attempts=3",
+    # ...) instantiated at each seam by repro.middleware.build_chain.  Specs —
+    # not instances — are what pickle to pool/cluster workers inside the policy.
+    "middleware": _FieldSpec(
+        "REPRO_MIDDLEWARE",
+        normalize_middleware_specs,
+        normalize_middleware_specs,
+        tuple,
+    ),
 }
 
 
@@ -355,6 +366,7 @@ class ExecutionPolicy:
     sweep_mode: str = AUTO_SWEEP_MODE
     use_cache: bool = False
     cache_dir: Path = field(default_factory=_default_cache_dir)
+    middleware: tuple = ()
     sources: Mapping[str, str] = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:

@@ -45,6 +45,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError, SimulationError
+from repro.middleware.base import SEAM_ENGINE, MiddlewareContext
 from repro.sim.opbatch import row_from_simop, simop_from_row
 from repro.sim.ops import OpKind, SimOp
 
@@ -395,6 +396,38 @@ class SimEngine:
         self._queues: dict[str, deque[SimOp]] = {}
         self._submission_order: list[SimOp] = []
         self._release_times: dict[int, float] = {}
+        self._middleware = None
+        self._middleware_policy = None
+
+    # -------------------------------------------------------------- middleware
+
+    def install_middleware(self, chain, policy=None) -> None:
+        """Install a :class:`~repro.middleware.MiddlewareChain` around op admission.
+
+        Every subsequent :meth:`run`/:meth:`run_batch`/:meth:`run_vector` call
+        is intercepted once, as a whole (the engine seam is deliberately
+        coarse-grained — wrapping the per-op inner loops would tax the 100k-op
+        vector path).  ``policy`` rides on the context for the chain to
+        inspect.  Pass ``chain=None`` to uninstall; with no chain installed
+        the run methods pay a single attribute check.
+        """
+        self._middleware = chain if chain else None
+        self._middleware_policy = policy
+
+    def _intercept(self, method: str, scheduler: str, op_count: int, call):
+        """Run ``call`` through the installed chain at the engine seam."""
+        context = MiddlewareContext(
+            seam=SEAM_ENGINE,
+            name=f"{self.name}.{method}",
+            policy=self._middleware_policy,
+            payload={
+                "engine": self.name,
+                "method": method,
+                "scheduler": scheduler,
+                "op_count": op_count,
+            },
+        )
+        return self._middleware.run(context, call)
 
     # ------------------------------------------------------------------ setup
 
@@ -459,6 +492,12 @@ class SimEngine:
         The engine is single-shot: on return every queue is cleared, so calling
         :meth:`run` again without new submissions yields an empty schedule.
         """
+        if self._middleware is not None:
+            return self._intercept("run", "heap", self.pending_ops, self._run_heap)
+        return self._run_heap()
+
+    def _run_heap(self) -> Schedule:
+        """The ready-set-heap scheduling core of :meth:`run`."""
         queues = {name: deque(queue) for name, queue in self._queues.items()}
         finished: dict[int, float] = {}
         resource_free = {name: 0.0 for name in self._resources}
@@ -542,6 +581,17 @@ class SimEngine:
         the submissions — but mixing the two admission paths in one scheduling round
         is a :class:`ConfigurationError`.
         """
+        if self._middleware is not None:
+            return self._intercept(
+                "run_batch",
+                "heap",
+                len(batch.rows),
+                lambda: self._run_batch_guarded(batch, validate),
+            )
+        return self._run_batch_guarded(batch, validate)
+
+    def _run_batch_guarded(self, batch, validate: bool) -> Schedule:
+        """Admission guard + GC pause around :meth:`_run_batch_rows`."""
         if self._submission_order:
             raise ConfigurationError(
                 "run_batch on an engine with eagerly submitted pending ops; "
@@ -690,6 +740,18 @@ class SimEngine:
         for unknown resources or mixed admission, :class:`SimulationError` for
         FIFO/dependency deadlocks.
         """
+        if self._middleware is not None:
+            op_count = len(batch.rows) if batch is not None else self.pending_ops
+            return self._intercept(
+                "run_vector",
+                "vector",
+                op_count,
+                lambda: self._run_vector_kernel(batch, validate),
+            )
+        return self._run_vector_kernel(batch, validate)
+
+    def _run_vector_kernel(self, batch, validate: bool) -> Schedule:
+        """The vector-kernel scheduling core of :meth:`run_vector`."""
         from repro.sim.veckernel import schedule_rows
 
         if batch is None:

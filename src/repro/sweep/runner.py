@@ -135,7 +135,11 @@ class SweepRunner:
     ``cache_dir``; ``scheduler`` pins the simulation scheduler backend workers
     run on (``"auto"`` by default — each worker picks per scenario).  The
     policy is serialized to every worker explicitly; no environment variables
-    are exported.
+    are exported.  ``middleware`` declares the interception chain (spec
+    strings — see :mod:`repro.middleware`) that wraps each task on whatever
+    side executes it; observe-only chains never change values or cache
+    entries (``tests/test_middleware.py`` proves byte-identity), and the
+    middleware field — like every policy field — does not enter the cache key.
 
     ``sweep_mode`` selects how scenarios are dispatched: ``"scenario"`` sends
     one task per grid point; ``"batch"`` groups scenarios by DAG shape and
@@ -167,6 +171,7 @@ class SweepRunner:
         executor: str | None = None,
         workers: int | None = None,
         sweep_mode: str | None = None,
+        middleware: Sequence[str] | str | None = None,
         policy: ExecutionPolicy | None = None,
         executor_options: Mapping[str, Any] | None = None,
         progress: Callable[[dict], None] | None = None,
@@ -179,17 +184,18 @@ class SweepRunner:
                 raise ConfigurationError("policy must be an ExecutionPolicy")
             if any(value is not None for value in
                    (jobs, use_cache, cache_dir, scheduler, executor, workers,
-                    sweep_mode)):
+                    sweep_mode, middleware)):
                 raise ConfigurationError(
                     "pass either policy= or individual jobs/use_cache/cache_dir/"
-                    "scheduler/executor/workers/sweep_mode arguments, not both"
+                    "scheduler/executor/workers/sweep_mode/middleware arguments, "
+                    "not both"
                 )
             self.policy = policy
         else:
             self.policy = ExecutionPolicy.resolve(
                 jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
                 scheduler=scheduler, executor=executor, workers=workers,
-                sweep_mode=sweep_mode,
+                sweep_mode=sweep_mode, middleware=middleware,
             )
         self.jobs = self.policy.jobs
         self.use_cache = self.policy.use_cache
@@ -473,6 +479,7 @@ def run_sweep(
     executor: str | None = None,
     workers: int | None = None,
     sweep_mode: str | None = None,
+    middleware: Sequence[str] | str | None = None,
     policy: ExecutionPolicy | None = None,
     executor_options: Mapping[str, Any] | None = None,
     progress: Callable[[dict], None] | None = None,
@@ -482,7 +489,7 @@ def run_sweep(
     runner = SweepRunner(
         worker, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
         scheduler=scheduler, executor=executor, workers=workers,
-        sweep_mode=sweep_mode, policy=policy,
+        sweep_mode=sweep_mode, middleware=middleware, policy=policy,
         executor_options=executor_options, progress=progress,
     )
     return runner.run(spec)

@@ -65,6 +65,7 @@ from repro.common.units import GB
 from repro.core.gradient_flush import GradientFlushOps
 from repro.core.sim_executor import UpdatePhaseOps
 from repro.model.flops import backward_compute_seconds, forward_compute_seconds
+from repro.middleware import build_chain
 from repro.precision.dtypes import DType
 from repro.sim.engine import (
     SCHEDULER_BACKENDS,  # noqa: F401  (public re-export)
@@ -518,6 +519,10 @@ def simulate_job(
             )
     engine = SimEngine(name=f"{job.model.name}-{job.strategy.name}")
     standard_resources(engine)
+    if policy.middleware:
+        # The engine seam: the policy's chain intercepts each run()/run_batch()/
+        # run_vector() pass as a whole (see docs/middleware.md).
+        engine.install_middleware(build_chain(policy.middleware), policy=policy)
 
     if backend == "batch":
         prepared = prepare_simulation(job, iterations, policy=policy)

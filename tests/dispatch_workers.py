@@ -5,16 +5,19 @@ because the cluster tests ship them *by reference*: ``repro worker`` daemon
 subprocesses import them by ``module:qualname``, so the module must be
 importable from a plain ``PYTHONPATH`` that includes the ``tests`` directory.
 
-Every worker is deterministic in its *value* — fault injection changes who
-computes a scenario and how many times it is attempted, never what it returns.
-That is the invariant the differential assertions lean on.
+Every worker is deterministic: same params, same value, every attempt, every
+process.  Fault injection is *not* baked into the workers any more — it is
+declared on the execution policy as a ``fault:...`` middleware spec (see
+:mod:`repro.middleware`) and fires on whichever side executes the task.
+Because the fault lives in the chain and the value lives in the worker, an
+armed cluster run and an unarmed serial baseline share identical scenario
+params *and* identical worker code — which is what lets the tests demand
+byte-identical SweepResult JSON even for fault-injected sweeps.
 """
 
 from __future__ import annotations
 
-import os
 import time
-from pathlib import Path
 
 from repro.runtime import ExecutionPolicy
 
@@ -46,53 +49,20 @@ def policy_probe(**params):
             "sources": sorted(set(resolved.sources.values()))}
 
 
-# Fault injection is armed through the environment, not through scenario
-# parameters: the daemons are launched with DISPATCH_TEST_DIR set while the
-# serial baseline run leaves it unset, so both runs share *identical*
-# scenario params — which is what lets the tests demand byte-identical
-# SweepResult JSON even for the fault-injected sweep.
+def survivor(x=0):
+    """Plain deterministic worker for the crash/hang fault tests.
 
-
-def _fault_marker(name):
-    fault_dir = os.environ.get("DISPATCH_TEST_DIR", "")
-    return Path(fault_dir) / name if fault_dir else None
-
-
-def crash_daemon_once(x=0, crash_on=-1, delay=0.3):
-    """Kill the whole worker process mid-task — once, for ``x == crash_on``.
-
-    The first armed attempt drops a marker file and hard-exits the daemon
-    (``os._exit``: no error frame, no cleanup — exactly what SIGKILL looks
-    like to the coordinator).  Any later attempt finds the marker and
-    completes normally, so the re-queued task succeeds on a surviving worker.
+    The old fault workers decided *themselves* when to crash or wedge (armed
+    through the environment).  This one never does: the crash, hang or raise
+    is injected by a ``fault:...`` middleware around it, so the worker body is
+    identical on every attempt and in the serial baseline.
     """
-    marker = _fault_marker(f"crashed-{x}")
-    if x == crash_on and marker is not None and not marker.exists():
-        marker.write_text("crashing")
-        time.sleep(delay)  # hold the lease so the kill is genuinely mid-task
-        os._exit(13)
     return {"x": x, "survived": True}
 
 
-def always_crash_daemon(x=0):
-    """Hard-exit the daemon on every armed attempt (retry-bound exhaustion)."""
-    if os.environ.get("DISPATCH_TEST_DIR", ""):
-        os._exit(13)
-    return {"x": x}
-
-
-def hang_until_marked(x=0, hang_on=-1, hang_time=60.0):
-    """Go silent (sleep ``hang_time``) once, for ``x == hang_on``.
-
-    Run on a daemon with heartbeats disabled this models a wedged worker: the
-    lease expires, the coordinator re-queues, and the retry (marker present)
-    completes promptly elsewhere.
-    """
-    marker = _fault_marker(f"hung-{x}")
-    if x == hang_on and marker is not None and not marker.exists():
-        marker.write_text("hanging")
-        time.sleep(hang_time)
-    return {"x": x, "done": True}
+def cubed(x=0):
+    """Deterministic arithmetic worker for the interrupted-sweep resume test."""
+    return {"x": x, "cubed": x ** 3}
 
 
 def always_raise(x=0):
@@ -103,18 +73,3 @@ def always_raise(x=0):
 def unpicklable_result(x=0):
     """Returns a value that cannot cross a process boundary (a lambda)."""
     return {"x": x, "closure": lambda: x}
-
-
-def raise_until_marked(x=0, fail_on=-1):
-    """Raise for ``x == fail_on`` until its marker exists, then succeed.
-
-    Models a sweep interrupted by a failing scenario: the first run dies at
-    ``fail_on`` (after earlier scenarios were streamed into the cache), the
-    cause clears (the marker the failing attempt dropped), and the re-run
-    resumes from the cache manifest.
-    """
-    marker = _fault_marker(f"fixed-{x}")
-    if x == fail_on and marker is not None and not marker.exists():
-        marker.write_text("failing")
-        raise RuntimeError(f"scenario x={x} interrupted the sweep")
-    return {"x": x, "cubed": x ** 3}

@@ -16,9 +16,13 @@ values**.  The fault-injection matrix from the issue:
 * a sweep interrupted mid-run → completed scenarios already in the cache
   manifest, and a re-run resumes from them.
 
-Fault injection is armed via ``DISPATCH_TEST_DIR`` in the *daemon*
-environment only (see ``tests/dispatch_workers.py``), so cluster and serial
-runs share identical scenario parameters — which is what makes byte-identical
+Faults are injected by :class:`repro.middleware.FaultInjectionMiddleware`,
+declared as a ``fault:...`` spec on the sweep's middleware stack: the chain
+ships to the daemons inside the pickled policy and fires deterministically on
+whichever worker draws the targeted task index.  The workers themselves
+(``tests/dispatch_workers.py``) are plain deterministic functions, so the
+armed cluster run and the unarmed serial baseline share identical scenario
+parameters *and* identical worker code — which is what makes byte-identical
 JSON a meaningful assertion.
 """
 
@@ -27,7 +31,6 @@ import os
 import socket
 import subprocess
 import sys
-import time
 from pathlib import Path
 
 import pytest
@@ -59,16 +62,16 @@ def daemons():
     """Launch ``repro worker`` subprocesses; terminate whatever survives."""
     procs: list[subprocess.Popen] = []
 
-    def spawn(port: int, worker_id: str, *, heartbeat: float | None = None,
-              fault_dir: Path | None = None) -> subprocess.Popen:
+    def spawn(port: int, worker_id: str, *, heartbeat: float | None = None
+              ) -> subprocess.Popen:
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
             [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
             + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
         )
-        env.pop("DISPATCH_TEST_DIR", None)
-        if fault_dir is not None:
-            env["DISPATCH_TEST_DIR"] = str(fault_dir)
+        # Daemons never arm middleware from their own environment: the chain
+        # (fault injection included) arrives inside the coordinator's policy.
+        env.pop("REPRO_MIDDLEWARE", None)
         command = [sys.executable, "-m", "repro", "worker",
                    "--connect", f"127.0.0.1:{port}",
                    "--id", worker_id, "--retry-for", "30"]
@@ -91,14 +94,15 @@ def daemons():
 
 
 def _cluster_runner(worker, port: int, *, workers: int = 2, events: list | None = None,
-                    lease_timeout: float = FAST_LEASE, max_retries: int = 2,
+                    lease_timeout: float = FAST_LEASE, max_retries: int | None = None,
                     progress=None, **kwargs) -> SweepRunner:
     options = {
         "bind": f"127.0.0.1:{port}",
         "lease_timeout": lease_timeout,
-        "max_retries": max_retries,
         "worker_wait_timeout": 30.0,
     }
+    if max_retries is not None:  # deprecated knob; the retry spec is the norm
+        options["max_retries"] = max_retries
     if events is not None:
         options["on_event"] = events.append
     kwargs.setdefault("use_cache", False)
@@ -145,44 +149,53 @@ def test_cluster_ships_the_policy_to_daemons(daemons):
 # ------------------------------------------------------------ fault injection
 
 
-def test_worker_killed_mid_task_is_retried_elsewhere(daemons, tmp_path):
-    """One daemon hard-exits mid-task; the sweep still matches serial, byte for byte."""
-    spec = SweepSpec.build({"x": (1, 2, 3, 4)}, {"crash_on": 2})
+def test_worker_killed_mid_task_is_retried_elsewhere(daemons):
+    """One daemon hard-exits mid-task; the sweep still matches serial, byte for byte.
+
+    The fault is a middleware spec: ``index=1`` targets the x=2 scenario and
+    the default ``times=1`` arms it for the first delivery attempt only, so
+    the re-queued attempt (shipped as ``attempts=2`` in the task frame)
+    passes straight through to the worker on the surviving daemon.
+    """
+    spec = SweepSpec.build({"x": (1, 2, 3, 4)})
     port = _free_port()
-    daemons(port, "w1", fault_dir=tmp_path)
-    daemons(port, "w2", fault_dir=tmp_path)
+    daemons(port, "w1")
+    daemons(port, "w2")
     events: list = []
     progress: list = []
-    result = _cluster_runner(dispatch_workers.crash_daemon_once, port,
+    result = _cluster_runner(dispatch_workers.survivor, port,
+                             middleware=("fault:mode=crash:index=1",),
                              events=events, progress=progress.append).run(spec)
-    # The serial baseline is unarmed (no DISPATCH_TEST_DIR in this process).
-    serial = SweepRunner(dispatch_workers.crash_daemon_once, executor="serial",
+    # The serial baseline is unarmed: no fault spec on its policy.
+    serial = SweepRunner(dispatch_workers.survivor, executor="serial",
                          use_cache=False).run(spec)
     assert _result_json(result) == _result_json(serial)
-    assert (tmp_path / "crashed-2").exists(), "the fault was actually injected"
     kinds = {event["event"] for event in events}
-    assert "worker-disconnected" in kinds and "task-requeued" in kinds
+    assert "worker-disconnected" in kinds and "task-requeued" in kinds, \
+        "the fault was actually injected"
     retried = [event for event in progress if event["label"].endswith("x=2")]
     assert retried and retried[0]["attempts"] >= 2
 
 
-def test_silent_worker_lease_expires_and_second_worker_completes(daemons, tmp_path):
+def test_silent_worker_lease_expires_and_second_worker_completes(daemons):
     """Heartbeat loss on a wedged task: lease expiry re-queues to the live worker."""
-    spec = SweepSpec.build({"x": (1, 2, 3)}, {"hang_on": 1, "hang_time": 30.0})
+    spec = SweepSpec.build({"x": (1, 2, 3)})
     port = _free_port()
     # Both daemons run without heartbeats, so whichever draws the wedged task
-    # loses its lease; only the retry (marker present) completes promptly.
-    daemons(port, "silent-1", heartbeat=0, fault_dir=tmp_path)
-    daemons(port, "silent-2", heartbeat=0, fault_dir=tmp_path)
+    # loses its lease; only the retry (``attempts=2`` disarms the ``times=1``
+    # hang fault) completes promptly — on the other worker.
+    daemons(port, "silent-1", heartbeat=0)
+    daemons(port, "silent-2", heartbeat=0)
     events: list = []
     progress: list = []
-    result = _cluster_runner(dispatch_workers.hang_until_marked, port,
+    result = _cluster_runner(dispatch_workers.survivor, port,
+                             middleware=("fault:mode=hang:index=0:seconds=30",),
                              events=events, progress=progress.append).run(spec)
-    serial = SweepRunner(dispatch_workers.hang_until_marked, executor="serial",
+    serial = SweepRunner(dispatch_workers.survivor, executor="serial",
                          use_cache=False).run(spec)
     assert _result_json(result) == _result_json(serial)
     expiries = [event for event in events if event["event"] == "lease-expired"]
-    assert expiries and expiries[0]["index"] == 0  # the hang_on=1 scenario
+    assert expiries and expiries[0]["index"] == 0  # the targeted scenario
     hung = [event for event in progress if event["label"].endswith("x=1")]
     assert hung[0]["attempts"] >= 2
     assert hung[0]["worker"] != expiries[0]["worker"], \
@@ -228,27 +241,39 @@ def test_unserializable_result_fails_fast_with_the_cause(daemons):
     assert proc.poll() is None, "the daemon survived the bad result"
 
 
-def test_retry_bound_exhausted_raises_dispatch_error(daemons, tmp_path):
+def test_retry_bound_exhausted_raises_dispatch_error(daemons):
+    """``times=0`` crashes every attempt; the bound comes from the retry spec.
+
+    No ``max_retries`` anywhere: the coordinator derives its re-queue bound
+    from the policy's ``retry:attempts=1`` middleware spec — one knob for
+    worker-side application retries and coordinator-side re-queues alike.
+    """
     spec = SweepSpec.build({"x": (1,)})
     port = _free_port()
-    daemons(port, "doomed-1", fault_dir=tmp_path)
-    daemons(port, "doomed-2", fault_dir=tmp_path)
-    with pytest.raises(DispatchError, match="retry bound"):
-        _cluster_runner(dispatch_workers.always_crash_daemon, port,
-                        max_retries=1).run(spec)
+    daemons(port, "doomed-1")
+    daemons(port, "doomed-2")
+    with pytest.raises(DispatchError, match="retry bound of 1 exhausted"):
+        _cluster_runner(dispatch_workers.survivor, port,
+                        middleware=("fault:mode=crash:index=0:times=0",
+                                    "retry:attempts=1")).run(spec)
 
 
 def test_interrupted_sweep_resumes_from_cache_manifest(daemons, tmp_path):
-    """Scenarios completed before an interruption are durable and replayed."""
+    """Scenarios completed before an interruption are durable and replayed.
+
+    The interruption is a ``fault:mode=raise`` spec targeting the last index:
+    an :class:`~repro.middleware.InjectedFault` is an application error, so
+    the coordinator fails fast instead of retrying.  The resume run simply
+    drops the fault spec from its middleware stack — no marker files.
+    """
     cache_dir = tmp_path / "cache"
-    fault_dir = tmp_path / "faults"
-    fault_dir.mkdir()
-    spec = SweepSpec.build({"x": (1, 2, 3, 4)}, {"fail_on": 4})
+    spec = SweepSpec.build({"x": (1, 2, 3, 4)})
     port = _free_port()
-    daemons(port, "w1", fault_dir=fault_dir)
-    daemons(port, "w2", fault_dir=fault_dir)
-    with pytest.raises(DispatchTaskError, match="interrupted"):
-        _cluster_runner(dispatch_workers.raise_until_marked, port,
+    daemons(port, "w1")
+    daemons(port, "w2")
+    with pytest.raises(DispatchTaskError, match="injected fault"):
+        _cluster_runner(dispatch_workers.cubed, port,
+                        middleware=("fault:mode=raise:index=3:times=0",),
                         use_cache=True, cache_dir=cache_dir).run(spec)
     # Completed scenarios were streamed into the cache *and* its manifest
     # before the failure tore the sweep down.
@@ -256,34 +281,35 @@ def test_interrupted_sweep_resumes_from_cache_manifest(daemons, tmp_path):
     assert durable, "nothing was durable at interruption time"
     assert all(entry["params"]["x"] != 4 for entry in durable.values())
 
-    # Resume serially (the fault cleared: its marker exists).  Cached entries
-    # replay — cross-executor, thanks to the policy-free cache key — and the
-    # final result matches a pure serial run with no cache at all.
-    resumed = SweepRunner(dispatch_workers.raise_until_marked, executor="serial",
+    # Resume serially with the fault spec removed from the stack.  Cached
+    # entries replay — cross-executor, thanks to the policy-free cache key —
+    # and the final result matches a pure serial run with no cache at all.
+    resumed = SweepRunner(dispatch_workers.cubed, executor="serial",
                           use_cache=True, cache_dir=cache_dir).run(spec)
     assert resumed.cache_hits == len(durable)
     assert resumed.cache_misses == spec.num_scenarios - len(durable)
-    baseline = SweepRunner(dispatch_workers.raise_until_marked, executor="serial",
+    baseline = SweepRunner(dispatch_workers.cubed, executor="serial",
                            use_cache=False).run(spec)
     assert resumed.values() == baseline.values()
 
 
-def test_fully_wedged_fleet_raises_instead_of_hanging(daemons, tmp_path):
+def test_fully_wedged_fleet_raises_instead_of_hanging(daemons):
     """Every worker silent on an expired lease: the sweep must error, not block.
 
     Regression: a wedged worker keeps its socket open and its lease slot
     occupied, so neither the no-worker failsafe nor dispatch could ever fire —
     the sweep hung forever.
     """
-    spec = SweepSpec.build({"x": (1, 2)}, {"hang_on": 1, "hang_time": 60.0})
+    spec = SweepSpec.build({"x": (1, 2)})
     port = _free_port()
-    # One heartbeat-less daemon: it wedges on the hang_on scenario, its lease
+    # One heartbeat-less daemon: it wedges on the targeted scenario, its lease
     # expires, and there is no second worker for the re-queue (or for x=2).
-    daemons(port, "wedged", heartbeat=0, fault_dir=tmp_path)
+    daemons(port, "wedged", heartbeat=0)
     options = {"bind": f"127.0.0.1:{port}", "lease_timeout": FAST_LEASE,
                "worker_wait_timeout": 2.0}
-    runner = SweepRunner(dispatch_workers.hang_until_marked, executor="cluster",
-                         workers=1, executor_options=options, use_cache=False)
+    runner = SweepRunner(dispatch_workers.survivor, executor="cluster",
+                         workers=1, executor_options=options, use_cache=False,
+                         middleware=("fault:mode=hang:index=0:seconds=60",))
     with pytest.raises(DispatchError, match="unresponsive"):
         runner.run(spec)
 
@@ -377,6 +403,28 @@ def test_submit_requires_entered_executor():
     executor = ClusterExecutor(dispatch_workers.echo_params, ExecutionPolicy())
     with pytest.raises(DispatchError, match="context manager"):
         list(executor.submit([Task(index=0, params={})]))
+
+
+def test_retry_bound_derives_from_the_retry_middleware_spec():
+    """The coordinator's re-queue bound is the policy's ``retry`` spec."""
+    from repro.dispatch.cluster import DEFAULT_MAX_RETRIES
+
+    policy = ExecutionPolicy(executor="cluster", workers=1,
+                             middleware=("timing", "retry:attempts=7"))
+    executor = ClusterExecutor(dispatch_workers.echo_params, policy)
+    assert executor._max_retries == 7
+    bare = ClusterExecutor(dispatch_workers.echo_params, ExecutionPolicy())
+    assert bare._max_retries == DEFAULT_MAX_RETRIES
+
+
+def test_explicit_max_retries_is_deprecated_but_still_wins():
+    """Regression for the deprecation shim: the legacy knob warns yet is honored."""
+    policy = ExecutionPolicy(executor="cluster", workers=1,
+                             middleware=("retry:attempts=5",))
+    with pytest.warns(DeprecationWarning, match="max_retries"):
+        executor = ClusterExecutor(dispatch_workers.echo_params, policy,
+                                   max_retries=1)
+    assert executor._max_retries == 1
 
 
 def test_workers_exit_cleanly_on_coordinator_shutdown(daemons):

@@ -62,6 +62,8 @@ FIELD_CASES = [
     ("use_cache", "1", True, False, True),
     ("cache_dir", "/tmp/env-cache", Path("/tmp/env-cache"),
      Path("/tmp/ctx-cache"), Path("/tmp/arg-cache")),
+    ("middleware", "timing,logging", ("timing", "logging"),
+     ("logging",), ("noop",)),
 ]
 
 DEFAULTS = {
@@ -73,6 +75,7 @@ DEFAULTS = {
     "workers": 1,
     "use_cache": False,
     "cache_dir": Path.home() / ".cache" / "repro" / "sweeps",
+    "middleware": (),
 }
 
 
@@ -151,6 +154,8 @@ def test_falsey_env_booleans_parse(monkeypatch):
     {"workers": True},
     {"use_cache": "yes"},
     {"cache_dir": 42},
+    {"middleware": ("warp",)},
+    {"middleware": 42},
 ])
 def test_bad_values_raise_at_construction_and_resolution(kwargs):
     with pytest.raises(ConfigurationError):
@@ -165,6 +170,8 @@ def test_bad_values_raise_at_construction_and_resolution(kwargs):
     ("REPRO_SWEEP_JOBS", "many"),
     ("REPRO_SWEEP_USE_CACHE", "maybe"),
     ("REPRO_AUTO_VECTOR_THRESHOLD", "1e6"),
+    ("REPRO_MIDDLEWARE", "warp"),
+    ("REPRO_MIDDLEWARE", "retry:attempts=lots"),
 ])
 def test_unparseable_env_values_raise(monkeypatch, env_var, text):
     monkeypatch.setenv(env_var, text)
@@ -220,6 +227,62 @@ def test_resolution_report_rejects_unknown_fields():
 
     with pytest.raises(ConfigurationError, match="schedular"):
         resolution_report(schedular="vector")
+
+
+# ------------------------------------------------------------ middleware field
+
+
+def test_middleware_resolves_comma_strings_to_canonical_tuples():
+    resolved = ExecutionPolicy.resolve(middleware="timing, logging")
+    assert resolved.middleware == ("timing", "logging")
+    assert resolved.sources["middleware"] == "arg"
+    # Sequences canonicalize too, argument forms preserved verbatim.
+    assert ExecutionPolicy.resolve(
+        middleware=["retry:attempts=3:backoff=0.1"]
+    ).middleware == ("retry:attempts=3:backoff=0.1",)
+
+
+def test_broken_middleware_env_names_the_variable_and_the_spec(monkeypatch):
+    monkeypatch.setenv("REPRO_MIDDLEWARE", "warp")
+    with pytest.raises(ConfigurationError, match=r"REPRO_MIDDLEWARE.*warp"):
+        ExecutionPolicy.resolve()
+    # An explicit argument shields the broken env, like every other field.
+    assert ExecutionPolicy.resolve(middleware="timing").middleware == ("timing",)
+
+
+def test_timing_middleware_metrics_math(monkeypatch):
+    """Counts, totals and min/max/last derive from monotonic clock deltas."""
+    import repro.middleware.builtin as builtin
+    from repro.middleware import (
+        MiddlewareChain,
+        MiddlewareContext,
+        TimingMiddleware,
+        middleware_metrics,
+        reset_middleware_metrics,
+    )
+
+    reset_middleware_metrics()
+    # Two perf_counter reads per interception: entry, then exit.  Durations
+    # 0.5s, 0.25s and 1.0s, with the error raised inside the third call.
+    ticks = iter([0.0, 0.5, 10.0, 10.25, 20.0, 21.0])
+    monkeypatch.setattr(builtin.time, "perf_counter", lambda: next(ticks))
+    timing = TimingMiddleware()
+    chain = MiddlewareChain((timing,))
+    context = MiddlewareContext(seam="dispatch", name="probe", started=0.0)
+
+    assert chain.run(context, lambda: "a") == "a"
+    assert chain.run(context, lambda: "b") == "b"
+    with pytest.raises(RuntimeError, match="boom"):
+        chain.run(context, lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+
+    expected = {"count": 3, "errors": 1, "total_s": 1.75,
+                "min_s": 0.25, "max_s": 1.0, "last_s": 1.0}
+    assert timing.metrics["dispatch"] == pytest.approx(expected)
+    # The process-wide registry (what ``repro config --json`` surfaces)
+    # mirrors the instance numbers exactly.
+    assert middleware_metrics()["dispatch"] == pytest.approx(expected)
+    reset_middleware_metrics()
+    assert middleware_metrics() == {}
 
 
 # ----------------------------------------------------- simulate_job consumers
