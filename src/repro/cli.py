@@ -15,6 +15,8 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --models 20B --strategies deep-optimizer-states --scheduler vector
     python -m repro sweep --executor cluster --workers 2 --bind 127.0.0.1:7931 --progress
     python -m repro worker --connect 127.0.0.1:7931 --retry-for 60
+    python -m repro serve --bind 127.0.0.1:7940
+    python -m repro --middleware timing,quota:limit=60 serve --bind 127.0.0.1:7940 --jobs 4
     python -m repro sweep --cache-stats --models 7B --strategies deep-optimizer-states
     python -m repro sweep --cache-evict stale
     python -m repro stride --machine jlse-4xh100
@@ -263,6 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--retry-for", type=float, default=0.0, metavar="SECONDS",
                         help="keep retrying the initial connect for this long, so "
                              "daemons can start before the coordinator is listening")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the simulation service daemon (framed + HTTP on one port)"
+    )
+    serve.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                       help="listen address; port 0 picks a free port and prints it "
+                            "(IPv6 hosts bracketed, as in [::1]:7940)")
+    _add_sweep_flags(serve)
 
     stride = subparsers.add_parser("stride", help="evaluate Equation 1 for a machine preset")
     stride.add_argument("--machine", default="jlse-4xh100", help="machine preset")
@@ -555,6 +565,41 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return client.run()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service until interrupted.
+
+    The server's policy resolves here, inside the ``configure`` context the
+    global flags entered — so ``--middleware quota:limit=60`` (or
+    ``$REPRO_MIDDLEWARE``) becomes the serve-seam admission chain, and the
+    sweep flags (``--jobs``, ``--no-cache``, ...) become the defaults every
+    request inherits unless it carries its own policy overrides.
+    """
+    import asyncio
+
+    from repro.serve import ReproServer
+
+    policy = ExecutionPolicy.resolve(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        scheduler=args.scheduler,
+    )
+    server = ReproServer(args.bind, policy=policy)
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        # The only way to learn the port under --bind HOST:0, and the line
+        # scripts wait for before sending requests.
+        print(f"[serve] listening host={host} port={port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("[serve] interrupted; shutting down", flush=True)
+    return 0
+
+
 def _cmd_stride(args: argparse.Namespace) -> int:
     machine = get_machine_preset(args.machine)
     profile = ThroughputProfile.from_machine(machine, cores_per_gpu=args.cores_per_gpu)
@@ -584,6 +629,8 @@ def _run_command(args: argparse.Namespace) -> int:
         return _cmd_sweep(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "stride":
         return _cmd_stride(args)
     return 1  # pragma: no cover - argparse enforces the choices above

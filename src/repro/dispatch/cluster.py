@@ -80,12 +80,35 @@ DEFAULT_MAX_RETRIES = 2
 #: before declaring the sweep undispatchable.
 DEFAULT_WORKER_WAIT = 60.0
 
+#: How long ``close()`` waits for the coordinator thread to stop.  A module
+#: constant (not a parameter) so tests can exercise the wedged-thread path
+#: without a ten-second stall.
+_CLOSE_JOIN_TIMEOUT = 10.0
+
 
 def parse_bind(bind: str) -> tuple[str, int]:
-    """Parse a ``HOST:PORT`` bind/connect string (port 0 = ephemeral)."""
-    host, separator, port_text = bind.rpartition(":")
-    if not separator or not host:
-        raise ConfigurationError(f"expected HOST:PORT, got {bind!r}")
+    """Parse a ``HOST:PORT`` bind/connect string (port 0 = ephemeral).
+
+    IPv6 hosts use the bracketed RFC 3986 form — ``[::1]:8000`` — and the
+    brackets are stripped from the returned host, which is what
+    ``socket.create_connection`` and ``asyncio.start_server`` expect.  A bare
+    IPv6 address (``::1``) is rejected rather than misparsed: every colon is a
+    candidate port separator, so the form is ambiguous without brackets.
+    """
+    if bind.startswith("["):
+        host, bracket, rest = bind[1:].partition("]")
+        if not bracket or not rest.startswith(":") or not host:
+            raise ConfigurationError(
+                f"expected [IPV6-HOST]:PORT, got {bind!r}")
+        port_text = rest[1:]
+    else:
+        host, separator, port_text = bind.rpartition(":")
+        if not separator or not host:
+            raise ConfigurationError(f"expected HOST:PORT, got {bind!r}")
+        if ":" in host:
+            raise ConfigurationError(
+                f"ambiguous IPv6 address {bind!r}: bracket the host, "
+                f"as in [{host}]:{port_text}")
     try:
         port = int(port_text)
     except ValueError:
@@ -225,14 +248,31 @@ class ClusterExecutor(Executor):
             return
         self._closed = True
         try:
-            asyncio.run_coroutine_threadsafe(self._shutdown(), self._loop).result(timeout=10.0)
+            asyncio.run_coroutine_threadsafe(
+                self._shutdown(), self._loop).result(timeout=_CLOSE_JOIN_TIMEOUT)
         except BaseException:
             pass
         self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
-            self._thread.join(timeout=10.0)
-        if not self._loop.is_running():
+            self._thread.join(timeout=_CLOSE_JOIN_TIMEOUT)
+            if self._thread.is_alive():
+                # The loop was told to stop but the thread never came back —
+                # some callback is wedged.  Closing the loop out from under it
+                # raises in that thread eventually; leaking the loop object
+                # forever (the old behaviour) is strictly worse.
+                warnings.warn(
+                    "coordinator thread did not stop within "
+                    f"{_CLOSE_JOIN_TIMEOUT:.0f}s; closing its event loop anyway",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        try:
             self._loop.close()
+        except RuntimeError:
+            # The wedged callback still holds the loop in "running"; nothing
+            # more can be done from this thread.  The warning above already
+            # fired.
+            pass
 
     async def _shutdown(self) -> None:
         if self._watchdog is not None:
@@ -274,8 +314,12 @@ class ClusterExecutor(Executor):
             remaining -= 1
 
     async def _enqueue(self, tasks: Sequence[Task]) -> None:
-        assert self._round is None or not self._round.pending, \
-            "previous submission must be drained first"
+        # A real error, not an assert: `python -O` strips asserts, and an
+        # overlapping submit() would silently interleave two rounds' tasks.
+        if self._round is not None and self._round.pending:
+            raise DispatchError(
+                "previous submission must be fully drained before submit() "
+                "is called again on this executor")
         round_ = _Round()
         for task in tasks:
             task_id = self._next_task_id

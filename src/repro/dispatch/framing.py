@@ -128,16 +128,20 @@ class ConnectionClosed(FramingError):
 # ------------------------------------------------------------- asyncio streams
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Any:
+async def read_frame(reader: asyncio.StreamReader, *, prefix: bytes = b"") -> Any:
     """Read one complete frame from an asyncio stream.
+
+    ``prefix`` replays bytes already consumed from the stream (the serve
+    front sniffs the first byte to tell a frame from an HTTP request line and
+    hands it back here) — they count as the start of the header.
 
     Raises :class:`ConnectionClosed` on clean EOF between frames and
     :class:`FramingError` on a truncated or malformed frame.
     """
     try:
-        header = await reader.readexactly(_HEADER.size)
+        header = prefix + await reader.readexactly(_HEADER.size - len(prefix))
     except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
+        if not exc.partial and not prefix:
             raise ConnectionClosed("connection closed") from None
         raise FramingError("connection closed mid-frame") from None
     length, codec = _HEADER.unpack(header)
@@ -154,3 +158,72 @@ async def write_frame(writer: asyncio.StreamWriter, message: Any,
     """Write one complete frame to an asyncio stream and drain."""
     writer.write(encode_frame(message, codec))
     await writer.drain()
+
+
+# ----------------------------------------------------- request/response frames
+# The frame shapes spoken by the repro.serve daemon over this framing.  They
+# live here, next to the wire format, because server, client and tests all
+# need the same dict layout.  Serve frames are JSON-codec only: unlike the
+# cluster wire, nothing a serve client sends is ever unpickled.
+
+MSG_REQUEST = "request"
+MSG_RESPONSE = "response"
+
+
+def make_request(request_id: Any, method: str, params: Any = None,
+                 policy: Any = None, client: str | None = None) -> dict:
+    """Build one serve request frame.
+
+    ``params`` are the method's arguments; ``policy`` is a mapping of
+    :class:`~repro.runtime.ExecutionPolicy` field overrides applied on top of
+    the server's defaults; ``client`` identifies the caller for quota
+    accounting (the server falls back to the peer address).
+    """
+    frame: dict = {"type": MSG_REQUEST, "id": request_id, "method": str(method)}
+    if params:
+        frame["params"] = dict(params)
+    if policy:
+        frame["policy"] = dict(policy)
+    if client is not None:
+        frame["client"] = str(client)
+    return frame
+
+
+def make_response(request_id: Any, result: Any) -> dict:
+    """Build one successful serve response frame."""
+    return {"type": MSG_RESPONSE, "id": request_id, "ok": True, "result": result}
+
+
+def make_error_response(request_id: Any, error_type: str, message: str,
+                        status: int = 500) -> dict:
+    """Build one failed serve response frame.
+
+    ``status`` doubles as the HTTP status code on the HTTP front, so both
+    fronts classify errors identically.
+    """
+    return {"type": MSG_RESPONSE, "id": request_id, "ok": False,
+            "error": {"type": str(error_type), "message": str(message),
+                      "status": int(status)}}
+
+
+def parse_request(frame: Any) -> tuple[Any, str, dict, dict, str | None]:
+    """Validate one serve request frame into ``(id, method, params, policy, client)``.
+
+    Raises :class:`FramingError` on anything that is not a well-formed request;
+    the server answers those with a ``status=400`` error response rather than
+    dropping the connection.
+    """
+    if not isinstance(frame, dict) or frame.get("type") != MSG_REQUEST:
+        raise FramingError(f"expected a {MSG_REQUEST!r} frame, got {type(frame).__name__}")
+    method = frame.get("method")
+    if not isinstance(method, str) or not method:
+        raise FramingError("request frame carries no method")
+    params = frame.get("params") or {}
+    policy = frame.get("policy") or {}
+    if not isinstance(params, dict):
+        raise FramingError("request params must be a JSON object")
+    if not isinstance(policy, dict):
+        raise FramingError("request policy must be a JSON object")
+    client = frame.get("client")
+    return frame.get("id"), method, dict(params), dict(policy), \
+        None if client is None else str(client)

@@ -1,11 +1,12 @@
-"""Composable interception around the stack's three hot seams.
+"""Composable interception around the stack's four hot seams.
 
 The mechanism/policy split the source paper argues for: this package is the
 *mechanism* — :class:`MiddlewareContext`, :class:`Middleware`,
 :class:`MiddlewareChain`, and the built-in concerns (timing, logging, retry,
-fault injection) — while *which* middleware run where is policy, declared as
-spec strings on ``ExecutionPolicy.middleware`` and resolved like every other
-runtime knob (arg > context > ``$REPRO_MIDDLEWARE`` > default-empty).
+fault injection, quotas, concurrency bounds) — while *which* middleware run
+where is policy, declared as spec strings on ``ExecutionPolicy.middleware``
+and resolved like every other runtime knob (arg > context >
+``$REPRO_MIDDLEWARE`` > default-empty).
 
 See ``docs/middleware.md`` for seams, ordering semantics, the spec grammar,
 and worker-pickling caveats.
@@ -15,6 +16,7 @@ from repro.middleware.base import (
     SEAM_CLI,
     SEAM_DISPATCH,
     SEAM_ENGINE,
+    SEAM_SERVE,
     SEAMS,
     Middleware,
     MiddlewareChain,
@@ -25,9 +27,13 @@ from repro.middleware.base import (
 from repro.middleware.builtin import (
     DEFAULT_RETRY_ATTEMPTS,
     MIDDLEWARE_FACTORIES,
+    ConcurrencyLimitError,
+    ConcurrencyMiddleware,
     FaultInjectionMiddleware,
     InjectedFault,
     LoggingMiddleware,
+    QuotaExceededError,
+    QuotaMiddleware,
     RetryMiddleware,
     TimingMiddleware,
     build_chain,
@@ -41,15 +47,20 @@ __all__ = [
     "SEAM_CLI",
     "SEAM_DISPATCH",
     "SEAM_ENGINE",
+    "SEAM_SERVE",
     "SEAMS",
     "DEFAULT_RETRY_ATTEMPTS",
     "MIDDLEWARE_FACTORIES",
+    "ConcurrencyLimitError",
+    "ConcurrencyMiddleware",
     "FaultInjectionMiddleware",
     "InjectedFault",
     "LoggingMiddleware",
     "Middleware",
     "MiddlewareChain",
     "MiddlewareContext",
+    "QuotaExceededError",
+    "QuotaMiddleware",
     "RetryMiddleware",
     "TimingMiddleware",
     "build_chain",

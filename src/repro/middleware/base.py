@@ -3,7 +3,7 @@
 The source paper's central idea is middleware-mediated interception:
 cross-cutting concerns live in a composable chain *around* the mechanism
 instead of inside it.  This module supplies that mechanism for the repro
-stack.  A :class:`Middleware` sees every call that crosses one of three hot
+stack.  A :class:`Middleware` sees every call that crosses one of four hot
 seams as a :class:`MiddlewareContext` plus a ``call_next`` continuation:
 
 ``engine``
@@ -17,6 +17,12 @@ seams as a :class:`MiddlewareContext` plus a ``call_next`` continuation:
     chain runs wherever the task actually lands.
 ``cli``
     command dispatch in ``repro <command>``.
+``serve``
+    request admission in the ``repro serve`` daemon (:mod:`repro.serve`) —
+    one interception per ``simulate``/``compare``/``sweep`` request, built
+    from the *server's* policy only, which is what makes admission control
+    (``quota:...``, ``concurrency:...``) enforceable: clients override
+    execution fields per request, never the server's chain.
 
 Which middleware run is policy, not mechanism: the chain is described by
 spec strings on ``ExecutionPolicy.middleware`` (resolved arg > ``configure``
@@ -43,12 +49,13 @@ from typing import Any, Callable, Mapping
 
 from repro.common.errors import ConfigurationError
 
-#: The three interception seams.  Seam names appear in ``MiddlewareContext.seam``
+#: The four interception seams.  Seam names appear in ``MiddlewareContext.seam``
 #: and key the process-wide timing metrics.
 SEAM_ENGINE = "engine"
 SEAM_DISPATCH = "dispatch"
 SEAM_CLI = "cli"
-SEAMS = (SEAM_ENGINE, SEAM_DISPATCH, SEAM_CLI)
+SEAM_SERVE = "serve"
+SEAMS = (SEAM_ENGINE, SEAM_DISPATCH, SEAM_CLI, SEAM_SERVE)
 
 
 @dataclass(frozen=True)

@@ -20,16 +20,20 @@ from __future__ import annotations
 import hashlib
 import logging
 import os
+import threading
 import time
+from collections import deque
 from functools import lru_cache
 from typing import Any, Callable, Iterable, Mapping
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ReproError
 from repro.middleware.base import (
     Middleware,
     MiddlewareChain,
     MiddlewareContext,
     SEAM_DISPATCH,
+    SEAM_SERVE,
+    SEAMS,
     _metrics_entry,
     record_seam_timing,
 )
@@ -44,6 +48,22 @@ DEFAULT_RETRY_ATTEMPTS = 2
 
 class InjectedFault(RuntimeError):
     """The deterministic failure raised by ``FaultInjectionMiddleware`` in raise mode."""
+
+
+class QuotaExceededError(ReproError):
+    """A client exhausted its request quota (``quota:...`` middleware).
+
+    The serve layer maps this to HTTP 429; a framed client sees it as a
+    ``status=429`` error response.
+    """
+
+
+class ConcurrencyLimitError(ReproError):
+    """Admission rejected at the concurrency bound (``concurrency:...``, reject mode).
+
+    The serve layer maps this to HTTP 503 — the canonical "shed load, retry
+    later" signal.
+    """
 
 
 # ------------------------------------------------------------------ middlewares
@@ -311,6 +331,137 @@ class FaultInjectionMiddleware(Middleware):
         )
 
 
+class QuotaMiddleware(Middleware):
+    """Per-client sliding-window request quota.
+
+    ``quota:limit=N[:window=S][:seam=NAME]`` admits at most N calls per
+    client per rolling window of S seconds (default 60) at the configured
+    seam (default ``serve``); the N+1th raises :class:`QuotaExceededError`
+    *before* ``call_next``, so a throttled request never reaches the
+    mechanism.  The client identity is read from ``context.payload["client"]``
+    — the serve layer puts the caller's declared id (or peer address) there;
+    contexts without one share the ``"anonymous"`` bucket.
+
+    State is per middleware *instance*; chains are cached per spec tuple
+    (see :func:`build_chain`), so every request admitted through the same
+    declared chain counts against one shared window — exactly the scope an
+    admission quota wants.  Thread-safe: serve requests run on a thread pool.
+    """
+
+    def __init__(self, limit: int, window: float = 60.0, seam: str = SEAM_SERVE) -> None:
+        if limit < 1:
+            raise ConfigurationError("quota middleware limit must be >= 1")
+        if window <= 0:
+            raise ConfigurationError("quota middleware window must be positive")
+        if seam not in SEAMS:
+            raise ConfigurationError(
+                f"unknown quota middleware seam {seam!r}; expected one of {', '.join(SEAMS)}"
+            )
+        self.limit = int(limit)
+        self.window = float(window)
+        self.seam = seam
+        self._lock = threading.Lock()
+        self._admitted: dict[str, deque] = {}
+
+    def handle(
+        self, context: MiddlewareContext, call_next: Callable[[MiddlewareContext], Any]
+    ) -> Any:
+        if context.seam != self.seam:
+            return call_next(context)
+        client = str(context.payload.get("client") or "anonymous")
+        now = time.monotonic()
+        with self._lock:
+            window = self._admitted.setdefault(client, deque())
+            while window and now - window[0] >= self.window:
+                window.popleft()
+            if len(window) >= self.limit:
+                retry_in = self.window - (now - window[0])
+                raise QuotaExceededError(
+                    f"client {client!r} exceeded {self.limit} request(s) per "
+                    f"{self.window:g}s; retry in {max(retry_in, 0.0):.1f}s"
+                )
+            window.append(now)
+        return call_next(context)
+
+    @classmethod
+    def from_spec(cls, args: Mapping[str, str]) -> "QuotaMiddleware":
+        _reject_unknown_args("quota", args, ("limit", "window", "seam"))
+        if "limit" not in args:
+            raise ConfigurationError(
+                "quota middleware requires a limit, as in quota:limit=60"
+            )
+        return cls(
+            limit=_spec_int("quota", "limit", args.get("limit"), 0),
+            window=_spec_float("quota", "window", args.get("window"), 60.0),
+            seam=args.get("seam", SEAM_SERVE),
+        )
+
+
+class ConcurrencyMiddleware(Middleware):
+    """Bounded in-flight calls at a seam — the backpressure knob.
+
+    ``concurrency:limit=N[:mode=wait|reject][:seam=NAME]`` holds at most N
+    calls inside ``call_next`` at once (default seam ``serve``).  ``wait``
+    (the default) blocks the excess caller until a slot frees — backpressure
+    that surfaces to clients as latency; ``reject`` raises
+    :class:`ConcurrencyLimitError` immediately — load shedding.
+
+    Note the interaction with serve-layer request coalescing: the chain runs
+    *outside* the coalescing map (so quotas count every request), which means
+    a ``wait``-mode limit of 1 serializes identical requests instead of
+    letting them share one in-flight computation.  Size the limit above the
+    expected duplicate burst when coalescing matters.
+    """
+
+    MODES = ("wait", "reject")
+
+    def __init__(self, limit: int, mode: str = "wait", seam: str = SEAM_SERVE) -> None:
+        if limit < 1:
+            raise ConfigurationError("concurrency middleware limit must be >= 1")
+        if mode not in self.MODES:
+            raise ConfigurationError(
+                f"unknown concurrency middleware mode {mode!r}; expected one of "
+                f"{', '.join(self.MODES)}"
+            )
+        if seam not in SEAMS:
+            raise ConfigurationError(
+                f"unknown concurrency middleware seam {seam!r}; expected one of "
+                f"{', '.join(SEAMS)}"
+            )
+        self.limit = int(limit)
+        self.mode = mode
+        self.seam = seam
+        self._slots = threading.BoundedSemaphore(self.limit)
+
+    def handle(
+        self, context: MiddlewareContext, call_next: Callable[[MiddlewareContext], Any]
+    ) -> Any:
+        if context.seam != self.seam:
+            return call_next(context)
+        if not self._slots.acquire(blocking=self.mode == "wait"):
+            raise ConcurrencyLimitError(
+                f"concurrency limit of {self.limit} in-flight call(s) reached "
+                f"at the {self.seam} seam"
+            )
+        try:
+            return call_next(context)
+        finally:
+            self._slots.release()
+
+    @classmethod
+    def from_spec(cls, args: Mapping[str, str]) -> "ConcurrencyMiddleware":
+        _reject_unknown_args("concurrency", args, ("limit", "mode", "seam"))
+        if "limit" not in args:
+            raise ConfigurationError(
+                "concurrency middleware requires a limit, as in concurrency:limit=4"
+            )
+        return cls(
+            limit=_spec_int("concurrency", "limit", args.get("limit"), 0),
+            mode=args.get("mode", "wait"),
+            seam=args.get("seam", SEAM_SERVE),
+        )
+
+
 # ------------------------------------------------------------------ spec layer
 
 
@@ -355,6 +506,8 @@ MIDDLEWARE_FACTORIES: dict[str, Callable[[Mapping[str, str]], Middleware]] = {
     "logging": LoggingMiddleware.from_spec,
     "retry": RetryMiddleware.from_spec,
     "fault": FaultInjectionMiddleware.from_spec,
+    "quota": QuotaMiddleware.from_spec,
+    "concurrency": ConcurrencyMiddleware.from_spec,
 }
 
 

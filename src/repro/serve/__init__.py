@@ -1,0 +1,42 @@
+"""``repro.serve`` — simulation-as-a-service on the dispatch fabric.
+
+A long-lived daemon (``repro serve --bind HOST:PORT``) exposing the
+simulation stack — ``simulate``, ``compare``, ``sweep`` — over two wire
+protocols on one port: the dispatch layer's length-prefixed JSON frames for
+efficient persistent clients, and a minimal stdlib HTTP/JSON front for
+``curl``/``urllib``.  Requests resolve an :class:`~repro.runtime.ExecutionPolicy`
+per call (client overrides on the server's defaults), run through the
+ordinary ``SweepRunner``/executor stack, and coalesce when identical
+requests are already in flight.  See ``docs/serve.md``.
+"""
+
+from repro.serve.client import ServeClient, ServeRequestError
+from repro.serve.coalesce import CoalescingMap
+from repro.serve.handlers import (
+    CLIENT_POLICY_FIELDS,
+    HANDLERS,
+    SWEEP_WORKERS,
+    UnknownMethodError,
+    resolve_request_policy,
+)
+from repro.serve.server import (
+    SERVE_PROTOCOL_VERSION,
+    ReproServer,
+    ServerThread,
+    error_status,
+)
+
+__all__ = [
+    "CLIENT_POLICY_FIELDS",
+    "CoalescingMap",
+    "HANDLERS",
+    "ReproServer",
+    "SERVE_PROTOCOL_VERSION",
+    "SWEEP_WORKERS",
+    "ServeClient",
+    "ServeRequestError",
+    "ServerThread",
+    "UnknownMethodError",
+    "error_status",
+    "resolve_request_policy",
+]

@@ -1,0 +1,96 @@
+"""A blocking framed client for the serve daemon.
+
+The efficient counterpart to the HTTP front: one persistent TCP connection,
+length-prefixed JSON frames (:mod:`repro.dispatch.framing`), many requests
+per connection.  Synchronous by design — callers are scripts, tests and
+notebooks, and a blocking ``request()`` composes with whatever concurrency
+they already have (threads in the differential tests, nothing in a script).
+
+Errors the *server* reports come back as :class:`ServeRequestError` carrying
+the server-side exception type and the same status code the HTTP front would
+have used; transport-level trouble (connection refused, dropped mid-frame)
+raises the underlying ``OSError``/``FramingError`` unchanged.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Mapping
+
+from repro.common.errors import ReproError
+from repro.dispatch.cluster import parse_bind
+from repro.dispatch.framing import (
+    MSG_RESPONSE,
+    FramingError,
+    make_request,
+    recv_message,
+    send_message,
+)
+
+
+class ServeRequestError(ReproError):
+    """A request the server rejected; mirrors the wire's error object."""
+
+    def __init__(self, message: str, *, error_type: str = "",
+                 status: int = 500) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+        self.status = status
+
+
+class ServeClient:
+    """Blocking request/response client over one framed connection.
+
+    ``address`` is a ``HOST:PORT`` string (IPv6 bracketed, as everywhere in
+    the dispatch layer) or an already-parsed ``(host, port)`` tuple.
+    ``client_id`` names this client to the server's quota middleware; it
+    defaults to the connection's peer identity on the server side.
+    """
+
+    def __init__(self, address: str | tuple, *, client_id: str | None = None,
+                 timeout: float = 60.0) -> None:
+        host, port = parse_bind(address) if isinstance(address, str) else address
+        self._client_id = client_id
+        self._next_id = 0
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def request(self, method: str, params: Mapping[str, Any] | None = None,
+                policy: Mapping[str, Any] | None = None) -> Any:
+        """Send one request and block for its response.
+
+        Returns the method's result object, or raises
+        :class:`ServeRequestError` with the server's error type and status.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        send_message(self._sock, make_request(
+            request_id, method,
+            params=dict(params) if params else None,
+            policy=dict(policy) if policy else None,
+            client=self._client_id,
+        ))
+        response = recv_message(self._sock)
+        if not isinstance(response, dict) or response.get("type") != MSG_RESPONSE:
+            raise FramingError(f"expected a response frame, got {response!r}")
+        if response.get("id") != request_id:
+            raise FramingError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServeRequestError(
+            str(error.get("message", "request failed")),
+            error_type=str(error.get("type", "")),
+            status=int(error.get("status", 500)),
+        )
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,94 @@
+"""In-flight request coalescing: identical concurrent work runs once.
+
+The sweep cache already deduplicates *completed* work — a scenario's value is
+content-addressed by the entry name :meth:`repro.sweep.SweepRunner.cache_entry_name`
+builds.  What it cannot deduplicate is two identical requests arriving while
+the first is still computing: both would miss and both would compute.  The
+:class:`CoalescingMap` closes that window for the serve layer by keying
+in-flight computations on the same identity the cache uses: the second
+request parks on the first's :class:`threading.Event` and shares its result
+(or its exception — a failure is delivered to every waiter, not retried
+behind their backs).
+
+Scope is deliberately *in-flight only*: the moment the leader finishes, the
+entry is dropped and the next identical request goes to the cache like any
+other.  Persisting results here would duplicate the cache's job with a
+second, unsynchronized store.
+
+Thread-safe by construction — serve request handlers run on a thread pool —
+and free of any executor coupling: ``run`` takes a plain zero-argument
+callable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+_UNSET = object()
+
+
+@dataclass
+class _Entry:
+    """One in-flight computation: the leader fills it, followers wait on it."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Any = _UNSET
+    error: BaseException | None = None
+
+
+class CoalescingMap:
+    """Share one computation among identical concurrent calls.
+
+    ``run(key, compute)`` either *leads* (no entry for ``key`` yet: register
+    one, run ``compute``, publish) or *follows* (an identical call is in
+    flight: block until the leader publishes, return its result or re-raise
+    its exception).  Keys are opaque strings; the serve layer derives them
+    from the sweep cache's content-addressed entry names, so "identical"
+    means exactly "would have produced the same cache entries".
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _Entry] = {}
+        self._leaders_total = 0
+        self._followers_total = 0
+
+    def run(self, key: str, compute: Callable[[], Any]) -> Any:
+        with self._lock:
+            entry = self._inflight.get(key)
+            leading = entry is None
+            if leading:
+                entry = _Entry()
+                self._inflight[key] = entry
+                self._leaders_total += 1
+            else:
+                self._followers_total += 1
+        if not leading:
+            entry.done.wait()
+            if entry.error is not None:
+                raise entry.error
+            return entry.result
+        try:
+            entry.result = compute()
+            return entry.result
+        except BaseException as exc:
+            entry.error = exc
+            raise
+        finally:
+            # Unregister *before* waking followers: a new identical request
+            # arriving after the leader finished must lead its own (cache-hit)
+            # run, never park on a published entry.
+            with self._lock:
+                self._inflight.pop(key, None)
+            entry.done.set()
+
+    def stats(self) -> dict[str, int]:
+        """JSON-ready counters: in-flight entries, lifetime leaders/followers."""
+        with self._lock:
+            return {
+                "inflight": len(self._inflight),
+                "leaders_total": self._leaders_total,
+                "followers_total": self._followers_total,
+            }

@@ -1,0 +1,119 @@
+"""A minimal HTTP/1.1 front for the serve daemon (stdlib only, no framework).
+
+Just enough HTTP for ``curl`` and ``urllib``: one request per connection
+(``Connection: close``), a bounded head, a ``Content-Length``-delimited body.
+Chunked uploads, keep-alive and multipart are deliberately out of scope — the
+framed protocol (:mod:`repro.dispatch.framing`) is the efficient interface;
+this front exists so a sweep can be driven from anything that speaks HTTP.
+
+Response bodies are serialized by the server with ``indent=2, sort_keys=True``
+— the exact bytes of :meth:`repro.sweep.SweepResult.save_json` — so piping a
+``/v1/sweep`` response to a file yields the CLI's export format verbatim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+
+#: Bound on the request line + headers; a head larger than this is not a
+#: sweep request, it is abuse or a confused client.
+MAX_HEAD_BYTES = 64 * 1024
+
+#: Bound on the request body.  Grids are small JSON; 16 MiB is generous.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Content Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ReproError):
+    """A request that cannot be parsed or accepted; carries its status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request: method, path, lower-cased headers, raw body."""
+
+    method: str
+    path: str
+    headers: dict
+    body: bytes
+
+
+async def read_http_request(reader: asyncio.StreamReader, *,
+                            prefix: bytes = b"") -> HttpRequest:
+    """Parse one HTTP/1.1 request from the stream.
+
+    ``prefix`` replays bytes the protocol sniffer already consumed.  Raises
+    :class:`HttpError` with the appropriate status on anything malformed or
+    over the bounds.
+    """
+    head = bytearray(prefix)
+    while b"\r\n\r\n" not in head:
+        if len(head) > MAX_HEAD_BYTES:
+            raise HttpError(431, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+        chunk = await reader.read(4096)
+        if not chunk:
+            raise HttpError(400, "connection closed before the request head completed")
+        head.extend(chunk)
+    head_bytes, _, rest = bytes(head).partition(b"\r\n\r\n")
+    try:
+        lines = head_bytes.decode("latin-1").split("\r\n")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes any byte
+        raise HttpError(400, "undecodable request head") from None
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, path, _version = parts
+    headers: dict = {}
+    for line in lines[1:]:
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(400, "malformed Content-Length header") from None
+    if length < 0:
+        raise HttpError(400, "negative Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = bytearray(rest)
+    while len(body) < length:
+        chunk = await reader.read(min(1 << 16, length - len(body)))
+        if not chunk:
+            raise HttpError(400, "connection closed mid-body")
+        body.extend(chunk)
+    return HttpRequest(method=method, path=path, headers=headers,
+                       body=bytes(body[:length]))
+
+
+def format_response(status: int, body: bytes,
+                    content_type: str = "application/json") -> bytes:
+    """Serialize one complete response (head + body) ready for the socket."""
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -223,11 +223,17 @@ class SweepRunner:
     # ------------------------------------------------------------------ cache
 
     def _cache_path(self, scenario: Scenario) -> Path:
+        return self.cache_dir / self.cache_entry_name(scenario)
+
+    def cache_entry_name(self, scenario: Scenario) -> str:
+        """The content-addressed cache filename of one scenario (module docs
+        describe the key).  Public because the serve layer coalesces identical
+        in-flight requests on exactly this identity: two requests whose
+        scenarios map to the same entry names would compute — and cache — the
+        same values."""
         worker_id = f"{self.worker.__module__}.{self.worker.__qualname__}"
         safe = worker_id.replace("<", "").replace(">", "").replace("/", "_")
-        return self.cache_dir / (
-            f"{safe}-v{CACHE_VERSION}-{self._worker_salt}-{scenario.config_hash()}.pkl"
-        )
+        return f"{safe}-v{CACHE_VERSION}-{self._worker_salt}-{scenario.config_hash()}.pkl"
 
     def _cache_load(self, scenario: Scenario) -> Any:
         path = self._cache_path(scenario)

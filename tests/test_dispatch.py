@@ -184,6 +184,40 @@ def test_cluster_executor_validates_options():
         ClusterExecutor(lambda **kw: kw, policy)
 
 
+def test_parse_bind_handles_ipv4_hostnames_and_bracketed_ipv6():
+    from repro.dispatch.cluster import parse_bind
+
+    assert parse_bind("127.0.0.1:7931") == ("127.0.0.1", 7931)
+    assert parse_bind("localhost:0") == ("localhost", 0)
+    # RFC 3986 bracket form; brackets are stripped for the socket layer,
+    # zone identifiers survive.
+    assert parse_bind("[::1]:8000") == ("::1", 8000)
+    assert parse_bind("[fe80::1%eth0]:7931") == ("fe80::1%eth0", 7931)
+
+
+def test_parse_bind_rejects_malformed_and_ambiguous_addresses():
+    """Regression: ``::1:8000`` used to parse as host ``::1`` — silently wrong
+    for any other bare IPv6 address (``fe80::1:7931`` would split at the last
+    colon and mangle both halves), so the ambiguous form is an error now."""
+    from repro.dispatch.cluster import parse_bind
+
+    for bad, match in [
+        ("::1:8000", "ambiguous"),
+        ("fe80::1:7931", "ambiguous"),
+        ("[::1]", "IPV6-HOST"),
+        ("[::1]8000", "IPV6-HOST"),
+        ("[]:8000", "IPV6-HOST"),
+        ("7931", "HOST:PORT"),
+        (":7931", "HOST:PORT"),
+        ("host:", "invalid port"),
+        ("host:http", "invalid port"),
+        ("host:70000", "out of range"),
+        ("host:-1", "out of range"),
+    ]:
+        with pytest.raises(ConfigurationError, match=match):
+            parse_bind(bad)
+
+
 def test_worker_client_validates_arguments():
     with pytest.raises(ConfigurationError, match="HOST:PORT"):
         WorkerClient("nocolon")

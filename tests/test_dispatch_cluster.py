@@ -62,8 +62,8 @@ def daemons():
     """Launch ``repro worker`` subprocesses; terminate whatever survives."""
     procs: list[subprocess.Popen] = []
 
-    def spawn(port: int, worker_id: str, *, heartbeat: float | None = None
-              ) -> subprocess.Popen:
+    def spawn(port: int, worker_id: str, *, heartbeat: float | None = None,
+              host: str = "127.0.0.1") -> subprocess.Popen:
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
             [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
@@ -72,8 +72,9 @@ def daemons():
         # Daemons never arm middleware from their own environment: the chain
         # (fault injection included) arrives inside the coordinator's policy.
         env.pop("REPRO_MIDDLEWARE", None)
+        connect = f"[{host}]:{port}" if ":" in host else f"{host}:{port}"
         command = [sys.executable, "-m", "repro", "worker",
-                   "--connect", f"127.0.0.1:{port}",
+                   "--connect", connect,
                    "--id", worker_id, "--retry-for", "30"]
         if heartbeat is not None:
             command += ["--heartbeat", str(heartbeat)]
@@ -437,3 +438,84 @@ def test_workers_exit_cleanly_on_coordinator_shutdown(daemons):
     assert first.wait(timeout=10) == 0
     assert second.wait(timeout=10) == 0
     assert "shutdown" in first.stdout.read() + second.stdout.read()
+
+
+# -------------------------------------------------- bind parsing and teardown
+
+
+def _ipv6_loopback_available() -> bool:
+    try:
+        with socket.socket(socket.AF_INET6) as probe:
+            probe.bind(("::1", 0))
+            return True
+    except OSError:
+        return False
+
+
+@pytest.mark.skipif(not _ipv6_loopback_available(),
+                    reason="no IPv6 loopback on this host")
+def test_cluster_round_trips_over_ipv6_loopback(daemons):
+    """Regression for bracket-mangled binds: ``[::1]:PORT`` must carry a real
+    sweep end to end — coordinator listening on IPv6, daemon dialing it with
+    the same bracketed string the CLI accepts."""
+    with socket.socket(socket.AF_INET6) as probe:
+        probe.bind(("::1", 0))
+        port = probe.getsockname()[1]
+    daemons(port, "w6", host="::1")
+    spec = SweepSpec.build({"x": (1, 2, 3)})
+    runner = SweepRunner(
+        dispatch_workers.echo_params, executor="cluster", workers=1,
+        use_cache=False,
+        executor_options={"bind": f"[::1]:{port}", "worker_wait_timeout": 30.0},
+    )
+    result = runner.run(spec)
+    serial = SweepRunner(dispatch_workers.echo_params, executor="serial",
+                         use_cache=False).run(spec)
+    assert _result_json(result) == _result_json(serial)
+
+
+def test_overlapping_submit_raises_a_real_error_not_an_assert():
+    """Regression: the overlap guard was a bare ``assert``, stripped under
+    ``python -O`` — an overlapping submit() would silently interleave two
+    rounds' tasks.  It must be a DispatchError regardless of optimization."""
+    policy = ExecutionPolicy(executor="cluster", workers=1)
+    with ClusterExecutor(dispatch_workers.echo_params, policy,
+                         worker_wait_timeout=30.0,
+                         lease_timeout=FAST_LEASE) as executor:
+        # No workers ever connect, so the first round stays fully pending.
+        executor.submit([Task(index=0, params={"x": 1})])
+        with pytest.raises(DispatchError, match="drained"):
+            executor.submit([Task(index=1, params={"x": 2})])
+
+
+def test_close_always_closes_the_loop_and_is_idempotent():
+    """Regression: ``close()`` used to re-check ``loop.is_running()`` after the
+    join and skip ``loop.close()`` — leaking the loop's selector fd every time
+    the thread needed more than an instant to stop."""
+    policy = ExecutionPolicy(executor="cluster", workers=1)
+    executor = ClusterExecutor(dispatch_workers.echo_params, policy)
+    with executor:
+        pass
+    assert not executor._thread.is_alive()
+    assert executor._loop.is_closed()
+    executor.close()  # second close is a no-op, not an error
+
+
+def test_close_warns_and_still_closes_when_the_thread_is_wedged(monkeypatch):
+    """A coordinator callback that never returns must not wedge ``close()``:
+    it warns, abandons the thread, and still tries to reclaim the loop."""
+    import time as time_module
+
+    from repro.dispatch import cluster as cluster_module
+
+    monkeypatch.setattr(cluster_module, "_CLOSE_JOIN_TIMEOUT", 0.2)
+    policy = ExecutionPolicy(executor="cluster", workers=1)
+    executor = ClusterExecutor(dispatch_workers.echo_params, policy)
+    executor.__enter__()
+    # Wedge the loop: a blocking callback ignores loop.stop() until it ends.
+    executor._loop.call_soon_threadsafe(time_module.sleep, 2.0)
+    with pytest.warns(RuntimeWarning, match="did not stop"):
+        executor.close()
+    # The thread eventually unwedges and the stop takes effect.
+    executor._thread.join(timeout=10.0)
+    assert not executor._thread.is_alive()

@@ -34,12 +34,17 @@ from repro.middleware import (
     SEAM_CLI,
     SEAM_DISPATCH,
     SEAM_ENGINE,
+    SEAM_SERVE,
+    ConcurrencyLimitError,
+    ConcurrencyMiddleware,
     FaultInjectionMiddleware,
     InjectedFault,
     LoggingMiddleware,
     Middleware,
     MiddlewareChain,
     MiddlewareContext,
+    QuotaExceededError,
+    QuotaMiddleware,
     RetryMiddleware,
     TimingMiddleware,
     build_chain,
@@ -305,6 +310,132 @@ def test_fault_constructor_validates_its_knobs():
         FaultInjectionMiddleware(ratio=1.5)
     with pytest.raises(ConfigurationError, match=">= 0"):
         FaultInjectionMiddleware(times=-1)
+
+
+# ------------------------------------------------- admission control (serve)
+
+
+def _serve_context(client="c1"):
+    return MiddlewareContext(seam=SEAM_SERVE, name="sweep",
+                             payload={"method": "sweep", "client": client})
+
+
+def test_quota_admits_up_to_the_limit_then_raises_with_retry_hint():
+    quota = QuotaMiddleware(limit=2, window=60.0)
+    chain = MiddlewareChain((quota,))
+    assert chain.run(_serve_context(), lambda: "ok") == "ok"
+    assert chain.run(_serve_context(), lambda: "ok") == "ok"
+    with pytest.raises(QuotaExceededError, match="retry in"):
+        chain.run(_serve_context(), lambda: "ok")
+
+
+def test_quota_buckets_are_per_client():
+    quota = QuotaMiddleware(limit=1)
+    chain = MiddlewareChain((quota,))
+    chain.run(_serve_context("alice"), lambda: None)
+    # A different client has its own window; alice is throttled, bob is not.
+    chain.run(_serve_context("bob"), lambda: None)
+    with pytest.raises(QuotaExceededError, match="alice"):
+        chain.run(_serve_context("alice"), lambda: None)
+
+
+def test_quota_window_slides_and_admits_again():
+    import time as time_module
+
+    quota = QuotaMiddleware(limit=1, window=0.2)
+    chain = MiddlewareChain((quota,))
+    chain.run(_serve_context(), lambda: None)
+    with pytest.raises(QuotaExceededError):
+        chain.run(_serve_context(), lambda: None)
+    time_module.sleep(0.25)
+    chain.run(_serve_context(), lambda: None)  # the old admission expired
+
+
+def test_quota_is_inert_off_its_seam_and_a_throttled_call_never_runs():
+    quota = QuotaMiddleware(limit=1)
+    chain = MiddlewareChain((quota,))
+    calls: list = []
+    for _ in range(3):  # dispatch-seam traffic is not serve traffic
+        chain.run(_context(), lambda: calls.append("ran"))
+    assert calls == ["ran"] * 3
+    chain.run(_serve_context(), lambda: calls.append("ran"))
+    with pytest.raises(QuotaExceededError):
+        chain.run(_serve_context(), lambda: calls.append("ran"))
+    assert calls == ["ran"] * 4  # the throttled call never reached the body
+
+
+def test_concurrency_reject_mode_sheds_load_beyond_the_limit():
+    import threading
+
+    limiter = ConcurrencyMiddleware(limit=1, mode="reject")
+    chain = MiddlewareChain((limiter,))
+    entered = threading.Event()
+    release = threading.Event()
+
+    def slow():
+        entered.set()
+        release.wait(timeout=10.0)
+        return "slow"
+
+    results: list = []
+    worker = threading.Thread(
+        target=lambda: results.append(chain.run(_serve_context(), slow)))
+    worker.start()
+    try:
+        assert entered.wait(timeout=10.0)
+        with pytest.raises(ConcurrencyLimitError, match="limit of 1"):
+            chain.run(_serve_context(), lambda: "fast")
+    finally:
+        release.set()
+        worker.join(timeout=10.0)
+    assert results == ["slow"]
+    # The slot was released on exit; the next call is admitted again.
+    assert chain.run(_serve_context(), lambda: "after") == "after"
+
+
+def test_concurrency_wait_mode_blocks_until_a_slot_frees():
+    import threading
+
+    limiter = ConcurrencyMiddleware(limit=1, mode="wait")
+    chain = MiddlewareChain((limiter,))
+    entered = threading.Event()
+    release = threading.Event()
+    order: list = []
+
+    def slow():
+        entered.set()
+        release.wait(timeout=10.0)
+        order.append("slow")
+
+    worker = threading.Thread(target=lambda: chain.run(_serve_context(), slow))
+    worker.start()
+    assert entered.wait(timeout=10.0)
+    waiter = threading.Thread(
+        target=lambda: chain.run(_serve_context(), lambda: order.append("waited")))
+    waiter.start()
+    waiter.join(timeout=0.2)
+    assert waiter.is_alive()  # blocked on the held slot, not failed
+    release.set()
+    worker.join(timeout=10.0)
+    waiter.join(timeout=10.0)
+    assert order == ["slow", "waited"]
+
+
+def test_admission_specs_parse_and_validate():
+    quota = build_middleware("quota:limit=3:window=1.5")
+    limiter = build_middleware("concurrency:limit=2:mode=reject")
+    assert (quota.limit, quota.window, quota.seam) == (3, 1.5, SEAM_SERVE)
+    assert (limiter.limit, limiter.mode) == (2, "reject")
+    for spec, message in [
+        ("quota", "requires a limit"),
+        ("quota:limit=0", ">= 1"),
+        ("quota:limit=2:window=0", "positive"),
+        ("quota:limit=2:seam=warp", "seam"),
+        ("concurrency", "requires a limit"),
+        ("concurrency:limit=2:mode=drop", "mode"),
+    ]:
+        with pytest.raises(ConfigurationError, match=message):
+            build_middleware(spec)
 
 
 # --------------------------------------------------------------------- pickling
