@@ -62,18 +62,30 @@ asserts identical makespans, and gates the chained/bare ratio: an empty
 (``BENCH_MAX_MIDDLEWARE_OVERHEAD``), with the measurements written to
 ``BENCH_middleware_overhead.json``.
 
+**Part 6 — pipeline deep DAGs.**  The pipeline-parallel lowering
+(:mod:`repro.pipeline`) produces the opposite DAG regime of Part 3: long
+cross-resource dependency chains (a microbatch's forward walks every stage
+with a link hop per boundary) instead of a wide per-subgroup fan.  Deep
+chains shrink the vector kernel's batched frontier toward one op at a time,
+so this section gates a *floor*, not a speedup: on an 8-stage x
+64-microbatch zero-bubble schedule the vector kernel must hold at least
+``BENCH_MIN_PIPELINE_SPEEDUP`` (default 0.2x) of the heap path's throughput,
+with op-by-op byte-identity asserted in-run and the measurements written to
+``BENCH_pipeline_depth.json``.
+
 Run directly (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_sim_engine_scaling.py
 
-The script asserts all five acceptance criteria: >= 5x pipeline throughput at
+The script asserts all six acceptance criteria: >= 5x pipeline throughput at
 1000+ operations (Part 1), >= 2x ``simulate_job`` throughput at 10k subgroups
 (Part 2), >= 3x ``run_batch`` scheduling throughput at 100k subgroups
 (Part 3), >= 3x sweep throughput on a 256-scenario shared-shape grid
-(Part 4), and <= 2% no-op middleware overhead on the 100k-op vector path
-(Part 5).  CI shrinks Part 4 via ``BENCH_SWEEP_SCENARIOS`` and relaxes its
-gate via ``BENCH_MIN_SWEEP_SPEEDUP`` (small grids amortise the compiled plan
-over fewer scenarios).
+(Part 4), <= 2% no-op middleware overhead on the 100k-op vector path
+(Part 5), and the vector-kernel floor on the deep pipeline DAG (Part 6).
+CI shrinks Part 4 via ``BENCH_SWEEP_SCENARIOS`` and relaxes its gate via
+``BENCH_MIN_SWEEP_SPEEDUP`` (small grids amortise the compiled plan over
+fewer scenarios).
 """
 
 from __future__ import annotations
@@ -142,6 +154,16 @@ MAX_MIDDLEWARE_OVERHEAD = float(os.environ.get("BENCH_MAX_MIDDLEWARE_OVERHEAD", 
 MIDDLEWARE_REPEATS = int(os.environ.get("BENCH_MIDDLEWARE_REPEATS", "5"))
 MIDDLEWARE_CASE = (100_000, 1)
 MIDDLEWARE_RESULT_FILE = "BENCH_middleware_overhead.json"
+
+# Part 6: deep-DAG pipeline schedule (long cross-resource dependency chains,
+# the opposite regime of Part 3's wide per-subgroup fan).  The vector kernel's
+# advantage shrinks on deep chains — its batched frontier degenerates toward
+# one-op-at-a-time — so the gate here is deliberately lenient: it pins "the
+# vector path must not fall off a cliff on pipeline DAGs", not a speedup.
+MIN_PIPELINE_SPEEDUP = float(os.environ.get("BENCH_MIN_PIPELINE_SPEEDUP", "0.2"))
+PIPELINE_CASE = (8, 64)  # (stages, microbatches): ~3.3k ops, depth ~8 chains
+PIPELINE_REPEATS = int(os.environ.get("BENCH_PIPELINE_REPEATS", "5"))
+PIPELINE_RESULT_FILE = "BENCH_pipeline_depth.json"
 
 
 # --------------------------------------------------------------------- seed port
@@ -557,6 +579,75 @@ def bench_middleware_overhead() -> None:
           f"{MIDDLEWARE_RESULT_FILE})")
 
 
+# -------------------------------------------------------- pipeline deep DAGs
+
+
+def bench_pipeline_depth() -> None:
+    """Part 6: heap vs vector on a deep pipeline-parallel schedule DAG."""
+    import json
+
+    from repro.pipeline import (
+        build_schedule,
+        lower_schedule,
+        pipeline_resources,
+        timing_from_presets,
+    )
+
+    stages, microbatches = PIPELINE_CASE
+    timing = timing_from_presets(stages=stages)
+    schedule = build_schedule("zb", stages=stages, microbatches=microbatches,
+                              timing=timing)
+    lowered = lower_schedule(schedule, timing)
+    num_ops = lowered.op_count
+
+    engine = SimEngine(name="pipeline-bench")
+    pipeline_resources(engine, stages)
+
+    # Byte-identity asserted in-run, op by op — a pipeline DAG must agree just
+    # like the training DAGs of tests/test_engine_equivalence.py do.
+    heap_ops = [(i.op.op_id, i.start, i.end)
+                for i in engine.run_batch(lowered.batch).ops]
+    vector_ops = [(i.op.op_id, i.start, i.end)
+                  for i in engine.run_vector(lowered.batch).ops]
+    assert heap_ops == vector_ops, "scheduler kernels diverged on the pipeline DAG"
+
+    heap_s = vector_s = float("inf")
+    for _ in range(PIPELINE_REPEATS):
+        sample, _ = _time_scheduler(engine, lowered.batch, "run_batch", repeats=1)
+        heap_s = min(heap_s, sample)
+        sample, _ = _time_scheduler(engine, lowered.batch, "run_vector", repeats=1)
+        vector_s = min(vector_s, sample)
+    speedup = heap_s / vector_s if vector_s > 0 else float("inf")
+
+    print(f"\n{'schedule':>9}  {'stages':>6}  {'microb':>6}  {'ops':>6}  "
+          f"{'heap ops/s':>12}  {'vector ops/s':>12}  {'speedup':>8}")
+    print(f"{'zb':>9}  {stages:>6}  {microbatches:>6}  {num_ops:>6}  "
+          f"{num_ops / heap_s:>12.0f}  {num_ops / vector_s:>12.0f}  "
+          f"{speedup:>7.2f}x")
+
+    payload = {
+        "case": {"schedule": "zb", "stages": stages,
+                 "microbatches": microbatches, "ops": num_ops},
+        "repeats": PIPELINE_REPEATS,
+        "seconds": {"heap": heap_s, "vector": vector_s},
+        "ops_per_second": {"heap": num_ops / heap_s, "vector": num_ops / vector_s},
+        "speedup": speedup,
+        "min_speedup_gate": MIN_PIPELINE_SPEEDUP,
+        "byte_identical": True,
+    }
+    with open(PIPELINE_RESULT_FILE, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert speedup >= MIN_PIPELINE_SPEEDUP, (
+        f"expected >= {MIN_PIPELINE_SPEEDUP:g}x vector-vs-heap ratio on the "
+        f"{stages}x{microbatches} pipeline DAG, got {speedup:.2f}x"
+    )
+    print(f"\nOK: vector kernel holds {speedup:.2f}x on the deep pipeline DAG "
+          f"(gate >= {MIN_PIPELINE_SPEEDUP:g}x; byte-identical; results in "
+          f"{PIPELINE_RESULT_FILE})")
+
+
 def main() -> int:
     resources = ("gpu.compute", "pcie.h2d", "pcie.d2h", "cpu", "nvlink")
     print(f"{'subgroups':>9}  {'ops':>6}  {'seed ops/s':>12}  {'heap ops/s':>12}  {'speedup':>8}")
@@ -582,6 +673,7 @@ def main() -> int:
     bench_scheduler_kernels()
     bench_sweep_throughput()
     bench_middleware_overhead()
+    bench_pipeline_depth()
     return 0
 
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Pipeline-parallel schedules: gpipe vs 1F1B vs zero-bubble.
+
+Builds the same 4-stage / 16-microbatch pipeline scenario under each schedule
+family and compares makespan and bubble fraction.  The zero-bubble pass splits
+every backward into its input-gradient half (B, on the inter-stage critical
+chain) and its weight-gradient half (W, deferrable), then fills fill/drain
+idle time with W work — so its bubble sits strictly below 1F1B on this grid.
+
+Run with:  python examples/pipeline_schedules.py
+"""
+
+from repro.pipeline import (
+    SCHEDULES,
+    build_schedule,
+    simulate_pipeline,
+    timing_from_presets,
+)
+
+STAGES = 4
+MICROBATCHES = 16
+
+
+def main() -> None:
+    timing = timing_from_presets(stages=STAGES)
+    print(f"Scenario: {STAGES} stages x {MICROBATCHES} microbatches "
+          f"(20B on jlse-4xh100)")
+    print(f"Per-microbatch stage timing: F={timing.f_seconds:.4f}s "
+          f"B={timing.b_seconds:.4f}s W={timing.w_seconds:.4f}s "
+          f"comm={timing.comm_seconds:.6f}s")
+    print()
+
+    print(f"{'schedule':<8} {'ops':>5} {'makespan':>10} {'ideal':>10} "
+          f"{'bubble':>8}  description")
+    results = {}
+    for entry in SCHEDULES.entries():
+        result = simulate_pipeline(
+            schedule=entry.name, stages=STAGES, microbatches=MICROBATCHES
+        )
+        results[entry.name] = result
+        print(f"{entry.name:<8} {result.op_count:>5} "
+              f"{result.makespan_seconds:>9.4f}s {result.ideal_seconds:>9.4f}s "
+              f"{result.bubble_fraction:>8.4f}  {entry.description}")
+
+    saved = results["1f1b"].makespan_seconds - results["zb"].makespan_seconds
+    print()
+    print(f"zb saves {saved:.4f}s over 1f1b "
+          f"({saved / results['1f1b'].makespan_seconds:.1%} of the iteration).")
+
+    # The schedule IR is inspectable before lowering: per-stage op orders.
+    schedule = build_schedule("zb", stages=2, microbatches=3, timing=timing)
+    print()
+    print("zb order on a tiny 2-stage x 3-microbatch grid (per stage):")
+    for stage, order in enumerate(schedule.orders):
+        print(f"  stage {stage}: " + " ".join(str(node) for node in order))
+
+
+if __name__ == "__main__":
+    main()

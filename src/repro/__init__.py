@@ -33,6 +33,14 @@ from repro.hardware import (
 )
 from repro.model import TransformerConfig, get_model_preset, list_model_presets
 from repro.optim import AdamConfig, AdamRule, build_optimizer
+from repro.pipeline import (
+    PipelineResult,
+    PipelineStrategy,
+    PipelineTiming,
+    build_schedule,
+    pipeline_sweep,
+    simulate_pipeline,
+)
 from repro.runtime import ExecutionPolicy, ResolvedExecution, configure
 from repro.training import (
     MiniTrainer,
@@ -70,6 +78,12 @@ __all__ = [
     "AdamRule",
     "AdamConfig",
     "build_optimizer",
+    "PipelineResult",
+    "PipelineStrategy",
+    "PipelineTiming",
+    "build_schedule",
+    "pipeline_sweep",
+    "simulate_pipeline",
     "ExecutionPolicy",
     "ResolvedExecution",
     "configure",

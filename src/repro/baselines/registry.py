@@ -1,16 +1,69 @@
-"""Strategy registry used by the trainer, experiments and examples."""
+"""Strategy registry used by the trainer, experiments and examples.
+
+The three offload strategies live in :data:`STRATEGIES`, an instance of the
+same :class:`~repro.common.registry.Registry` the pipeline schedule passes
+use, so both scenario families are discoverable through one mechanism
+(``repro pipeline --list-schedules`` prints both).  :func:`build_strategy`
+keeps its historical signature and alias set on top.
+"""
 
 from __future__ import annotations
 
-from repro.common.errors import ConfigurationError
+from repro.common.registry import Registry
 from repro.core.engine import DeepOptimizerStates, DeepOptimizerStatesConfig, OffloadStrategy
 from repro.baselines.twinflow import TwinFlowBaseline
 from repro.baselines.zero3_offload import Zero3OffloadBaseline
 
+#: The discoverable registry of offload strategies.
+STRATEGIES = Registry("offload strategy")
+
+
+def _build_zero3(
+    *, static_gpu_fraction: float = 0.0, subgroup_size: int = 100_000_000,
+    update_stride: int = 0,
+) -> OffloadStrategy:
+    return Zero3OffloadBaseline()
+
+
+def _build_twinflow(
+    *, static_gpu_fraction: float = 0.0, subgroup_size: int = 100_000_000,
+    update_stride: int = 0,
+) -> OffloadStrategy:
+    return TwinFlowBaseline(static_gpu_fraction=static_gpu_fraction)
+
+
+def _build_deep_optimizer_states(
+    *, static_gpu_fraction: float = 0.0, subgroup_size: int = 100_000_000,
+    update_stride: int = 0,
+) -> OffloadStrategy:
+    config = DeepOptimizerStatesConfig(
+        subgroup_size=subgroup_size,
+        update_stride=update_stride,
+        static_gpu_fraction=static_gpu_fraction,
+    )
+    return DeepOptimizerStates(config)
+
+
+STRATEGIES.register(
+    "zero3-offload", _build_zero3,
+    aliases=("zero3", "deepspeed-zero3", "zero-3"),
+    description="DeepSpeed ZeRO-3 with full optimizer-state offload (the paper's floor)",
+)
+STRATEGIES.register(
+    "twinflow", _build_twinflow,
+    aliases=("zero-offload++", "zero-offloadpp"),
+    description="ZeRO-Offload++ twin-flow static CPU/GPU split baseline",
+)
+STRATEGIES.register(
+    "deep-optimizer-states", _build_deep_optimizer_states,
+    aliases=("dos",),
+    description="the paper's interleaved offloading with dynamic subgroup placement",
+)
+
 
 def available_strategies() -> list[str]:
     """Names accepted by :func:`build_strategy`."""
-    return ["zero3-offload", "twinflow", "deep-optimizer-states"]
+    return STRATEGIES.names()
 
 
 def build_strategy(
@@ -27,18 +80,9 @@ def build_strategy(
     addition to the dynamic interleaving.  ``update_stride`` forces a stride instead
     of deriving it from Equation 1 (0 keeps the automatic choice).
     """
-    key = name.strip().lower()
-    if key in ("zero3", "zero3-offload", "deepspeed-zero3", "zero-3"):
-        return Zero3OffloadBaseline()
-    if key in ("twinflow", "zero-offload++", "zero_offloadpp"):
-        return TwinFlowBaseline(static_gpu_fraction=static_gpu_fraction)
-    if key in ("deep-optimizer-states", "dos", "deep_optimizer_states"):
-        config = DeepOptimizerStatesConfig(
-            subgroup_size=subgroup_size,
-            update_stride=update_stride,
-            static_gpu_fraction=static_gpu_fraction,
-        )
-        return DeepOptimizerStates(config)
-    raise ConfigurationError(
-        f"unknown strategy {name!r}; available: {available_strategies()}"
+    return STRATEGIES.build(
+        name,
+        static_gpu_fraction=static_gpu_fraction,
+        subgroup_size=subgroup_size,
+        update_stride=update_stride,
     )

@@ -12,6 +12,9 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --models 7B,20B --strategies zero3-offload,deep-optimizer-states --jobs 4
     python -m repro sweep --models 20B --machines jlse-4xh100,4xv100 --strategies deep-optimizer-states
     python -m repro sweep --worker numeric --models nano --axis seed=0,1,2
+    python -m repro pipeline --schedule zb --stages 8 --microbatches 16
+    python -m repro pipeline --list-schedules
+    python -m repro sweep --worker pipeline --strategies gpipe,1f1b,zb --axis microbatches=4,8,16
     python -m repro sweep --models 20B --strategies deep-optimizer-states --scheduler vector
     python -m repro sweep --executor cluster --workers 2 --bind 127.0.0.1:7931 --progress
     python -m repro worker --connect 127.0.0.1:7931 --retry-for 60
@@ -184,14 +187,45 @@ def build_parser() -> argparse.ArgumentParser:
                             help="simulation scheduler backend for the experiment's "
                                  "internal sweeps (byte-identical schedules)")
 
+    pipeline = subparsers.add_parser(
+        "pipeline", help="simulate one pipeline-parallel iteration (gpipe/1f1b/zb)"
+    )
+    pipeline.add_argument("--schedule", default=None,
+                          help="schedule family (gpipe, 1f1b, zb or an alias; "
+                               "default: the resolved pipeline_schedule policy field)")
+    pipeline.add_argument("--stages", type=int, default=4,
+                          help="pipeline depth (stage count)")
+    pipeline.add_argument("--microbatches", type=int, default=8,
+                          help="microbatches in flight per iteration")
+    pipeline.add_argument("--model", default="20B", help="model preset (Table 2 name)")
+    pipeline.add_argument("--machine", default="jlse-4xh100", help="machine preset")
+    pipeline.add_argument("--microbatch-size", type=int, default=1,
+                          help="samples per microbatch")
+    pipeline.add_argument("--backward-split", type=float, default=None,
+                          help="fraction of the backward pass on the input-gradient "
+                               "half (B); the rest is the deferrable W half "
+                               "(default 0.5)")
+    pipeline.add_argument("--no-activation-checkpointing", action="store_true",
+                          help="disable activation checkpointing in the timing model")
+    pipeline.add_argument("--list-schedules", action="store_true",
+                          help="list the registered schedule families and offload "
+                               "strategies, then exit")
+    pipeline.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit the result as JSON")
+    pipeline.add_argument("--scheduler", choices=SCHEDULER_CHOICES, default=None,
+                          help="simulation scheduler backend (byte-identical schedules)")
+
     sweep = subparsers.add_parser(
         "sweep", help="run a declarative training-scenario grid, parallel and cached"
     )
-    sweep.add_argument("--worker", choices=("training", "numeric"), default=None,
+    sweep.add_argument("--worker", choices=("training", "numeric", "pipeline"),
+                       default=None,
                        dest="worker_kind",
                        help="worker behind the grid: 'training' simulates paper-scale "
                             "jobs (run_training, the default), 'numeric' trains tiny "
-                            "models for real (run_numeric_training)")
+                            "models for real (run_numeric_training), 'pipeline' "
+                            "simulates pipeline-parallel iterations (run_pipeline; "
+                            "--strategies becomes the schedule axis)")
     sweep.add_argument("--executor", default=None,
                        choices=EXECUTOR_CHOICES + ("training", "numeric"),
                        help="dispatch backend: 'serial', 'pool' (local processes), "
@@ -225,11 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--models", default=None,
                        help="comma-separated model presets (one sweep axis; default "
                             "7B,20B for training, nano,tiny-1M for numeric)")
-    sweep.add_argument("--strategies", default=",".join(available_strategies()),
-                       help="comma-separated strategies (one sweep axis)")
+    sweep.add_argument("--strategies", default=None,
+                       help="comma-separated strategies (one sweep axis; default: all "
+                            "registered offload strategies, or all schedule families "
+                            "with --worker pipeline, where this is the schedule axis)")
     sweep.add_argument("--machines", default=None,
                        help="comma-separated machine presets (adds a machine axis, "
-                            "training executor only), e.g. jlse-4xh100,4xv100")
+                            "training and pipeline workers only), e.g. jlse-4xh100,4xv100")
     sweep.add_argument("--axis", action="append", default=[], dest="axes",
                        metavar="KEY=V1,V2",
                        help="extra axis over a worker keyword, "
@@ -320,9 +356,12 @@ def _cmd_config(args: argparse.Namespace) -> int:
 
 
 def _cmd_list_presets() -> int:
+    from repro.pipeline import available_schedules
+
     print("Models    :", ", ".join(list_model_presets(include_tiny=True)))
     print("Machines  :", ", ".join(list_machine_presets()))
     print("Strategies:", ", ".join(available_strategies()))
+    print("Schedules :", ", ".join(available_schedules()))
     print("Experiments:", ", ".join(sorted(EXPERIMENT_MODULES)))
     return 0
 
@@ -356,6 +395,54 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if "zero3-offload" in valid and "deep-optimizer-states" in valid:
         speedup = valid["deep-optimizer-states"].speedup_over(valid["zero3-offload"])
         print(f"\nDeep Optimizer States speedup over ZeRO-3 offload: {speedup:.2f}x")
+    return 0
+
+
+def _print_registry(title: str, registry) -> None:
+    print(f"{title}:")
+    for entry in registry.entries():
+        aliases = f"  (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"  {entry.name:<22} {entry.description}{aliases}")
+
+
+_PIPELINE_COLUMNS = (
+    "schedule", "stages", "microbatches", "op_count", "makespan_s", "ideal_s",
+    "bubble_fraction", "f_s", "b_s", "w_s", "comm_s",
+    "min_stage_utilization", "max_stage_utilization",
+)
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.baselines.registry import STRATEGIES
+    from repro.pipeline import SCHEDULES, simulate_pipeline
+
+    if args.list_schedules:
+        # Both scenario families share the registry mechanism; list them
+        # together so one command answers "what can I plug in here".
+        _print_registry("Pipeline schedules", SCHEDULES)
+        _print_registry("Offload strategies", STRATEGIES)
+        return 0
+    with configure(scheduler=args.scheduler):
+        result = simulate_pipeline(
+            schedule=args.schedule,
+            stages=args.stages,
+            microbatches=args.microbatches,
+            model=args.model,
+            machine=args.machine,
+            microbatch_size=args.microbatch_size,
+            activation_checkpointing=not args.no_activation_checkpointing,
+            **({} if args.backward_split is None
+               else {"backward_split": args.backward_split}),
+        )
+    payload = result.to_dict()
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    width = max(len(name) for name in _PIPELINE_COLUMNS)
+    for name in _PIPELINE_COLUMNS:
+        value = payload[name]
+        rendered = f"{value:.6f}" if isinstance(value, float) else str(value)
+        print(f"{name:<{width}}  {rendered}")
     return 0
 
 
@@ -430,7 +517,10 @@ def _split_sweep_executor(args: argparse.Namespace) -> tuple[str, str | None]:
 
     ``--executor training|numeric`` predates the dispatch subsystem and named
     the *worker*, not the backend; it keeps working as a deprecated alias so
-    existing invocations and docs do not break.
+    existing invocations and docs do not break.  With neither flag given, the
+    default worker kind follows the resolved ``scenario_family`` policy field
+    (``$REPRO_SCENARIO_FAMILY`` / ``configure(scenario_family=...)``): the
+    ``offload`` family sweeps training jobs, ``pipeline`` sweeps schedules.
     """
     worker_kind = args.worker_kind
     backend = args.executor
@@ -444,7 +534,12 @@ def _split_sweep_executor(args: argparse.Namespace) -> tuple[str, str | None]:
               file=sys.stderr)
         worker_kind = backend
         backend = None
-    return worker_kind or "training", backend
+    if worker_kind is None:
+        family = ExecutionPolicy.resolve(
+            env_fields=("scenario_family",)
+        ).scenario_family
+        worker_kind = "pipeline" if family == "pipeline" else "training"
+    return worker_kind, backend
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -464,22 +559,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     worker_kind, executor_backend = _split_sweep_executor(args)
     numeric = worker_kind == "numeric"
-    models = args.models if args.models is not None else ("nano,tiny-1M" if numeric else "7B,20B")
+    pipeline = worker_kind == "pipeline"
+    if args.models is not None:
+        models = args.models
+    elif numeric:
+        models = "nano,tiny-1M"
+    elif pipeline:
+        models = "20B"
+    else:
+        models = "7B,20B"
     axes: dict[str, tuple] = {}
     if models:
         axes["model"] = _parse_values(models)
-    if args.strategies:
-        axes["strategy"] = _parse_values(args.strategies)
+    # The pipeline worker's pluggable axis is the schedule family, so the
+    # --strategies flag feeds the "schedule" axis there; both default to every
+    # registered member of their registry.
+    if args.strategies is not None:
+        strategy_values = _parse_values(args.strategies)
+    elif pipeline:
+        from repro.pipeline import available_schedules
+
+        strategy_values = tuple(available_schedules())
+    else:
+        strategy_values = tuple(available_strategies())
+    if strategy_values:
+        axes["schedule" if pipeline else "strategy"] = strategy_values
     if args.machines:
         if numeric:
             raise ConfigurationError(
-                "--machines applies to the training worker (--worker training) only"
+                "--machines applies to the training and pipeline workers only"
             )
         axes["machine"] = _parse_values(args.machines)
     for item in args.axes:
         key, raw = _parse_assignment(item)
         axes[key] = _parse_values(raw)
-    base: dict = {"steps" if numeric else "iterations": args.iterations}
+    # run_pipeline simulates a single iteration; it takes no iteration count.
+    base: dict = {} if pipeline else {"steps" if numeric else "iterations": args.iterations}
     for item in args.overrides:
         key, raw = _parse_assignment(item)
         values = _parse_values(raw)
@@ -507,9 +622,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if event.get("event") == "coordinator-listening" else None
         )
 
+    if pipeline:
+        from repro.pipeline import run_pipeline
+
+        worker = run_pipeline
+    elif numeric:
+        worker = run_numeric_training
+    else:
+        worker = run_training
+
     spec = SweepSpec.build(axes, base)
     runner = SweepRunner(
-        run_numeric_training if numeric else run_training,
+        worker,
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=cache_dir,
@@ -522,8 +646,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     result = runner.run(spec)
 
-    if numeric:
-        # Numeric workers return flat JSON dicts; drop the axis duplicates and
+    if numeric or pipeline:
+        # These workers return flat JSON dicts; drop the axis duplicates and
         # inline the rest as value columns.
         axis_columns = list(spec.axis_names)
         rows = result.rows(value_columns=lambda summary: {
@@ -625,6 +749,8 @@ def _run_command(args: argparse.Namespace) -> int:
         return _cmd_compare(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "pipeline":
+        return _cmd_pipeline(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "worker":

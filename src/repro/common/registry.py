@@ -1,0 +1,104 @@
+"""A small discoverable registry for named, pluggable families.
+
+Two layers used to hard-code their family members: the offload strategies
+lived in an ``if``-ladder inside :mod:`repro.baselines.registry` and the CLI
+repeated the names in its ``--strategies`` default.  With the pipeline
+subsystem adding a second family (schedule passes), the names move into
+registries instead: a family is a :class:`Registry` of :class:`Entry` records
+(canonical name, aliases, one-line description, builder), and every surface
+that enumerates members — ``repro pipeline --list-schedules``,
+``repro list-presets``, the serve handlers, the policy validators — reads the
+registry rather than repeating a list.
+
+Entries are matched case-insensitively on the canonical name or any alias,
+with ``-``/``_`` treated as equivalent, mirroring how the strategy names have
+always been parsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import ConfigurationError
+
+
+def _canonical(name: str) -> str:
+    """The lookup key of a name: lower-cased, ``_`` folded into ``-``."""
+    return name.strip().lower().replace("_", "-")
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One registered family member."""
+
+    name: str
+    builder: Callable[..., Any]
+    aliases: tuple[str, ...] = ()
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+
+class Registry:
+    """Named members of one pluggable family (insertion-ordered)."""
+
+    def __init__(self, family: str) -> None:
+        self.family = family
+        self._entries: dict[str, Entry] = {}
+        self._lookup: dict[str, str] = {}
+
+    def register(
+        self,
+        name: str,
+        builder: Callable[..., Any],
+        *,
+        aliases: tuple[str, ...] = (),
+        description: str = "",
+        **metadata: Any,
+    ) -> Entry:
+        """Add one member; canonical names and aliases must be unique."""
+        name = _canonical(name)
+        entry = Entry(name=name, builder=builder, aliases=tuple(aliases),
+                      description=description, metadata=dict(metadata))
+        if name in self._entries:
+            raise ConfigurationError(
+                f"{self.family} {name!r} is already registered"
+            )
+        for key in (name,) + entry.aliases:
+            folded = _canonical(key)
+            if folded in self._lookup:
+                raise ConfigurationError(
+                    f"{self.family} name {key!r} already maps to "
+                    f"{self._lookup[folded]!r}"
+                )
+            self._lookup[folded] = name
+        self._entries[name] = entry
+        return entry
+
+    def names(self) -> list[str]:
+        """Canonical member names, in registration order."""
+        return list(self._entries)
+
+    def entries(self) -> list[Entry]:
+        """All entries, in registration order."""
+        return list(self._entries.values())
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and _canonical(name) in self._lookup
+
+    def get(self, name: str) -> Entry:
+        """Resolve a name or alias to its entry, or raise with the valid names."""
+        if not isinstance(name, str):
+            raise ConfigurationError(
+                f"{self.family} name must be a string, got {name!r}"
+            )
+        canonical = self._lookup.get(_canonical(name))
+        if canonical is None:
+            raise ConfigurationError(
+                f"unknown {self.family} {name!r}; available: {self.names()}"
+            )
+        return self._entries[canonical]
+
+    def build(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Look up ``name`` and invoke its builder."""
+        return self.get(name).builder(*args, **kwargs)

@@ -28,6 +28,8 @@ EXPERIMENT_MODULES = {
     "fig15": "repro.experiments.fig15_resource_utilization",
     "fig16": "repro.experiments.fig16_perf_model_validation",
     "fig17": "repro.experiments.fig17_weak_scaling",
+    "pipe1": "repro.experiments.pipe1_bubble_fraction",
+    "pipe2": "repro.experiments.pipe2_schedule_grid",
 }
 
 __all__ = ["ExperimentResult", "run_experiment", "model_sweep", "EXPERIMENT_MODULES"]

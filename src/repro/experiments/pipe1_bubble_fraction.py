@@ -1,0 +1,60 @@
+"""pipe1: pipeline bubble fraction vs microbatch count per schedule family.
+
+The pipeline-parallel counterpart of the paper's utilization figures: for a
+fixed stage count, more in-flight microbatches amortize the fill/drain bubble
+(``~ (stages-1)/(microbatches + stages-1)``), and the zero-bubble schedule
+sits strictly below 1F1B at every grid point because its deferred
+weight-gradient halves convert bubble into useful work (Qi et al.,
+"Zero Bubble Pipeline Parallelism" — the schedule family, applied to this
+reproduction's simulated timing model).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.pipeline import available_schedules, pipeline_sweep
+
+#: The asymptotic behaviour the figure checks: bubble -> 0 as microbatches grow.
+PAPER_BUBBLE_LIMIT = 0.0
+
+
+def run(
+    stages: int = 4,
+    microbatches: tuple[int, ...] = (2, 4, 8, 16, 32),
+    schedules: tuple[str, ...] | None = None,
+    model: str = "20B",
+    machine: str = "jlse-4xh100",
+) -> ExperimentResult:
+    """Sweep microbatch counts for every schedule family at a fixed stage count."""
+    names = tuple(schedules) if schedules is not None else tuple(available_schedules())
+    results = pipeline_sweep(
+        {"microbatches": tuple(microbatches), "schedule": names},
+        base={"stages": stages, "model": model, "machine": machine},
+    )
+    rows = []
+    for count in microbatches:
+        row: dict = {"microbatches": count}
+        for name in names:
+            summary = results[(count, name)]
+            row[f"{name}_bubble"] = round(summary["bubble_fraction"], 4)
+            row[f"{name}_makespan_s"] = round(summary["makespan_s"], 4)
+        if "1f1b" in names and "zb" in names:
+            gain = results[(count, "1f1b")]["makespan_s"] - results[(count, "zb")]["makespan_s"]
+            row["zb_saving_s"] = round(gain, 4)
+        rows.append(row)
+    series = {
+        f"{name}_bubble": [row[f"{name}_bubble"] for row in rows] for name in names
+    }
+    return ExperimentResult(
+        experiment_id="pipe1",
+        title=f"Pipeline bubble fraction vs microbatch count ({stages} stages)",
+        rows=rows,
+        series=series,
+        paper_reference={"bubble_limit": PAPER_BUBBLE_LIMIT},
+        notes=(
+            "The bubble fraction decays toward zero as microbatches amortize the "
+            "fill/drain phases; splitting the backward pass (zb) keeps the "
+            "gradient chain light and fills the residual bubble with deferred "
+            "weight-gradient work, so its curve sits strictly below 1F1B."
+        ),
+    )

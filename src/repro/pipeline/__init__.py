@@ -1,0 +1,69 @@
+"""Pipeline-parallel schedules as a first-class scenario family.
+
+The package follows a compiler shape: a small stage-graph IR
+(:mod:`repro.pipeline.ir`), a family of schedule passes emitting per-stage
+node orders (:mod:`repro.pipeline.schedules` — ``gpipe``, ``1f1b`` and the
+zero-bubble ``zb`` pass that splits the backward into its B/W halves), and a
+lowering (:mod:`repro.pipeline.lowering`) onto the ordinary discrete-event
+engine with per-stage compute and per-boundary link resources.  Strategies
+(:mod:`repro.pipeline.strategy`) mirror the offload-strategy hook set, and
+:func:`simulate_pipeline` / :func:`run_pipeline` surface the family through
+the same policy, sweep, CLI and serve machinery as every other scenario.
+See ``docs/pipeline.md``.
+"""
+
+from repro.pipeline.ir import (
+    PipelineSchedule,
+    PipeOp,
+    ScheduledNode,
+    insert_comm_nodes,
+    validate_schedule,
+)
+from repro.pipeline.lowering import (
+    LoweredPipeline,
+    link_resource,
+    lower_schedule,
+    pipeline_resource_names,
+    pipeline_resources,
+    stage_resource,
+)
+from repro.pipeline.run import pipeline_sweep, run_pipeline
+from repro.pipeline.schedules import SCHEDULES, available_schedules, build_schedule
+from repro.pipeline.simulate import PipelineResult, simulate_pipeline
+from repro.pipeline.strategy import (
+    PipelineStrategy,
+    SchedulePipelineStrategy,
+    build_pipeline_strategy,
+)
+from repro.pipeline.timing import (
+    DEFAULT_BACKWARD_SPLIT,
+    PipelineTiming,
+    timing_from_presets,
+)
+
+__all__ = [
+    "DEFAULT_BACKWARD_SPLIT",
+    "SCHEDULES",
+    "LoweredPipeline",
+    "PipeOp",
+    "PipelineResult",
+    "PipelineSchedule",
+    "PipelineStrategy",
+    "PipelineTiming",
+    "SchedulePipelineStrategy",
+    "ScheduledNode",
+    "available_schedules",
+    "build_pipeline_strategy",
+    "build_schedule",
+    "insert_comm_nodes",
+    "link_resource",
+    "lower_schedule",
+    "pipeline_resource_names",
+    "pipeline_resources",
+    "pipeline_sweep",
+    "run_pipeline",
+    "simulate_pipeline",
+    "stage_resource",
+    "timing_from_presets",
+    "validate_schedule",
+]

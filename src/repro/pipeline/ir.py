@@ -1,0 +1,232 @@
+"""Stage-graph IR for pipeline-parallel schedules.
+
+The IR follows the shape of sail-sg/zero-bubble's runtime description: a
+schedule is, per pipeline stage, an ordered list of :class:`ScheduledNode`
+records over ``stages x microbatches``, where each node is one of five op
+kinds (:class:`PipeOp`):
+
+* ``F`` — the forward pass of one microbatch through one stage;
+* ``B`` — the *input-gradient* half of the backward pass (the part the
+  upstream stage waits for);
+* ``W`` — the *weight-gradient* half of the backward pass (local work that
+  can be deferred to fill bubbles — the zero-bubble decomposition);
+* ``SEND``/``RECV`` — the activation/gradient transfer between adjacent
+  stages over the inter-stage link.
+
+Schedule passes (:mod:`repro.pipeline.schedules`) emit only the compute nodes
+(``F``/``B``/``W``); :func:`insert_comm_nodes` derives the communication
+nodes deterministically from the stage topology, so every pass stays a pure
+statement of *compute order* and the comm protocol lives in one place.
+
+The IR is deliberately simulation-free: node records carry no times.  Lowering
+to timed op rows for the discrete-event engine happens in
+:mod:`repro.pipeline.lowering`; :func:`validate_schedule` checks the
+IR-level invariants (completeness, per-microbatch F->B->W order, comm-node
+pairing) that the hypothesis property suite exercises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+class PipeOp(enum.Enum):
+    """Op kinds of the pipeline stage graph."""
+
+    F = "F"
+    B = "B"
+    W = "W"
+    SEND = "SEND"
+    RECV = "RECV"
+
+    @property
+    def is_compute(self) -> bool:
+        """True for the stage-local compute kinds (F/B/W)."""
+        return self in (PipeOp.F, PipeOp.B, PipeOp.W)
+
+
+@dataclass(frozen=True)
+class ScheduledNode:
+    """One node of the stage graph.
+
+    ``stage``/``microbatch`` locate the node; for ``SEND``/``RECV`` nodes
+    ``peer`` names the other end of the transfer and ``payload`` is the
+    compute kind whose tensor moves (``F`` for activations flowing forward,
+    ``B`` for input gradients flowing backward).
+    """
+
+    op: PipeOp
+    stage: int
+    microbatch: int
+    peer: int = -1
+    payload: PipeOp | None = None
+
+    def __str__(self) -> str:
+        if self.op.is_compute:
+            return f"{self.op.value}{self.microbatch}@{self.stage}"
+        return (f"{self.op.value}[{self.payload.value}]{self.microbatch}"
+                f"@{self.stage}->{self.peer}")
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """A complete schedule: one ordered node tuple per stage.
+
+    ``orders[i]`` is the execution order of stage ``i``.  Compute-only
+    schedules (straight out of a pass) contain ``F``/``B``/``W`` nodes;
+    :func:`insert_comm_nodes` returns the communication-complete form the
+    lowering consumes.
+    """
+
+    name: str
+    stages: int
+    microbatches: int
+    orders: tuple[tuple[ScheduledNode, ...], ...]
+
+    @property
+    def has_comm_nodes(self) -> bool:
+        """True once SEND/RECV nodes have been inserted."""
+        return any(
+            not node.op.is_compute for order in self.orders for node in order
+        )
+
+    def compute_nodes(self, stage: int) -> list[ScheduledNode]:
+        """The F/B/W nodes of one stage, in order."""
+        return [node for node in self.orders[stage] if node.op.is_compute]
+
+
+def insert_comm_nodes(schedule: PipelineSchedule) -> PipelineSchedule:
+    """Derive SEND/RECV nodes from the stage topology.
+
+    For every ``F`` at stage ``i < stages-1`` a ``SEND`` of the activations to
+    stage ``i+1`` follows the producer, and the consuming ``F`` at stage
+    ``i+1`` is preceded by the matching ``RECV``.  Input gradients mirror
+    this: every ``B`` at stage ``i > 0`` sends to stage ``i-1``, whose ``B``
+    is preceded by the ``RECV``.  Placement next to the producer/consumer
+    preserves the pass's compute order exactly, so the feasibility of the
+    compute schedule carries over to the communication-complete one.
+    """
+    if schedule.has_comm_nodes:
+        return schedule
+    last = schedule.stages - 1
+    orders: list[tuple[ScheduledNode, ...]] = []
+    for stage, order in enumerate(schedule.orders):
+        full: list[ScheduledNode] = []
+        for node in order:
+            if node.op is PipeOp.F and stage > 0:
+                full.append(ScheduledNode(PipeOp.RECV, stage, node.microbatch,
+                                          peer=stage - 1, payload=PipeOp.F))
+            if node.op is PipeOp.B and stage < last:
+                full.append(ScheduledNode(PipeOp.RECV, stage, node.microbatch,
+                                          peer=stage + 1, payload=PipeOp.B))
+            full.append(node)
+            if node.op is PipeOp.F and stage < last:
+                full.append(ScheduledNode(PipeOp.SEND, stage, node.microbatch,
+                                          peer=stage + 1, payload=PipeOp.F))
+            if node.op is PipeOp.B and stage > 0:
+                full.append(ScheduledNode(PipeOp.SEND, stage, node.microbatch,
+                                          peer=stage - 1, payload=PipeOp.B))
+        orders.append(tuple(full))
+    return PipelineSchedule(
+        name=schedule.name,
+        stages=schedule.stages,
+        microbatches=schedule.microbatches,
+        orders=tuple(orders),
+    )
+
+
+def validate_schedule(schedule: PipelineSchedule) -> None:
+    """Check the IR invariants; raises :class:`ConfigurationError` on violation.
+
+    * every stage executes exactly one ``F``, one ``B`` and one ``W`` per
+      microbatch, and nothing else computes;
+    * within a stage, each microbatch's ``F`` precedes its ``B`` precedes its
+      ``W`` (the F->B->W dependency order);
+    * communication nodes (when present) pair up: every cross-stage edge has
+      exactly one ``SEND`` at the producer and one ``RECV`` at the consumer,
+      with the ``RECV`` preceding its consuming compute node.
+    """
+    if schedule.stages < 1 or schedule.microbatches < 1:
+        raise ConfigurationError(
+            f"schedule {schedule.name!r} needs >=1 stage and >=1 microbatch"
+        )
+    if len(schedule.orders) != schedule.stages:
+        raise ConfigurationError(
+            f"schedule {schedule.name!r} has {len(schedule.orders)} stage "
+            f"orders for {schedule.stages} stages"
+        )
+    for stage, order in enumerate(schedule.orders):
+        position: dict[tuple[PipeOp, int], int] = {}
+        for index, node in enumerate(order):
+            if node.stage != stage:
+                raise ConfigurationError(
+                    f"{node} appears in stage {stage}'s order"
+                )
+            if not 0 <= node.microbatch < schedule.microbatches:
+                raise ConfigurationError(f"{node} has an out-of-range microbatch")
+            key = (node.op, node.microbatch)
+            if node.op.is_compute:
+                if key in position:
+                    raise ConfigurationError(f"duplicate compute node {node}")
+                position[key] = index
+        for microbatch in range(schedule.microbatches):
+            try:
+                f = position[(PipeOp.F, microbatch)]
+                b = position[(PipeOp.B, microbatch)]
+                w = position[(PipeOp.W, microbatch)]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"stage {stage} is missing a compute node for microbatch "
+                    f"{microbatch}: {exc}"
+                ) from None
+            if not f < b < w:
+                raise ConfigurationError(
+                    f"stage {stage} microbatch {microbatch} violates F->B->W "
+                    f"order (positions F={f}, B={b}, W={w})"
+                )
+        extra = len([n for n in order if n.op.is_compute]) - 3 * schedule.microbatches
+        if extra:
+            raise ConfigurationError(
+                f"stage {stage} schedules {extra} surplus compute nodes"
+            )
+    if schedule.has_comm_nodes:
+        _validate_comm_nodes(schedule)
+
+
+def _validate_comm_nodes(schedule: PipelineSchedule) -> None:
+    """Pairing and placement checks for SEND/RECV nodes."""
+    sends: set[tuple[int, int, int, PipeOp]] = set()
+    recvs: set[tuple[int, int, int, PipeOp]] = set()
+    for stage, order in enumerate(schedule.orders):
+        for index, node in enumerate(order):
+            if node.op is PipeOp.SEND:
+                sends.add((node.stage, node.peer, node.microbatch, node.payload))
+            elif node.op is PipeOp.RECV:
+                recvs.add((node.peer, node.stage, node.microbatch, node.payload))
+                # The consuming compute node must follow its RECV.
+                consumer = next(
+                    (later for later in order[index + 1:]
+                     if later.op is node.payload
+                     and later.microbatch == node.microbatch),
+                    None,
+                )
+                if consumer is None:
+                    raise ConfigurationError(
+                        f"{node} has no downstream consumer in stage {stage}"
+                    )
+    expected: set[tuple[int, int, int, PipeOp]] = set()
+    for microbatch in range(schedule.microbatches):
+        for stage in range(schedule.stages - 1):
+            expected.add((stage, stage + 1, microbatch, PipeOp.F))
+            expected.add((stage + 1, stage, microbatch, PipeOp.B))
+    for label, present in (("SEND", sends), ("RECV", recvs)):
+        if present != expected:
+            missing = sorted(expected - present)[:3]
+            surplus = sorted(present - expected)[:3]
+            raise ConfigurationError(
+                f"schedule {schedule.name!r} has mismatched {label} nodes "
+                f"(missing {missing}, surplus {surplus})"
+            )

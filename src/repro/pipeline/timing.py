@@ -1,0 +1,101 @@
+"""Per-node durations for lowering a pipeline schedule to timed operations.
+
+A :class:`PipelineTiming` holds the four durations that parameterize every
+pipeline scenario: the per-stage forward time of one microbatch, the two
+halves of the per-stage backward time (input gradients ``B``, weight
+gradients ``W`` — the zero-bubble decomposition), and the inter-stage
+activation/gradient transfer time.  Tests construct it directly;
+:func:`timing_from_presets` derives it from the same model/machine presets
+and FLOPs model (:mod:`repro.model.flops`) the offload scenarios use, with
+layers divided evenly across stages and transfers riding the NVLink
+bandwidth of the machine preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.hardware.presets import get_machine_preset
+from repro.model.flops import backward_compute_seconds, forward_compute_seconds
+from repro.model.presets import get_model_preset
+
+#: Fraction of the backward pass attributed to the input-gradient half (``B``).
+#: The zero-bubble paper measures the two halves as roughly equal; the split is
+#: a scenario knob, not a constant of the decomposition.
+DEFAULT_BACKWARD_SPLIT = 0.5
+
+#: Bytes per activation element exchanged between stages (fp16).
+_ACTIVATION_BYTES_PER_ELEMENT = 2
+
+
+@dataclass(frozen=True)
+class PipelineTiming:
+    """Durations (seconds) of one microbatch's work at one stage."""
+
+    f_seconds: float
+    b_seconds: float
+    w_seconds: float
+    comm_seconds: float
+    comm_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("f_seconds", "b_seconds", "w_seconds", "comm_seconds"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.comm_bytes < 0:
+            raise ConfigurationError("comm_bytes must be non-negative")
+
+    @property
+    def backward_seconds(self) -> float:
+        """The full backward duration (``B`` + ``W``)."""
+        return self.b_seconds + self.w_seconds
+
+    @property
+    def stage_seconds(self) -> float:
+        """Total compute of one microbatch at one stage (``F`` + ``B`` + ``W``)."""
+        return self.f_seconds + self.backward_seconds
+
+
+def timing_from_presets(
+    model: str = "20B",
+    machine: str = "jlse-4xh100",
+    *,
+    stages: int,
+    microbatch_size: int = 1,
+    activation_checkpointing: bool = True,
+    backward_split: float = DEFAULT_BACKWARD_SPLIT,
+) -> PipelineTiming:
+    """Derive stage timings from the model/machine presets.
+
+    The whole model's forward/backward compute (from the calibrated FLOPs
+    model) is split evenly across ``stages``; the backward half-split follows
+    ``backward_split`` (fraction of the backward pass spent on input
+    gradients).  The inter-stage payload is one microbatch of fp16 boundary
+    activations (``microbatch x sequence x hidden``) over the machine's
+    NVLink device-to-device bandwidth.
+    """
+    if stages < 1:
+        raise ConfigurationError("stages must be >= 1")
+    if not 0.0 < backward_split < 1.0:
+        raise ConfigurationError("backward_split must be strictly between 0 and 1")
+    config = get_model_preset(model)
+    spec = get_machine_preset(machine)
+    peak_flops = spec.gpu.fp16_tflops * 1e12
+    forward = forward_compute_seconds(config, microbatch_size, peak_flops) / stages
+    backward = backward_compute_seconds(
+        config, microbatch_size, peak_flops,
+        activation_checkpointing=activation_checkpointing,
+    ) / stages
+    comm_bytes = (
+        microbatch_size * config.sequence_length * config.hidden_size
+        * _ACTIVATION_BYTES_PER_ELEMENT
+    )
+    comm_seconds = comm_bytes / (spec.nvlink.d2d_gbps * 1e9)
+    return PipelineTiming(
+        f_seconds=forward,
+        b_seconds=backward * backward_split,
+        w_seconds=backward * (1.0 - backward_split),
+        comm_seconds=comm_seconds,
+        comm_bytes=comm_bytes,
+    )

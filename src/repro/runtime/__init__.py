@@ -17,7 +17,9 @@ from repro.runtime.policy import (
     EXECUTOR_BACKENDS,
     EXECUTOR_CHOICES,
     OP_BACKENDS,
+    PIPELINE_FIELDS,
     POLICY_FIELDS,
+    SCENARIO_FAMILIES,
     SCHEDULER_CHOICES,
     SIMULATION_FIELDS,
     SWEEP_MODE_CHOICES,
@@ -40,7 +42,9 @@ __all__ = [
     "EXECUTOR_BACKENDS",
     "EXECUTOR_CHOICES",
     "OP_BACKENDS",
+    "PIPELINE_FIELDS",
     "POLICY_FIELDS",
+    "SCENARIO_FAMILIES",
     "SCHEDULER_CHOICES",
     "SIMULATION_FIELDS",
     "SWEEP_MODE_CHOICES",

@@ -84,6 +84,15 @@ DEFAULT_AUTO_VECTOR_THRESHOLD = 50_000
 #: (``SimEngine.install_middleware``) runs the resolved chain.
 SIMULATION_FIELDS = ("op_backend", "scheduler", "auto_vector_threshold", "middleware")
 
+#: The scenario families the toolkit simulates.  ``scenario_family`` selects
+#: which axis a generic surface (the sweep CLI's default worker, serve's
+#: dispatch) operates on; it never changes how a family simulates.
+SCENARIO_FAMILIES = ("offload", "pipeline")
+
+#: The fields ``simulate_pipeline`` consumes: the simulation set plus the
+#: schedule-family default (``pipeline_schedule``).
+PIPELINE_FIELDS = SIMULATION_FIELDS + ("pipeline_schedule",)
+
 #: Source labels attached to each resolved field.
 SOURCE_ARG = "arg"
 SOURCE_CONTEXT = "context"
@@ -178,6 +187,27 @@ _validate_jobs = _validate_positive_int("jobs")
 _validate_workers = _validate_positive_int("workers")
 
 
+def _validate_scenario_family(value: Any) -> str:
+    if value not in SCENARIO_FAMILIES:
+        raise ConfigurationError(
+            f"unknown scenario family {value!r}; expected one of "
+            f"{', '.join(repr(name) for name in SCENARIO_FAMILIES)}"
+        )
+    return value
+
+
+def _validate_pipeline_schedule(value: Any) -> str:
+    # Deferred import: the pipeline package sits above the policy layer.
+    from repro.pipeline.schedules import SCHEDULES
+
+    if not isinstance(value, str) or value not in SCHEDULES:
+        valid = ", ".join(repr(name) for name in SCHEDULES.names())
+        raise ConfigurationError(
+            f"unknown pipeline schedule {value!r}; expected one of {valid}"
+        )
+    return SCHEDULES.get(value).name
+
+
 def _validate_use_cache(value: Any) -> bool:
     if not isinstance(value, bool):
         raise ConfigurationError("use_cache must be a boolean")
@@ -241,6 +271,16 @@ POLICY_FIELDS: dict[str, _FieldSpec] = {
         normalize_middleware_specs,
         normalize_middleware_specs,
         tuple,
+    ),
+    # Scenario-family selection: which axis generic surfaces (sweep CLI default
+    # worker, serve dispatch) operate on, and the default pipeline schedule
+    # pass.  Families simulate identically regardless of these — they are
+    # routing defaults, not simulation semantics.
+    "scenario_family": _FieldSpec(
+        "REPRO_SCENARIO_FAMILY", str, _validate_scenario_family, lambda: "offload"
+    ),
+    "pipeline_schedule": _FieldSpec(
+        "REPRO_PIPELINE_SCHEDULE", str, _validate_pipeline_schedule, lambda: "1f1b"
     ),
 }
 
@@ -367,6 +407,8 @@ class ExecutionPolicy:
     use_cache: bool = False
     cache_dir: Path = field(default_factory=_default_cache_dir)
     middleware: tuple = ()
+    scenario_family: str = "offload"
+    pipeline_schedule: str = "1f1b"
     sources: Mapping[str, str] = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:

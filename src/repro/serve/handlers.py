@@ -48,6 +48,7 @@ CLIENT_POLICY_FIELDS = tuple(name for name in POLICY_FIELDS if name != "cache_di
 SWEEP_WORKERS = {
     "training": "repro.experiments.base:run_training",
     "numeric": "repro.training.numeric:run_numeric_training",
+    "pipeline": "repro.pipeline.run:run_pipeline",
 }
 
 

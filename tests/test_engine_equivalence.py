@@ -314,6 +314,98 @@ def test_schedulers_match_on_zero_duration_diamond():
     assert triples[-1] == (bottom.op_id, 1.0, 1.5)
 
 
+# ------------------------------------------------ pipeline-shaped topologies
+#
+# The ``repro.pipeline`` lowering emits a characteristic DAG shape the random
+# generator above rarely produces: long cross-resource chains (a microbatch's
+# forward walks every stage resource with a SEND/RECV link hop between each)
+# and send/recv fan-in (a compute op depending on both its same-stage
+# predecessor chain and a zero-duration RECV barrier fed from another
+# resource).  These cases pin that shape explicitly — first as a randomized
+# synthetic topology, then through the real lowering.
+
+
+@st.composite
+def _pipeline_dags(draw, max_stages: int = 4, max_microbatches: int = 5):
+    """A synthetic pipeline topology over stage + link resources.
+
+    Per microbatch: an F chain down the stages and a B chain back up, each hop
+    via SEND (on a link resource) -> RECV (zero-duration, on the consuming
+    stage) -> compute, so every compute op past stage 0 is a fan-in of its
+    RECV and the per-stage FIFO order.
+    """
+    stages = draw(st.integers(2, max_stages))
+    microbatches = draw(st.integers(1, max_microbatches))
+    resources = tuple(f"stage{i}" for i in range(stages)) + tuple(
+        f"link{i}" for i in range(stages - 1)
+    )
+    durations = [draw(_DURATIONS) for _ in range(3)]  # f, b, comm
+    f_dur, b_dur, comm_dur = durations
+    ops: list[SimOp] = []
+
+    def emit(name, kind, resource, duration, deps):
+        op = SimOp(name=name, kind=kind, resource=resource,
+                   duration=duration, deps=deps)
+        ops.append(op)
+        return op
+
+    for mb in range(microbatches):
+        previous = None
+        for stage in range(stages):  # forward chain down the stages
+            deps: tuple[int, ...] = ()
+            if previous is not None:
+                send = emit(f"sendF{mb}@{stage - 1}", OpKind.D2D,
+                            f"link{stage - 1}", comm_dur, (previous.op_id,))
+                recv = emit(f"recvF{mb}@{stage}", OpKind.BARRIER,
+                            f"stage{stage}", 0.0, (send.op_id,))
+                deps = (recv.op_id,)
+            previous = emit(f"F{mb}@{stage}", OpKind.GPU_COMPUTE,
+                            f"stage{stage}", f_dur, deps)
+        for stage in reversed(range(stages)):  # backward chain back up
+            deps = (previous.op_id,)
+            if stage < stages - 1:
+                send = emit(f"sendB{mb}@{stage + 1}", OpKind.D2D,
+                            f"link{stage}", comm_dur, (previous.op_id,))
+                recv = emit(f"recvB{mb}@{stage}", OpKind.BARRIER,
+                            f"stage{stage}", 0.0, (send.op_id,))
+                deps = (recv.op_id,)
+            previous = emit(f"B{mb}@{stage}", OpKind.GPU_COMPUTE,
+                            f"stage{stage}", b_dur, deps)
+    return ops, resources
+
+
+@settings(max_examples=40, deadline=None)
+@given(_pipeline_dags())
+def test_schedulers_match_on_pipeline_shaped_topologies(case):
+    """Long cross-resource chains with send/recv fan-in agree bit for bit."""
+    ops, resources = case
+    assert_all_schedulers_agree(ops, {}, resources)
+
+
+def test_schedulers_match_on_lowered_pipeline_schedules():
+    """The real ``repro.pipeline`` lowering agrees across all four schedulers."""
+    from repro.pipeline import (
+        PipelineTiming,
+        build_schedule,
+        lower_schedule,
+        pipeline_resource_names,
+    )
+
+    timing = PipelineTiming(f_seconds=1.0, b_seconds=1.5, w_seconds=0.5,
+                            comm_seconds=0.25, comm_bytes=1 << 20)
+    for name in ("gpipe", "1f1b", "zb"):
+        schedule = build_schedule(name, stages=3, microbatches=4, timing=timing)
+        lowered = lower_schedule(schedule, timing)
+        resources = tuple(pipeline_resource_names(3))
+        submissions = [
+            SimOp(name=row[0], kind=row[1], resource=row[2], duration=row[3],
+                  deps=row[4], phase=row[5], subgroup=row[6],
+                  payload_bytes=row[7], gpu_mem_delta=row[8], op_id=row[9])
+            for row in lowered.batch.rows
+        ]
+        assert_all_schedulers_agree(submissions, {}, resources)
+
+
 # --------------------------------------------------- policy resolution paths
 #
 # The harness above proves the *backends* identical on raw DAGs; this section

@@ -12,7 +12,8 @@ from repro.common.errors import ConfigurationError
 
 
 def test_registry_covers_every_table_and_figure():
-    expected = {"table1", "table2", "eq1"} | {f"fig{i}" for i in range(2, 18)}
+    expected = ({"table1", "table2", "eq1"} | {f"fig{i}" for i in range(2, 18)}
+                | {"pipe1", "pipe2"})
     assert set(EXPERIMENT_MODULES) == expected
 
 

@@ -64,6 +64,8 @@ FIELD_CASES = [
      Path("/tmp/ctx-cache"), Path("/tmp/arg-cache")),
     ("middleware", "timing,logging", ("timing", "logging"),
      ("logging",), ("noop",)),
+    ("scenario_family", "pipeline", "pipeline", "offload", "pipeline"),
+    ("pipeline_schedule", "zb", "zb", "gpipe", "zb"),
 ]
 
 DEFAULTS = {
@@ -76,6 +78,8 @@ DEFAULTS = {
     "use_cache": False,
     "cache_dir": Path.home() / ".cache" / "repro" / "sweeps",
     "middleware": (),
+    "scenario_family": "offload",
+    "pipeline_schedule": "1f1b",
 }
 
 
@@ -156,6 +160,8 @@ def test_falsey_env_booleans_parse(monkeypatch):
     {"cache_dir": 42},
     {"middleware": ("warp",)},
     {"middleware": 42},
+    {"scenario_family": "tensor"},
+    {"pipeline_schedule": "interleaved-1f1b"},
 ])
 def test_bad_values_raise_at_construction_and_resolution(kwargs):
     with pytest.raises(ConfigurationError):
@@ -172,11 +178,21 @@ def test_bad_values_raise_at_construction_and_resolution(kwargs):
     ("REPRO_AUTO_VECTOR_THRESHOLD", "1e6"),
     ("REPRO_MIDDLEWARE", "warp"),
     ("REPRO_MIDDLEWARE", "retry:attempts=lots"),
+    ("REPRO_SCENARIO_FAMILY", "tensor"),
+    ("REPRO_PIPELINE_SCHEDULE", "interleaved-1f1b"),
 ])
 def test_unparseable_env_values_raise(monkeypatch, env_var, text):
     monkeypatch.setenv(env_var, text)
     with pytest.raises(ConfigurationError):
         ExecutionPolicy.resolve()
+
+
+def test_pipeline_schedule_aliases_resolve_to_canonical_names(monkeypatch):
+    # The validator folds registry aliases ("zero-bubble", "pipedream-flush")
+    # to their canonical schedule names, at every resolution level.
+    assert ExecutionPolicy.resolve(pipeline_schedule="zero-bubble").pipeline_schedule == "zb"
+    monkeypatch.setenv("REPRO_PIPELINE_SCHEDULE", "pipedream-flush")
+    assert ExecutionPolicy.resolve().pipeline_schedule == "1f1b"
 
 
 def test_unknown_fields_are_rejected_everywhere():
