@@ -73,16 +73,26 @@ so this section gates a *floor*, not a speedup: on an 8-stage x
 with op-by-op byte-identity asserted in-run and the measurements written to
 ``BENCH_pipeline_depth.json``.
 
+**Part 7 — trace-chain overhead.**  Span tracing (:mod:`repro.obs.trace`)
+rides the same coarse-grained seam as Part 5's no-op chain, but each
+interception now records a real span: two uuid draws, a couple of clock
+reads, and a dict append under a lock.  The seventh section schedules the
+100k-op vector batch bare and under an installed ``trace`` chain, asserts
+identical makespans, and gates the ratio: the tracer must add **<= 5%** to
+the 100k-op vector path (``BENCH_MAX_TRACE_OVERHEAD``), with the
+measurements written to ``BENCH_trace_overhead.json``.
+
 Run directly (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_sim_engine_scaling.py
 
-The script asserts all six acceptance criteria: >= 5x pipeline throughput at
-1000+ operations (Part 1), >= 2x ``simulate_job`` throughput at 10k subgroups
-(Part 2), >= 3x ``run_batch`` scheduling throughput at 100k subgroups
-(Part 3), >= 3x sweep throughput on a 256-scenario shared-shape grid
-(Part 4), <= 2% no-op middleware overhead on the 100k-op vector path
-(Part 5), and the vector-kernel floor on the deep pipeline DAG (Part 6).
+The script asserts all seven acceptance criteria: >= 5x pipeline throughput
+at 1000+ operations (Part 1), >= 2x ``simulate_job`` throughput at 10k
+subgroups (Part 2), >= 3x ``run_batch`` scheduling throughput at 100k
+subgroups (Part 3), >= 3x sweep throughput on a 256-scenario shared-shape
+grid (Part 4), <= 2% no-op middleware overhead on the 100k-op vector path
+(Part 5), the vector-kernel floor on the deep pipeline DAG (Part 6), and
+<= 5% trace-chain overhead on the 100k-op vector path (Part 7).
 CI shrinks Part 4 via ``BENCH_SWEEP_SCENARIOS`` and relaxes its gate via
 ``BENCH_MIN_SWEEP_SPEEDUP`` (small grids amortise the compiled plan over
 fewer scenarios).
@@ -164,6 +174,15 @@ MIN_PIPELINE_SPEEDUP = float(os.environ.get("BENCH_MIN_PIPELINE_SPEEDUP", "0.2")
 PIPELINE_CASE = (8, 64)  # (stages, microbatches): ~3.3k ops, depth ~8 chains
 PIPELINE_REPEATS = int(os.environ.get("BENCH_PIPELINE_REPEATS", "5"))
 PIPELINE_RESULT_FILE = "BENCH_pipeline_depth.json"
+
+# Part 7: span-tracing chain overhead on the vector path.  The tracer records
+# one real span per engine run — the gate is looser than Part 5's no-op bar
+# (5% by default) because each interception now does real work, but it still
+# pins "tracing is per-run, never per-op".  Same noise caveat as every gate.
+MAX_TRACE_OVERHEAD = float(os.environ.get("BENCH_MAX_TRACE_OVERHEAD", "0.05"))
+TRACE_REPEATS = int(os.environ.get("BENCH_TRACE_REPEATS", "5"))
+TRACE_CASE = (100_000, 1)
+TRACE_RESULT_FILE = "BENCH_trace_overhead.json"
 
 
 # --------------------------------------------------------------------- seed port
@@ -579,6 +598,75 @@ def bench_middleware_overhead() -> None:
           f"{MIDDLEWARE_RESULT_FILE})")
 
 
+# ------------------------------------------------------ trace-chain overhead
+
+
+def bench_trace_overhead() -> None:
+    """Part 7: an installed ``trace`` chain must stay cheap on the vector path."""
+    import json
+
+    from repro.middleware import build_chain
+    from repro.obs.trace import reset_tracing, snapshot_spans
+
+    subgroups, iterations = TRACE_CASE
+    batch = _build_job_batch(subgroups, iterations)
+    num_ops = len(batch)
+
+    bare_engine = SimEngine(name="bare")
+    standard_resources(bare_engine)
+    traced_engine = SimEngine(name="traced")
+    standard_resources(traced_engine)
+    traced_engine.install_middleware(build_chain(("trace",)))
+
+    # Interleave the measurements (same rationale as Part 5); drop recorded
+    # spans between repeats so the collector never grows past a handful.
+    bare_s = traced_s = float("inf")
+    bare_makespan = traced_makespan = 0.0
+    try:
+        for _ in range(TRACE_REPEATS):
+            sample, bare_makespan = _time_scheduler(bare_engine, batch,
+                                                    "run_vector", repeats=1)
+            bare_s = min(bare_s, sample)
+            sample, traced_makespan = _time_scheduler(traced_engine, batch,
+                                                      "run_vector", repeats=1)
+            traced_s = min(traced_s, sample)
+            assert any(r["seam"] == "engine" for r in snapshot_spans()), (
+                "trace chain recorded no engine span — it never intercepted"
+            )
+            reset_tracing()
+    finally:
+        reset_tracing()
+    assert traced_makespan == bare_makespan, (
+        f"trace chain changed the schedule ({traced_makespan} != {bare_makespan})"
+    )
+    overhead = traced_s / bare_s - 1.0 if bare_s > 0 else 0.0
+
+    print(f"\n{'path':>8}  {'ops':>8}  {'time':>10}  {'ops/s':>12}")
+    for label, seconds in (("bare", bare_s), ("traced", traced_s)):
+        print(f"{label:>8}  {num_ops:>8}  {seconds * 1e3:>8.2f}ms  "
+              f"{num_ops / seconds:>12.0f}")
+
+    payload = {
+        "case": {"subgroups": subgroups, "iterations": iterations, "ops": num_ops},
+        "repeats": TRACE_REPEATS,
+        "seconds": {"bare": bare_s, "traced": traced_s},
+        "overhead": overhead,
+        "max_overhead_gate": MAX_TRACE_OVERHEAD,
+        "makespans_identical": True,
+    }
+    with open(TRACE_RESULT_FILE, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert overhead <= MAX_TRACE_OVERHEAD, (
+        f"expected <= {MAX_TRACE_OVERHEAD:.0%} trace-chain overhead on the "
+        f"{num_ops}-op vector path, got {overhead:.2%}"
+    )
+    print(f"\nOK: trace chain adds {overhead:+.2%} on the {num_ops}-op vector "
+          f"path (gate <= {MAX_TRACE_OVERHEAD:.0%}; results in "
+          f"{TRACE_RESULT_FILE})")
+
+
 # -------------------------------------------------------- pipeline deep DAGs
 
 
@@ -674,6 +762,7 @@ def main() -> int:
     bench_sweep_throughput()
     bench_middleware_overhead()
     bench_pipeline_depth()
+    bench_trace_overhead()
     return 0
 
 

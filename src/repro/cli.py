@@ -62,7 +62,14 @@ from repro.experiments import EXPERIMENT_MODULES
 from repro.experiments.base import run_experiment, run_training, training_sweep
 from repro.hardware.presets import get_machine_preset, list_machine_presets
 from repro.hardware.throughput import ThroughputProfile
-from repro.middleware import SEAM_CLI, MiddlewareContext, build_chain, middleware_metrics
+from repro.middleware import (
+    SEAM_CLI,
+    MiddlewareContext,
+    build_chain,
+    effective_middleware_specs,
+    middleware_metrics,
+)
+from repro.obs.trace import tracing_enabled
 from repro.model.presets import list_model_presets
 from repro.runtime import (
     EXECUTOR_CHOICES,
@@ -150,6 +157,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="middleware chain for every command, e.g. "
                              "timing,logging or retry:attempts=3:backoff=0.1 "
                              "(overrides $REPRO_MIDDLEWARE; see docs/middleware.md)")
+    # store_const rather than store_true: the default must stay None so an
+    # unset flag falls through to context/$REPRO_TRACE/default resolution.
+    parser.add_argument("--trace", dest="global_trace", action="store_const",
+                        const=True, default=None,
+                        help="record one span per seam crossing (CLI dispatch, "
+                             "serve request, dispatched task, engine run) for "
+                             "this command (overrides $REPRO_TRACE; see "
+                             "docs/observability.md)")
+    parser.add_argument("--trace-out", dest="global_trace_out", default=None,
+                        metavar="PATH",
+                        help="write the recorded spans as Chrome trace-event "
+                             "JSON when the command finishes (implies --trace; "
+                             "overrides $REPRO_TRACE_OUT)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list-presets", help="list model, machine and strategy presets")
@@ -170,6 +190,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--iterations", type=int, default=10, help="training iterations")
     compare.add_argument("--strategies", nargs="+", default=available_strategies(),
                          help="strategies to compare")
+    compare.add_argument("--trace-out", default=None, dest="trace_out", metavar="PATH",
+                         help="export each strategy's simulated schedule as one "
+                              "Chrome trace-event file, one process group per "
+                              "strategy (re-simulates each non-OOM strategy)")
     _add_sweep_flags(compare)
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment (table/figure)")
@@ -214,6 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit the result as JSON")
     pipeline.add_argument("--scheduler", choices=SCHEDULER_CHOICES, default=None,
                           help="simulation scheduler backend (byte-identical schedules)")
+    pipeline.add_argument("--trace-out", default=None, dest="trace_out", metavar="PATH",
+                          help="export the simulated schedule as Chrome trace-event "
+                               "JSON (one track per stage/link resource; open in "
+                               "Perfetto or chrome://tracing)")
 
     sweep = subparsers.add_parser(
         "sweep", help="run a declarative training-scenario grid, parallel and cached"
@@ -326,6 +354,7 @@ def _cmd_config(args: argparse.Namespace) -> int:
     described = resolution_report(
         scheduler=args.global_scheduler, op_backend=args.global_op_backend,
         middleware=args.global_middleware,
+        trace=args.global_trace, trace_out=args.global_trace_out,
     )
     errors = sum(1 for item in described.values() if "error" in item)
     # TimingMiddleware feeds a process-wide per-seam registry; surface it here.
@@ -395,6 +424,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if "zero3-offload" in valid and "deep-optimizer-states" in valid:
         speedup = valid["deep-optimizer-states"].speedup_over(valid["zero3-offload"])
         print(f"\nDeep Optimizer States speedup over ZeRO-3 offload: {speedup:.2f}x")
+    if args.trace_out is not None:
+        # Reports carry metrics, not schedules; re-simulate each comparable
+        # strategy once to render its timeline (cheap next to the sweep above,
+        # and byte-identical to what the sweep scheduled).
+        from repro.experiments.base import _training_trainer
+        from repro.obs.export import write_schedules_trace
+
+        schedules = {}
+        with configure(scheduler=args.scheduler):
+            for name in valid:
+                trainer = _training_trainer(
+                    model=args.model, strategy=name, machine=args.machine,
+                    static_gpu_fraction=args.static_gpu_fraction,
+                    microbatch_size=args.microbatch,
+                    data_parallel_degree=args.data_parallel,
+                    iterations=args.iterations,
+                )
+                schedules[name] = trainer.simulate(trainer.config.resolve()).schedule
+        path = write_schedules_trace(args.trace_out, schedules)
+        print(f"schedule trace written to {path}", file=sys.stderr)
     return 0
 
 
@@ -435,6 +484,14 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                else {"backward_split": args.backward_split}),
         )
     payload = result.to_dict()
+    if args.trace_out is not None:
+        from repro.obs.export import write_schedule_trace
+
+        path = write_schedule_trace(
+            args.trace_out, result.sim_schedule,
+            label=f"pipeline:{payload['schedule']}",
+        )
+        print(f"schedule trace written to {path}", file=sys.stderr)
     if args.as_json:
         print(json.dumps(payload, indent=2))
         return 0
@@ -765,15 +822,23 @@ def _run_command(args: argparse.Namespace) -> int:
 def _dispatch_command(args: argparse.Namespace) -> int:
     """Run the subcommand through the CLI-seam middleware chain.
 
-    Only the ``middleware`` field resolves here (``env_fields``), so an
+    Only the observability fields resolve here (``env_fields``), so an
     unrelated broken ``REPRO_*`` variable cannot stop command dispatch.  A
     broken ``$REPRO_MIDDLEWARE`` itself degrades to no chain instead of
     raising: ``repro config`` must stay usable as the tool that diagnoses it
     (its middleware row reports the error and the exit code turns non-zero).
+
+    When tracing is on, the CLI-seam span is the root of the command's trace
+    and ``trace_out`` names the Chrome trace-event file written after the
+    command finishes — success or failure, so a crashed sweep still leaves
+    its trace behind.
     """
     try:
-        policy = ExecutionPolicy.resolve(env_fields=("middleware",))
-        chain = build_chain(policy.middleware)
+        policy = ExecutionPolicy.resolve(env_fields=("middleware", "trace", "trace_out"))
+        if policy.trace_out is not None and not policy.trace:
+            # Asking for a trace file is asking for a trace.
+            policy = policy.with_overrides(trace=True)
+        chain = build_chain(effective_middleware_specs(policy))
     except ConfigurationError:
         return _run_command(args)
     if chain is None:
@@ -784,7 +849,14 @@ def _dispatch_command(args: argparse.Namespace) -> int:
         policy=policy,
         payload={"command": args.command},
     )
-    return chain.run(context, lambda: _run_command(args))
+    try:
+        return chain.run(context, lambda: _run_command(args))
+    finally:
+        if policy.trace_out is not None and tracing_enabled(policy):
+            from repro.obs.trace import write_trace
+
+            path = write_trace(policy.trace_out)
+            print(f"trace written to {path}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -793,6 +865,11 @@ def main(argv: list[str] | None = None) -> int:
     overrides = {
         "scheduler": args.global_scheduler, "op_backend": args.global_op_backend,
         "middleware": args.global_middleware,
+        # --trace-out implies --trace, and the implication must land at the
+        # context level: subcommands resolve their own policies, and only the
+        # context reaches all of them.
+        "trace": args.global_trace or (True if args.global_trace_out else None),
+        "trace_out": args.global_trace_out,
     }
     context = (
         configure(**overrides)

@@ -32,7 +32,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError, ReproError
-from repro.middleware import SEAM_DISPATCH, MiddlewareContext, build_chain
+from repro.middleware import (
+    SEAM_DISPATCH,
+    MiddlewareContext,
+    build_chain,
+    effective_middleware_specs,
+)
 
 # The backend names are declared in repro.runtime.policy (the policy layer
 # validates the `executor` field, and importing them from here would cycle
@@ -155,7 +160,7 @@ def run_task_with_middleware(
     keys its deterministic targeting on.  With an empty stack this is a plain
     call: no context, no chain, no overhead.
     """
-    chain = build_chain(getattr(policy, "middleware", ()) if policy is not None else ())
+    chain = build_chain(effective_middleware_specs(policy))
     if chain is None:
         return worker(**dict(params))
     context = MiddlewareContext(

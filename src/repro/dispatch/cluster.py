@@ -60,6 +60,7 @@ from repro.dispatch.framing import (
     write_frame,
 )
 from repro.middleware.builtin import retry_attempts_from_specs
+from repro.obs.trace import absorb_spans, current_trace_context, tracing_enabled
 
 #: Version stamped into the welcome message; workers refuse a mismatch.
 PROTOCOL_VERSION = 1
@@ -214,6 +215,7 @@ class ClusterExecutor(Executor):
         self._stalled_since: float | None = None
         self._watchdog: asyncio.Task | None = None
         self._closed = False
+        self._trace_ctx: dict | None = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -297,6 +299,14 @@ class ClusterExecutor(Executor):
         tasks = list(tasks)
         if not tasks:
             return iter(())
+        # Captured here, on the submitting thread: the coordinator's event
+        # loop runs on its own thread and never sees the caller's ContextVars,
+        # so the ambient span context must ride in the task frames.  An empty
+        # dict (tracing on, no open parent span) still asks workers to ship
+        # their spans back.
+        self._trace_ctx = None
+        if tracing_enabled(self.policy):
+            self._trace_ctx = current_trace_context() or {}
         asyncio.run_coroutine_threadsafe(self._enqueue(tasks), self._loop).result(timeout=10.0)
         return self._drain(len(tasks))
 
@@ -475,6 +485,7 @@ class ClusterExecutor(Executor):
                 "worker": self._spec,
                 "params": dict(task.params),
                 "policy": self.policy,
+                "trace": self._trace_ctx,
             }, codec=CODEC_PICKLE)
         except (OSError, RuntimeError):
             # The connection handler will observe the broken stream and drop
@@ -522,6 +533,7 @@ class ClusterExecutor(Executor):
             round_.pending.remove(task_id)
         except ValueError:
             pass
+        absorb_spans(message.get("spans"))
         self._outcomes.put(TaskOutcome(
             index=task.index,
             value=message.get("value"),

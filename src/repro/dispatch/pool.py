@@ -25,6 +25,7 @@ from repro.dispatch.base import (
     TaskOutcome,
     run_task_with_middleware,
 )
+from repro.obs.trace import absorb_spans, current_trace_context, tracing_enabled
 from repro.runtime import policy_context
 
 
@@ -49,22 +50,35 @@ def _warm_worker() -> None:
 
 
 def _pool_call(
-    worker: Callable[..., Any], params: dict, policy, index: int
-) -> tuple[Any, str, float]:
+    worker: Callable[..., Any], params: dict, policy, index: int,
+    trace_ctx: dict | None = None,
+) -> tuple[Any, str, float, list | None]:
     """Module-level trampoline: run one task inside a pool process.
 
-    Returns ``(value, worker_id, wall_time)`` so outcome provenance survives
-    the process boundary without a second round trip.  The policy's
+    Returns ``(value, worker_id, wall_time, spans)`` so outcome provenance
+    survives the process boundary without a second round trip.  The policy's
     dispatch-seam middleware chain is rebuilt from its spec strings here, on
-    the executing side.
+    the executing side.  ``trace_ctx`` is the parent's captured span context:
+    when present it is re-activated around the task so spans recorded here
+    parent under the submitting side's trace, and the recorded spans ride
+    back as the fourth element (``None`` when tracing is off, keeping the
+    untraced return value byte-stable).
     """
     started = time.perf_counter()
     worker_id = f"pool-{os.getpid()}"
-    with policy_context(policy):
+    if trace_ctx is None:
+        with policy_context(policy):
+            value = run_task_with_middleware(
+                worker, params, policy, index=index, worker_id=worker_id,
+            )
+        return value, worker_id, time.perf_counter() - started, None
+    from repro.obs.trace import activate_trace_context, drain_spans
+
+    with policy_context(policy), activate_trace_context(trace_ctx):
         value = run_task_with_middleware(
             worker, params, policy, index=index, worker_id=worker_id,
         )
-    return value, worker_id, time.perf_counter() - started
+    return value, worker_id, time.perf_counter() - started, drain_spans()
 
 
 class PoolExecutor(Executor):
@@ -82,11 +96,19 @@ class PoolExecutor(Executor):
         tasks = list(tasks)
         if not tasks:
             return
+        # Captured on the submitting thread: pool processes inherit no
+        # ContextVars, so the ambient span context must ride in the task
+        # arguments.  An empty dict (tracing on, no open parent span) still
+        # tells the child to ship its spans back.
+        trace_ctx = None
+        if tracing_enabled(self.policy):
+            trace_ctx = current_trace_context() or {}
         workers = max(1, min(self.policy.jobs, len(tasks)))
         with ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker) as pool:
             futures = {
                 pool.submit(
-                    _pool_call, self.worker, dict(task.params), self.policy, task.index
+                    _pool_call, self.worker, dict(task.params), self.policy,
+                    task.index, trace_ctx,
                 ): task
                 for task in tasks
             }
@@ -95,7 +117,9 @@ class PoolExecutor(Executor):
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
                     task = futures[future]
-                    value, worker_id, wall_time = future.result()
+                    value, worker_id, wall_time, spans = future.result()
+                    if spans:
+                        absorb_spans(spans)
                     yield TaskOutcome(
                         index=task.index, value=value,
                         worker_id=worker_id, wall_time=wall_time,

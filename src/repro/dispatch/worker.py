@@ -187,10 +187,25 @@ class WorkerClient:
             # rebuilt from the shipped policy's spec strings, and the payload
             # carries the coordinator's delivery-attempt count so fault and
             # retry middleware see re-dispatches for what they are.
+            # A "trace" key in the frame (possibly an empty dict) means the
+            # coordinator is collecting spans: re-activate its span context
+            # around the task so spans recorded here stitch under the parent
+            # trace, and ship them back on the result frame.
+            trace_ctx = message.get("trace")
             if policy is None:
                 value = fn(**params)
-            else:
+            elif trace_ctx is None:
                 with policy_context(policy):
+                    value = run_task_with_middleware(
+                        fn, params, policy,
+                        index=message.get("index", -1),
+                        attempts=int(message.get("attempts", 1)),
+                        worker_id=self.worker_id,
+                    )
+            else:
+                from repro.obs.trace import activate_trace_context
+
+                with policy_context(policy), activate_trace_context(trace_ctx):
                     value = run_task_with_middleware(
                         fn, params, policy,
                         index=message.get("index", -1),
@@ -217,14 +232,19 @@ class WorkerClient:
             if beat is not None:
                 beat.join(timeout=1.0)
         wall = time.perf_counter() - started
+        result_frame = {
+            "type": "result",
+            "task_id": task_id,
+            "index": message.get("index"),
+            "value": value,
+            "wall_time": wall,
+        }
+        if trace_ctx is not None:
+            from repro.obs.trace import drain_spans
+
+            result_frame["spans"] = drain_spans()
         try:
-            self._send(sock, {
-                "type": "result",
-                "task_id": task_id,
-                "index": message.get("index"),
-                "value": value,
-                "wall_time": wall,
-            }, CODEC_PICKLE)
+            self._send(sock, result_frame, CODEC_PICKLE)
         except OSError:
             return False
         except Exception as exc:

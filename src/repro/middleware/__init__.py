@@ -38,6 +38,7 @@ from repro.middleware.builtin import (
     TimingMiddleware,
     build_chain,
     build_middleware,
+    effective_middleware_specs,
     normalize_middleware_specs,
     parse_middleware_spec,
     retry_attempts_from_specs,
@@ -65,6 +66,7 @@ __all__ = [
     "TimingMiddleware",
     "build_chain",
     "build_middleware",
+    "effective_middleware_specs",
     "middleware_metrics",
     "normalize_middleware_specs",
     "parse_middleware_spec",

@@ -37,6 +37,7 @@ from repro.middleware.base import (
     _metrics_entry,
     record_seam_timing,
 )
+from repro.obs import metrics as obs_metrics
 
 log = logging.getLogger("repro.middleware")
 
@@ -103,6 +104,7 @@ class TimingMiddleware(Middleware):
         shared = _metrics_entry(context.seam)
         mine["count"] += 1
         shared["count"] += 1
+        obs_metrics.SEAM_CALLS.labels(seam=context.seam).inc()
         started = time.perf_counter()
         error = False
         try:
@@ -114,6 +116,9 @@ class TimingMiddleware(Middleware):
             elapsed = time.perf_counter() - started
             record_seam_timing(mine, elapsed, error=error)
             record_seam_timing(shared, elapsed, error=error)
+            obs_metrics.SEAM_LATENCY.labels(seam=context.seam).observe(elapsed)
+            if error:
+                obs_metrics.SEAM_ERRORS.labels(seam=context.seam).inc()
 
     @classmethod
     def from_spec(cls, args: Mapping[str, str]) -> "TimingMiddleware":
@@ -376,6 +381,7 @@ class QuotaMiddleware(Middleware):
                 window.popleft()
             if len(window) >= self.limit:
                 retry_in = self.window - (now - window[0])
+                obs_metrics.QUOTA_REJECTIONS.labels(client=client).inc()
                 raise QuotaExceededError(
                     f"client {client!r} exceeded {self.limit} request(s) per "
                     f"{self.window:g}s; retry in {max(retry_in, 0.0):.1f}s"
@@ -439,13 +445,16 @@ class ConcurrencyMiddleware(Middleware):
         if context.seam != self.seam:
             return call_next(context)
         if not self._slots.acquire(blocking=self.mode == "wait"):
+            obs_metrics.CONCURRENCY_REJECTIONS.labels(seam=self.seam).inc()
             raise ConcurrencyLimitError(
                 f"concurrency limit of {self.limit} in-flight call(s) reached "
                 f"at the {self.seam} seam"
             )
+        obs_metrics.CONCURRENCY_IN_FLIGHT.labels(seam=self.seam).inc()
         try:
             return call_next(context)
         finally:
+            obs_metrics.CONCURRENCY_IN_FLIGHT.labels(seam=self.seam).dec()
             self._slots.release()
 
     @classmethod
@@ -498,6 +507,15 @@ def _spec_float(name: str, key: str, text: str | None, default: float) -> float:
         ) from None
 
 
+def _trace_from_spec(args: Mapping[str, str]) -> Middleware:
+    # Deferred import: repro.obs.trace imports the middleware base, which
+    # triggers this module while trace is still half-initialised — resolving
+    # TraceMiddleware at call time keeps the cycle one-directional.
+    from repro.obs.trace import TraceMiddleware
+
+    return TraceMiddleware.from_spec(args)
+
+
 #: Spec name -> factory.  ``noop`` is the bare observe-only base class, kept
 #: first-class for the overhead benchmark and the identity tests.
 MIDDLEWARE_FACTORIES: dict[str, Callable[[Mapping[str, str]], Middleware]] = {
@@ -508,6 +526,7 @@ MIDDLEWARE_FACTORIES: dict[str, Callable[[Mapping[str, str]], Middleware]] = {
     "fault": FaultInjectionMiddleware.from_spec,
     "quota": QuotaMiddleware.from_spec,
     "concurrency": ConcurrencyMiddleware.from_spec,
+    "trace": _trace_from_spec,
 }
 
 
@@ -579,6 +598,27 @@ def retry_attempts_from_specs(
         if name == "retry":
             return _spec_int("retry", "attempts", args.get("attempts"), DEFAULT_RETRY_ATTEMPTS)
     return default
+
+
+def effective_middleware_specs(policy: Any) -> tuple[str, ...]:
+    """The chain a policy actually asks for: declared specs, plus tracing.
+
+    ``ExecutionPolicy.trace`` is the switch that turns span recording on
+    without editing the middleware stack — when set, a ``trace`` spec is
+    appended (innermost, so its spans sit inside any declared timing/quota
+    shells) unless the stack already names one.  Every seam that builds a
+    chain from a policy goes through here, so ``--trace`` reaches the CLI,
+    serve, dispatch, engine and pipeline seams identically.
+    """
+    if policy is None:
+        return ()
+    specs = tuple(getattr(policy, "middleware", ()) or ())
+    if not getattr(policy, "trace", False):
+        return specs
+    for spec in specs:
+        if str(spec).split(":", 1)[0].strip() == "trace":
+            return specs
+    return specs + ("trace",)
 
 
 @lru_cache(maxsize=64)

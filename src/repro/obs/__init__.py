@@ -1,0 +1,80 @@
+"""``repro.obs`` — unified observability: spans, schedule export, metrics.
+
+Three pillars, one trace-event dialect:
+
+* :mod:`repro.obs.trace` — span tracing across every middleware seam, with
+  explicit context propagation through the dispatch layer so pool/cluster
+  worker spans stitch into one parent trace, exported as Chrome trace-event
+  JSON (Perfetto-loadable);
+* :mod:`repro.obs.export` — any :class:`~repro.sim.engine.Schedule` /
+  ``VectorSchedule`` / ``StackedSchedule`` rendered to the same format, one
+  track per engine resource (``repro pipeline --trace-out``,
+  ``repro compare --trace-out``, serve's sweep ``trace`` flag);
+* :mod:`repro.obs.metrics` — a process-wide registry of labelled
+  counters/gauges/histograms with Prometheus text exposition, which the
+  timing/quota/concurrency middleware re-register onto
+  (``repro.obs.metrics.reset()`` is the test-isolation hook).
+
+Switched on by policy, not code: ``ExecutionPolicy.trace`` /
+``ExecutionPolicy.trace_out`` (``$REPRO_TRACE`` / ``$REPRO_TRACE_OUT``)
+resolve through the standard four-level order.  See
+``docs/observability.md``.
+
+Import ordering note: :mod:`repro.obs.metrics` must load before
+:mod:`repro.obs.trace` here — the middleware layer imports ``metrics`` at
+module scope and ``trace`` imports the middleware base, so this order keeps
+the cycle one-directional at import time.
+"""
+
+from repro.obs import metrics
+from repro.obs.export import (
+    schedule_events,
+    schedule_trace,
+    schedules_trace,
+    stacked_trace,
+    validate_trace_events,
+    write_schedule_trace,
+    write_schedules_trace,
+)
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import (
+    TraceMiddleware,
+    absorb_spans,
+    activate_trace_context,
+    current_trace_context,
+    drain_spans,
+    maybe_span,
+    reset_tracing,
+    snapshot_spans,
+    span,
+    take_trace,
+    trace_events,
+    tracing_enabled,
+    write_trace,
+)
+
+__all__ = [
+    "metrics",
+    "REGISTRY",
+    "MetricsRegistry",
+    "TraceMiddleware",
+    "absorb_spans",
+    "activate_trace_context",
+    "current_trace_context",
+    "drain_spans",
+    "maybe_span",
+    "reset_tracing",
+    "snapshot_spans",
+    "span",
+    "take_trace",
+    "trace_events",
+    "tracing_enabled",
+    "write_trace",
+    "schedule_events",
+    "schedule_trace",
+    "schedules_trace",
+    "stacked_trace",
+    "validate_trace_events",
+    "write_schedule_trace",
+    "write_schedules_trace",
+]

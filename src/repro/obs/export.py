@@ -1,0 +1,202 @@
+"""Schedule rendering: any schedule -> Chrome trace-event JSON.
+
+The simulation's whole output is a :class:`~repro.sim.engine.Schedule` — and
+until now there was no way to *look* at one.  This module renders schedules
+to the same trace-event format the span tracer exports
+(:mod:`repro.obs.trace`), so pipeline bubbles and offload overlap become
+visually inspectable in Perfetto or ``chrome://tracing``: one horizontal
+track per engine resource (``gpu``, ``cpu``, ``pcie``, ``stage0``,
+``link0-1``, ...), one slice per scheduled op, simulated seconds on the
+timeline (microsecond event units — 1 simulated second = 1 displayed
+second).
+
+Works on every schedule shape by duck typing — the eager
+:class:`~repro.sim.engine.Schedule`, the lazy
+:class:`~repro.sim.engine.VectorSchedule` (materialised through its ``ops``
+property), and the stacked :class:`~repro.sim.shapebatch.StackedSchedule`
+(one process group per scenario) — without importing the sim layer, so the
+obs package stays importable from anywhere in the stack.
+
+Surfaces: ``repro pipeline --trace-out``, ``repro compare --trace-out``
+(one process group per strategy), and the serve sweep handler's
+``trace`` request flag.  :func:`validate_trace_events` is the schema check
+the tests and the CI serve job share.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.common.errors import ConfigurationError
+
+
+def _kind_name(kind: Any) -> str:
+    value = getattr(kind, "value", kind)
+    return str(value)
+
+
+def schedule_events(schedule: Any, *, pid: int = 1, label: str = "schedule",
+                    sort_index: int = 0) -> list[dict[str, Any]]:
+    """One schedule's trace events: a process group with a track per resource.
+
+    ``pid`` numbers the process group (callers exporting several schedules —
+    compare's strategies, a stacked group's scenarios — hand out distinct
+    pids); ``label`` names it; ``sort_index`` orders groups in the viewer.
+    Resources become thread tracks in the schedule's declared resource order,
+    ops become complete events carrying kind/phase/subgroup/op id as args.
+    """
+    ops = getattr(schedule, "ops", None)
+    resources = list(getattr(schedule, "resources", []) or [])
+    if ops is None:
+        raise ConfigurationError(
+            f"cannot export {type(schedule).__name__!r}: no ops attribute "
+            "(expected a Schedule, VectorSchedule or StackedSchedule)"
+        )
+    track_of = {name: number for number, name in enumerate(resources)}
+    events: list[dict[str, Any]] = [{
+        "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+        "args": {"name": label},
+    }, {
+        "ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+        "args": {"sort_index": sort_index},
+    }]
+    for name, number in track_of.items():
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": number,
+            "args": {"name": name},
+        })
+        events.append({
+            "ph": "M", "name": "thread_sort_index", "pid": pid, "tid": number,
+            "args": {"sort_index": number},
+        })
+    for item in ops:
+        op = item.op
+        tid = track_of.get(op.resource)
+        if tid is None:
+            # A resource the schedule forgot to declare still gets a track.
+            tid = len(track_of)
+            track_of[op.resource] = tid
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": op.resource},
+            })
+        args: dict[str, Any] = {
+            "kind": _kind_name(op.kind),
+            "op_id": op.op_id,
+        }
+        if op.phase:
+            args["phase"] = op.phase
+        if op.subgroup is not None:
+            args["subgroup"] = op.subgroup
+        events.append({
+            "ph": "X",
+            "name": op.name,
+            "cat": _kind_name(op.kind),
+            "ts": item.start * 1e6,
+            "dur": max(item.end - item.start, 0.0) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return events
+
+
+def schedule_trace(schedule: Any, *, label: str = "schedule") -> dict[str, Any]:
+    """One schedule as a complete trace-event document."""
+    return {"traceEvents": schedule_events(schedule, label=label),
+            "displayTimeUnit": "ms"}
+
+
+def schedules_trace(schedules: Mapping[str, Any]) -> dict[str, Any]:
+    """Several labelled schedules, one process group each (compare's shape)."""
+    events: list[dict[str, Any]] = []
+    for number, (label, schedule) in enumerate(schedules.items()):
+        events.extend(schedule_events(schedule, pid=number + 1, label=str(label),
+                                      sort_index=number))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def stacked_trace(stacked: Any, labels: Iterable[str] | None = None) -> dict[str, Any]:
+    """A :class:`~repro.sim.shapebatch.StackedSchedule`, one group per scenario."""
+    schedule_for = getattr(stacked, "schedule_for", None)
+    starts = getattr(stacked, "starts", None)
+    if schedule_for is None or starts is None:
+        raise ConfigurationError(
+            f"cannot export {type(stacked).__name__!r} as a stacked schedule"
+        )
+    count = int(starts.shape[1]) if getattr(starts, "ndim", 0) == 2 else 0
+    names = list(labels) if labels is not None else \
+        [f"scenario {number}" for number in range(count)]
+    return schedules_trace({
+        names[number] if number < len(names) else f"scenario {number}":
+            schedule_for(number)
+        for number in range(count)
+    })
+
+
+def write_schedule_trace(path: str | Path, schedule: Any, *,
+                         label: str = "schedule") -> Path:
+    """Serialize one schedule's trace document to ``path``; returns it."""
+    return _write(path, schedule_trace(schedule, label=label))
+
+
+def write_schedules_trace(path: str | Path,
+                          schedules: Mapping[str, Any]) -> Path:
+    """Serialize several labelled schedules to one trace document at ``path``."""
+    return _write(path, schedules_trace(schedules))
+
+
+def _write(path: str | Path, payload: dict[str, Any]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str),
+                    encoding="utf-8")
+    return path
+
+
+# ------------------------------------------------------------------ validation
+
+
+def validate_trace_events(payload: Any) -> int:
+    """Assert ``payload`` is a well-formed trace-event document; returns the
+    number of duration ("X") events.
+
+    The schema check the obs tests and the CI serve job share: the document
+    must be an object with a ``traceEvents`` list whose members each carry a
+    valid phase, and whose duration events carry name/ts/dur/pid/tid with
+    numeric, non-negative timing.  Raises :class:`ConfigurationError` with
+    the first offence.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError("trace document must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ConfigurationError("trace document must carry a traceEvents list")
+    complete = 0
+    for position, event in enumerate(events):
+        if not isinstance(event, Mapping):
+            raise ConfigurationError(f"traceEvents[{position}] is not an object")
+        phase = event.get("ph")
+        if phase not in ("X", "B", "E", "M", "i", "C"):
+            raise ConfigurationError(
+                f"traceEvents[{position}] has unknown phase {phase!r}"
+            )
+        if phase != "M":
+            for key in ("pid", "tid"):
+                if not isinstance(event.get(key), (int, float)):
+                    raise ConfigurationError(
+                        f"traceEvents[{position}] is missing a numeric {key!r}"
+                    )
+        if phase == "X":
+            if not event.get("name"):
+                raise ConfigurationError(f"traceEvents[{position}] has no name")
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ConfigurationError(
+                        f"traceEvents[{position}] has invalid {key!r}: {value!r}"
+                    )
+            complete += 1
+    return complete

@@ -1,0 +1,386 @@
+"""The metrics registry: labelled counters, gauges and histograms.
+
+One process-wide :class:`MetricsRegistry` (:data:`REGISTRY`) replaces the
+ad-hoc metric surfaces that grew with each subsystem: ``TimingMiddleware``'s
+per-seam dict, serve's bespoke ``/metrics`` JSON blob, and the quota/
+concurrency middleware's private state.  Those surfaces all still exist —
+their exact shapes are load-bearing for tests and the CI serve job — but they
+now *re-register* onto this registry as they record, so one
+Prometheus-renderable snapshot covers everything
+(:meth:`MetricsRegistry.render_prometheus`, surfaced by ``repro serve`` under
+``GET /metrics`` with ``Accept: text/plain``).
+
+Design constraints, in order:
+
+* **stdlib only** — the middleware layer imports this module, so it must not
+  import anything above ``repro.common``;
+* **cheap on the hot path** — a labelled increment is one dict lookup and one
+  float add under a lock (seam interceptions are per-request/per-task, never
+  per-op, so the lock is uncontended in practice);
+* **resettable** — :func:`reset` zeroes every value (registrations survive:
+  module-level metric handles like :data:`SEAM_CALLS` stay valid) and clears
+  the legacy per-seam timing dict too, which is what frees metric assertions
+  from test-execution order.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Iterable, Mapping
+
+from repro.common.errors import ConfigurationError
+
+#: Default histogram buckets (seconds-flavoured, like Prometheus client
+#: libraries): wide enough for microsecond seam latencies and minute sweeps.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Metric:
+    """One named metric family: a value (or histogram state) per label set.
+
+    Instances come from the registry's :meth:`~MetricsRegistry.counter` /
+    :meth:`~MetricsRegistry.gauge` / :meth:`~MetricsRegistry.histogram`
+    factories — never constructed directly.  ``labels(**labelvalues)``
+    returns a :class:`_Child` bound to one label combination; metrics
+    declared without label names have an implicit single child reachable
+    through the value methods on the metric itself.
+    """
+
+    def __init__(self, name: str, help_text: str, kind: str,
+                 labelnames: tuple[str, ...],
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                 lock: threading.Lock | None = None) -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = labelnames
+        self.buckets = tuple(sorted(buckets)) if kind == "histogram" else ()
+        self._lock = lock if lock is not None else threading.Lock()
+        # label values tuple -> float (counter/gauge) or histogram state dict.
+        self._values: dict[tuple[str, ...], Any] = {}
+
+    # ------------------------------------------------------------- recording
+
+    def labels(self, **labelvalues: Any) -> "_Child":
+        if set(labelvalues) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels {self.labelnames!r}, "
+                f"got {tuple(sorted(labelvalues))!r}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        return _Child(self, key)
+
+    def _no_labels(self) -> "_Child":
+        if self.labelnames:
+            raise ConfigurationError(
+                f"metric {self.name!r} is labelled ({', '.join(self.labelnames)}); "
+                "use .labels(...)"
+            )
+        return _Child(self, ())
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._no_labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._no_labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._no_labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self._no_labels().observe(value)
+
+    # ------------------------------------------------------------ inspection
+
+    def value(self, **labelvalues: Any) -> float:
+        """Current value of one child (counters/gauges; histograms: the sum)."""
+        key = self.labels(**labelvalues)._key if labelvalues else ()
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                return 0.0
+            if self.kind == "histogram":
+                return state["sum"]
+            return state
+
+    def samples(self) -> dict[tuple[str, ...], Any]:
+        """Snapshot of every child's state, keyed by its label-value tuple."""
+        with self._lock:
+            return {
+                key: dict(state) if isinstance(state, dict) else state
+                for key, state in self._values.items()
+            }
+
+    def _reset_values(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+class _Child:
+    """One (metric, label values) binding with the kind's value methods."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Metric, key: tuple[str, ...]) -> None:
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        metric = self._metric
+        if metric.kind == "histogram":
+            raise ConfigurationError(f"histogram {metric.name!r} takes observe(), not inc()")
+        if metric.kind == "counter" and amount < 0:
+            raise ConfigurationError(f"counter {metric.name!r} cannot decrease")
+        with metric._lock:
+            metric._values[self._key] = metric._values.get(self._key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        metric = self._metric
+        if metric.kind != "gauge":
+            raise ConfigurationError(f"only gauges decrease; {metric.name!r} is a {metric.kind}")
+        with metric._lock:
+            metric._values[self._key] = metric._values.get(self._key, 0.0) - amount
+
+    def set(self, value: float) -> None:
+        metric = self._metric
+        if metric.kind != "gauge":
+            raise ConfigurationError(f"only gauges set(); {metric.name!r} is a {metric.kind}")
+        with metric._lock:
+            metric._values[self._key] = float(value)
+
+    def observe(self, value: float) -> None:
+        metric = self._metric
+        if metric.kind != "histogram":
+            raise ConfigurationError(
+                f"only histograms observe(); {metric.name!r} is a {metric.kind}"
+            )
+        value = float(value)
+        with metric._lock:
+            state = metric._values.get(self._key)
+            if state is None:
+                state = {"sum": 0.0, "count": 0,
+                         "buckets": [0] * len(metric.buckets)}
+                metric._values[self._key] = state
+            state["sum"] += value
+            state["count"] += 1
+            for position, bound in enumerate(metric.buckets):
+                if value <= bound:
+                    state["buckets"][position] += 1
+
+
+class MetricsRegistry:
+    """A named collection of metrics with idempotent registration.
+
+    Registering the same name twice returns the existing metric when kind and
+    label names match (so module reloads and repeated middleware construction
+    are safe) and raises when they conflict — two subsystems silently sharing
+    one name with different schemas is exactly the bug a registry exists to
+    catch.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def _register(self, name: str, help_text: str, kind: str,
+                  labelnames: Iterable[str],
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Metric:
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError("metric name must be a non-empty string")
+        if kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown metric kind {kind!r}; expected one of {', '.join(_KINDS)}"
+            )
+        labelnames = tuple(str(label) for label in labelnames)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != labelnames:
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as a {existing.kind} "
+                        f"with labels {existing.labelnames!r}"
+                    )
+                return existing
+            metric = Metric(name, help_text, kind, labelnames, buckets)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Iterable[str] = ()) -> Metric:
+        """A monotonically increasing value per label set."""
+        return self._register(name, help_text, "counter", labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Iterable[str] = ()) -> Metric:
+        """A value that can go up and down per label set."""
+        return self._register(name, help_text, "gauge", labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Iterable[str] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Metric:
+        """Cumulative-bucket observations per label set."""
+        return self._register(name, help_text, "histogram", labelnames, buckets)
+
+    def get(self, name: str) -> Metric | None:
+        """The registered metric, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> dict[str, dict[str, Any]]:
+        """JSON-able snapshot: name -> kind/help/labelnames/samples."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        snapshot: dict[str, dict[str, Any]] = {}
+        for metric in metrics:
+            samples = [
+                {"labels": dict(zip(metric.labelnames, key)), "value": state}
+                for key, state in sorted(metric.samples().items())
+            ]
+            snapshot[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.labelnames),
+                "samples": samples,
+            }
+        return snapshot
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (version 0.0.4).
+
+        Histograms expose the conventional ``_bucket{le=...}`` (cumulative,
+        ``+Inf`` included), ``_sum`` and ``_count`` series.  Families with no
+        samples yet render their ``HELP``/``TYPE`` header only, so scrapers
+        discover every declared metric immediately.
+        """
+        lines: list[str] = []
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda metric: metric.name)
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for key, state in sorted(metric.samples().items()):
+                if metric.kind == "histogram":
+                    lines.extend(self._histogram_lines(metric, key, state))
+                else:
+                    lines.append(
+                        f"{metric.name}{self._label_text(metric.labelnames, key)} "
+                        f"{_format_value(state)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _label_text(labelnames: tuple[str, ...], key: tuple[str, ...],
+                    extra: Mapping[str, str] | None = None) -> str:
+        pairs = [f'{name}="{_escape_label_value(value)}"'
+                 for name, value in zip(labelnames, key)]
+        for name, value in (extra or {}).items():
+            pairs.append(f'{name}="{_escape_label_value(value)}"')
+        return "{" + ",".join(pairs) + "}" if pairs else ""
+
+    def _histogram_lines(self, metric: Metric, key: tuple[str, ...],
+                         state: Mapping[str, Any]) -> list[str]:
+        lines = []
+        for bound, count in zip(metric.buckets, state["buckets"]):
+            label_text = self._label_text(
+                metric.labelnames, key, {"le": _format_value(bound)})
+            lines.append(f"{metric.name}_bucket{label_text} {count}")
+        inf_text = self._label_text(metric.labelnames, key, {"le": "+Inf"})
+        lines.append(f"{metric.name}_bucket{inf_text} {state['count']}")
+        plain = self._label_text(metric.labelnames, key)
+        lines.append(f"{metric.name}_sum{plain} {_format_value(state['sum'])}")
+        lines.append(f"{metric.name}_count{plain} {state['count']}")
+        return lines
+
+    def reset_values(self) -> None:
+        """Zero every sample; registrations (and metric handles) survive."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric._reset_values()
+
+
+#: The process-wide default registry every built-in metric registers onto.
+REGISTRY = MetricsRegistry()
+
+
+# ------------------------------------------------------------ built-in metrics
+#
+# Declared here — not in the middleware that records them — so the families
+# appear in a Prometheus scrape (HELP/TYPE headers) before the first sample,
+# and so the serve layer can render one registry without importing middleware.
+
+SEAM_CALLS = REGISTRY.counter(
+    "repro_seam_calls_total",
+    "Calls intercepted per middleware seam (recorded by TimingMiddleware).",
+    ("seam",),
+)
+SEAM_ERRORS = REGISTRY.counter(
+    "repro_seam_errors_total",
+    "Intercepted calls that raised, per middleware seam.",
+    ("seam",),
+)
+SEAM_LATENCY = REGISTRY.histogram(
+    "repro_seam_latency_seconds",
+    "Latency of intercepted calls per middleware seam.",
+    ("seam",),
+)
+QUOTA_REJECTIONS = REGISTRY.counter(
+    "repro_quota_rejections_total",
+    "Requests rejected by the quota middleware, per client.",
+    ("client",),
+)
+CONCURRENCY_REJECTIONS = REGISTRY.counter(
+    "repro_concurrency_rejections_total",
+    "Calls rejected at the concurrency bound (reject mode), per seam.",
+    ("seam",),
+)
+CONCURRENCY_IN_FLIGHT = REGISTRY.gauge(
+    "repro_concurrency_in_flight",
+    "Calls currently inside a concurrency-limited section, per seam.",
+    ("seam",),
+)
+TRACE_SPANS = REGISTRY.counter(
+    "repro_trace_spans_total",
+    "Spans recorded by the trace collector, per seam.",
+    ("seam",),
+)
+
+
+def reset() -> None:
+    """Zero every metric in the default registry *and* the legacy seam dict.
+
+    The one reset test fixtures need: after it, ``middleware_metrics()`` is
+    empty and every registry sample reads zero, so metric assertions no longer
+    depend on what ran earlier in the process.
+    """
+    REGISTRY.reset_values()
+    # Deferred import: repro.middleware.builtin imports this module at the
+    # top level, so the reverse edge must stay function-local.
+    from repro.middleware.base import reset_middleware_metrics
+
+    reset_middleware_metrics()

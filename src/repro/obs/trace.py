@@ -1,0 +1,328 @@
+"""Span tracing: the collector, context propagation, and the trace middleware.
+
+A **span** is one timed region of work — a CLI command, a serve request, a
+dispatched task, an engine run — recorded as a plain dict (picklable,
+JSON-able) with identity (``trace_id``/``span_id``/``parent_id``), a name and
+seam, wall-clock start + monotonic duration, process/worker provenance, and
+whatever payload attributes the seam carried.  Spans accumulate in one
+process-wide collector and export to Chrome trace-event JSON
+(:func:`trace_events` / :func:`write_trace`), loadable in Perfetto or
+``chrome://tracing``.
+
+**Parenting** is ambient: a :class:`~contextvars.ContextVar` holds the
+current ``(trace_id, span_id)`` pair, so spans opened anywhere below an open
+span — same thread or same async context — nest under it automatically.
+Process and thread boundaries need the context carried *explicitly*:
+
+* :func:`current_trace_context` captures the ambient pair as a small
+  picklable dict (``None`` when no span is open);
+* :func:`activate_trace_context` re-establishes it on the other side (the
+  pool trampoline and the cluster worker daemon do this around each task);
+* :func:`drain_spans` / :func:`absorb_spans` ship the recorded spans back —
+  the pool returns them in the task tuple, the cluster attaches them to the
+  result frame — so a distributed sweep stitches into **one** trace whose
+  dispatch-task spans parent correctly under the sweep span.
+
+Tracing is switched on by policy, not code: ``ExecutionPolicy.trace``
+(``$REPRO_TRACE``) appends the ``trace`` middleware to every seam's chain
+(see :func:`tracing_enabled` and
+:func:`repro.middleware.effective_middleware_specs`), and
+``ExecutionPolicy.trace_out`` (``$REPRO_TRACE_OUT``) names the export file
+the CLI writes when the command finishes.
+
+The collector is bounded (:data:`MAX_SPANS`): a long-lived traced server
+cannot grow without limit — beyond the cap new spans are counted as dropped
+instead of stored.  Spans are provenance only; they never reach values,
+sweep JSON or cache entries (the observe-only byte-identity harness in
+``tests/test_middleware.py`` proves it for the ``trace`` chain).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.common.errors import ConfigurationError
+from repro.middleware.base import Middleware, MiddlewareContext
+from repro.obs import metrics as obs_metrics
+
+#: Collector capacity: beyond this many stored spans, new ones are dropped
+#: (and counted) rather than stored.  Generous — spans are per-seam-crossing,
+#: never per-op, so a 100k-scenario sweep records ~100k dispatch spans.
+MAX_SPANS = 200_000
+
+# Ambient (trace_id, span_id) of the innermost open span, or None.
+_CURRENT: ContextVar[tuple[str, str] | None] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+_LOCK = threading.Lock()
+_SPANS: list[dict[str, Any]] = []
+_DROPPED = 0
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+# ------------------------------------------------------------------- recording
+
+
+@contextmanager
+def span(name: str, *, seam: str = "", attrs: Mapping[str, Any] | None = None,
+         worker: str = ""):
+    """Open one span around a ``with`` block; records it on exit.
+
+    Yields the span dict so callers can read its ids (``trace_id`` in
+    particular) or add attributes while the block runs.  An exception inside
+    the block marks ``attrs["error"]`` with the exception type and re-raises;
+    the span is recorded either way.
+    """
+    parent = _CURRENT.get()
+    trace_id = parent[0] if parent is not None else _new_id()
+    record: dict[str, Any] = {
+        "trace_id": trace_id,
+        "span_id": _new_id(),
+        "parent_id": parent[1] if parent is not None else None,
+        "name": str(name),
+        "seam": str(seam),
+        "start_unix_s": time.time(),
+        "duration_s": 0.0,
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "worker": str(worker),
+        "attrs": dict(attrs or {}),
+    }
+    token = _CURRENT.set((trace_id, record["span_id"]))
+    started = time.perf_counter()
+    try:
+        yield record
+    except BaseException as exc:
+        record["attrs"]["error"] = type(exc).__name__
+        raise
+    finally:
+        record["duration_s"] = time.perf_counter() - started
+        _CURRENT.reset(token)
+        _store(record)
+
+
+def _store(record: dict[str, Any]) -> None:
+    global _DROPPED
+    with _LOCK:
+        if len(_SPANS) >= MAX_SPANS:
+            _DROPPED += 1
+            return
+        _SPANS.append(record)
+    obs_metrics.TRACE_SPANS.labels(seam=record.get("seam") or "none").inc()
+
+
+# ------------------------------------------------------------------ collection
+
+
+def snapshot_spans() -> list[dict[str, Any]]:
+    """A copy of every stored span, in recording (completion) order."""
+    with _LOCK:
+        return [dict(record) for record in _SPANS]
+
+
+def drain_spans() -> list[dict[str, Any]]:
+    """Remove and return every stored span (the cross-process shipping hook)."""
+    with _LOCK:
+        records = list(_SPANS)
+        _SPANS.clear()
+    return records
+
+
+def take_trace(trace_id: str) -> list[dict[str, Any]]:
+    """Remove and return the spans of one trace, leaving other traces stored.
+
+    The serve layer uses this to attach exactly its own request's spans to a
+    response while concurrent requests' traces stay untouched.
+    """
+    taken: list[dict[str, Any]] = []
+    with _LOCK:
+        kept = []
+        for record in _SPANS:
+            (taken if record.get("trace_id") == trace_id else kept).append(record)
+        _SPANS[:] = kept
+    return taken
+
+
+def absorb_spans(records: Iterable[Mapping[str, Any]] | None) -> None:
+    """Fold spans recorded in another process into this collector.
+
+    Tolerant of ``None`` and of foreign dict shapes (only mappings are kept):
+    the dispatch layer calls this on whatever rode back in a result frame.
+    """
+    for record in records or ():
+        if isinstance(record, Mapping):
+            _store(dict(record))
+
+
+def dropped_spans() -> int:
+    """How many spans the capacity bound discarded since the last reset."""
+    with _LOCK:
+        return _DROPPED
+
+
+def reset_tracing() -> None:
+    """Clear stored spans and the dropped counter (test isolation hook)."""
+    global _DROPPED
+    with _LOCK:
+        _SPANS.clear()
+        _DROPPED = 0
+
+
+# ----------------------------------------------------------------- propagation
+
+
+def current_trace_context() -> dict[str, str] | None:
+    """The ambient ``{"trace_id", "span_id"}`` pair, or ``None``.
+
+    Small, JSON-able and picklable by construction — safe to embed in a task
+    envelope or tuple argument.  Capture it on the *submitting* thread: the
+    cluster coordinator runs on its own event-loop thread and pool tasks run
+    in other processes, so ContextVars do not flow there by themselves.
+    """
+    current = _CURRENT.get()
+    if current is None:
+        return None
+    return {"trace_id": current[0], "span_id": current[1]}
+
+
+@contextmanager
+def activate_trace_context(context: Mapping[str, Any] | None):
+    """Make a shipped trace context ambient for a ``with`` block.
+
+    ``None`` (tracing off, or nothing shipped) is a no-op, so call sites need
+    no conditional.  Malformed contexts are ignored rather than failed: a
+    tracing decoration must never break the task it decorates.
+    """
+    if not isinstance(context, Mapping) or \
+            not context.get("trace_id") or not context.get("span_id"):
+        yield
+        return
+    token = _CURRENT.set((str(context["trace_id"]), str(context["span_id"])))
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)
+
+
+def tracing_enabled(policy: Any) -> bool:
+    """True when this policy records spans (``trace`` field or a ``trace`` spec)."""
+    if policy is None:
+        return False
+    if getattr(policy, "trace", False):
+        return True
+    return any(
+        str(spec).split(":", 1)[0].strip() == "trace"
+        for spec in getattr(policy, "middleware", ()) or ()
+    )
+
+
+@contextmanager
+def maybe_span(enabled: bool, name: str, *, seam: str = "",
+               attrs: Mapping[str, Any] | None = None):
+    """A :func:`span` when ``enabled``, else a no-op (yields ``None``)."""
+    if not enabled:
+        yield None
+        return
+    with span(name, seam=seam, attrs=attrs) as record:
+        yield record
+
+
+# ------------------------------------------------------------------ middleware
+
+
+class TraceMiddleware(Middleware):
+    """The ``trace`` spec: one span per interception at every seam.
+
+    Observe-only by construction — the result and any exception pass through
+    untouched; the recorded span carries the seam, the context name and the
+    seam payload as attributes.  Because the span context is ambient during
+    ``call_next``, nested seams (an engine run inside a dispatched task
+    inside a sweep) parent correctly without any wiring between them.
+    """
+
+    def handle(
+        self, context: MiddlewareContext, call_next: Callable[[MiddlewareContext], Any]
+    ) -> Any:
+        worker = str(context.payload.get("worker_id", "") or "")
+        with span(context.name, seam=context.seam, attrs=context.payload,
+                  worker=worker):
+            return call_next(context)
+
+    @classmethod
+    def from_spec(cls, args: Mapping[str, str]) -> "TraceMiddleware":
+        if args:
+            raise ConfigurationError(
+                f"unknown argument(s) {sorted(args)!r} for middleware 'trace'; "
+                "takes no arguments"
+            )
+        return cls()
+
+
+# ---------------------------------------------------------------------- export
+
+
+def trace_events(records: Iterable[Mapping[str, Any]] | None = None) -> dict[str, Any]:
+    """Spans -> Chrome trace-event JSON (the ``{"traceEvents": [...]}`` shape).
+
+    Each span becomes one complete (``"ph": "X"``) event with wall-clock
+    microsecond ``ts`` — wall time, not the monotonic clock, so spans
+    recorded in different processes of the same host line up on one
+    timeline.  Span identity and parentage ride in ``args`` (Perfetto shows
+    them per slice); metadata events name each process track after the
+    worker that ran there.
+    """
+    if records is None:
+        records = snapshot_spans()
+    events: list[dict[str, Any]] = []
+    process_names: dict[int, str] = {}
+    for record in records:
+        pid = int(record.get("pid", 0))
+        worker = str(record.get("worker", "") or "")
+        if worker and pid not in process_names:
+            process_names[pid] = worker
+        attrs = record.get("attrs") or {}
+        args = {key: value for key, value in attrs.items()}
+        args.update({
+            "trace_id": record.get("trace_id"),
+            "span_id": record.get("span_id"),
+            "parent_id": record.get("parent_id"),
+        })
+        events.append({
+            "ph": "X",
+            "name": str(record.get("name", "")),
+            "cat": str(record.get("seam", "") or "span"),
+            "ts": float(record.get("start_unix_s", 0.0)) * 1e6,
+            "dur": max(float(record.get("duration_s", 0.0)), 0.0) * 1e6,
+            "pid": pid,
+            "tid": int(record.get("tid", 0)),
+            "args": args,
+        })
+    metadata = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+         "args": {"name": name}}
+        for pid, name in sorted(process_names.items())
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_trace(path: str | Path,
+                records: Iterable[Mapping[str, Any]] | None = None) -> Path:
+    """Serialize :func:`trace_events` to ``path`` (UTF-8 JSON); returns it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = trace_events(records)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str),
+                    encoding="utf-8")
+    return path

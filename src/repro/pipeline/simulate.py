@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.middleware import build_chain
+from repro.middleware import build_chain, effective_middleware_specs
 from repro.pipeline.lowering import LoweredPipeline, pipeline_resources
 from repro.pipeline.strategy import PipelineStrategy, build_pipeline_strategy
 from repro.pipeline.timing import DEFAULT_BACKWARD_SPLIT, PipelineTiming, timing_from_presets
@@ -125,7 +125,7 @@ def simulate_pipeline(
 
     engine = SimEngine("pipeline")
     pipeline_resources(engine, stages)
-    chain = build_chain(policy.middleware)
+    chain = build_chain(effective_middleware_specs(policy))
     if chain is not None:
         engine.install_middleware(chain, policy=policy)
 

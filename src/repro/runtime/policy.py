@@ -80,9 +80,10 @@ DEFAULT_AUTO_VECTOR_THRESHOLD = 50_000
 #: The policy fields ``simulate_job`` consumes — the ``env_fields`` it passes
 #: to :meth:`ExecutionPolicy.resolve`, so a broken sweep-level environment
 #: variable (say ``REPRO_SWEEP_JOBS=garbage``) can never fail a simulation
-#: that does not read it.  ``middleware`` is here because the engine seam
-#: (``SimEngine.install_middleware``) runs the resolved chain.
-SIMULATION_FIELDS = ("op_backend", "scheduler", "auto_vector_threshold", "middleware")
+#: that does not read it.  ``middleware`` and ``trace`` are here because the
+#: engine seam (``SimEngine.install_middleware``) runs the resolved chain.
+SIMULATION_FIELDS = ("op_backend", "scheduler", "auto_vector_threshold", "middleware",
+                     "trace")
 
 #: The scenario families the toolkit simulates.  ``scenario_family`` selects
 #: which axis a generic surface (the sweep CLI's default worker, serve's
@@ -224,6 +225,22 @@ def _default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro" / "sweeps"
 
 
+def _validate_trace(value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise ConfigurationError("trace must be a boolean")
+    return value
+
+
+def _validate_trace_out(value: Any) -> Path | None:
+    # None means "record spans but write no file" — the policy_context
+    # round-trip carries it verbatim, so the validator must accept it.
+    if value is None:
+        return None
+    if isinstance(value, (str, Path)):
+        return Path(value)
+    raise ConfigurationError("trace_out must be a path, string or None")
+
+
 @dataclass(frozen=True)
 class _FieldSpec:
     """How one policy field resolves: env variable, env parser, validator, default."""
@@ -281,6 +298,15 @@ POLICY_FIELDS: dict[str, _FieldSpec] = {
     ),
     "pipeline_schedule": _FieldSpec(
         "REPRO_PIPELINE_SCHEDULE", str, _validate_pipeline_schedule, lambda: "1f1b"
+    ),
+    # Observability: ``trace`` appends the span-recording middleware to every
+    # seam's chain (see repro.middleware.effective_middleware_specs), and
+    # ``trace_out`` names the Chrome trace-event file the CLI writes when the
+    # traced command finishes.  Both observe-only: results are byte-identical
+    # with tracing on or off.
+    "trace": _FieldSpec("REPRO_TRACE", _parse_bool, _validate_trace, lambda: False),
+    "trace_out": _FieldSpec(
+        "REPRO_TRACE_OUT", Path, _validate_trace_out, lambda: None
     ),
 }
 
@@ -409,6 +435,8 @@ class ExecutionPolicy:
     middleware: tuple = ()
     scenario_family: str = "offload"
     pipeline_schedule: str = "1f1b"
+    trace: bool = False
+    trace_out: Path | None = None
     sources: Mapping[str, str] = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:

@@ -40,8 +40,15 @@ class UnknownMethodError(ReproError):
 
 
 #: Policy fields a request may override.  Everything in POLICY_FIELDS except
-#: ``cache_dir`` — see the module docstring for why that one is server-owned.
-CLIENT_POLICY_FIELDS = tuple(name for name in POLICY_FIELDS if name != "cache_dir")
+#: ``cache_dir`` and ``trace_out`` — both name server-side filesystem paths,
+#: and letting a request point them at arbitrary locations would turn a
+#: compute service into a file-write service.  (``trace`` *is* allowed: a
+#: request asking for spans changes only what the server records, not what
+#: it writes; the sweep method's ``trace`` parameter returns the export
+#: in-band instead.)
+CLIENT_POLICY_FIELDS = tuple(
+    name for name in POLICY_FIELDS if name not in ("cache_dir", "trace_out")
+)
 
 #: Named sweep workers, mirroring ``repro sweep --worker``.  Any other value
 #: must be an explicit ``module:qualname`` reference resolvable on the server.
@@ -138,9 +145,17 @@ def _prepare_sweep(params: Mapping[str, Any],
     Returns :meth:`~repro.sweep.SweepResult.to_dict` verbatim, so a response
     serialized with ``indent=2, sort_keys=True`` is byte-identical to the CLI
     export of the same grid (the differential tests and the CI serve job both
-    assert this).
+    assert this).  ``trace: true`` additionally runs the sweep under span
+    tracing and attaches the Chrome trace-event export as a sibling ``trace``
+    key — the result object itself stays byte-identical; the trace flag rides
+    in the resolved policy, so traced and untraced requests never coalesce.
     """
-    _reject_unknown_params("sweep", params, ("worker", "axes", "base"))
+    _reject_unknown_params("sweep", params, ("worker", "axes", "base", "trace"))
+    trace_requested = params.get("trace", False)
+    if not isinstance(trace_requested, bool):
+        raise ConfigurationError("sweep 'trace' must be a boolean")
+    if trace_requested:
+        policy = policy.with_overrides(trace=True)
     worker = _resolve_sweep_worker(params.get("worker", "training"))
     axes = params.get("axes")
     if not isinstance(axes, Mapping) or not axes:
@@ -160,7 +175,21 @@ def _prepare_sweep(params: Mapping[str, Any],
         [runner.cache_entry_name(scenario) for scenario in spec.scenarios()],
         _policy_key(policy),
     )
-    return key, lambda: runner.run(spec).to_dict()
+    if not trace_requested:
+        return key, lambda: runner.run(spec).to_dict()
+
+    def traced() -> Any:
+        # Root the request's spans under one id so take_trace() lifts exactly
+        # this sweep's trace, leaving concurrent traced requests untouched.
+        from repro.obs.trace import span, take_trace, trace_events
+
+        with span("sweep", seam="serve", attrs={"method": "sweep"}) as root:
+            result = runner.run(spec).to_dict()
+        payload = dict(result)
+        payload["trace"] = trace_events(take_trace(root["trace_id"]))
+        return payload
+
+    return key, traced
 
 
 def _prepare_simulate(params: Mapping[str, Any],

@@ -58,8 +58,10 @@ from repro.middleware import (
     SEAM_SERVE,
     MiddlewareContext,
     build_chain,
+    effective_middleware_specs,
     middleware_metrics,
 )
+from repro.obs.metrics import REGISTRY as OBS_REGISTRY
 from repro.middleware.builtin import ConcurrencyLimitError, QuotaExceededError
 from repro.runtime import ExecutionPolicy
 from repro.serve.coalesce import CoalescingMap
@@ -111,7 +113,7 @@ class ReproServer:
         if not isinstance(policy, ExecutionPolicy):
             raise ConfigurationError("policy must be an ExecutionPolicy")
         self.policy = policy
-        self._chain = build_chain(policy.middleware)
+        self._chain = build_chain(effective_middleware_specs(policy))
         self.coalescer = CoalescingMap()
         self.address: tuple[str, int] | None = None
         self.requests_total = 0
@@ -296,10 +298,26 @@ class ReproServer:
             self.errors_total += 1
             status, payload = exc.status, self._error_payload(exc, exc.status)
         else:
+            if request.method == "GET" and request.path == "/metrics" \
+                    and self._wants_prometheus(request):
+                # Content negotiation: a Prometheus scraper (Accept names
+                # text/plain or openmetrics) gets the text exposition of the
+                # obs registry; everything else keeps the JSON body.
+                self.requests_total += 1
+                body = OBS_REGISTRY.render_prometheus().encode()
+                writer.write(format_response(
+                    200, body, content_type="text/plain; version=0.0.4; charset=utf-8"))
+                await writer.drain()
+                return
             status, payload = await self._http_dispatch(request,
                                                         self._peer_host(writer))
         writer.write(format_response(status, _json_body(payload)))
         await writer.drain()
+
+    @staticmethod
+    def _wants_prometheus(request: HttpRequest) -> bool:
+        accept = str(request.headers.get("accept", "")).lower()
+        return "text/plain" in accept or "openmetrics" in accept
 
     @staticmethod
     def _error_payload(exc: BaseException, status: int) -> dict:

@@ -69,6 +69,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.dispatch import Task, create_executor, select_backend, worker_spec
+from repro.obs.trace import maybe_span, tracing_enabled
 from repro.runtime import ExecutionPolicy, set_global_defaults, clear_global_defaults
 from repro.sweep.batching import batchable_adapter, is_batchable, run_scenario_group
 from repro.sweep.cache import CACHE_VERSION, record_entries
@@ -446,17 +447,24 @@ class SweepRunner:
                 )
 
             try:
-                if self._effective_sweep_mode() == "batch":
-                    self._run_batched(scenarios, pending, complete)
-                else:
-                    tasks = [Task(index=index, params=scenarios[index].as_dict())
-                             for index in pending]
-                    with self._make_executor(len(pending)) as executor:
-                        for outcome in executor.submit(tasks):
-                            complete(outcome.index, outcome.value,
-                                     worker=outcome.worker_id,
-                                     wall_time=outcome.wall_time,
-                                     attempts=outcome.attempts)
+                # The sweep-level root span: every dispatch-task span of this
+                # run — serial, pool child or cluster daemon — parents under
+                # it, so a distributed sweep stitches into one trace.
+                with maybe_span(
+                    tracing_enabled(self.policy), "sweep", seam="dispatch",
+                    attrs={"scenarios": total, "pending": len(pending)},
+                ):
+                    if self._effective_sweep_mode() == "batch":
+                        self._run_batched(scenarios, pending, complete)
+                    else:
+                        tasks = [Task(index=index, params=scenarios[index].as_dict())
+                                 for index in pending]
+                        with self._make_executor(len(pending)) as executor:
+                            for outcome in executor.submit(tasks):
+                                complete(outcome.index, outcome.value,
+                                         worker=outcome.worker_id,
+                                         wall_time=outcome.wall_time,
+                                         attempts=outcome.attempts)
             finally:
                 self._flush_manifest(manifest_buffer)
 

@@ -65,7 +65,7 @@ from repro.common.units import GB
 from repro.core.gradient_flush import GradientFlushOps
 from repro.core.sim_executor import UpdatePhaseOps
 from repro.model.flops import backward_compute_seconds, forward_compute_seconds
-from repro.middleware import build_chain
+from repro.middleware import build_chain, effective_middleware_specs
 from repro.precision.dtypes import DType
 from repro.sim.engine import (
     SCHEDULER_BACKENDS,  # noqa: F401  (public re-export)
@@ -519,10 +519,11 @@ def simulate_job(
             )
     engine = SimEngine(name=f"{job.model.name}-{job.strategy.name}")
     standard_resources(engine)
-    if policy.middleware:
+    effective_specs = effective_middleware_specs(policy)
+    if effective_specs:
         # The engine seam: the policy's chain intercepts each run()/run_batch()/
         # run_vector() pass as a whole (see docs/middleware.md).
-        engine.install_middleware(build_chain(policy.middleware), policy=policy)
+        engine.install_middleware(build_chain(effective_specs), policy=policy)
 
     if backend == "batch":
         prepared = prepare_simulation(job, iterations, policy=policy)

@@ -56,6 +56,8 @@ from repro.middleware import (
     retry_attempts_from_specs,
 )
 from repro.experiments.base import run_training
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import TraceMiddleware, reset_tracing, snapshot_spans
 from repro.runtime import ExecutionPolicy
 from repro.sim.ops import reset_op_counter
 from repro.sweep import SweepRunner, SweepSpec
@@ -68,13 +70,24 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: built-in observers at once, so identity holds for the composition too.
 OBSERVERS = ("noop", "timing", "logging")
 
+#: Chains the byte-identity harness runs beyond the classic observer stack:
+#: the span tracer alone, and the tracer composed with the other observers.
+TRACED_CHAINS = [("trace",), ("trace", "timing", "logging")]
+
 
 @pytest.fixture(autouse=True)
 def _fresh_metrics():
-    """Each test sees an empty process-wide timing registry."""
-    reset_middleware_metrics()
+    """Each test sees empty process-wide metric and span registries.
+
+    ``obs_metrics.reset()`` clears both the obs registry and the legacy seam
+    timing table, so metric assertions never depend on test order; span state
+    is cleared separately because tracing has its own buffer.
+    """
+    obs_metrics.reset()
+    reset_tracing()
     yield
-    reset_middleware_metrics()
+    obs_metrics.reset()
+    reset_tracing()
 
 
 # --------------------------------------------------------------- chain mechanics
@@ -460,6 +473,7 @@ _OBSERVER_FACTORIES = {
     "noop": Middleware,
     "timing": TimingMiddleware,
     "logging": LoggingMiddleware,
+    "trace": TraceMiddleware,
 }
 
 
@@ -495,17 +509,21 @@ def _schedule_triples(result):
     return [(item.op.op_id, item.start, item.end) for item in result.schedule.ops]
 
 
+@pytest.mark.parametrize("chain", [OBSERVERS] + TRACED_CHAINS)
 @pytest.mark.parametrize("scheduler", ["heap", "vector"])
-def test_engine_seam_chain_yields_byte_identical_schedules(job, scheduler):
+def test_engine_seam_chain_yields_byte_identical_schedules(job, scheduler, chain):
     reset_op_counter()
     bare = simulate_job(job, 2, policy=ExecutionPolicy(scheduler=scheduler))
     reset_op_counter()
     chained = simulate_job(job, 2, policy=ExecutionPolicy(
-        scheduler=scheduler, middleware=OBSERVERS))
+        scheduler=scheduler, middleware=chain))
     assert _schedule_triples(chained) == _schedule_triples(bare)
     assert chained.schedule.makespan == bare.schedule.makespan
-    # The chain genuinely intercepted: the timing observer saw the engine seam.
-    assert middleware_metrics()["engine"]["count"] >= 1
+    # The chain genuinely intercepted: the observers saw the engine seam.
+    if "timing" in chain:
+        assert middleware_metrics()["engine"]["count"] >= 1
+    if "trace" in chain:
+        assert any(record["seam"] == "engine" for record in snapshot_spans())
 
 
 # ------------------------------------------------ differential: dispatch seam
@@ -523,26 +541,34 @@ def _cache_files(cache_dir: Path) -> dict[str, bytes]:
 GRID = {"x": (1, 2, 3), "y": (10, 20)}
 
 
-def test_serial_sweep_with_observers_is_byte_identical(tmp_path):
+@pytest.mark.parametrize("chain", [OBSERVERS] + TRACED_CHAINS)
+def test_serial_sweep_with_observers_is_byte_identical(tmp_path, chain):
     spec = SweepSpec.build(GRID)
     bare_dir, chained_dir = tmp_path / "bare", tmp_path / "chained"
     bare = SweepRunner(dispatch_workers.echo_params, executor="serial",
                        use_cache=True, cache_dir=bare_dir).run(spec)
     chained = SweepRunner(dispatch_workers.echo_params, executor="serial",
                           use_cache=True, cache_dir=chained_dir,
-                          middleware=OBSERVERS).run(spec)
+                          middleware=chain).run(spec)
     assert _result_json(chained) == _result_json(bare)
     # Cache entries too: same file names (policy-free key) and same bytes.
     assert _cache_files(chained_dir) == _cache_files(bare_dir)
-    assert middleware_metrics()["dispatch"]["count"] == spec.num_scenarios
+    if "timing" in chain:
+        assert middleware_metrics()["dispatch"]["count"] == spec.num_scenarios
+    if "trace" in chain:
+        # One span per scenario, plus the sweep-root span on the same seam.
+        assert sum(1 for record in snapshot_spans()
+                   if record["seam"] == "dispatch"
+                   and record["name"] != "sweep") == spec.num_scenarios
 
 
-def test_pool_sweep_with_observers_is_byte_identical():
+@pytest.mark.parametrize("chain", [OBSERVERS] + TRACED_CHAINS)
+def test_pool_sweep_with_observers_is_byte_identical(chain):
     spec = SweepSpec.build(GRID)
     bare = SweepRunner(dispatch_workers.echo_params, executor="pool", jobs=2,
                        use_cache=False).run(spec)
     chained = SweepRunner(dispatch_workers.echo_params, executor="pool", jobs=2,
-                          use_cache=False, middleware=OBSERVERS).run(spec)
+                          use_cache=False, middleware=chain).run(spec)
     assert _result_json(chained) == _result_json(bare)
 
 
@@ -573,7 +599,9 @@ def test_batch_mode_sweep_with_observers_is_byte_identical():
     assert _projection(chained_scenario) == _projection(bare_batch)
 
 
-def test_cluster_sweep_with_observers_is_byte_identical(tmp_path):
+@pytest.mark.parametrize("chain", [("timing", "logging"),
+                                   ("trace", "timing", "logging")])
+def test_cluster_sweep_with_observers_is_byte_identical(tmp_path, chain):
     """One real daemon, chain shipped inside the pickled policy."""
     with socket.socket() as probe:
         probe.bind(("127.0.0.1", 0))
@@ -593,8 +621,7 @@ def test_cluster_sweep_with_observers_is_byte_identical(tmp_path):
                    "worker_wait_timeout": 30.0}
         chained = SweepRunner(dispatch_workers.echo_params, executor="cluster",
                               workers=1, executor_options=options,
-                              use_cache=False, middleware=("timing", "logging")
-                              ).run(spec)
+                              use_cache=False, middleware=chain).run(spec)
         bare = SweepRunner(dispatch_workers.echo_params, executor="serial",
                            use_cache=False).run(spec)
         assert _result_json(chained) == _result_json(bare)

@@ -1,0 +1,545 @@
+"""The observability subsystem: metrics registry, span tracing, trace export.
+
+Three layers, tested in order:
+
+* **Registry** — counters/gauges/histograms with labels, idempotent
+  registration, conflict detection, Prometheus text rendering, and the one
+  ``reset()`` that frees metric assertions from test-execution order.
+* **Spans** — recording, ambient parenting, explicit cross-process context
+  (``current_trace_context`` / ``activate_trace_context`` /
+  ``drain_spans`` / ``absorb_spans``), the capacity bound, and the Chrome
+  trace-event export with its shared schema validator.
+* **Wiring** — the ``trace`` middleware spec, policy-driven enablement,
+  schedule export (``repro pipeline --trace-out``), the serve layer's
+  Prometheus negotiation and per-request sweep traces, and the headline
+  distributed guarantee: a cluster sweep over **two real worker daemons**
+  stitches into one trace whose task spans parent under the sweep span.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import dispatch_workers
+from repro.cli import main
+from repro.common.errors import ConfigurationError
+from repro.middleware import build_chain, build_middleware, middleware_metrics
+from repro.middleware.base import MiddlewareContext
+from repro.middleware.builtin import effective_middleware_specs
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import (
+    schedule_trace,
+    schedules_trace,
+    validate_trace_events,
+    write_schedule_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    TraceMiddleware,
+    absorb_spans,
+    activate_trace_context,
+    current_trace_context,
+    drain_spans,
+    dropped_spans,
+    reset_tracing,
+    snapshot_spans,
+    span,
+    take_trace,
+    trace_events,
+    tracing_enabled,
+    write_trace,
+)
+from repro.runtime import ExecutionPolicy
+from repro.serve import ServeClient, ServerThread
+from repro.sweep import SweepRunner, SweepSpec
+from repro.training.config import TrainingJobConfig
+from repro.training.simulation import simulate_job
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    obs_metrics.reset()
+    reset_tracing()
+    yield
+    obs_metrics.reset()
+    reset_tracing()
+
+
+# ----------------------------------------------------------- metrics registry
+
+
+def test_counter_increments_per_label_set():
+    registry = MetricsRegistry()
+    calls = registry.counter("calls_total", "calls", ("seam",))
+    calls.labels(seam="cli").inc()
+    calls.labels(seam="cli").inc(2)
+    calls.labels(seam="engine").inc()
+    assert calls.value(seam="cli") == 3
+    assert calls.value(seam="engine") == 1
+    assert calls.value(seam="serve") == 0  # untouched children read zero
+
+
+def test_counter_rejects_decrease_and_wrong_labels():
+    registry = MetricsRegistry()
+    calls = registry.counter("calls_total", "", ("seam",))
+    with pytest.raises(ConfigurationError, match="cannot decrease"):
+        calls.labels(seam="cli").inc(-1)
+    with pytest.raises(ConfigurationError, match="takes labels"):
+        calls.labels(client="a")
+    with pytest.raises(ConfigurationError, match="use .labels"):
+        calls.inc()  # labelled family has no implicit child
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    in_flight = registry.gauge("in_flight", "")
+    in_flight.inc()
+    in_flight.inc()
+    in_flight.dec()
+    assert in_flight.value() == 1
+    in_flight.set(7.5)
+    assert in_flight.value() == 7.5
+
+
+def test_histogram_buckets_are_cumulative():
+    registry = MetricsRegistry()
+    latency = registry.histogram("latency_seconds", "", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0):
+        latency.observe(value)
+    state = latency.samples()[()]
+    assert state["count"] == 4
+    assert state["sum"] == pytest.approx(6.05)
+    assert state["buckets"] == [1, 3, 4]  # <=0.1, <=1.0, <=10.0 (cumulative)
+
+
+def test_kind_mismatch_raises_not_corrupts():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth", "")
+    counter = registry.counter("hits_total", "")
+    histogram = registry.histogram("sizes", "")
+    with pytest.raises(ConfigurationError, match="observe"):
+        histogram.inc()
+    with pytest.raises(ConfigurationError, match="only gauges"):
+        counter.dec()
+    with pytest.raises(ConfigurationError, match="only histograms"):
+        gauge.observe(1.0)
+
+
+def test_reregistration_is_idempotent_but_conflicts_raise():
+    registry = MetricsRegistry()
+    first = registry.counter("calls_total", "calls", ("seam",))
+    again = registry.counter("calls_total", "calls", ("seam",))
+    assert again is first
+    with pytest.raises(ConfigurationError, match="already registered"):
+        registry.gauge("calls_total", "", ("seam",))
+    with pytest.raises(ConfigurationError, match="already registered"):
+        registry.counter("calls_total", "", ("client",))
+
+
+def test_reset_values_keeps_registrations_alive():
+    registry = MetricsRegistry()
+    calls = registry.counter("calls_total", "", ("seam",))
+    calls.labels(seam="cli").inc(5)
+    registry.reset_values()
+    assert calls.value(seam="cli") == 0
+    calls.labels(seam="cli").inc()  # the old handle still works
+    assert calls.value(seam="cli") == 1
+
+
+def test_obs_reset_clears_registry_and_legacy_seam_dict():
+    obs_metrics.SEAM_CALLS.labels(seam="cli").inc()
+    chain = build_chain(("timing",))
+    chain.run(MiddlewareContext(seam="cli", name="x", payload={}), lambda: None)
+    assert middleware_metrics()
+    obs_metrics.reset()
+    assert obs_metrics.SEAM_CALLS.value(seam="cli") == 0
+    assert middleware_metrics() == {}
+
+
+# --------------------------------------------------------- prometheus rendering
+
+
+def test_prometheus_rendering_headers_values_and_escaping():
+    registry = MetricsRegistry()
+    calls = registry.counter("calls_total", 'calls per "seam"\nand such', ("seam",))
+    calls.labels(seam='a"b\\c\nd').inc(2)
+    registry.gauge("depth", "current depth").set(1.5)
+    text = registry.render_prometheus()
+    assert '# HELP calls_total calls per "seam"\\nand such' in text
+    assert "# TYPE calls_total counter" in text
+    assert 'calls_total{seam="a\\"b\\\\c\\nd"} 2' in text
+    assert "# TYPE depth gauge" in text
+    assert "depth 1.5" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_histogram_series_are_conventional():
+    registry = MetricsRegistry()
+    latency = registry.histogram("latency_seconds", "", ("seam",),
+                                 buckets=(0.1, 1.0))
+    latency.labels(seam="cli").observe(0.5)
+    latency.labels(seam="cli").observe(2.0)
+    lines = registry.render_prometheus().splitlines()
+    assert 'latency_seconds_bucket{seam="cli",le="0.1"} 0' in lines
+    assert 'latency_seconds_bucket{seam="cli",le="1"} 1' in lines
+    assert 'latency_seconds_bucket{seam="cli",le="+Inf"} 2' in lines
+    assert 'latency_seconds_sum{seam="cli"} 2.5' in lines
+    assert 'latency_seconds_count{seam="cli"} 2' in lines
+
+
+def test_prometheus_renders_declared_but_empty_families():
+    registry = MetricsRegistry()
+    registry.counter("calls_total", "calls")
+    text = registry.render_prometheus()
+    assert "# TYPE calls_total counter" in text  # discoverable before samples
+    assert "\ncalls_total " not in text
+
+
+# -------------------------------------------------------------- span recording
+
+
+def test_spans_nest_ambiently_and_share_one_trace():
+    with span("outer", seam="cli") as outer:
+        with span("inner", seam="engine") as inner:
+            assert inner["trace_id"] == outer["trace_id"]
+            assert inner["parent_id"] == outer["span_id"]
+    records = snapshot_spans()
+    assert [r["name"] for r in records] == ["inner", "outer"]  # completion order
+    assert records[1]["parent_id"] is None
+    assert records[0]["duration_s"] >= 0.0
+    assert obs_metrics.TRACE_SPANS.value(seam="cli") == 1
+    assert obs_metrics.TRACE_SPANS.value(seam="engine") == 1
+
+
+def test_span_records_errors_and_reraises():
+    with pytest.raises(ValueError):
+        with span("doomed"):
+            raise ValueError("no")
+    (record,) = snapshot_spans()
+    assert record["attrs"]["error"] == "ValueError"
+
+
+def test_trace_context_round_trips_explicitly():
+    assert current_trace_context() is None
+    with span("parent") as parent:
+        shipped = current_trace_context()
+        assert shipped == {"trace_id": parent["trace_id"],
+                           "span_id": parent["span_id"]}
+    # The other side of a process boundary: re-activate, open a child.
+    with activate_trace_context(shipped):
+        with span("remote-child") as child:
+            assert child["trace_id"] == shipped["trace_id"]
+            assert child["parent_id"] == shipped["span_id"]
+    assert current_trace_context() is None  # activation is scoped
+
+
+@pytest.mark.parametrize("context", [None, {}, {"trace_id": "x"}, "junk", 42])
+def test_activate_tolerates_missing_or_malformed_contexts(context):
+    with activate_trace_context(context):
+        assert current_trace_context() is None
+
+
+def test_drain_take_and_absorb_move_spans_between_collectors():
+    with span("a") as a:
+        pass
+    with span("b"):
+        pass
+    assert take_trace(a["trace_id"]) == [dict(r) for r in [a]]
+    remaining = snapshot_spans()
+    assert [r["name"] for r in remaining] == ["b"]  # other traces untouched
+    shipped = drain_spans()
+    assert snapshot_spans() == []
+    absorb_spans(shipped + [None, "junk"])  # tolerant of foreign shapes
+    assert [r["name"] for r in snapshot_spans()] == ["b"]
+
+
+def test_collector_is_bounded(monkeypatch):
+    monkeypatch.setattr("repro.obs.trace.MAX_SPANS", 2)
+    for number in range(4):
+        with span(f"s{number}"):
+            pass
+    assert len(snapshot_spans()) == 2
+    assert dropped_spans() == 2
+    reset_tracing()
+    assert dropped_spans() == 0
+
+
+# ----------------------------------------------------------------- span export
+
+
+def test_trace_events_export_is_schema_valid_and_parented():
+    with span("outer", seam="dispatch", attrs={"index": 3}, worker="w-1"):
+        with span("inner", seam="engine"):
+            pass
+    payload = trace_events()
+    assert validate_trace_events(payload) == 2
+    complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    by_name = {e["name"]: e for e in complete}
+    assert by_name["inner"]["args"]["parent_id"] == \
+        by_name["outer"]["args"]["span_id"]
+    assert by_name["outer"]["args"]["index"] == 3  # payload attrs ride along
+    names = [e for e in payload["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"]
+    assert names and names[0]["args"]["name"] == "w-1"
+
+
+def test_write_trace_emits_loadable_json(tmp_path):
+    with span("only"):
+        pass
+    path = write_trace(tmp_path / "deep" / "trace.json")
+    payload = json.loads(path.read_text())
+    assert validate_trace_events(payload) == 1
+
+
+@pytest.mark.parametrize("payload, offence", [
+    ([], "JSON object"),
+    ({}, "traceEvents list"),
+    ({"traceEvents": [{"ph": "Z"}]}, "unknown phase"),
+    ({"traceEvents": [{"ph": "X", "name": "x", "ts": 0, "dur": 1}]}, "pid"),
+    ({"traceEvents": [{"ph": "X", "name": "", "ts": 0, "dur": 0,
+                       "pid": 1, "tid": 1}]}, "no name"),
+    ({"traceEvents": [{"ph": "X", "name": "x", "ts": -1, "dur": 0,
+                       "pid": 1, "tid": 1}]}, "invalid 'ts'"),
+])
+def test_validator_rejects_malformed_documents(payload, offence):
+    with pytest.raises(ConfigurationError, match=offence):
+        validate_trace_events(payload)
+
+
+# -------------------------------------------------- trace middleware + policy
+
+
+def test_trace_spec_builds_and_records_one_span_per_interception():
+    chain = build_chain(("trace",))
+    assert isinstance(chain.middlewares[0], TraceMiddleware)
+    result = chain.run(
+        MiddlewareContext(seam="dispatch", name="task",
+                          payload={"worker_id": "w-9", "index": 1}),
+        lambda: 41)
+    assert result == 41
+    (record,) = snapshot_spans()
+    assert (record["name"], record["seam"], record["worker"]) == \
+        ("task", "dispatch", "w-9")
+    assert record["attrs"]["index"] == 1
+
+
+def test_trace_spec_takes_no_arguments():
+    with pytest.raises(ConfigurationError, match="takes no arguments"):
+        build_middleware("trace:fast=1")
+
+
+def test_policy_trace_flag_appends_the_trace_spec_once():
+    assert effective_middleware_specs(None) == ()
+    assert effective_middleware_specs(ExecutionPolicy()) == ()
+    assert effective_middleware_specs(ExecutionPolicy(trace=True)) == ("trace",)
+    assert effective_middleware_specs(
+        ExecutionPolicy(trace=True, middleware=("timing",))) == ("timing", "trace")
+    assert effective_middleware_specs(  # already present: no duplicate
+        ExecutionPolicy(trace=True, middleware=("trace", "timing"))) == \
+        ("trace", "timing")
+    assert tracing_enabled(ExecutionPolicy(trace=True))
+    assert tracing_enabled(ExecutionPolicy(middleware=("trace",)))
+    assert not tracing_enabled(ExecutionPolicy(middleware=("timing",)))
+    assert not tracing_enabled(None)
+
+
+# ------------------------------------------------------------ schedule export
+
+
+@pytest.fixture(scope="module")
+def training_schedule():
+    job = TrainingJobConfig(model="7B", strategy="deep-optimizer-states",
+                            check_memory=False).resolve()
+    return simulate_job(job, 1, policy=ExecutionPolicy()).schedule
+
+
+def test_schedule_exports_one_track_per_resource(training_schedule):
+    payload = schedule_trace(training_schedule, label="7B")
+    assert validate_trace_events(payload) == len(training_schedule.ops)
+    tracks = {e["args"]["name"] for e in payload["traceEvents"]
+              if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert tracks == set(training_schedule.resources)
+    slice_tids = {e["tid"] for e in payload["traceEvents"] if e["ph"] == "X"}
+    declared_tids = {e["tid"] for e in payload["traceEvents"]
+                     if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert slice_tids <= declared_tids  # every slice lands on a named track
+
+
+def test_multi_schedule_export_keeps_groups_apart(training_schedule):
+    payload = schedules_trace({"one": training_schedule,
+                               "two": training_schedule})
+    names = {e["pid"]: e["args"]["name"] for e in payload["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert names == {1: "one", 2: "two"}
+    assert validate_trace_events(payload) == 2 * len(training_schedule.ops)
+
+
+def test_export_rejects_things_that_are_not_schedules():
+    with pytest.raises(ConfigurationError, match="no ops attribute"):
+        schedule_trace(object())
+
+
+def test_write_schedule_trace_round_trips(tmp_path, training_schedule):
+    path = write_schedule_trace(tmp_path / "sched.json", training_schedule,
+                                label="7B")
+    assert validate_trace_events(json.loads(path.read_text())) > 0
+
+
+# ------------------------------------------------------------- CLI integration
+
+
+def test_pipeline_trace_out_exports_stage_and_link_tracks(tmp_path, capsys):
+    path = tmp_path / "pipeline.json"
+    assert main(["pipeline", "--schedule", "zb", "--stages", "2",
+                 "--microbatches", "2", "--json", "--trace-out", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    assert validate_trace_events(payload) > 0
+    tracks = {e["args"]["name"] for e in payload["traceEvents"]
+              if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert any("stage0" in name for name in tracks)
+    assert any("stage1" in name for name in tracks)
+    assert any("link" in name for name in tracks)
+    assert "trace written" in capsys.readouterr().err
+
+
+def test_compare_trace_out_exports_one_group_per_strategy(tmp_path, capsys):
+    path = tmp_path / "compare.json"
+    assert main(["compare", "--model", "7B", "--iterations", "1",
+                 "--strategies", "deep-optimizer-states", "zero3-offload",
+                 "--trace-out", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    assert validate_trace_events(payload) > 0
+    groups = {e["args"]["name"] for e in payload["traceEvents"]
+              if e["ph"] == "M" and e["name"] == "process_name"}
+    assert "deep-optimizer-states" in groups
+
+
+def test_cli_trace_out_writes_one_stitched_span_trace(tmp_path, capsys,
+                                                      monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_MIDDLEWARE", raising=False)
+    path = tmp_path / "spans.json"
+    assert main(["--trace-out", str(path), "sweep", "--worker", "training",
+                 "--models", "7B", "--strategies", "deep-optimizer-states",
+                 "--iterations", "1", "--no-cache"]) == 0
+    payload = json.loads(path.read_text())
+    assert validate_trace_events(payload) >= 3  # cli, sweep, task spans at least
+    complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    trace_ids = {e["args"]["trace_id"] for e in complete}
+    assert len(trace_ids) == 1  # one command, one trace
+    span_ids = {e["args"]["span_id"] for e in complete}
+    roots = [e for e in complete if e["args"]["parent_id"] is None]
+    assert len(roots) == 1 and roots[0]["cat"] == "cli"
+    for event in complete:
+        parent = event["args"]["parent_id"]
+        assert parent is None or parent in span_ids  # no orphans
+    assert "trace written" in capsys.readouterr().err
+
+
+# -------------------------------------------------------------- serve surfaces
+
+
+def _scrape(address, accept):
+    host, port = address
+    request = urllib.request.Request(f"http://{host}:{port}/metrics",
+                                     headers={"Accept": accept})
+    with urllib.request.urlopen(request) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read()
+
+
+def test_serve_metrics_negotiates_prometheus_text():
+    with ServerThread() as running:
+        status, content_type, body = _scrape(running.address, "text/plain")
+        assert status == 200
+        assert content_type.startswith("text/plain; version=0.0.4")
+        text = body.decode()
+        assert "# TYPE repro_seam_calls_total counter" in text
+        assert "# TYPE repro_trace_spans_total counter" in text
+        # The JSON blob is still the default for everything else.
+        status, content_type, body = _scrape(running.address, "application/json")
+        assert status == 200
+        payload = json.loads(body)
+        assert "coalescing" in payload
+
+
+def test_serve_sweep_trace_flag_attaches_export_without_changing_result():
+    axes = {"x": [1, 2]}
+    with ServerThread(policy=ExecutionPolicy.resolve(use_cache=False)) as running:
+        with ServeClient(running.address) as client:
+            plain = client.request("sweep", {
+                "worker": "dispatch_workers:echo_params", "axes": axes})
+            traced = client.request("sweep", {
+                "worker": "dispatch_workers:echo_params", "axes": axes,
+                "trace": True})
+    export = traced.pop("trace")
+    assert traced == plain  # byte-identical result, trace rides alongside
+    assert validate_trace_events(export) >= 1
+    complete = [e for e in export["traceEvents"] if e["ph"] == "X"]
+    assert any(e["cat"] == "serve" and e["name"] == "sweep" for e in complete)
+    assert len({e["args"]["trace_id"] for e in complete}) == 1
+
+
+# ------------------------------------------- distributed stitching (cluster)
+
+
+def test_cluster_sweep_with_two_daemons_stitches_one_trace(tmp_path):
+    """The headline guarantee: two worker processes, one parented trace."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    env.pop("REPRO_MIDDLEWARE", None)
+    env.pop("REPRO_TRACE", None)
+    daemons = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--connect", f"127.0.0.1:{port}", "--id", f"obs-{number}",
+             "--retry-for", "30"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
+        for number in (1, 2)]
+    try:
+        spec = SweepSpec.build({"x": (1, 2, 3), "y": (10, 20)})
+        options = {"bind": f"127.0.0.1:{port}", "lease_timeout": 5.0,
+                   "worker_wait_timeout": 30.0}
+        traced = SweepRunner(dispatch_workers.echo_params, executor="cluster",
+                             workers=2, executor_options=options,
+                             use_cache=False, middleware=("trace",)).run(spec)
+        bare = SweepRunner(dispatch_workers.echo_params, executor="serial",
+                           use_cache=False).run(spec)
+    finally:
+        for daemon in daemons:
+            if daemon.poll() is None:
+                daemon.terminate()
+        for daemon in daemons:
+            daemon.wait(timeout=10)
+    # Identity first: tracing never reaches the values.
+    assert json.dumps(traced.to_dict(), sort_keys=True) == \
+        json.dumps(bare.to_dict(), sort_keys=True)
+    records = snapshot_spans()
+    sweep_spans = [r for r in records if r["name"] == "sweep"]
+    assert len(sweep_spans) == 1
+    task_spans = [r for r in records
+                  if r["seam"] == "dispatch" and r["name"] != "sweep"]
+    assert len(task_spans) == spec.num_scenarios
+    # One trace: every remote span joined the coordinator's trace id...
+    assert {r["trace_id"] for r in records} == {sweep_spans[0]["trace_id"]}
+    # ...and parents directly under the sweep span, not floating free.
+    assert {r["parent_id"] for r in task_spans} == {sweep_spans[0]["span_id"]}
+    # Spans really came from the daemons (other processes, both workers).
+    assert all(r["pid"] != os.getpid() for r in task_spans)
+    assert {r["worker"] for r in task_spans} == {"obs-1", "obs-2"}
+    # And the stitched trace exports schema-valid.
+    assert validate_trace_events(trace_events(records)) == len(records)

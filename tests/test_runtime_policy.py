@@ -66,6 +66,9 @@ FIELD_CASES = [
      ("logging",), ("noop",)),
     ("scenario_family", "pipeline", "pipeline", "offload", "pipeline"),
     ("pipeline_schedule", "zb", "zb", "gpipe", "zb"),
+    ("trace", "1", True, False, True),
+    ("trace_out", "/tmp/env-trace.json", Path("/tmp/env-trace.json"),
+     Path("/tmp/ctx-trace.json"), Path("/tmp/arg-trace.json")),
 ]
 
 DEFAULTS = {
@@ -80,6 +83,8 @@ DEFAULTS = {
     "middleware": (),
     "scenario_family": "offload",
     "pipeline_schedule": "1f1b",
+    "trace": False,
+    "trace_out": None,
 }
 
 
@@ -162,6 +167,8 @@ def test_falsey_env_booleans_parse(monkeypatch):
     {"middleware": 42},
     {"scenario_family": "tensor"},
     {"pipeline_schedule": "interleaved-1f1b"},
+    {"trace": "yes"},
+    {"trace_out": 42},
 ])
 def test_bad_values_raise_at_construction_and_resolution(kwargs):
     with pytest.raises(ConfigurationError):
@@ -180,6 +187,7 @@ def test_bad_values_raise_at_construction_and_resolution(kwargs):
     ("REPRO_MIDDLEWARE", "retry:attempts=lots"),
     ("REPRO_SCENARIO_FAMILY", "tensor"),
     ("REPRO_PIPELINE_SCHEDULE", "interleaved-1f1b"),
+    ("REPRO_TRACE", "maybe"),
 ])
 def test_unparseable_env_values_raise(monkeypatch, env_var, text):
     monkeypatch.setenv(env_var, text)
@@ -445,6 +453,36 @@ def test_cli_config_reports_env_sources(monkeypatch, capsys):
     assert main(["config", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["scheduler"] == {"value": "vector", "source": "env"}
+
+
+def test_cli_config_reports_trace_fields_with_sources(monkeypatch, capsys):
+    assert main(["config", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["trace"] == {"value": False, "source": "default"}
+    assert payload["trace_out"] == {"value": None, "source": "default"}
+
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    assert main(["config", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["trace"] == {"value": True, "source": "env"}
+    monkeypatch.delenv("REPRO_TRACE")
+
+    assert main(["--trace", "config", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["trace"] == {"value": True, "source": "arg"}
+
+
+def test_cli_trace_out_implies_trace(capsys):
+    # Naming an export file turns tracing on: an empty trace file would be
+    # the only other possible outcome, and nobody asks for that.
+    assert main(["--trace-out", "/tmp/t.json", "config", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # The implication rides on the command's policy context (so every
+    # subcommand's own resolution sees it), hence "context" not "arg".
+    assert payload["trace"]["value"] is True
+    assert payload["trace"]["source"] in ("arg", "context")
+    assert payload["trace_out"]["value"] == "/tmp/t.json"
+    assert payload["trace_out"]["source"] == "arg"
 
 
 def test_cli_global_flags_do_not_outlive_the_command(capsys):
